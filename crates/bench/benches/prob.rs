@@ -1,0 +1,91 @@
+//! Probability-assignment benchmarks (Section 4).
+//!
+//! Ablation from DESIGN.md: the information-loss distance can be computed
+//! two algebraically identical ways — the direct mutual-information
+//! difference `I(C;V) − I(C′;V)` (touches the whole clustering) and the
+//! weighted Jensen–Shannon shortcut (touches only the two summaries). The
+//! shortcut is what makes Figure 7's offline cost linear in the relation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use conquer_datagen::{
+    dirty::{generate_unpropagated, ProbMode, UisConfig},
+    perturb::PerturbOptions,
+    tpch::TpchConfig,
+};
+use conquer_prob::{
+    assign_probabilities,
+    distance::{information_loss, mutual_information},
+    CategoricalMatrix, Clustering, Dcf, EditDistance, InfoLossDistance,
+};
+
+fn customer_matrix(if_factor: u32) -> (CategoricalMatrix, Clustering) {
+    let dirty = generate_unpropagated(UisConfig {
+        tpch: TpchConfig { sf: 0.05, seed: 5 },
+        if_factor,
+        prob_mode: ProbMode::Uniform,
+        perturb: PerturbOptions::default(),
+    });
+    let table = dirty.catalog.table("customer").expect("generated");
+    let matrix = CategoricalMatrix::from_table(
+        table,
+        &["c_name", "c_address", "c_phone", "c_mktsegment"],
+    )
+    .expect("attributes");
+    let clustering = Clustering::from_id_column(table, "c_custkey").expect("id column");
+    (matrix, clustering)
+}
+
+fn bench_prob(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prob");
+    group.sample_size(20);
+
+    // Figure-5 assignment cost as cluster size grows (the Figure 7 driver).
+    for if_factor in [2u32, 5, 10] {
+        let (matrix, clustering) = customer_matrix(if_factor);
+        group.bench_with_input(
+            BenchmarkId::new("assign_info_loss", if_factor),
+            &if_factor,
+            |b, _| {
+                b.iter(|| {
+                    black_box(assign_probabilities(&matrix, &clustering, &InfoLossDistance))
+                })
+            },
+        );
+    }
+
+    // Distance-measure modularity: same data, edit-distance measure.
+    let (matrix, clustering) = customer_matrix(5);
+    group.bench_function("assign_edit_distance_if5", |b| {
+        b.iter(|| black_box(assign_probabilities(&matrix, &clustering, &EditDistance)))
+    });
+
+    // Shortcut vs direct mutual-information difference on synthetic DCFs.
+    let clusters: Vec<Dcf> = (0..50u32)
+        .map(|i| {
+            Dcf::from_parts(
+                2.0,
+                (0..8).map(move |j| (i * 8 + j, 0.125)),
+            )
+        })
+        .collect();
+    let n = 100.0;
+    group.bench_function("delta_i_shortcut", |b| {
+        b.iter(|| black_box(information_loss(&clusters[0], &clusters[1], n)))
+    });
+    group.bench_function("delta_i_direct", |b| {
+        b.iter(|| {
+            let before = mutual_information(&clusters, n);
+            let mut merged = vec![clusters[0].merge(&clusters[1])];
+            merged.extend_from_slice(&clusters[2..]);
+            let after = mutual_information(&merged, n);
+            black_box(before - after)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_prob);
+criterion_main!(benches);

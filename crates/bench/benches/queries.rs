@@ -1,0 +1,103 @@
+//! End-to-end query benchmarks on dirty TPC-H-lite data, plus the
+//! naive-vs-rewritten ablation.
+//!
+//! The ablation quantifies why the rewriting matters: candidate-database
+//! enumeration is exponential in the number of clusters (Definition 3), so
+//! even a *tiny* dirty database is orders of magnitude slower to answer
+//! naively than through `RewriteClean`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use conquer_core::{naive::NaiveOptions, DirtyDatabase, DirtySpec, EvalStrategy};
+use conquer_datagen::{
+    dirty::{dirty_database, ProbMode, UisConfig},
+    perturb::PerturbOptions,
+    queries::query_sql,
+    tpch::TpchConfig,
+};
+use conquer_engine::Database;
+
+fn tpch_db() -> DirtyDatabase {
+    dirty_database(UisConfig {
+        tpch: TpchConfig { sf: 0.02, seed: 3 },
+        if_factor: 3,
+        prob_mode: ProbMode::Uniform,
+        perturb: PerturbOptions::default(),
+    })
+    .expect("pipeline")
+}
+
+/// A deliberately tiny dirty database (12 clusters) where naive evaluation
+/// is still feasible, for the crossover ablation.
+fn tiny_db() -> DirtyDatabase {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE r (id TEXT, a INTEGER, prob DOUBLE)").unwrap();
+    db.execute("CREATE TABLE s (id TEXT, fk TEXT, b INTEGER, prob DOUBLE)").unwrap();
+    {
+        let t = db.catalog_mut().table_mut("r").unwrap();
+        for i in 0..6i64 {
+            t.insert(vec![format!("r{i}").into(), i.into(), 0.5.into()]).unwrap();
+            t.insert(vec![format!("r{i}").into(), (i + 1).into(), 0.5.into()]).unwrap();
+        }
+    }
+    {
+        let t = db.catalog_mut().table_mut("s").unwrap();
+        for i in 0..6i64 {
+            t.insert(vec![
+                format!("s{i}").into(),
+                format!("r{}", i % 6).into(),
+                i.into(),
+                0.5.into(),
+            ])
+            .unwrap();
+            t.insert(vec![
+                format!("s{i}").into(),
+                format!("r{}", (i + 1) % 6).into(),
+                (i + 2).into(),
+                0.5.into(),
+            ])
+            .unwrap();
+        }
+    }
+    DirtyDatabase::new(db, DirtySpec::uniform(&["r", "s"])).expect("valid")
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let db = tpch_db();
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(10);
+
+    for id in [3u8, 6, 10] {
+        let sql = query_sql(id, true);
+        group.bench_function(format!("q{id}_original"), |b| {
+            b.iter(|| black_box(db.db().query(&sql).expect("runs").len()))
+        });
+        group.bench_function(format!("q{id}_rewritten"), |b| {
+            b.iter(|| black_box(db.clean_answers(&sql).expect("rewritable").len()))
+        });
+    }
+    group.finish();
+
+    // Naive-vs-rewritten crossover: 2^12 = 4096 candidates.
+    let tiny = tiny_db();
+    let sql = "select s.id, r.id from s, r where s.fk = r.id and r.a > 1";
+    let mut group = c.benchmark_group("naive_vs_rewritten");
+    group.sample_size(10);
+    group.bench_function("rewritten_12_clusters", |b| {
+        b.iter(|| black_box(tiny.clean_answers(sql).expect("rewritable").len()))
+    });
+    group.bench_function("naive_12_clusters_4096_candidates", |b| {
+        b.iter(|| {
+            black_box(
+                tiny.clean_answers_with(sql, EvalStrategy::Naive(NaiveOptions::default()))
+                    .expect("small enough")
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the query-rewriting pipeline itself: parsing,
+//! rewritability checking (join-graph analysis) and `RewriteClean`.
+//!
+//! The paper's practicality argument rests on the rewriting being a cheap,
+//! purely syntactic preprocessing step — these benches quantify "cheap"
+//! (microseconds, versus milliseconds-to-seconds of query execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use conquer_core::{graph::check_rewritable, RewriteClean};
+use conquer_datagen::{
+    dirty::{dirty_database, tpch_spec, ProbMode, UisConfig},
+    perturb::PerturbOptions,
+    queries::{all_queries, query_sql},
+    tpch::TpchConfig,
+};
+use conquer_sql::parse_select;
+
+fn config() -> UisConfig {
+    UisConfig {
+        tpch: TpchConfig { sf: 0.005, seed: 1 },
+        if_factor: 2,
+        prob_mode: ProbMode::Uniform,
+        perturb: PerturbOptions::default(),
+    }
+}
+
+fn bench_rewriting(c: &mut Criterion) {
+    let db = dirty_database(config()).expect("pipeline");
+    let catalog = db.db().catalog();
+    let spec = tpch_spec();
+    let q3 = query_sql(3, true);
+    let stmt = parse_select(&q3).expect("valid");
+
+    let mut group = c.benchmark_group("rewriting");
+    group.sample_size(30);
+
+    group.bench_function("parse_q3", |b| {
+        b.iter(|| parse_select(black_box(&q3)).expect("valid"))
+    });
+    group.bench_function("check_rewritable_q3", |b| {
+        b.iter(|| check_rewritable(black_box(catalog), &spec, &stmt).expect("rewritable"))
+    });
+    group.bench_function("rewrite_q3", |b| {
+        b.iter(|| RewriteClean.rewrite(black_box(catalog), &spec, &stmt).expect("rewritable"))
+    });
+    group.bench_function("rewrite_all_13", |b| {
+        let stmts: Vec<_> =
+            all_queries().iter().map(|q| parse_select(&q.sql).expect("valid")).collect();
+        b.iter(|| {
+            for s in &stmts {
+                black_box(RewriteClean.rewrite(catalog, &spec, s).expect("rewritable"));
+            }
+        })
+    });
+    group.bench_function("print_rewritten_q3", |b| {
+        let rewritten = RewriteClean.rewrite(catalog, &spec, &stmt).expect("rewritable");
+        b.iter(|| black_box(rewritten.to_string()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewriting);
+criterion_main!(benches);

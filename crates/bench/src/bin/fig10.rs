@@ -1,0 +1,5 @@
+//! Reproduce Figure 10 (rewritten-query time over database size).
+fn main() {
+    let report = conquer_bench::fig10(conquer_bench::base_sf(), conquer_bench::runs());
+    conquer_bench::print_report(&report);
+}

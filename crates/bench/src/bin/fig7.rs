@@ -1,0 +1,5 @@
+//! Reproduce Figure 7 (offline times for lineitem). See `conquer-bench`.
+fn main() {
+    let report = conquer_bench::fig7(conquer_bench::base_sf(), conquer_bench::runs());
+    conquer_bench::print_report(&report);
+}

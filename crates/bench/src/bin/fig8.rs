@@ -1,0 +1,5 @@
+//! Reproduce Figure 8 (original vs rewritten query times).
+fn main() {
+    let report = conquer_bench::fig8(conquer_bench::base_sf(), conquer_bench::runs());
+    conquer_bench::print_report(&report);
+}

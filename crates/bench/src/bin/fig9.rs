@@ -1,0 +1,5 @@
+//! Reproduce Figure 9 (Query 3 vs tuples per cluster).
+fn main() {
+    let report = conquer_bench::fig9(conquer_bench::base_sf(), conquer_bench::runs());
+    conquer_bench::print_report(&report);
+}

@@ -1,0 +1,4 @@
+//! Reproduce Table 3 (probability calculation in the Figure-6 relation).
+fn main() {
+    conquer_bench::print_report(&conquer_bench::table3());
+}

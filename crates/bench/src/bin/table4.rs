@@ -1,0 +1,4 @@
+//! Reproduce Table 4 (Cora-style qualitative evaluation).
+fn main() {
+    conquer_bench::print_report(&conquer_bench::table4());
+}

@@ -1,0 +1,165 @@
+//! Timing and reporting helpers shared by the figure harnesses.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Run `f` `runs` times and return the median wall-clock duration.
+/// The closure's result is returned (from the last run) so the measured
+/// computation cannot be optimized away.
+pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    assert!(runs >= 1);
+    let mut times = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let out = f();
+        times.push(t0.elapsed());
+        last = Some(out);
+    }
+    times.sort();
+    (times[times.len() / 2], last.expect("runs >= 1"))
+}
+
+/// Like [`median_time`], but a fresh state is built by `setup` before each
+/// run and only `f(state)` is timed — for measuring in-place passes
+/// (identifier propagation, probability computation) without charging the
+/// clone of their input to the measurement.
+pub fn median_time_with_setup<S, T>(
+    runs: usize,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> T,
+) -> (Duration, T) {
+    assert!(runs >= 1);
+    let mut times = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        let state = setup();
+        let t0 = Instant::now();
+        let out = f(state);
+        times.push(t0.elapsed());
+        last = Some(out);
+    }
+    times.sort();
+    (times[times.len() / 2], last.expect("runs >= 1"))
+}
+
+/// A measured table: a title, column headers, and stringly rows — the
+/// figure harnesses produce these and the binaries print/persist them.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// What this report reproduces (e.g. "Figure 8").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of rendered cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (paper claim, scale used, …).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Create an empty report.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+}
+
+/// Render a report as an aligned text table on stdout.
+pub fn print_report(report: &Report) {
+    println!("== {} ==", report.title);
+    for n in &report.notes {
+        println!("   {n}");
+    }
+    let mut widths: Vec<usize> = report.headers.iter().map(String::len).collect();
+    for row in &report.rows {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{c:>w$}", w = widths[i]));
+        }
+        out
+    };
+    println!("{}", line(&report.headers));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in &report.rows {
+        println!("{}", line(row));
+    }
+    println!();
+}
+
+/// Persist a report as CSV under `dir` (created if needed); the file name
+/// is derived from the title.
+pub fn write_csv(report: &Report, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let name: String = report
+        .title
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{}", report.headers.join(","))?;
+    for row in &report.rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(path)
+}
+
+/// Render a `Duration` in milliseconds with 2 decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_runs() {
+        let mut n = 0;
+        let (d, out) = median_time(3, || {
+            n += 1;
+            n
+        });
+        assert_eq!(out, 3);
+        assert!(d.as_nanos() < 1_000_000_000);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let mut r = Report::new("Figure X", &["a", "b"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        r.note("note");
+        print_report(&r); // must not panic
+        let dir = std::env::temp_dir().join("conquer_bench_test");
+        let path = write_csv(&r, &dir).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+    }
+}

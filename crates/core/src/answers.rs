@@ -1,0 +1,161 @@
+//! The clean-answer result type.
+
+use std::fmt;
+
+use conquer_storage::{Row, Value};
+
+/// Default tolerance when comparing answer probabilities (the rewritten
+/// query and the naive evaluator accumulate floating point in different
+/// orders).
+pub const PROB_EPSILON: f64 = 1e-9;
+
+/// Clean answers to a query: each answer tuple paired with its probability
+/// of being an answer over the clean database (Definition 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleanAnswers {
+    /// Names of the answer columns (without the probability column).
+    pub columns: Vec<String>,
+    /// `(answer tuple, probability)` pairs.
+    pub rows: Vec<(Row, f64)>,
+}
+
+impl CleanAnswers {
+    /// An empty answer set with the given columns.
+    pub fn empty(columns: Vec<String>) -> Self {
+        CleanAnswers { columns, rows: Vec::new() }
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no answers.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The probability of a specific answer tuple, if present.
+    pub fn probability_of(&self, tuple: &[Value]) -> Option<f64> {
+        self.rows.iter().find(|(r, _)| r.as_slice() == tuple).map(|(_, p)| *p)
+    }
+
+    /// Answers sorted by decreasing probability (ties: by tuple order) —
+    /// the presentation the paper motivates: "which query answers are most
+    /// likely to be present in the clean database".
+    pub fn ranked(&self) -> Vec<(&Row, f64)> {
+        let mut out: Vec<(&Row, f64)> = self.rows.iter().map(|(r, p)| (r, *p)).collect();
+        out.sort_by(|(ra, pa), (rb, pb)| {
+            pb.partial_cmp(pa).unwrap_or(std::cmp::Ordering::Equal).then_with(|| ra.cmp(rb))
+        });
+        out
+    }
+
+    /// Answers with probability 1 (within `eps`): the *consistent answers*
+    /// of Arenas et al., which the paper shows to be the certainty fragment
+    /// of clean answers.
+    pub fn consistent(&self, eps: f64) -> Vec<&Row> {
+        self.rows.iter().filter(|(_, p)| (p - 1.0).abs() <= eps).map(|(r, _)| r).collect()
+    }
+
+    /// True when both answer sets contain the same tuples with probabilities
+    /// equal within `eps` (row order is ignored). Tuples with probability
+    /// below `eps` are treated as absent — a candidate enumeration may list
+    /// a tuple with probability 0 that the rewriting never produces.
+    pub fn approx_same(&self, other: &CleanAnswers, eps: f64) -> bool {
+        let sig = |a: &CleanAnswers| {
+            let mut v: Vec<(Row, f64)> =
+                a.rows.iter().filter(|(_, p)| *p > eps).cloned().collect();
+            v.sort_by(|(ra, _), (rb, _)| ra.cmp(rb));
+            v
+        };
+        let (a, b) = (sig(self), sig(other));
+        a.len() == b.len()
+            && a.iter()
+                .zip(&b)
+                .all(|((ra, pa), (rb, pb))| ra == rb && (pa - pb).abs() <= eps)
+    }
+
+    /// Sum of all answer probabilities (diagnostic; equals the expected
+    /// number of answers over the clean database).
+    pub fn total_probability(&self) -> f64 {
+        self.rows.iter().map(|(_, p)| *p).sum()
+    }
+}
+
+impl fmt::Display for CleanAnswers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.columns {
+            write!(f, "{c} | ")?;
+        }
+        writeln!(f, "probability")?;
+        for (row, p) in self.ranked() {
+            for v in row {
+                write!(f, "{v} | ")?;
+            }
+            writeln!(f, "{p:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answers() -> CleanAnswers {
+        CleanAnswers {
+            columns: vec!["id".into()],
+            rows: vec![
+                (vec!["c2".into()], 0.2),
+                (vec!["c1".into()], 1.0),
+                (vec!["c3".into()], 0.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn probability_lookup() {
+        let a = answers();
+        assert_eq!(a.probability_of(&["c1".into()]), Some(1.0));
+        assert_eq!(a.probability_of(&["zz".into()]), None);
+    }
+
+    #[test]
+    fn ranked_sorts_by_probability() {
+        let a = answers();
+        let r = a.ranked();
+        assert_eq!(r[0].1, 1.0);
+        assert_eq!(r[1].1, 0.2);
+    }
+
+    #[test]
+    fn consistent_extracts_certainty_fragment() {
+        let a = answers();
+        let c = a.consistent(1e-9);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0][0], Value::text("c1"));
+    }
+
+    #[test]
+    fn approx_same_ignores_order_and_zero_rows() {
+        let a = answers();
+        let b = CleanAnswers {
+            columns: vec!["id".into()],
+            rows: vec![(vec!["c1".into()], 1.0 + 1e-12), (vec!["c2".into()], 0.2)],
+        };
+        assert!(a.approx_same(&b, 1e-9));
+        let c = CleanAnswers {
+            columns: vec!["id".into()],
+            rows: vec![(vec!["c1".into()], 0.9), (vec!["c2".into()], 0.2)],
+        };
+        assert!(!a.approx_same(&c, 1e-9));
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let text = answers().to_string();
+        assert!(text.contains("c1"), "{text}");
+        assert!(text.contains("probability"), "{text}");
+    }
+}

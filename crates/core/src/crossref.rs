@@ -1,0 +1,194 @@
+//! Cross-reference table support (Section 2.1).
+//!
+//! "Some tools, like WebSphere QualityStage, output cross-reference tables
+//! that indicate which tuples are associated with which cluster." This
+//! module applies such a table to a dirty relation: every row's identifier
+//! column is set from the cross-reference mapping of its original key,
+//! turning the external matcher's output into the identifier-column form
+//! the rest of the system consumes.
+
+use std::collections::HashMap;
+
+use conquer_storage::{Catalog, Value};
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// Apply a cross-reference table to a dirty relation.
+///
+/// * `table.key_column` — the relation's original (per-tuple) key;
+/// * `xref.key/xref.id` — the matcher's mapping `original key → cluster id`;
+/// * `table.id_column` — where the cluster identifier is written.
+///
+/// Every key of `table` must be mapped (a matcher that has seen the
+/// relation maps all of it); unmapped keys are an error naming the first
+/// offender. Duplicate mappings with conflicting ids are rejected.
+/// Returns the number of distinct clusters assigned.
+pub fn apply_crossref(
+    catalog: &mut Catalog,
+    table: &str,
+    key_column: &str,
+    id_column: &str,
+    xref_table: &str,
+    xref_key_column: &str,
+    xref_id_column: &str,
+) -> Result<usize> {
+    // Build the mapping first (immutable borrow).
+    let mapping: HashMap<Value, Value> = {
+        let xref = catalog.table(xref_table)?;
+        let kcol = xref.column_index(xref_key_column)?;
+        let icol = xref.column_index(xref_id_column)?;
+        let mut map = HashMap::with_capacity(xref.len());
+        for (i, row) in xref.rows().iter().enumerate() {
+            let key = row[kcol].clone();
+            if key.is_null() {
+                return Err(CoreError::InvalidDirty(format!(
+                    "cross-reference table {xref_table:?} has a NULL key in row {i}"
+                )));
+            }
+            let id = row[icol].clone();
+            if let Some(prev) = map.insert(key.clone(), id.clone()) {
+                if prev != id {
+                    return Err(CoreError::InvalidDirty(format!(
+                        "cross-reference maps key {key} to both {prev} and {id}"
+                    )));
+                }
+            }
+        }
+        map
+    };
+
+    // Resolve the ids for every row before mutating.
+    let ids: Vec<Value> = {
+        let t = catalog.table(table)?;
+        let kcol = t.column_index(key_column)?;
+        t.rows()
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                mapping.get(&row[kcol]).cloned().ok_or_else(|| {
+                    CoreError::InvalidDirty(format!(
+                        "key {} of {table:?} (row {i}) is not in the cross-reference table",
+                        row[kcol]
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?
+    };
+    let distinct: std::collections::HashSet<&Value> = ids.iter().collect();
+    let count = distinct.len();
+
+    catalog.table_mut(table)?.update_column(id_column, |i, _| ids[i].clone())?;
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conquer_engine::Database;
+
+    fn setup() -> Database {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE customer (id TEXT, custkey INTEGER, name TEXT, prob DOUBLE);
+             INSERT INTO customer VALUES
+               ('', 101, 'ann', 0.0), ('', 102, 'anne', 0.0), ('', 103, 'bob', 0.0);
+             CREATE TABLE xref (orig INTEGER, cluster TEXT);
+             INSERT INTO xref VALUES (101, 'c1'), (102, 'c1'), (103, 'c2');",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn crossref_assigns_cluster_identifiers() {
+        let mut db = setup();
+        let clusters = apply_crossref(
+            db.catalog_mut(),
+            "customer",
+            "custkey",
+            "id",
+            "xref",
+            "orig",
+            "cluster",
+        )
+        .unwrap();
+        assert_eq!(clusters, 2);
+        let r = db.query("SELECT id FROM customer ORDER BY custkey").unwrap();
+        let ids: Vec<String> = r.rows.iter().map(|x| x[0].to_string()).collect();
+        assert_eq!(ids, vec!["c1", "c1", "c2"]);
+    }
+
+    #[test]
+    fn unmapped_key_rejected() {
+        let mut db = setup();
+        db.execute("INSERT INTO customer VALUES ('', 999, 'zed', 0.0)").unwrap();
+        let err = apply_crossref(
+            db.catalog_mut(),
+            "customer",
+            "custkey",
+            "id",
+            "xref",
+            "orig",
+            "cluster",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("999"), "{err}");
+    }
+
+    #[test]
+    fn conflicting_mapping_rejected() {
+        let mut db = setup();
+        db.execute("INSERT INTO xref VALUES (101, 'c9')").unwrap();
+        let err = apply_crossref(
+            db.catalog_mut(),
+            "customer",
+            "custkey",
+            "id",
+            "xref",
+            "orig",
+            "cluster",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("both"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_consistent_mapping_allowed() {
+        let mut db = setup();
+        db.execute("INSERT INTO xref VALUES (101, 'c1')").unwrap();
+        assert!(apply_crossref(
+            db.catalog_mut(),
+            "customer",
+            "custkey",
+            "id",
+            "xref",
+            "orig",
+            "cluster",
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn end_to_end_with_probabilities_and_answers() {
+        use crate::{DirtyDatabase, DirtySpec};
+        let mut db = setup();
+        apply_crossref(
+            db.catalog_mut(),
+            "customer",
+            "custkey",
+            "id",
+            "xref",
+            "orig",
+            "cluster",
+        )
+        .unwrap();
+        // Uniform probabilities per cluster, then clean answers.
+        db.execute("UPDATE customer SET prob = 0.5 WHERE id = 'c1'").unwrap();
+        db.execute("UPDATE customer SET prob = 1.0 WHERE id = 'c2'").unwrap();
+        db.catalog_mut().drop_table("xref").unwrap();
+        let dirty = DirtyDatabase::new(db, DirtySpec::uniform(&["customer"])).unwrap();
+        let ans = dirty.clean_answers("SELECT id FROM customer WHERE name LIKE 'an%'").unwrap();
+        assert!((ans.probability_of(&["c1".into()]).unwrap() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,141 @@
+//! Core-layer errors, including rewritability diagnostics.
+
+use std::fmt;
+
+use conquer_engine::EngineError;
+
+/// Why a query falls outside the rewritable class of Definition 7.
+///
+/// Each variant corresponds to one of the paper's four conditions (plus the
+/// SPJ-shape preconditions the theorem assumes). The diagnostics name the
+/// offending relation/attribute so a user can adapt the query — typically by
+/// adding the root identifier to the select clause, as the paper suggests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NotRewritable {
+    /// The statement is not a plain SPJ query (it already has grouping,
+    /// aggregates, HAVING or DISTINCT).
+    NotSpj(String),
+    /// A join predicate is not a simple column equality
+    /// (the class allows only equality joins).
+    NonEquiJoin(String),
+    /// Condition 1: a join equates two non-identifier attributes.
+    JoinWithoutIdentifier(String),
+    /// Condition 2: the join graph is not a tree.
+    GraphNotTree(String),
+    /// Condition 3: a relation appears more than once in FROM (self-join).
+    SelfJoin(String),
+    /// Condition 4: the identifier of the root relation is missing from the
+    /// select clause.
+    RootIdentifierNotSelected {
+        /// Binding name of the root relation.
+        root: String,
+        /// Its identifier column.
+        id_column: String,
+    },
+    /// A relation in FROM has no dirty metadata in the [`crate::DirtySpec`].
+    UnknownDirtyRelation(String),
+}
+
+impl fmt::Display for NotRewritable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NotRewritable::NotSpj(m) => {
+                write!(f, "not a plain select-project-join query: {m}")
+            }
+            NotRewritable::NonEquiJoin(m) => {
+                write!(f, "join predicate is not an equality between columns: {m}")
+            }
+            NotRewritable::JoinWithoutIdentifier(m) => write!(
+                f,
+                "join does not involve the identifier of either relation \
+                 (condition 1 of the rewritable class): {m}"
+            ),
+            NotRewritable::GraphNotTree(m) => {
+                write!(f, "join graph is not a tree (condition 2): {m}")
+            }
+            NotRewritable::SelfJoin(t) => write!(
+                f,
+                "relation {t:?} appears more than once in FROM (condition 3 forbids self-joins)"
+            ),
+            NotRewritable::RootIdentifierNotSelected { root, id_column } => write!(
+                f,
+                "the identifier {root}.{id_column} of the join-graph root must appear \
+                 in the select clause (condition 4); add it to the projection"
+            ),
+            NotRewritable::UnknownDirtyRelation(t) => write!(
+                f,
+                "relation {t:?} has no identifier/probability metadata in the DirtySpec"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NotRewritable {}
+
+/// Errors raised by clean-answer machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The underlying engine failed (parse, bind, execute).
+    Engine(EngineError),
+    /// The query is not in the rewritable class.
+    NotRewritable(NotRewritable),
+    /// The dirty database violates Definition 2 (bad identifier/probability
+    /// columns, cluster probabilities that do not sum to 1, …).
+    InvalidDirty(String),
+    /// Naive evaluation would enumerate more candidates than allowed.
+    TooManyCandidates {
+        /// How many candidate databases the dirty database induces.
+        candidates: u128,
+        /// The configured enumeration limit.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Engine(e) => write!(f, "{e}"),
+            CoreError::NotRewritable(r) => write!(f, "query is not rewritable: {r}"),
+            CoreError::InvalidDirty(m) => write!(f, "invalid dirty database: {m}"),
+            CoreError::TooManyCandidates { candidates, limit } => write!(
+                f,
+                "naive evaluation requires {candidates} candidate databases, \
+                 which exceeds the limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Engine(e) => Some(e),
+            CoreError::NotRewritable(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl From<NotRewritable> for CoreError {
+    fn from(e: NotRewritable) -> Self {
+        CoreError::NotRewritable(e)
+    }
+}
+
+impl From<conquer_sql::ParseError> for CoreError {
+    fn from(e: conquer_sql::ParseError) -> Self {
+        CoreError::Engine(EngineError::Parse(e))
+    }
+}
+
+impl From<conquer_storage::StorageError> for CoreError {
+    fn from(e: conquer_storage::StorageError) -> Self {
+        CoreError::Engine(EngineError::Storage(e))
+    }
+}

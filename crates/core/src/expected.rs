@@ -1,0 +1,442 @@
+//! Expected-value answers for aggregate queries — the paper's first item of
+//! future work ("we would like to extend the class of queries that can be
+//! rewritten to consider, for example, queries with grouping and
+//! aggregation").
+//!
+//! ## Semantics
+//!
+//! For an aggregate query `q` over a dirty database, define the *expected
+//! answer* of a group `g` as the expectation, over candidate databases
+//! (Definition 4), of `q`'s aggregate value for `g` — where a candidate in
+//! which `g` is empty contributes 0. For `SUM` and `COUNT(*)` this
+//! expectation is *exact* by linearity:
+//!
+//! ```text
+//! E[ SUM(e) over rows of g ]
+//!   = Σ_joined-rows-with-key-g  e(row) · P(row's tuples all chosen)
+//!   = Σ_joined-rows-with-key-g  e(row) · Π_i prob(tᵢ)
+//! ```
+//!
+//! because a joined row combines exactly one tuple per relation and tuples
+//! of *different* relations are independent (Definition 4). This holds for
+//! any self-join-free SPJ core — the tree-shaped join graph of Definition 7
+//! is **not** required, unlike for clean answers.
+//!
+//! The rewriting is therefore: replace `COUNT(*)` by
+//! `SUM(R1.prob·…·Rm.prob)`, `SUM(e)` by `SUM(e · R1.prob·…·Rm.prob)`, and
+//! `AVG(e)` by the ratio of the two (the *ratio of expectations*, a
+//! standard estimator — not the expectation of the ratio; documented
+//! because the two differ). `MIN`/`MAX`/`COUNT(expr)` are not linear and
+//! are rejected.
+//!
+//! One SQL-ism carries over: `SUM` over zero rows is `NULL`, so a group
+//! that joins nothing reports `NULL` (read it as expected value 0) rather
+//! than `COUNT(*)`'s usual 0.
+
+use conquer_sql::{AggFunc, Expr, SelectItem, SelectStatement};
+
+use crate::error::{CoreError, NotRewritable};
+use crate::spec::DirtySpec;
+use crate::Result;
+
+/// The expected-aggregate rewriting.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteExpected;
+
+impl RewriteExpected {
+    /// Rewrite an aggregate query into one computing expected aggregates.
+    ///
+    /// Requirements: the statement must use grouping/aggregation; no
+    /// `DISTINCT`, no `HAVING` (a predicate over expected values has no
+    /// candidate-database reading), no self-joins; aggregates limited to
+    /// `COUNT(*)`, `SUM` and `AVG`.
+    pub fn rewrite(&self, spec: &DirtySpec, stmt: &SelectStatement) -> Result<SelectStatement> {
+        if stmt.distinct {
+            return Err(NotRewritable::NotSpj(
+                "DISTINCT has no expected-value reading".into(),
+            )
+            .into());
+        }
+        if stmt.having.is_some() {
+            return Err(NotRewritable::NotSpj(
+                "HAVING over expected aggregates is not supported".into(),
+            )
+            .into());
+        }
+        let has_agg = stmt.projection.iter().any(|i| {
+            matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate())
+        });
+        if !has_agg && stmt.group_by.is_empty() {
+            return Err(NotRewritable::NotSpj(
+                "not an aggregate query; use RewriteClean for SPJ queries".into(),
+            )
+            .into());
+        }
+        for (i, t) in stmt.from.iter().enumerate() {
+            if stmt.from[..i].iter().any(|p| p.table == t.table) {
+                return Err(NotRewritable::SelfJoin(t.table.clone()).into());
+            }
+        }
+
+        // The probability product of all FROM relations.
+        let mut prob_factors = Vec::with_capacity(stmt.from.len());
+        for tref in &stmt.from {
+            let meta = spec.require(&tref.table)?;
+            prob_factors.push(Expr::qualified(tref.binding_name(), &meta.prob_column));
+        }
+        let prod = Expr::product(prob_factors);
+
+        let mut out = stmt.clone();
+        for item in &mut out.projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                *expr = rewrite_expr(expr, &prod)?;
+            } else {
+                return Err(NotRewritable::NotSpj(
+                    "wildcard projections cannot be rewritten".into(),
+                )
+                .into());
+            }
+        }
+        for ob in &mut out.order_by {
+            ob.expr = rewrite_expr(&ob.expr, &prod)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Recursively replace aggregate calls by their expected-value forms.
+fn rewrite_expr(e: &Expr, prod: &Expr) -> Result<Expr> {
+    Ok(match e {
+        Expr::Aggregate { func, arg, distinct } => {
+            if *distinct {
+                return Err(NotRewritable::NotSpj(
+                    "DISTINCT aggregates have no linear expected-value form".into(),
+                )
+                .into());
+            }
+            match (func, arg) {
+                (AggFunc::Count, None) => sum(prod.clone()),
+                (AggFunc::Count, Some(_)) => {
+                    return Err(NotRewritable::NotSpj(
+                        "COUNT(expr) is not supported (its NULL handling is not linear); \
+                         use COUNT(*)"
+                            .into(),
+                    )
+                    .into())
+                }
+                (AggFunc::Sum, Some(arg)) => {
+                    sum(Expr::binary((**arg).clone(), conquer_sql::BinaryOp::Mul, prod.clone()))
+                }
+                (AggFunc::Avg, Some(arg)) => {
+                    // ratio of expectations: E[Σ e·p] / E[Σ p]
+                    let num = sum(Expr::binary(
+                        (**arg).clone(),
+                        conquer_sql::BinaryOp::Mul,
+                        prod.clone(),
+                    ));
+                    let den = sum(prod.clone());
+                    Expr::binary(num, conquer_sql::BinaryOp::Div, den)
+                }
+                (AggFunc::Min | AggFunc::Max, _) => {
+                    return Err(NotRewritable::NotSpj(format!(
+                        "{} is not linear; expected-value rewriting supports COUNT(*), SUM, AVG",
+                        func.name()
+                    ))
+                    .into())
+                }
+                (AggFunc::Sum | AggFunc::Avg, None) => {
+                    unreachable!("parser rejects SUM(*)/AVG(*)")
+                }
+            }
+        }
+        Expr::Column(_) | Expr::Literal(_) => e.clone(),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rewrite_expr(expr, prod)?),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(rewrite_expr(left, prod)?),
+            op: *op,
+            right: Box::new(rewrite_expr(right, prod)?),
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(rewrite_expr(expr, prod)?),
+            pattern: Box::new(rewrite_expr(pattern, prod)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(rewrite_expr(expr, prod)?),
+            list: list.iter().map(|e| rewrite_expr(e, prod)).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(rewrite_expr(expr, prod)?),
+            low: Box::new(rewrite_expr(low, prod)?),
+            high: Box::new(rewrite_expr(high, prod)?),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rewrite_expr(expr, prod)?),
+            negated: *negated,
+        },
+        Expr::Case { operand, branches, else_expr } => Expr::Case {
+            operand: operand
+                .as_ref()
+                .map(|o| rewrite_expr(o, prod).map(Box::new))
+                .transpose()?,
+            branches: branches
+                .iter()
+                .map(|(w, t)| Ok((rewrite_expr(w, prod)?, rewrite_expr(t, prod)?)))
+                .collect::<Result<_>>()?,
+            else_expr: else_expr
+                .as_ref()
+                .map(|e| rewrite_expr(e, prod).map(Box::new))
+                .transpose()?,
+        },
+    })
+}
+
+fn sum(arg: Expr) -> Expr {
+    Expr::Aggregate { func: AggFunc::Sum, arg: Some(Box::new(arg)), distinct: false }
+}
+
+/// Oracle for tests: compute expected aggregates by candidate enumeration.
+/// Returns `(group-key part, expected aggregate values)` pairs, where the
+/// split between keys and aggregates follows the projection (items without
+/// aggregates are keys).
+pub mod oracle {
+    use std::collections::HashMap;
+
+    use conquer_engine::Database;
+    use conquer_sql::{SelectItem, SelectStatement};
+    use conquer_storage::{Catalog, Row};
+
+    use crate::error::CoreError;
+    use crate::naive::{CandidateDatabases, NaiveOptions};
+    use crate::spec::DirtySpec;
+    use crate::Result;
+
+    /// Expected aggregate answers by full enumeration (test oracle).
+    pub fn naive_expected(
+        catalog: &Catalog,
+        spec: &DirtySpec,
+        stmt: &SelectStatement,
+        options: NaiveOptions,
+    ) -> Result<Vec<(Row, Vec<f64>)>> {
+        let key_positions: Vec<usize> = stmt
+            .projection
+            .iter()
+            .enumerate()
+            .filter_map(|(i, item)| match item {
+                SelectItem::Expr { expr, .. } if !expr.contains_aggregate() => Some(i),
+                _ => None,
+            })
+            .collect();
+        let agg_positions: Vec<usize> =
+            (0..stmt.projection.len()).filter(|i| !key_positions.contains(i)).collect();
+
+        let mut tables: Vec<String> = stmt.from.iter().map(|t| t.table.clone()).collect();
+        tables.sort();
+        tables.dedup();
+        let candidates = CandidateDatabases::new(catalog, spec, &tables)?;
+        if candidates.total_candidates() > options.max_candidates {
+            return Err(CoreError::TooManyCandidates {
+                candidates: candidates.total_candidates(),
+                limit: options.max_candidates,
+            });
+        }
+
+        let mut order: Vec<Row> = Vec::new();
+        let mut sums: HashMap<Row, Vec<f64>> = HashMap::new();
+        for (candidate, probability) in candidates {
+            let db = Database::from_catalog(candidate);
+            let result = db.query_statement(stmt)?;
+            for row in result.rows {
+                let key: Row = key_positions.iter().map(|&i| row[i].clone()).collect();
+                let entry = sums.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    vec![0.0; agg_positions.len()]
+                });
+                for (slot, &i) in entry.iter_mut().zip(&agg_positions) {
+                    // NULL aggregates (e.g. empty SUM) contribute nothing.
+                    if let Some(v) = row[i].as_f64() {
+                        *slot += probability * v;
+                    }
+                }
+            }
+        }
+        Ok(order.into_iter().map(|k| (k.clone(), sums[&k].clone())).collect())
+    }
+}
+
+pub use oracle::naive_expected;
+
+/// Convenience: check + rewrite + execute on a [`crate::DirtyDatabase`].
+impl crate::dirty::DirtyDatabase {
+    /// Expected-value answers for an aggregate query (see [`RewriteExpected`]).
+    ///
+    /// ```
+    /// use conquer_engine::Database;
+    /// use conquer_core::{DirtyDatabase, DirtySpec};
+    ///
+    /// let mut db = Database::new();
+    /// db.execute("CREATE TABLE t (id TEXT, v INTEGER, prob DOUBLE)").unwrap();
+    /// db.execute("INSERT INTO t VALUES ('a', 10, 0.5), ('a', 20, 0.5), ('b', 7, 1.0)")
+    ///     .unwrap();
+    /// let dirty = DirtyDatabase::new(db, DirtySpec::uniform(&["t"])).unwrap();
+    /// let res = dirty
+    ///     .expected_answers("SELECT id, SUM(v), COUNT(*) FROM t GROUP BY id ORDER BY id")
+    ///     .unwrap();
+    /// // cluster a: E[SUM v] = 0.5·10 + 0.5·20 = 15; E[COUNT] = 1.
+    /// assert_eq!(res.rows[0][1].as_f64(), Some(15.0));
+    /// assert_eq!(res.rows[0][2].as_f64(), Some(1.0));
+    /// assert_eq!(res.rows[1][1].as_f64(), Some(7.0));
+    /// ```
+    pub fn expected_answers(&self, sql: &str) -> Result<conquer_engine::QueryResult> {
+        let stmt = conquer_sql::parse_select(sql).map_err(CoreError::from)?;
+        let rewritten = RewriteExpected.rewrite(self.spec(), &stmt)?;
+        self.db().query_statement(&rewritten).map_err(CoreError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dirty::DirtyDatabase;
+    use crate::naive::NaiveOptions;
+    use conquer_engine::Database;
+    use conquer_sql::parse_select;
+
+    /// The Figure-2 database again.
+    fn figure2() -> DirtyDatabase {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE orders (id TEXT, cidfk TEXT, quantity INTEGER, prob DOUBLE);
+             INSERT INTO orders VALUES
+               ('o1', 'c1', 3, 1.0), ('o2', 'c1', 2, 0.5), ('o2', 'c2', 5, 0.5);
+             CREATE TABLE customer (id TEXT, name TEXT, balance INTEGER, prob DOUBLE);
+             INSERT INTO customer VALUES
+               ('c1', 'John', 20000, 0.7), ('c1', 'John', 30000, 0.3),
+               ('c2', 'Mary', 27000, 0.2), ('c2', 'Marion', 5000, 0.8);",
+        )
+        .unwrap();
+        DirtyDatabase::new(db, DirtySpec::uniform(&["orders", "customer"])).unwrap()
+    }
+
+    #[test]
+    fn rewriting_text() {
+        let dirty = figure2();
+        let stmt = parse_select(
+            "select c.id, count(*), sum(o.quantity) from orders o, customer c \
+             where o.cidfk = c.id group by c.id",
+        )
+        .unwrap();
+        let rw = RewriteExpected.rewrite(dirty.spec(), &stmt).unwrap();
+        assert_eq!(
+            rw.to_string(),
+            "SELECT c.id, SUM(o.prob * c.prob), SUM(o.quantity * (o.prob * c.prob)) \
+             FROM orders o, customer c WHERE o.cidfk = c.id GROUP BY c.id"
+        );
+    }
+
+    #[test]
+    fn expected_count_matches_enumeration() {
+        let dirty = figure2();
+        let sql = "select c.id, count(*) from orders o, customer c \
+                   where o.cidfk = c.id and c.balance > 10000 group by c.id order by c.id";
+        let stmt = parse_select(sql).unwrap();
+        let res = dirty.expected_answers(sql).unwrap();
+        let oracle = naive_expected(
+            dirty.db().catalog(),
+            dirty.spec(),
+            &stmt,
+            NaiveOptions::default(),
+        )
+        .unwrap();
+        // Align oracle (unordered) with result rows.
+        for (key, vals) in oracle {
+            let row = res
+                .rows
+                .iter()
+                .find(|r| r[0] == key[0])
+                .unwrap_or_else(|| panic!("group {key:?} missing"));
+            let got = row[1].as_f64().unwrap();
+            assert!((got - vals[0]).abs() < 1e-12, "{key:?}: {got} vs {vals:?}");
+        }
+    }
+
+    #[test]
+    fn expected_sum_and_avg() {
+        let dirty = figure2();
+        // Expected quantity mass per customer entity.
+        let res = dirty
+            .expected_answers(
+                "select c.id, sum(o.quantity), avg(o.quantity) \
+                 from orders o, customer c where o.cidfk = c.id \
+                 group by c.id order by c.id",
+            )
+            .unwrap();
+        // c1: o1 (q=3, p=1·1) + o2-variant (q=2, p=0.5·1) = 4.0
+        //     (customer c1's own prob sums to 1 across its two tuples)
+        assert!((res.rows[0][1].as_f64().unwrap() - 4.0).abs() < 1e-12);
+        // c2: o2-variant (q=5, p=0.5·(0.2+0.8)) = 2.5
+        assert!((res.rows[1][1].as_f64().unwrap() - 2.5).abs() < 1e-12);
+        // AVG = ratio of expectations: c1: 4.0 / E[count]=1.5 ≈ 2.6667
+        assert!((res.rows[0][2].as_f64().unwrap() - 4.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let dirty = figure2();
+        let res = dirty
+            .expected_answers("select count(*), sum(quantity) from orders o")
+            .unwrap();
+        // E[#orders] = 2 (o1 certain, o2 exactly one variant);
+        // E[Σ quantity] = 3 + 0.5·2 + 0.5·5 = 6.5
+        assert!((res.rows[0][0].as_f64().unwrap() - 2.0).abs() < 1e-12);
+        assert!((res.rows[0][1].as_f64().unwrap() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsupported_shapes_rejected() {
+        let dirty = figure2();
+        for sql in [
+            "select id, min(quantity) from orders o group by id",
+            "select id, max(quantity) from orders o group by id",
+            "select id, count(quantity) from orders o group by id",
+            "select id, count(distinct quantity) from orders o group by id",
+            "select id from orders o where quantity > 1",
+            "select id, count(*) from orders o group by id having count(*) > 1",
+        ] {
+            let err = dirty.expected_answers(sql).unwrap_err();
+            assert!(matches!(err, CoreError::NotRewritable(_)), "{sql}: {err}");
+        }
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let dirty = figure2();
+        let err = dirty
+            .expected_answers(
+                "select a.id, count(*) from orders a, orders b group by a.id",
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::SelfJoin(_))));
+    }
+
+    #[test]
+    fn works_beyond_the_tree_class() {
+        // A non-identifier join (outside Definition 7) — clean answers
+        // reject it, expected aggregates do not need the tree property.
+        let dirty = figure2();
+        let res = dirty
+            .expected_answers(
+                "select count(*) from orders o, customer c where o.quantity = c.balance",
+            )
+            .unwrap();
+        assert_eq!(res.rows.len(), 1);
+        // SQL's SUM over zero rows is NULL; an absent group's expected
+        // count reads as NULL-meaning-zero (standard SUM semantics).
+        assert!(res.rows[0][0].is_null() || res.rows[0][0].as_f64() == Some(0.0));
+    }
+}

@@ -1,0 +1,460 @@
+//! The join graph (Definition 6) and the rewritable-query test
+//! (Definition 7).
+//!
+//! Vertices are the FROM relations; there is an arc `Ri → Rj` whenever a
+//! *non-identifier* attribute of `Ri` is equated with the *identifier*
+//! attribute of `Rj` (the typical foreign-key-to-identifier join after
+//! identifier propagation). A query is rewritable iff
+//!
+//! 1. every join involves the identifier of at least one relation,
+//! 2. the join graph is a tree,
+//! 3. no relation appears twice in FROM (no self-joins),
+//! 4. the identifier of the root relation appears in the select clause.
+
+use conquer_engine::binder::{bind_select, BoundSelect};
+use conquer_engine::{BoundExpr, ColumnId};
+use conquer_sql::{BinaryOp, SelectStatement};
+use conquer_storage::Catalog;
+
+use crate::error::{CoreError, NotRewritable};
+use crate::spec::DirtySpec;
+use crate::Result;
+
+/// The join graph of a query over a dirty database.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    /// Binding names of the FROM relations (vertex index = FROM position).
+    pub bindings: Vec<String>,
+    /// Table name per vertex.
+    pub tables: Vec<String>,
+    /// Identifier-column position per vertex.
+    pub id_columns: Vec<usize>,
+    /// Probability-column position per vertex.
+    pub prob_columns: Vec<usize>,
+    /// Arcs `from → to` (deduplicated).
+    pub arcs: Vec<(usize, usize)>,
+    /// Root vertex if the graph is a rooted tree.
+    pub root: Option<usize>,
+}
+
+impl JoinGraph {
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// True for the degenerate empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// True when the directed graph is a tree spanning all vertices.
+    pub fn is_tree(&self) -> bool {
+        self.root.is_some()
+    }
+
+    /// Render as `a -> b, a -> c` for diagnostics.
+    pub fn describe(&self) -> String {
+        if self.arcs.is_empty() {
+            return format!("{} isolated vertex/vertices", self.len());
+        }
+        self.arcs
+            .iter()
+            .map(|(f, t)| format!("{} -> {}", self.bindings[*f], self.bindings[*t]))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Build the join graph and check all four rewritability conditions,
+/// returning the graph (with its root) on success.
+pub fn check_rewritable(
+    catalog: &Catalog,
+    spec: &DirtySpec,
+    stmt: &SelectStatement,
+) -> Result<JoinGraph> {
+    // --- SPJ shape preconditions -----------------------------------------
+    if stmt.distinct {
+        return Err(NotRewritable::NotSpj("DISTINCT is not allowed".into()).into());
+    }
+    if !stmt.group_by.is_empty() || stmt.having.is_some() {
+        return Err(NotRewritable::NotSpj("GROUP BY/HAVING are not allowed".into()).into());
+    }
+    let has_agg = stmt
+        .projection
+        .iter()
+        .any(|i| matches!(i, conquer_sql::SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || stmt.order_by.iter().any(|o| o.expr.contains_aggregate());
+    if has_agg {
+        return Err(NotRewritable::NotSpj("aggregates are not allowed".into()).into());
+    }
+
+    // --- Condition 3: self-joins ------------------------------------------
+    for (i, t) in stmt.from.iter().enumerate() {
+        if stmt.from[..i].iter().any(|p| p.table == t.table) {
+            return Err(NotRewritable::SelfJoin(t.table.clone()).into());
+        }
+    }
+
+    // --- Resolve relations and their dirty metadata ------------------------
+    let bound: BoundSelect = bind_select(catalog, stmt)?;
+    let n = bound.relations.len();
+    let mut id_columns = Vec::with_capacity(n);
+    let mut prob_columns = Vec::with_capacity(n);
+    for rel in &bound.relations {
+        let meta = spec
+            .meta(&rel.table)
+            .ok_or_else(|| NotRewritable::UnknownDirtyRelation(rel.table.clone()))?;
+        let id = rel.schema.index_of(&meta.id_column).ok_or_else(|| {
+            CoreError::InvalidDirty(format!(
+                "table {:?} is missing its identifier column {:?}",
+                rel.table, meta.id_column
+            ))
+        })?;
+        let prob = rel.schema.index_of(&meta.prob_column).ok_or_else(|| {
+            CoreError::InvalidDirty(format!(
+                "table {:?} is missing its probability column {:?}",
+                rel.table, meta.prob_column
+            ))
+        })?;
+        id_columns.push(id);
+        prob_columns.push(prob);
+    }
+
+    // --- Classify WHERE conjuncts; build arcs (Definition 6) --------------
+    let mut arcs: Vec<(usize, usize)> = Vec::new();
+    if let Some(filter) = &bound.filter {
+        for conjunct in conjuncts(filter) {
+            let rels = conjunct.relations();
+            if rels.len() <= 1 {
+                continue; // per-relation selection: unrestricted
+            }
+            if rels.len() > 2 {
+                return Err(NotRewritable::NonEquiJoin(format!(
+                    "a predicate spans {} relations",
+                    rels.len()
+                ))
+                .into());
+            }
+            // Exactly two relations: must be column = column.
+            let BoundExpr::Binary { left, op: BinaryOp::Eq, right } = conjunct else {
+                return Err(NotRewritable::NonEquiJoin(describe_conjunct(conjunct, &bound)).into());
+            };
+            let (BoundExpr::Column(a), BoundExpr::Column(b)) = (&**left, &**right) else {
+                return Err(NotRewritable::NonEquiJoin(describe_conjunct(conjunct, &bound)).into());
+            };
+            let a_is_id = id_columns[a.rel] == a.col;
+            let b_is_id = id_columns[b.rel] == b.col;
+            match (a_is_id, b_is_id) {
+                (false, false) => {
+                    return Err(NotRewritable::JoinWithoutIdentifier(format!(
+                        "{}.{} = {}.{}",
+                        bound.relations[a.rel].binding,
+                        column_name(&bound, *a),
+                        bound.relations[b.rel].binding,
+                        column_name(&bound, *b),
+                    ))
+                    .into())
+                }
+                (false, true) => push_arc(&mut arcs, a.rel, b.rel),
+                (true, false) => push_arc(&mut arcs, b.rel, a.rel),
+                // identifier = identifier joins are allowed (condition 1)
+                // but contribute no arc.
+                (true, true) => {}
+            }
+        }
+    }
+
+    let bindings: Vec<String> = bound.relations.iter().map(|r| r.binding.clone()).collect();
+    let tables: Vec<String> = bound.relations.iter().map(|r| r.table.clone()).collect();
+
+    // --- Condition 2: the graph must be a rooted tree ----------------------
+    let root = tree_root(n, &arcs).map_err(|msg| {
+        CoreError::from(NotRewritable::GraphNotTree(format!(
+            "{msg} (arcs: {})",
+            JoinGraph {
+                bindings: bindings.clone(),
+                tables: tables.clone(),
+                id_columns: id_columns.clone(),
+                prob_columns: prob_columns.clone(),
+                arcs: arcs.clone(),
+                root: None,
+            }
+            .describe()
+        )))
+    })?;
+
+    // --- Condition 4: root identifier in the select clause -----------------
+    let root_id = ColumnId { rel: root, col: id_columns[root] };
+    let selected = bound.output.iter().any(|o| o.expr == BoundExpr::Column(root_id));
+    if !selected {
+        return Err(NotRewritable::RootIdentifierNotSelected {
+            root: bindings[root].clone(),
+            id_column: bound.relations[root]
+                .schema
+                .column_at(id_columns[root])
+                .expect("validated")
+                .name()
+                .to_string(),
+        }
+        .into());
+    }
+
+    Ok(JoinGraph { bindings, tables, id_columns, prob_columns, arcs, root: Some(root) })
+}
+
+fn push_arc(arcs: &mut Vec<(usize, usize)>, from: usize, to: usize) {
+    if !arcs.contains(&(from, to)) {
+        arcs.push((from, to));
+    }
+}
+
+fn column_name(bound: &BoundSelect, id: ColumnId) -> String {
+    bound.relations[id.rel]
+        .schema
+        .column_at(id.col)
+        .map(|c| c.name().to_string())
+        .unwrap_or_else(|| format!("#{}", id.col))
+}
+
+fn describe_conjunct(e: &BoundExpr, bound: &BoundSelect) -> String {
+    let rels: Vec<&str> =
+        e.relations().iter().map(|r| bound.relations[*r].binding.as_str()).collect();
+    format!("a non-equality predicate connects relations {}", rels.join(", "))
+}
+
+fn conjuncts(e: &BoundExpr) -> Vec<&BoundExpr> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a BoundExpr, out: &mut Vec<&'a BoundExpr>) {
+        if let BoundExpr::Binary { left, op: BinaryOp::And, right } = e {
+            walk(left, out);
+            walk(right, out);
+        } else {
+            out.push(e);
+        }
+    }
+    walk(e, &mut out);
+    out
+}
+
+/// If the directed graph on `n` vertices is a tree spanning all vertices,
+/// return its root; otherwise explain why not.
+fn tree_root(n: usize, arcs: &[(usize, usize)]) -> std::result::Result<usize, String> {
+    let mut indegree = vec![0usize; n];
+    for (_, t) in arcs {
+        indegree[*t] += 1;
+    }
+    let roots: Vec<usize> = (0..n).filter(|v| indegree[*v] == 0).collect();
+    if roots.len() != 1 {
+        return Err(format!(
+            "a tree needs exactly one root (vertex with in-degree 0), found {}",
+            roots.len()
+        ));
+    }
+    if let Some(v) = (0..n).find(|v| indegree[*v] > 1) {
+        return Err(format!("vertex {v} has in-degree {} (> 1)", indegree[v]));
+    }
+    // in-degrees are 0 for the root and 1 elsewhere ⇒ |arcs| = n-1; check
+    // reachability to exclude cycles detached from the root.
+    let root = roots[0];
+    let mut seen = vec![false; n];
+    let mut stack = vec![root];
+    seen[root] = true;
+    while let Some(v) = stack.pop() {
+        for (f, t) in arcs {
+            if *f == v && !seen[*t] {
+                seen[*t] = true;
+                stack.push(*t);
+            }
+        }
+    }
+    if seen.iter().all(|s| *s) {
+        Ok(root)
+    } else {
+        Err("the join graph is not connected".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DirtySpec;
+    use conquer_engine::Database;
+    use conquer_sql::parse_select;
+
+    /// The paper's Figure 2 schema: order(id, orderid, custfk, cidfk,
+    /// quantity, prob) and customer(id, custid, name, balance, prob).
+    fn setup() -> (Catalog, DirtySpec) {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE customer (id TEXT, custid TEXT, name TEXT, balance INTEGER, prob DOUBLE);
+             CREATE TABLE orders (id TEXT, orderid TEXT, custfk TEXT, cidfk TEXT, quantity INTEGER, prob DOUBLE);
+             CREATE TABLE loyalty (id TEXT, custfk TEXT, cidfk TEXT, prob DOUBLE);",
+        )
+        .unwrap();
+        let spec = DirtySpec::uniform(&["customer", "orders", "loyalty"]);
+        (db.catalog().clone(), spec)
+    }
+
+    fn check(sql: &str) -> Result<JoinGraph> {
+        let (cat, spec) = setup();
+        check_rewritable(&cat, &spec, &parse_select(sql).unwrap())
+    }
+
+    #[test]
+    fn single_relation_query_is_rewritable() {
+        let g = check("select id from customer where balance > 10000").unwrap();
+        assert_eq!(g.root, Some(0));
+        assert!(g.arcs.is_empty());
+    }
+
+    #[test]
+    fn fk_join_is_rewritable_with_order_as_root() {
+        let g = check(
+            "select o.id, c.id from orders o, customer c \
+             where o.cidfk = c.id and c.balance > 10000",
+        )
+        .unwrap();
+        assert_eq!(g.root, Some(0));
+        assert_eq!(g.arcs, vec![(0, 1)]);
+        assert_eq!(g.describe(), "o -> c");
+    }
+
+    #[test]
+    fn example7_root_id_not_selected() {
+        // The paper's Example 7: id of `orders` (the root) is not projected.
+        let err = check(
+            "select c.id from orders o, customer c \
+             where o.quantity < 5 and o.cidfk = c.id and c.balance > 25000",
+        )
+        .unwrap_err();
+        match err {
+            CoreError::NotRewritable(NotRewritable::RootIdentifierNotSelected {
+                root,
+                id_column,
+            }) => {
+                assert_eq!(root, "o");
+                assert_eq!(id_column, "id");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn non_identifier_join_rejected() {
+        let err = check(
+            "select o.id, c.id from orders o, customer c where o.custfk = c.custid",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::NotRewritable(NotRewritable::JoinWithoutIdentifier(_))
+        ));
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let err = check("select a.id from customer a, customer b where a.id = b.id").unwrap_err();
+        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::SelfJoin(_))));
+    }
+
+    #[test]
+    fn non_equi_join_rejected() {
+        let err =
+            check("select o.id, c.id from orders o, customer c where o.quantity < c.balance")
+                .unwrap_err();
+        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::NonEquiJoin(_))));
+    }
+
+    #[test]
+    fn disjunctive_join_rejected_but_local_disjunction_ok() {
+        let err = check(
+            "select o.id, c.id from orders o, customer c \
+             where o.cidfk = c.id or o.custfk = c.id",
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::NonEquiJoin(_))));
+        // Disjunction local to one relation is a selection and is fine.
+        check(
+            "select o.id, c.id from orders o, customer c \
+             where o.cidfk = c.id and (c.balance > 10 or c.name = 'John')",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let err = check("select o.id, c.id from orders o, customer c").unwrap_err();
+        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::GraphNotTree(_))));
+    }
+
+    #[test]
+    fn two_children_tree_ok() {
+        // orders → customer and loyalty → customer is NOT a tree (two roots);
+        // but orders → customer plus orders → loyalty is (root = orders).
+        let err = check(
+            "select o.id, c.id, l.id from orders o, customer c, loyalty l \
+             where o.cidfk = c.id and l.cidfk = c.id",
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::GraphNotTree(_))));
+
+        let g = check(
+            "select l.id, o.id, c.id from loyalty l, orders o, customer c \
+             where l.custfk = o.id and l.cidfk = c.id",
+        )
+        .unwrap();
+        assert_eq!(g.root, Some(0));
+        assert_eq!(g.arcs.len(), 2);
+    }
+
+    #[test]
+    fn id_to_id_join_contributes_no_arc() {
+        // Allowed by condition 1 but leaves the graph disconnected → not a
+        // tree for two relations.
+        let err =
+            check("select o.id, c.id from orders o, customer c where o.id = c.id").unwrap_err();
+        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::GraphNotTree(_))));
+    }
+
+    #[test]
+    fn aggregate_and_distinct_shapes_rejected() {
+        for sql in [
+            "select distinct id from customer",
+            "select id, count(*) from customer group by id",
+            "select sum(balance) from customer",
+        ] {
+            let err = check(sql).unwrap_err();
+            assert!(
+                matches!(err, CoreError::NotRewritable(NotRewritable::NotSpj(_))),
+                "{sql}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_dirty_relation_reported() {
+        let (cat, _) = setup();
+        let spec = DirtySpec::uniform(&["customer"]); // orders missing
+        let err = check_rewritable(
+            &cat,
+            &spec,
+            &parse_select("select o.id from orders o").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::NotRewritable(NotRewritable::UnknownDirtyRelation(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_arc_deduplicated() {
+        let g = check(
+            "select o.id, c.id from orders o, customer c \
+             where o.cidfk = c.id and c.id = o.cidfk and c.balance > 0",
+        )
+        .unwrap();
+        assert_eq!(g.arcs.len(), 1);
+    }
+}

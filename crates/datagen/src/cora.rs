@@ -1,0 +1,330 @@
+//! Synthetic Cora-style citation data (Section 4.2, Table 4).
+//!
+//! The Cora dataset — computer-science citations integrated from several
+//! sources, clustered by publication — is not redistributable here, so this
+//! module generates the same *shape*: clusters of citation records whose
+//! members differ in formatting (author initials, venue abbreviations,
+//! volume/pages styles, year drift), plus the two anomaly kinds Table 4
+//! highlights: a record of a *different* publication mis-placed in the
+//! cluster, and a record of the right publication "stored in a different
+//! way than used in the rest of the tuples".
+
+use conquer_storage::{DataType, Schema, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// A ground-truth publication.
+#[derive(Debug, Clone)]
+pub struct Publication {
+    /// Canonical author spelling.
+    pub author: &'static str,
+    /// Canonical title.
+    pub title: &'static str,
+    /// Canonical venue.
+    pub venue: &'static str,
+    /// Canonical volume.
+    pub volume: &'static str,
+    /// Publication year.
+    pub year: i64,
+    /// Canonical page range.
+    pub pages: &'static str,
+}
+
+/// A small library of ground-truth publications (the first is the paper's
+/// Table-4 example).
+pub const PUBLICATIONS: [Publication; 6] = [
+    Publication {
+        author: "robert e. schapire",
+        title: "the strength of weak learnability",
+        venue: "machine learning",
+        volume: "5(2)",
+        year: 1990,
+        pages: "197-227",
+    },
+    Publication {
+        author: "leslie g. valiant",
+        title: "a theory of the learnable",
+        venue: "communications of the acm",
+        volume: "27(11)",
+        year: 1984,
+        pages: "1134-1142",
+    },
+    Publication {
+        author: "yoav freund",
+        title: "boosting a weak learning algorithm by majority",
+        venue: "information and computation",
+        volume: "121(2)",
+        year: 1995,
+        pages: "256-285",
+    },
+    Publication {
+        author: "john ross quinlan",
+        title: "induction of decision trees",
+        venue: "machine learning",
+        volume: "1(1)",
+        year: 1986,
+        pages: "81-106",
+    },
+    Publication {
+        author: "david e. rumelhart",
+        title: "learning representations by back-propagating errors",
+        venue: "nature",
+        volume: "323",
+        year: 1986,
+        pages: "533-536",
+    },
+    Publication {
+        author: "judea pearl",
+        title: "probabilistic reasoning in intelligent systems",
+        venue: "morgan kaufmann",
+        volume: "",
+        year: 1988,
+        pages: "",
+    },
+];
+
+/// The citation schema: cluster identifier + six categorical attributes +
+/// probability.
+pub fn citation_schema() -> Schema {
+    Schema::from_pairs([
+        ("id", DataType::Text),
+        ("author", DataType::Text),
+        ("title", DataType::Text),
+        ("venue", DataType::Text),
+        ("volume", DataType::Text),
+        ("year", DataType::Text),
+        ("pages", DataType::Text),
+        ("prob", DataType::Float),
+    ])
+    .expect("static schema")
+}
+
+fn abbreviate_author(author: &str) -> Vec<String> {
+    // "robert e. schapire" → ["robert e. schapire", "r. e. schapire",
+    // "r. schapire", "schapire, r.e.,"]
+    let words: Vec<&str> = author.split_whitespace().collect();
+    let last = *words.last().unwrap_or(&"");
+    let initials: Vec<String> = words[..words.len().saturating_sub(1)]
+        .iter()
+        .map(|w| format!("{}.", w.chars().next().unwrap_or('x')))
+        .collect();
+    vec![
+        author.to_string(),
+        format!("{} {last}", initials.join(" ")),
+        format!("{} {last}", initials.first().cloned().unwrap_or_default()),
+        format!("{last}, {}", initials.join("").to_lowercase() + ","),
+    ]
+}
+
+fn venue_variants(venue: &str) -> Vec<String> {
+    let abbr: String = venue
+        .split_whitespace()
+        .map(|w| {
+            let mut s: String = w.chars().take(4).collect();
+            if w.len() > 4 {
+                s.push('.');
+            }
+            s + " "
+        })
+        .collect::<String>()
+        .trim_end()
+        .to_string();
+    vec![venue.to_string(), abbr, format!("in {venue}")]
+}
+
+fn volume_variants(volume: &str) -> Vec<String> {
+    if volume.is_empty() {
+        return vec!["".into(), "NULL".into()];
+    }
+    let bare: String = volume.chars().take_while(|c| c.is_ascii_digit()).collect();
+    vec![volume.to_string(), bare.clone(), format!("vol. {bare}")]
+}
+
+fn pages_variants(pages: &str) -> Vec<String> {
+    if pages.is_empty() {
+        return vec!["".into()];
+    }
+    vec![pages.to_string(), format!("pp. {pages}"), pages.replace('-', "--")]
+}
+
+fn year_variants(year: i64) -> Vec<String> {
+    vec![year.to_string(), format!("({year})"), (year - 1).to_string()]
+}
+
+/// Emit one citation record for `publication`. `style = 0` is the canonical
+/// rendering; higher styles pick increasingly divergent variants.
+fn render<R: Rng>(rng: &mut R, p: &Publication, style: usize) -> Vec<String> {
+    let pickv = |rng: &mut R, variants: &[String], style: usize| -> String {
+        match style {
+            0 => variants[0].clone(),
+            // near-canonical: only the two most common renderings
+            1 => variants[rng.random_range(0..variants.len().min(2))].clone(),
+            // divergent: anything goes
+            _ => variants[rng.random_range(0..variants.len())].clone(),
+        }
+    };
+    vec![
+        pickv(rng, &abbreviate_author(p.author), style),
+        if style >= 2 && rng.random_bool(0.3) {
+            format!("on {}", p.title)
+        } else {
+            p.title.to_string()
+        },
+        pickv(rng, &venue_variants(p.venue), style),
+        pickv(rng, &volume_variants(p.volume), style),
+        pickv(rng, &year_variants(p.year), style),
+        pickv(rng, &pages_variants(p.pages), style),
+    ]
+}
+
+/// Configuration for the multi-cluster citation table.
+#[derive(Debug, Clone, Copy)]
+pub struct CoraConfig {
+    /// Number of publications (clusters), cycled from [`PUBLICATIONS`].
+    pub clusters: usize,
+    /// Records per cluster.
+    pub cluster_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CoraConfig {
+    fn default() -> Self {
+        CoraConfig { clusters: 6, cluster_size: 8, seed: 99 }
+    }
+}
+
+/// Generate a clustered citation table (probabilities left at 1.0 /
+/// cluster-uniform; run the Figure-5 assignment to get real ones).
+pub fn cora_table(config: CoraConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut t = Table::new("citations", citation_schema());
+    for c in 0..config.clusters {
+        let p = &PUBLICATIONS[c % PUBLICATIONS.len()];
+        let id = format!("paper{c}");
+        for i in 0..config.cluster_size {
+            // Most records are near-canonical; a tail uses odd styles.
+            let style = if i == 0 {
+                0
+            } else if rng.random_bool(0.7) {
+                1
+            } else {
+                2
+            };
+            let mut row: Vec<conquer_storage::Value> = vec![id.clone().into()];
+            row.extend(render(&mut rng, p, style).into_iter().map(Into::into));
+            row.push(1.0.into());
+            t.insert(row).expect("schema matches");
+        }
+    }
+    t
+}
+
+/// The paper's Table-4 scenario: a 56-tuple cluster for the Schapire
+/// publication, with (a) many near-canonical records, (b) one record of a
+/// *different* publication that "should have been placed in a different
+/// cluster", and (c) one record of the right publication in a completely
+/// different format. Returns the table and the row indices of the two
+/// anomalies `(misclustered, odd_format)`.
+pub fn schapire_cluster(seed: u64) -> (Table, usize, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::new("citations", citation_schema());
+    let p = &PUBLICATIONS[0];
+    let total = 56usize;
+    let misclustered_at = 40;
+    let odd_at = 55;
+    for i in 0..total {
+        let row: Vec<String> = if i == misclustered_at {
+            // A different (earlier, conference) publication by the same
+            // author — exactly the paper's penultimate Table-4 tuple.
+            vec![
+                "r. schapire".into(),
+                "on the strength of weak learnability".into(),
+                "proc of the 30th i.e.e.e. symposium on the foundations of computer science"
+                    .into(),
+                "NULL".into(),
+                "1989".into(),
+                "pp. 28-33".into(),
+            ]
+        } else if i == odd_at {
+            // The right publication, formatted unlike every other record.
+            vec![
+                "schapire, r.e.,".into(),
+                "the strength of weak learnability".into(),
+                "machine learning".into(),
+                "5".into(),
+                "2 (1990)".into(),
+                "pp. 197-227".into(),
+            ]
+        } else {
+            // Near-canonical: mostly style 0/1.
+            let style = if rng.random_bool(0.75) { 0 } else { 1 };
+            render(&mut rng, p, style)
+        };
+        let mut values: Vec<conquer_storage::Value> = vec!["schapire90".into()];
+        values.extend(row.into_iter().map(Into::into));
+        values.push(1.0.into());
+        t.insert(values).expect("schema matches");
+    }
+    (t, misclustered_at, odd_at)
+}
+
+/// Attribute names used for probability assignment over citation tables.
+pub const CITATION_ATTRIBUTES: [&str; 6] =
+    ["author", "title", "venue", "volume", "year", "pages"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conquer_prob::{assign_probabilities, CategoricalMatrix, Clustering, InfoLossDistance};
+
+    #[test]
+    fn cora_table_shape() {
+        let t = cora_table(CoraConfig::default());
+        assert_eq!(t.len(), 48);
+        let c = Clustering::from_id_column(&t, "id").unwrap();
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn table4_ranking_reproduced() {
+        // The qualitative claim of Section 4.2: under the Figure-5
+        // assignment, near-canonical tuples rank highest while the
+        // mis-clustered and oddly formatted tuples rank lowest.
+        let (t, misclustered, odd) = schapire_cluster(1);
+        assert_eq!(t.len(), 56);
+        let matrix = CategoricalMatrix::from_table(&t, &CITATION_ATTRIBUTES).unwrap();
+        let clustering = Clustering::from_id_column(&t, "id").unwrap();
+        let probs = assign_probabilities(&matrix, &clustering, &InfoLossDistance);
+
+        let mut ranked: Vec<usize> = (0..t.len()).collect();
+        ranked.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).unwrap());
+        let bottom2: Vec<usize> = ranked[ranked.len() - 2..].to_vec();
+        assert!(
+            bottom2.contains(&misclustered),
+            "mis-clustered tuple must rank in the bottom 2, got {bottom2:?}"
+        );
+        assert!(
+            bottom2.contains(&odd),
+            "odd-format tuple must rank in the bottom 2, got {bottom2:?}"
+        );
+        // The top tuple shares the most frequent value of every attribute.
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "cluster probabilities sum to 1");
+    }
+
+    #[test]
+    fn author_abbreviations() {
+        let v = abbreviate_author("robert e. schapire");
+        assert!(v.contains(&"robert e. schapire".to_string()));
+        assert!(v.iter().any(|s| s.starts_with("r.")));
+        assert!(v.iter().any(|s| s.starts_with("schapire,")));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = cora_table(CoraConfig::default());
+        let b = cora_table(CoraConfig::default());
+        assert_eq!(a.rows(), b.rows());
+    }
+}

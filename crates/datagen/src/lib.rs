@@ -1,0 +1,38 @@
+//! # conquer-datagen
+//!
+//! Workload generation for the experiments of Section 5:
+//!
+//! * [`tpch`] — a TPC-H-lite schema and clean-data generator with the
+//!   standard row ratios (customer : orders : lineitem = 1 : 10 : 40 per
+//!   scale unit), scaled down so the whole evaluation runs in-memory (the
+//!   substitution is documented in DESIGN.md).
+//! * [`dirty`] — UIS-generator-style dirtying (Hernández's generator, which
+//!   the paper uses): cluster cardinalities drawn uniformly from
+//!   `[1, 2·if − 1]` so the mean cluster size equals the *inconsistency
+//!   factor* `if`; duplicates are typo/noise perturbations of a master
+//!   tuple; foreign keys initially reference per-duplicate source keys and
+//!   are fixed up by identifier propagation, exactly the offline pipeline
+//!   Figure 7 measures.
+//! * [`queries`] — the thirteen TPC-H queries of Section 5.3 (1, 2, 3, 4,
+//!   6, 9, 10, 11, 12, 14, 17, 18, 20) with aggregates removed and
+//!   subqueries flattened; every template is in the rewritable class.
+//! * [`cora`] — synthetic Cora-style citation clusters for the qualitative
+//!   evaluation of Section 4.2 (Table 4).
+//! * [`perturb`] — the typo/noise primitives shared by the generators.
+
+#![warn(missing_docs)]
+
+pub mod cora;
+pub mod dirty;
+pub mod perturb;
+pub mod queries;
+pub mod stats;
+pub mod tpch;
+
+pub use dirty::{dirty_database, DirtyTpch, ProbMode, UisConfig};
+pub use queries::{all_queries, query_sql, TpchQuery};
+pub use stats::{database_stats, TableStats};
+pub use tpch::{generate_clean, TpchConfig};
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, conquer_core::CoreError>;

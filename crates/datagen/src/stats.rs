@@ -1,0 +1,145 @@
+//! Dirty-database statistics: how dirty is the data, exactly?
+//!
+//! The harnesses print these alongside every measurement so readers can
+//! relate runtimes to the duplication level (the paper reports `if` and
+//! database size for the same reason); downstream users can call them on
+//! their own dirty databases to gauge cleaning effort before querying.
+
+use std::collections::BTreeMap;
+
+use conquer_core::{naive::clusters_of, DirtyDatabase};
+use conquer_storage::Table;
+
+use crate::Result;
+
+/// Statistics of one dirty relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Table name.
+    pub table: String,
+    /// Physical rows.
+    pub rows: usize,
+    /// Clusters (real-world entities).
+    pub entities: usize,
+    /// Mean cluster cardinality (`rows / entities`).
+    pub mean_cluster_size: f64,
+    /// Largest cluster cardinality.
+    pub max_cluster_size: usize,
+    /// Fraction of rows in non-singleton clusters (the "dirty fraction").
+    pub duplicated_fraction: f64,
+    /// Histogram: cluster cardinality → number of clusters.
+    pub size_histogram: BTreeMap<usize, usize>,
+    /// log2 of the number of candidate databases this relation contributes
+    /// (the sum of log2 of cluster sizes) — the paper's exponential blow-up
+    /// made visible.
+    pub log2_candidates: f64,
+}
+
+impl TableStats {
+    /// Compute statistics for one relation of a dirty database.
+    pub fn of(db: &DirtyDatabase, table: &str) -> Result<TableStats> {
+        let t: &Table = db.db().catalog().table(table)?;
+        let clusters = clusters_of(t, db.spec())?;
+        let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut max = 0usize;
+        let mut duplicated_rows = 0usize;
+        let mut log2 = 0.0f64;
+        for c in &clusters {
+            let k = c.rows.len();
+            *histogram.entry(k).or_insert(0) += 1;
+            max = max.max(k);
+            if k > 1 {
+                duplicated_rows += k;
+            }
+            log2 += (k as f64).log2();
+        }
+        let rows = t.len();
+        let entities = clusters.len().max(1);
+        Ok(TableStats {
+            table: table.to_string(),
+            rows,
+            entities: clusters.len(),
+            mean_cluster_size: rows as f64 / entities as f64,
+            max_cluster_size: max,
+            duplicated_fraction: if rows == 0 {
+                0.0
+            } else {
+                duplicated_rows as f64 / rows as f64
+            },
+            size_histogram: histogram,
+            log2_candidates: log2,
+        })
+    }
+}
+
+/// Statistics for every registered relation of a dirty database.
+pub fn database_stats(db: &DirtyDatabase) -> Result<Vec<TableStats>> {
+    let tables: Vec<String> = db.spec().tables().map(|(n, _)| n.to_string()).collect();
+    tables.iter().map(|t| TableStats::of(db, t)).collect()
+}
+
+/// One-line rendering used by the harness binaries.
+pub fn summarize(stats: &[TableStats]) -> String {
+    let rows: usize = stats.iter().map(|s| s.rows).sum();
+    let entities: usize = stats.iter().map(|s| s.entities).sum();
+    let log2: f64 = stats.iter().map(|s| s.log2_candidates).sum();
+    format!(
+        "{rows} rows for {entities} entities (x{:.2} duplication); \
+         2^{:.0} candidate databases",
+        rows as f64 / entities.max(1) as f64,
+        log2
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dirty::{dirty_database, ProbMode, UisConfig};
+    use crate::perturb::PerturbOptions;
+    use crate::tpch::TpchConfig;
+
+    fn db(if_factor: u32) -> DirtyDatabase {
+        dirty_database(UisConfig {
+            tpch: TpchConfig { sf: 0.01, seed: 5 },
+            if_factor,
+            prob_mode: ProbMode::Uniform,
+            perturb: PerturbOptions::default(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_database_statistics() {
+        let db = db(1);
+        let s = TableStats::of(&db, "customer").unwrap();
+        assert_eq!(s.rows, s.entities);
+        assert_eq!(s.mean_cluster_size, 1.0);
+        assert_eq!(s.max_cluster_size, 1);
+        assert_eq!(s.duplicated_fraction, 0.0);
+        assert_eq!(s.log2_candidates, 0.0);
+        assert_eq!(s.size_histogram.len(), 1);
+    }
+
+    #[test]
+    fn dirty_database_statistics() {
+        let db = db(3);
+        let s = TableStats::of(&db, "customer").unwrap();
+        assert!(s.rows > s.entities);
+        assert!((s.mean_cluster_size - 3.0).abs() < 0.8, "{}", s.mean_cluster_size);
+        assert!(s.max_cluster_size <= 5); // 2·3 − 1
+        assert!(s.duplicated_fraction > 0.4);
+        assert!(s.log2_candidates > 0.0);
+        // Histogram counts account for every cluster.
+        let total: usize = s.size_histogram.values().sum();
+        assert_eq!(total, s.entities);
+    }
+
+    #[test]
+    fn summary_line_mentions_candidates() {
+        let db = db(2);
+        let stats = database_stats(&db).unwrap();
+        assert_eq!(stats.len(), 8);
+        let line = summarize(&stats);
+        assert!(line.contains("candidate databases"), "{line}");
+    }
+}

@@ -1,0 +1,733 @@
+//! Name resolution and semantic analysis.
+//!
+//! The binder turns a parsed [`SelectStatement`] into a [`BoundSelect`]:
+//! tables are resolved against the catalog, column references become
+//! [`ColumnId`]s, wildcards are expanded, aggregate queries are analyzed
+//! into group keys + aggregate calls, and `ORDER BY` items are resolved
+//! against select aliases where applicable.
+//!
+//! Two expression "spaces" exist after binding:
+//!
+//! * **relation space** — expressions over the FROM relations (scan filters,
+//!   join predicates, group keys, aggregate arguments);
+//! * **slot space** — for aggregate queries, expressions over the synthetic
+//!   row `[group keys…, aggregate results…]` produced by the aggregation
+//!   operator (projection, HAVING, ORDER BY). Slot-space expressions use
+//!   relation index 0 by convention.
+
+use conquer_sql::{
+    AggFunc, ColumnRef, Expr, Literal, OrderByItem, SelectItem, SelectStatement, UnaryOp,
+};
+use conquer_storage::{Catalog, Schema, Value};
+
+use crate::error::EngineError;
+use crate::expr::{BoundExpr, ColumnId};
+use crate::Result;
+
+/// A FROM-clause relation after resolution.
+#[derive(Debug, Clone)]
+pub struct BoundRelation {
+    /// Table name in the catalog.
+    pub table: String,
+    /// The name expressions refer to it by (alias or table name).
+    pub binding: String,
+    /// A copy of the table's schema at bind time.
+    pub schema: Schema,
+}
+
+/// One aggregate call collected from an aggregate query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// Which aggregate function.
+    pub func: AggFunc,
+    /// Argument in relation space (`None` = `COUNT(*)`).
+    pub arg: Option<BoundExpr>,
+    /// `DISTINCT` inside the call?
+    pub distinct: bool,
+}
+
+/// Group-by analysis of an aggregate query.
+#[derive(Debug, Clone)]
+pub struct GroupSpec {
+    /// Grouping keys in relation space.
+    pub keys: Vec<BoundExpr>,
+    /// Aggregate calls in relation space.
+    pub aggs: Vec<AggCall>,
+    /// HAVING predicate in slot space.
+    pub having: Option<BoundExpr>,
+}
+
+/// One output column.
+#[derive(Debug, Clone)]
+pub struct OutputItem {
+    /// Output column name.
+    pub name: String,
+    /// Expression: relation space for plain queries, slot space for
+    /// aggregate queries.
+    pub expr: BoundExpr,
+}
+
+/// A resolved ORDER BY key.
+#[derive(Debug, Clone)]
+pub enum OrderKey {
+    /// Sort by an output column (alias or positional reference).
+    Output(usize),
+    /// Sort by an expression (same space as the query's output items).
+    Expr(BoundExpr),
+}
+
+/// A resolved ORDER BY item.
+#[derive(Debug, Clone)]
+pub struct BoundOrderBy {
+    /// What to sort by.
+    pub key: OrderKey,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// A fully resolved SELECT, ready for planning.
+#[derive(Debug, Clone)]
+pub struct BoundSelect {
+    /// FROM relations in query order (relation index = position here).
+    pub relations: Vec<BoundRelation>,
+    /// WHERE predicate in relation space.
+    pub filter: Option<BoundExpr>,
+    /// Aggregate analysis (`None` for plain SPJ queries).
+    pub group: Option<GroupSpec>,
+    /// Output columns.
+    pub output: Vec<OutputItem>,
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// ORDER BY items.
+    pub order_by: Vec<BoundOrderBy>,
+    /// LIMIT.
+    pub limit: Option<u64>,
+}
+
+/// Bind an aggregate-free expression against a single table (used by
+/// `DELETE`/`UPDATE`, whose scope is one relation). The relation gets
+/// index 0.
+pub fn bind_table_expr(catalog: &Catalog, table: &str, expr: &Expr) -> Result<BoundExpr> {
+    if expr.contains_aggregate() {
+        return Err(EngineError::bind("aggregates are not allowed here"));
+    }
+    let t = catalog.table(table)?;
+    let binder = Binder {
+        relations: vec![BoundRelation {
+            table: t.name().to_string(),
+            binding: t.name().to_string(),
+            schema: t.schema().clone(),
+        }],
+    };
+    binder.bind_scalar(expr)
+}
+
+/// Bind `stmt` against `catalog`.
+pub fn bind_select(catalog: &Catalog, stmt: &SelectStatement) -> Result<BoundSelect> {
+    let binder = Binder::new(catalog, stmt)?;
+    binder.bind(stmt)
+}
+
+struct Binder {
+    relations: Vec<BoundRelation>,
+}
+
+impl Binder {
+    fn new(catalog: &Catalog, stmt: &SelectStatement) -> Result<Self> {
+        if stmt.from.is_empty() {
+            return Err(EngineError::bind("queries require a FROM clause"));
+        }
+        let mut relations = Vec::with_capacity(stmt.from.len());
+        for tref in &stmt.from {
+            let table = catalog.table(&tref.table)?;
+            let binding = tref.binding_name().to_string();
+            if relations.iter().any(|r: &BoundRelation| r.binding == binding) {
+                return Err(EngineError::bind(format!(
+                    "duplicate relation name {binding:?} in FROM \
+                     (alias one of the occurrences)"
+                )));
+            }
+            relations.push(BoundRelation {
+                table: tref.table.clone(),
+                binding,
+                schema: table.schema().clone(),
+            });
+        }
+        Ok(Binder { relations })
+    }
+
+    fn bind(self, stmt: &SelectStatement) -> Result<BoundSelect> {
+        // WHERE: relation space, aggregates forbidden.
+        let filter = match &stmt.selection {
+            Some(e) => {
+                if e.contains_aggregate() {
+                    return Err(EngineError::bind("aggregates are not allowed in WHERE"));
+                }
+                Some(self.bind_scalar(e)?)
+            }
+            None => None,
+        };
+
+        let is_aggregate = !stmt.group_by.is_empty()
+            || stmt.having.is_some()
+            || stmt.projection.iter().any(|item| match item {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                _ => false,
+            })
+            || stmt.order_by.iter().any(|o| o.expr.contains_aggregate());
+
+        if is_aggregate {
+            self.bind_aggregate_query(stmt, filter)
+        } else {
+            self.bind_plain_query(stmt, filter)
+        }
+    }
+
+    // ---------- plain (non-aggregate) queries ----------
+
+    fn bind_plain_query(
+        self,
+        stmt: &SelectStatement,
+        filter: Option<BoundExpr>,
+    ) -> Result<BoundSelect> {
+        let output = self.expand_projection(&stmt.projection)?;
+        let order_by = self.bind_order_by(&stmt.order_by, &output, |e| self.bind_scalar(e))?;
+        Ok(BoundSelect {
+            relations: self.relations,
+            filter,
+            group: None,
+            output,
+            distinct: stmt.distinct,
+            order_by,
+            limit: stmt.limit,
+        })
+    }
+
+    /// Expand wildcards and bind each projection item in relation space.
+    fn expand_projection(&self, projection: &[SelectItem]) -> Result<Vec<OutputItem>> {
+        let mut out = Vec::new();
+        for item in projection {
+            match item {
+                SelectItem::Wildcard => {
+                    for (rel, r) in self.relations.iter().enumerate() {
+                        for (col, c) in r.schema.columns().iter().enumerate() {
+                            out.push(OutputItem {
+                                name: c.name().to_string(),
+                                expr: BoundExpr::Column(ColumnId { rel, col }),
+                            });
+                        }
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let rel = self.relation_by_binding(q)?;
+                    for (col, c) in self.relations[rel].schema.columns().iter().enumerate() {
+                        out.push(OutputItem {
+                            name: c.name().to_string(),
+                            expr: BoundExpr::Column(ColumnId { rel, col }),
+                        });
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let bound = self.bind_scalar(expr)?;
+                    out.push(OutputItem { name: output_name(expr, alias.as_deref()), expr: bound });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ---------- aggregate queries ----------
+
+    fn bind_aggregate_query(
+        self,
+        stmt: &SelectStatement,
+        filter: Option<BoundExpr>,
+    ) -> Result<BoundSelect> {
+        for item in &stmt.projection {
+            if !matches!(item, SelectItem::Expr { .. }) {
+                return Err(EngineError::bind(
+                    "wildcard projections are not allowed in aggregate queries",
+                ));
+            }
+        }
+        let keys: Vec<BoundExpr> = stmt
+            .group_by
+            .iter()
+            .map(|e| {
+                if e.contains_aggregate() {
+                    Err(EngineError::bind("aggregates are not allowed in GROUP BY"))
+                } else {
+                    self.bind_scalar(e)
+                }
+            })
+            .collect::<Result<_>>()?;
+
+        let mut slots = SlotBinder { binder: &self, keys, aggs: Vec::new() };
+
+        let mut output = Vec::new();
+        for item in &stmt.projection {
+            let SelectItem::Expr { expr, alias } = item else { unreachable!() };
+            let bound = slots.rewrite(expr)?;
+            output.push(OutputItem { name: output_name(expr, alias.as_deref()), expr: bound });
+        }
+
+        let having = stmt.having.as_ref().map(|e| slots.rewrite(e)).transpose()?;
+
+        let order_by =
+            self.bind_order_by(&stmt.order_by, &output, |e| slots_rewrite_shim(&mut slots, e))?;
+
+        let SlotBinder { keys, aggs, .. } = slots;
+        Ok(BoundSelect {
+            relations: self.relations,
+            filter,
+            group: Some(GroupSpec { keys, aggs, having }),
+            output,
+            distinct: stmt.distinct,
+            order_by,
+            limit: stmt.limit,
+        })
+    }
+
+    // ---------- shared helpers ----------
+
+    fn bind_order_by<F>(
+        &self,
+        items: &[OrderByItem],
+        output: &[OutputItem],
+        mut bind_expr: F,
+    ) -> Result<Vec<BoundOrderBy>>
+    where
+        F: FnMut(&Expr) -> Result<BoundExpr>,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            // Positional reference: ORDER BY 2.
+            if let Expr::Literal(Literal::Int(n)) = &item.expr {
+                let idx = *n;
+                if idx < 1 || idx as usize > output.len() {
+                    return Err(EngineError::bind(format!(
+                        "ORDER BY position {idx} is out of range (1..={})",
+                        output.len()
+                    )));
+                }
+                out.push(BoundOrderBy { key: OrderKey::Output(idx as usize - 1), desc: item.desc });
+                continue;
+            }
+            // Alias reference: a bare unqualified name matching an output
+            // column that is not also an input column takes the output.
+            if let Expr::Column(ColumnRef { qualifier: None, name }) = &item.expr {
+                let matches_output = output.iter().position(|o| &o.name == name);
+                let matches_input = self.try_resolve_unqualified(name).is_some();
+                if let (Some(idx), false) = (matches_output, matches_input) {
+                    out.push(BoundOrderBy { key: OrderKey::Output(idx), desc: item.desc });
+                    continue;
+                }
+            }
+            let bound = bind_expr(&item.expr)?;
+            out.push(BoundOrderBy { key: OrderKey::Expr(bound), desc: item.desc });
+        }
+        Ok(out)
+    }
+
+    fn relation_by_binding(&self, binding: &str) -> Result<usize> {
+        self.relations
+            .iter()
+            .position(|r| r.binding == binding)
+            .ok_or_else(|| EngineError::bind(format!("unknown relation {binding:?}")))
+    }
+
+    fn try_resolve_unqualified(&self, name: &str) -> Option<ColumnId> {
+        let mut found = None;
+        for (rel, r) in self.relations.iter().enumerate() {
+            if let Some(col) = r.schema.index_of(name) {
+                if found.is_some() {
+                    return None; // ambiguous — let resolve_column report it
+                }
+                found = Some(ColumnId { rel, col });
+            }
+        }
+        found
+    }
+
+    fn resolve_column(&self, cref: &ColumnRef) -> Result<ColumnId> {
+        match &cref.qualifier {
+            Some(q) => {
+                let rel = self.relation_by_binding(q)?;
+                let col = self.relations[rel].schema.index_of(&cref.name).ok_or_else(|| {
+                    EngineError::bind(format!("no column {:?} in relation {q:?}", cref.name))
+                })?;
+                Ok(ColumnId { rel, col })
+            }
+            None => {
+                let mut found = None;
+                for (rel, r) in self.relations.iter().enumerate() {
+                    if let Some(col) = r.schema.index_of(&cref.name) {
+                        if found.is_some() {
+                            return Err(EngineError::bind(format!(
+                                "ambiguous column reference {:?} (qualify it)",
+                                cref.name
+                            )));
+                        }
+                        found = Some(ColumnId { rel, col });
+                    }
+                }
+                found.ok_or_else(|| {
+                    EngineError::bind(format!("unknown column {:?}", cref.name))
+                })
+            }
+        }
+    }
+
+    /// Bind an aggregate-free expression in relation space.
+    fn bind_scalar(&self, e: &Expr) -> Result<BoundExpr> {
+        Ok(match e {
+            Expr::Column(c) => BoundExpr::Column(self.resolve_column(c)?),
+            Expr::Literal(l) => BoundExpr::Literal(literal_value(l)),
+            Expr::Unary { op: UnaryOp::Not, expr } => {
+                BoundExpr::Not(Box::new(self.bind_scalar(expr)?))
+            }
+            Expr::Unary { op: UnaryOp::Neg, expr } => {
+                BoundExpr::Neg(Box::new(self.bind_scalar(expr)?))
+            }
+            Expr::Binary { left, op, right } => BoundExpr::Binary {
+                left: Box::new(self.bind_scalar(left)?),
+                op: *op,
+                right: Box::new(self.bind_scalar(right)?),
+            },
+            Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+                expr: Box::new(self.bind_scalar(expr)?),
+                pattern: Box::new(self.bind_scalar(pattern)?),
+                negated: *negated,
+            },
+            Expr::InList { expr, list, negated } => BoundExpr::InList {
+                expr: Box::new(self.bind_scalar(expr)?),
+                list: list.iter().map(|e| self.bind_scalar(e)).collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            Expr::Between { expr, low, high, negated } => BoundExpr::Between {
+                expr: Box::new(self.bind_scalar(expr)?),
+                low: Box::new(self.bind_scalar(low)?),
+                high: Box::new(self.bind_scalar(high)?),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(self.bind_scalar(expr)?),
+                negated: *negated,
+            },
+            Expr::Case { operand, branches, else_expr } => BoundExpr::Case {
+                operand: operand
+                    .as_ref()
+                    .map(|o| self.bind_scalar(o).map(Box::new))
+                    .transpose()?,
+                branches: branches
+                    .iter()
+                    .map(|(w, t)| Ok((self.bind_scalar(w)?, self.bind_scalar(t)?)))
+                    .collect::<Result<_>>()?,
+                else_expr: else_expr
+                    .as_ref()
+                    .map(|e| self.bind_scalar(e).map(Box::new))
+                    .transpose()?,
+            },
+            Expr::Aggregate { .. } => {
+                return Err(EngineError::bind(
+                    "aggregate used where a scalar expression is required",
+                ))
+            }
+        })
+    }
+}
+
+/// Rewrites expressions of an aggregate query into slot space.
+struct SlotBinder<'a> {
+    binder: &'a Binder,
+    /// Group keys (relation space); slot `i` is key `i`.
+    keys: Vec<BoundExpr>,
+    /// Aggregates; slot `keys.len() + j` is aggregate `j`.
+    aggs: Vec<AggCall>,
+}
+
+fn slots_rewrite_shim(slots: &mut SlotBinder<'_>, e: &Expr) -> Result<BoundExpr> {
+    slots.rewrite(e)
+}
+
+impl SlotBinder<'_> {
+    fn slot(col: usize) -> BoundExpr {
+        BoundExpr::Column(ColumnId { rel: 0, col })
+    }
+
+    /// Rewrite an AST expression into slot space, registering aggregate
+    /// calls as needed. Bare columns that are not part of any group key are
+    /// rejected (the SQL single-value rule).
+    fn rewrite(&mut self, e: &Expr) -> Result<BoundExpr> {
+        // An aggregate-free subexpression equal to a group key maps to the
+        // key's slot.
+        if !e.contains_aggregate() {
+            if let Ok(bound) = self.binder.bind_scalar(e) {
+                if let Some(i) = self.keys.iter().position(|k| k == &bound) {
+                    return Ok(Self::slot(i));
+                }
+                // Constants are fine anywhere.
+                if bound.columns().is_empty() {
+                    return Ok(bound);
+                }
+            }
+        }
+        match e {
+            Expr::Aggregate { func, arg, distinct } => {
+                let arg = match arg {
+                    None => None,
+                    Some(a) => {
+                        if a.contains_aggregate() {
+                            return Err(EngineError::bind("nested aggregates are not allowed"));
+                        }
+                        Some(self.binder.bind_scalar(a)?)
+                    }
+                };
+                let call = AggCall { func: *func, arg, distinct: *distinct };
+                let j = match self.aggs.iter().position(|c| c == &call) {
+                    Some(j) => j,
+                    None => {
+                        self.aggs.push(call);
+                        self.aggs.len() - 1
+                    }
+                };
+                Ok(Self::slot(self.keys.len() + j))
+            }
+            Expr::Column(c) => Err(EngineError::bind(format!(
+                "column {c} must appear in GROUP BY or inside an aggregate"
+            ))),
+            Expr::Literal(l) => Ok(BoundExpr::Literal(literal_value(l))),
+            Expr::Unary { op: UnaryOp::Not, expr } => {
+                Ok(BoundExpr::Not(Box::new(self.rewrite(expr)?)))
+            }
+            Expr::Unary { op: UnaryOp::Neg, expr } => {
+                Ok(BoundExpr::Neg(Box::new(self.rewrite(expr)?)))
+            }
+            Expr::Binary { left, op, right } => Ok(BoundExpr::Binary {
+                left: Box::new(self.rewrite(left)?),
+                op: *op,
+                right: Box::new(self.rewrite(right)?),
+            }),
+            Expr::Like { expr, pattern, negated } => Ok(BoundExpr::Like {
+                expr: Box::new(self.rewrite(expr)?),
+                pattern: Box::new(self.rewrite(pattern)?),
+                negated: *negated,
+            }),
+            Expr::InList { expr, list, negated } => Ok(BoundExpr::InList {
+                expr: Box::new(self.rewrite(expr)?),
+                list: list.iter().map(|e| self.rewrite(e)).collect::<Result<_>>()?,
+                negated: *negated,
+            }),
+            Expr::Between { expr, low, high, negated } => Ok(BoundExpr::Between {
+                expr: Box::new(self.rewrite(expr)?),
+                low: Box::new(self.rewrite(low)?),
+                high: Box::new(self.rewrite(high)?),
+                negated: *negated,
+            }),
+            Expr::IsNull { expr, negated } => Ok(BoundExpr::IsNull {
+                expr: Box::new(self.rewrite(expr)?),
+                negated: *negated,
+            }),
+            Expr::Case { operand, branches, else_expr } => Ok(BoundExpr::Case {
+                operand: operand
+                    .as_ref()
+                    .map(|o| self.rewrite(o).map(Box::new))
+                    .transpose()?,
+                branches: branches
+                    .iter()
+                    .map(|(w, t)| Ok((self.rewrite(w)?, self.rewrite(t)?)))
+                    .collect::<Result<_>>()?,
+                else_expr: else_expr
+                    .as_ref()
+                    .map(|e| self.rewrite(e).map(Box::new))
+                    .transpose()?,
+            }),
+        }
+    }
+}
+
+/// Output column name: the alias if present, the column name for bare
+/// columns, otherwise the printed expression.
+fn output_name(expr: &Expr, alias: Option<&str>) -> String {
+    if let Some(a) = alias {
+        return a.to_string();
+    }
+    match expr {
+        Expr::Column(c) => c.name.clone(),
+        other => other.to_string().to_ascii_lowercase(),
+    }
+}
+
+/// Convert an AST literal into a runtime value.
+pub fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Null => Value::Null,
+        Literal::Bool(b) => Value::Bool(*b),
+        Literal::Int(i) => Value::Int(*i),
+        Literal::Float(x) => Value::Float(*x),
+        Literal::Str(s) => Value::Text(s.clone()),
+        Literal::Date(d) => Value::Date(*d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conquer_sql::parse_select;
+    use conquer_storage::DataType;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "customer",
+            Schema::from_pairs([
+                ("id", DataType::Text),
+                ("name", DataType::Text),
+                ("balance", DataType::Int),
+                ("prob", DataType::Float),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        cat.create_table(
+            "order",
+            Schema::from_pairs([
+                ("id", DataType::Text),
+                ("cidfk", DataType::Text),
+                ("quantity", DataType::Int),
+                ("prob", DataType::Float),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn bind(sql: &str) -> Result<BoundSelect> {
+        bind_select(&catalog(), &parse_select(sql).unwrap())
+    }
+
+    #[test]
+    fn resolves_qualified_and_unqualified() {
+        let b = bind("select c.name, balance from customer c where c.balance > 10").unwrap();
+        assert_eq!(b.relations.len(), 1);
+        assert_eq!(b.output.len(), 2);
+        assert_eq!(b.output[0].name, "name");
+        assert_eq!(b.output[1].name, "balance");
+        assert_eq!(
+            b.output[1].expr,
+            BoundExpr::Column(ColumnId { rel: 0, col: 2 })
+        );
+    }
+
+    #[test]
+    fn ambiguous_and_unknown_columns_rejected() {
+        let err = bind("select id from customer c, order o").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+        let err = bind("select nothere from customer").unwrap_err();
+        assert!(err.to_string().contains("unknown column"), "{err}");
+        let err = bind("select x.id from customer c").unwrap_err();
+        assert!(err.to_string().contains("unknown relation"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_binding_rejected() {
+        let err = bind("select customer.id from customer, customer").unwrap_err();
+        assert!(err.to_string().contains("duplicate relation"), "{err}");
+        // Different aliases are fine (a self-join at the engine level).
+        assert!(bind("select a.id from customer a, customer b").is_ok());
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let b = bind("select * from customer c, order o").unwrap();
+        assert_eq!(b.output.len(), 8);
+        let b = bind("select o.* from customer c, order o").unwrap();
+        assert_eq!(b.output.len(), 4);
+        assert_eq!(b.output[0].expr, BoundExpr::Column(ColumnId { rel: 1, col: 0 }));
+    }
+
+    #[test]
+    fn aggregate_query_slots() {
+        let b = bind(
+            "select o.id, sum(o.prob * c.prob) from order o, customer c \
+             where o.cidfk = c.id group by o.id",
+        )
+        .unwrap();
+        let g = b.group.as_ref().unwrap();
+        assert_eq!(g.keys.len(), 1);
+        assert_eq!(g.aggs.len(), 1);
+        // Projection item 0 → key slot 0; item 1 → agg slot 1.
+        assert_eq!(b.output[0].expr, BoundExpr::Column(ColumnId { rel: 0, col: 0 }));
+        assert_eq!(b.output[1].expr, BoundExpr::Column(ColumnId { rel: 0, col: 1 }));
+    }
+
+    #[test]
+    fn duplicate_aggregates_share_a_slot() {
+        let b = bind("select sum(balance), sum(balance) + 1 from customer").unwrap();
+        assert_eq!(b.group.as_ref().unwrap().aggs.len(), 1);
+    }
+
+    #[test]
+    fn ungrouped_column_rejected() {
+        let err = bind("select name, sum(balance) from customer").unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn grouped_expression_allowed() {
+        // name appears in GROUP BY, so name and expressions of it are legal.
+        let b = bind("select name, count(*) from customer group by name").unwrap();
+        assert_eq!(b.output.len(), 2);
+    }
+
+    #[test]
+    fn where_rejects_aggregates() {
+        let err = bind("select id from customer where sum(balance) > 1").unwrap_err();
+        assert!(err.to_string().contains("WHERE"), "{err}");
+    }
+
+    #[test]
+    fn order_by_alias_position_and_expr() {
+        let b = bind(
+            "select id, balance * 2 as dbl from customer order by dbl desc, 1, balance",
+        )
+        .unwrap();
+        assert!(matches!(b.order_by[0].key, OrderKey::Output(1)));
+        assert!(b.order_by[0].desc);
+        assert!(matches!(b.order_by[1].key, OrderKey::Output(0)));
+        assert!(matches!(b.order_by[2].key, OrderKey::Expr(_)));
+    }
+
+    #[test]
+    fn order_by_position_out_of_range() {
+        let err = bind("select id from customer order by 3").unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn having_binds_in_slot_space() {
+        let b = bind(
+            "select name from customer group by name having count(*) > 1",
+        )
+        .unwrap();
+        let g = b.group.as_ref().unwrap();
+        assert!(g.having.is_some());
+        assert_eq!(g.aggs.len(), 1);
+    }
+
+    #[test]
+    fn count_star_without_group_by() {
+        let b = bind("select count(*) from customer").unwrap();
+        let g = b.group.as_ref().unwrap();
+        assert!(g.keys.is_empty());
+        assert_eq!(g.aggs[0].func, AggFunc::Count);
+        assert!(g.aggs[0].arg.is_none());
+    }
+
+    #[test]
+    fn missing_from_rejected() {
+        let err = bind("select 1").unwrap_err();
+        assert!(err.to_string().contains("FROM"), "{err}");
+    }
+}

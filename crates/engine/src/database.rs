@@ -1,0 +1,499 @@
+//! The `Database` facade: catalog + end-to-end statement execution.
+
+use conquer_sql::{
+    parse_statement, parse_statements, Delete, Expr, Insert, InsertSource, Literal,
+    SelectStatement, Statement, Update, UnaryOp,
+};
+use conquer_storage::{Catalog, Row, Schema, Value};
+
+use crate::binder::{bind_select, bind_table_expr};
+use crate::expr::{BoundExpr, Offsets};
+use crate::error::EngineError;
+use crate::exec::execute_plan;
+use crate::planner::{plan_select, Plan};
+use crate::result::QueryResult;
+use crate::Result;
+
+/// What a non-query statement did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// `CREATE TABLE` succeeded.
+    Created,
+    /// `INSERT` added this many rows.
+    Inserted(usize),
+    /// `DROP TABLE` succeeded.
+    Dropped,
+    /// `DELETE` removed this many rows.
+    Deleted(usize),
+    /// `UPDATE` changed this many rows.
+    Updated(usize),
+    /// A `SELECT` produced rows.
+    Rows(QueryResult),
+}
+
+/// An in-memory SQL database: a [`Catalog`] plus the parse→bind→plan→execute
+/// pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    catalog: Catalog,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Wrap an existing catalog (e.g. one produced by the data generator).
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        Database { catalog }
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (bulk loads, offline transformations).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Execute one statement of any kind.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a `;`-separated script, returning the outcome of each
+    /// statement.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<ExecOutcome>> {
+        parse_statements(sql)?
+            .iter()
+            .map(|s| self.execute_statement(s))
+            .collect()
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
+        match stmt {
+            Statement::CreateTable(ct) => {
+                let schema = Schema::from_pairs(ct.columns.iter().map(|(n, t)| (n.clone(), *t)))?;
+                self.catalog.create_table(&ct.name, schema)?;
+                Ok(ExecOutcome::Created)
+            }
+            Statement::Insert(ins) => Ok(ExecOutcome::Inserted(self.run_insert(ins)?)),
+            Statement::DropTable(name) => {
+                self.catalog.drop_table(name)?;
+                Ok(ExecOutcome::Dropped)
+            }
+            Statement::Delete(del) => Ok(ExecOutcome::Deleted(self.run_delete(del)?)),
+            Statement::Update(upd) => Ok(ExecOutcome::Updated(self.run_update(upd)?)),
+            Statement::Select(sel) => Ok(ExecOutcome::Rows(self.query_statement(sel)?)),
+        }
+    }
+
+    /// Persist the whole catalog to a directory of `.schema`/`.csv` files
+    /// (see [`conquer_storage::persist`]).
+    pub fn save_to_dir(&self, dir: &std::path::Path) -> Result<()> {
+        conquer_storage::save_catalog(&self.catalog, dir)?;
+        Ok(())
+    }
+
+    /// Load a database previously saved with [`Database::save_to_dir`].
+    pub fn load_from_dir(dir: &std::path::Path) -> Result<Self> {
+        Ok(Database::from_catalog(conquer_storage::load_catalog(dir)?))
+    }
+
+    /// Pre-build a hash index on `table.column`. Joins whose build side is
+    /// an unfiltered scan of `table` keyed on that column will probe the
+    /// stored index instead of hashing at query time (the paper's
+    /// identifier-index setup). Indexes are invalidated by table mutation
+    /// and must be re-created afterwards.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<()> {
+        self.catalog.table_mut(table)?.index_on(column)?;
+        Ok(())
+    }
+
+    /// Run a `SELECT` from SQL text.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Select(sel) => self.query_statement(&sel),
+            other => Err(EngineError::bind(format!("expected a SELECT statement, got: {other}"))),
+        }
+    }
+
+    /// Run an already-parsed `SELECT`.
+    pub fn query_statement(&self, stmt: &SelectStatement) -> Result<QueryResult> {
+        let plan = self.plan(stmt)?;
+        execute_plan(&self.catalog, &plan)
+    }
+
+    /// Produce (but do not run) the plan for a `SELECT`.
+    pub fn plan(&self, stmt: &SelectStatement) -> Result<Plan> {
+        let bound = bind_select(&self.catalog, stmt)?;
+        plan_select(&self.catalog, bound)
+    }
+
+    /// EXPLAIN-style plan description for a `SELECT` given as SQL text.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Select(sel) => Ok(self.plan(&sel)?.describe()),
+            other => Err(EngineError::bind(format!("cannot explain: {other}"))),
+        }
+    }
+
+    fn run_delete(&mut self, del: &Delete) -> Result<usize> {
+        let pred = del
+            .selection
+            .as_ref()
+            .map(|e| bind_table_expr(&self.catalog, &del.table, e))
+            .transpose()?;
+        let offsets = Offsets(vec![Some(0)]);
+        let table = self.catalog.table_mut(&del.table)?;
+        let before = table.len();
+        match pred {
+            None => table.retain(|_, _| false),
+            Some(p) => {
+                // Evaluate first (eval can error), then retain.
+                let keep: Vec<bool> = table
+                    .rows()
+                    .iter()
+                    .map(|row| p.eval_predicate(row, &offsets).map(|m| !m))
+                    .collect::<Result<_>>()?;
+                table.retain(|i, _| keep[i]);
+            }
+        }
+        Ok(before - self.catalog.table(&del.table)?.len())
+    }
+
+    fn run_update(&mut self, upd: &Update) -> Result<usize> {
+        let pred = upd
+            .selection
+            .as_ref()
+            .map(|e| bind_table_expr(&self.catalog, &upd.table, e))
+            .transpose()?;
+        let assignments: Vec<(usize, BoundExpr)> = {
+            let table = self.catalog.table(&upd.table)?;
+            upd.assignments
+                .iter()
+                .map(|(col, e)| {
+                    let idx = table.column_index(col)?;
+                    Ok((idx, bind_table_expr(&self.catalog, &upd.table, e)?))
+                })
+                .collect::<Result<_>>()?
+        };
+        let offsets = Offsets(vec![Some(0)]);
+        // Evaluate all updates against the *old* rows first, then apply.
+        let updates: Vec<Option<Vec<(usize, Value)>>> = {
+            let table = self.catalog.table(&upd.table)?;
+            table
+                .rows()
+                .iter()
+                .map(|row| {
+                    if let Some(p) = &pred {
+                        if !p.eval_predicate(row, &offsets)? {
+                            return Ok(None);
+                        }
+                    }
+                    let mut row_updates = Vec::with_capacity(assignments.len());
+                    for (col, e) in &assignments {
+                        row_updates.push((*col, e.eval(row, &offsets)?));
+                    }
+                    Ok(Some(row_updates))
+                })
+                .collect::<Result<_>>()?
+        };
+        let table = self.catalog.table_mut(&upd.table)?;
+        let changed = table.transform_rows(|i, _| updates[i].clone())?;
+        Ok(changed)
+    }
+
+    fn run_insert(&mut self, ins: &Insert) -> Result<usize> {
+        let table = self.catalog.table(&ins.table)?;
+        let schema = table.schema().clone();
+
+        // Map provided columns to schema positions.
+        let positions: Vec<usize> = match &ins.columns {
+            None => (0..schema.len()).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    schema.index_of(c).ok_or_else(|| {
+                        EngineError::bind(format!("no column {c:?} in table {:?}", ins.table))
+                    })
+                })
+                .collect::<Result<_>>()?,
+        };
+
+        let mut rows: Vec<Row> = Vec::new();
+        match &ins.source {
+            InsertSource::Values(value_rows) => {
+                for exprs in value_rows {
+                    if exprs.len() != positions.len() {
+                        return Err(EngineError::bind(format!(
+                            "INSERT row has {} values but {} columns were specified",
+                            exprs.len(),
+                            positions.len()
+                        )));
+                    }
+                    let mut row: Row = vec![Value::Null; schema.len()];
+                    for (expr, &pos) in exprs.iter().zip(&positions) {
+                        row[pos] = eval_const(expr)?;
+                    }
+                    rows.push(row);
+                }
+            }
+            InsertSource::Query(q) => {
+                let result = self.query_statement(q)?;
+                if result.columns.len() != positions.len() {
+                    return Err(EngineError::bind(format!(
+                        "INSERT source query produces {} columns but {} were specified",
+                        result.columns.len(),
+                        positions.len()
+                    )));
+                }
+                for src in result.rows {
+                    let mut row: Row = vec![Value::Null; schema.len()];
+                    for (v, &pos) in src.into_iter().zip(&positions) {
+                        row[pos] = v;
+                    }
+                    rows.push(row);
+                }
+            }
+        }
+        let n = rows.len();
+        let table = self.catalog.table_mut(&ins.table)?;
+        table.insert_all(rows)?;
+        Ok(n)
+    }
+}
+
+/// Evaluate a constant expression (INSERT values): literals, sign, and
+/// simple arithmetic — no column references, no aggregates.
+fn eval_const(e: &Expr) -> Result<Value> {
+    use crate::expr::{BoundExpr, Offsets};
+    fn to_bound(e: &Expr) -> Result<BoundExpr> {
+        Ok(match e {
+            Expr::Literal(l) => BoundExpr::Literal(match l {
+                Literal::Null => Value::Null,
+                Literal::Bool(b) => Value::Bool(*b),
+                Literal::Int(i) => Value::Int(*i),
+                Literal::Float(x) => Value::Float(*x),
+                Literal::Str(s) => Value::Text(s.clone()),
+                Literal::Date(d) => Value::Date(*d),
+            }),
+            Expr::Unary { op: UnaryOp::Neg, expr } => BoundExpr::Neg(Box::new(to_bound(expr)?)),
+            Expr::Unary { op: UnaryOp::Not, expr } => BoundExpr::Not(Box::new(to_bound(expr)?)),
+            Expr::Binary { left, op, right } => BoundExpr::Binary {
+                left: Box::new(to_bound(left)?),
+                op: *op,
+                right: Box::new(to_bound(right)?),
+            },
+            other => {
+                return Err(EngineError::bind(format!(
+                    "INSERT values must be constant expressions, got: {other}"
+                )))
+            }
+        })
+    }
+    to_bound(e)?.eval(&Vec::new(), &Offsets(vec![]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE customer (id TEXT, name TEXT, balance INTEGER, prob DOUBLE);
+             INSERT INTO customer VALUES
+               ('c1', 'John', 20000, 0.7),
+               ('c1', 'John', 30000, 0.3),
+               ('c2', 'Mary', 27000, 0.2),
+               ('c2', 'Marion', 5000, 0.8);
+             CREATE TABLE orders (id TEXT, cidfk TEXT, quantity INTEGER, prob DOUBLE);
+             INSERT INTO orders VALUES
+               ('o1', 'c1', 3, 1.0),
+               ('o2', 'c1', 2, 0.5),
+               ('o2', 'c2', 5, 0.5);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let db = sample();
+        let r = db.query("SELECT name FROM customer WHERE balance > 10000").unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let db = sample();
+        let r = db
+            .query("SELECT id, balance * 2 AS dbl FROM customer WHERE name = 'Marion'")
+            .unwrap();
+        assert_eq!(r.columns, vec!["id", "dbl"]);
+        assert_eq!(r.rows, vec![vec!["c2".into(), Value::Int(10000)]]);
+    }
+
+    #[test]
+    fn equi_join() {
+        let db = sample();
+        let r = db
+            .query(
+                "SELECT o.id, c.name FROM orders o, customer c \
+                 WHERE o.cidfk = c.id AND c.balance > 25000",
+            )
+            .unwrap();
+        // c1/30000 matches o1 and o2; c2/27000 matches o2.
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn grouping_and_sum_of_products() {
+        // The paper's Example 6 rewriting executes end-to-end.
+        let db = sample();
+        let r = db
+            .query(
+                "SELECT o.id, c.id, SUM(o.prob * c.prob) AS p \
+                 FROM orders o, customer c \
+                 WHERE o.cidfk = c.id AND c.balance > 10000 \
+                 GROUP BY o.id, c.id \
+                 ORDER BY o.id, c.id",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        // (o1,c1): 1.0*0.7 + 1.0*0.3 = 1.0
+        assert_eq!(r.value(0, "p"), Some(&Value::Float(1.0)));
+        // (o2,c1): 0.5*0.7 + 0.5*0.3 = 0.5
+        assert_eq!(r.value(1, "p"), Some(&Value::Float(0.5)));
+        // (o2,c2): 0.5*0.2 = 0.1
+        match r.value(2, "p") {
+            Some(Value::Float(x)) => assert!((x - 0.1).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let db = sample();
+        let r = db
+            .query("SELECT name, balance FROM customer ORDER BY balance DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(r.rows[0][1], Value::Int(30000));
+        assert_eq!(r.rows[1][1], Value::Int(27000));
+    }
+
+    #[test]
+    fn distinct() {
+        let db = sample();
+        let r = db.query("SELECT DISTINCT name FROM customer").unwrap();
+        assert_eq!(r.len(), 3); // John, Mary, Marion
+    }
+
+    #[test]
+    fn count_star_on_empty_filter() {
+        let db = sample();
+        let r = db.query("SELECT COUNT(*) FROM customer WHERE balance > 999999").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn group_by_with_having() {
+        let db = sample();
+        let r = db
+            .query(
+                "SELECT id, COUNT(*) AS n FROM customer GROUP BY id \
+                 HAVING COUNT(*) > 1 ORDER BY id",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.value(0, "n"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn insert_with_explicit_columns_fills_nulls() {
+        let mut db = sample();
+        db.execute("INSERT INTO customer (id, name) VALUES ('c9', 'Zoe')").unwrap();
+        let r = db.query("SELECT balance FROM customer WHERE id = 'c9'").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Null]]);
+    }
+
+    #[test]
+    fn insert_arity_mismatch_rejected() {
+        let mut db = sample();
+        let err = db.execute("INSERT INTO customer (id, name) VALUES ('c9')").unwrap_err();
+        assert!(err.to_string().contains("values"), "{err}");
+    }
+
+    #[test]
+    fn constant_arithmetic_in_insert() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INTEGER, b DOUBLE)").unwrap();
+        db.execute("INSERT INTO t VALUES (2 + 3 * 4, 1.0 / 4)").unwrap();
+        let r = db.query("SELECT a, b FROM t").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(14), Value::Float(0.25)]]);
+    }
+
+    #[test]
+    fn cross_join_when_unconnected() {
+        let db = sample();
+        let r = db.query("SELECT c.id, o.id FROM customer c, orders o").unwrap();
+        assert_eq!(r.len(), 12);
+    }
+
+    #[test]
+    fn query_rejects_ddl() {
+        let db = sample();
+        assert!(db.query("CREATE TABLE x (a INTEGER)").is_err());
+    }
+
+    #[test]
+    fn explain_produces_tree() {
+        let db = sample();
+        let text = db
+            .explain("SELECT o.id FROM orders o, customer c WHERE o.cidfk = c.id")
+            .unwrap();
+        assert!(text.contains("HashJoin"), "{text}");
+        assert!(text.contains("Scan"), "{text}");
+    }
+
+    #[test]
+    fn like_and_in_filters() {
+        let db = sample();
+        let r = db.query("SELECT name FROM customer WHERE name LIKE 'Mar%'").unwrap();
+        assert_eq!(r.len(), 2);
+        let r = db
+            .query("SELECT name FROM customer WHERE balance IN (5000, 27000) ORDER BY name")
+            .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn three_way_join_with_expression_projection() {
+        let mut db = sample();
+        db.execute_script(
+            "CREATE TABLE nation (nid INTEGER, nname TEXT);
+             INSERT INTO nation VALUES (1, 'CA'), (2, 'US');
+             CREATE TABLE cn (cid TEXT, nid INTEGER);
+             INSERT INTO cn VALUES ('c1', 1), ('c2', 2);",
+        )
+        .unwrap();
+        let r = db
+            .query(
+                "SELECT c.name, n.nname, c.balance / 1000 AS kbal \
+                 FROM customer c, cn, nation n \
+                 WHERE c.id = cn.cid AND cn.nid = n.nid AND c.balance >= 20000 \
+                 ORDER BY kbal DESC",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.rows[0][2], Value::Int(30));
+    }
+}

@@ -1,0 +1,64 @@
+//! Engine errors.
+
+use std::fmt;
+
+use conquer_sql::ParseError;
+use conquer_storage::StorageError;
+
+/// Errors raised anywhere in the parse→bind→plan→execute pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// SQL text failed to parse.
+    Parse(ParseError),
+    /// Storage-layer failure (missing table, type mismatch on insert, …).
+    Storage(StorageError),
+    /// Name-resolution or semantic analysis failure.
+    Bind(String),
+    /// Runtime evaluation failure (division by zero, overflow, bad types).
+    Exec(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::Bind(m) => write!(f, "binding error: {m}"),
+            EngineError::Exec(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Parse(e) => Some(e),
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl EngineError {
+    /// Shorthand for a binding error.
+    pub fn bind(msg: impl Into<String>) -> Self {
+        EngineError::Bind(msg.into())
+    }
+
+    /// Shorthand for an execution error.
+    pub fn exec(msg: impl Into<String>) -> Self {
+        EngineError::Exec(msg.into())
+    }
+}

@@ -1,0 +1,558 @@
+//! Physical execution of query plans.
+//!
+//! Operators are materialized: each stage consumes and produces `Vec<Row>`.
+//! This keeps the engine simple and is appropriate for the in-memory,
+//! laptop-scale workloads of the reproduction (the paper's measurements are
+//! *relative* — rewritten vs. original query on the same engine).
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use conquer_sql::AggFunc;
+use conquer_storage::{Catalog, Row, Value};
+
+use crate::binder::{AggCall, GroupSpec, OrderKey};
+use crate::error::EngineError;
+use crate::expr::{BoundExpr, Offsets};
+use crate::planner::{JoinNode, Plan};
+use crate::result::QueryResult;
+use crate::Result;
+
+/// Execute a plan against the catalog.
+pub fn execute_plan(catalog: &Catalog, plan: &Plan) -> Result<QueryResult> {
+    let widths: Vec<usize> = plan.relations.iter().map(|r| r.schema.len()).collect();
+    let n_rels = widths.len();
+
+    // 1. Join tree → joined rows in the tree's layout.
+    let (rows, layout) = exec_join(catalog, plan, &plan.join, &widths)?;
+    let offsets = offsets_for(&layout, &widths, n_rels);
+
+    // 2. Aggregate or pass through.
+    let (rows, offsets) = match &plan.group {
+        Some(group) => {
+            let slot_rows = hash_aggregate(rows, &offsets, group)?;
+            let slot_offsets = Offsets(vec![Some(0)]);
+            let slot_rows = match &group.having {
+                Some(h) => filter_rows(slot_rows, h, &slot_offsets)?,
+                None => slot_rows,
+            };
+            (slot_rows, slot_offsets)
+        }
+        None => (rows, offsets),
+    };
+
+    // 3. Project, computing sort keys in the same pass.
+    let needs_expr_keys =
+        plan.order_by.iter().any(|o| matches!(o.key, OrderKey::Expr(_)));
+    if plan.distinct && needs_expr_keys {
+        return Err(EngineError::bind(
+            "DISTINCT with ORDER BY on non-projected expressions is not supported",
+        ));
+    }
+
+    let mut projected: Vec<(Row, Vec<Value>)> = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut out = Vec::with_capacity(plan.output.len());
+        for item in &plan.output {
+            out.push(item.expr.eval(row, &offsets)?);
+        }
+        let mut keys = Vec::with_capacity(plan.order_by.len());
+        for ob in &plan.order_by {
+            keys.push(match &ob.key {
+                OrderKey::Output(i) => out[*i].clone(),
+                OrderKey::Expr(e) => e.eval(row, &offsets)?,
+            });
+        }
+        projected.push((out, keys));
+    }
+
+    // 4. DISTINCT.
+    if plan.distinct {
+        let mut seen: HashSet<Row> = HashSet::with_capacity(projected.len());
+        projected.retain(|(r, _)| seen.insert(r.clone()));
+    }
+
+    // 5. ORDER BY (stable, so ties keep input order).
+    if !plan.order_by.is_empty() {
+        let descs: Vec<bool> = plan.order_by.iter().map(|o| o.desc).collect();
+        projected.sort_by(|(_, ka), (_, kb)| {
+            for ((a, b), desc) in ka.iter().zip(kb).zip(&descs) {
+                let ord = a.cmp(b);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // 6. LIMIT.
+    if let Some(l) = plan.limit {
+        projected.truncate(l as usize);
+    }
+
+    Ok(QueryResult {
+        columns: plan.output.iter().map(|o| o.name.clone()).collect(),
+        rows: projected.into_iter().map(|(r, _)| r).collect(),
+    })
+}
+
+/// Compute per-relation offsets for a concatenation layout.
+fn offsets_for(layout: &[usize], widths: &[usize], n_rels: usize) -> Offsets {
+    let mut offs = vec![None; n_rels];
+    let mut acc = 0;
+    for &rel in layout {
+        offs[rel] = Some(acc);
+        acc += widths[rel];
+    }
+    Offsets(offs)
+}
+
+fn filter_rows(rows: Vec<Row>, pred: &BoundExpr, offsets: &Offsets) -> Result<Vec<Row>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if pred.eval_predicate(&row, offsets)? {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Execute a join-tree node, returning rows and their layout.
+fn exec_join(
+    catalog: &Catalog,
+    plan: &Plan,
+    node: &JoinNode,
+    widths: &[usize],
+) -> Result<(Vec<Row>, Vec<usize>)> {
+    let n_rels = widths.len();
+    match node {
+        JoinNode::Scan { rel, filter } => {
+            let table = catalog.table(&plan.relations[*rel].table)?;
+            let layout = vec![*rel];
+            let offsets = offsets_for(&layout, widths, n_rels);
+            let mut rows = Vec::with_capacity(table.len());
+            match filter {
+                None => rows.extend(table.rows().iter().cloned()),
+                Some(pred) => {
+                    for row in table.rows() {
+                        if pred.eval_predicate(row, &offsets)? {
+                            rows.push(row.clone());
+                        }
+                    }
+                }
+            }
+            Ok((rows, layout))
+        }
+        JoinNode::Join { left, right, equi, filter } => {
+            let (lrows, llayout) = exec_join(catalog, plan, left, widths)?;
+            let (rrows, rlayout) = exec_join(catalog, plan, right, widths)?;
+            let loffsets = offsets_for(&llayout, widths, n_rels);
+            let roffsets = offsets_for(&rlayout, widths, n_rels);
+
+            let mut layout = llayout;
+            layout.extend(rlayout);
+            let offsets = offsets_for(&layout, widths, n_rels);
+
+            let joined = if equi.is_empty() {
+                nested_loop_join(&lrows, &rrows)
+            } else if let Some(rows) = try_index_join(
+                catalog, plan, right, &lrows, equi, &loffsets,
+            )? {
+                rows
+            } else {
+                hash_join(&lrows, &rrows, equi, &loffsets, &roffsets)?
+            };
+            let joined = match filter {
+                Some(pred) => filter_rows(joined, pred, &offsets)?,
+                None => joined,
+            };
+            Ok((joined, layout))
+        }
+    }
+}
+
+/// Index nested-loop join fast path: when the right input is an unfiltered
+/// base-table scan, the single equi key is a bare column on both sides with
+/// the same declared type, and the table has a pre-built [`conquer_storage::HashIndex`]
+/// on that column (see [`crate::Database::create_index`]), probe the stored
+/// index instead of building a hash table. This is the analogue of the
+/// paper's "indices on the identifier" setup (Section 5.3). Returns `None`
+/// when the preconditions don't hold and the generic hash join should run.
+fn try_index_join(
+    catalog: &Catalog,
+    plan: &Plan,
+    right: &JoinNode,
+    lrows: &[Row],
+    equi: &[(BoundExpr, BoundExpr)],
+    loffsets: &Offsets,
+) -> Result<Option<Vec<Row>>> {
+    let JoinNode::Scan { rel, filter: None } = right else {
+        return Ok(None);
+    };
+    let [(lkey, rkey)] = equi else {
+        return Ok(None);
+    };
+    let (BoundExpr::Column(lcol), BoundExpr::Column(rcol)) = (lkey, rkey) else {
+        return Ok(None);
+    };
+    if rcol.rel != *rel {
+        return Ok(None);
+    }
+    let table = catalog.table(&plan.relations[*rel].table)?;
+    let rcolumn = table.schema().column_at(rcol.col).expect("bound");
+    let index = match table.existing_index(rcolumn.name()) {
+        Some(idx) if idx.column() == rcol.col => idx,
+        _ => return Ok(None),
+    };
+    // Raw-value lookup is only sound when the probe values have the same
+    // declared type as the indexed column (no Int/Float normalization).
+    let ltype = plan.relations[lcol.rel].schema.column_at(lcol.col).expect("bound").data_type();
+    if ltype != rcolumn.data_type() {
+        return Ok(None);
+    }
+    let mut out = Vec::new();
+    for lrow in lrows {
+        let key = &lrow[loffsets.flat(*lcol)];
+        if key.is_null() {
+            continue;
+        }
+        for &ri in index.lookup(key) {
+            let rrow = table.row(ri).expect("index positions are valid");
+            let mut row = Vec::with_capacity(lrow.len() + rrow.len());
+            row.extend(lrow.iter().cloned());
+            row.extend(rrow.iter().cloned());
+            out.push(row);
+        }
+    }
+    Ok(Some(out))
+}
+
+/// Cartesian product (used when no equi keys connect the inputs; residual
+/// predicates are applied by the caller).
+fn nested_loop_join(left: &[Row], right: &[Row]) -> Vec<Row> {
+    let mut out = Vec::with_capacity(left.len().saturating_mul(right.len()));
+    for l in left {
+        for r in right {
+            let mut row = Vec::with_capacity(l.len() + r.len());
+            row.extend(l.iter().cloned());
+            row.extend(r.iter().cloned());
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Normalize a join key so numerically equal Int/Float values collide
+/// (exact for |i| ≤ 2⁵³) and `-0.0` meets `0.0`.
+fn normalize_key(v: Value) -> Value {
+    const EXACT: i64 = 1 << 53;
+    match v {
+        Value::Int(i) if i.abs() <= EXACT => Value::Float(i as f64),
+        Value::Float(0.0) => Value::Float(0.0),
+        other => other,
+    }
+}
+
+/// Hash join on equi keys. Builds on the smaller input. NULL keys never
+/// match (SQL equality semantics).
+fn hash_join(
+    left: &[Row],
+    right: &[Row],
+    equi: &[(BoundExpr, BoundExpr)],
+    loffsets: &Offsets,
+    roffsets: &Offsets,
+) -> Result<Vec<Row>> {
+    let keys_of = |row: &Row, exprs: &[&BoundExpr], offsets: &Offsets| -> Result<Option<Vec<Value>>> {
+        let mut keys = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            let v = e.eval(row, offsets)?;
+            if v.is_null() {
+                return Ok(None);
+            }
+            keys.push(normalize_key(v));
+        }
+        Ok(Some(keys))
+    };
+
+    let lexprs: Vec<&BoundExpr> = equi.iter().map(|(l, _)| l).collect();
+    let rexprs: Vec<&BoundExpr> = equi.iter().map(|(_, r)| r).collect();
+
+    let build_left = left.len() <= right.len();
+    let (build_rows, build_exprs, build_offsets, probe_rows, probe_exprs, probe_offsets) =
+        if build_left {
+            (left, &lexprs, loffsets, right, &rexprs, roffsets)
+        } else {
+            (right, &rexprs, roffsets, left, &lexprs, loffsets)
+        };
+
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build_rows.len());
+    for (i, row) in build_rows.iter().enumerate() {
+        if let Some(k) = keys_of(row, build_exprs, build_offsets)? {
+            table.entry(k).or_default().push(i);
+        }
+    }
+
+    let mut out = Vec::new();
+    for prow in probe_rows {
+        let Some(k) = keys_of(prow, probe_exprs, probe_offsets)? else { continue };
+        if let Some(matches) = table.get(&k) {
+            for &bi in matches {
+                let brow = &build_rows[bi];
+                // Output is always left ++ right, regardless of build side.
+                let (lrow, rrow) = if build_left { (brow, prow) } else { (prow, brow) };
+                let mut row = Vec::with_capacity(lrow.len() + rrow.len());
+                row.extend(lrow.iter().cloned());
+                row.extend(rrow.iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// Accumulator for one aggregate call within one group.
+#[derive(Debug, Clone)]
+struct Accumulator {
+    func: AggFunc,
+    count_star: bool,
+    distinct: Option<HashSet<Value>>,
+    count: i64,
+    sum_int: i64,
+    sum_float: f64,
+    saw_float: bool,
+    overflowed: bool,
+    minmax: Option<Value>,
+}
+
+impl Accumulator {
+    fn new(call: &AggCall) -> Self {
+        Accumulator {
+            func: call.func,
+            count_star: call.arg.is_none(),
+            distinct: call.distinct.then(HashSet::new),
+            count: 0,
+            sum_int: 0,
+            sum_float: 0.0,
+            saw_float: false,
+            overflowed: false,
+            minmax: None,
+        }
+    }
+
+    fn update(&mut self, v: Value) -> Result<()> {
+        if self.count_star {
+            self.count += 1;
+            return Ok(());
+        }
+        if v.is_null() {
+            return Ok(()); // aggregates ignore NULLs
+        }
+        if let Some(seen) = &mut self.distinct {
+            if !seen.insert(v.clone()) {
+                return Ok(());
+            }
+        }
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => match v {
+                Value::Int(i) => {
+                    self.sum_float += i as f64;
+                    if !self.saw_float {
+                        match self.sum_int.checked_add(i) {
+                            Some(s) => self.sum_int = s,
+                            None => self.overflowed = true,
+                        }
+                    }
+                }
+                Value::Float(f) => {
+                    self.saw_float = true;
+                    self.sum_float += f;
+                }
+                other => {
+                    return Err(EngineError::exec(format!(
+                        "{} over non-numeric value {other}",
+                        self.func.name()
+                    )))
+                }
+            },
+            AggFunc::Min => {
+                if self.minmax.as_ref().is_none_or(|m| v < *m) {
+                    self.minmax = Some(v);
+                }
+            }
+            AggFunc::Max => {
+                if self.minmax.as_ref().is_none_or(|m| v > *m) {
+                    self.minmax = Some(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(self) -> Result<Value> {
+        Ok(match self.func {
+            AggFunc::Count => Value::Int(self.count),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.saw_float {
+                    Value::Float(self.sum_float)
+                } else if self.overflowed {
+                    return Err(EngineError::exec("integer overflow in SUM"));
+                } else {
+                    Value::Int(self.sum_int)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum_float / self.count as f64)
+                }
+            }
+            AggFunc::Min | AggFunc::Max => self.minmax.unwrap_or(Value::Null),
+        })
+    }
+}
+
+/// Hash aggregation: returns rows of `[group keys…, aggregate results…]`.
+/// With no GROUP BY keys, exactly one row is produced even for empty input
+/// (`COUNT(*)` of an empty table is 0).
+fn hash_aggregate(rows: Vec<Row>, offsets: &Offsets, group: &GroupSpec) -> Result<Vec<Row>> {
+    // Keys live only in the map (no duplicate clone); `order` remembers
+    // first-seen order so output is deterministic.
+    let mut index: HashMap<Vec<Value>, (usize, Vec<Accumulator>)> = HashMap::new();
+
+    let fresh = || -> Vec<Accumulator> { group.aggs.iter().map(Accumulator::new).collect() };
+
+    if group.keys.is_empty() {
+        index.insert(Vec::new(), (0, fresh()));
+    }
+
+    for row in &rows {
+        let mut key = Vec::with_capacity(group.keys.len());
+        for k in &group.keys {
+            key.push(k.eval(row, offsets)?);
+        }
+        let next = index.len();
+        let accs = match index.entry(key) {
+            Entry::Occupied(e) => &mut e.into_mut().1,
+            Entry::Vacant(e) => &mut e.insert((next, fresh())).1,
+        };
+        for (acc, call) in accs.iter_mut().zip(&group.aggs) {
+            let v = match &call.arg {
+                None => Value::Null, // COUNT(*) ignores the value
+                Some(e) => e.eval(row, offsets)?,
+            };
+            acc.update(v)?;
+        }
+    }
+
+    let mut groups: Vec<(Vec<Value>, usize, Vec<Accumulator>)> =
+        index.into_iter().map(|(k, (ord, accs))| (k, ord, accs)).collect();
+    groups.sort_by_key(|(_, ord, _)| *ord);
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, _, accs) in groups {
+        let mut row = key;
+        for acc in accs {
+            row.push(acc.finalize()?);
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::AggCall;
+
+    fn acc(func: AggFunc, distinct: bool) -> Accumulator {
+        Accumulator::new(&AggCall {
+            func,
+            arg: Some(BoundExpr::Literal(Value::Null)),
+            distinct,
+        })
+    }
+
+    #[test]
+    fn sum_stays_int_until_float_appears() {
+        let mut a = acc(AggFunc::Sum, false);
+        a.update(Value::Int(3)).unwrap();
+        a.update(Value::Int(4)).unwrap();
+        assert_eq!(a.clone().finalize().unwrap(), Value::Int(7));
+        a.update(Value::Float(0.5)).unwrap();
+        assert_eq!(a.finalize().unwrap(), Value::Float(7.5));
+    }
+
+    #[test]
+    fn sum_of_nothing_is_null_count_is_zero() {
+        let a = acc(AggFunc::Sum, false);
+        assert_eq!(a.finalize().unwrap(), Value::Null);
+        let a = acc(AggFunc::Count, false);
+        assert_eq!(a.finalize().unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn nulls_ignored() {
+        let mut a = acc(AggFunc::Count, false);
+        a.update(Value::Null).unwrap();
+        a.update(Value::Int(1)).unwrap();
+        assert_eq!(a.finalize().unwrap(), Value::Int(1));
+        let mut a = acc(AggFunc::Avg, false);
+        a.update(Value::Null).unwrap();
+        a.update(Value::Int(2)).unwrap();
+        a.update(Value::Int(4)).unwrap();
+        assert_eq!(a.finalize().unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let mut a = acc(AggFunc::Count, true);
+        for v in [1i64, 1, 2, 2, 3] {
+            a.update(Value::Int(v)).unwrap();
+        }
+        assert_eq!(a.finalize().unwrap(), Value::Int(3));
+        let mut a = acc(AggFunc::Sum, true);
+        for v in [5i64, 5, 7] {
+            a.update(Value::Int(v)).unwrap();
+        }
+        assert_eq!(a.finalize().unwrap(), Value::Int(12));
+    }
+
+    #[test]
+    fn min_max() {
+        let mut lo = acc(AggFunc::Min, false);
+        let mut hi = acc(AggFunc::Max, false);
+        for v in [3i64, 1, 2] {
+            lo.update(Value::Int(v)).unwrap();
+            hi.update(Value::Int(v)).unwrap();
+        }
+        assert_eq!(lo.finalize().unwrap(), Value::Int(1));
+        assert_eq!(hi.finalize().unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn sum_overflow_reported() {
+        let mut a = acc(AggFunc::Sum, false);
+        a.update(Value::Int(i64::MAX)).unwrap();
+        a.update(Value::Int(1)).unwrap();
+        assert!(a.finalize().is_err());
+    }
+
+    #[test]
+    fn key_normalization() {
+        assert_eq!(normalize_key(Value::Int(5)), Value::Float(5.0));
+        assert_eq!(normalize_key(Value::Float(-0.0)), Value::Float(0.0));
+        assert_eq!(normalize_key(Value::text("x")), Value::text("x"));
+        // huge ints stay exact
+        assert_eq!(normalize_key(Value::Int(i64::MAX)), Value::Int(i64::MAX));
+    }
+}

@@ -1,0 +1,637 @@
+//! Bound (name-resolved) expressions and their evaluator.
+//!
+//! The binder turns AST column references into [`ColumnId`]s — a `(relation,
+//! column)` pair. Operators know the *layout* of their input rows (which
+//! relations are concatenated, in what order) and pass per-relation offsets
+//! to the evaluator, so the same bound expression works regardless of join
+//! order.
+//!
+//! Evaluation implements SQL three-valued logic: comparisons with NULL yield
+//! NULL, `AND`/`OR`/`NOT` follow Kleene logic, and WHERE keeps a row only if
+//! the predicate is *true* (not NULL).
+
+use std::cmp::Ordering;
+
+use conquer_storage::{Row, Value};
+
+use crate::error::EngineError;
+use crate::Result;
+
+/// A resolved column: `rel` indexes the query's FROM list (or a synthetic
+/// single relation for post-aggregation exprs), `col` is the position within
+/// that relation's schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColumnId {
+    /// Relation index within the query.
+    pub rel: usize,
+    /// Column index within the relation.
+    pub col: usize,
+}
+
+/// Per-relation start offsets into a concatenated row. `offsets[rel] = None`
+/// means the relation is not present in this operator's input (its columns
+/// must not be referenced — guaranteed by the planner).
+#[derive(Debug, Clone, Default)]
+pub struct Offsets(pub Vec<Option<usize>>);
+
+impl Offsets {
+    /// Flat index of a column id (panics if the relation is absent — the
+    /// planner only routes expressions to operators that carry them).
+    #[inline]
+    pub fn flat(&self, id: ColumnId) -> usize {
+        self.0[id.rel].expect("planner routed expression to operator missing its relation") + id.col
+    }
+}
+
+/// Binary operators on bound expressions (same set as the AST's, minus
+/// AND/OR which the evaluator special-cases for three-valued logic).
+pub use conquer_sql::BinaryOp;
+
+/// A name-resolved scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// A resolved column.
+    Column(ColumnId),
+    /// A constant.
+    Literal(Value),
+    /// `NOT e` (Kleene).
+    Not(Box<BoundExpr>),
+    /// `-e`.
+    Neg(Box<BoundExpr>),
+    /// `l op r`.
+    Binary {
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// `e [NOT] LIKE pattern`.
+    Like {
+        /// Matched expression.
+        expr: Box<BoundExpr>,
+        /// Pattern expression.
+        pattern: Box<BoundExpr>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `e [NOT] IN (…)`.
+    InList {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Candidates.
+        list: Vec<BoundExpr>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `e [NOT] BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Lower bound.
+        low: Box<BoundExpr>,
+        /// Upper bound.
+        high: Box<BoundExpr>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `e IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// Simple-case operand, if any.
+        operand: Option<Box<BoundExpr>>,
+        /// `(WHEN, THEN)` pairs in order.
+        branches: Vec<(BoundExpr, BoundExpr)>,
+        /// `ELSE` (NULL when absent).
+        else_expr: Option<Box<BoundExpr>>,
+    },
+}
+
+impl BoundExpr {
+    /// Constant TRUE.
+    pub fn true_() -> Self {
+        BoundExpr::Literal(Value::Bool(true))
+    }
+
+    /// Collect every referenced column id.
+    pub fn columns(&self) -> Vec<ColumnId> {
+        let mut out = Vec::new();
+        self.visit(&mut |c| out.push(c));
+        out
+    }
+
+    /// Collect the set of referenced relation indices.
+    pub fn relations(&self) -> Vec<usize> {
+        let mut rels: Vec<usize> = self.columns().iter().map(|c| c.rel).collect();
+        rels.sort_unstable();
+        rels.dedup();
+        rels
+    }
+
+    fn visit<F: FnMut(ColumnId)>(&self, f: &mut F) {
+        match self {
+            BoundExpr::Column(c) => f(*c),
+            BoundExpr::Literal(_) => {}
+            BoundExpr::Not(e) | BoundExpr::Neg(e) | BoundExpr::IsNull { expr: e, .. } => {
+                e.visit(f)
+            }
+            BoundExpr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            BoundExpr::Like { expr, pattern, .. } => {
+                expr.visit(f);
+                pattern.visit(f);
+            }
+            BoundExpr::InList { expr, list, .. } => {
+                expr.visit(f);
+                for e in list {
+                    e.visit(f);
+                }
+            }
+            BoundExpr::Between { expr, low, high, .. } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            BoundExpr::Case { operand, branches, else_expr } => {
+                if let Some(o) = operand {
+                    o.visit(f);
+                }
+                for (w, t) in branches {
+                    w.visit(f);
+                    t.visit(f);
+                }
+                if let Some(e) = else_expr {
+                    e.visit(f);
+                }
+            }
+        }
+    }
+
+    /// Evaluate against a row laid out according to `offsets`.
+    pub fn eval(&self, row: &Row, offsets: &Offsets) -> Result<Value> {
+        match self {
+            BoundExpr::Column(id) => Ok(row[offsets.flat(*id)].clone()),
+            BoundExpr::Literal(v) => Ok(v.clone()),
+            BoundExpr::Not(e) => Ok(match e.eval(row, offsets)? {
+                Value::Null => Value::Null,
+                Value::Bool(b) => Value::Bool(!b),
+                other => {
+                    return Err(EngineError::exec(format!(
+                        "NOT applied to non-boolean value {other}"
+                    )))
+                }
+            }),
+            BoundExpr::Neg(e) => Ok(match e.eval(row, offsets)? {
+                Value::Null => Value::Null,
+                Value::Int(i) => Value::Int(i.checked_neg().ok_or_else(|| {
+                    EngineError::exec("integer overflow in negation")
+                })?),
+                Value::Float(x) => Value::Float(-x),
+                other => {
+                    return Err(EngineError::exec(format!(
+                        "unary minus applied to non-numeric value {other}"
+                    )))
+                }
+            }),
+            BoundExpr::Binary { left, op, right } => {
+                eval_binary(left.eval(row, offsets)?, *op, right, row, offsets)
+            }
+            BoundExpr::Like { expr, pattern, negated } => {
+                let v = expr.eval(row, offsets)?;
+                let p = pattern.eval(row, offsets)?;
+                match (v, p) {
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    (Value::Text(s), Value::Text(p)) => {
+                        let m = like_match(&s, &p);
+                        Ok(Value::Bool(m != *negated))
+                    }
+                    (a, b) => Err(EngineError::exec(format!(
+                        "LIKE requires text operands, got {a} LIKE {b}"
+                    ))),
+                }
+            }
+            BoundExpr::InList { expr, list, negated } => {
+                let v = expr.eval(row, offsets)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    match v.sql_eq(&item.eval(row, offsets)?) {
+                        Some(true) => return Ok(Value::Bool(!negated)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            BoundExpr::Between { expr, low, high, negated } => {
+                let v = expr.eval(row, offsets)?;
+                let lo = low.eval(row, offsets)?;
+                let hi = high.eval(row, offsets)?;
+                let ge = v.sql_cmp(&lo).map(|o| o != Ordering::Less);
+                let le = v.sql_cmp(&hi).map(|o| o != Ordering::Greater);
+                Ok(match kleene_and(ge, le) {
+                    None => Value::Null,
+                    Some(b) => Value::Bool(b != *negated),
+                })
+            }
+            BoundExpr::IsNull { expr, negated } => {
+                let v = expr.eval(row, offsets)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            BoundExpr::Case { operand, branches, else_expr } => {
+                let operand = operand.as_ref().map(|o| o.eval(row, offsets)).transpose()?;
+                for (when, then) in branches {
+                    let fire = match &operand {
+                        // Simple case: operand = WHEN value (NULL never
+                        // matches, per SQL equality semantics).
+                        Some(op) => {
+                            let w = when.eval(row, offsets)?;
+                            op.sql_eq(&w) == Some(true)
+                        }
+                        // Searched case: WHEN is a predicate.
+                        None => when.eval_predicate(row, offsets)?,
+                    };
+                    if fire {
+                        return then.eval(row, offsets);
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.eval(row, offsets),
+                    None => Ok(Value::Null),
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a WHERE predicate: `true` only if the result is TRUE
+    /// (NULL and FALSE both reject the row).
+    pub fn eval_predicate(&self, row: &Row, offsets: &Offsets) -> Result<bool> {
+        match self.eval(row, offsets)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(EngineError::exec(format!(
+                "predicate evaluated to non-boolean value {other}"
+            ))),
+        }
+    }
+}
+
+fn kleene_and(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn kleene_or(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn to_kleene(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        other => Err(EngineError::exec(format!("expected boolean, got {other}"))),
+    }
+}
+
+fn eval_binary(
+    left: Value,
+    op: BinaryOp,
+    right_expr: &BoundExpr,
+    row: &Row,
+    offsets: &Offsets,
+) -> Result<Value> {
+    // AND/OR get short-circuit + Kleene treatment.
+    match op {
+        BinaryOp::And => {
+            let l = to_kleene(&left)?;
+            if l == Some(false) {
+                return Ok(Value::Bool(false));
+            }
+            let r = to_kleene(&right_expr.eval(row, offsets)?)?;
+            return Ok(kleene_and(l, r).map(Value::Bool).unwrap_or(Value::Null));
+        }
+        BinaryOp::Or => {
+            let l = to_kleene(&left)?;
+            if l == Some(true) {
+                return Ok(Value::Bool(true));
+            }
+            let r = to_kleene(&right_expr.eval(row, offsets)?)?;
+            return Ok(kleene_or(l, r).map(Value::Bool).unwrap_or(Value::Null));
+        }
+        _ => {}
+    }
+    let right = right_expr.eval(row, offsets)?;
+    if left.is_null() || right.is_null() {
+        return Ok(Value::Null);
+    }
+    if op.is_comparison() {
+        let ord = left.sql_cmp(&right).ok_or_else(|| {
+            EngineError::exec(format!("cannot compare {left} with {right}"))
+        })?;
+        let b = match op {
+            BinaryOp::Eq => ord == Ordering::Equal,
+            BinaryOp::NotEq => ord != Ordering::Equal,
+            BinaryOp::Lt => ord == Ordering::Less,
+            BinaryOp::LtEq => ord != Ordering::Greater,
+            BinaryOp::Gt => ord == Ordering::Greater,
+            BinaryOp::GtEq => ord != Ordering::Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Bool(b));
+    }
+    arithmetic(left, op, right)
+}
+
+fn arithmetic(left: Value, op: BinaryOp, right: Value) -> Result<Value> {
+    use BinaryOp::*;
+    match (&left, &right) {
+        (Value::Int(a), Value::Int(b)) => {
+            let (a, b) = (*a, *b);
+            let out = match op {
+                Add => a.checked_add(b),
+                Sub => a.checked_sub(b),
+                Mul => a.checked_mul(b),
+                Div => {
+                    // Integer division follows SQL and truncates toward zero.
+                    if b == 0 {
+                        return Err(EngineError::exec("division by zero"));
+                    }
+                    a.checked_div(b)
+                }
+                Mod => {
+                    if b == 0 {
+                        return Err(EngineError::exec("modulo by zero"));
+                    }
+                    a.checked_rem(b)
+                }
+                _ => unreachable!("non-arithmetic op reached arithmetic()"),
+            };
+            out.map(Value::Int)
+                .ok_or_else(|| EngineError::exec("integer overflow in arithmetic"))
+        }
+        _ => {
+            let (Some(a), Some(b)) = (left.as_f64(), right.as_f64()) else {
+                return Err(EngineError::exec(format!(
+                    "arithmetic on non-numeric values: {left} {} {right}",
+                    op.symbol()
+                )));
+            };
+            let out = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Err(EngineError::exec("division by zero"));
+                    }
+                    a / b
+                }
+                Mod => {
+                    if b == 0.0 {
+                        return Err(EngineError::exec("modulo by zero"));
+                    }
+                    a % b
+                }
+                _ => unreachable!("non-arithmetic op reached arithmetic()"),
+            };
+            Ok(Value::Float(out))
+        }
+    }
+}
+
+/// SQL `LIKE` matcher: `%` matches any run of characters, `_` exactly one.
+/// Matching is case-sensitive, per the standard.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // Iterative two-pointer algorithm with backtracking to the last `%`.
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_s): (Option<usize>, usize) = (None, 0);
+    while si < s.len() {
+        // The '%' check must come first: a literal '%' in the *text* would
+        // otherwise be consumed by the equality branch when the pattern is
+        // at a '%' wildcard.
+        if pi < p.len() && p[pi] == '%' {
+            star_p = Some(pi);
+            star_s = si;
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if let Some(sp) = star_p {
+            pi = sp + 1;
+            star_s += 1;
+            si = star_s;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn off1(n: usize) -> Offsets {
+        let _ = n;
+        Offsets(vec![Some(0)])
+    }
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::Column(ColumnId { rel: 0, col: i })
+    }
+
+    fn lit(v: impl Into<Value>) -> BoundExpr {
+        BoundExpr::Literal(v.into())
+    }
+
+    fn bin(l: BoundExpr, op: BinaryOp, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary { left: Box::new(l), op, right: Box::new(r) }
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let row = vec![Value::Int(7), Value::Float(2.0)];
+        let e = bin(col(0), BinaryOp::Add, col(1));
+        assert_eq!(e.eval(&row, &off1(2)).unwrap(), Value::Float(9.0));
+        let e = bin(col(0), BinaryOp::Div, lit(2i64));
+        assert_eq!(e.eval(&row, &off1(2)).unwrap(), Value::Int(3)); // truncating
+        let e = bin(col(0), BinaryOp::Mod, lit(4i64));
+        assert_eq!(e.eval(&row, &off1(2)).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let row = vec![Value::Int(1)];
+        let e = bin(col(0), BinaryOp::Div, lit(0i64));
+        assert!(e.eval(&row, &off1(1)).is_err());
+        let e = bin(lit(1.0), BinaryOp::Div, lit(0.0));
+        assert!(e.eval(&row, &off1(1)).is_err());
+    }
+
+    #[test]
+    fn overflow_is_error() {
+        let row = vec![Value::Int(i64::MAX)];
+        let e = bin(col(0), BinaryOp::Add, lit(1i64));
+        assert!(e.eval(&row, &off1(1)).is_err());
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic_and_comparison() {
+        let row = vec![Value::Null];
+        for op in [BinaryOp::Add, BinaryOp::Eq, BinaryOp::Lt] {
+            let e = bin(col(0), op, lit(1i64));
+            assert_eq!(e.eval(&row, &off1(1)).unwrap(), Value::Null);
+        }
+    }
+
+    #[test]
+    fn kleene_and_or() {
+        let row: Row = vec![];
+        let null = BoundExpr::Literal(Value::Null);
+        let t = lit(true);
+        let f = lit(false);
+        let o = Offsets(vec![]);
+        // FALSE AND NULL = FALSE
+        assert_eq!(
+            bin(f.clone(), BinaryOp::And, null.clone()).eval(&row, &o).unwrap(),
+            Value::Bool(false)
+        );
+        // TRUE AND NULL = NULL
+        assert_eq!(bin(t.clone(), BinaryOp::And, null.clone()).eval(&row, &o).unwrap(), Value::Null);
+        // TRUE OR NULL = TRUE
+        assert_eq!(
+            bin(t.clone(), BinaryOp::Or, null.clone()).eval(&row, &o).unwrap(),
+            Value::Bool(true)
+        );
+        // FALSE OR NULL = NULL
+        assert_eq!(bin(f, BinaryOp::Or, null.clone()).eval(&row, &o).unwrap(), Value::Null);
+        // NOT NULL = NULL
+        assert_eq!(BoundExpr::Not(Box::new(null)).eval(&row, &o).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn predicate_rejects_null() {
+        let row = vec![Value::Null];
+        let e = bin(col(0), BinaryOp::Gt, lit(10i64));
+        assert!(!e.eval_predicate(&row, &off1(1)).unwrap());
+    }
+
+    #[test]
+    fn in_list_three_valued() {
+        let row = vec![Value::Int(5)];
+        let e = BoundExpr::InList {
+            expr: Box::new(col(0)),
+            list: vec![lit(1i64), lit(5i64)],
+            negated: false,
+        };
+        assert_eq!(e.eval(&row, &off1(1)).unwrap(), Value::Bool(true));
+        let e = BoundExpr::InList {
+            expr: Box::new(col(0)),
+            list: vec![lit(1i64), BoundExpr::Literal(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(e.eval(&row, &off1(1)).unwrap(), Value::Null);
+        let e = BoundExpr::InList {
+            expr: Box::new(col(0)),
+            list: vec![lit(1i64), lit(2i64)],
+            negated: true,
+        };
+        assert_eq!(e.eval(&row, &off1(1)).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn between_inclusive() {
+        let row = vec![Value::Int(5)];
+        let e = BoundExpr::Between {
+            expr: Box::new(col(0)),
+            low: Box::new(lit(5i64)),
+            high: Box::new(lit(7i64)),
+            negated: false,
+        };
+        assert_eq!(e.eval(&row, &off1(1)).unwrap(), Value::Bool(true));
+        let e = BoundExpr::Between {
+            expr: Box::new(col(0)),
+            low: Box::new(lit(6i64)),
+            high: Box::new(lit(7i64)),
+            negated: true,
+        };
+        assert_eq!(e.eval(&row, &off1(1)).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let row = vec![Value::Null, Value::Int(1)];
+        let e = BoundExpr::IsNull { expr: Box::new(col(0)), negated: false };
+        assert_eq!(e.eval(&row, &off1(2)).unwrap(), Value::Bool(true));
+        let e = BoundExpr::IsNull { expr: Box::new(col(1)), negated: true };
+        assert_eq!(e.eval(&row, &off1(2)).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("BUILDING", "BUILD%"));
+        assert!(like_match("forest green metallic", "%green%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("anything", "%%"));
+        assert!(like_match("a%b", "a%b")); // literal text still matches itself
+        // regression: a literal '%' in the text must not be eaten by the
+        // equality branch when the pattern is at a wildcard
+        assert!(like_match("%A", "%"));
+        assert!(like_match("100%", "100%"));
+        assert!(like_match("%", "%"));
+        assert!(!like_match("ab", "a"));
+        assert!(like_match("PROMO BURNISHED", "PROMO%"));
+    }
+
+    #[test]
+    fn offsets_map_relations() {
+        // Row = concat of rel1 (2 cols) then rel0 (1 col).
+        let offsets = Offsets(vec![Some(2), Some(0)]);
+        let row = vec![Value::Int(10), Value::Int(11), Value::Int(99)];
+        let e = BoundExpr::Column(ColumnId { rel: 0, col: 0 });
+        assert_eq!(e.eval(&row, &offsets).unwrap(), Value::Int(99));
+        let e = BoundExpr::Column(ColumnId { rel: 1, col: 1 });
+        assert_eq!(e.eval(&row, &offsets).unwrap(), Value::Int(11));
+    }
+
+    #[test]
+    fn columns_and_relations_collected() {
+        let e = bin(
+            BoundExpr::Column(ColumnId { rel: 2, col: 0 }),
+            BinaryOp::Eq,
+            BoundExpr::Column(ColumnId { rel: 0, col: 3 }),
+        );
+        assert_eq!(e.relations(), vec![0, 2]);
+        assert_eq!(e.columns().len(), 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # conquer-engine
+//!
+//! A small, complete in-memory SQL query engine: the substrate this
+//! reproduction substitutes for the commercial RDBMS (DB2) used in the
+//! paper's experiments.
+//!
+//! Pipeline: SQL text → [`conquer_sql`] AST → [`binder`] (name resolution,
+//! aggregate analysis) → [`planner`] (predicate pushdown, greedy equi-join
+//! ordering) → [`exec`] (hash joins, nested-loop joins, hash aggregation,
+//! sort, limit) → [`QueryResult`].
+//!
+//! The [`Database`] facade owns a [`conquer_storage::Catalog`] and executes
+//! `CREATE TABLE`, `INSERT` and `SELECT` statements end-to-end:
+//!
+//! ```
+//! use conquer_engine::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
+//! db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+//! let res = db.query("SELECT b FROM t WHERE a = 2").unwrap();
+//! assert_eq!(res.rows, vec![vec!["y".into()]]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binder;
+pub mod database;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod planner;
+pub mod result;
+
+pub use database::Database;
+pub use error::EngineError;
+pub use expr::{BoundExpr, ColumnId};
+pub use result::QueryResult;
+
+/// Convenience result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,146 @@
+//! Query results.
+
+use std::fmt;
+
+use conquer_storage::{Row, Value};
+
+/// The materialized result of a query: column names plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names, in order.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// An empty result with the given columns.
+    pub fn empty(columns: Vec<String>) -> Self {
+        QueryResult { columns, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let name = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.to_ascii_lowercase() == name)
+    }
+
+    /// The value at `(row, column-name)`.
+    pub fn value(&self, row: usize, column: &str) -> Option<&Value> {
+        let c = self.column_index(column)?;
+        self.rows.get(row)?.get(c)
+    }
+
+    /// Rows sorted with the total value order — convenient for
+    /// order-insensitive comparisons in tests.
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+
+    /// True if both results contain the same multiset of rows (column order
+    /// must match; row order is ignored).
+    pub fn same_rows(&self, other: &QueryResult) -> bool {
+        self.columns.len() == other.columns.len() && self.sorted_rows() == other.sorted_rows()
+    }
+}
+
+impl fmt::Display for QueryResult {
+    /// Renders an ASCII table, e.g.
+    ///
+    /// ```text
+    /// id | probability
+    /// ---+-------------
+    /// c1 | 1
+    /// c2 | 0.2
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{c:<w$}", w = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-+-")?;
+            }
+            write!(f, "{}", "-".repeat(*w))?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:<w$}", w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> QueryResult {
+        QueryResult {
+            columns: vec!["id".into(), "probability".into()],
+            rows: vec![
+                vec!["c2".into(), Value::Float(0.2)],
+                vec!["c1".into(), Value::Int(1)],
+            ],
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let r = result();
+        assert_eq!(r.column_index("PROBABILITY"), Some(1));
+        assert_eq!(r.value(0, "id"), Some(&Value::text("c2")));
+        assert_eq!(r.value(5, "id"), None);
+        assert_eq!(r.value(0, "nope"), None);
+    }
+
+    #[test]
+    fn same_rows_ignores_order() {
+        let a = result();
+        let mut b = result();
+        b.rows.reverse();
+        assert!(a.same_rows(&b));
+        b.rows.pop();
+        assert!(!a.same_rows(&b));
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let text = result().to_string();
+        assert!(text.contains("id | probability"), "{text}");
+        assert!(text.contains("c1"), "{text}");
+    }
+}

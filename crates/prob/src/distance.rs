@@ -1,0 +1,235 @@
+//! Distance measures between tuples and cluster representatives
+//! (Section 4.1.3).
+//!
+//! The paper's measure is **information loss**: merging summaries `s₁, s₂`
+//! into a clustering `C′` loses `d(s₁,s₂) = I(C;V) − I(C′;V)` bits of
+//! mutual information between the cluster variable and the value variable.
+//! For a merge of two clusters this difference reduces to a weighted
+//! Jensen–Shannon divergence,
+//!
+//! ```text
+//! ΔI = (n₁+n₂)/N · JS_{π₁,π₂}(p(V|c₁), p(V|c₂)),   πᵢ = nᵢ/(n₁+n₂)
+//! ```
+//!
+//! which needs only the two summaries' supports. Both forms are implemented
+//! and tested equal; the shortcut is what the assignment algorithm uses.
+
+use crate::dcf::Dcf;
+use crate::matrix::CategoricalMatrix;
+use crate::text::normalized_levenshtein;
+
+/// A distance between a tuple and its cluster's representative, pluggable
+/// into the Figure-5 probability assignment.
+pub trait DistanceMeasure {
+    /// The representative form this measure compares against.
+    type Rep;
+
+    /// Human-readable name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Build the representative of a cluster given its member rows.
+    fn representative(&self, matrix: &CategoricalMatrix, rows: &[usize]) -> Self::Rep;
+
+    /// Distance of tuple `t` to the representative; `n_total` is the number
+    /// of tuples in the relation (the normalization constant `N` in the
+    /// information-loss formula).
+    fn distance(
+        &self,
+        matrix: &CategoricalMatrix,
+        t: usize,
+        rep: &Self::Rep,
+        n_total: usize,
+    ) -> f64;
+}
+
+/// The paper's information-loss distance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InfoLossDistance;
+
+impl DistanceMeasure for InfoLossDistance {
+    type Rep = Dcf;
+
+    fn name(&self) -> &'static str {
+        "information-loss"
+    }
+
+    fn representative(&self, matrix: &CategoricalMatrix, rows: &[usize]) -> Dcf {
+        matrix.cluster_dcf(rows)
+    }
+
+    fn distance(&self, matrix: &CategoricalMatrix, t: usize, rep: &Dcf, n_total: usize) -> f64 {
+        information_loss(&matrix.tuple_dcf(t), rep, n_total as f64)
+    }
+}
+
+/// `ΔI` of merging two summaries within a relation of `n_total` tuples —
+/// the weighted-JS shortcut.
+pub fn information_loss(a: &Dcf, b: &Dcf, n_total: f64) -> f64 {
+    let w = a.weight() + b.weight();
+    if w == 0.0 || n_total == 0.0 {
+        return 0.0;
+    }
+    let (pa, pb) = (a.weight() / w, b.weight() / w);
+    // Merged distribution M = πa·pA + πb·pB; JS = πa·KL(pA‖M) + πb·KL(pB‖M).
+    let merged = a.merge(b);
+    let mut js = 0.0;
+    for (v, p) in a.support() {
+        if p > 0.0 {
+            js += pa * p * (p / merged.probability(v)).log2();
+        }
+    }
+    for (v, p) in b.support() {
+        if p > 0.0 {
+            js += pb * p * (p / merged.probability(v)).log2();
+        }
+    }
+    (w / n_total) * js.max(0.0)
+}
+
+/// Mutual information `I(C;V)` of a full clustering, computed directly from
+/// the definition. Quadratic in the domain; used to cross-check
+/// [`information_loss`] and in tests.
+pub fn mutual_information(clusters: &[Dcf], n_total: f64) -> f64 {
+    use std::collections::BTreeMap;
+    // p(v) = Σ_c p(c) p(v|c)
+    let mut pv: BTreeMap<u32, f64> = BTreeMap::new();
+    for c in clusters {
+        let pc = c.weight() / n_total;
+        for (v, p) in c.support() {
+            *pv.entry(v).or_insert(0.0) += pc * p;
+        }
+    }
+    let mut i = 0.0;
+    for c in clusters {
+        let pc = c.weight() / n_total;
+        for (v, p) in c.support() {
+            if p > 0.0 {
+                i += pc * p * (p / pv[&v]).log2();
+            }
+        }
+    }
+    i
+}
+
+/// A string-edit-distance measure, demonstrating the pluggability the paper
+/// claims ("when a distance measure between tuples (e.g., string edit
+/// distance) is available, our method can incorporate it").
+///
+/// The representative is the cluster's *modal tuple* — the most frequent
+/// value of each attribute — and the distance is the mean normalized
+/// Levenshtein distance between the tuple's values and the modal values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EditDistance;
+
+impl DistanceMeasure for EditDistance {
+    /// Rendered modal value per attribute.
+    type Rep = Vec<String>;
+
+    fn name(&self) -> &'static str {
+        "edit-distance"
+    }
+
+    fn representative(&self, matrix: &CategoricalMatrix, rows: &[usize]) -> Vec<String> {
+        let dcf = matrix.cluster_dcf(rows);
+        dcf.modal_values(|v| matrix.value_name(v).0, matrix.m())
+            .into_iter()
+            .map(|v| v.map(|v| matrix.value_name(v).1.to_string()).unwrap_or_default())
+            .collect()
+    }
+
+    fn distance(
+        &self,
+        matrix: &CategoricalMatrix,
+        t: usize,
+        rep: &Vec<String>,
+        _n_total: usize,
+    ) -> f64 {
+        let vals = matrix.values_of(t);
+        let mut total = 0.0;
+        for (a, &v) in vals.iter().enumerate() {
+            let s = matrix.value_name(v).1;
+            total += normalized_levenshtein(s, &rep[a]);
+        }
+        total / matrix.m() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dcf(w: f64, parts: &[(u32, f64)]) -> Dcf {
+        Dcf::from_parts(w, parts.iter().copied())
+    }
+
+    #[test]
+    fn identical_distributions_lose_nothing() {
+        let a = dcf(1.0, &[(0, 0.5), (1, 0.5)]);
+        let b = dcf(3.0, &[(0, 0.5), (1, 0.5)]);
+        assert!(information_loss(&a, &b, 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_distributions_lose_most() {
+        let a = dcf(1.0, &[(0, 1.0)]);
+        let b = dcf(1.0, &[(1, 1.0)]);
+        // JS of disjoint equal-weight distributions is 1 bit; ΔI = 2/N · 1.
+        let loss = information_loss(&a, &b, 2.0);
+        assert!((loss - 1.0).abs() < 1e-12, "{loss}");
+        // Overlap reduces the loss.
+        let c = dcf(1.0, &[(0, 0.5), (1, 0.5)]);
+        assert!(information_loss(&a, &c, 2.0) < loss);
+    }
+
+    #[test]
+    fn shortcut_equals_direct_mutual_information_difference() {
+        // Three clusters over a small domain; merge the first two.
+        let c1 = dcf(2.0, &[(0, 0.5), (1, 0.25), (2, 0.25)]);
+        let c2 = dcf(1.0, &[(1, 0.5), (3, 0.5)]);
+        let c3 = dcf(3.0, &[(2, 0.75), (4, 0.25)]);
+        let n = 6.0;
+        let before = mutual_information(&[c1.clone(), c2.clone(), c3.clone()], n);
+        let after = mutual_information(&[c1.merge(&c2), c3.clone()], n);
+        let direct = before - after;
+        let shortcut = information_loss(&c1, &c2, n);
+        assert!(
+            (direct - shortcut).abs() < 1e-12,
+            "direct {direct} vs shortcut {shortcut}"
+        );
+    }
+
+    #[test]
+    fn loss_is_symmetric_and_nonnegative() {
+        let a = dcf(2.0, &[(0, 0.7), (1, 0.3)]);
+        let b = dcf(5.0, &[(1, 0.2), (2, 0.8)]);
+        let ab = information_loss(&a, &b, 7.0);
+        let ba = information_loss(&b, &a, 7.0);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn mutual_information_of_single_cluster_is_zero() {
+        let c = dcf(4.0, &[(0, 0.5), (1, 0.5)]);
+        assert!(mutual_information(&[c], 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edit_distance_representative_is_modal_tuple() {
+        use crate::matrix::CategoricalMatrix;
+        use conquer_storage::{DataType, Schema, Table};
+        let schema =
+            Schema::from_pairs([("name", DataType::Text), ("city", DataType::Text)]).unwrap();
+        let mut t = Table::new("t", schema);
+        t.insert(vec!["ann".into(), "york".into()]).unwrap();
+        t.insert(vec!["ann".into(), "yorke".into()]).unwrap();
+        t.insert(vec!["anne".into(), "york".into()]).unwrap();
+        let m = CategoricalMatrix::from_table(&t, &["name", "city"]).unwrap();
+        let rep = EditDistance.representative(&m, &[0, 1, 2]);
+        assert_eq!(rep, vec!["ann".to_string(), "york".to_string()]);
+        // t0 matches the modal tuple exactly → distance 0; others don't.
+        assert_eq!(EditDistance.distance(&m, 0, &rep, 3), 0.0);
+        assert!(EditDistance.distance(&m, 1, &rep, 3) > 0.0);
+        assert!(EditDistance.distance(&m, 2, &rep, 3) > 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Small text utilities: Levenshtein distance for the edit-distance
+//! measure (and for the data generator's perturbation checks).
+
+/// Classic Levenshtein edit distance (insert/delete/substitute, unit cost),
+/// O(|a|·|b|) time, O(min) memory.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein distance normalized to `[0, 1]` by the longer string's
+/// length (0 = identical, 1 = nothing in common).
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("Mary", "Marion"), 3);
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalized_levenshtein("", ""), 0.0);
+        assert_eq!(normalized_levenshtein("a", "b"), 1.0);
+        assert!((normalized_levenshtein("abcd", "abce") - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unicode_counted_by_chars() {
+        assert_eq!(levenshtein("héllo", "hello"), 1);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let (a, b, c) = ("banking", "building", "bank");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+}

@@ -1,0 +1,470 @@
+//! SQL lexer.
+//!
+//! Turns SQL text into a token stream. Identifiers and keywords are
+//! case-insensitive; string literals use single quotes with `''` escaping;
+//! `--` starts a line comment.
+
+use std::fmt;
+
+/// Reserved words recognized by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select, Distinct, From, Where, Group, Having, Order, By, Asc, Desc, Limit,
+    And, Or, Not, As, In, Like, Between, Is, Null, True, False,
+    Sum, Count, Avg, Min, Max,
+    Create, Table, Insert, Into, Values, Date,
+    Delete, Update, Set, Case, When, Then, Else, End, Drop,
+    Integer, Int, Double, Float, Text, Varchar, Char, Boolean, Decimal,
+}
+
+impl Keyword {
+    /// Parse a word into a keyword (case-insensitive).
+    pub fn parse_word(word: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match word.to_ascii_uppercase().as_str() {
+            "SELECT" => Select,
+            "DISTINCT" => Distinct,
+            "FROM" => From,
+            "WHERE" => Where,
+            "GROUP" => Group,
+            "HAVING" => Having,
+            "ORDER" => Order,
+            "BY" => By,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "LIMIT" => Limit,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "AS" => As,
+            "IN" => In,
+            "LIKE" => Like,
+            "BETWEEN" => Between,
+            "IS" => Is,
+            "NULL" => Null,
+            "TRUE" => True,
+            "FALSE" => False,
+            "SUM" => Sum,
+            "COUNT" => Count,
+            "AVG" => Avg,
+            "MIN" => Min,
+            "MAX" => Max,
+            "CREATE" => Create,
+            "TABLE" => Table,
+            "INSERT" => Insert,
+            "INTO" => Into,
+            "VALUES" => Values,
+            "DATE" => Date,
+            "DELETE" => Delete,
+            "DROP" => Drop,
+            "UPDATE" => Update,
+            "SET" => Set,
+            "CASE" => Case,
+            "WHEN" => When,
+            "THEN" => Then,
+            "ELSE" => Else,
+            "END" => End,
+            "INTEGER" => Integer,
+            "INT" | "BIGINT" => Int,
+            "DOUBLE" => Double,
+            "FLOAT" | "REAL" => Float,
+            "TEXT" | "STRING" => Text,
+            "VARCHAR" => Varchar,
+            "CHAR" => Char,
+            "BOOLEAN" | "BOOL" => Boolean,
+            "DECIMAL" | "NUMERIC" => Decimal,
+            _ => return None,
+        })
+    }
+}
+
+/// The kind of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A reserved word.
+    Keyword(Keyword),
+    /// An identifier (lower-cased) — table, column or alias name.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A single-quoted string literal (unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier {s:?}"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::Float(x) => write!(f, "float {x}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Comma => f.write_str("','"),
+            TokenKind::LParen => f.write_str("'('"),
+            TokenKind::RParen => f.write_str("')'"),
+            TokenKind::Dot => f.write_str("'.'"),
+            TokenKind::Star => f.write_str("'*'"),
+            TokenKind::Plus => f.write_str("'+'"),
+            TokenKind::Minus => f.write_str("'-'"),
+            TokenKind::Slash => f.write_str("'/'"),
+            TokenKind::Percent => f.write_str("'%'"),
+            TokenKind::Eq => f.write_str("'='"),
+            TokenKind::NotEq => f.write_str("'<>'"),
+            TokenKind::Lt => f.write_str("'<'"),
+            TokenKind::LtEq => f.write_str("'<='"),
+            TokenKind::Gt => f.write_str("'>'"),
+            TokenKind::GtEq => f.write_str("'>='"),
+            TokenKind::Semicolon => f.write_str("';'"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character in the input.
+    pub offset: usize,
+}
+
+/// Lexer error: an unexpected character or malformed literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// The SQL lexer. Construct with [`Lexer::new`] and call
+/// [`Lexer::tokenize`].
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    /// Tokenize the whole input, appending a final [`TokenKind::Eof`].
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let offset = self.pos;
+            let Some(&c) = self.bytes.get(self.pos) else {
+                tokens.push(Token { kind: TokenKind::Eof, offset });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                b',' => self.one(TokenKind::Comma),
+                b'(' => self.one(TokenKind::LParen),
+                b')' => self.one(TokenKind::RParen),
+                b'.' => self.one(TokenKind::Dot),
+                b'*' => self.one(TokenKind::Star),
+                b'+' => self.one(TokenKind::Plus),
+                b'-' => self.one(TokenKind::Minus),
+                b'/' => self.one(TokenKind::Slash),
+                b'%' => self.one(TokenKind::Percent),
+                b';' => self.one(TokenKind::Semicolon),
+                b'=' => self.one(TokenKind::Eq),
+                b'<' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'=') => self.one(TokenKind::LtEq),
+                        Some(b'>') => self.one(TokenKind::NotEq),
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'=') {
+                        self.one(TokenKind::GtEq)
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                b'!' => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'=') {
+                        self.one(TokenKind::NotEq)
+                    } else {
+                        return Err(LexError {
+                            message: "unexpected character '!'".into(),
+                            offset,
+                        });
+                    }
+                }
+                b'\'' => self.string(offset)?,
+                b'0'..=b'9' => self.number(offset)?,
+                c if c == b'_' || c.is_ascii_alphabetic() => self.word(),
+                other => {
+                    return Err(LexError {
+                        message: format!("unexpected character {:?}", other as char),
+                        offset,
+                    })
+                }
+            };
+            tokens.push(Token { kind, offset });
+        }
+    }
+
+    fn one(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            while self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+            // `--` line comment
+            if self.bytes.get(self.pos) == Some(&b'-')
+                && self.bytes.get(self.pos + 1) == Some(&b'-')
+            {
+                while self.bytes.get(self.pos).is_some_and(|&c| c != b'\n') {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn string(&mut self, offset: usize) -> Result<TokenKind, LexError> {
+        debug_assert_eq!(self.bytes[self.pos], b'\'');
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        offset,
+                    })
+                }
+                Some(b'\'') => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'\'') {
+                        out.push('\'');
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(TokenKind::Str(out));
+                    }
+                }
+                Some(_) => {
+                    // Advance by whole UTF-8 chars.
+                    let rest = &self.src[self.pos..];
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self, offset: usize) -> Result<TokenKind, LexError> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        // Fractional part — but not if the dot starts something else like
+        // `1..2`; a digit must follow.
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && self.bytes.get(self.pos + 1).is_some_and(|c| c.is_ascii_digit())
+        {
+            is_float = true;
+            self.pos += 1;
+            while self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        // Exponent
+        if self.bytes.get(self.pos).is_some_and(|c| matches!(c, b'e' | b'E')) {
+            let mut p = self.pos + 1;
+            if self.bytes.get(p).is_some_and(|c| matches!(c, b'+' | b'-')) {
+                p += 1;
+            }
+            if self.bytes.get(p).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.pos = p;
+                while self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| LexError { message: format!("bad float literal: {e}"), offset })
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|e| LexError { message: format!("bad integer literal: {e}"), offset })
+        }
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        match Keyword::parse_word(text) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(text.to_ascii_lowercase()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_select() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("SELECT id FROM customer WHERE balance > 10"),
+            vec![
+                Keyword(super::Keyword::Select),
+                Ident("id".into()),
+                Keyword(super::Keyword::From),
+                Ident("customer".into()),
+                Keyword(super::Keyword::Where),
+                Ident("balance".into()),
+                Gt,
+                Int(10),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("<= >= <> != = < > + - * / % . , ; ( )"),
+            vec![
+                LtEq, GtEq, NotEq, NotEq, Eq, Lt, Gt, Plus, Minus, Star, Slash, Percent,
+                Dot, Comma, Semicolon, LParen, RParen, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        use TokenKind::*;
+        assert_eq!(kinds("42 3.5 0.06 1e3 2.5E-2"), vec![
+            Int(42),
+            Float(3.5),
+            Float(0.06),
+            Float(1000.0),
+            Float(0.025),
+            Eof
+        ]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'BUILDING' 'it''s'"),
+            vec![TokenKind::Str("BUILDING".into()), TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::new("'oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("select -- get everything\n1"),
+            vec![TokenKind::Keyword(Keyword::Select), TokenKind::Int(1), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn idents_lowercased_keywords_case_insensitive() {
+        assert_eq!(
+            kinds("SeLeCt MyCol"),
+            vec![TokenKind::Keyword(Keyword::Select), TokenKind::Ident("mycol".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = Lexer::new("a  bb").tokenize().unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+
+    #[test]
+    fn bang_alone_is_error() {
+        assert!(Lexer::new("a ! b").tokenize().is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! # conquer-sql
+//!
+//! SQL front-end for the ConQuer clean-answers system: a lexer, an abstract
+//! syntax tree, a recursive-descent parser, and a pretty-printer that renders
+//! ASTs back to SQL text.
+//!
+//! The dialect covers what the paper's workload needs (Section 5.3 runs
+//! thirteen TPC-H select-project-join queries with their aggregates removed):
+//!
+//! * `SELECT [DISTINCT] <exprs with aliases | *>`
+//! * `FROM t1 [AS] a1, t2 [AS] a2, …` (comma joins — the paper's queries are
+//!   written in this style, see q3 in Section 5.3)
+//! * `WHERE` with `AND`/`OR`/`NOT`, comparisons, `BETWEEN`, `IN (list)`,
+//!   `LIKE`, `IS [NOT] NULL`, arithmetic
+//! * `GROUP BY`, `HAVING`, aggregates `SUM`/`COUNT`/`AVG`/`MIN`/`MAX`
+//! * `ORDER BY … [ASC|DESC]`, `LIMIT`
+//! * `DATE 'YYYY-MM-DD'` literals
+//! * `CREATE TABLE` / `INSERT INTO … VALUES` so the engine is usable as a
+//!   standalone database.
+//!
+//! The `RewriteClean` transformation in `conquer-core` is AST→AST; the
+//! pretty-printer makes rewritten queries inspectable and round-trippable
+//! (property-tested: `parse(print(ast)) == ast`).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    AggFunc, BinaryOp, ColumnRef, CreateTable, Delete, Expr, Insert, InsertSource, Literal,
+    OrderByItem,
+    SelectItem, SelectStatement, Statement, TableRef, UnaryOp, Update,
+};
+pub use lexer::{Keyword, Lexer, Token, TokenKind};
+pub use parser::{parse_expr, parse_select, parse_statement, parse_statements, ParseError};

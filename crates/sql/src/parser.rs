@@ -1,0 +1,867 @@
+//! Recursive-descent SQL parser.
+
+use std::fmt;
+
+use conquer_storage::DataType;
+
+use crate::ast::*;
+use crate::lexer::{Keyword, LexError, Lexer, Token, TokenKind};
+
+/// A parse (or lex) error with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the SQL text.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, offset: e.offset }
+    }
+}
+
+/// Parse a single statement (a trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.statement()?;
+    p.eat_kind(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated script into statements.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat_kind(&TokenKind::Semicolon) {}
+        if p.at_eof() {
+            return Ok(out);
+        }
+        out.push(p.statement()?);
+    }
+}
+
+/// Parse a `SELECT` statement.
+pub fn parse_select(sql: &str) -> Result<SelectStatement, ParseError> {
+    match parse_statement(sql)? {
+        Statement::Select(s) => Ok(s),
+        other => Err(ParseError {
+            message: format!("expected a SELECT statement, found {other}"),
+            offset: 0,
+        }),
+    }
+}
+
+/// Parse a standalone scalar expression (useful in tests and tools).
+pub fn parse_expr(sql: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Self, ParseError> {
+        Ok(Parser { tokens: Lexer::new(sql).tokenize()?, pos: 0 })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), offset: self.peek().offset })
+    }
+
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat_kind(&TokenKind::Keyword(kw))
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if self.eat_kind(kind) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        self.expect_kind(&TokenKind::Keyword(kw))
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            self.err(format!("unexpected trailing input: {}", self.peek().kind))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let TokenKind::Ident(s) = self.advance().kind else { unreachable!() };
+                Ok(s)
+            }
+            // The paper's running example uses a relation literally named
+            // `order` (Figure 2). Accept ORDER as a soft identifier whenever
+            // it cannot start an ORDER BY clause.
+            TokenKind::Keyword(Keyword::Order)
+                if self.peek2() != &TokenKind::Keyword(Keyword::By) =>
+            {
+                self.advance();
+                Ok("order".to_string())
+            }
+            other => {
+                let msg = format!("expected identifier, found {other}");
+                self.err(msg)
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Keyword(Keyword::Select) => Ok(Statement::Select(self.select()?)),
+            TokenKind::Keyword(Keyword::Create) => Ok(Statement::CreateTable(self.create_table()?)),
+            TokenKind::Keyword(Keyword::Insert) => Ok(Statement::Insert(self.insert()?)),
+            TokenKind::Keyword(Keyword::Delete) => Ok(Statement::Delete(self.delete()?)),
+            TokenKind::Keyword(Keyword::Update) => Ok(Statement::Update(self.update()?)),
+            TokenKind::Keyword(Keyword::Drop) => {
+                self.advance();
+                self.expect_kw(Keyword::Table)?;
+                Ok(Statement::DropTable(self.ident()?))
+            }
+            other => {
+                let msg =
+                    format!("expected SELECT, CREATE, INSERT, DELETE or UPDATE, found {other}");
+                self.err(msg)
+            }
+        }
+    }
+
+    fn create_table(&mut self) -> Result<CreateTable, ParseError> {
+        self.expect_kw(Keyword::Create)?;
+        self.expect_kw(Keyword::Table)?;
+        let name = self.ident()?;
+        self.expect_kind(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.data_type()?;
+            columns.push((col, ty));
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(&TokenKind::RParen)?;
+        Ok(CreateTable { name, columns })
+    }
+
+    fn data_type(&mut self) -> Result<DataType, ParseError> {
+        let t = self.advance();
+        let ty = match t.kind {
+            TokenKind::Keyword(Keyword::Integer) | TokenKind::Keyword(Keyword::Int) => {
+                DataType::Int
+            }
+            TokenKind::Keyword(Keyword::Double) | TokenKind::Keyword(Keyword::Float) => {
+                DataType::Float
+            }
+            TokenKind::Keyword(Keyword::Decimal) => {
+                // DECIMAL(p, s) — modelled as Float.
+                if self.eat_kind(&TokenKind::LParen) {
+                    self.number_literal()?;
+                    if self.eat_kind(&TokenKind::Comma) {
+                        self.number_literal()?;
+                    }
+                    self.expect_kind(&TokenKind::RParen)?;
+                }
+                DataType::Float
+            }
+            TokenKind::Keyword(Keyword::Text) => DataType::Text,
+            TokenKind::Keyword(Keyword::Varchar) | TokenKind::Keyword(Keyword::Char) => {
+                // VARCHAR(n) — length is accepted and ignored.
+                if self.eat_kind(&TokenKind::LParen) {
+                    self.number_literal()?;
+                    self.expect_kind(&TokenKind::RParen)?;
+                }
+                DataType::Text
+            }
+            TokenKind::Keyword(Keyword::Boolean) => DataType::Bool,
+            TokenKind::Keyword(Keyword::Date) => DataType::Date,
+            other => {
+                return Err(ParseError {
+                    message: format!("expected a data type, found {other}"),
+                    offset: t.offset,
+                })
+            }
+        };
+        Ok(ty)
+    }
+
+    fn number_literal(&mut self) -> Result<(), ParseError> {
+        match self.peek().kind {
+            TokenKind::Int(_) | TokenKind::Float(_) => {
+                self.advance();
+                Ok(())
+            }
+            _ => self.err("expected a numeric literal"),
+        }
+    }
+
+    fn insert(&mut self) -> Result<Insert, ParseError> {
+        self.expect_kw(Keyword::Insert)?;
+        self.expect_kw(Keyword::Into)?;
+        let table = self.ident()?;
+        let columns = if self.eat_kind(&TokenKind::LParen) {
+            let mut cols = vec![self.ident()?];
+            while self.eat_kind(&TokenKind::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect_kind(&TokenKind::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        if self.peek().kind == TokenKind::Keyword(Keyword::Select) {
+            let query = self.select()?;
+            return Ok(Insert { table, columns, source: InsertSource::Query(Box::new(query)) });
+        }
+        self.expect_kw(Keyword::Values)?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_kind(&TokenKind::LParen)?;
+            let mut row = vec![self.expr()?];
+            while self.eat_kind(&TokenKind::Comma) {
+                row.push(self.expr()?);
+            }
+            self.expect_kind(&TokenKind::RParen)?;
+            rows.push(row);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Insert { table, columns, source: InsertSource::Values(rows) })
+    }
+
+    fn delete(&mut self) -> Result<Delete, ParseError> {
+        self.expect_kw(Keyword::Delete)?;
+        self.expect_kw(Keyword::From)?;
+        let table = self.ident()?;
+        let selection = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        Ok(Delete { table, selection })
+    }
+
+    fn update(&mut self) -> Result<Update, ParseError> {
+        self.expect_kw(Keyword::Update)?;
+        let table = self.ident()?;
+        self.expect_kw(Keyword::Set)?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_kind(&TokenKind::Eq)?;
+            let value = self.expr()?;
+            assignments.push((col, value));
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let selection = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        Ok(Update { table, assignments, selection })
+    }
+
+    fn select(&mut self) -> Result<SelectStatement, ParseError> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+
+        let mut projection = vec![self.select_item()?];
+        while self.eat_kind(&TokenKind::Comma) {
+            projection.push(self.select_item()?);
+        }
+
+        let mut from = Vec::new();
+        if self.eat_kw(Keyword::From) {
+            from.push(self.table_ref()?);
+            while self.eat_kind(&TokenKind::Comma) {
+                from.push(self.table_ref()?);
+            }
+        }
+
+        let selection = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by.push(self.expr()?);
+            while self.eat_kind(&TokenKind::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+
+        let having = if self.eat_kw(Keyword::Having) { Some(self.expr()?) } else { None };
+
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw(Keyword::Desc) {
+                    true
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    false
+                };
+                order_by.push(OrderByItem { expr, desc });
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw(Keyword::Limit) {
+            match self.advance().kind {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                other => {
+                    return self.err(format!("expected a row count after LIMIT, found {other}"))
+                }
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStatement { distinct, projection, from, selection, group_by, having, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat_kind(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let TokenKind::Ident(q) = &self.peek().kind {
+            if self.peek2() == &TokenKind::Dot {
+                // look two ahead for `*`
+                let q = q.clone();
+                let third =
+                    &self.tokens[(self.pos + 2).min(self.tokens.len() - 1)].kind;
+                if third == &TokenKind::Star {
+                    self.advance();
+                    self.advance();
+                    self.advance();
+                    return Ok(SelectItem::QualifiedWildcard(q));
+                }
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(Keyword::As) || matches!(self.peek().kind, TokenKind::Ident(_))
+        {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let table = self.ident()?;
+        let alias = if self.eat_kw(Keyword::As) || matches!(self.peek().kind, TokenKind::Ident(_))
+        {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    /// Entry point of the expression grammar (lowest precedence: `OR`).
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.and_expr()?;
+            left = Expr::binary(left, BinaryOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.not_expr()?;
+            left = Expr::binary(left, BinaryOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw(Keyword::Not) {
+            let inner = self.not_expr()?;
+            Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let left = self.additive()?;
+        // Optional comparison / LIKE / IN / BETWEEN / IS NULL suffix.
+        let op = match &self.peek().kind {
+            TokenKind::Eq => Some(BinaryOp::Eq),
+            TokenKind::NotEq => Some(BinaryOp::NotEq),
+            TokenKind::Lt => Some(BinaryOp::Lt),
+            TokenKind::LtEq => Some(BinaryOp::LtEq),
+            TokenKind::Gt => Some(BinaryOp::Gt),
+            TokenKind::GtEq => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.additive()?;
+            return Ok(Expr::binary(left, op, right));
+        }
+        let negated = if self.peek().kind == TokenKind::Keyword(Keyword::Not)
+            && matches!(
+                self.peek2(),
+                TokenKind::Keyword(Keyword::Like)
+                    | TokenKind::Keyword(Keyword::In)
+                    | TokenKind::Keyword(Keyword::Between)
+            ) {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw(Keyword::Like) {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if self.eat_kw(Keyword::In) {
+            self.expect_kind(&TokenKind::LParen)?;
+            let mut list = vec![self.expr()?];
+            while self.eat_kind(&TokenKind::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect_kind(&TokenKind::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw(Keyword::Between) {
+            let low = self.additive()?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if negated {
+            return self.err("expected LIKE, IN or BETWEEN after NOT");
+        }
+        if self.eat_kw(Keyword::Is) {
+            let negated = self.eat_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null)?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => return Ok(left),
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::binary(left, op, right);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kind(&TokenKind::Minus) {
+            let inner = self.unary()?;
+            // Constant-fold a negated numeric literal so `-1` is a literal.
+            return Ok(match inner {
+                Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
+                Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        if self.eat_kind(&TokenKind::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let t = self.peek().clone();
+        match &t.kind {
+            TokenKind::Int(i) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Int(*i)))
+            }
+            TokenKind::Float(x) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Float(*x)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Str(s.clone())))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::Keyword(Keyword::Date) => {
+                self.advance();
+                match self.advance() {
+                    Token { kind: TokenKind::Str(s), offset } => {
+                        let d = s.parse().map_err(|e| ParseError {
+                            message: format!("{e}"),
+                            offset,
+                        })?;
+                        Ok(Expr::Literal(Literal::Date(d)))
+                    }
+                    Token { kind, offset } => Err(ParseError {
+                        message: format!("expected a date string after DATE, found {kind}"),
+                        offset,
+                    }),
+                }
+            }
+            TokenKind::Keyword(Keyword::Case) => {
+                self.advance();
+                let operand = if self.peek().kind == TokenKind::Keyword(Keyword::When) {
+                    None
+                } else {
+                    Some(Box::new(self.expr()?))
+                };
+                let mut branches = Vec::new();
+                while self.eat_kw(Keyword::When) {
+                    let when = self.expr()?;
+                    self.expect_kw(Keyword::Then)?;
+                    let then = self.expr()?;
+                    branches.push((when, then));
+                }
+                if branches.is_empty() {
+                    return self.err("CASE requires at least one WHEN branch");
+                }
+                let else_expr = if self.eat_kw(Keyword::Else) {
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                self.expect_kw(Keyword::End)?;
+                Ok(Expr::Case { operand, branches, else_expr })
+            }
+            TokenKind::Keyword(k)
+                if matches!(
+                    k,
+                    Keyword::Sum | Keyword::Count | Keyword::Avg | Keyword::Min | Keyword::Max
+                ) =>
+            {
+                let func = match k {
+                    Keyword::Sum => AggFunc::Sum,
+                    Keyword::Count => AggFunc::Count,
+                    Keyword::Avg => AggFunc::Avg,
+                    Keyword::Min => AggFunc::Min,
+                    Keyword::Max => AggFunc::Max,
+                    _ => unreachable!(),
+                };
+                self.advance();
+                self.expect_kind(&TokenKind::LParen)?;
+                let distinct = self.eat_kw(Keyword::Distinct);
+                let arg = if self.eat_kind(&TokenKind::Star) {
+                    if func != AggFunc::Count {
+                        return self.err("only COUNT accepts '*'");
+                    }
+                    None
+                } else {
+                    Some(Box::new(self.expr()?))
+                };
+                self.expect_kind(&TokenKind::RParen)?;
+                Ok(Expr::Aggregate { func, arg, distinct })
+            }
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.advance();
+                if self.eat_kind(&TokenKind::Dot) {
+                    let col = self.ident()?;
+                    Ok(Expr::Column(ColumnRef { qualifier: Some(name), name: col }))
+                } else {
+                    Ok(Expr::Column(ColumnRef { qualifier: None, name }))
+                }
+            }
+            // `order.id` — qualified reference to the soft keyword `order`.
+            TokenKind::Keyword(Keyword::Order) if self.peek2() == &TokenKind::Dot => {
+                self.advance();
+                self.advance();
+                let col = self.ident()?;
+                Ok(Expr::Column(ColumnRef { qualifier: Some("order".into()), name: col }))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect_kind(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => {
+                let msg = format!("expected an expression, found {other}");
+                self.err(msg)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_query_q1() {
+        // Example 4 of the paper.
+        let q = parse_select("select id from customer c where balance > 10000").unwrap();
+        assert_eq!(q.from, vec![TableRef { table: "customer".into(), alias: Some("c".into()) }]);
+        assert_eq!(q.projection.len(), 1);
+        assert!(q.selection.is_some());
+    }
+
+    #[test]
+    fn parse_rewritten_query() {
+        // Example 6's rewriting.
+        let q = parse_select(
+            "select o.id, c.id, sum(o.prob * c.prob) \
+             from order o, customer c \
+             where o.cidfk=c.id and c.balance > 10000 \
+             group by o.id, c.id",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 2);
+        assert!(matches!(
+            &q.projection[2],
+            SelectItem::Expr { expr: Expr::Aggregate { func: AggFunc::Sum, .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn parse_tpch_q3_shape() {
+        // The paper's Section 5.3 query.
+        let q = parse_select(
+            "select l_orderkey, l_extendedprice*(1-l_discount) as revenue, \
+                    o_orderdate, o_shippriority \
+             from customer, orders, lineitem \
+             where c_mktsegment = 'BUILDING' and c_custkey = o_custkey \
+               and l_orderkey = o_orderkey and o_orderdate < DATE '1995-03-15' \
+               and l_shipdate > DATE '1995-03-15' \
+             order by revenue desc, o_orderdate",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        match &q.projection[1] {
+            SelectItem::Expr { alias: Some(a), .. } => assert_eq!(a, "revenue"),
+            other => panic!("unexpected projection: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_in_between_like_isnull() {
+        let q = parse_select(
+            "select a from t where a in (1,2,3) and b between 1 and 5 \
+             and c like 'x%' and d is not null and e not like '_y' \
+             and f not in (7) and g not between 0 and 1 and h is null",
+        )
+        .unwrap();
+        let conjuncts = q.selection.as_ref().unwrap().conjuncts().len();
+        assert_eq!(conjuncts, 8);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::binary(
+                Expr::int(1),
+                BinaryOp::Add,
+                Expr::binary(Expr::int(2), BinaryOp::Mul, Expr::int(3))
+            )
+        );
+        let e = parse_expr("a or b and not c = 1").unwrap();
+        // ((a) OR ((b) AND (NOT (c = 1))))
+        match e {
+            Expr::Binary { op: BinaryOp::Or, right, .. } => match *right {
+                Expr::Binary { op: BinaryOp::And, right, .. } => {
+                    assert!(matches!(*right, Expr::Unary { op: UnaryOp::Not, .. }))
+                }
+                other => panic!("bad tree: {other:?}"),
+            },
+            other => panic!("bad tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_folded() {
+        assert_eq!(parse_expr("-5").unwrap(), Expr::int(-5));
+        assert_eq!(parse_expr("-2.5").unwrap(), Expr::float(-2.5));
+        assert!(matches!(parse_expr("-x").unwrap(), Expr::Unary { op: UnaryOp::Neg, .. }));
+    }
+
+    #[test]
+    fn create_table_types() {
+        let s = parse_statement(
+            "create table t (a integer, b double, c varchar(25), d date, e boolean, f decimal(15,2))",
+        )
+        .unwrap();
+        let Statement::CreateTable(ct) = s else { panic!() };
+        assert_eq!(
+            ct.columns.iter().map(|(_, t)| *t).collect::<Vec<_>>(),
+            vec![
+                DataType::Int,
+                DataType::Float,
+                DataType::Text,
+                DataType::Date,
+                DataType::Bool,
+                DataType::Float
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let s = parse_statement(
+            "insert into t (a, b) values (1, 'x'), (2, 'y''z')",
+        )
+        .unwrap();
+        let Statement::Insert(ins) = s else { panic!() };
+        let InsertSource::Values(rows) = &ins.source else { panic!() };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][1], Expr::str("y'z"));
+    }
+
+    #[test]
+    fn wildcards() {
+        let q = parse_select("select * from t").unwrap();
+        assert_eq!(q.projection, vec![SelectItem::Wildcard]);
+        let q = parse_select("select c.* , d.x from t c, u d").unwrap();
+        assert_eq!(q.projection[0], SelectItem::QualifiedWildcard("c".into()));
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let err = parse_select("select from t").unwrap_err();
+        assert!(err.message.contains("expected an expression"), "{err}");
+        let err = parse_select("select a from t where").unwrap_err();
+        assert!(err.message.contains("expected an expression"), "{err}");
+        let err = parse_statement("alter table t").unwrap_err();
+        assert!(err.message.contains("expected SELECT"), "{err}");
+        let err = parse_select("select a from t limit x").unwrap_err();
+        assert!(err.message.contains("LIMIT"), "{err}");
+    }
+
+    #[test]
+    fn trailing_semicolon_ok_garbage_rejected() {
+        assert!(parse_select("select a from t;").is_ok());
+        assert!(parse_select("select a from t; select").is_err());
+        let stmts = parse_statements("select a from t; select b from u;").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn statement_display_roundtrip() {
+        for sql in [
+            "SELECT DISTINCT a, b AS c FROM t x, u WHERE a = 1 AND b < 2.5 \
+             GROUP BY a, b HAVING COUNT(*) > 1 ORDER BY a DESC, b LIMIT 3",
+            "SELECT o.id, c.id, SUM(o.prob * c.prob) FROM order o, customer c \
+             WHERE o.cidfk = c.id AND c.balance > 10000 GROUP BY o.id, c.id",
+            "SELECT * FROM t WHERE a IS NOT NULL AND b NOT IN (1, 2) OR NOT c LIKE 'x%'",
+            "SELECT a FROM t WHERE d >= DATE '1994-01-01' AND d < DATE '1995-01-01'",
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)",
+            "CREATE TABLE t (a INTEGER, b DOUBLE, c TEXT, d DATE, e BOOLEAN)",
+        ] {
+            let stmt = parse_statement(sql).unwrap();
+            let printed = stmt.to_string();
+            let reparsed = parse_statement(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            assert_eq!(stmt, reparsed, "roundtrip mismatch for {sql}");
+        }
+    }
+
+    #[test]
+    fn count_distinct_and_star() {
+        let e = parse_expr("count(distinct x)").unwrap();
+        assert!(matches!(e, Expr::Aggregate { func: AggFunc::Count, distinct: true, .. }));
+        let e = parse_expr("count(*)").unwrap();
+        assert!(matches!(e, Expr::Aggregate { func: AggFunc::Count, arg: None, .. }));
+        assert!(parse_expr("sum(*)").is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! The table catalog.
+
+use std::collections::BTreeMap;
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// A named collection of tables.
+///
+/// Uses a `BTreeMap` so iteration order (and hence anything derived from it,
+/// e.g. candidate-database enumeration order) is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Create a new empty table with the given schema.
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+    ) -> Result<&mut Table, StorageError> {
+        let name = name.into().to_ascii_lowercase();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        let table = Table::new(name.clone(), schema);
+        Ok(self.tables.entry(name).or_insert(table))
+    }
+
+    /// Register an already-populated table (replacing any previous one with
+    /// the same name is an error).
+    pub fn add_table(&mut self, table: Table) -> Result<(), StorageError> {
+        if self.tables.contains_key(table.name()) {
+            return Err(StorageError::TableExists(table.name().to_string()));
+        }
+        self.tables.insert(table.name().to_string(), table);
+        Ok(())
+    }
+
+    /// Replace a table unconditionally (used when swapping in candidate
+    /// databases during naive clean-answer evaluation).
+    pub fn replace_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Fetch a table by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Result<&Table, StorageError> {
+        let key = name.to_ascii_lowercase();
+        self.tables.get(&key).ok_or(StorageError::NoSuchTable(key))
+    }
+
+    /// Mutable access to a table by name.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
+        let key = name.to_ascii_lowercase();
+        self.tables.get_mut(&key).ok_or(StorageError::NoSuchTable(key))
+    }
+
+    /// True when a table with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Remove a table, returning it.
+    pub fn drop_table(&mut self, name: &str) -> Result<Table, StorageError> {
+        let key = name.to_ascii_lowercase();
+        self.tables.remove(&key).ok_or(StorageError::NoSuchTable(key))
+    }
+
+    /// Sorted table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Iterate over all tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the catalog holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total rows across all tables (reported by the data generator).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut cat = Catalog::new();
+        let schema = Schema::from_pairs([("a", DataType::Int)]).unwrap();
+        cat.create_table("T", schema.clone()).unwrap();
+        assert!(cat.contains("t"));
+        assert!(cat.table("T").is_ok());
+        assert!(matches!(cat.create_table("t", schema), Err(StorageError::TableExists(_))));
+        cat.drop_table("T").unwrap();
+        assert!(!cat.contains("t"));
+        assert!(matches!(cat.table("t"), Err(StorageError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut cat = Catalog::new();
+        for n in ["zeta", "alpha", "mid"] {
+            cat.create_table(n, Schema::default()).unwrap();
+        }
+        assert_eq!(cat.table_names(), vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn replace_table_overwrites() {
+        let mut cat = Catalog::new();
+        let schema = Schema::from_pairs([("a", DataType::Int)]).unwrap();
+        cat.create_table("t", schema.clone()).unwrap();
+        let mut t2 = Table::new("t", schema);
+        t2.insert(vec![1.into()]).unwrap();
+        cat.replace_table(t2);
+        assert_eq!(cat.table("t").unwrap().len(), 1);
+    }
+}

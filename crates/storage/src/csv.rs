@@ -1,0 +1,200 @@
+//! Minimal CSV import/export.
+//!
+//! The benchmark harnesses dump measured series as CSV so plots and
+//! EXPERIMENTS.md tables can be regenerated; tables can also be loaded from
+//! CSV for ad-hoc experiments. Quoting follows RFC 4180: fields containing
+//! commas, quotes or newlines are quoted, quotes are doubled.
+
+use std::io::{BufRead, Write};
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::table::{Row, Table};
+use crate::value::{DataType, Value};
+
+/// Escape a single field per RFC 4180.
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Split one CSV line into fields, honouring quotes.
+fn split_line(line: &str) -> Result<Vec<String>, StorageError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StorageError::Csv(format!("unterminated quote in line: {line:?}")));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Write a table (header + rows) as CSV.
+pub fn write_table<W: Write>(table: &Table, out: &mut W) -> Result<(), StorageError> {
+    let header: Vec<String> = table.schema().names().map(escape).collect();
+    writeln!(out, "{}", header.join(","))?;
+    for row in table.rows() {
+        write_row(row, out)?;
+    }
+    Ok(())
+}
+
+/// Write one row as a CSV line (NULL becomes the empty field).
+pub fn write_row<W: Write>(row: &Row, out: &mut W) -> Result<(), StorageError> {
+    let fields: Vec<String> = row
+        .iter()
+        .map(|v| match v {
+            Value::Null => String::new(),
+            other => escape(&other.to_string()),
+        })
+        .collect();
+    writeln!(out, "{}", fields.join(","))?;
+    Ok(())
+}
+
+/// Parse a field according to a column type; empty fields become NULL.
+fn parse_field(field: &str, ty: DataType) -> Result<Value, StorageError> {
+    if field.is_empty() {
+        return Ok(Value::Null);
+    }
+    let err = |msg: &str| StorageError::Csv(format!("{msg}: {field:?}"));
+    Ok(match ty {
+        DataType::Bool => match field.to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" => Value::Bool(true),
+            "false" | "f" | "0" => Value::Bool(false),
+            _ => return Err(err("bad boolean")),
+        },
+        DataType::Int => Value::Int(field.parse().map_err(|_| err("bad integer"))?),
+        DataType::Float => Value::Float(field.parse().map_err(|_| err("bad float"))?),
+        DataType::Text => Value::text(field),
+        DataType::Date => Value::Date(field.parse().map_err(|_| err("bad date"))?),
+    })
+}
+
+/// Read a table from CSV. The first line must be a header whose fields match
+/// the given schema's column names (case-insensitive, same order).
+pub fn read_table<R: BufRead>(
+    name: &str,
+    schema: Schema,
+    input: R,
+) -> Result<Table, StorageError> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| StorageError::Csv("empty input (missing header)".into()))??;
+    let header_fields = split_line(&header)?;
+    let expected: Vec<&str> = schema.names().collect();
+    let got: Vec<String> = header_fields.iter().map(|f| f.to_ascii_lowercase()).collect();
+    if got != expected {
+        return Err(StorageError::Csv(format!(
+            "header mismatch: expected {expected:?}, got {got:?}"
+        )));
+    }
+    let mut table = Table::new(name, schema);
+    for line in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line(&line)?;
+        if fields.len() != table.schema().len() {
+            return Err(StorageError::Csv(format!(
+                "row arity mismatch: expected {}, got {} in {line:?}",
+                table.schema().len(),
+                fields.len()
+            )));
+        }
+        let row: Result<Row, StorageError> = fields
+            .iter()
+            .zip(table.schema().columns())
+            .map(|(f, c)| parse_field(f, c.data_type()))
+            .collect();
+        table.insert(row?)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::from_pairs([
+            ("name", DataType::Text),
+            ("income", DataType::Float),
+            ("since", DataType::Date),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut t = Table::new("c", schema());
+        t.insert(vec!["John, Jr.".into(), 120_000.0.into(), Value::Date("1999-01-02".parse().unwrap())])
+            .unwrap();
+        t.insert(vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("name,income,since\n"));
+        assert!(text.contains("\"John, Jr.\""));
+
+        let back = read_table("c", schema(), &buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.value(0, 0), &Value::text("John, Jr."));
+        assert_eq!(back.value(0, 1), &Value::Float(120000.0));
+        assert!(back.value(1, 0).is_null());
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        let fields = split_line("\"say \"\"hi\"\"\",b").unwrap();
+        assert_eq!(fields, vec!["say \"hi\"", "b"]);
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let data = b"wrong,header,cols\n";
+        let err = read_table("c", schema(), &data[..]).unwrap_err();
+        assert!(matches!(err, StorageError::Csv(_)));
+    }
+
+    #[test]
+    fn bad_field_rejected() {
+        let data = b"name,income,since\nann,notanumber,1999-01-01\n";
+        assert!(read_table("c", schema(), &data[..]).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(split_line("\"oops").is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! A minimal calendar date type.
+//!
+//! TPC-H workloads filter and sort on dates, so the engine needs a real date
+//! type with correct calendar arithmetic. [`Date`] stores the number of days
+//! since the Unix epoch (1970-01-01) and converts to and from civil
+//! `YYYY-MM-DD` form using the classic days-from-civil algorithm, which is
+//! exact over the full proleptic Gregorian calendar.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A calendar date, stored as days since 1970-01-01.
+///
+/// `Date` is `Copy`, totally ordered, and hashable, so it can be used
+/// directly as a join/group/sort key.
+///
+/// ```
+/// use conquer_storage::Date;
+/// let d: Date = "1995-03-15".parse().unwrap();
+/// assert_eq!(d.to_string(), "1995-03-15");
+/// assert!(d < "1995-03-16".parse().unwrap());
+/// assert_eq!(d.add_days(1).to_string(), "1995-03-16");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date(i32);
+
+impl Date {
+    /// Construct from a raw day count since the epoch.
+    pub const fn from_days(days: i32) -> Self {
+        Date(days)
+    }
+
+    /// The raw day count since 1970-01-01.
+    pub const fn days(self) -> i32 {
+        self.0
+    }
+
+    /// Construct from a civil (year, month, day) triple.
+    ///
+    /// Returns `None` for out-of-range months or days (including
+    /// month-length and leap-year violations).
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Option<Self> {
+        if !(1..=12).contains(&month) {
+            return None;
+        }
+        if day < 1 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date(days_from_civil(year, month, day)))
+    }
+
+    /// Decompose into a civil (year, month, day) triple.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0)
+    }
+
+    /// The calendar year.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// The calendar month (1-12).
+    pub fn month(self) -> u32 {
+        self.ymd().1
+    }
+
+    /// The day of month (1-31).
+    pub fn day(self) -> u32 {
+        self.ymd().2
+    }
+
+    /// This date shifted by `n` days (negative shifts backwards).
+    pub fn add_days(self, n: i32) -> Self {
+        Date(self.0 + n)
+    }
+
+    /// This date shifted forward by `n` months, clamping the day of month
+    /// to the target month's length (like SQL's `ADD_MONTHS`).
+    pub fn add_months(self, n: i32) -> Self {
+        let (y, m, d) = self.ymd();
+        let total = (y as i64) * 12 + (m as i64 - 1) + n as i64;
+        let ny = total.div_euclid(12) as i32;
+        let nm = (total.rem_euclid(12) + 1) as u32;
+        let nd = d.min(days_in_month(ny, nm));
+        Date(days_from_civil(ny, nm, nd))
+    }
+}
+
+/// Number of days in a civil month.
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Howard Hinnant's `days_from_civil`: exact day count since 1970-01-01.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = ((m as i64) + 9) % 12; // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + (d as i64) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era * 146097 + doe - 719468) as i32
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    let y = if m <= 2 { y + 1 } else { y } as i32;
+    (y, m, d)
+}
+
+/// Error produced when parsing a malformed date string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDateError(pub String);
+
+impl fmt::Display for ParseDateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid date literal: {:?} (expected YYYY-MM-DD)", self.0)
+    }
+}
+
+impl std::error::Error for ParseDateError {}
+
+impl FromStr for Date {
+    type Err = ParseDateError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseDateError(s.to_string());
+        let mut parts = s.splitn(3, '-');
+        let y: i32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let m: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let d: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        Date::from_ymd(y, m, d).ok_or_else(err)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).unwrap().days(), 0);
+        assert_eq!(Date::from_days(0).ymd(), (1970, 1, 1));
+    }
+
+    #[test]
+    fn roundtrip_every_day_of_several_years() {
+        // Covers leap year (1996, 2000), non-leap century (1900), ordinary.
+        for start in [-25567, 9497, 10957, 18262] {
+            for offset in 0..=366 {
+                let d = Date::from_days(start + offset);
+                let (y, m, dd) = d.ymd();
+                assert_eq!(Date::from_ymd(y, m, dd), Some(d));
+            }
+        }
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let d: Date = "1998-12-01".parse().unwrap();
+        assert_eq!(d.ymd(), (1998, 12, 1));
+        assert_eq!(d.to_string(), "1998-12-01");
+    }
+
+    #[test]
+    fn rejects_bad_dates() {
+        assert!("1998-13-01".parse::<Date>().is_err());
+        assert!("1998-02-30".parse::<Date>().is_err());
+        assert!("1999-02-29".parse::<Date>().is_err());
+        assert!("2000-02-29".parse::<Date>().is_ok());
+        assert!("1900-02-29".parse::<Date>().is_err());
+        assert!("nonsense".parse::<Date>().is_err());
+        assert!("1998-01".parse::<Date>().is_err());
+    }
+
+    #[test]
+    fn ordering_matches_chronology() {
+        let a: Date = "1995-03-15".parse().unwrap();
+        let b: Date = "1995-03-16".parse().unwrap();
+        let c: Date = "1996-01-01".parse().unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn add_months_clamps() {
+        let d: Date = "1996-01-31".parse().unwrap();
+        assert_eq!(d.add_months(1).to_string(), "1996-02-29");
+        assert_eq!(d.add_months(13).to_string(), "1997-02-28");
+        assert_eq!(d.add_months(-1).to_string(), "1995-12-31");
+    }
+
+    #[test]
+    fn tpch_interval_example() {
+        // Q4-style: orderdate >= 1993-07-01 and < 1993-07-01 + 3 months.
+        let start: Date = "1993-07-01".parse().unwrap();
+        assert_eq!(start.add_months(3).to_string(), "1993-10-01");
+    }
+}

@@ -1,0 +1,80 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// No table with this name exists in the catalog.
+    NoSuchTable(String),
+    /// No column with this name exists in the table.
+    NoSuchColumn {
+        /// The table searched.
+        table: String,
+        /// The missing column name.
+        column: String,
+    },
+    /// A duplicate column name was used when defining a schema.
+    DuplicateColumn(String),
+    /// A row had the wrong number of values for the table's schema.
+    ArityMismatch {
+        /// The target table.
+        table: String,
+        /// Expected value count.
+        expected: usize,
+        /// Provided value count.
+        got: usize,
+    },
+    /// A value did not conform to its column's declared type.
+    TypeMismatch {
+        /// The target table.
+        table: String,
+        /// The offending column.
+        column: String,
+        /// The column's declared type.
+        expected: DataType,
+        /// The provided value's type (or "NULL").
+        got: String,
+    },
+    /// CSV input could not be parsed.
+    Csv(String),
+    /// Underlying I/O failure (CSV import/export).
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableExists(t) => write!(f, "table {t:?} already exists"),
+            StorageError::NoSuchTable(t) => write!(f, "no such table: {t:?}"),
+            StorageError::NoSuchColumn { table, column } => {
+                write!(f, "no column {column:?} in table {table:?}")
+            }
+            StorageError::DuplicateColumn(c) => {
+                write!(f, "duplicate column name {c:?} in schema")
+            }
+            StorageError::ArityMismatch { table, expected, got } => write!(
+                f,
+                "row arity mismatch for table {table:?}: expected {expected} values, got {got}"
+            ),
+            StorageError::TypeMismatch { table, column, expected, got } => write!(
+                f,
+                "type mismatch for {table}.{column}: expected {expected}, got {got}"
+            ),
+            StorageError::Csv(msg) => write!(f, "CSV error: {msg}"),
+            StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}

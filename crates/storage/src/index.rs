@@ -1,0 +1,99 @@
+//! Equi hash indexes.
+//!
+//! The paper's experimental setup built indexes on each dirty relation's
+//! identifier column (Section 5.3). [`HashIndex`] is the analogue here: a
+//! value → row-positions map used for cluster extraction in `conquer-core`
+//! and for index nested-loop joins in the engine.
+
+use std::collections::HashMap;
+
+use crate::table::Row;
+use crate::value::Value;
+
+/// A hash index mapping a column value to the positions of rows holding it.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    column: usize,
+    map: HashMap<Value, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Build an index on column position `column` over `rows`.
+    pub fn build(column: usize, rows: &[Row]) -> Self {
+        let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            map.entry(row[column].clone()).or_default().push(i);
+        }
+        HashIndex { column, map }
+    }
+
+    /// The indexed column position.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Row positions whose indexed column equals `key` (empty if none).
+    pub fn lookup(&self, key: &Value) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterate over `(key, row positions)` groups in unspecified order.
+    pub fn groups(&self) -> impl Iterator<Item = (&Value, &[usize])> {
+        self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Keys in sorted order (deterministic iteration for reproducible runs).
+    pub fn sorted_keys(&self) -> Vec<&Value> {
+        let mut keys: Vec<&Value> = self.map.keys().collect();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            vec!["c1".into(), 1.into()],
+            vec!["c2".into(), 2.into()],
+            vec!["c1".into(), 3.into()],
+        ]
+    }
+
+    #[test]
+    fn lookup_groups_duplicates() {
+        let idx = HashIndex::build(0, &rows());
+        assert_eq!(idx.lookup(&"c1".into()), &[0, 2]);
+        assert_eq!(idx.lookup(&"c2".into()), &[1]);
+        assert_eq!(idx.lookup(&"zz".into()), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn sorted_keys_deterministic() {
+        let idx = HashIndex::build(0, &rows());
+        let keys: Vec<String> = idx.sorted_keys().iter().map(|k| k.to_string()).collect();
+        assert_eq!(keys, vec!["c1", "c2"]);
+    }
+
+    #[test]
+    fn empty_rows() {
+        let idx = HashIndex::build(0, &[]);
+        assert_eq!(idx.distinct_keys(), 0);
+        assert_eq!(idx.lookup(&Value::Null), &[] as &[usize]);
+    }
+
+    #[test]
+    fn null_keys_are_grouped() {
+        let rows = vec![vec![Value::Null], vec![Value::Null], vec![Value::Int(1)]];
+        let idx = HashIndex::build(0, &rows);
+        assert_eq!(idx.lookup(&Value::Null), &[0, 1]);
+    }
+}

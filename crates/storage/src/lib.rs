@@ -1,0 +1,47 @@
+//! # conquer-storage
+//!
+//! In-memory relational storage layer for the ConQuer clean-answers system.
+//!
+//! This crate provides the typed value model ([`Value`], [`DataType`],
+//! [`Date`]), row/schema/table abstractions ([`Row`], [`Schema`], [`Table`]),
+//! a named-table [`Catalog`], equi [`HashIndex`]es, and CSV import/export.
+//!
+//! The storage layer is deliberately simple: tables are materialized
+//! `Vec<Row>`s and all access is single-process. The paper's experiments ran
+//! on DB2; this crate is the substrate we substitute for it (see DESIGN.md).
+//! Everything above it — the SQL parser, the query engine, the clean-answer
+//! rewriting — only assumes relational tables with typed columns, which is
+//! exactly what this crate models.
+//!
+//! ## Ordering and hashing of values
+//!
+//! SQL evaluation needs values as grouping keys, join keys, and sort keys.
+//! [`Value`] therefore implements a *total* order ([`Ord`]) and a consistent
+//! [`Hash`]/[`Eq`]: floats are ordered with `f64::total_cmp`, ints and floats
+//! are ordered numerically (with a deterministic tie-break on the type tag so
+//! that `Eq` stays structural), and `Null` sorts first. Three-valued SQL
+//! comparison semantics live in the engine, not here.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod csv;
+pub mod date;
+pub mod error;
+pub mod index;
+pub mod persist;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use date::Date;
+pub use error::StorageError;
+pub use index::HashIndex;
+pub use persist::{load_catalog, save_catalog};
+pub use schema::{Column, Schema};
+pub use table::{Row, Table};
+pub use value::{DataType, Value};
+
+/// Convenience result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

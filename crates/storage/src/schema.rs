@@ -1,0 +1,162 @@
+//! Column and schema definitions.
+
+use std::fmt;
+
+use crate::error::StorageError;
+use crate::value::DataType;
+
+/// A single column: a (lower-cased) name and a static type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    name: String,
+    data_type: DataType,
+}
+
+impl Column {
+    /// Create a column. Names are normalized to lower case, matching the
+    /// case-insensitive identifier handling of the SQL layer.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column { name: name.into().to_ascii_lowercase(), data_type }
+    }
+
+    /// The (lower-cased) column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column's declared type.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type)
+    }
+}
+
+/// An ordered list of columns with unique names.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<Column>) -> Result<Self, StorageError> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name() == c.name()) {
+                return Err(StorageError::DuplicateColumn(c.name().to_string()));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    ///
+    /// ```
+    /// use conquer_storage::{Schema, DataType};
+    /// let s = Schema::from_pairs([("id", DataType::Text), ("prob", DataType::Float)]).unwrap();
+    /// assert_eq!(s.len(), 2);
+    /// ```
+    pub fn from_pairs<I, S>(pairs: I) -> Result<Self, StorageError>
+    where
+        I: IntoIterator<Item = (S, DataType)>,
+        S: Into<String>,
+    {
+        Schema::new(pairs.into_iter().map(|(n, t)| Column::new(n, t)).collect())
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Position of the column with the given (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let name = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name() == name)
+    }
+
+    /// The column with the given (case-insensitive) name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// The column at `idx`.
+    pub fn column_at(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Append a column (used by offline transformations such as identifier
+    /// propagation, which add `id`/`prob`/`…idfk` columns to a table).
+    pub fn push_column(&mut self, column: Column) -> Result<usize, StorageError> {
+        if self.index_of(column.name()).is_some() {
+            return Err(StorageError::DuplicateColumn(column.name().to_string()));
+        }
+        self.columns.push(column);
+        Ok(self.columns.len() - 1)
+    }
+
+    /// Iterator over column names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_case_insensitive() {
+        let s = Schema::from_pairs([("CustID", DataType::Text)]).unwrap();
+        assert_eq!(s.index_of("custid"), Some(0));
+        assert_eq!(s.index_of("CUSTID"), Some(0));
+        assert_eq!(s.column("custId").unwrap().name(), "custid");
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = Schema::from_pairs([("a", DataType::Int), ("A", DataType::Text)]).unwrap_err();
+        assert_eq!(err, StorageError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn push_column_appends_and_guards() {
+        let mut s = Schema::from_pairs([("a", DataType::Int)]).unwrap();
+        let idx = s.push_column(Column::new("prob", DataType::Float)).unwrap();
+        assert_eq!(idx, 1);
+        assert!(s.push_column(Column::new("PROB", DataType::Float)).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::from_pairs([("a", DataType::Int), ("b", DataType::Text)]).unwrap();
+        assert_eq!(s.to_string(), "(a INTEGER, b TEXT)");
+    }
+}

@@ -1,0 +1,438 @@
+//! The typed value model.
+//!
+//! [`Value`] is the single dynamic value type flowing through the engine:
+//! table cells, expression results, join/group/sort keys. [`DataType`] is its
+//! static counterpart used in schemas.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::date::Date;
+
+/// Static type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Calendar date.
+    Date,
+}
+
+impl DataType {
+    /// Human-readable SQL-ish name of the type.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int => "INTEGER",
+            DataType::Float => "DOUBLE",
+            DataType::Text => "TEXT",
+            DataType::Date => "DATE",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dynamically-typed SQL value.
+///
+/// `Value` implements a *total* order and consistent `Eq`/`Hash` so it can be
+/// used directly as a key in hash joins, hash aggregation and sorts:
+///
+/// * `Null` sorts before everything else and is equal to itself (grouping
+///   semantics; three-valued comparison logic is the engine's concern).
+/// * `Int` and `Float` are ordered numerically; when numerically equal, the
+///   type tag breaks the tie so that `Ord` equality coincides with the
+///   structural `Eq`.
+/// * `Float` uses `f64::total_cmp`, which gives NaN a definite position.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean value.
+    Bool(bool),
+    /// Integer value.
+    Int(i64),
+    /// Floating point value.
+    Float(f64),
+    /// String value.
+    Text(String),
+    /// Date value.
+    Date(Date),
+}
+
+impl Value {
+    /// The dynamic type of this value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// True if this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Build a text value from anything string-like.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// View as `f64` if numeric (`Int` or `Float`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// View as `i64` if integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// View as `&str` if text.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as `bool` if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// View as [`Date`] if a date.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is an instance of `ty` (NULL matches every type).
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match self.data_type() {
+            None => true,
+            Some(t) => t == ty || (t == DataType::Int && ty == DataType::Float),
+        }
+    }
+
+    /// Coerce into `ty` where a lossless conversion exists (`Int`→`Float`).
+    /// Returns the value unchanged when it already conforms.
+    pub fn coerce_to(self, ty: DataType) -> Option<Value> {
+        match (self, ty) {
+            (Value::Null, _) => Some(Value::Null),
+            (Value::Int(i), DataType::Float) => Some(Value::Float(i as f64)),
+            (v, t) if v.data_type() == Some(t) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: numeric types compare numerically, `Null` is
+    /// incomparable (returns `None`), mismatched types are incomparable.
+    ///
+    /// This is the comparison used by WHERE predicates; the total [`Ord`]
+    /// below is for sorting/grouping.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            // A date and a text literal in date format compare chronologically,
+            // which lets queries write `o_orderdate < '1995-03-15'`.
+            (Value::Date(a), Value::Text(b)) => {
+                b.parse::<Date>().ok().map(|b| a.cmp(&b))
+            }
+            (Value::Text(a), Value::Date(b)) => {
+                a.parse::<Date>().ok().map(|a| a.cmp(b))
+            }
+            _ => None,
+        }
+    }
+
+    /// SQL equality as three-valued logic: `None` when either side is NULL.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Rank of the type tag for the cross-type total order.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 2, // numeric family shares a rank
+            Value::Text(_) => 3,
+            Value::Date(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b) == Ordering::Equal,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Date(a), Value::Date(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (ra, rb) = (self.type_rank(), other.type_rank());
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Date(a), Value::Date(b)) => a.cmp(b),
+            // Numeric family: compare numerically; break numeric ties on the
+            // type tag (Int < Float) so Ord-equality implies structural Eq.
+            (a, b) => {
+                let fa = a.as_f64().expect("numeric rank implies numeric value");
+                let fb = b.as_f64().expect("numeric rank implies numeric value");
+                // Use total_cmp on the float images except that an exact Int
+                // must compare equal to itself; i64→f64 can lose precision for
+                // |i| > 2^53, so compare Int/Int exactly first.
+                if let (Value::Int(x), Value::Int(y)) = (a, b) {
+                    return x.cmp(y);
+                }
+                match fa.total_cmp(&fb) {
+                    Ordering::Equal => {
+                        let ta = matches!(a, Value::Float(_)) as u8;
+                        let tb = matches!(b, Value::Float(_)) as u8;
+                        match ta.cmp(&tb) {
+                            Ordering::Equal => {
+                                // Same type & numerically equal: for floats,
+                                // total_cmp Equal means identical bits.
+                                Ordering::Equal
+                            }
+                            o => o,
+                        }
+                    }
+                    o => o,
+                }
+            }
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Text(s) => s.hash(state),
+            Value::Date(d) => d.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Text(s) => f.write_str(s),
+            Value::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn null_sorts_first_and_groups_with_itself() {
+        assert!(Value::Null < Value::Bool(false));
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert_eq!(Value::Null, Value::Null);
+        assert_eq!(h(&Value::Null), h(&Value::Null));
+    }
+
+    #[test]
+    fn numeric_cross_type_order() {
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(0.5) < Value::Int(1));
+        // Numerically equal, but tie broken by type tag: Int < Float.
+        assert!(Value::Int(1) < Value::Float(1.0));
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+    }
+
+    #[test]
+    fn sql_cmp_coerces_numerics() {
+        assert_eq!(Value::Int(1).sql_eq(&Value::Float(1.0)), Some(true));
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(1.5)), Some(Ordering::Greater));
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Text("a".into()).sql_eq(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn date_text_comparison() {
+        let d = Value::Date("1995-03-15".parse().unwrap());
+        assert_eq!(d.sql_cmp(&Value::text("1995-03-16")), Some(Ordering::Less));
+        assert_eq!(Value::text("1995-03-16").sql_cmp(&d), Some(Ordering::Greater));
+        assert_eq!(d.sql_cmp(&Value::text("not a date")), None);
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        let one = Value::Float(1.0);
+        // NaN has a definite position (after +inf in total_cmp).
+        assert!(nan > one);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert_eq!(nan, Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn negative_zero_distinct_in_total_order_consistent_hash() {
+        let pz = Value::Float(0.0);
+        let nz = Value::Float(-0.0);
+        assert!(nz < pz);
+        assert_ne!(pz, nz);
+        assert_ne!(h(&pz), h(&nz));
+    }
+
+    #[test]
+    fn eq_implies_same_hash() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(42),
+            Value::Float(3.25),
+            Value::text("abc"),
+            Value::Date(Date::from_days(9000)),
+        ];
+        for v in &vals {
+            assert_eq!(v, &v.clone());
+            assert_eq!(h(v), h(&v.clone()));
+        }
+    }
+
+    #[test]
+    fn large_int_precision_preserved_in_order() {
+        let a = Value::Int(i64::MAX - 1);
+        let b = Value::Int(i64::MAX);
+        assert!(a < b); // would be equal if compared via f64
+    }
+
+    #[test]
+    fn coercion() {
+        assert_eq!(Value::Int(2).coerce_to(DataType::Float), Some(Value::Float(2.0)));
+        assert_eq!(Value::Null.coerce_to(DataType::Int), Some(Value::Null));
+        assert_eq!(Value::text("x").coerce_to(DataType::Int), None);
+        assert!(Value::Int(1).conforms_to(DataType::Float));
+        assert!(!Value::Float(1.0).conforms_to(DataType::Int));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::text("hi").to_string(), "hi");
+    }
+}

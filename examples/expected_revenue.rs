@@ -1,0 +1,88 @@
+//! Expected aggregates over a dirty database — the extension the paper
+//! lists as future work ("queries with grouping and aggregation").
+//!
+//! Standard aggregate queries *double-count* duplicated data: each extra
+//! representation of an order inflates SUM/COUNT. The expected-value
+//! rewriting weights every contribution by the probability that its tuples
+//! are the clean ones, giving the statistically correct answer at plain
+//! SQL cost — exactly for SUM/COUNT(*) (linearity of expectation).
+//!
+//! Run with: `cargo run --release --example expected_revenue`
+
+use conquer_datagen::{
+    dirty::{dirty_database, ProbMode, UisConfig},
+    perturb::PerturbOptions,
+    tpch::TpchConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dirty = dirty_database(UisConfig {
+        tpch: TpchConfig { sf: 0.05, seed: 13 },
+        if_factor: 3,
+        prob_mode: ProbMode::InfoLoss,
+        perturb: PerturbOptions::default(),
+    })?;
+    let clean = dirty_database(UisConfig {
+        tpch: TpchConfig { sf: 0.05, seed: 13 },
+        if_factor: 1, // same entities, no duplicates: the ground truth
+        prob_mode: ProbMode::Uniform,
+        perturb: PerturbOptions::default(),
+    })?;
+
+    let sql = "SELECT c_mktsegment, COUNT(*), SUM(o_totalprice) \
+               FROM customer, orders \
+               WHERE o_custkey = c_custkey \
+               GROUP BY c_mktsegment ORDER BY c_mktsegment";
+
+    println!("-- orders and revenue per market segment --\n");
+    println!(
+        "{:<12} {:>22} {:>24} {:>22}",
+        "segment", "dirty (double counts)", "expected (rewritten)", "clean (ground truth)"
+    );
+
+    let naive = dirty.db().query(sql)?;
+    let expected = dirty.expected_answers(sql)?;
+    let truth = clean.db().query(sql)?;
+
+    for row in &truth.rows {
+        let seg = row[0].to_string();
+        let find = |r: &conquer_engine::QueryResult| {
+            r.rows
+                .iter()
+                .find(|x| x[0].to_string() == seg)
+                .map(|x| (x[1].as_f64().unwrap_or(0.0), x[2].as_f64().unwrap_or(0.0)))
+                .unwrap_or((0.0, 0.0))
+        };
+        let (nc, ns) = find(&naive);
+        let (ec, es) = find(&expected);
+        let (tc, ts) = find(&truth);
+        println!(
+            "{seg:<12} {nc:>7.0} / {ns:>12.0} {ec:>9.1} / {es:>12.0} {tc:>7.0} / {ts:>12.0}"
+        );
+    }
+
+    // The dirty query overcounts by roughly the duplication factor squared
+    // (both relations duplicated); the expected rewriting lands near truth.
+    let total = |r: &conquer_engine::QueryResult, c: usize| -> f64 {
+        r.rows.iter().filter_map(|x| x[c].as_f64()).sum()
+    };
+    let (dirty_count, exp_count, true_count) =
+        (total(&naive, 1), total(&expected, 1), total(&truth, 1));
+    println!(
+        "\ntotals: dirty counts {dirty_count:.0} order-pairs; expected {exp_count:.1}; \
+         ground truth {true_count:.0}"
+    );
+    let err = (exp_count - true_count).abs() / true_count;
+    let blowup = dirty_count / true_count;
+    println!(
+        "expected-count relative error vs truth: {:.1}% (dirty overcounts by {blowup:.1}x)",
+        err * 100.0
+    );
+    println!(
+        "\nper-segment expected values sit below the clean figures because the\n\
+         segment itself is uncertain: duplicates that disagree about a customer's\n\
+         segment split that customer's expected mass across segments — the total\n\
+         is exact (linearity), the per-group split reflects the uncertainty."
+    );
+    Ok(())
+}

@@ -1,0 +1,273 @@
+//! Interactive ConQuer shell.
+//!
+//! Plain SQL statements (`CREATE TABLE` / `INSERT` / `SELECT`) run on the
+//! embedded engine; backslash commands expose the clean-answer machinery:
+//!
+//! ```text
+//! \dirty <table> [<id column> [<prob column>]]   register dirty metadata (defaults: id, prob)
+//! \clean <select …>                              clean answers (RewriteClean; naive fallback)
+//! \expected <select …>                           expected aggregates (COUNT(*)/SUM/AVG)
+//! \rewrite <select …>                            show the rewritten SQL
+//! \check <select …>                              explain whether the query is rewritable
+//! \explain <select …>                            show the physical plan
+//! \gen <sf> <if>                                 load a dirtied TPC-H-lite database
+//! \save <dir> / \load <dir>                      persist / restore the catalog
+//! \topk <k> <select …>                           k most probable clean answers
+//! \why <v1,v2,…> <select …>                      explain one answer's probability
+//! \stats                                         dirty-data statistics per table
+//! \tables                                        list tables
+//! \validate                                      re-check Definition 2 on the dirty tables
+//! \help, \quit
+//! ```
+//!
+//! Example session:
+//!
+//! ```text
+//! conquer> CREATE TABLE c (id TEXT, income INTEGER, prob DOUBLE)
+//! conquer> INSERT INTO c VALUES ('c1', 120000, 0.9), ('c1', 80000, 0.1)
+//! conquer> \dirty c
+//! conquer> \clean SELECT id FROM c WHERE income > 100000
+//! id | probability
+//! c1 | 0.9000
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use conquer::prelude::*;
+use conquer_core::{naive::NaiveOptions, DirtyTableMeta, EvalStrategy, RewriteExpected};
+use conquer_datagen::{
+    dirty::{dirty_database, ProbMode, UisConfig},
+    perturb::PerturbOptions,
+    tpch::TpchConfig,
+};
+
+struct Shell {
+    db: Database,
+    spec: DirtySpec,
+}
+
+impl Shell {
+    fn new() -> Self {
+        Shell { db: Database::new(), spec: DirtySpec::new() }
+    }
+
+    fn dirty(&self) -> conquer_core::DirtyDatabase {
+        conquer_core::DirtyDatabase::new_unvalidated(self.db.clone(), self.spec.clone())
+    }
+
+    fn handle(&mut self, line: &str) -> Result<bool, String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(true);
+        }
+        if let Some(rest) = line.strip_prefix('\\') {
+            return self.command(rest);
+        }
+        match self.db.execute(line).map_err(|e| e.to_string())? {
+            conquer_engine::database::ExecOutcome::Created => println!("created."),
+            conquer_engine::database::ExecOutcome::Dropped => println!("dropped."),
+            conquer_engine::database::ExecOutcome::Inserted(n) => println!("{n} rows."),
+            conquer_engine::database::ExecOutcome::Deleted(n) => println!("{n} rows deleted."),
+            conquer_engine::database::ExecOutcome::Updated(n) => println!("{n} rows updated."),
+            conquer_engine::database::ExecOutcome::Rows(r) => print!("{r}"),
+        }
+        Ok(true)
+    }
+
+    fn command(&mut self, rest: &str) -> Result<bool, String> {
+        let (cmd, arg) = match rest.split_once(char::is_whitespace) {
+            Some((c, a)) => (c, a.trim()),
+            None => (rest, ""),
+        };
+        match cmd {
+            "quit" | "q" => return Ok(false),
+            "help" | "h" => println!(
+                "SQL statements run directly; \\dirty <t> [id [prob]], \\clean <sql>, \
+                 \\expected <sql>, \\rewrite <sql>, \\check <sql>, \\explain <sql>, \
+                 \\gen <sf> <if>, \\save <dir>, \\load <dir>, \\topk <k> <sql>, \\why <tuple> <sql>, \\stats, \\tables, \\validate, \\quit"
+            ),
+            "tables" => {
+                for t in self.db.catalog().tables() {
+                    let mark = if self.spec.meta(t.name()).is_some() { " [dirty]" } else { "" };
+                    println!("{} {} [{} rows]{mark}", t.name(), t.schema(), t.len());
+                }
+            }
+            "dirty" => {
+                let mut parts = arg.split_whitespace();
+                let table = parts.next().ok_or("usage: \\dirty <table> [id [prob]]")?;
+                let id = parts.next().unwrap_or("id");
+                let prob = parts.next().unwrap_or("prob");
+                self.db.catalog().table(table).map_err(|e| e.to_string())?;
+                self.spec.add(table, DirtyTableMeta::new(id, prob));
+                match self.spec.validate(self.db.catalog()) {
+                    Ok(()) => println!("registered {table} (id = {id}, prob = {prob})."),
+                    Err(e) => println!("registered, but validation failed: {e}"),
+                }
+            }
+            "validate" => match self.spec.validate(self.db.catalog()) {
+                Ok(()) => println!("ok: all dirty tables satisfy Definition 2."),
+                Err(e) => println!("invalid: {e}"),
+            },
+            "clean" => {
+                let answers = self
+                    .dirty()
+                    .clean_answers_with(arg, EvalStrategy::Auto(NaiveOptions::default()))
+                    .map_err(|e| e.to_string())?;
+                print!("{answers}");
+            }
+            "expected" => {
+                let result = self.dirty().expected_answers(arg).map_err(|e| e.to_string())?;
+                print!("{result}");
+            }
+            "rewrite" => {
+                let stmt = conquer_sql::parse_select(arg).map_err(|e| e.to_string())?;
+                match conquer_core::RewriteClean.rewrite(self.db.catalog(), &self.spec, &stmt) {
+                    Ok(rw) => println!("{rw}"),
+                    Err(e) => {
+                        // Maybe it is an aggregate query.
+                        match RewriteExpected.rewrite(&self.spec, &stmt) {
+                            Ok(rw) => println!("{rw}  -- (expected-aggregate form)"),
+                            Err(_) => return Err(e.to_string()),
+                        }
+                    }
+                }
+            }
+            "check" => match self.dirty().check_rewritable(arg) {
+                Ok(graph) => println!(
+                    "rewritable; join graph: {} (root: {})",
+                    graph.describe(),
+                    graph.root.map(|r| graph.bindings[r].clone()).unwrap_or_default()
+                ),
+                Err(e) => println!("not rewritable: {e}"),
+            },
+            "explain" => println!("{}", self.db.explain(arg).map_err(|e| e.to_string())?),
+            "gen" => {
+                let mut parts = arg.split_whitespace();
+                let sf: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("usage: \\gen <sf> <if>")?;
+                let if_factor: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("usage: \\gen <sf> <if>")?;
+                let dirty = dirty_database(UisConfig {
+                    tpch: TpchConfig { sf, seed: 42 },
+                    if_factor,
+                    prob_mode: ProbMode::InfoLoss,
+                    perturb: PerturbOptions::default(),
+                })
+                .map_err(|e| e.to_string())?;
+                self.spec = dirty.spec().clone();
+                self.db = dirty.db().clone();
+                println!(
+                    "loaded dirty TPC-H-lite: {} rows across {} tables.",
+                    self.db.catalog().total_rows(),
+                    self.db.catalog().len()
+                );
+            }
+            "topk" => {
+                let (k, sql) = arg
+                    .split_once(char::is_whitespace)
+                    .ok_or("usage: \\topk <k> <select …>")?;
+                let k: u64 = k.parse().map_err(|_| "k must be a number")?;
+                let answers =
+                    self.dirty().clean_answers_topk(sql.trim(), k).map_err(|e| e.to_string())?;
+                print!("{answers}");
+            }
+            "why" => {
+                let (tuple, sql) = arg
+                    .split_once(char::is_whitespace)
+                    .ok_or("usage: \\why <v1,v2,…> <select …>")?;
+                let answer: Vec<conquer_storage::Value> = tuple
+                    .split(',')
+                    .map(|v| {
+                        let v = v.trim();
+                        if let Ok(i) = v.parse::<i64>() {
+                            conquer_storage::Value::Int(i)
+                        } else if let Ok(f) = v.parse::<f64>() {
+                            conquer_storage::Value::Float(f)
+                        } else {
+                            conquer_storage::Value::text(v)
+                        }
+                    })
+                    .collect();
+                let explanation =
+                    conquer_core::explain_answer(&self.dirty(), sql.trim(), &answer)
+                        .map_err(|e| e.to_string())?;
+                print!("{explanation}");
+            }
+            "stats" => {
+                let dirty = self.dirty();
+                let stats =
+                    conquer_datagen::stats::database_stats(&dirty).map_err(|e| e.to_string())?;
+                for s in &stats {
+                    println!(
+                        "{:<10} {:>8} rows  {:>8} entities  mean {:>5.2}  max {:>3}  \
+                         dup {:>5.1}%  2^{:>6.0} candidates",
+                        s.table,
+                        s.rows,
+                        s.entities,
+                        s.mean_cluster_size,
+                        s.max_cluster_size,
+                        s.duplicated_fraction * 100.0,
+                        s.log2_candidates
+                    );
+                }
+                println!("{}", conquer_datagen::stats::summarize(&stats));
+            }
+            "save" => {
+                if arg.is_empty() {
+                    return Err("usage: \\save <dir>".into());
+                }
+                conquer_storage::save_catalog(self.db.catalog(), std::path::Path::new(arg))
+                    .map_err(|e| e.to_string())?;
+                println!("saved {} tables to {arg}.", self.db.catalog().len());
+            }
+            "load" => {
+                if arg.is_empty() {
+                    return Err("usage: \\load <dir>".into());
+                }
+                let catalog = conquer_storage::load_catalog(std::path::Path::new(arg))
+                    .map_err(|e| e.to_string())?;
+                self.db = Database::from_catalog(catalog);
+                self.spec = DirtySpec::new();
+                println!(
+                    "loaded {} tables ({} rows); re-register dirty metadata with \\dirty.",
+                    self.db.catalog().len(),
+                    self.db.catalog().total_rows()
+                );
+            }
+            other => return Err(format!("unknown command \\{other}; try \\help")),
+        }
+        Ok(true)
+    }
+}
+
+fn main() {
+    let mut shell = Shell::new();
+    let stdin = io::stdin();
+    let interactive = std::env::args().all(|a| a != "--batch");
+    if interactive {
+        println!("ConQuer shell — clean answers over dirty databases. \\help for commands.");
+    }
+    loop {
+        if interactive {
+            print!("conquer> ");
+            io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => match shell.handle(&line) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => eprintln!("error: {e}"),
+            },
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+}

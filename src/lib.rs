@@ -1,0 +1,65 @@
+//! # conquer — Clean Answers over Dirty Databases
+//!
+//! Facade crate re-exporting the whole ConQuer workspace: an executable
+//! reproduction of *"Clean Answers over Dirty Databases: A Probabilistic
+//! Approach"* (Andritsos, Fuxman, Miller — ICDE 2006).
+//!
+//! A *dirty database* keeps multiple candidate tuples per real-world entity,
+//! grouped into clusters by a duplicate-detection tool and annotated with
+//! per-tuple probabilities. A *clean answer* to a query is an answer tuple
+//! together with the probability that it would be produced by the (unknown)
+//! clean database. This workspace provides:
+//!
+//! * [`storage`] — the in-memory relational substrate,
+//! * [`sql`] — parser/printer for the SQL dialect,
+//! * [`engine`] — a query engine executing that dialect,
+//! * [`core`] — the paper's contribution: clean-answer semantics, the join
+//!   graph / rewritability test, and the `RewriteClean` rewriting,
+//! * [`prob`] — Section 4's probability assignment from clusterings,
+//! * [`datagen`] — TPC-H-lite + UIS-style dirty data and the experiment
+//!   query templates.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use conquer::prelude::*;
+//!
+//! // Build the dirty database of the paper's Figure 1.
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE customer (id TEXT, name TEXT, income INTEGER, prob DOUBLE)").unwrap();
+//! db.execute("INSERT INTO customer VALUES \
+//!             ('c1', 'John', 120000, 0.9), ('c1', 'John', 80000, 0.1), \
+//!             ('c2', 'Mary', 140000, 0.4), ('c2', 'Marion', 40000, 0.6)").unwrap();
+//!
+//! let dirty = DirtyDatabase::new(db, DirtySpec::uniform(&["customer"])).unwrap();
+//! let answers = dirty
+//!     .clean_answers("SELECT id FROM customer WHERE income > 100000")
+//!     .unwrap();
+//! // John (c1) earns >100K with probability 0.9; Mary/Marion (c2) with 0.4.
+//! assert_eq!(answers.probability_of(&["c1".into()]), Some(0.9));
+//! assert_eq!(answers.probability_of(&["c2".into()]), Some(0.4));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use conquer_core as core;
+pub use conquer_datagen as datagen;
+pub use conquer_engine as engine;
+pub use conquer_prob as prob;
+pub use conquer_sql as sql;
+pub use conquer_storage as storage;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use conquer_core::{
+        apply_crossref, explain_answer, CleanAnswers, DirtyDatabase, DirtySpec, DirtyTableMeta,
+        EvalStrategy, JoinGraph, NotRewritable, RewriteClean, RewriteExpected,
+    };
+    pub use conquer_engine::{Database, QueryResult};
+    pub use conquer_prob::{
+        assign_probabilities, sorted_neighborhood, Clustering, EditDistance, InfoLossDistance,
+        SortedNeighborhoodConfig,
+    };
+    pub use conquer_sql::{parse_select, SelectStatement};
+    pub use conquer_storage::{Catalog, Column, DataType, Date, Row, Schema, Table, Value};
+}

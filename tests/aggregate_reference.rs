@@ -1,0 +1,204 @@
+//! Differential testing of the engine's aggregation: randomized GROUP BY
+//! queries executed by the engine (hash aggregation over the planned join
+//! tree) must match a naive reference (cartesian product → filter → group
+//! rows in a map → fold each aggregate by its definition).
+//!
+//! The clean-answer rewriting turns every query into a grouping query, so
+//! the aggregation operator carries all of the paper's measurements; this
+//! test pins its semantics independently of the clean-answer tests.
+
+use std::collections::BTreeMap;
+
+use conquer_engine::Database;
+use conquer_storage::{Row, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Data {
+    t1: Vec<(i64, Option<i64>, f64)>, // t1(g, v?, x)
+    t2: Vec<(i64, i64)>,              // t2(g, w)
+}
+
+impl Data {
+    fn build(&self) -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t1 (g INTEGER, v INTEGER, x DOUBLE)").unwrap();
+        db.execute("CREATE TABLE t2 (g INTEGER, w INTEGER)").unwrap();
+        {
+            let t = db.catalog_mut().table_mut("t1").unwrap();
+            for (g, v, x) in &self.t1 {
+                t.insert(vec![
+                    (*g).into(),
+                    v.map(Value::Int).unwrap_or(Value::Null),
+                    (*x).into(),
+                ])
+                .unwrap();
+            }
+        }
+        {
+            let t = db.catalog_mut().table_mut("t2").unwrap();
+            for (g, w) in &self.t2 {
+                t.insert(vec![(*g).into(), (*w).into()]).unwrap();
+            }
+        }
+        db
+    }
+}
+
+fn data_strategy() -> impl Strategy<Value = Data> {
+    (
+        prop::collection::vec(
+            (0i64..4, prop::option::of(0i64..5), (0u8..20).prop_map(|v| v as f64 / 2.0)),
+            0..10,
+        ),
+        prop::collection::vec((0i64..4, 0i64..5), 0..6),
+    )
+        .prop_map(|(t1, t2)| Data { t1, t2 })
+}
+
+type T1Row = (i64, Option<i64>, f64);
+
+/// Reference: group t1 rows by `g`, fold COUNT(*)/COUNT(v)/SUM(v)/MIN/MAX/AVG.
+fn reference_single(data: &Data) -> Vec<Row> {
+    let mut groups: BTreeMap<i64, Vec<&T1Row>> = BTreeMap::new();
+    for row in &data.t1 {
+        groups.entry(row.0).or_default().push(row);
+    }
+    groups
+        .into_iter()
+        .map(|(g, rows)| {
+            let count_star = rows.len() as i64;
+            let vs: Vec<i64> = rows.iter().filter_map(|r| r.1).collect();
+            let count_v = vs.len() as i64;
+            let sum_v = if vs.is_empty() {
+                Value::Null
+            } else {
+                Value::Int(vs.iter().sum())
+            };
+            let min_v = vs.iter().min().map(|&v| Value::Int(v)).unwrap_or(Value::Null);
+            let max_v = vs.iter().max().map(|&v| Value::Int(v)).unwrap_or(Value::Null);
+            let avg_x =
+                Value::Float(rows.iter().map(|r| r.2).sum::<f64>() / rows.len() as f64);
+            vec![
+                Value::Int(g),
+                Value::Int(count_star),
+                Value::Int(count_v),
+                sum_v,
+                min_v,
+                max_v,
+                avg_x,
+            ]
+        })
+        .collect()
+}
+
+/// Reference: join on `g`, then per group of t1.g compute SUM(v * w).
+fn reference_join(data: &Data) -> Vec<Row> {
+    let mut groups: BTreeMap<i64, (i64, Option<i64>)> = BTreeMap::new();
+    for a in &data.t1 {
+        for b in &data.t2 {
+            if a.0 != b.0 {
+                continue;
+            }
+            let entry = groups.entry(a.0).or_insert((0, None));
+            entry.0 += 1;
+            if let Some(v) = a.1 {
+                entry.1 = Some(entry.1.unwrap_or(0) + v * b.1);
+            }
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(g, (count, sum))| {
+            vec![
+                Value::Int(g),
+                Value::Int(count),
+                sum.map(Value::Int).unwrap_or(Value::Null),
+            ]
+        })
+        .collect()
+}
+
+fn float_close(a: &Value, b: &Value) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => (x - y).abs() < 1e-9,
+        _ => a == b,
+    }
+}
+
+fn rows_match(engine: &[Row], reference: &[Row]) -> bool {
+    if engine.len() != reference.len() {
+        return false;
+    }
+    let mut e = engine.to_vec();
+    e.sort();
+    let mut r = reference.to_vec();
+    r.sort();
+    e.iter().zip(&r).all(|(a, b)| {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| float_close(x, y))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn single_table_aggregates_match_reference(data in data_strategy()) {
+        let db = data.build();
+        let result = db
+            .query(
+                "SELECT g, COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v), AVG(x) \
+                 FROM t1 GROUP BY g",
+            )
+            .unwrap();
+        let expected = reference_single(&data);
+        prop_assert!(
+            rows_match(&result.rows, &expected),
+            "engine {:?}\nreference {:?}", result.rows, expected
+        );
+    }
+
+    #[test]
+    fn join_aggregates_match_reference(data in data_strategy()) {
+        let db = data.build();
+        let result = db
+            .query(
+                "SELECT t1.g, COUNT(*), SUM(t1.v * t2.w) \
+                 FROM t1, t2 WHERE t1.g = t2.g GROUP BY t1.g",
+            )
+            .unwrap();
+        let expected = reference_join(&data);
+        prop_assert!(
+            rows_match(&result.rows, &expected),
+            "engine {:?}\nreference {:?}", result.rows, expected
+        );
+    }
+
+    #[test]
+    fn having_is_a_post_group_filter(data in data_strategy(), threshold in 1i64..4) {
+        let db = data.build();
+        let all = db.query("SELECT g, COUNT(*) FROM t1 GROUP BY g").unwrap();
+        let filtered = db
+            .query(&format!(
+                "SELECT g, COUNT(*) FROM t1 GROUP BY g HAVING COUNT(*) >= {threshold}"
+            ))
+            .unwrap();
+        let expected: Vec<&Row> = all
+            .rows
+            .iter()
+            .filter(|r| r[1].as_i64().unwrap() >= threshold)
+            .collect();
+        prop_assert_eq!(filtered.rows.len(), expected.len());
+        for row in &filtered.rows {
+            prop_assert!(row[1].as_i64().unwrap() >= threshold);
+        }
+    }
+
+    #[test]
+    fn global_aggregate_is_single_group(data in data_strategy()) {
+        let db = data.build();
+        let r = db.query("SELECT COUNT(*), SUM(v) FROM t1").unwrap();
+        prop_assert_eq!(r.rows.len(), 1);
+        prop_assert_eq!(r.rows[0][0].as_i64().unwrap(), data.t1.len() as i64);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property test for the expected-aggregates extension (the paper's future
+//! work item implemented in `conquer_core::expected`): for `COUNT(*)` and
+//! `SUM`, the rewritten query's values equal the exact expectation computed
+//! by candidate-database enumeration — for *any* self-join-free SPJ core,
+//! including joins outside the rewritable tree class.
+
+use conquer::prelude::*;
+use conquer_core::{naive::NaiveOptions, naive_expected};
+use conquer_sql::parse_select;
+use conquer_storage::Row;
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+/// Same randomized schema as `rewrite_vs_naive`: r(id, a, b, prob) and
+/// s(id, c, fk, prob).
+#[derive(Debug, Clone)]
+struct RandomDirty {
+    r: Vec<Vec<(u8, i64, i64)>>,
+    s: Vec<Vec<(u8, i64, usize)>>,
+}
+
+impl RandomDirty {
+    fn build(&self) -> DirtyDatabase {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE r (id TEXT, a INTEGER, b INTEGER, prob DOUBLE)").unwrap();
+        db.execute("CREATE TABLE s (id TEXT, c INTEGER, fk TEXT, prob DOUBLE)").unwrap();
+        {
+            let t = db.catalog_mut().table_mut("r").unwrap();
+            for (ci, cluster) in self.r.iter().enumerate() {
+                let total: f64 = cluster.iter().map(|(w, _, _)| *w as f64 + 1.0).sum();
+                for (w, a, b) in cluster {
+                    t.insert(vec![
+                        format!("r{ci}").into(),
+                        (*a).into(),
+                        (*b).into(),
+                        ((*w as f64 + 1.0) / total).into(),
+                    ])
+                    .unwrap();
+                }
+            }
+        }
+        {
+            let t = db.catalog_mut().table_mut("s").unwrap();
+            for (ci, cluster) in self.s.iter().enumerate() {
+                let total: f64 = cluster.iter().map(|(w, _, _)| *w as f64 + 1.0).sum();
+                for (w, c, fk) in cluster {
+                    let fk = fk % self.r.len().max(1);
+                    t.insert(vec![
+                        format!("s{ci}").into(),
+                        (*c).into(),
+                        format!("r{fk}").into(),
+                        ((*w as f64 + 1.0) / total).into(),
+                    ])
+                    .unwrap();
+                }
+            }
+        }
+        DirtyDatabase::new(db, DirtySpec::uniform(&["r", "s"])).unwrap()
+    }
+}
+
+fn dirty_strategy() -> impl Strategy<Value = RandomDirty> {
+    let cluster_r = prop::collection::vec((0u8..4, 0i64..6, 0i64..6), 1..=3);
+    let r = prop::collection::vec(cluster_r, 1..=3);
+    let cluster_s = prop::collection::vec((0u8..4, 0i64..6, 0usize..3), 1..=3);
+    let s = prop::collection::vec(cluster_s, 1..=2);
+    (r, s).prop_map(|(r, s)| RandomDirty { r, s })
+}
+
+/// Aggregate query shapes to exercise, `{}` filled with a random constant.
+const SHAPES: [&str; 6] = [
+    "select r.id, count(*) from r group by r.id",
+    "select r.id, sum(r.a) from r where r.b < {} group by r.id",
+    "select count(*), sum(r.a + r.b) from r",
+    "select r.id, count(*), sum(s.c) from s, r where s.fk = r.id group by r.id",
+    // non-identifier join: outside the clean-answer class, still exact here
+    "select count(*) from s, r where s.c = r.a",
+    "select r.id, sum(s.c * r.a) from s, r where s.fk = r.id and s.c > {} group by r.id",
+];
+
+fn compare(db: &DirtyDatabase, sql: &str) -> Result<(), TestCaseError> {
+    let stmt = parse_select(sql).expect("template parses");
+    let rewritten = db.expected_answers(sql).expect("template is supported");
+    let oracle =
+        naive_expected(db.db().catalog(), db.spec(), &stmt, NaiveOptions::default())
+            .expect("small database");
+
+    // Key = non-aggregate projection prefix; our templates always put group
+    // keys first.
+    let n_keys = oracle.first().map(|(k, _)| k.len()).unwrap_or(0);
+    for (key, expected) in &oracle {
+        let row = rewritten
+            .rows
+            .iter()
+            .find(|r| &r[..n_keys].to_vec() == key)
+            .unwrap_or_else(|| panic!("group {key:?} missing for {sql}"));
+        for (j, want) in expected.iter().enumerate() {
+            let got = row[n_keys + j].as_f64().unwrap_or(0.0);
+            prop_assert!(
+                (got - want).abs() < EPS,
+                "{sql}\ngroup {key:?} agg {j}: rewritten {got} vs oracle {want}"
+            );
+        }
+    }
+    // No extra groups with nonzero mass either.
+    for row in &rewritten.rows {
+        let key: Row = row[..n_keys].to_vec();
+        let mass: f64 = row[n_keys..].iter().filter_map(|v| v.as_f64()).map(f64::abs).sum();
+        if mass > EPS {
+            prop_assert!(
+                oracle.iter().any(|(k, _)| k == &key),
+                "{sql}: rewritten produced unexpected group {key:?}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn expected_aggregates_match_enumeration(
+        dirty in dirty_strategy(),
+        shape in 0usize..SHAPES.len(),
+        constant in 0i64..6,
+    ) {
+        let db = dirty.build();
+        let sql = SHAPES[shape].replace("{}", &constant.to_string());
+        compare(&db, &sql)?;
+    }
+}

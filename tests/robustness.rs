@@ -1,0 +1,105 @@
+//! Robustness properties: no input — however malformed — may panic the
+//! front-end, and the value model's total order must satisfy the `Ord`
+//! axioms the engine's sorts and joins rely on.
+
+use conquer_storage::{Date, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Include NaN, infinities and signed zeros.
+        prop_oneof![
+            any::<f64>(),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(0.0),
+            Just(-0.0),
+        ]
+        .prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::text),
+        (-100000i32..100000).prop_map(|d| Value::Date(Date::from_days(d))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser returns `Err` (never panics) on arbitrary input.
+    #[test]
+    fn parser_never_panics_on_garbage(input in ".{0,200}") {
+        let _ = conquer_sql::parse_statement(&input);
+        let _ = conquer_sql::parse_expr(&input);
+    }
+
+    /// …including inputs that start like real SQL.
+    #[test]
+    fn parser_never_panics_on_sql_prefixes(tail in ".{0,80}") {
+        for prefix in ["select ", "select a from t where ", "insert into t ", "create table "] {
+            let _ = conquer_sql::parse_statement(&format!("{prefix}{tail}"));
+        }
+    }
+
+    /// Total-order axioms: antisymmetry and transitivity (checked via
+    /// consistency of `cmp` on triples), plus Eq ⇔ `Ordering::Equal`.
+    #[test]
+    fn value_order_axioms(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering::*;
+        // antisymmetry
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Eq consistency
+        prop_assert_eq!(a.cmp(&b) == Equal, a == b);
+        // transitivity (spot pattern: a ≤ b ≤ c ⇒ a ≤ c)
+        if a.cmp(&b) != Greater && b.cmp(&c) != Greater {
+            prop_assert!(a.cmp(&c) != Greater, "{a:?} {b:?} {c:?}");
+        }
+    }
+
+    /// Eq implies equal hashes (hash-join/group-by soundness).
+    #[test]
+    fn value_eq_implies_hash_eq(a in value_strategy(), b in value_strategy()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    /// Sorting a vector of values never panics and is idempotent.
+    #[test]
+    fn value_sort_total(mut vs in prop::collection::vec(value_strategy(), 0..30)) {
+        vs.sort();
+        let once = vs.clone();
+        vs.sort();
+        prop_assert_eq!(once, vs);
+    }
+
+    /// Date ↔ civil round-trip over a wide range.
+    #[test]
+    fn date_roundtrip(days in -1_000_000i32..1_000_000) {
+        let d = Date::from_days(days);
+        let (y, m, dd) = d.ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, dd), Some(d));
+        // String round-trip too (years 0..9999 print as 4-digit).
+        if (0..=9999).contains(&y) {
+            let s = d.to_string();
+            prop_assert_eq!(s.parse::<Date>().ok(), Some(d));
+        }
+    }
+
+    /// Like-match never panics and `%` is reflexively permissive.
+    #[test]
+    fn like_match_robust(s in ".{0,30}", p in "[a-z%_]{0,10}") {
+        let _ = conquer_engine::expr::like_match(&s, &p);
+        prop_assert!(conquer_engine::expr::like_match(&s, "%"));
+        prop_assert!(conquer_engine::expr::like_match(&s, "%%"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Property test: the SQL pretty-printer and parser are mutual inverses —
+//! `parse(print(ast)) == ast` for randomized expression and query ASTs.
+//! This is what makes the AST→AST `RewriteClean` transformation inspectable
+//! and serializable without loss.
+
+use conquer_sql::{
+    parse_expr, parse_select, AggFunc, BinaryOp, Expr, Literal, OrderByItem, SelectItem,
+    SelectStatement, TableRef, UnaryOp,
+};
+use proptest::prelude::*;
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Bool),
+        (-1000i64..1000).prop_map(Literal::Int),
+        // Finite floats that print without exponent and reparse exactly.
+        (-1000i32..1000, 1u32..100).prop_map(|(a, b)| Literal::Float(a as f64 / b as f64)),
+        "[a-z ]{0,8}".prop_map(Literal::Str),
+        "[a-z]+'[a-z]*".prop_map(Literal::Str), // embedded quotes
+        (0i32..20000).prop_map(|d| Literal::Date(conquer_storage::Date::from_days(d))),
+    ]
+}
+
+fn column_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        "c_[a-z0-9_]{0,5}".prop_map(Expr::column),
+        ("t_[a-z0-9_]{0,4}", "c_[a-z0-9_]{0,5}")
+            .prop_map(|(q, n)| Expr::qualified(q, n)),
+    ]
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinaryOp> {
+    prop::sample::select(vec![
+        BinaryOp::Or,
+        BinaryOp::And,
+        BinaryOp::Eq,
+        BinaryOp::NotEq,
+        BinaryOp::Lt,
+        BinaryOp::LtEq,
+        BinaryOp::Gt,
+        BinaryOp::GtEq,
+        BinaryOp::Add,
+        BinaryOp::Sub,
+        BinaryOp::Mul,
+        BinaryOp::Div,
+        BinaryOp::Mod,
+    ])
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal_strategy().prop_map(Expr::Literal), column_strategy()];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), binop_strategy(), inner.clone()).prop_map(|(l, op, r)| {
+                Expr::binary(l, op, r)
+            }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+            // NOT of a literal int would re-parse as a negative literal, so
+            // negate only columns.
+            column_strategy().prop_map(|e| Expr::Unary { op: UnaryOp::Neg, expr: Box::new(e) }),
+            (inner.clone(), "[a-z%_]{0,6}", any::<bool>()).prop_map(|(e, p, negated)| {
+                Expr::Like {
+                    expr: Box::new(e),
+                    pattern: Box::new(Expr::str(p)),
+                    negated,
+                }
+            }),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..4), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated,
+                }
+            ),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (inner, prop::sample::select(vec![
+                AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max
+            ]), any::<bool>())
+                .prop_map(|(e, func, distinct)| Expr::Aggregate {
+                    func,
+                    arg: Some(Box::new(e)),
+                    distinct,
+                }),
+        ]
+    })
+}
+
+/// BETWEEN's bounds bind at comparison level; a raw comparison inside a
+/// bound needs no parens to reparse but changes associativity. We avoid the
+/// ambiguity the same way real SQL writers do: the printer parenthesizes
+/// low-precedence subexpressions, which the proptest verifies.
+fn select_strategy() -> impl Strategy<Value = SelectStatement> {
+    (
+        prop::collection::vec(
+            (expr_strategy(), prop::option::of("a_[a-z0-9_]{0,4}")),
+            1..4,
+        ),
+        prop::collection::vec(
+            ("t_[a-z0-9_]{0,4}", prop::option::of("x_[a-z0-9_]{0,3}")),
+            1..3,
+        ),
+        prop::option::of(expr_strategy()),
+        prop::collection::vec(expr_strategy(), 0..3),
+        prop::option::of(expr_strategy()),
+        prop::collection::vec((expr_strategy(), any::<bool>()), 0..3),
+        prop::option::of(0u64..100),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(projection, from, selection, group_by, having, order_by, limit, distinct)| {
+                // FROM bindings must be unique for the statement to be
+                // *bindable*, but the parser/printer don't care; still, keep
+                // aliases distinct from each other by suffixing.
+                let from = from
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (t, a))| TableRef {
+                        table: format!("{t}{i}"),
+                        alias: a.map(|a| format!("{a}{i}")),
+                    })
+                    .collect();
+                SelectStatement {
+                    distinct,
+                    projection: projection
+                        .into_iter()
+                        .map(|(expr, alias)| SelectItem::Expr { expr, alias })
+                        .collect(),
+                    from,
+                    selection,
+                    group_by,
+                    having: having.filter(|_| true),
+                    order_by: order_by
+                        .into_iter()
+                        .map(|(expr, desc)| OrderByItem { expr, desc })
+                        .collect(),
+                    limit,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn expr_print_parse_roundtrip(e in expr_strategy()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse {printed:?}: {err}"));
+        prop_assert_eq!(e, reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn select_print_parse_roundtrip(q in select_strategy()) {
+        let printed = q.to_string();
+        let reparsed = parse_select(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse {printed:?}: {err}"));
+        prop_assert_eq!(q, reparsed, "printed: {}", printed);
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end tests of the paper's experimental workload: all thirteen
+//! TPC-H query templates over UIS-dirtied TPC-H-lite data.
+
+use conquer_datagen::{
+    dirty::{dirty_database, ProbMode, UisConfig},
+    perturb::PerturbOptions,
+    queries::{all_queries, query_sql, QUERY_IDS},
+    tpch::TpchConfig,
+};
+
+fn config(sf: f64, if_factor: u32, mode: ProbMode) -> UisConfig {
+    UisConfig {
+        tpch: TpchConfig { sf, seed: 2024 },
+        if_factor,
+        prob_mode: mode,
+        perturb: PerturbOptions::default(),
+    }
+}
+
+#[test]
+fn all_queries_rewritable_on_dirty_tpch() {
+    let db = dirty_database(config(0.01, 3, ProbMode::Uniform)).unwrap();
+    for q in all_queries() {
+        let graph = db
+            .check_rewritable(&q.sql)
+            .unwrap_or_else(|e| panic!("Q{} not rewritable: {e}", q.id));
+        assert!(graph.is_tree(), "Q{}", q.id);
+    }
+}
+
+#[test]
+fn clean_database_gives_certain_answers() {
+    // With if = 1 the database is clean: every clean answer must have
+    // probability exactly 1 and the answers must coincide with ordinary
+    // query evaluation.
+    let db = dirty_database(config(0.01, 1, ProbMode::Uniform)).unwrap();
+    for &id in &QUERY_IDS {
+        let sql = query_sql(id, false);
+        let answers = db.clean_answers(&sql).unwrap();
+        for (row, p) in &answers.rows {
+            assert!((p - 1.0).abs() < 1e-9, "Q{id}: {row:?} has probability {p}");
+        }
+        let plain = db.db().query(&sql).unwrap();
+        assert_eq!(answers.len(), plain.len(), "Q{id} cardinality");
+    }
+}
+
+#[test]
+fn dirty_database_probabilities_bounded_and_meaningful() {
+    let db = dirty_database(config(0.01, 3, ProbMode::InfoLoss)).unwrap();
+    let mut saw_uncertain = false;
+    for &id in &QUERY_IDS {
+        let sql = query_sql(id, false);
+        let answers = db.clean_answers(&sql).unwrap();
+        for (row, p) in &answers.rows {
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(p),
+                "Q{id}: {row:?} has probability {p}"
+            );
+            if *p < 1.0 - 1e-9 {
+                saw_uncertain = true;
+            }
+        }
+    }
+    assert!(saw_uncertain, "a dirty database must produce some uncertain answers");
+}
+
+#[test]
+fn duplication_grows_plain_results_but_not_entities() {
+    // More duplicates per cluster ⇒ more joining tuples for the original
+    // query; the number of *entities* (clean-answer groups) stays within
+    // the clean bound.
+    let clean = dirty_database(config(0.01, 1, ProbMode::Uniform)).unwrap();
+    let dirty = dirty_database(config(0.01, 4, ProbMode::Uniform)).unwrap();
+    let sql = query_sql(1, false);
+    let plain_clean = clean.db().query(&sql).unwrap().len();
+    let plain_dirty = dirty.db().query(&sql).unwrap().len();
+    assert!(
+        plain_dirty > plain_clean,
+        "duplication should inflate raw results: {plain_dirty} vs {plain_clean}"
+    );
+}
+
+#[test]
+fn rewritten_query_shapes() {
+    // The rewriting appends exactly one SUM column and groups by every
+    // projected attribute, for each of the thirteen templates.
+    let db = dirty_database(config(0.005, 2, ProbMode::Uniform)).unwrap();
+    for q in all_queries() {
+        let stmt = conquer_sql::parse_select(&q.sql).unwrap();
+        let rewritten = db.rewrite(&q.sql).unwrap();
+        assert_eq!(rewritten.projection.len(), stmt.projection.len() + 1, "Q{}", q.id);
+        assert!(!rewritten.group_by.is_empty(), "Q{}", q.id);
+        let text = rewritten.to_string();
+        assert!(text.contains("SUM("), "Q{}: {text}", q.id);
+        assert!(text.contains("GROUP BY"), "Q{}: {text}", q.id);
+    }
+}
+
+#[test]
+fn per_entity_probability_mass_bounded() {
+    // Group the clean answers of Q3 by the root identifier: the mass for
+    // one lineitem entity cannot exceed 1 (the entity appears in at most
+    // every candidate).
+    let db = dirty_database(config(0.01, 3, ProbMode::Uniform)).unwrap();
+    let answers = db.clean_answers(&query_sql(3, false)).unwrap();
+    let mut mass: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for (row, p) in &answers.rows {
+        *mass.entry(row[0].to_string()).or_insert(0.0) += p;
+    }
+    for (entity, m) in mass {
+        assert!(m <= 1.0 + 1e-6, "lineitem {entity} has total mass {m}");
+    }
+}
