@@ -28,11 +28,9 @@ fn customer_matrix(if_factor: u32) -> (CategoricalMatrix, Clustering) {
         perturb: PerturbOptions::default(),
     });
     let table = dirty.catalog.table("customer").expect("generated");
-    let matrix = CategoricalMatrix::from_table(
-        table,
-        &["c_name", "c_address", "c_phone", "c_mktsegment"],
-    )
-    .expect("attributes");
+    let matrix =
+        CategoricalMatrix::from_table(table, &["c_name", "c_address", "c_phone", "c_mktsegment"])
+            .expect("attributes");
     let clustering = Clustering::from_id_column(table, "c_custkey").expect("id column");
     (matrix, clustering)
 }
@@ -49,7 +47,11 @@ fn bench_prob(c: &mut Criterion) {
             &if_factor,
             |b, _| {
                 b.iter(|| {
-                    black_box(assign_probabilities(&matrix, &clustering, &InfoLossDistance))
+                    black_box(assign_probabilities(
+                        &matrix,
+                        &clustering,
+                        &InfoLossDistance,
+                    ))
                 })
             },
         );
@@ -63,12 +65,7 @@ fn bench_prob(c: &mut Criterion) {
 
     // Shortcut vs direct mutual-information difference on synthetic DCFs.
     let clusters: Vec<Dcf> = (0..50u32)
-        .map(|i| {
-            Dcf::from_parts(
-                2.0,
-                (0..8).map(move |j| (i * 8 + j, 0.125)),
-            )
-        })
+        .map(|i| Dcf::from_parts(2.0, (0..8).map(move |j| (i * 8 + j, 0.125))))
         .collect();
     let n = 100.0;
     group.bench_function("delta_i_shortcut", |b| {

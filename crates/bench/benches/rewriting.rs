@@ -43,11 +43,17 @@ fn bench_rewriting(c: &mut Criterion) {
         b.iter(|| check_rewritable(black_box(catalog), &spec, &stmt).expect("rewritable"))
     });
     group.bench_function("rewrite_q3", |b| {
-        b.iter(|| RewriteClean.rewrite(black_box(catalog), &spec, &stmt).expect("rewritable"))
+        b.iter(|| {
+            RewriteClean
+                .rewrite(black_box(catalog), &spec, &stmt)
+                .expect("rewritable")
+        })
     });
     group.bench_function("rewrite_all_13", |b| {
-        let stmts: Vec<_> =
-            all_queries().iter().map(|q| parse_select(&q.sql).expect("valid")).collect();
+        let stmts: Vec<_> = all_queries()
+            .iter()
+            .map(|q| parse_select(&q.sql).expect("valid"))
+            .collect();
         b.iter(|| {
             for s in &stmts {
                 black_box(RewriteClean.rewrite(catalog, &spec, s).expect("rewritable"));
@@ -55,7 +61,9 @@ fn bench_rewriting(c: &mut Criterion) {
         })
     });
     group.bench_function("print_rewritten_q3", |b| {
-        let rewritten = RewriteClean.rewrite(catalog, &spec, &stmt).expect("rewritable");
+        let rewritten = RewriteClean
+            .rewrite(catalog, &spec, &stmt)
+            .expect("rewritable");
         b.iter(|| black_box(rewritten.to_string()))
     });
     group.finish();

@@ -6,7 +6,9 @@ use std::time::Instant;
 
 use conquer_core::{naive::NaiveOptions, DirtyDatabase, DirtySpec, EvalStrategy};
 use conquer_datagen::{
-    dirty::{compute_probabilities, generate_unpropagated, propagate_identifiers, ProbMode, UisConfig},
+    dirty::{
+        compute_probabilities, generate_unpropagated, propagate_identifiers, ProbMode, UisConfig,
+    },
     perturb::PerturbOptions,
     queries::query_sql,
     tpch::TpchConfig,
@@ -18,19 +20,29 @@ use crate::harness::{median_time, Report};
 /// A two-table dirty database with `clusters` clusters of two tuples each.
 fn tiny(clusters: usize) -> DirtyDatabase {
     let mut db = Database::new();
-    db.execute("CREATE TABLE r (id TEXT, a INTEGER, prob DOUBLE)").unwrap();
-    db.execute("CREATE TABLE s (id TEXT, fk TEXT, prob DOUBLE)").unwrap();
+    db.execute_script(
+        "CREATE TABLE r (id TEXT, a INTEGER, prob DOUBLE);
+         CREATE TABLE s (id TEXT, fk TEXT, prob DOUBLE)",
+    )
+    .unwrap();
     {
         let t = db.catalog_mut().table_mut("r").unwrap();
         for i in 0..clusters as i64 {
-            t.insert(vec![format!("r{i}").into(), i.into(), 0.5.into()]).unwrap();
-            t.insert(vec![format!("r{i}").into(), (i + 1).into(), 0.5.into()]).unwrap();
+            t.insert(vec![format!("r{i}").into(), i.into(), 0.5.into()])
+                .unwrap();
+            t.insert(vec![format!("r{i}").into(), (i + 1).into(), 0.5.into()])
+                .unwrap();
         }
     }
     {
         let t = db.catalog_mut().table_mut("s").unwrap();
         for i in 0..clusters as i64 {
-            t.insert(vec![format!("s{i}").into(), format!("r{i}").into(), 1.0.into()]).unwrap();
+            t.insert(vec![
+                format!("s{i}").into(),
+                format!("r{i}").into(),
+                1.0.into(),
+            ])
+            .unwrap();
         }
     }
     DirtyDatabase::new(db, DirtySpec::uniform(&["r", "s"])).unwrap()
@@ -40,7 +52,13 @@ fn tiny(clusters: usize) -> DirtyDatabase {
 pub fn naive_vs_rewritten(runs: usize) -> Report {
     let mut report = Report::new(
         "Ablation: naive enumeration vs RewriteClean",
-        &["clusters", "candidates", "naive (ms)", "rewritten (ms)", "speedup"],
+        &[
+            "clusters",
+            "candidates",
+            "naive (ms)",
+            "rewritten (ms)",
+            "speedup",
+        ],
     );
     report.note("the motivation for Section 3: enumeration is exponential, the rewriting is not");
     let sql = "select s.id, r.id from s, r where s.fk = r.id and r.a > 0";
@@ -58,7 +76,10 @@ pub fn naive_vs_rewritten(runs: usize) -> Report {
             candidates.to_string(),
             format!("{:.2}", t_naive.as_secs_f64() * 1e3),
             format!("{:.3}", t_rw.as_secs_f64() * 1e3),
-            format!("{:.0}x", t_naive.as_secs_f64() / t_rw.as_secs_f64().max(1e-12)),
+            format!(
+                "{:.0}x",
+                t_naive.as_secs_f64() / t_rw.as_secs_f64().max(1e-12)
+            ),
         ]);
     }
     report
@@ -88,7 +109,10 @@ pub fn probability_modes(sf: f64, runs: usize) -> Report {
             compute_probabilities(&mut cat, "customer", mode, 7).expect("attributes exist");
             cat.table("customer").expect("present").len()
         });
-        report.push_row(vec![label.to_string(), format!("{:.2}", t.as_secs_f64() * 1e3)]);
+        report.push_row(vec![
+            label.to_string(),
+            format!("{:.2}", t.as_secs_f64() * 1e3),
+        ]);
     }
     report
 }
@@ -99,7 +123,9 @@ pub fn join_strategies(sf: f64, runs: usize) -> Report {
         "Ablation: hash join vs identifier-index join (Q3 join)",
         &["strategy", "time (ms)", "rows"],
     );
-    report.note(format!("sf = {sf}, if = 3; the paper pre-built identifier indexes"));
+    report.note(format!(
+        "sf = {sf}, if = 3; the paper pre-built identifier indexes"
+    ));
     let mut dirty = generate_unpropagated(UisConfig {
         tpch: TpchConfig { sf, seed: 7 },
         if_factor: 3,
@@ -113,14 +139,17 @@ pub fn join_strategies(sf: f64, runs: usize) -> Report {
     let mut db = Database::from_catalog(dirty.catalog);
     let sql = query_sql(3, false);
 
+    let stmt = db.prepare(&sql).expect("q3 prepares");
     let t0 = Instant::now();
-    let baseline_rows = db.query(&sql).expect("q3 runs").len();
+    let baseline_rows = stmt.query(&db).expect("q3 runs").len();
     let _ = t0.elapsed();
-    let (t_hash, _) = median_time(runs, || db.query(&sql).expect("q3 runs").len());
+    let (t_hash, _) = median_time(runs, || stmt.query(&db).expect("q3 runs").len());
 
-    db.create_index("orders", "o_orderkey").expect("column exists");
-    db.create_index("customer", "c_custkey").expect("column exists");
-    let (t_index, rows) = median_time(runs, || db.query(&sql).expect("q3 runs").len());
+    db.create_index("orders", "o_orderkey")
+        .expect("column exists");
+    db.create_index("customer", "c_custkey")
+        .expect("column exists");
+    let (t_index, rows) = median_time(runs, || stmt.query(&db).expect("q3 runs").len());
     assert_eq!(rows, baseline_rows, "index path must not change results");
 
     report.push_row(vec![

@@ -37,11 +37,15 @@ pub fn fig7(sf: f64, runs: usize) -> Report {
             "linear scan (ms)",
         ],
     );
-    report.note(format!("sf = {sf} (scaled; see DESIGN.md), median of {runs} runs"));
+    report.note(format!(
+        "sf = {sf} (scaled; see DESIGN.md), median of {runs} runs"
+    ));
     report.note("paper: probability time grows with if; propagation is if-insensitive");
     report.note(format!(
         "the 8-thread column needs cores to help: this host reports {} core(s)",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     ));
 
     for if_factor in [1u32, 5, 25] {
@@ -107,7 +111,13 @@ pub fn fig7(sf: f64, runs: usize) -> Report {
 pub fn fig8(sf: f64, runs: usize) -> Report {
     let mut report = Report::new(
         "Figure 8: original vs rewritten query times (sf scaled, if = 3)",
-        &["query", "answers", "original (ms)", "rewritten (ms)", "overhead"],
+        &[
+            "query",
+            "answers",
+            "original (ms)",
+            "rewritten (ms)",
+            "overhead",
+        ],
     );
     report.note(format!("sf = {sf}, median of {runs} runs"));
     report.note("paper: all queries within 1.5x except the many-join Q9 (1.8x)");
@@ -127,17 +137,38 @@ pub fn fig8(sf: f64, runs: usize) -> Report {
             format!("{ratio:.2}x"),
         ]);
     }
+    // Operator-level breakdown of the rewritten Q3 — the per-node stats the
+    // executor collects for every query (also available as EXPLAIN ANALYZE).
+    if let Ok(answers) = db.clean_answers(&query_sql(3, true)) {
+        if let Some(stats) = answers.stats() {
+            report.note(format!(
+                "rewritten Q3 operator breakdown:\n{}",
+                stats.render()
+            ));
+        }
+    }
     report
 }
 
 /// Time the original and rewritten versions of `sql`; returns
 /// `((answers, t_orig, t_rw), ratio)` with times rendered in ms.
+///
+/// Both statements are prepared once outside the timing loop, so the
+/// measurement covers execution only — the setting of the paper's figures,
+/// which timed queries on a warmed commercial RDBMS.
 fn time_pair(db: &DirtyDatabase, sql: &str, runs: usize) -> ((String, String, String), f64) {
-    let (t_orig, n_orig) =
-        median_time(runs, || db.db().query(sql).expect("workload query runs").len());
-    let (t_rw, n_rw) =
-        median_time(runs, || db.clean_answers(sql).expect("workload query rewritable").len());
-    let _ = n_orig;
+    let orig = db.db().prepare(sql).expect("workload query prepares");
+    let (t_orig, _) = median_time(runs, || {
+        orig.query(db.db()).expect("workload query runs").len()
+    });
+    let rewritten = db.rewrite(sql).expect("workload query rewritable");
+    let rw = db
+        .db()
+        .prepare_select(&rewritten)
+        .expect("rewritten query prepares");
+    let (t_rw, n_rw) = median_time(runs, || {
+        rw.query(db.db()).expect("rewritten query runs").len()
+    });
     let ratio = t_rw.as_secs_f64() / t_orig.as_secs_f64().max(1e-12);
     ((n_rw.to_string(), ms(t_orig), ms(t_rw)), ratio)
 }
@@ -162,10 +193,19 @@ pub fn fig9(sf: f64, runs: usize) -> Report {
         let db = dirty_database(config(sf, if_factor, ProbMode::Uniform, 7)).expect("pipeline");
         let with = query_sql(3, true);
         let without = query_sql(3, false);
-        let (t_orig, _) = median_time(runs, || db.db().query(&with).expect("q3").len());
-        let (t_rw, _) = median_time(runs, || db.clean_answers(&with).expect("q3").len());
-        let (t_orig_no, _) = median_time(runs, || db.db().query(&without).expect("q3").len());
-        let (t_rw_no, _) = median_time(runs, || db.clean_answers(&without).expect("q3").len());
+        let prep = |sql: &str| db.db().prepare(sql).expect("q3 prepares");
+        let prep_rw = |sql: &str| {
+            let rewritten = db.rewrite(sql).expect("q3 rewritable");
+            db.db()
+                .prepare_select(&rewritten)
+                .expect("rewritten q3 prepares")
+        };
+        let (orig, rw) = (prep(&with), prep_rw(&with));
+        let (orig_no, rw_no) = (prep(&without), prep_rw(&without));
+        let (t_orig, _) = median_time(runs, || orig.query(db.db()).expect("q3").len());
+        let (t_rw, _) = median_time(runs, || rw.query(db.db()).expect("q3").len());
+        let (t_orig_no, _) = median_time(runs, || orig_no.query(db.db()).expect("q3").len());
+        let (t_rw_no, _) = median_time(runs, || rw_no.query(db.db()).expect("q3").len());
         report.push_row(vec![
             if_factor.to_string(),
             ms(t_orig),
@@ -186,8 +226,10 @@ pub fn fig10(base_sf: f64, runs: usize) -> Report {
         .chain(sizes.iter().map(|s| format!("{s}x base (ms)")))
         .collect();
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut report =
-        Report::new("Figure 10: rewritten-query time over DB size (if = 3)", &headers_ref);
+    let mut report = Report::new(
+        "Figure 10: rewritten-query time over DB size (if = 3)",
+        &headers_ref,
+    );
     report.note(format!("base sf = {base_sf}, median of {runs} runs"));
     report.note("paper: running times grow linearly with database size");
 
@@ -202,7 +244,9 @@ pub fn fig10(base_sf: f64, runs: usize) -> Report {
         let sql = query_sql(id, true);
         let mut row = vec![format!("Q{id}")];
         for db in &dbs {
-            let (t, _) = median_time(runs, || db.clean_answers(&sql).expect("rewritable").len());
+            let rewritten = db.rewrite(&sql).expect("rewritable");
+            let stmt = db.db().prepare_select(&rewritten).expect("prepares");
+            let (t, _) = median_time(runs, || stmt.query(db.db()).expect("runs").len());
             row.push(ms(t));
         }
         report.push_row(row);

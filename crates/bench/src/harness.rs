@@ -105,7 +105,10 @@ pub fn print_report(report: &Report) {
         out
     };
     println!("{}", line(&report.headers));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in &report.rows {
         println!("{}", line(row));
     }

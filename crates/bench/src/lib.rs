@@ -36,10 +36,17 @@ pub use tables::{table3, table4};
 
 /// Base scale factor from `CONQUER_SF` (default 0.2).
 pub fn base_sf() -> f64 {
-    std::env::var("CONQUER_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.2)
+    std::env::var("CONQUER_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.2)
 }
 
 /// Timing repetitions from `CONQUER_RUNS` (default 3).
 pub fn runs() -> usize {
-    std::env::var("CONQUER_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(3).max(1)
+    std::env::var("CONQUER_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1)
 }

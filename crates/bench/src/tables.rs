@@ -27,7 +27,8 @@ pub fn figure6_relation() -> (Table, Clustering) {
         ("John S.", "building", "USA", "Arrow"),
         ("John", "banking", "Canada", "Baldwin"),
     ] {
-        t.insert(vec![a.into(), b.into(), c.into(), d.into()]).expect("row");
+        t.insert(vec![a.into(), b.into(), c.into(), d.into()])
+            .expect("row");
     }
     let clustering =
         Clustering::new(vec![vec![0, 1, 2], vec![3, 4], vec![5]], 6).expect("partition");
@@ -48,7 +49,14 @@ pub fn table3() -> Report {
 
     let mut report = Report::new(
         "Table 3: probability calculation in customer (Figure 6)",
-        &["tuple", "rep", "d(t, rep)", "s_t", "p(t) info-loss", "p(t) edit-distance"],
+        &[
+            "tuple",
+            "rep",
+            "d(t, rep)",
+            "s_t",
+            "p(t) info-loss",
+            "p(t) edit-distance",
+        ],
     );
     report.note("paper: t2 most probable in c1; t4 = t5 = 0.5; t6 = 1.0");
 
@@ -60,7 +68,11 @@ pub fn table3() -> Report {
             .sum();
         for &i in cluster {
             let d = information_loss(&matrix.tuple_dcf(i), &rep, matrix.n() as f64);
-            let sim = if cluster.len() == 1 || s <= f64::EPSILON { 1.0 } else { 1.0 - d / s };
+            let sim = if cluster.len() == 1 || s <= f64::EPSILON {
+                1.0
+            } else {
+                1.0 - d / s
+            };
             report.push_row(vec![
                 format!("t{}", i + 1),
                 format!("rep{}", ci + 1),
@@ -85,20 +97,24 @@ pub fn table4() -> Report {
 
     let mut report = Report::new(
         "Table 4: example from the (synthetic) Cora data set",
-        &["rank", "p(t)", "author", "title", "venue", "volume", "year", "pages", "note"],
+        &[
+            "rank", "p(t)", "author", "title", "venue", "volume", "year", "pages", "note",
+        ],
     );
-    report.note(format!("{}-tuple cluster; anomalies at rows {misclustered} and {odd}", t.len()));
+    report.note(format!(
+        "{}-tuple cluster; anomalies at rows {misclustered} and {odd}",
+        t.len()
+    ));
 
     // Header block: most frequent values.
     let all: Vec<usize> = (0..t.len()).collect();
     let rep = InfoLossDistance.representative(&matrix, &all);
     let modal = rep.modal_values(|v| matrix.value_name(v).0, matrix.m());
     let mut row = vec!["modal".to_string(), String::new()];
-    row.extend(
-        modal
-            .iter()
-            .map(|v| v.map(|v| matrix.value_name(v).1.to_string()).unwrap_or_default()),
-    );
+    row.extend(modal.iter().map(|v| {
+        v.map(|v| matrix.value_name(v).1.to_string())
+            .unwrap_or_default()
+    }));
     row.push("most frequent values".into());
     report.push_row(row);
 

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use conquer_engine::ExecStats;
 use conquer_storage::{Row, Value};
 
 /// Default tolerance when comparing answer probabilities (the rewritten
@@ -11,18 +12,52 @@ pub const PROB_EPSILON: f64 = 1e-9;
 
 /// Clean answers to a query: each answer tuple paired with its probability
 /// of being an answer over the clean database (Definition 5).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// When produced by the rewriting path, the executor's per-operator
+/// statistics are forwarded and available via [`CleanAnswers::stats`].
+/// Equality compares columns and rows only.
+#[derive(Debug, Clone)]
 pub struct CleanAnswers {
     /// Names of the answer columns (without the probability column).
     pub columns: Vec<String>,
     /// `(answer tuple, probability)` pairs.
     pub rows: Vec<(Row, f64)>,
+    /// Executor statistics of the rewritten query, when it ran as one query.
+    stats: Option<Box<ExecStats>>,
+}
+
+impl PartialEq for CleanAnswers {
+    fn eq(&self, other: &Self) -> bool {
+        self.columns == other.columns && self.rows == other.rows
+    }
 }
 
 impl CleanAnswers {
+    /// An answer set from columns and `(tuple, probability)` pairs.
+    pub fn new(columns: Vec<String>, rows: Vec<(Row, f64)>) -> Self {
+        CleanAnswers {
+            columns,
+            rows,
+            stats: None,
+        }
+    }
+
     /// An empty answer set with the given columns.
     pub fn empty(columns: Vec<String>) -> Self {
-        CleanAnswers { columns, rows: Vec::new() }
+        CleanAnswers::new(columns, Vec::new())
+    }
+
+    /// Attach executor statistics (builder-style).
+    pub fn with_stats(mut self, stats: Option<ExecStats>) -> Self {
+        self.stats = stats.map(Box::new);
+        self
+    }
+
+    /// Per-operator executor statistics of the rewritten query, when this
+    /// answer set was computed by a single rewritten SQL query (the naive
+    /// candidate-enumeration path runs many queries and forwards none).
+    pub fn stats(&self) -> Option<&ExecStats> {
+        self.stats.as_deref()
     }
 
     /// Number of answers.
@@ -37,7 +72,10 @@ impl CleanAnswers {
 
     /// The probability of a specific answer tuple, if present.
     pub fn probability_of(&self, tuple: &[Value]) -> Option<f64> {
-        self.rows.iter().find(|(r, _)| r.as_slice() == tuple).map(|(_, p)| *p)
+        self.rows
+            .iter()
+            .find(|(r, _)| r.as_slice() == tuple)
+            .map(|(_, p)| *p)
     }
 
     /// Answers sorted by decreasing probability (ties: by tuple order) —
@@ -46,7 +84,9 @@ impl CleanAnswers {
     pub fn ranked(&self) -> Vec<(&Row, f64)> {
         let mut out: Vec<(&Row, f64)> = self.rows.iter().map(|(r, p)| (r, *p)).collect();
         out.sort_by(|(ra, pa), (rb, pb)| {
-            pb.partial_cmp(pa).unwrap_or(std::cmp::Ordering::Equal).then_with(|| ra.cmp(rb))
+            pb.partial_cmp(pa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| ra.cmp(rb))
         });
         out
     }
@@ -55,7 +95,11 @@ impl CleanAnswers {
     /// of Arenas et al., which the paper shows to be the certainty fragment
     /// of clean answers.
     pub fn consistent(&self, eps: f64) -> Vec<&Row> {
-        self.rows.iter().filter(|(_, p)| (p - 1.0).abs() <= eps).map(|(r, _)| r).collect()
+        self.rows
+            .iter()
+            .filter(|(_, p)| (p - 1.0).abs() <= eps)
+            .map(|(r, _)| r)
+            .collect()
     }
 
     /// True when both answer sets contain the same tuples with probabilities
@@ -64,8 +108,7 @@ impl CleanAnswers {
     /// a tuple with probability 0 that the rewriting never produces.
     pub fn approx_same(&self, other: &CleanAnswers, eps: f64) -> bool {
         let sig = |a: &CleanAnswers| {
-            let mut v: Vec<(Row, f64)> =
-                a.rows.iter().filter(|(_, p)| *p > eps).cloned().collect();
+            let mut v: Vec<(Row, f64)> = a.rows.iter().filter(|(_, p)| *p > eps).cloned().collect();
             v.sort_by(|(ra, _), (rb, _)| ra.cmp(rb));
             v
         };
@@ -104,14 +147,14 @@ mod tests {
     use super::*;
 
     fn answers() -> CleanAnswers {
-        CleanAnswers {
-            columns: vec!["id".into()],
-            rows: vec![
+        CleanAnswers::new(
+            vec!["id".into()],
+            vec![
                 (vec!["c2".into()], 0.2),
                 (vec!["c1".into()], 1.0),
                 (vec!["c3".into()], 0.0),
             ],
-        }
+        )
     }
 
     #[test]
@@ -140,15 +183,15 @@ mod tests {
     #[test]
     fn approx_same_ignores_order_and_zero_rows() {
         let a = answers();
-        let b = CleanAnswers {
-            columns: vec!["id".into()],
-            rows: vec![(vec!["c1".into()], 1.0 + 1e-12), (vec!["c2".into()], 0.2)],
-        };
+        let b = CleanAnswers::new(
+            vec!["id".into()],
+            vec![(vec!["c1".into()], 1.0 + 1e-12), (vec!["c2".into()], 0.2)],
+        );
         assert!(a.approx_same(&b, 1e-9));
-        let c = CleanAnswers {
-            columns: vec!["id".into()],
-            rows: vec![(vec!["c1".into()], 0.9), (vec!["c2".into()], 0.2)],
-        };
+        let c = CleanAnswers::new(
+            vec!["id".into()],
+            vec![(vec!["c1".into()], 0.9), (vec!["c2".into()], 0.2)],
+        );
         assert!(!a.approx_same(&c, 1e-9));
     }
 

@@ -78,7 +78,9 @@ pub fn apply_crossref(
     let distinct: std::collections::HashSet<&Value> = ids.iter().collect();
     let count = distinct.len();
 
-    catalog.table_mut(table)?.update_column(id_column, |i, _| ids[i].clone())?;
+    catalog
+        .table_mut(table)?
+        .update_column(id_column, |i, _| ids[i].clone())?;
     Ok(count)
 }
 
@@ -114,7 +116,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(clusters, 2);
-        let r = db.query("SELECT id FROM customer ORDER BY custkey").unwrap();
+        let r = db
+            .prepare("SELECT id FROM customer ORDER BY custkey")
+            .unwrap()
+            .query(&db)
+            .unwrap();
         let ids: Vec<String> = r.rows.iter().map(|x| x[0].to_string()).collect();
         assert_eq!(ids, vec!["c1", "c1", "c2"]);
     }
@@ -122,7 +128,10 @@ mod tests {
     #[test]
     fn unmapped_key_rejected() {
         let mut db = setup();
-        db.execute("INSERT INTO customer VALUES ('', 999, 'zed', 0.0)").unwrap();
+        db.prepare("INSERT INTO customer VALUES ('', 999, 'zed', 0.0)")
+            .unwrap()
+            .run(&mut db)
+            .unwrap();
         let err = apply_crossref(
             db.catalog_mut(),
             "customer",
@@ -139,7 +148,10 @@ mod tests {
     #[test]
     fn conflicting_mapping_rejected() {
         let mut db = setup();
-        db.execute("INSERT INTO xref VALUES (101, 'c9')").unwrap();
+        db.prepare("INSERT INTO xref VALUES (101, 'c9')")
+            .unwrap()
+            .run(&mut db)
+            .unwrap();
         let err = apply_crossref(
             db.catalog_mut(),
             "customer",
@@ -156,7 +168,10 @@ mod tests {
     #[test]
     fn duplicate_consistent_mapping_allowed() {
         let mut db = setup();
-        db.execute("INSERT INTO xref VALUES (101, 'c1')").unwrap();
+        db.prepare("INSERT INTO xref VALUES (101, 'c1')")
+            .unwrap()
+            .run(&mut db)
+            .unwrap();
         assert!(apply_crossref(
             db.catalog_mut(),
             "customer",
@@ -184,11 +199,19 @@ mod tests {
         )
         .unwrap();
         // Uniform probabilities per cluster, then clean answers.
-        db.execute("UPDATE customer SET prob = 0.5 WHERE id = 'c1'").unwrap();
-        db.execute("UPDATE customer SET prob = 1.0 WHERE id = 'c2'").unwrap();
+        db.prepare("UPDATE customer SET prob = 0.5 WHERE id = 'c1'")
+            .unwrap()
+            .run(&mut db)
+            .unwrap();
+        db.prepare("UPDATE customer SET prob = 1.0 WHERE id = 'c2'")
+            .unwrap()
+            .run(&mut db)
+            .unwrap();
         db.catalog_mut().drop_table("xref").unwrap();
         let dirty = DirtyDatabase::new(db, DirtySpec::uniform(&["customer"])).unwrap();
-        let ans = dirty.clean_answers("SELECT id FROM customer WHERE name LIKE 'an%'").unwrap();
+        let ans = dirty
+            .clean_answers("SELECT id FROM customer WHERE name LIKE 'an%'")
+            .unwrap();
         assert!((ans.probability_of(&["c1".into()]).unwrap() - 1.0).abs() < 1e-9);
     }
 }

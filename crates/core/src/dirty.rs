@@ -14,8 +14,7 @@ use crate::spec::DirtySpec;
 use crate::Result;
 
 /// How [`DirtyDatabase::clean_answers_with`] evaluates a query.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum EvalStrategy {
     /// Use `RewriteClean` only; error if the query is not rewritable.
     #[default]
@@ -26,7 +25,6 @@ pub enum EvalStrategy {
     /// naive evaluator.
     Auto(NaiveOptions),
 }
-
 
 /// A dirty database: an engine [`Database`] whose relations carry cluster
 /// identifiers and tuple probabilities described by a [`DirtySpec`]
@@ -145,10 +143,12 @@ impl DirtyDatabase {
         let stmt = parse_select(sql)?;
         let mut rewritten = RewriteClean.rewrite(self.db.catalog(), &self.spec, &stmt)?;
         let prob_alias = probability_alias(&rewritten);
-        rewritten.order_by =
-            vec![OrderByItem { expr: Expr::column(prob_alias), desc: true }];
+        rewritten.order_by = vec![OrderByItem {
+            expr: Expr::column(prob_alias),
+            desc: true,
+        }];
         rewritten.limit = Some(k);
-        let result = self.db.query_statement(&rewritten)?;
+        let result = self.db.prepare_select(&rewritten)?.query(&self.db)?;
         Ok(result_to_answers(result))
     }
 
@@ -158,8 +158,10 @@ impl DirtyDatabase {
     pub fn clean_answers_above(&self, sql: &str, tau: f64) -> Result<CleanAnswers> {
         let stmt = parse_select(sql)?;
         let mut rewritten = RewriteClean.rewrite(self.db.catalog(), &self.spec, &stmt)?;
-        let SelectItem::Expr { expr: sum_expr, .. } =
-            rewritten.projection.last().expect("rewriting appends the probability item")
+        let SelectItem::Expr { expr: sum_expr, .. } = rewritten
+            .projection
+            .last()
+            .expect("rewriting appends the probability item")
         else {
             unreachable!("rewriting appends an expression item")
         };
@@ -168,7 +170,7 @@ impl DirtyDatabase {
             BinaryOp::GtEq,
             Expr::float(tau),
         ));
-        let result = self.db.query_statement(&rewritten)?;
+        let result = self.db.prepare_select(&rewritten)?.query(&self.db)?;
         Ok(result_to_answers(result))
     }
 
@@ -181,7 +183,7 @@ impl DirtyDatabase {
 
     fn rewritten_answers(&self, stmt: &SelectStatement) -> Result<CleanAnswers> {
         let rewritten = RewriteClean.rewrite(self.db.catalog(), &self.spec, stmt)?;
-        let result = self.db.query_statement(&rewritten)?;
+        let result = self.db.prepare_select(&rewritten)?.query(&self.db)?;
         Ok(result_to_answers(result))
     }
 }
@@ -189,6 +191,7 @@ impl DirtyDatabase {
 /// Split a rewritten-query result into `(answer tuple, probability)` pairs —
 /// the probability is the last column (the appended `SUM(probs)`).
 pub fn result_to_answers(mut result: QueryResult) -> CleanAnswers {
+    let stats = result.take_stats();
     let prob_idx = result.columns.len().saturating_sub(1);
     result.columns.truncate(prob_idx);
     let rows = result
@@ -199,7 +202,7 @@ pub fn result_to_answers(mut result: QueryResult) -> CleanAnswers {
             (row, p)
         })
         .collect();
-    CleanAnswers { columns: result.columns, rows }
+    CleanAnswers::new(result.columns, rows).with_stats(stats)
 }
 
 /// The output name of the rewriting's appended probability column.
@@ -275,10 +278,12 @@ mod tests {
         )
         .unwrap();
         let cleaned = best
-            .query(
+            .prepare(
                 "select l.cardid from loyaltycard l, customer c \
                  where l.custfk = c.id and c.income > 100000",
             )
+            .unwrap()
+            .query(&best)
             .unwrap();
         assert!(cleaned.is_empty(), "offline cleaning misses card 111");
         // …whereas clean answers still surface it with probability 0.6.
@@ -336,7 +341,9 @@ mod tests {
         let dirty = figure1();
         assert_eq!(dirty.candidate_count(None).unwrap(), 8);
         assert_eq!(
-            dirty.candidate_count(Some(&["customer".to_string()])).unwrap(),
+            dirty
+                .candidate_count(Some(&["customer".to_string()]))
+                .unwrap(),
             4
         );
         let cl = dirty.clusters("customer").unwrap();

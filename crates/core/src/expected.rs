@@ -52,10 +52,9 @@ impl RewriteExpected {
     /// `COUNT(*)`, `SUM` and `AVG`.
     pub fn rewrite(&self, spec: &DirtySpec, stmt: &SelectStatement) -> Result<SelectStatement> {
         if stmt.distinct {
-            return Err(NotRewritable::NotSpj(
-                "DISTINCT has no expected-value reading".into(),
-            )
-            .into());
+            return Err(
+                NotRewritable::NotSpj("DISTINCT has no expected-value reading".into()).into(),
+            );
         }
         if stmt.having.is_some() {
             return Err(NotRewritable::NotSpj(
@@ -63,9 +62,10 @@ impl RewriteExpected {
             )
             .into());
         }
-        let has_agg = stmt.projection.iter().any(|i| {
-            matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate())
-        });
+        let has_agg = stmt
+            .projection
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()));
         if !has_agg && stmt.group_by.is_empty() {
             return Err(NotRewritable::NotSpj(
                 "not an aggregate query; use RewriteClean for SPJ queries".into(),
@@ -107,7 +107,11 @@ impl RewriteExpected {
 /// Recursively replace aggregate calls by their expected-value forms.
 fn rewrite_expr(e: &Expr, prod: &Expr) -> Result<Expr> {
     Ok(match e {
-        Expr::Aggregate { func, arg, distinct } => {
+        Expr::Aggregate {
+            func,
+            arg,
+            distinct,
+        } => {
             if *distinct {
                 return Err(NotRewritable::NotSpj(
                     "DISTINCT aggregates have no linear expected-value form".into(),
@@ -124,9 +128,11 @@ fn rewrite_expr(e: &Expr, prod: &Expr) -> Result<Expr> {
                     )
                     .into())
                 }
-                (AggFunc::Sum, Some(arg)) => {
-                    sum(Expr::binary((**arg).clone(), conquer_sql::BinaryOp::Mul, prod.clone()))
-                }
+                (AggFunc::Sum, Some(arg)) => sum(Expr::binary(
+                    (**arg).clone(),
+                    conquer_sql::BinaryOp::Mul,
+                    prod.clone(),
+                )),
                 (AggFunc::Avg, Some(arg)) => {
                     // ratio of expectations: E[Σ e·p] / E[Σ p]
                     let num = sum(Expr::binary(
@@ -159,17 +165,33 @@ fn rewrite_expr(e: &Expr, prod: &Expr) -> Result<Expr> {
             op: *op,
             right: Box::new(rewrite_expr(right, prod)?),
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(rewrite_expr(expr, prod)?),
             pattern: Box::new(rewrite_expr(pattern, prod)?),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(rewrite_expr(expr, prod)?),
-            list: list.iter().map(|e| rewrite_expr(e, prod)).collect::<Result<_>>()?,
+            list: list
+                .iter()
+                .map(|e| rewrite_expr(e, prod))
+                .collect::<Result<_>>()?,
             negated: *negated,
         },
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(rewrite_expr(expr, prod)?),
             low: Box::new(rewrite_expr(low, prod)?),
             high: Box::new(rewrite_expr(high, prod)?),
@@ -179,7 +201,11 @@ fn rewrite_expr(e: &Expr, prod: &Expr) -> Result<Expr> {
             expr: Box::new(rewrite_expr(expr, prod)?),
             negated: *negated,
         },
-        Expr::Case { operand, branches, else_expr } => Expr::Case {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => Expr::Case {
             operand: operand
                 .as_ref()
                 .map(|o| rewrite_expr(o, prod).map(Box::new))
@@ -197,7 +223,11 @@ fn rewrite_expr(e: &Expr, prod: &Expr) -> Result<Expr> {
 }
 
 fn sum(arg: Expr) -> Expr {
-    Expr::Aggregate { func: AggFunc::Sum, arg: Some(Box::new(arg)), distinct: false }
+    Expr::Aggregate {
+        func: AggFunc::Sum,
+        arg: Some(Box::new(arg)),
+        distinct: false,
+    }
 }
 
 /// Oracle for tests: compute expected aggregates by candidate enumeration.
@@ -232,8 +262,9 @@ pub mod oracle {
                 _ => None,
             })
             .collect();
-        let agg_positions: Vec<usize> =
-            (0..stmt.projection.len()).filter(|i| !key_positions.contains(i)).collect();
+        let agg_positions: Vec<usize> = (0..stmt.projection.len())
+            .filter(|i| !key_positions.contains(i))
+            .collect();
 
         let mut tables: Vec<String> = stmt.from.iter().map(|t| t.table.clone()).collect();
         tables.sort();
@@ -250,7 +281,7 @@ pub mod oracle {
         let mut sums: HashMap<Row, Vec<f64>> = HashMap::new();
         for (candidate, probability) in candidates {
             let db = Database::from_catalog(candidate);
-            let result = db.query_statement(stmt)?;
+            let result = db.prepare_select(stmt)?.query(&db)?;
             for row in result.rows {
                 let key: Row = key_positions.iter().map(|&i| row[i].clone()).collect();
                 let entry = sums.entry(key.clone()).or_insert_with(|| {
@@ -265,7 +296,10 @@ pub mod oracle {
                 }
             }
         }
-        Ok(order.into_iter().map(|k| (k.clone(), sums[&k].clone())).collect())
+        Ok(order
+            .into_iter()
+            .map(|k| (k.clone(), sums[&k].clone()))
+            .collect())
     }
 }
 
@@ -280,9 +314,11 @@ impl crate::dirty::DirtyDatabase {
     /// use conquer_core::{DirtyDatabase, DirtySpec};
     ///
     /// let mut db = Database::new();
-    /// db.execute("CREATE TABLE t (id TEXT, v INTEGER, prob DOUBLE)").unwrap();
-    /// db.execute("INSERT INTO t VALUES ('a', 10, 0.5), ('a', 20, 0.5), ('b', 7, 1.0)")
-    ///     .unwrap();
+    /// db.execute_script(
+    ///     "CREATE TABLE t (id TEXT, v INTEGER, prob DOUBLE);
+    ///      INSERT INTO t VALUES ('a', 10, 0.5), ('a', 20, 0.5), ('b', 7, 1.0)",
+    /// )
+    /// .unwrap();
     /// let dirty = DirtyDatabase::new(db, DirtySpec::uniform(&["t"])).unwrap();
     /// let res = dirty
     ///     .expected_answers("SELECT id, SUM(v), COUNT(*) FROM t GROUP BY id ORDER BY id")
@@ -295,7 +331,10 @@ impl crate::dirty::DirtyDatabase {
     pub fn expected_answers(&self, sql: &str) -> Result<conquer_engine::QueryResult> {
         let stmt = conquer_sql::parse_select(sql).map_err(CoreError::from)?;
         let rewritten = RewriteExpected.rewrite(self.spec(), &stmt)?;
-        self.db().query_statement(&rewritten).map_err(CoreError::from)
+        self.db()
+            .prepare_select(&rewritten)?
+            .query(self.db())
+            .map_err(CoreError::from)
     }
 }
 
@@ -417,11 +456,12 @@ mod tests {
     fn self_join_rejected() {
         let dirty = figure2();
         let err = dirty
-            .expected_answers(
-                "select a.id, count(*) from orders a, orders b group by a.id",
-            )
+            .expected_answers("select a.id, count(*) from orders a, orders b group by a.id")
             .unwrap_err();
-        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::SelfJoin(_))));
+        assert!(matches!(
+            err,
+            CoreError::NotRewritable(NotRewritable::SelfJoin(_))
+        ));
     }
 
     #[test]

@@ -45,7 +45,12 @@ impl std::fmt::Display for Explanation {
             }
             write!(f, "{v}")?;
         }
-        writeln!(f, ") has probability {:.4} from {} combination(s):", self.probability, self.supports.len())?;
+        writeln!(
+            f,
+            ") has probability {:.4} from {} combination(s):",
+            self.probability,
+            self.supports.len()
+        )?;
         for s in &self.supports {
             write!(f, "  {:.4}  via", s.probability)?;
             for (binding, id, p) in &s.tuples {
@@ -59,11 +64,7 @@ impl std::fmt::Display for Explanation {
 
 /// Explain one clean answer of a rewritable query: every combination of
 /// duplicates that produces `answer`, with its probability contribution.
-pub fn explain_answer(
-    db: &DirtyDatabase,
-    sql: &str,
-    answer: &[Value],
-) -> Result<Explanation> {
+pub fn explain_answer(db: &DirtyDatabase, sql: &str, answer: &[Value]) -> Result<Explanation> {
     let stmt: SelectStatement = conquer_sql::parse_select(sql)?;
     let graph = check_rewritable(db.db().catalog(), db.spec(), &stmt)?;
 
@@ -83,7 +84,10 @@ pub fn explain_answer(
     probe.limit = None;
     let n_answer = probe.projection.len();
     for (i, binding) in graph.bindings.iter().enumerate() {
-        let id_name = db.db().catalog().table(&graph.tables[i])?
+        let id_name = db
+            .db()
+            .catalog()
+            .table(&graph.tables[i])?
             .schema()
             .column_at(graph.id_columns[i])
             .expect("validated by check_rewritable")
@@ -100,7 +104,7 @@ pub fn explain_answer(
         });
     }
 
-    let result = db.db().query_statement(&probe)?;
+    let result = db.db().prepare_select(&probe)?.query(db.db())?;
     let mut supports = Vec::new();
     let mut total = 0.0;
     for row in &result.rows {
@@ -116,10 +120,17 @@ pub fn explain_answer(
             tuples.push((binding.clone(), id, p));
         }
         total += probability;
-        supports.push(Support { probability, tuples });
+        supports.push(Support {
+            probability,
+            tuples,
+        });
     }
     supports.sort_by(|a, b| b.probability.partial_cmp(&a.probability).expect("finite"));
-    Ok(Explanation { answer: answer.to_vec(), probability: total, supports })
+    Ok(Explanation {
+        answer: answer.to_vec(),
+        probability: total,
+        supports,
+    })
 }
 
 #[cfg(test)]

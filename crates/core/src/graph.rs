@@ -80,11 +80,9 @@ pub fn check_rewritable(
     if !stmt.group_by.is_empty() || stmt.having.is_some() {
         return Err(NotRewritable::NotSpj("GROUP BY/HAVING are not allowed".into()).into());
     }
-    let has_agg = stmt
-        .projection
-        .iter()
-        .any(|i| matches!(i, conquer_sql::SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
-        || stmt.order_by.iter().any(|o| o.expr.contains_aggregate());
+    let has_agg = stmt.projection.iter().any(
+        |i| matches!(i, conquer_sql::SelectItem::Expr { expr, .. } if expr.contains_aggregate()),
+    ) || stmt.order_by.iter().any(|o| o.expr.contains_aggregate());
     if has_agg {
         return Err(NotRewritable::NotSpj("aggregates are not allowed".into()).into());
     }
@@ -137,7 +135,12 @@ pub fn check_rewritable(
                 .into());
             }
             // Exactly two relations: must be column = column.
-            let BoundExpr::Binary { left, op: BinaryOp::Eq, right } = conjunct else {
+            let BoundExpr::Binary {
+                left,
+                op: BinaryOp::Eq,
+                right,
+            } = conjunct
+            else {
                 return Err(NotRewritable::NonEquiJoin(describe_conjunct(conjunct, &bound)).into());
             };
             let (BoundExpr::Column(a), BoundExpr::Column(b)) = (&**left, &**right) else {
@@ -185,8 +188,14 @@ pub fn check_rewritable(
     })?;
 
     // --- Condition 4: root identifier in the select clause -----------------
-    let root_id = ColumnId { rel: root, col: id_columns[root] };
-    let selected = bound.output.iter().any(|o| o.expr == BoundExpr::Column(root_id));
+    let root_id = ColumnId {
+        rel: root,
+        col: id_columns[root],
+    };
+    let selected = bound
+        .output
+        .iter()
+        .any(|o| o.expr == BoundExpr::Column(root_id));
     if !selected {
         return Err(NotRewritable::RootIdentifierNotSelected {
             root: bindings[root].clone(),
@@ -200,7 +209,14 @@ pub fn check_rewritable(
         .into());
     }
 
-    Ok(JoinGraph { bindings, tables, id_columns, prob_columns, arcs, root: Some(root) })
+    Ok(JoinGraph {
+        bindings,
+        tables,
+        id_columns,
+        prob_columns,
+        arcs,
+        root: Some(root),
+    })
 }
 
 fn push_arc(arcs: &mut Vec<(usize, usize)>, from: usize, to: usize) {
@@ -218,15 +234,26 @@ fn column_name(bound: &BoundSelect, id: ColumnId) -> String {
 }
 
 fn describe_conjunct(e: &BoundExpr, bound: &BoundSelect) -> String {
-    let rels: Vec<&str> =
-        e.relations().iter().map(|r| bound.relations[*r].binding.as_str()).collect();
-    format!("a non-equality predicate connects relations {}", rels.join(", "))
+    let rels: Vec<&str> = e
+        .relations()
+        .iter()
+        .map(|r| bound.relations[*r].binding.as_str())
+        .collect();
+    format!(
+        "a non-equality predicate connects relations {}",
+        rels.join(", ")
+    )
 }
 
 fn conjuncts(e: &BoundExpr) -> Vec<&BoundExpr> {
     let mut out = Vec::new();
     fn walk<'a>(e: &'a BoundExpr, out: &mut Vec<&'a BoundExpr>) {
-        if let BoundExpr::Binary { left, op: BinaryOp::And, right } = e {
+        if let BoundExpr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } = e
+        {
             walk(left, out);
             walk(right, out);
         } else {
@@ -342,10 +369,8 @@ mod tests {
 
     #[test]
     fn non_identifier_join_rejected() {
-        let err = check(
-            "select o.id, c.id from orders o, customer c where o.custfk = c.custid",
-        )
-        .unwrap_err();
+        let err = check("select o.id, c.id from orders o, customer c where o.custfk = c.custid")
+            .unwrap_err();
         assert!(matches!(
             err,
             CoreError::NotRewritable(NotRewritable::JoinWithoutIdentifier(_))
@@ -355,15 +380,20 @@ mod tests {
     #[test]
     fn self_join_rejected() {
         let err = check("select a.id from customer a, customer b where a.id = b.id").unwrap_err();
-        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::SelfJoin(_))));
+        assert!(matches!(
+            err,
+            CoreError::NotRewritable(NotRewritable::SelfJoin(_))
+        ));
     }
 
     #[test]
     fn non_equi_join_rejected() {
-        let err =
-            check("select o.id, c.id from orders o, customer c where o.quantity < c.balance")
-                .unwrap_err();
-        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::NonEquiJoin(_))));
+        let err = check("select o.id, c.id from orders o, customer c where o.quantity < c.balance")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::NotRewritable(NotRewritable::NonEquiJoin(_))
+        ));
     }
 
     #[test]
@@ -373,7 +403,10 @@ mod tests {
              where o.cidfk = c.id or o.custfk = c.id",
         )
         .unwrap_err();
-        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::NonEquiJoin(_))));
+        assert!(matches!(
+            err,
+            CoreError::NotRewritable(NotRewritable::NonEquiJoin(_))
+        ));
         // Disjunction local to one relation is a selection and is fine.
         check(
             "select o.id, c.id from orders o, customer c \
@@ -385,7 +418,10 @@ mod tests {
     #[test]
     fn disconnected_graph_rejected() {
         let err = check("select o.id, c.id from orders o, customer c").unwrap_err();
-        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::GraphNotTree(_))));
+        assert!(matches!(
+            err,
+            CoreError::NotRewritable(NotRewritable::GraphNotTree(_))
+        ));
     }
 
     #[test]
@@ -397,7 +433,10 @@ mod tests {
              where o.cidfk = c.id and l.cidfk = c.id",
         )
         .unwrap_err();
-        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::GraphNotTree(_))));
+        assert!(matches!(
+            err,
+            CoreError::NotRewritable(NotRewritable::GraphNotTree(_))
+        ));
 
         let g = check(
             "select l.id, o.id, c.id from loyalty l, orders o, customer c \
@@ -414,7 +453,10 @@ mod tests {
         // tree for two relations.
         let err =
             check("select o.id, c.id from orders o, customer c where o.id = c.id").unwrap_err();
-        assert!(matches!(err, CoreError::NotRewritable(NotRewritable::GraphNotTree(_))));
+        assert!(matches!(
+            err,
+            CoreError::NotRewritable(NotRewritable::GraphNotTree(_))
+        ));
     }
 
     #[test]

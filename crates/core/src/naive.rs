@@ -31,7 +31,9 @@ pub struct NaiveOptions {
 
 impl Default for NaiveOptions {
     fn default() -> Self {
-        NaiveOptions { max_candidates: 1 << 20 }
+        NaiveOptions {
+            max_candidates: 1 << 20,
+        }
     }
 }
 
@@ -54,8 +56,10 @@ pub fn clusters_of(table: &Table, spec: &DirtySpec) -> Result<Vec<Cluster>> {
     for (i, row) in table.rows().iter().enumerate() {
         by_id.entry(row[id_col].clone()).or_default().push(i);
     }
-    let mut out: Vec<Cluster> =
-        by_id.into_iter().map(|(id, rows)| Cluster { id, rows }).collect();
+    let mut out: Vec<Cluster> = by_id
+        .into_iter()
+        .map(|(id, rows)| Cluster { id, rows })
+        .collect();
     out.sort_by(|a, b| a.id.cmp(&b.id));
     Ok(out)
 }
@@ -136,7 +140,10 @@ impl CandidateDatabases {
                 }
                 let cluster = &part.clusters[*ci];
                 let row_idx = cluster.rows[self.odometer[digit]];
-                let row = base_table.row(row_idx).expect("cluster rows are valid").clone();
+                let row = base_table
+                    .row(row_idx)
+                    .expect("cluster rows are valid")
+                    .clone();
                 probability *= row[part.prob_col].as_f64().unwrap_or(0.0);
                 table.insert(row).expect("row came from the same schema");
             }
@@ -206,7 +213,7 @@ pub fn naive_clean_answers(
 
     for (candidate, probability) in candidates {
         let db = Database::from_catalog(candidate);
-        let result = db.query_statement(stmt)?;
+        let result = db.prepare_select(stmt)?.query(&db)?;
         if columns.is_none() {
             columns = Some(result.columns.clone());
         }
@@ -228,10 +235,17 @@ pub fn naive_clean_answers(
         Some(c) => c,
         // Zero candidates can only happen with an empty dirty table; run
         // the query once on the base catalog just for the column names.
-        None => Database::from_catalog(catalog.clone()).query_statement(stmt)?.columns,
+        None => {
+            let db = Database::from_catalog(catalog.clone());
+            db.prepare_select(stmt)?.query(&db)?.columns
+        }
     };
-    let rows = order.into_iter().map(|r| (probs[&r], r)).map(|(p, r)| (r, p)).collect();
-    Ok(CleanAnswers { columns, rows })
+    let rows = order
+        .into_iter()
+        .map(|r| (probs[&r], r))
+        .map(|(p, r)| (r, p))
+        .collect();
+    Ok(CleanAnswers::new(columns, rows))
 }
 
 #[cfg(test)]
@@ -256,23 +270,26 @@ mod tests {
                ('c2', 'm4', 'Marion', 5000, 0.8);",
         )
         .unwrap();
-        (db.catalog().clone(), DirtySpec::uniform(&["orders", "customer"]))
+        (
+            db.catalog().clone(),
+            DirtySpec::uniform(&["orders", "customer"]),
+        )
     }
 
     #[test]
     fn eight_candidates_with_example3_probabilities() {
         let (cat, spec) = figure2();
-        let cands = CandidateDatabases::new(
-            &cat,
-            &spec,
-            &["orders".to_string(), "customer".to_string()],
-        )
-        .unwrap();
+        let cands =
+            CandidateDatabases::new(&cat, &spec, &["orders".to_string(), "customer".to_string()])
+                .unwrap();
         assert_eq!(cands.total_candidates(), 8);
         let mut probs: Vec<f64> = cands.map(|(_, p)| p).collect();
         assert_eq!(probs.len(), 8);
         let total: f64 = probs.iter().sum();
-        assert!((total - 1.0).abs() < 1e-12, "candidate probabilities sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-12,
+            "candidate probabilities sum to 1, got {total}"
+        );
         // Example 3's multiset {.07, .28, .03, .12, .07, .28, .03, .12}.
         probs.sort_by(f64::total_cmp);
         let expected = [0.03, 0.03, 0.07, 0.07, 0.12, 0.12, 0.28, 0.28];
@@ -328,9 +345,15 @@ mod tests {
     fn candidate_limit_enforced() {
         let (cat, spec) = figure2();
         let q = parse_select("select id from customer").unwrap();
-        let err = naive_clean_answers(&cat, &spec, &q, NaiveOptions { max_candidates: 2 })
-            .unwrap_err();
-        assert!(matches!(err, CoreError::TooManyCandidates { candidates: 4, limit: 2 }));
+        let err =
+            naive_clean_answers(&cat, &spec, &q, NaiveOptions { max_candidates: 2 }).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::TooManyCandidates {
+                candidates: 4,
+                limit: 2
+            }
+        ));
     }
 
     #[test]
@@ -339,8 +362,7 @@ mod tests {
         let (cat, spec) = figure2();
         let q = parse_select("select id from customer").unwrap();
         // max_candidates = 4 suffices ⇒ orders' clusters were not included.
-        let ans = naive_clean_answers(&cat, &spec, &q, NaiveOptions { max_candidates: 4 })
-            .unwrap();
+        let ans = naive_clean_answers(&cat, &spec, &q, NaiveOptions { max_candidates: 4 }).unwrap();
         assert_eq!(ans.len(), 2);
         assert!((ans.total_probability() - 2.0).abs() < 1e-12); // both ids certain
     }
@@ -370,8 +392,7 @@ mod tests {
         .unwrap();
         let spec = DirtySpec::uniform(&["o", "c"]);
         let q = parse_select("select c.id from o, c where o.cidfk = c.id").unwrap();
-        let ans =
-            naive_clean_answers(db.catalog(), &spec, &q, NaiveOptions::default()).unwrap();
+        let ans = naive_clean_answers(db.catalog(), &spec, &q, NaiveOptions::default()).unwrap();
         assert_eq!(ans.len(), 1);
         assert!((ans.probability_of(&["c1".into()]).unwrap() - 1.0).abs() < 1e-12);
     }

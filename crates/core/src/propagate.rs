@@ -53,7 +53,11 @@ fn key_to_id_map(
 fn id_type(catalog: &Catalog, parent: &str, parent_id: &str) -> Result<DataType> {
     let table = catalog.table(parent)?;
     let col = table.column_index(parent_id)?;
-    Ok(table.schema().column_at(col).expect("validated").data_type())
+    Ok(table
+        .schema()
+        .column_at(col)
+        .expect("validated")
+        .data_type())
 }
 
 /// Add `new_column` to `child`, holding the parent identifier referenced by
@@ -103,13 +107,15 @@ pub fn propagate_in_place(
 ) -> Result<usize> {
     let map = key_to_id_map(catalog, parent, parent_key, parent_id)?;
     let mut unmatched = 0usize;
-    catalog.table_mut(child)?.update_column(child_fk, |_, old| match map.get(old) {
-        Some(id) => id.clone(),
-        None => {
-            unmatched += 1;
-            old.clone()
-        }
-    })?;
+    catalog
+        .table_mut(child)?
+        .update_column(child_fk, |_, old| match map.get(old) {
+            Some(id) => id.clone(),
+            None => {
+                unmatched += 1;
+                old.clone()
+            }
+        })?;
     Ok(unmatched)
 }
 

@@ -101,7 +101,10 @@ impl RewriteClean {
             .iter()
             .filter_map(|i| match i {
                 SelectItem::Expr { alias: Some(a), .. } => Some(a.clone()),
-                SelectItem::Expr { expr: Expr::Column(c), alias: None } => Some(c.name.clone()),
+                SelectItem::Expr {
+                    expr: Expr::Column(c),
+                    alias: None,
+                } => Some(c.name.clone()),
                 _ => None,
             })
             .collect();
@@ -160,15 +163,16 @@ mod tests {
         )
         .unwrap();
         let rw = RewriteClean.rewrite_unchecked(&spec(), &q).unwrap();
-        assert!(rw.to_string().ends_with("GROUP BY o.id ORDER BY o.id DESC LIMIT 7"), "{rw}");
+        assert!(
+            rw.to_string()
+                .ends_with("GROUP BY o.id ORDER BY o.id DESC LIMIT 7"),
+            "{rw}"
+        );
     }
 
     #[test]
     fn expression_projections_grouped() {
-        let q = parse_select(
-            "select o.id, o.quantity * 2 as dbl from orders o",
-        )
-        .unwrap();
+        let q = parse_select("select o.id, o.quantity * 2 as dbl from orders o").unwrap();
         let rw = RewriteClean.rewrite_unchecked(&spec(), &q).unwrap();
         assert_eq!(rw.group_by.len(), 2);
         assert_eq!(rw.group_by[1].to_string(), "o.quantity * 2");

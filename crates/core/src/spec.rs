@@ -124,7 +124,11 @@ impl DirtySpec {
             let table = catalog.table(name)?;
             let id_col = table.column_index(&meta.id_column)?;
             let prob_col = table.column_index(&meta.prob_column)?;
-            let prob_ty = table.schema().column_at(prob_col).expect("validated").data_type();
+            let prob_ty = table
+                .schema()
+                .column_at(prob_col)
+                .expect("validated")
+                .data_type();
             if !matches!(prob_ty, DataType::Float | DataType::Int) {
                 return Err(CoreError::InvalidDirty(format!(
                     "{name}.{} must be numeric, found {prob_ty}",
@@ -193,14 +197,18 @@ mod tests {
     #[test]
     fn bad_cluster_sum_rejected() {
         let cat = catalog(&[("c1", 0.4), ("c1", 0.3)]);
-        let err = DirtySpec::uniform(&["customer"]).validate(&cat).unwrap_err();
+        let err = DirtySpec::uniform(&["customer"])
+            .validate(&cat)
+            .unwrap_err();
         assert!(err.to_string().contains("sum to"), "{err}");
     }
 
     #[test]
     fn out_of_range_prob_rejected() {
         let cat = catalog(&[("c1", 1.5), ("c1", -0.5)]);
-        let err = DirtySpec::uniform(&["customer"]).validate(&cat).unwrap_err();
+        let err = DirtySpec::uniform(&["customer"])
+            .validate(&cat)
+            .unwrap_err();
         assert!(err.to_string().contains("outside"), "{err}");
     }
 

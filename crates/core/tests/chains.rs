@@ -61,18 +61,22 @@ fn chain_rewriting_matches_enumeration() {
     );
     // Sanity: l1 joins c1 whose balance is always < 35 ⇒ certainty 1;
     // l2 joins c2 whose balance < 35 only for the 30-balance tuple (0.5).
-    assert!((rewritten
-        .probability_of(&["l1".into(), "o1".into(), "c1".into(), "CA".into()])
-        .unwrap()
-        - 1.0)
-        .abs()
-        < 1e-9);
-    assert!((rewritten
-        .probability_of(&["l2".into(), "o2".into(), "c2".into(), "US".into()])
-        .unwrap()
-        - 0.5)
-        .abs()
-        < 1e-9);
+    assert!(
+        (rewritten
+            .probability_of(&["l1".into(), "o1".into(), "c1".into(), "CA".into()])
+            .unwrap()
+            - 1.0)
+            .abs()
+            < 1e-9
+    );
+    assert!(
+        (rewritten
+            .probability_of(&["l2".into(), "o2".into(), "c2".into(), "US".into()])
+            .unwrap()
+            - 0.5)
+            .abs()
+            < 1e-9
+    );
 }
 
 #[test]
@@ -122,7 +126,10 @@ fn middle_of_chain_as_root_fails_condition_four() {
         .unwrap();
     assert_eq!(ans.len(), 2);
     for (_, p) in &ans.rows {
-        assert!((p - 1.0).abs() < 1e-9, "unfiltered chain answers are certain");
+        assert!(
+            (p - 1.0).abs() < 1e-9,
+            "unfiltered chain answers are certain"
+        );
     }
 }
 
@@ -147,7 +154,10 @@ fn diamond_shape_rejected_as_non_tree() {
              where l.ofk = o.id and l.cfk = c.id and o.cfk = c.id",
         )
         .unwrap_err();
-    assert!(matches!(err, CoreError::NotRewritable(NotRewritable::GraphNotTree(_))));
+    assert!(matches!(
+        err,
+        CoreError::NotRewritable(NotRewritable::GraphNotTree(_))
+    ));
 }
 
 #[test]
@@ -166,17 +176,21 @@ fn chain_certainty_composes_multiplicatively() {
         .unwrap();
     assert!(rewritten.approx_same(&naive, 1e-9));
     // l1: price≥200 with prob 0.5; o1: qty≤3 always (1 or 2) ⇒ 0.5.
-    assert!((rewritten
-        .probability_of(&["l1".into(), "o1".into(), "c1".into(), "CA".into()])
-        .unwrap()
-        - 0.5)
-        .abs()
-        < 1e-9);
+    assert!(
+        (rewritten
+            .probability_of(&["l1".into(), "o1".into(), "c1".into(), "CA".into()])
+            .unwrap()
+            - 0.5)
+            .abs()
+            < 1e-9
+    );
     // l2: price≥200 always; o2: qty≤3 with prob 0.9 ⇒ 0.9.
-    assert!((rewritten
-        .probability_of(&["l2".into(), "o2".into(), "c2".into(), "US".into()])
-        .unwrap()
-        - 0.9)
-        .abs()
-        < 1e-9);
+    assert!(
+        (rewritten
+            .probability_of(&["l2".into(), "o2".into(), "c2".into(), "US".into()])
+            .unwrap()
+            - 0.9)
+            .abs()
+            < 1e-9
+    );
 }

@@ -144,11 +144,19 @@ fn pages_variants(pages: &str) -> Vec<String> {
     if pages.is_empty() {
         return vec!["".into()];
     }
-    vec![pages.to_string(), format!("pp. {pages}"), pages.replace('-', "--")]
+    vec![
+        pages.to_string(),
+        format!("pp. {pages}"),
+        pages.replace('-', "--"),
+    ]
 }
 
 fn year_variants(year: i64) -> Vec<String> {
-    vec![year.to_string(), format!("({year})"), (year - 1).to_string()]
+    vec![
+        year.to_string(),
+        format!("({year})"),
+        (year - 1).to_string(),
+    ]
 }
 
 /// Emit one citation record for `publication`. `style = 0` is the canonical
@@ -190,7 +198,11 @@ pub struct CoraConfig {
 
 impl Default for CoraConfig {
     fn default() -> Self {
-        CoraConfig { clusters: 6, cluster_size: 8, seed: 99 }
+        CoraConfig {
+            clusters: 6,
+            cluster_size: 8,
+            seed: 99,
+        }
     }
 }
 
@@ -240,8 +252,7 @@ pub fn schapire_cluster(seed: u64) -> (Table, usize, usize) {
             vec![
                 "r. schapire".into(),
                 "on the strength of weak learnability".into(),
-                "proc of the 30th i.e.e.e. symposium on the foundations of computer science"
-                    .into(),
+                "proc of the 30th i.e.e.e. symposium on the foundations of computer science".into(),
                 "NULL".into(),
                 "1989".into(),
                 "pp. 28-33".into(),
@@ -270,8 +281,7 @@ pub fn schapire_cluster(seed: u64) -> (Table, usize, usize) {
 }
 
 /// Attribute names used for probability assignment over citation tables.
-pub const CITATION_ATTRIBUTES: [&str; 6] =
-    ["author", "title", "venue", "volume", "year", "pages"];
+pub const CITATION_ATTRIBUTES: [&str; 6] = ["author", "title", "venue", "volume", "year", "pages"];
 
 #[cfg(test)]
 mod tests {

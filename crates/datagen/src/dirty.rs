@@ -88,8 +88,9 @@ pub struct DirtyTpch {
 
 /// Tables that receive duplicates (dimension tables region/nation stay
 /// clean, with singleton clusters of probability 1).
-pub const DIRTIED_TABLES: [&str; 6] =
-    ["supplier", "part", "partsupp", "customer", "orders", "lineitem"];
+pub const DIRTIED_TABLES: [&str; 6] = [
+    "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+];
 
 /// Foreign keys that need identifier propagation:
 /// `(child, fk column, parent)`.
@@ -108,7 +109,12 @@ pub fn categorical_attributes(table: &str) -> Vec<&'static str> {
     match table {
         "customer" => vec!["c_name", "c_address", "c_phone", "c_mktsegment"],
         "orders" => vec!["o_orderstatus", "o_orderpriority", "o_clerk"],
-        "lineitem" => vec!["l_returnflag", "l_linestatus", "l_shipinstruct", "l_shipmode"],
+        "lineitem" => vec![
+            "l_returnflag",
+            "l_linestatus",
+            "l_shipinstruct",
+            "l_shipmode",
+        ],
         "part" => vec!["p_name", "p_brand", "p_type", "p_container"],
         "supplier" => vec!["s_name", "s_address", "s_phone"],
         "partsupp" => vec!["ps_availqty", "ps_supplycost"],
@@ -119,9 +125,9 @@ pub fn categorical_attributes(table: &str) -> Vec<&'static str> {
 /// The spec covering all eight tables.
 pub fn tpch_spec() -> DirtySpec {
     let mut spec = DirtySpec::new();
-    for t in
-        ["region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"]
-    {
+    for t in [
+        "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+    ] {
         spec.add(t, DirtyTableMeta::new(identifier_column(t), "prob"));
     }
     spec
@@ -135,7 +141,9 @@ pub fn generate_unpropagated(config: UisConfig) -> DirtyTpch {
     let mut rng = StdRng::seed_from_u64(config.tpch.seed ^ 0x5ee0_d1e5);
     let mut catalog = Catalog::new();
     for t in ["region", "nation"] {
-        catalog.add_table(clean.table(t).expect("generated").clone()).expect("fresh");
+        catalog
+            .add_table(clean.table(t).expect("generated").clone())
+            .expect("fresh");
     }
 
     // id → source keys of each dirtied parent, for FK retargeting.
@@ -148,7 +156,10 @@ pub fn generate_unpropagated(config: UisConfig) -> DirtyTpch {
         catalog.add_table(dirty).expect("fresh");
     }
 
-    DirtyTpch { catalog, spec: tpch_spec() }
+    DirtyTpch {
+        catalog,
+        spec: tpch_spec(),
+    }
 }
 
 /// Duplicate one clean table.
@@ -160,9 +171,9 @@ fn dirty_table(
 ) -> (Table, HashMap<i64, Vec<i64>>) {
     let name = clean.name();
     let id_col = clean.column_index(identifier_column(name)).expect("schema");
-    let src_col =
-        clean.column_index(srckey_column(name).expect("dirtied tables have source keys"))
-            .expect("schema");
+    let src_col = clean
+        .column_index(srckey_column(name).expect("dirtied tables have source keys"))
+        .expect("schema");
     let prob_col = clean.column_index("prob").expect("schema");
 
     // Foreign keys into *dirtied* parents need retargeting to source keys.
@@ -297,7 +308,10 @@ fn random_probabilities(clustering: &Clustering, n: usize, seed: u64) -> Vec<f64
             probs[cluster[0]] = 1.0;
             continue;
         }
-        let weights: Vec<f64> = cluster.iter().map(|_| rng.random_range(0.05..1.0)).collect();
+        let weights: Vec<f64> = cluster
+            .iter()
+            .map(|_| rng.random_range(0.05..1.0))
+            .collect();
         let total: f64 = weights.iter().sum();
         for (&t, w) in cluster.iter().zip(&weights) {
             probs[t] = w / total;
@@ -314,7 +328,8 @@ pub fn dirty_database(config: UisConfig) -> Result<DirtyDatabase> {
     for table in DIRTIED_TABLES {
         compute_probabilities(&mut catalog, table, config.prob_mode, config.tpch.seed)?;
     }
-    DirtyDatabase::new(Database::from_catalog(catalog), spec)}
+    DirtyDatabase::new(Database::from_catalog(catalog), spec)
+}
 
 #[cfg(test)]
 mod tests {
@@ -356,7 +371,10 @@ mod tests {
         let src = cust.column_index("c_srckey").unwrap();
         let mut seen = std::collections::HashSet::new();
         for row in cust.rows() {
-            assert!(seen.insert(row[src].as_i64().unwrap()), "duplicate source key");
+            assert!(
+                seen.insert(row[src].as_i64().unwrap()),
+                "duplicate source key"
+            );
         }
         // Unpropagated orders reference *source keys* (a superset range of
         // cluster ids); after propagation they reference cluster ids.
@@ -403,10 +421,16 @@ mod tests {
         let d = generate_unpropagated(small(4, ProbMode::Uniform));
         let cust = d.catalog.table("customer").unwrap();
         let clustering = Clustering::from_id_column(cust, "c_custkey").unwrap();
-        let big = clustering.clusters().iter().find(|c| c.len() >= 3).expect("some big cluster");
+        let big = clustering
+            .clusters()
+            .iter()
+            .find(|c| c.len() >= 3)
+            .expect("some big cluster");
         let name_col = cust.column_index("c_name").unwrap();
-        let names: std::collections::HashSet<String> =
-            big.iter().map(|&r| cust.rows()[r][name_col].to_string()).collect();
+        let names: std::collections::HashSet<String> = big
+            .iter()
+            .map(|&r| cust.rows()[r][name_col].to_string())
+            .collect();
         // With ≥3 duplicates and 35% field perturbation, at least one name
         // variant differs with overwhelming probability for this seed.
         assert!(names.len() >= 2, "{names:?}");
@@ -431,8 +455,11 @@ mod tests {
         let cust = db.db().catalog().table("customer").unwrap();
         let prob = cust.column_index("prob").unwrap();
         for cluster in db.clusters("customer").unwrap() {
-            let ps: Vec<f64> =
-                cluster.rows.iter().map(|&r| cust.rows()[r][prob].as_f64().unwrap()).collect();
+            let ps: Vec<f64> = cluster
+                .rows
+                .iter()
+                .map(|&r| cust.rows()[r][prob].as_f64().unwrap())
+                .collect();
             let sum: f64 = ps.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9);
             for w in ps.windows(2) {

@@ -188,7 +188,10 @@ mod tests {
     fn perturb_row_keeps_protected_columns() {
         let mut r = rng();
         let row = vec![Value::Int(1), Value::text("name"), Value::Float(5.0)];
-        let opts = PerturbOptions { field_probability: 1.0, ..Default::default() };
+        let opts = PerturbOptions {
+            field_probability: 1.0,
+            ..Default::default()
+        };
         for _ in 0..20 {
             let p = perturb_row(&mut r, &row, &[0], &opts);
             assert_eq!(p[0], Value::Int(1), "protected column must not change");

@@ -39,7 +39,11 @@ pub fn query_sql(id: u8, with_order_by: bool) -> String {
 pub fn all_queries() -> Vec<TpchQuery> {
     QUERY_IDS
         .iter()
-        .map(|&id| TpchQuery { id, sql: query_sql(id, true), adaptation: adaptation(id) })
+        .map(|&id| TpchQuery {
+            id,
+            sql: query_sql(id, true),
+            adaptation: adaptation(id),
+        })
         .collect()
 }
 
@@ -47,23 +51,33 @@ fn adaptation(id: u8) -> &'static str {
     match id {
         1 => "aggregates removed (per the paper); GROUP BY dropped with them",
         2 => "min-supplycost subquery removed; joins and filters kept",
-        3 => "l_id added to the projection (lineitem is the join-graph root); \
-              aggregate removed",
-        4 => "EXISTS subquery flattened to a join with lineitem; \
-              l_id projected (root)",
+        3 => {
+            "l_id added to the projection (lineitem is the join-graph root); \
+              aggregate removed"
+        }
+        4 => {
+            "EXISTS subquery flattened to a join with lineitem; \
+              l_id projected (root)"
+        }
         6 => "SUM removed; pure selection on lineitem",
-        9 => "partsupp dropped (its two-FK diamond join is outside the \
-              equality-tree class); nation kept via supplier; aggregate removed",
+        9 => {
+            "partsupp dropped (its two-FK diamond join is outside the \
+              equality-tree class); nation kept via supplier; aggregate removed"
+        }
         10 => "aggregate removed; l_id projected (root)",
         11 => "SUM/HAVING removed; group flattened to the partsupp tuples",
         12 => "aggregate/CASE removed; shipmode IN kept",
         14 => "CASE/SUM removed; join and date window kept",
-        17 => "0.2·AVG subquery replaced by a constant quantity threshold \
+        17 => {
+            "0.2·AVG subquery replaced by a constant quantity threshold \
               (15) and the container filter dropped — both sized so the \
-              filter still selects rows at miniature scale",
+              filter still selects rows at miniature scale"
+        }
         18 => "HAVING SUM subquery replaced by a per-line quantity filter",
-        20 => "nested IN subqueries flattened to partsupp/part joins; the \
-              nation filter widened to four nations for miniature scale",
+        20 => {
+            "nested IN subqueries flattened to partsupp/part joins; the \
+              nation filter widened to four nations for miniature scale"
+        }
         _ => "",
     }
 }

@@ -125,7 +125,11 @@ mod tests {
         let db = db(3);
         let s = TableStats::of(&db, "customer").unwrap();
         assert!(s.rows > s.entities);
-        assert!((s.mean_cluster_size - 3.0).abs() < 0.8, "{}", s.mean_cluster_size);
+        assert!(
+            (s.mean_cluster_size - 3.0).abs() < 0.8,
+            "{}",
+            s.mean_cluster_size
+        );
         assert!(s.max_cluster_size <= 5); // 2·3 − 1
         assert!(s.duplicated_fraction > 0.4);
         assert!(s.log2_candidates > 0.0);

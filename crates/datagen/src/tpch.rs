@@ -16,7 +16,7 @@
 //! is exactly how the paper's experiments model identifiers ("the original
 //! keys of the relations [are replaced] with the identifier").
 
-use conquer_storage::{Catalog, Date, DataType, Schema, Value};
+use conquer_storage::{Catalog, DataType, Date, Schema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 
@@ -45,7 +45,13 @@ impl TpchConfig {
         let lineitems_per_order = 4;
         let parts = ((2000.0 * sf) as usize).max(20);
         let suppliers = ((100.0 * sf) as usize).max(5);
-        TpchCounts { customers, orders, lineitems_per_order, parts, suppliers }
+        TpchCounts {
+            customers,
+            orders,
+            lineitems_per_order,
+            parts,
+            suppliers,
+        }
     }
 }
 
@@ -101,32 +107,64 @@ pub const NATIONS: [(&str, usize); 25] = [
 ];
 
 /// Customer market segments.
-pub const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Order priorities.
-pub const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// Line-item ship modes.
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// Line-item ship instructions.
-pub const SHIP_INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const SHIP_INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// Part-name color words (TPC-H uses five random color words per name;
 /// `forest` and `green` are present so Q9's `%green%` and Q20's `forest%`
 /// filters select realistic fractions).
 pub const COLORS: [&str; 20] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "blanched", "blue",
-    "burlywood", "chartreuse", "chocolate", "coral", "cornflower", "cream", "cyan", "forest",
-    "green", "honeydew", "ivory", "khaki",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "blanched",
+    "blue",
+    "burlywood",
+    "chartreuse",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "forest",
+    "green",
+    "honeydew",
+    "ivory",
+    "khaki",
 ];
 
 /// Part containers.
 pub const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BOX", "MED BAG", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
+    "SM CASE",
+    "SM BOX",
+    "MED BOX",
+    "MED BAG",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PACK",
+    "WRAP JAR",
 ];
 
 /// Part type fragments (syllable1 syllable2 syllable3).
@@ -138,16 +176,52 @@ pub const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 
 /// First names for customer/clerk names.
 const FIRST_NAMES: [&str; 16] = [
-    "John", "Mary", "Marion", "Robert", "Patricia", "Linda", "James", "Michael", "Barbara",
-    "William", "Elizabeth", "David", "Susan", "Richard", "Jessica", "Joseph",
+    "John",
+    "Mary",
+    "Marion",
+    "Robert",
+    "Patricia",
+    "Linda",
+    "James",
+    "Michael",
+    "Barbara",
+    "William",
+    "Elizabeth",
+    "David",
+    "Susan",
+    "Richard",
+    "Jessica",
+    "Joseph",
 ];
 const LAST_NAMES: [&str; 16] = [
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
 ];
 const STREETS: [&str; 10] = [
-    "Jones Ave", "Arrow St", "Baldwin Rd", "College St", "King St", "Queen St", "Main St",
-    "Oak Ave", "Pine Rd", "Lake Dr",
+    "Jones Ave",
+    "Arrow St",
+    "Baldwin Rd",
+    "College St",
+    "King St",
+    "Queen St",
+    "Main St",
+    "Oak Ave",
+    "Pine Rd",
+    "Lake Dr",
 ];
 
 fn pick<'a, R: Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
@@ -176,7 +250,10 @@ fn schema(pairs: &[(&str, DataType)]) -> Schema {
 pub fn schemas() -> Vec<(&'static str, Schema)> {
     use DataType::*;
     vec![
-        ("region", schema(&[("r_regionkey", Int), ("r_name", Text), ("prob", Float)])),
+        (
+            "region",
+            schema(&[("r_regionkey", Int), ("r_name", Text), ("prob", Float)]),
+        ),
         (
             "nation",
             schema(&[
@@ -330,12 +407,18 @@ pub fn generate_clean(config: TpchConfig) -> Catalog {
     {
         let t = catalog.table_mut("region").expect("created");
         for (i, r) in REGIONS.iter().enumerate() {
-            t.insert(vec![(i as i64).into(), (*r).into(), 1.0.into()]).expect("row");
+            t.insert(vec![(i as i64).into(), (*r).into(), 1.0.into()])
+                .expect("row");
         }
         let t = catalog.table_mut("nation").expect("created");
         for (i, (n, r)) in NATIONS.iter().enumerate() {
-            t.insert(vec![(i as i64).into(), (*n).into(), (*r as i64).into(), 1.0.into()])
-                .expect("row");
+            t.insert(vec![
+                (i as i64).into(),
+                (*n).into(),
+                (*r as i64).into(),
+                1.0.into(),
+            ])
+            .expect("row");
         }
     }
 
@@ -362,7 +445,10 @@ pub fn generate_clean(config: TpchConfig) -> Catalog {
     {
         let t = catalog.table_mut("part").expect("created");
         for k in 0..counts.parts as i64 {
-            let name = (0..5).map(|_| pick(&mut rng, &COLORS)).collect::<Vec<_>>().join(" ");
+            let name = (0..5)
+                .map(|_| pick(&mut rng, &COLORS))
+                .collect::<Vec<_>>()
+                .join(" ");
             let mfgr = rng.random_range(1..=5);
             let brand = format!("Brand#{}{}", mfgr, rng.random_range(1..=5));
             let ptype = format!(
@@ -468,7 +554,12 @@ pub fn generate_clean(config: TpchConfig) -> Catalog {
                     } else {
                         "N".into()
                     },
-                    if ship > "1995-06-17".parse().expect("lit") { "O" } else { "F" }.into(),
+                    if ship > "1995-06-17".parse().expect("lit") {
+                        "O"
+                    } else {
+                        "F"
+                    }
+                    .into(),
                     ship.into(),
                     commit.into(),
                     receipt.into(),
@@ -491,8 +582,16 @@ pub fn generate_clean(config: TpchConfig) -> Catalog {
                 1.0.into(),
             ]);
         }
-        catalog.table_mut("orders").expect("created").insert_all(order_rows).expect("rows");
-        catalog.table_mut("lineitem").expect("created").insert_all(line_rows).expect("rows");
+        catalog
+            .table_mut("orders")
+            .expect("created")
+            .insert_all(order_rows)
+            .expect("rows");
+        catalog
+            .table_mut("lineitem")
+            .expect("created")
+            .insert_all(line_rows)
+            .expect("rows");
     }
 
     catalog
@@ -561,8 +660,10 @@ mod tests {
     fn dates_consistent() {
         let cat = generate_clean(TpchConfig { sf: 0.01, seed: 9 });
         let li = cat.table("lineitem").unwrap();
-        let (ship, receipt) =
-            (li.column_index("l_shipdate").unwrap(), li.column_index("l_receiptdate").unwrap());
+        let (ship, receipt) = (
+            li.column_index("l_shipdate").unwrap(),
+            li.column_index("l_receiptdate").unwrap(),
+        );
         for row in li.rows() {
             assert!(row[ship].as_date().unwrap() < row[receipt].as_date().unwrap());
         }

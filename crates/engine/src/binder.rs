@@ -141,7 +141,10 @@ impl Binder {
         for tref in &stmt.from {
             let table = catalog.table(&tref.table)?;
             let binding = tref.binding_name().to_string();
-            if relations.iter().any(|r: &BoundRelation| r.binding == binding) {
+            if relations
+                .iter()
+                .any(|r: &BoundRelation| r.binding == binding)
+            {
                 return Err(EngineError::bind(format!(
                     "duplicate relation name {binding:?} in FROM \
                      (alias one of the occurrences)"
@@ -229,7 +232,10 @@ impl Binder {
                 }
                 SelectItem::Expr { expr, alias } => {
                     let bound = self.bind_scalar(expr)?;
-                    out.push(OutputItem { name: output_name(expr, alias.as_deref()), expr: bound });
+                    out.push(OutputItem {
+                        name: output_name(expr, alias.as_deref()),
+                        expr: bound,
+                    });
                 }
             }
         }
@@ -262,19 +268,29 @@ impl Binder {
             })
             .collect::<Result<_>>()?;
 
-        let mut slots = SlotBinder { binder: &self, keys, aggs: Vec::new() };
+        let mut slots = SlotBinder {
+            binder: &self,
+            keys,
+            aggs: Vec::new(),
+        };
 
         let mut output = Vec::new();
         for item in &stmt.projection {
-            let SelectItem::Expr { expr, alias } = item else { unreachable!() };
+            let SelectItem::Expr { expr, alias } = item else {
+                unreachable!()
+            };
             let bound = slots.rewrite(expr)?;
-            output.push(OutputItem { name: output_name(expr, alias.as_deref()), expr: bound });
+            output.push(OutputItem {
+                name: output_name(expr, alias.as_deref()),
+                expr: bound,
+            });
         }
 
         let having = stmt.having.as_ref().map(|e| slots.rewrite(e)).transpose()?;
 
-        let order_by =
-            self.bind_order_by(&stmt.order_by, &output, |e| slots_rewrite_shim(&mut slots, e))?;
+        let order_by = self.bind_order_by(&stmt.order_by, &output, |e| {
+            slots_rewrite_shim(&mut slots, e)
+        })?;
 
         let SlotBinder { keys, aggs, .. } = slots;
         Ok(BoundSelect {
@@ -310,21 +326,34 @@ impl Binder {
                         output.len()
                     )));
                 }
-                out.push(BoundOrderBy { key: OrderKey::Output(idx as usize - 1), desc: item.desc });
+                out.push(BoundOrderBy {
+                    key: OrderKey::Output(idx as usize - 1),
+                    desc: item.desc,
+                });
                 continue;
             }
             // Alias reference: a bare unqualified name matching an output
             // column that is not also an input column takes the output.
-            if let Expr::Column(ColumnRef { qualifier: None, name }) = &item.expr {
+            if let Expr::Column(ColumnRef {
+                qualifier: None,
+                name,
+            }) = &item.expr
+            {
                 let matches_output = output.iter().position(|o| &o.name == name);
                 let matches_input = self.try_resolve_unqualified(name).is_some();
                 if let (Some(idx), false) = (matches_output, matches_input) {
-                    out.push(BoundOrderBy { key: OrderKey::Output(idx), desc: item.desc });
+                    out.push(BoundOrderBy {
+                        key: OrderKey::Output(idx),
+                        desc: item.desc,
+                    });
                     continue;
                 }
             }
             let bound = bind_expr(&item.expr)?;
-            out.push(BoundOrderBy { key: OrderKey::Expr(bound), desc: item.desc });
+            out.push(BoundOrderBy {
+                key: OrderKey::Expr(bound),
+                desc: item.desc,
+            });
         }
         Ok(out)
     }
@@ -353,9 +382,12 @@ impl Binder {
         match &cref.qualifier {
             Some(q) => {
                 let rel = self.relation_by_binding(q)?;
-                let col = self.relations[rel].schema.index_of(&cref.name).ok_or_else(|| {
-                    EngineError::bind(format!("no column {:?} in relation {q:?}", cref.name))
-                })?;
+                let col = self.relations[rel]
+                    .schema
+                    .index_of(&cref.name)
+                    .ok_or_else(|| {
+                        EngineError::bind(format!("no column {:?} in relation {q:?}", cref.name))
+                    })?;
                 Ok(ColumnId { rel, col })
             }
             None => {
@@ -371,9 +403,7 @@ impl Binder {
                         found = Some(ColumnId { rel, col });
                     }
                 }
-                found.ok_or_else(|| {
-                    EngineError::bind(format!("unknown column {:?}", cref.name))
-                })
+                found.ok_or_else(|| EngineError::bind(format!("unknown column {:?}", cref.name)))
             }
         }
     }
@@ -383,28 +413,46 @@ impl Binder {
         Ok(match e {
             Expr::Column(c) => BoundExpr::Column(self.resolve_column(c)?),
             Expr::Literal(l) => BoundExpr::Literal(literal_value(l)),
-            Expr::Unary { op: UnaryOp::Not, expr } => {
-                BoundExpr::Not(Box::new(self.bind_scalar(expr)?))
-            }
-            Expr::Unary { op: UnaryOp::Neg, expr } => {
-                BoundExpr::Neg(Box::new(self.bind_scalar(expr)?))
-            }
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => BoundExpr::Not(Box::new(self.bind_scalar(expr)?)),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => BoundExpr::Neg(Box::new(self.bind_scalar(expr)?)),
             Expr::Binary { left, op, right } => BoundExpr::Binary {
                 left: Box::new(self.bind_scalar(left)?),
                 op: *op,
                 right: Box::new(self.bind_scalar(right)?),
             },
-            Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => BoundExpr::Like {
                 expr: Box::new(self.bind_scalar(expr)?),
                 pattern: Box::new(self.bind_scalar(pattern)?),
                 negated: *negated,
             },
-            Expr::InList { expr, list, negated } => BoundExpr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
                 expr: Box::new(self.bind_scalar(expr)?),
-                list: list.iter().map(|e| self.bind_scalar(e)).collect::<Result<_>>()?,
+                list: list
+                    .iter()
+                    .map(|e| self.bind_scalar(e))
+                    .collect::<Result<_>>()?,
                 negated: *negated,
             },
-            Expr::Between { expr, low, high, negated } => BoundExpr::Between {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => BoundExpr::Between {
                 expr: Box::new(self.bind_scalar(expr)?),
                 low: Box::new(self.bind_scalar(low)?),
                 high: Box::new(self.bind_scalar(high)?),
@@ -414,7 +462,11 @@ impl Binder {
                 expr: Box::new(self.bind_scalar(expr)?),
                 negated: *negated,
             },
-            Expr::Case { operand, branches, else_expr } => BoundExpr::Case {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => BoundExpr::Case {
                 operand: operand
                     .as_ref()
                     .map(|o| self.bind_scalar(o).map(Box::new))
@@ -473,7 +525,11 @@ impl SlotBinder<'_> {
             }
         }
         match e {
-            Expr::Aggregate { func, arg, distinct } => {
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => {
                 let arg = match arg {
                     None => None,
                     Some(a) => {
@@ -483,7 +539,11 @@ impl SlotBinder<'_> {
                         Some(self.binder.bind_scalar(a)?)
                     }
                 };
-                let call = AggCall { func: *func, arg, distinct: *distinct };
+                let call = AggCall {
+                    func: *func,
+                    arg,
+                    distinct: *distinct,
+                };
                 let j = match self.aggs.iter().position(|c| c == &call) {
                     Some(j) => j,
                     None => {
@@ -497,28 +557,46 @@ impl SlotBinder<'_> {
                 "column {c} must appear in GROUP BY or inside an aggregate"
             ))),
             Expr::Literal(l) => Ok(BoundExpr::Literal(literal_value(l))),
-            Expr::Unary { op: UnaryOp::Not, expr } => {
-                Ok(BoundExpr::Not(Box::new(self.rewrite(expr)?)))
-            }
-            Expr::Unary { op: UnaryOp::Neg, expr } => {
-                Ok(BoundExpr::Neg(Box::new(self.rewrite(expr)?)))
-            }
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => Ok(BoundExpr::Not(Box::new(self.rewrite(expr)?))),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => Ok(BoundExpr::Neg(Box::new(self.rewrite(expr)?))),
             Expr::Binary { left, op, right } => Ok(BoundExpr::Binary {
                 left: Box::new(self.rewrite(left)?),
                 op: *op,
                 right: Box::new(self.rewrite(right)?),
             }),
-            Expr::Like { expr, pattern, negated } => Ok(BoundExpr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Ok(BoundExpr::Like {
                 expr: Box::new(self.rewrite(expr)?),
                 pattern: Box::new(self.rewrite(pattern)?),
                 negated: *negated,
             }),
-            Expr::InList { expr, list, negated } => Ok(BoundExpr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Ok(BoundExpr::InList {
                 expr: Box::new(self.rewrite(expr)?),
-                list: list.iter().map(|e| self.rewrite(e)).collect::<Result<_>>()?,
+                list: list
+                    .iter()
+                    .map(|e| self.rewrite(e))
+                    .collect::<Result<_>>()?,
                 negated: *negated,
             }),
-            Expr::Between { expr, low, high, negated } => Ok(BoundExpr::Between {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Ok(BoundExpr::Between {
                 expr: Box::new(self.rewrite(expr)?),
                 low: Box::new(self.rewrite(low)?),
                 high: Box::new(self.rewrite(high)?),
@@ -528,7 +606,11 @@ impl SlotBinder<'_> {
                 expr: Box::new(self.rewrite(expr)?),
                 negated: *negated,
             }),
-            Expr::Case { operand, branches, else_expr } => Ok(BoundExpr::Case {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => Ok(BoundExpr::Case {
                 operand: operand
                     .as_ref()
                     .map(|o| self.rewrite(o).map(Box::new))
@@ -644,7 +726,10 @@ mod tests {
         assert_eq!(b.output.len(), 8);
         let b = bind("select o.* from customer c, order o").unwrap();
         assert_eq!(b.output.len(), 4);
-        assert_eq!(b.output[0].expr, BoundExpr::Column(ColumnId { rel: 1, col: 0 }));
+        assert_eq!(
+            b.output[0].expr,
+            BoundExpr::Column(ColumnId { rel: 1, col: 0 })
+        );
     }
 
     #[test]
@@ -658,8 +743,14 @@ mod tests {
         assert_eq!(g.keys.len(), 1);
         assert_eq!(g.aggs.len(), 1);
         // Projection item 0 → key slot 0; item 1 → agg slot 1.
-        assert_eq!(b.output[0].expr, BoundExpr::Column(ColumnId { rel: 0, col: 0 }));
-        assert_eq!(b.output[1].expr, BoundExpr::Column(ColumnId { rel: 0, col: 1 }));
+        assert_eq!(
+            b.output[0].expr,
+            BoundExpr::Column(ColumnId { rel: 0, col: 0 })
+        );
+        assert_eq!(
+            b.output[1].expr,
+            BoundExpr::Column(ColumnId { rel: 0, col: 1 })
+        );
     }
 
     #[test]
@@ -689,10 +780,8 @@ mod tests {
 
     #[test]
     fn order_by_alias_position_and_expr() {
-        let b = bind(
-            "select id, balance * 2 as dbl from customer order by dbl desc, 1, balance",
-        )
-        .unwrap();
+        let b = bind("select id, balance * 2 as dbl from customer order by dbl desc, 1, balance")
+            .unwrap();
         assert!(matches!(b.order_by[0].key, OrderKey::Output(1)));
         assert!(b.order_by[0].desc);
         assert!(matches!(b.order_by[1].key, OrderKey::Output(0)));
@@ -707,10 +796,7 @@ mod tests {
 
     #[test]
     fn having_binds_in_slot_space() {
-        let b = bind(
-            "select name from customer group by name having count(*) > 1",
-        )
-        .unwrap();
+        let b = bind("select name from customer group by name having count(*) > 1").unwrap();
         let g = b.group.as_ref().unwrap();
         assert!(g.having.is_some());
         assert_eq!(g.aggs.len(), 1);

@@ -2,14 +2,14 @@
 
 use conquer_sql::{
     parse_statement, parse_statements, Delete, Expr, Insert, InsertSource, Literal,
-    SelectStatement, Statement, Update, UnaryOp,
+    SelectStatement, Statement, UnaryOp, Update,
 };
 use conquer_storage::{Catalog, Row, Schema, Value};
 
 use crate::binder::{bind_select, bind_table_expr};
-use crate::expr::{BoundExpr, Offsets};
 use crate::error::EngineError;
 use crate::exec::execute_plan;
+use crate::expr::{BoundExpr, Offsets};
 use crate::planner::{plan_select, Plan};
 use crate::result::QueryResult;
 use crate::Result;
@@ -60,9 +60,13 @@ impl Database {
     }
 
     /// Execute one statement of any kind.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Database::prepare(sql)?.run(&mut db)` instead"
+    )]
     pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
         let stmt = parse_statement(sql)?;
-        self.execute_statement(&stmt)
+        self.exec_parsed(&stmt)
     }
 
     /// Execute a `;`-separated script, returning the outcome of each
@@ -70,12 +74,22 @@ impl Database {
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<ExecOutcome>> {
         parse_statements(sql)?
             .iter()
-            .map(|s| self.execute_statement(s))
+            .map(|s| self.exec_parsed(s))
             .collect()
     }
 
     /// Execute an already-parsed statement.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Database::prepare` / `Statement::run` instead"
+    )]
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
+        self.exec_parsed(stmt)
+    }
+
+    /// Shared implementation behind [`Database::execute_script`] and
+    /// [`crate::Statement::run`].
+    pub(crate) fn exec_parsed(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
         match stmt {
             Statement::CreateTable(ct) => {
                 let schema = Schema::from_pairs(ct.columns.iter().map(|(n, t)| (n.clone(), *t)))?;
@@ -89,7 +103,10 @@ impl Database {
             }
             Statement::Delete(del) => Ok(ExecOutcome::Deleted(self.run_delete(del)?)),
             Statement::Update(upd) => Ok(ExecOutcome::Updated(self.run_update(upd)?)),
-            Statement::Select(sel) => Ok(ExecOutcome::Rows(self.query_statement(sel)?)),
+            Statement::Select(sel) => Ok(ExecOutcome::Rows(self.run_select(sel)?)),
+            Statement::Explain { analyze, query } => {
+                Ok(ExecOutcome::Rows(self.explain_select(query, *analyze)?))
+            }
         }
     }
 
@@ -116,16 +133,32 @@ impl Database {
     }
 
     /// Run a `SELECT` from SQL text.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Database::prepare(sql)?.query(&db)` instead"
+    )]
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         let stmt = parse_statement(sql)?;
         match stmt {
-            Statement::Select(sel) => self.query_statement(&sel),
-            other => Err(EngineError::bind(format!("expected a SELECT statement, got: {other}"))),
+            Statement::Select(sel) => self.run_select(&sel),
+            other => Err(EngineError::bind(format!(
+                "expected a SELECT statement, got: {other}"
+            ))),
         }
     }
 
     /// Run an already-parsed `SELECT`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Database::prepare_select` / `Statement::query`"
+    )]
     pub fn query_statement(&self, stmt: &SelectStatement) -> Result<QueryResult> {
+        self.run_select(stmt)
+    }
+
+    /// Plan + execute an already-parsed `SELECT` (the non-deprecated
+    /// internal path behind the shims and the prepared-statement API).
+    pub(crate) fn run_select(&self, stmt: &SelectStatement) -> Result<QueryResult> {
         let plan = self.plan(stmt)?;
         execute_plan(&self.catalog, &plan)
     }
@@ -141,8 +174,46 @@ impl Database {
         let stmt = parse_statement(sql)?;
         match stmt {
             Statement::Select(sel) => Ok(self.plan(&sel)?.describe()),
+            Statement::Explain { analyze, query } => {
+                let result = self.explain_select(&query, analyze)?;
+                Ok(result
+                    .rows
+                    .iter()
+                    .filter_map(|r| r.first())
+                    .map(|v| match v {
+                        Value::Text(s) => s.clone(),
+                        other => other.to_string(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n"))
+            }
             other => Err(EngineError::bind(format!("cannot explain: {other}"))),
         }
+    }
+
+    /// Run `EXPLAIN [ANALYZE]` over a `SELECT`, producing a one-column
+    /// `QUERY PLAN` result (one row per line, Postgres-style).
+    ///
+    /// With `analyze = false` the plan is described without running it;
+    /// with `analyze = true` the query is executed and the per-operator
+    /// [`crate::stats::ExecStats`] tree is rendered instead.
+    pub fn explain_select(&self, stmt: &SelectStatement, analyze: bool) -> Result<QueryResult> {
+        let plan = self.plan(stmt)?;
+        let text = if analyze {
+            let result = execute_plan(&self.catalog, &plan)?;
+            result
+                .stats()
+                .map(|s| s.render())
+                .unwrap_or_else(|| plan.describe())
+        } else {
+            plan.describe()
+        };
+        Ok(QueryResult::new(
+            vec!["QUERY PLAN".to_string()],
+            text.lines()
+                .map(|l| vec![Value::Text(l.to_string())])
+                .collect(),
+        ))
     }
 
     fn run_delete(&mut self, del: &Delete) -> Result<usize> {
@@ -247,7 +318,7 @@ impl Database {
                 }
             }
             InsertSource::Query(q) => {
-                let result = self.query_statement(q)?;
+                let result = self.run_select(q)?;
                 if result.columns.len() != positions.len() {
                     return Err(EngineError::bind(format!(
                         "INSERT source query produces {} columns but {} were specified",
@@ -285,8 +356,14 @@ fn eval_const(e: &Expr) -> Result<Value> {
                 Literal::Str(s) => Value::Text(s.clone()),
                 Literal::Date(d) => Value::Date(*d),
             }),
-            Expr::Unary { op: UnaryOp::Neg, expr } => BoundExpr::Neg(Box::new(to_bound(expr)?)),
-            Expr::Unary { op: UnaryOp::Not, expr } => BoundExpr::Not(Box::new(to_bound(expr)?)),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => BoundExpr::Neg(Box::new(to_bound(expr)?)),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => BoundExpr::Not(Box::new(to_bound(expr)?)),
             Expr::Binary { left, op, right } => BoundExpr::Binary {
                 left: Box::new(to_bound(left)?),
                 op: *op,
@@ -303,6 +380,7 @@ fn eval_const(e: &Expr) -> Result<Value> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // these tests deliberately keep covering the shim API
 mod tests {
     use super::*;
 
@@ -328,7 +406,9 @@ mod tests {
     #[test]
     fn create_insert_select_roundtrip() {
         let db = sample();
-        let r = db.query("SELECT name FROM customer WHERE balance > 10000").unwrap();
+        let r = db
+            .query("SELECT name FROM customer WHERE balance > 10000")
+            .unwrap();
         assert_eq!(r.len(), 3);
     }
 
@@ -400,7 +480,9 @@ mod tests {
     #[test]
     fn count_star_on_empty_filter() {
         let db = sample();
-        let r = db.query("SELECT COUNT(*) FROM customer WHERE balance > 999999").unwrap();
+        let r = db
+            .query("SELECT COUNT(*) FROM customer WHERE balance > 999999")
+            .unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
     }
 
@@ -420,15 +502,20 @@ mod tests {
     #[test]
     fn insert_with_explicit_columns_fills_nulls() {
         let mut db = sample();
-        db.execute("INSERT INTO customer (id, name) VALUES ('c9', 'Zoe')").unwrap();
-        let r = db.query("SELECT balance FROM customer WHERE id = 'c9'").unwrap();
+        db.execute("INSERT INTO customer (id, name) VALUES ('c9', 'Zoe')")
+            .unwrap();
+        let r = db
+            .query("SELECT balance FROM customer WHERE id = 'c9'")
+            .unwrap();
         assert_eq!(r.rows, vec![vec![Value::Null]]);
     }
 
     #[test]
     fn insert_arity_mismatch_rejected() {
         let mut db = sample();
-        let err = db.execute("INSERT INTO customer (id, name) VALUES ('c9')").unwrap_err();
+        let err = db
+            .execute("INSERT INTO customer (id, name) VALUES ('c9')")
+            .unwrap_err();
         assert!(err.to_string().contains("values"), "{err}");
     }
 
@@ -436,7 +523,8 @@ mod tests {
     fn constant_arithmetic_in_insert() {
         let mut db = Database::new();
         db.execute("CREATE TABLE t (a INTEGER, b DOUBLE)").unwrap();
-        db.execute("INSERT INTO t VALUES (2 + 3 * 4, 1.0 / 4)").unwrap();
+        db.execute("INSERT INTO t VALUES (2 + 3 * 4, 1.0 / 4)")
+            .unwrap();
         let r = db.query("SELECT a, b FROM t").unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(14), Value::Float(0.25)]]);
     }
@@ -444,7 +532,9 @@ mod tests {
     #[test]
     fn cross_join_when_unconnected() {
         let db = sample();
-        let r = db.query("SELECT c.id, o.id FROM customer c, orders o").unwrap();
+        let r = db
+            .query("SELECT c.id, o.id FROM customer c, orders o")
+            .unwrap();
         assert_eq!(r.len(), 12);
     }
 
@@ -465,9 +555,49 @@ mod tests {
     }
 
     #[test]
+    fn explain_statement_returns_query_plan_rows() {
+        let mut db = sample();
+        let out = db
+            .execute("EXPLAIN SELECT o.id FROM orders o, customer c WHERE o.cidfk = c.id")
+            .unwrap();
+        let ExecOutcome::Rows(r) = out else {
+            panic!("EXPLAIN must produce rows")
+        };
+        assert_eq!(r.columns, vec!["QUERY PLAN"]);
+        let text = r
+            .rows
+            .iter()
+            .map(|row| row[0].to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("HashJoin"), "{text}");
+        assert!(
+            !text.contains("rows="),
+            "plain EXPLAIN must not execute: {text}"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_executes_and_reports() {
+        let db = sample();
+        let text = db
+            .explain(
+                "EXPLAIN ANALYZE SELECT o.id, SUM(o.prob * c.prob) FROM orders o, customer c \
+                 WHERE o.cidfk = c.id GROUP BY o.id",
+            )
+            .unwrap();
+        assert!(text.contains("HashAggregate"), "{text}");
+        assert!(text.contains("HashJoin"), "{text}");
+        assert!(text.contains("rows="), "{text}");
+        assert!(text.contains("Execution time"), "{text}");
+    }
+
+    #[test]
     fn like_and_in_filters() {
         let db = sample();
-        let r = db.query("SELECT name FROM customer WHERE name LIKE 'Mar%'").unwrap();
+        let r = db
+            .query("SELECT name FROM customer WHERE name LIKE 'Mar%'")
+            .unwrap();
         assert_eq!(r.len(), 2);
         let r = db
             .query("SELECT name FROM customer WHERE balance IN (5000, 27000) ORDER BY name")

@@ -1,101 +1,68 @@
 //! Physical execution of query plans.
 //!
-//! Operators are materialized: each stage consumes and produces `Vec<Row>`.
-//! This keeps the engine simple and is appropriate for the in-memory,
-//! laptop-scale workloads of the reproduction (the paper's measurements are
-//! *relative* — rewritten vs. original query on the same engine).
+//! Plans run as a pull-based pipeline of physical operators exchanging
+//! *batches* of rows (`Vec<Row>`, up to [`BATCH_SIZE`] each): scan →
+//! filter → join → aggregate → project → distinct → sort → limit. Blocking
+//! operators (hash-join build sides, aggregation, sort) materialize only
+//! their own state; everything else streams, so `LIMIT` without `ORDER BY`
+//! stops reading its input early instead of materializing the whole query.
+//!
+//! Every operator is instrumented: rows in/out, batches, inclusive wall
+//! time and peak materialized bytes are recorded per node and harvested
+//! into an [`ExecStats`] tree attached to the [`QueryResult`] (surfaced by
+//! `EXPLAIN ANALYZE` and [`QueryResult::stats`]).
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 use conquer_sql::AggFunc;
-use conquer_storage::{Catalog, Row, Value};
+use conquer_storage::{Catalog, HashIndex, Row, Table, Value};
 
-use crate::binder::{AggCall, GroupSpec, OrderKey};
+use crate::binder::{AggCall, GroupSpec, OrderKey, OutputItem};
 use crate::error::EngineError;
 use crate::expr::{BoundExpr, Offsets};
 use crate::planner::{JoinNode, Plan};
 use crate::result::QueryResult;
+use crate::stats::{approx_row_bytes, approx_value_bytes, ExecStats, OpStats};
 use crate::Result;
 
-/// Execute a plan against the catalog.
+/// Maximum rows per batch flowing between operators. Joins may emit larger
+/// batches when one probe batch matches many build rows; the bound is a
+/// target, not an invariant.
+pub const BATCH_SIZE: usize = 1024;
+
+type Batch = Vec<Row>;
+
+/// Execute a plan against the catalog, collecting per-operator statistics.
 pub fn execute_plan(catalog: &Catalog, plan: &Plan) -> Result<QueryResult> {
-    let widths: Vec<usize> = plan.relations.iter().map(|r| r.schema.len()).collect();
-    let n_rels = widths.len();
-
-    // 1. Join tree → joined rows in the tree's layout.
-    let (rows, layout) = exec_join(catalog, plan, &plan.join, &widths)?;
-    let offsets = offsets_for(&layout, &widths, n_rels);
-
-    // 2. Aggregate or pass through.
-    let (rows, offsets) = match &plan.group {
-        Some(group) => {
-            let slot_rows = hash_aggregate(rows, &offsets, group)?;
-            let slot_offsets = Offsets(vec![Some(0)]);
-            let slot_rows = match &group.having {
-                Some(h) => filter_rows(slot_rows, h, &slot_offsets)?,
-                None => slot_rows,
-            };
-            (slot_rows, slot_offsets)
-        }
-        None => (rows, offsets),
-    };
-
-    // 3. Project, computing sort keys in the same pass.
-    let needs_expr_keys =
-        plan.order_by.iter().any(|o| matches!(o.key, OrderKey::Expr(_)));
+    let needs_expr_keys = plan
+        .order_by
+        .iter()
+        .any(|o| matches!(o.key, OrderKey::Expr(_)));
     if plan.distinct && needs_expr_keys {
         return Err(EngineError::bind(
             "DISTINCT with ORDER BY on non-projected expressions is not supported",
         ));
     }
 
-    let mut projected: Vec<(Row, Vec<Value>)> = Vec::with_capacity(rows.len());
-    for row in &rows {
-        let mut out = Vec::with_capacity(plan.output.len());
-        for item in &plan.output {
-            out.push(item.expr.eval(row, &offsets)?);
-        }
-        let mut keys = Vec::with_capacity(plan.order_by.len());
-        for ob in &plan.order_by {
-            keys.push(match &ob.key {
-                OrderKey::Output(i) => out[*i].clone(),
-                OrderKey::Expr(e) => e.eval(row, &offsets)?,
-            });
-        }
-        projected.push((out, keys));
+    let start = Instant::now();
+    let mut root = build_pipeline(catalog, plan)?;
+    let mut rows = Vec::new();
+    while let Some(batch) = root.next_batch()? {
+        rows.extend(batch);
     }
+    let total_time = start.elapsed();
+    let stats = ExecStats {
+        root: root.harvest(),
+        total_time,
+    };
 
-    // 4. DISTINCT.
-    if plan.distinct {
-        let mut seen: HashSet<Row> = HashSet::with_capacity(projected.len());
-        projected.retain(|(r, _)| seen.insert(r.clone()));
-    }
-
-    // 5. ORDER BY (stable, so ties keep input order).
-    if !plan.order_by.is_empty() {
-        let descs: Vec<bool> = plan.order_by.iter().map(|o| o.desc).collect();
-        projected.sort_by(|(_, ka), (_, kb)| {
-            for ((a, b), desc) in ka.iter().zip(kb).zip(&descs) {
-                let ord = a.cmp(b);
-                let ord = if *desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-    }
-
-    // 6. LIMIT.
-    if let Some(l) = plan.limit {
-        projected.truncate(l as usize);
-    }
-
-    Ok(QueryResult {
-        columns: plan.output.iter().map(|o| o.name.clone()).collect(),
-        rows: projected.into_iter().map(|(r, _)| r).collect(),
-    })
+    Ok(QueryResult::with_stats(
+        plan.output.iter().map(|o| o.name.clone()).collect(),
+        rows,
+        stats,
+    ))
 }
 
 /// Compute per-relation offsets for a concatenation layout.
@@ -109,45 +76,124 @@ fn offsets_for(layout: &[usize], widths: &[usize], n_rels: usize) -> Offsets {
     Offsets(offs)
 }
 
-fn filter_rows(rows: Vec<Row>, pred: &BoundExpr, offsets: &Offsets) -> Result<Vec<Row>> {
-    let mut out = Vec::with_capacity(rows.len());
-    for row in rows {
-        if pred.eval_predicate(&row, offsets)? {
-            out.push(row);
+// ---------------------------------------------------------------------------
+// Pipeline construction
+// ---------------------------------------------------------------------------
+
+/// Assemble the full operator pipeline for `plan`.
+fn build_pipeline<'a>(catalog: &'a Catalog, plan: &'a Plan) -> Result<OpNode<'a>> {
+    let widths: Vec<usize> = plan.relations.iter().map(|r| r.schema.len()).collect();
+    let n_rels = widths.len();
+
+    let (mut node, layout, _est) = build_join(catalog, plan, &plan.join, &widths)?;
+    let mut offsets = offsets_for(&layout, &widths, n_rels);
+
+    if let Some(group) = &plan.group {
+        node = OpNode::new(
+            "HashAggregate",
+            OpKind::HashAggregate {
+                child: Box::new(node),
+                group,
+                offsets: offsets.clone(),
+                drained: None,
+            },
+        );
+        // Aggregate output is a single slot row: [keys…, agg values…].
+        offsets = Offsets(vec![Some(0)]);
+        if let Some(having) = &group.having {
+            node = OpNode::new(
+                "Filter (HAVING)",
+                OpKind::Filter {
+                    child: Box::new(node),
+                    pred: having,
+                    offsets: offsets.clone(),
+                },
+            );
         }
     }
-    Ok(out)
+
+    node = OpNode::new(
+        "Project",
+        OpKind::Project {
+            child: Box::new(node),
+            output: &plan.output,
+            order_by: &plan.order_by,
+            offsets,
+        },
+    );
+
+    if plan.distinct {
+        node = OpNode::new(
+            "Distinct",
+            OpKind::Distinct {
+                child: Box::new(node),
+                seen: HashSet::new(),
+                mem: 0,
+            },
+        );
+    }
+
+    if !plan.order_by.is_empty() {
+        node = OpNode::new(
+            "Sort",
+            OpKind::Sort {
+                child: Box::new(node),
+                descs: plan.order_by.iter().map(|o| o.desc).collect(),
+                n_out: plan.output.len(),
+                drained: None,
+            },
+        );
+    }
+
+    if let Some(l) = plan.limit {
+        node = OpNode::new(
+            "Limit",
+            OpKind::Limit {
+                child: Box::new(node),
+                remaining: l,
+            },
+        );
+    }
+
+    Ok(node)
 }
 
-/// Execute a join-tree node, returning rows and their layout.
-fn exec_join(
-    catalog: &Catalog,
-    plan: &Plan,
-    node: &JoinNode,
+/// Build the operator subtree for a join-tree node. Returns the operator,
+/// the relation layout of its output rows, and a crude cardinality estimate
+/// used to pick hash-join build sides.
+fn build_join<'a>(
+    catalog: &'a Catalog,
+    plan: &'a Plan,
+    node: &'a JoinNode,
     widths: &[usize],
-) -> Result<(Vec<Row>, Vec<usize>)> {
+) -> Result<(OpNode<'a>, Vec<usize>, u64)> {
     let n_rels = widths.len();
     match node {
         JoinNode::Scan { rel, filter } => {
-            let table = catalog.table(&plan.relations[*rel].table)?;
+            let relation = &plan.relations[*rel];
+            let table = catalog.table(&relation.table)?;
             let layout = vec![*rel];
             let offsets = offsets_for(&layout, widths, n_rels);
-            let mut rows = Vec::with_capacity(table.len());
-            match filter {
-                None => rows.extend(table.rows().iter().cloned()),
-                Some(pred) => {
-                    for row in table.rows() {
-                        if pred.eval_predicate(row, &offsets)? {
-                            rows.push(row.clone());
-                        }
-                    }
-                }
-            }
-            Ok((rows, layout))
+            let est = table.len() as u64;
+            let op = OpNode::new(
+                format!("Scan {} [{}]", relation.table, relation.binding),
+                OpKind::Scan {
+                    table,
+                    pos: 0,
+                    filter: filter.as_ref(),
+                    offsets,
+                },
+            );
+            Ok((op, layout, est))
         }
-        JoinNode::Join { left, right, equi, filter } => {
-            let (lrows, llayout) = exec_join(catalog, plan, left, widths)?;
-            let (rrows, rlayout) = exec_join(catalog, plan, right, widths)?;
+        JoinNode::Join {
+            left,
+            right,
+            equi,
+            filter,
+        } => {
+            let (lop, llayout, lest) = build_join(catalog, plan, left, widths)?;
+            let (rop, rlayout, rest) = build_join(catalog, plan, right, widths)?;
             let loffsets = offsets_for(&llayout, widths, n_rels);
             let roffsets = offsets_for(&rlayout, widths, n_rels);
 
@@ -155,39 +201,107 @@ fn exec_join(
             layout.extend(rlayout);
             let offsets = offsets_for(&layout, widths, n_rels);
 
-            let joined = if equi.is_empty() {
-                nested_loop_join(&lrows, &rrows)
-            } else if let Some(rows) = try_index_join(
-                catalog, plan, right, &lrows, equi, &loffsets,
-            )? {
-                rows
+            let (mut op, est) = if equi.is_empty() {
+                let est = lest.saturating_mul(rest.max(1));
+                let op = OpNode::new(
+                    "NestedLoopJoin",
+                    OpKind::CrossJoin {
+                        probe: Box::new(lop),
+                        build: Box::new(rop),
+                        build_rows: None,
+                    },
+                );
+                (op, est)
+            } else if let Some((table, index, key_flat)) =
+                index_join_path(catalog, plan, right, equi, &loffsets)?
+            {
+                let op = OpNode::new(
+                    format!(
+                        "IndexJoin {} [{}]",
+                        table.name(),
+                        probe_binding(plan, right)
+                    ),
+                    OpKind::IndexJoin {
+                        probe: Box::new(lop),
+                        table,
+                        index,
+                        key_flat,
+                    },
+                );
+                (op, lest.max(rest))
             } else {
-                hash_join(&lrows, &rrows, equi, &loffsets, &roffsets)?
+                // Build the hash table on the (estimated) smaller side and
+                // stream the other; output stays `left ++ right` either way.
+                let build_left = lest <= rest;
+                let (probe, build, probe_offsets, build_offsets) = if build_left {
+                    (rop, lop, roffsets, loffsets)
+                } else {
+                    (lop, rop, loffsets, roffsets)
+                };
+                let (pexprs, bexprs): (Vec<&BoundExpr>, Vec<&BoundExpr>) = if build_left {
+                    (
+                        equi.iter().map(|(_, r)| r).collect(),
+                        equi.iter().map(|(l, _)| l).collect(),
+                    )
+                } else {
+                    (
+                        equi.iter().map(|(l, _)| l).collect(),
+                        equi.iter().map(|(_, r)| r).collect(),
+                    )
+                };
+                let op = OpNode::new(
+                    "HashJoin",
+                    OpKind::HashJoin {
+                        probe: Box::new(probe),
+                        build: Box::new(build),
+                        probe_exprs: pexprs,
+                        build_exprs: bexprs,
+                        probe_offsets,
+                        build_offsets,
+                        build_left,
+                        table: None,
+                    },
+                );
+                (op, lest.max(rest))
             };
-            let joined = match filter {
-                Some(pred) => filter_rows(joined, pred, &offsets)?,
-                None => joined,
-            };
-            Ok((joined, layout))
+
+            if let Some(pred) = filter {
+                op = OpNode::new(
+                    "Filter",
+                    OpKind::Filter {
+                        child: Box::new(op),
+                        pred,
+                        offsets,
+                    },
+                );
+            }
+            Ok((op, layout, est))
         }
+    }
+}
+
+fn probe_binding<'a>(plan: &'a Plan, node: &JoinNode) -> &'a str {
+    match node {
+        JoinNode::Scan { rel, .. } => &plan.relations[*rel].binding,
+        JoinNode::Join { .. } => "",
     }
 }
 
 /// Index nested-loop join fast path: when the right input is an unfiltered
 /// base-table scan, the single equi key is a bare column on both sides with
-/// the same declared type, and the table has a pre-built [`conquer_storage::HashIndex`]
-/// on that column (see [`crate::Database::create_index`]), probe the stored
-/// index instead of building a hash table. This is the analogue of the
-/// paper's "indices on the identifier" setup (Section 5.3). Returns `None`
-/// when the preconditions don't hold and the generic hash join should run.
-fn try_index_join(
-    catalog: &Catalog,
+/// the same declared type, and the table has a pre-built
+/// [`conquer_storage::HashIndex`] on that column (see
+/// [`crate::Database::create_index`]), probe the stored index instead of
+/// building a hash table. This is the analogue of the paper's "indices on
+/// the identifier" setup (Section 5.3). Returns `None` when the
+/// preconditions don't hold and the generic hash join should run.
+fn index_join_path<'a>(
+    catalog: &'a Catalog,
     plan: &Plan,
     right: &JoinNode,
-    lrows: &[Row],
     equi: &[(BoundExpr, BoundExpr)],
     loffsets: &Offsets,
-) -> Result<Option<Vec<Row>>> {
+) -> Result<Option<(&'a Table, &'a HashIndex, usize)>> {
     let JoinNode::Scan { rel, filter: None } = right else {
         return Ok(None);
     };
@@ -208,40 +322,463 @@ fn try_index_join(
     };
     // Raw-value lookup is only sound when the probe values have the same
     // declared type as the indexed column (no Int/Float normalization).
-    let ltype = plan.relations[lcol.rel].schema.column_at(lcol.col).expect("bound").data_type();
+    let ltype = plan.relations[lcol.rel]
+        .schema
+        .column_at(lcol.col)
+        .expect("bound")
+        .data_type();
     if ltype != rcolumn.data_type() {
         return Ok(None);
     }
-    let mut out = Vec::new();
-    for lrow in lrows {
-        let key = &lrow[loffsets.flat(*lcol)];
-        if key.is_null() {
-            continue;
-        }
-        for &ri in index.lookup(key) {
-            let rrow = table.row(ri).expect("index positions are valid");
-            let mut row = Vec::with_capacity(lrow.len() + rrow.len());
-            row.extend(lrow.iter().cloned());
-            row.extend(rrow.iter().cloned());
-            out.push(row);
-        }
-    }
-    Ok(Some(out))
+    Ok(Some((table, index, loffsets.flat(*lcol))))
 }
 
-/// Cartesian product (used when no equi keys connect the inputs; residual
-/// predicates are applied by the caller).
-fn nested_loop_join(left: &[Row], right: &[Row]) -> Vec<Row> {
-    let mut out = Vec::with_capacity(left.len().saturating_mul(right.len()));
-    for l in left {
-        for r in right {
-            let mut row = Vec::with_capacity(l.len() + r.len());
-            row.extend(l.iter().cloned());
-            row.extend(r.iter().cloned());
-            out.push(row);
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+/// Runtime counters for one operator node.
+#[derive(Debug, Default)]
+struct Metrics {
+    rows_in: u64,
+    rows_out: u64,
+    batches: u64,
+    time: Duration,
+    peak_mem: u64,
+}
+
+/// One physical operator plus its instrumentation.
+struct OpNode<'a> {
+    name: String,
+    kind: OpKind<'a>,
+    m: Metrics,
+}
+
+enum OpKind<'a> {
+    /// Base-table scan with an optional pushed-down predicate.
+    Scan {
+        table: &'a Table,
+        pos: usize,
+        filter: Option<&'a BoundExpr>,
+        offsets: Offsets,
+    },
+    /// Row filter (residual join predicates, HAVING).
+    Filter {
+        child: Box<OpNode<'a>>,
+        pred: &'a BoundExpr,
+        offsets: Offsets,
+    },
+    /// Equi hash join: drains `build` into a hash table on first pull, then
+    /// streams `probe`. Output rows are always `left ++ right`.
+    HashJoin {
+        probe: Box<OpNode<'a>>,
+        build: Box<OpNode<'a>>,
+        probe_exprs: Vec<&'a BoundExpr>,
+        build_exprs: Vec<&'a BoundExpr>,
+        probe_offsets: Offsets,
+        build_offsets: Offsets,
+        /// True when the plan's *left* input is the build side.
+        build_left: bool,
+        table: Option<HashMap<Vec<Value>, Vec<Row>>>,
+    },
+    /// Streaming probe of a pre-built storage-level hash index.
+    IndexJoin {
+        probe: Box<OpNode<'a>>,
+        table: &'a Table,
+        index: &'a HashIndex,
+        key_flat: usize,
+    },
+    /// Cartesian product: materializes the right input, streams the left.
+    CrossJoin {
+        probe: Box<OpNode<'a>>,
+        build: Box<OpNode<'a>>,
+        build_rows: Option<Vec<Row>>,
+    },
+    /// Hash aggregation; blocking. Produces `[keys…, agg values…]` rows in
+    /// first-seen group order (one row even for empty input when there are
+    /// no GROUP BY keys — `COUNT(*)` of an empty table is 0).
+    HashAggregate {
+        child: Box<OpNode<'a>>,
+        group: &'a GroupSpec,
+        offsets: Offsets,
+        drained: Option<std::vec::IntoIter<Row>>,
+    },
+    /// Compute output expressions, appending ORDER BY key columns for a
+    /// downstream [`OpKind::Sort`] to consume.
+    Project {
+        child: Box<OpNode<'a>>,
+        output: &'a [OutputItem],
+        order_by: &'a [crate::binder::BoundOrderBy],
+        offsets: Offsets,
+    },
+    /// Streaming duplicate elimination over projected rows.
+    Distinct {
+        child: Box<OpNode<'a>>,
+        seen: HashSet<Row>,
+        mem: u64,
+    },
+    /// Blocking sort on the trailing key columns appended by `Project`;
+    /// strips them from the output.
+    Sort {
+        child: Box<OpNode<'a>>,
+        descs: Vec<bool>,
+        n_out: usize,
+        drained: Option<std::vec::IntoIter<Row>>,
+    },
+    /// Stop pulling from the child once `remaining` rows were emitted.
+    Limit {
+        child: Box<OpNode<'a>>,
+        remaining: u64,
+    },
+}
+
+impl<'a> OpNode<'a> {
+    fn new(name: impl Into<String>, kind: OpKind<'a>) -> Self {
+        OpNode {
+            name: name.into(),
+            kind,
+            m: Metrics::default(),
         }
     }
-    out
+
+    /// Pull the next batch, recording rows/batches/inclusive wall time.
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        let start = Instant::now();
+        let out = step(&mut self.kind, &mut self.m);
+        self.m.time += start.elapsed();
+        if let Ok(Some(batch)) = &out {
+            self.m.rows_out += batch.len() as u64;
+            self.m.batches += 1;
+        }
+        out
+    }
+
+    /// Convert the (finished) operator tree into its statistics tree.
+    fn harvest(self) -> OpStats {
+        let children = match self.kind {
+            OpKind::Scan { .. } => vec![],
+            OpKind::Filter { child, .. }
+            | OpKind::HashAggregate { child, .. }
+            | OpKind::Project { child, .. }
+            | OpKind::Distinct { child, .. }
+            | OpKind::Sort { child, .. }
+            | OpKind::Limit { child, .. } => vec![child.harvest()],
+            OpKind::IndexJoin { probe, .. } => vec![probe.harvest()],
+            OpKind::HashJoin {
+                probe,
+                build,
+                build_left,
+                ..
+            } => {
+                // Report in plan order: left child first.
+                if build_left {
+                    vec![build.harvest(), probe.harvest()]
+                } else {
+                    vec![probe.harvest(), build.harvest()]
+                }
+            }
+            OpKind::CrossJoin { probe, build, .. } => vec![probe.harvest(), build.harvest()],
+        };
+        OpStats {
+            name: self.name,
+            rows_in: self.m.rows_in,
+            rows_out: self.m.rows_out,
+            batches: self.m.batches,
+            time: self.m.time,
+            peak_mem: self.m.peak_mem,
+            children,
+        }
+    }
+}
+
+/// Pull one batch from `child`, crediting its size to the parent's
+/// `rows_in` counter.
+fn pull(child: &mut OpNode<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
+    let batch = child.next_batch()?;
+    if let Some(b) = &batch {
+        m.rows_in += b.len() as u64;
+    }
+    Ok(batch)
+}
+
+/// Advance one operator by one batch. `None` means exhausted.
+fn step(kind: &mut OpKind<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
+    match kind {
+        OpKind::Scan {
+            table,
+            pos,
+            filter,
+            offsets,
+        } => {
+            let rows = table.rows();
+            let mut out = Vec::with_capacity(BATCH_SIZE.min(rows.len() - (*pos).min(rows.len())));
+            while *pos < rows.len() && out.len() < BATCH_SIZE {
+                let row = &rows[*pos];
+                *pos += 1;
+                m.rows_in += 1;
+                match filter {
+                    Some(pred) if !pred.eval_predicate(row, offsets)? => {}
+                    _ => out.push(row.clone()),
+                }
+            }
+            Ok((!out.is_empty()).then_some(out))
+        }
+
+        OpKind::Filter {
+            child,
+            pred,
+            offsets,
+        } => {
+            while let Some(batch) = pull(child, m)? {
+                let mut out = Vec::with_capacity(batch.len());
+                for row in batch {
+                    if pred.eval_predicate(&row, offsets)? {
+                        out.push(row);
+                    }
+                }
+                if !out.is_empty() {
+                    return Ok(Some(out));
+                }
+            }
+            Ok(None)
+        }
+
+        OpKind::HashJoin {
+            probe,
+            build,
+            probe_exprs,
+            build_exprs,
+            probe_offsets,
+            build_offsets,
+            build_left,
+            table,
+        } => {
+            if table.is_none() {
+                let mut map: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+                let mut mem = 0u64;
+                while let Some(batch) = pull(build, m)? {
+                    for row in batch {
+                        if let Some(key) = join_keys(&row, build_exprs, build_offsets)? {
+                            mem += approx_row_bytes(&row)
+                                + key.iter().map(approx_value_bytes).sum::<u64>();
+                            map.entry(key).or_default().push(row);
+                        }
+                    }
+                }
+                m.peak_mem = mem;
+                *table = Some(map);
+            }
+            let map = table.as_ref().expect("built above");
+            while let Some(batch) = pull(probe, m)? {
+                let mut out = Vec::new();
+                for prow in &batch {
+                    let Some(key) = join_keys(prow, probe_exprs, probe_offsets)? else {
+                        continue;
+                    };
+                    if let Some(matches) = map.get(&key) {
+                        for brow in matches {
+                            let (lrow, rrow) = if *build_left {
+                                (brow, prow)
+                            } else {
+                                (prow, brow)
+                            };
+                            out.push(concat_rows(lrow, rrow));
+                        }
+                    }
+                }
+                if !out.is_empty() {
+                    return Ok(Some(out));
+                }
+            }
+            Ok(None)
+        }
+
+        OpKind::IndexJoin {
+            probe,
+            table,
+            index,
+            key_flat,
+        } => {
+            while let Some(batch) = pull(probe, m)? {
+                let mut out = Vec::new();
+                for lrow in &batch {
+                    let key = &lrow[*key_flat];
+                    if key.is_null() {
+                        continue;
+                    }
+                    for &ri in index.lookup(key) {
+                        let rrow = table.row(ri).expect("index positions are valid");
+                        out.push(concat_rows(lrow, rrow));
+                    }
+                }
+                if !out.is_empty() {
+                    return Ok(Some(out));
+                }
+            }
+            Ok(None)
+        }
+
+        OpKind::CrossJoin {
+            probe,
+            build,
+            build_rows,
+        } => {
+            if build_rows.is_none() {
+                let mut rows = Vec::new();
+                while let Some(batch) = pull(build, m)? {
+                    rows.extend(batch);
+                }
+                m.peak_mem = rows.iter().map(approx_row_bytes).sum();
+                *build_rows = Some(rows);
+            }
+            let rrows = build_rows.as_ref().expect("built above");
+            if rrows.is_empty() {
+                return Ok(None);
+            }
+            while let Some(batch) = pull(probe, m)? {
+                let mut out = Vec::with_capacity(batch.len().saturating_mul(rrows.len()));
+                for lrow in &batch {
+                    for rrow in rrows {
+                        out.push(concat_rows(lrow, rrow));
+                    }
+                }
+                if !out.is_empty() {
+                    return Ok(Some(out));
+                }
+            }
+            Ok(None)
+        }
+
+        OpKind::HashAggregate {
+            child,
+            group,
+            offsets,
+            drained,
+        } => {
+            if drained.is_none() {
+                *drained = Some(aggregate_all(child, group, offsets, m)?.into_iter());
+            }
+            let iter = drained.as_mut().expect("drained above");
+            let out: Batch = iter.take(BATCH_SIZE).collect();
+            Ok((!out.is_empty()).then_some(out))
+        }
+
+        OpKind::Project {
+            child,
+            output,
+            order_by,
+            offsets,
+        } => match pull(child, m)? {
+            None => Ok(None),
+            Some(batch) => {
+                let mut out = Vec::with_capacity(batch.len());
+                for row in &batch {
+                    let mut projected = Vec::with_capacity(output.len() + order_by.len());
+                    for item in output.iter() {
+                        projected.push(item.expr.eval(row, offsets)?);
+                    }
+                    for ob in order_by.iter() {
+                        projected.push(match &ob.key {
+                            OrderKey::Output(i) => projected[*i].clone(),
+                            OrderKey::Expr(e) => e.eval(row, offsets)?,
+                        });
+                    }
+                    out.push(projected);
+                }
+                Ok(Some(out))
+            }
+        },
+
+        OpKind::Distinct { child, seen, mem } => {
+            while let Some(batch) = pull(child, m)? {
+                let mut out = Vec::with_capacity(batch.len());
+                for row in batch {
+                    if !seen.contains(&row) {
+                        *mem += approx_row_bytes(&row);
+                        m.peak_mem = *mem;
+                        seen.insert(row.clone());
+                        out.push(row);
+                    }
+                }
+                if !out.is_empty() {
+                    return Ok(Some(out));
+                }
+            }
+            Ok(None)
+        }
+
+        OpKind::Sort {
+            child,
+            descs,
+            n_out,
+            drained,
+        } => {
+            if drained.is_none() {
+                let mut rows = Vec::new();
+                while let Some(batch) = pull(child, m)? {
+                    rows.extend(batch);
+                }
+                m.peak_mem = rows.iter().map(approx_row_bytes).sum();
+                let n_out = *n_out;
+                // Stable sort on the trailing key columns, so ties keep
+                // input order.
+                rows.sort_by(|a, b| {
+                    for ((x, y), desc) in a[n_out..].iter().zip(&b[n_out..]).zip(descs.iter()) {
+                        let ord = x.cmp(y);
+                        let ord = if *desc { ord.reverse() } else { ord };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                for row in &mut rows {
+                    row.truncate(n_out);
+                }
+                *drained = Some(rows.into_iter());
+            }
+            let iter = drained.as_mut().expect("drained above");
+            let out: Batch = iter.take(BATCH_SIZE).collect();
+            Ok((!out.is_empty()).then_some(out))
+        }
+
+        OpKind::Limit { child, remaining } => {
+            if *remaining == 0 {
+                return Ok(None);
+            }
+            while let Some(mut batch) = pull(child, m)? {
+                if batch.len() as u64 > *remaining {
+                    batch.truncate(*remaining as usize);
+                }
+                *remaining -= batch.len() as u64;
+                if !batch.is_empty() {
+                    return Ok(Some(batch));
+                }
+            }
+            Ok(None)
+        }
+    }
+}
+
+fn concat_rows(l: &Row, r: &Row) -> Row {
+    let mut row = Vec::with_capacity(l.len() + r.len());
+    row.extend(l.iter().cloned());
+    row.extend(r.iter().cloned());
+    row
+}
+
+/// Evaluate and normalize the join key expressions for one row; `None`
+/// when any key is NULL (SQL equality never matches NULL).
+fn join_keys(row: &Row, exprs: &[&BoundExpr], offsets: &Offsets) -> Result<Option<Vec<Value>>> {
+    let mut keys = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        let v = e.eval(row, offsets)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        keys.push(normalize_key(v));
+    }
+    Ok(Some(keys))
 }
 
 /// Normalize a join key so numerically equal Int/Float values collide
@@ -255,66 +792,72 @@ fn normalize_key(v: Value) -> Value {
     }
 }
 
-/// Hash join on equi keys. Builds on the smaller input. NULL keys never
-/// match (SQL equality semantics).
-fn hash_join(
-    left: &[Row],
-    right: &[Row],
-    equi: &[(BoundExpr, BoundExpr)],
-    loffsets: &Offsets,
-    roffsets: &Offsets,
-) -> Result<Vec<Row>> {
-    let keys_of = |row: &Row, exprs: &[&BoundExpr], offsets: &Offsets| -> Result<Option<Vec<Value>>> {
-        let mut keys = Vec::with_capacity(exprs.len());
-        for e in exprs {
-            let v = e.eval(row, offsets)?;
-            if v.is_null() {
-                return Ok(None);
-            }
-            keys.push(normalize_key(v));
-        }
-        Ok(Some(keys))
-    };
-
-    let lexprs: Vec<&BoundExpr> = equi.iter().map(|(l, _)| l).collect();
-    let rexprs: Vec<&BoundExpr> = equi.iter().map(|(_, r)| r).collect();
-
-    let build_left = left.len() <= right.len();
-    let (build_rows, build_exprs, build_offsets, probe_rows, probe_exprs, probe_offsets) =
-        if build_left {
-            (left, &lexprs, loffsets, right, &rexprs, roffsets)
-        } else {
-            (right, &rexprs, roffsets, left, &lexprs, loffsets)
-        };
-
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build_rows.len());
-    for (i, row) in build_rows.iter().enumerate() {
-        if let Some(k) = keys_of(row, build_exprs, build_offsets)? {
-            table.entry(k).or_default().push(i);
-        }
-    }
-
-    let mut out = Vec::new();
-    for prow in probe_rows {
-        let Some(k) = keys_of(prow, probe_exprs, probe_offsets)? else { continue };
-        if let Some(matches) = table.get(&k) {
-            for &bi in matches {
-                let brow = &build_rows[bi];
-                // Output is always left ++ right, regardless of build side.
-                let (lrow, rrow) = if build_left { (brow, prow) } else { (prow, brow) };
-                let mut row = Vec::with_capacity(lrow.len() + rrow.len());
-                row.extend(lrow.iter().cloned());
-                row.extend(rrow.iter().cloned());
-                out.push(row);
-            }
-        }
-    }
-    Ok(out)
-}
-
 // ---------------------------------------------------------------------------
 // Aggregation
 // ---------------------------------------------------------------------------
+
+/// Drain `child` and aggregate every row, returning the finished group rows
+/// in first-seen order.
+fn aggregate_all(
+    child: &mut OpNode<'_>,
+    group: &GroupSpec,
+    offsets: &Offsets,
+    m: &mut Metrics,
+) -> Result<Vec<Row>> {
+    // Keys live only in the map (no duplicate clone); the `usize` remembers
+    // first-seen order so output is deterministic.
+    let mut index: HashMap<Vec<Value>, (usize, Vec<Accumulator>)> = HashMap::new();
+
+    let fresh = || -> Vec<Accumulator> { group.aggs.iter().map(Accumulator::new).collect() };
+
+    if group.keys.is_empty() {
+        index.insert(Vec::new(), (0, fresh()));
+    }
+
+    while let Some(batch) = pull(child, m)? {
+        for row in &batch {
+            let mut key = Vec::with_capacity(group.keys.len());
+            for k in &group.keys {
+                key.push(k.eval(row, offsets)?);
+            }
+            let next = index.len();
+            let accs = match index.entry(key) {
+                Entry::Occupied(e) => &mut e.into_mut().1,
+                Entry::Vacant(e) => &mut e.insert((next, fresh())).1,
+            };
+            for (acc, call) in accs.iter_mut().zip(&group.aggs) {
+                let v = match &call.arg {
+                    None => Value::Null, // COUNT(*) ignores the value
+                    Some(e) => e.eval(row, offsets)?,
+                };
+                acc.update(v)?;
+            }
+        }
+    }
+
+    m.peak_mem = index
+        .iter()
+        .map(|(key, (_, accs))| {
+            key.iter().map(approx_value_bytes).sum::<u64>()
+                + (accs.len() * std::mem::size_of::<Accumulator>()) as u64
+        })
+        .sum();
+
+    let mut groups: Vec<(Vec<Value>, usize, Vec<Accumulator>)> = index
+        .into_iter()
+        .map(|(k, (ord, accs))| (k, ord, accs))
+        .collect();
+    groups.sort_by_key(|(_, ord, _)| *ord);
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, _, accs) in groups {
+        let mut row = key;
+        for acc in accs {
+            row.push(acc.finalize()?);
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
 
 /// Accumulator for one aggregate call within one group.
 #[derive(Debug, Clone)]
@@ -420,53 +963,6 @@ impl Accumulator {
             AggFunc::Min | AggFunc::Max => self.minmax.unwrap_or(Value::Null),
         })
     }
-}
-
-/// Hash aggregation: returns rows of `[group keys…, aggregate results…]`.
-/// With no GROUP BY keys, exactly one row is produced even for empty input
-/// (`COUNT(*)` of an empty table is 0).
-fn hash_aggregate(rows: Vec<Row>, offsets: &Offsets, group: &GroupSpec) -> Result<Vec<Row>> {
-    // Keys live only in the map (no duplicate clone); `order` remembers
-    // first-seen order so output is deterministic.
-    let mut index: HashMap<Vec<Value>, (usize, Vec<Accumulator>)> = HashMap::new();
-
-    let fresh = || -> Vec<Accumulator> { group.aggs.iter().map(Accumulator::new).collect() };
-
-    if group.keys.is_empty() {
-        index.insert(Vec::new(), (0, fresh()));
-    }
-
-    for row in &rows {
-        let mut key = Vec::with_capacity(group.keys.len());
-        for k in &group.keys {
-            key.push(k.eval(row, offsets)?);
-        }
-        let next = index.len();
-        let accs = match index.entry(key) {
-            Entry::Occupied(e) => &mut e.into_mut().1,
-            Entry::Vacant(e) => &mut e.insert((next, fresh())).1,
-        };
-        for (acc, call) in accs.iter_mut().zip(&group.aggs) {
-            let v = match &call.arg {
-                None => Value::Null, // COUNT(*) ignores the value
-                Some(e) => e.eval(row, offsets)?,
-            };
-            acc.update(v)?;
-        }
-    }
-
-    let mut groups: Vec<(Vec<Value>, usize, Vec<Accumulator>)> =
-        index.into_iter().map(|(k, (ord, accs))| (k, ord, accs)).collect();
-    groups.sort_by_key(|(_, ord, _)| *ord);
-    let mut out = Vec::with_capacity(groups.len());
-    for (key, _, accs) in groups {
-        let mut row = key;
-        for acc in accs {
-            row.push(acc.finalize()?);
-        }
-        out.push(row);
-    }
-    Ok(out)
 }
 
 #[cfg(test)]

@@ -139,9 +139,7 @@ impl BoundExpr {
         match self {
             BoundExpr::Column(c) => f(*c),
             BoundExpr::Literal(_) => {}
-            BoundExpr::Not(e) | BoundExpr::Neg(e) | BoundExpr::IsNull { expr: e, .. } => {
-                e.visit(f)
-            }
+            BoundExpr::Not(e) | BoundExpr::Neg(e) | BoundExpr::IsNull { expr: e, .. } => e.visit(f),
             BoundExpr::Binary { left, right, .. } => {
                 left.visit(f);
                 right.visit(f);
@@ -156,12 +154,18 @@ impl BoundExpr {
                     e.visit(f);
                 }
             }
-            BoundExpr::Between { expr, low, high, .. } => {
+            BoundExpr::Between {
+                expr, low, high, ..
+            } => {
                 expr.visit(f);
                 low.visit(f);
                 high.visit(f);
             }
-            BoundExpr::Case { operand, branches, else_expr } => {
+            BoundExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 if let Some(o) = operand {
                     o.visit(f);
                 }
@@ -192,9 +196,10 @@ impl BoundExpr {
             }),
             BoundExpr::Neg(e) => Ok(match e.eval(row, offsets)? {
                 Value::Null => Value::Null,
-                Value::Int(i) => Value::Int(i.checked_neg().ok_or_else(|| {
-                    EngineError::exec("integer overflow in negation")
-                })?),
+                Value::Int(i) => Value::Int(
+                    i.checked_neg()
+                        .ok_or_else(|| EngineError::exec("integer overflow in negation"))?,
+                ),
                 Value::Float(x) => Value::Float(-x),
                 other => {
                     return Err(EngineError::exec(format!(
@@ -205,7 +210,11 @@ impl BoundExpr {
             BoundExpr::Binary { left, op, right } => {
                 eval_binary(left.eval(row, offsets)?, *op, right, row, offsets)
             }
-            BoundExpr::Like { expr, pattern, negated } => {
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let v = expr.eval(row, offsets)?;
                 let p = pattern.eval(row, offsets)?;
                 match (v, p) {
@@ -219,7 +228,11 @@ impl BoundExpr {
                     ))),
                 }
             }
-            BoundExpr::InList { expr, list, negated } => {
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = expr.eval(row, offsets)?;
                 if v.is_null() {
                     return Ok(Value::Null);
@@ -238,7 +251,12 @@ impl BoundExpr {
                     Ok(Value::Bool(*negated))
                 }
             }
-            BoundExpr::Between { expr, low, high, negated } => {
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let v = expr.eval(row, offsets)?;
                 let lo = low.eval(row, offsets)?;
                 let hi = high.eval(row, offsets)?;
@@ -253,7 +271,11 @@ impl BoundExpr {
                 let v = expr.eval(row, offsets)?;
                 Ok(Value::Bool(v.is_null() != *negated))
             }
-            BoundExpr::Case { operand, branches, else_expr } => {
+            BoundExpr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 let operand = operand.as_ref().map(|o| o.eval(row, offsets)).transpose()?;
                 for (when, then) in branches {
                     let fire = match &operand {
@@ -347,9 +369,9 @@ fn eval_binary(
         return Ok(Value::Null);
     }
     if op.is_comparison() {
-        let ord = left.sql_cmp(&right).ok_or_else(|| {
-            EngineError::exec(format!("cannot compare {left} with {right}"))
-        })?;
+        let ord = left
+            .sql_cmp(&right)
+            .ok_or_else(|| EngineError::exec(format!("cannot compare {left} with {right}")))?;
         let b = match op {
             BinaryOp::Eq => ord == Ordering::Equal,
             BinaryOp::NotEq => ord != Ordering::Equal,
@@ -472,7 +494,11 @@ mod tests {
     }
 
     fn bin(l: BoundExpr, op: BinaryOp, r: BoundExpr) -> BoundExpr {
-        BoundExpr::Binary { left: Box::new(l), op, right: Box::new(r) }
+        BoundExpr::Binary {
+            left: Box::new(l),
+            op,
+            right: Box::new(r),
+        }
     }
 
     #[test]
@@ -520,20 +546,35 @@ mod tests {
         let o = Offsets(vec![]);
         // FALSE AND NULL = FALSE
         assert_eq!(
-            bin(f.clone(), BinaryOp::And, null.clone()).eval(&row, &o).unwrap(),
+            bin(f.clone(), BinaryOp::And, null.clone())
+                .eval(&row, &o)
+                .unwrap(),
             Value::Bool(false)
         );
         // TRUE AND NULL = NULL
-        assert_eq!(bin(t.clone(), BinaryOp::And, null.clone()).eval(&row, &o).unwrap(), Value::Null);
+        assert_eq!(
+            bin(t.clone(), BinaryOp::And, null.clone())
+                .eval(&row, &o)
+                .unwrap(),
+            Value::Null
+        );
         // TRUE OR NULL = TRUE
         assert_eq!(
-            bin(t.clone(), BinaryOp::Or, null.clone()).eval(&row, &o).unwrap(),
+            bin(t.clone(), BinaryOp::Or, null.clone())
+                .eval(&row, &o)
+                .unwrap(),
             Value::Bool(true)
         );
         // FALSE OR NULL = NULL
-        assert_eq!(bin(f, BinaryOp::Or, null.clone()).eval(&row, &o).unwrap(), Value::Null);
+        assert_eq!(
+            bin(f, BinaryOp::Or, null.clone()).eval(&row, &o).unwrap(),
+            Value::Null
+        );
         // NOT NULL = NULL
-        assert_eq!(BoundExpr::Not(Box::new(null)).eval(&row, &o).unwrap(), Value::Null);
+        assert_eq!(
+            BoundExpr::Not(Box::new(null)).eval(&row, &o).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]
@@ -588,9 +629,15 @@ mod tests {
     #[test]
     fn is_null_checks() {
         let row = vec![Value::Null, Value::Int(1)];
-        let e = BoundExpr::IsNull { expr: Box::new(col(0)), negated: false };
+        let e = BoundExpr::IsNull {
+            expr: Box::new(col(0)),
+            negated: false,
+        };
         assert_eq!(e.eval(&row, &off1(2)).unwrap(), Value::Bool(true));
-        let e = BoundExpr::IsNull { expr: Box::new(col(1)), negated: true };
+        let e = BoundExpr::IsNull {
+            expr: Box::new(col(1)),
+            negated: true,
+        };
         assert_eq!(e.eval(&row, &off1(2)).unwrap(), Value::Bool(true));
     }
 
@@ -604,8 +651,8 @@ mod tests {
         assert!(!like_match("", "_"));
         assert!(like_match("anything", "%%"));
         assert!(like_match("a%b", "a%b")); // literal text still matches itself
-        // regression: a literal '%' in the text must not be eaten by the
-        // equality branch when the pattern is at a wildcard
+                                           // regression: a literal '%' in the text must not be eaten by the
+                                           // equality branch when the pattern is at a wildcard
         assert!(like_match("%A", "%"));
         assert!(like_match("100%", "100%"));
         assert!(like_match("%", "%"));

@@ -6,20 +6,28 @@
 //!
 //! Pipeline: SQL text → [`conquer_sql`] AST → [`binder`] (name resolution,
 //! aggregate analysis) → [`planner`] (predicate pushdown, greedy equi-join
-//! ordering) → [`exec`] (hash joins, nested-loop joins, hash aggregation,
-//! sort, limit) → [`QueryResult`].
+//! ordering) → [`exec`] (a pull-based, batched operator pipeline: hash
+//! joins, nested-loop joins, hash aggregation, sort, limit) →
+//! [`QueryResult`]. Every operator is instrumented; `EXPLAIN ANALYZE` (or
+//! [`QueryResult::stats`]) exposes the per-operator [`stats::ExecStats`]
+//! tree.
 //!
-//! The [`Database`] facade owns a [`conquer_storage::Catalog`] and executes
-//! `CREATE TABLE`, `INSERT` and `SELECT` statements end-to-end:
+//! The [`Database`] facade owns a [`conquer_storage::Catalog`]; statements
+//! are prepared once ([`Database::prepare`]) and executed many times
+//! ([`Statement::query`] / [`Statement::run`]):
 //!
 //! ```
 //! use conquer_engine::Database;
 //!
 //! let mut db = Database::new();
-//! db.execute("CREATE TABLE t (a INTEGER, b TEXT)").unwrap();
-//! db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
-//! let res = db.query("SELECT b FROM t WHERE a = 2").unwrap();
-//! assert_eq!(res.rows, vec![vec!["y".into()]]);
+//! db.execute_script(
+//!     "CREATE TABLE t (a INTEGER, b TEXT);
+//!      INSERT INTO t VALUES (1, 'x'), (2, 'y')",
+//! )
+//! .unwrap();
+//! let stmt = db.prepare("SELECT b FROM t WHERE a = 2").unwrap();
+//! let res = stmt.query(&db).unwrap();
+//! assert_eq!(res.iter_rows().next(), Some(["y".into()].as_slice()));
 //! ```
 
 #![warn(missing_docs)]
@@ -31,11 +39,15 @@ pub mod exec;
 pub mod expr;
 pub mod planner;
 pub mod result;
+pub mod statement;
+pub mod stats;
 
 pub use database::Database;
 pub use error::EngineError;
 pub use expr::{BoundExpr, ColumnId};
 pub use result::QueryResult;
+pub use statement::Statement;
+pub use stats::{ExecStats, OpStats};
 
 /// Convenience result alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;

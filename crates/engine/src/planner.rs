@@ -79,12 +79,25 @@ impl JoinNode {
                     if filter.is_some() { " (filtered)" } else { "" },
                 ));
             }
-            JoinNode::Join { left, right, equi, filter } => {
-                let kind = if equi.is_empty() { "NestedLoopJoin" } else { "HashJoin" };
+            JoinNode::Join {
+                left,
+                right,
+                equi,
+                filter,
+            } => {
+                let kind = if equi.is_empty() {
+                    "NestedLoopJoin"
+                } else {
+                    "HashJoin"
+                };
                 out.push_str(&format!(
                     "{pad}{kind} on {} key(s){}\n",
                     equi.len(),
-                    if filter.is_some() { " (residual filter)" } else { "" },
+                    if filter.is_some() {
+                        " (residual filter)"
+                    } else {
+                        ""
+                    },
                 ));
                 left.describe(relations, indent + 1, out);
                 right.describe(relations, indent + 1, out);
@@ -137,7 +150,15 @@ impl Plan {
 /// Build a plan for a bound query. `catalog` supplies base-table sizes for
 /// the greedy join-order heuristic.
 pub fn plan_select(catalog: &Catalog, bound: BoundSelect) -> Result<Plan> {
-    let BoundSelect { relations, filter, group, output, distinct, order_by, limit } = bound;
+    let BoundSelect {
+        relations,
+        filter,
+        group,
+        output,
+        distinct,
+        order_by,
+        limit,
+    } = bound;
     let n = relations.len();
 
     // Classify WHERE conjuncts.
@@ -167,8 +188,10 @@ pub fn plan_select(catalog: &Catalog, bound: BoundSelect) -> Result<Plan> {
     }
 
     // Greedy join ordering.
-    let sizes: Vec<usize> =
-        relations.iter().map(|r| catalog.table(&r.table).map(|t| t.len()).unwrap_or(0)).collect();
+    let sizes: Vec<usize> = relations
+        .iter()
+        .map(|r| catalog.table(&r.table).map(|t| t.len()).unwrap_or(0))
+        .collect();
 
     let make_scan = |rel: usize, scan_filters: &mut Vec<Vec<BoundExpr>>| JoinNode::Scan {
         rel,
@@ -204,7 +227,9 @@ pub fn plan_select(catalog: &Catalog, bound: BoundSelect) -> Result<Plan> {
         }
         // Fall back to a cross join with the next unjoined relation.
         let next = best.unwrap_or_else(|| {
-            (0..n).find(|r| !joined.contains(r)).expect("joined.len() < n")
+            (0..n)
+                .find(|r| !joined.contains(r))
+                .expect("joined.len() < n")
         });
 
         // Collect every equi edge between the joined set and `next`.
@@ -264,7 +289,15 @@ pub fn plan_select(catalog: &Catalog, bound: BoundSelect) -> Result<Plan> {
 
     debug_assert!(residuals.is_empty(), "all residuals must be placed");
 
-    Ok(Plan { relations, join: node, group, output, distinct, order_by, limit })
+    Ok(Plan {
+        relations,
+        join: node,
+        group,
+        output,
+        distinct,
+        order_by,
+        limit,
+    })
 }
 
 struct EquiEdge {
@@ -274,13 +307,21 @@ struct EquiEdge {
 
 /// Recognize `f(A) = g(B)` with `A ≠ B` as a hash-joinable edge.
 fn as_equi_edge(e: &BoundExpr) -> Option<EquiEdge> {
-    let BoundExpr::Binary { left, op: BinaryOp::Eq, right } = e else {
+    let BoundExpr::Binary {
+        left,
+        op: BinaryOp::Eq,
+        right,
+    } = e
+    else {
         return None;
     };
     let lr = left.relations();
     let rr = right.relations();
     if lr.len() == 1 && rr.len() == 1 && lr[0] != rr[0] {
-        Some(EquiEdge { rels: (lr[0], rr[0]), exprs: ((**left).clone(), (**right).clone()) })
+        Some(EquiEdge {
+            rels: (lr[0], rr[0]),
+            exprs: ((**left).clone(), (**right).clone()),
+        })
     } else {
         None
     }
@@ -288,7 +329,11 @@ fn as_equi_edge(e: &BoundExpr) -> Option<EquiEdge> {
 
 fn into_conjuncts(e: BoundExpr) -> Vec<BoundExpr> {
     match e {
-        BoundExpr::Binary { left, op: BinaryOp::And, right } => {
+        BoundExpr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
             let mut out = into_conjuncts(*left);
             out.extend(into_conjuncts(*right));
             out
@@ -303,7 +348,11 @@ fn conjunction(mut preds: Vec<BoundExpr>) -> Option<BoundExpr> {
     }
     let mut acc = preds.remove(0);
     for p in preds {
-        acc = BoundExpr::Binary { left: Box::new(acc), op: BinaryOp::And, right: Box::new(p) };
+        acc = BoundExpr::Binary {
+            left: Box::new(acc),
+            op: BinaryOp::And,
+            right: Box::new(p),
+        };
     }
     Some(acc)
 }
@@ -341,7 +390,10 @@ mod tests {
     fn single_table_pushdown() {
         let p = plan("select k from big where v = 1 and k < 5");
         match &p.join {
-            JoinNode::Scan { rel: 0, filter: Some(_) } => {}
+            JoinNode::Scan {
+                rel: 0,
+                filter: Some(_),
+            } => {}
             other => panic!("expected filtered scan, got {other:?}"),
         }
     }
@@ -350,7 +402,9 @@ mod tests {
     fn equi_join_becomes_hash_join() {
         let p = plan("select big.k from big, small where big.k = small.k");
         match &p.join {
-            JoinNode::Join { equi, filter: None, .. } => assert_eq!(equi.len(), 1),
+            JoinNode::Join {
+                equi, filter: None, ..
+            } => assert_eq!(equi.len(), 1),
             other => panic!("expected hash join, got {other:?}"),
         }
         assert_eq!(p.join.join_count(), 1);
@@ -360,7 +414,11 @@ mod tests {
     fn non_equi_join_is_residual() {
         let p = plan("select big.k from big, small where big.k < small.k");
         match &p.join {
-            JoinNode::Join { equi, filter: Some(_), .. } => assert!(equi.is_empty()),
+            JoinNode::Join {
+                equi,
+                filter: Some(_),
+                ..
+            } => assert!(equi.is_empty()),
             other => panic!("expected cross join with residual, got {other:?}"),
         }
     }
@@ -391,7 +449,12 @@ mod tests {
         fn count_constraints(n: &JoinNode) -> usize {
             match n {
                 JoinNode::Scan { .. } => 0,
-                JoinNode::Join { left, right, equi, filter } => {
+                JoinNode::Join {
+                    left,
+                    right,
+                    equi,
+                    filter,
+                } => {
                     equi.len()
                         + filter.as_ref().map_or(0, |f| {
                             // residual filters here are conjunctions of

@@ -4,19 +4,73 @@ use std::fmt;
 
 use conquer_storage::{Row, Value};
 
-/// The materialized result of a query: column names plus rows.
-#[derive(Debug, Clone, PartialEq)]
+use crate::stats::ExecStats;
+
+/// The materialized result of a query: column names plus rows, and —
+/// when produced by the executor — the per-operator runtime statistics
+/// collected while computing it (see [`QueryResult::stats`]).
+///
+/// Equality compares columns and rows only; statistics carry wall times
+/// and never participate in `==`.
+#[derive(Debug, Clone)]
 pub struct QueryResult {
     /// Output column names, in order.
     pub columns: Vec<String>,
     /// Result rows.
     pub rows: Vec<Row>,
+    /// Executor statistics, if this result came from the executor.
+    stats: Option<Box<ExecStats>>,
+}
+
+impl PartialEq for QueryResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.columns == other.columns && self.rows == other.rows
+    }
 }
 
 impl QueryResult {
+    /// A result with the given columns and rows (no statistics).
+    pub fn new(columns: Vec<String>, rows: Vec<Row>) -> Self {
+        QueryResult {
+            columns,
+            rows,
+            stats: None,
+        }
+    }
+
     /// An empty result with the given columns.
     pub fn empty(columns: Vec<String>) -> Self {
-        QueryResult { columns, rows: Vec::new() }
+        QueryResult {
+            columns,
+            rows: Vec::new(),
+            stats: None,
+        }
+    }
+
+    /// A result carrying executor statistics.
+    pub fn with_stats(columns: Vec<String>, rows: Vec<Row>, stats: ExecStats) -> Self {
+        QueryResult {
+            columns,
+            rows,
+            stats: Some(Box::new(stats)),
+        }
+    }
+
+    /// Per-operator runtime statistics for the execution that produced
+    /// this result, when available.
+    pub fn stats(&self) -> Option<&ExecStats> {
+        self.stats.as_deref()
+    }
+
+    /// Move the statistics out of this result (used by facades that
+    /// re-shape results but want to keep forwarding the stats).
+    pub fn take_stats(&mut self) -> Option<ExecStats> {
+        self.stats.take().map(|b| *b)
+    }
+
+    /// Iterate over rows as value slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().map(|r| r.as_slice())
     }
 
     /// Number of rows.
@@ -32,7 +86,9 @@ impl QueryResult {
     /// Index of a column by (case-insensitive) name.
     pub fn column_index(&self, name: &str) -> Option<usize> {
         let name = name.to_ascii_lowercase();
-        self.columns.iter().position(|c| c.to_ascii_lowercase() == name)
+        self.columns
+            .iter()
+            .position(|c| c.to_ascii_lowercase() == name)
     }
 
     /// The value at `(row, column-name)`.
@@ -109,13 +165,13 @@ mod tests {
     use super::*;
 
     fn result() -> QueryResult {
-        QueryResult {
-            columns: vec!["id".into(), "probability".into()],
-            rows: vec![
+        QueryResult::new(
+            vec!["id".into(), "probability".into()],
+            vec![
                 vec!["c2".into(), Value::Float(0.2)],
                 vec!["c1".into(), Value::Int(1)],
             ],
-        }
+        )
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Prepared statements: parse → bind → plan once, execute many times.
+//!
+//! [`Database::prepare`] front-loads all per-query analysis (parsing, name
+//! resolution, join ordering) into a reusable [`Statement`]. Running the
+//! statement afterwards only pays for execution, which is what the paper's
+//! experiments time. The same object also carries non-`SELECT` commands so
+//! callers can funnel arbitrary SQL through one entry point:
+//!
+//! ```
+//! use conquer_engine::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute_script(
+//!     "CREATE TABLE t (a INTEGER, b TEXT);
+//!      INSERT INTO t VALUES (1, 'x'), (2, 'y')",
+//! )
+//! .unwrap();
+//!
+//! let stmt = db.prepare("SELECT b FROM t WHERE a = 2").unwrap();
+//! let res = stmt.query(&db).unwrap();
+//! assert_eq!(res.rows, vec![vec!["y".into()]]);
+//! ```
+
+use conquer_sql::{parse_statement, SelectStatement, Statement as SqlStatement};
+
+use crate::database::{Database, ExecOutcome};
+use crate::error::EngineError;
+use crate::exec::execute_plan;
+use crate::planner::Plan;
+use crate::result::QueryResult;
+use crate::Result;
+
+/// A statement prepared against a [`Database`].
+///
+/// For `SELECT`s the physical [`Plan`] is built at prepare time and reused
+/// by every [`Statement::query`] call. Join order is therefore chosen from
+/// the table statistics visible at prepare time; a statement stays valid
+/// across row inserts/deletes, but schema changes (or dropping a referenced
+/// table) make it *stale* and further queries fail with a descriptive error
+/// — re-`prepare` after DDL.
+#[derive(Debug, Clone)]
+pub struct Statement {
+    sql: String,
+    kind: Kind,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    /// A planned `SELECT`.
+    Select { plan: Plan },
+    /// `EXPLAIN [ANALYZE] <select>` — planned (and for ANALYZE, executed)
+    /// at query time so the report reflects the current catalog.
+    Explain {
+        analyze: bool,
+        select: SelectStatement,
+    },
+    /// Any other statement (DDL/DML), executed via [`Statement::run`].
+    Command(Box<SqlStatement>),
+}
+
+impl Database {
+    /// Parse, bind and plan `sql`, producing a reusable [`Statement`].
+    ///
+    /// All statement kinds are accepted; only `SELECT` (and `EXPLAIN`)
+    /// statements can later be run with [`Statement::query`] — DDL/DML
+    /// need [`Statement::run`] (which takes `&mut Database`).
+    pub fn prepare(&self, sql: &str) -> Result<Statement> {
+        let kind = match parse_statement(sql)? {
+            SqlStatement::Select(sel) => Kind::Select {
+                plan: self.plan(&sel)?,
+            },
+            SqlStatement::Explain { analyze, query } => Kind::Explain {
+                analyze,
+                select: query,
+            },
+            other => Kind::Command(Box::new(other)),
+        };
+        Ok(Statement {
+            sql: sql.to_string(),
+            kind,
+        })
+    }
+
+    /// Prepare an already-parsed `SELECT` (used by callers that build ASTs
+    /// programmatically, e.g. the query rewriter).
+    pub fn prepare_select(&self, stmt: &SelectStatement) -> Result<Statement> {
+        Ok(Statement {
+            sql: stmt.to_string(),
+            kind: Kind::Select {
+                plan: self.plan(stmt)?,
+            },
+        })
+    }
+}
+
+impl Statement {
+    /// The SQL text this statement was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// True when [`Statement::query`] can run this statement (a `SELECT`
+    /// or `EXPLAIN`), i.e. it produces rows and needs no `&mut` access.
+    pub fn is_query(&self) -> bool {
+        !matches!(self.kind, Kind::Command(_))
+    }
+
+    /// Execute a prepared `SELECT` (or `EXPLAIN`) and return its rows.
+    ///
+    /// Fails if the statement is a DDL/DML command (use [`Statement::run`])
+    /// or if a referenced table was dropped or altered since `prepare`.
+    pub fn query(&self, db: &Database) -> Result<QueryResult> {
+        match &self.kind {
+            Kind::Select { plan } => {
+                self.check_fresh(db, plan)?;
+                execute_plan(db.catalog(), plan)
+            }
+            Kind::Explain { analyze, select } => db.explain_select(select, *analyze),
+            Kind::Command(stmt) => Err(EngineError::bind(format!(
+                "statement is not a query (use Statement::run): {stmt}"
+            ))),
+        }
+    }
+
+    /// Execute any prepared statement, mutating the database if needed.
+    pub fn run(&self, db: &mut Database) -> Result<ExecOutcome> {
+        match &self.kind {
+            Kind::Command(stmt) => db.exec_parsed(stmt),
+            _ => Ok(ExecOutcome::Rows(self.query(db)?)),
+        }
+    }
+
+    /// Verify every relation the cached plan references still exists with
+    /// the schema it was planned against.
+    fn check_fresh(&self, db: &Database, plan: &Plan) -> Result<()> {
+        for rel in &plan.relations {
+            let stale = |why: &str| {
+                EngineError::exec(format!(
+                    "prepared statement is stale: {why}; re-prepare it (statement: {})",
+                    self.sql
+                ))
+            };
+            match db.catalog().table(&rel.table) {
+                Err(_) => return Err(stale(&format!("table {:?} no longer exists", rel.table))),
+                Ok(table) if table.schema() != &rel.schema => {
+                    return Err(stale(&format!("schema of table {:?} changed", rel.table)));
+                }
+                Ok(_) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conquer_storage::Value;
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (a INTEGER, b TEXT);
+             INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'y')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn prepare_once_query_many() {
+        let mut db = sample();
+        let stmt = db.prepare("SELECT COUNT(*) FROM t WHERE b = 'y'").unwrap();
+        assert!(stmt.is_query());
+        assert_eq!(stmt.query(&db).unwrap().rows, vec![vec![Value::Int(2)]]);
+        // Data changes are picked up by later executions of the same plan.
+        db.prepare("INSERT INTO t VALUES (4, 'y')")
+            .unwrap()
+            .run(&mut db)
+            .unwrap();
+        assert_eq!(stmt.query(&db).unwrap().rows, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn commands_need_run_not_query() {
+        let mut db = sample();
+        let stmt = db.prepare("DELETE FROM t WHERE a = 1").unwrap();
+        assert!(!stmt.is_query());
+        let err = stmt.query(&db).unwrap_err();
+        assert!(err.to_string().contains("not a query"), "{err}");
+        assert_eq!(stmt.run(&mut db).unwrap(), ExecOutcome::Deleted(1));
+    }
+
+    #[test]
+    fn run_also_handles_selects() {
+        let mut db = sample();
+        let stmt = db.prepare("SELECT a FROM t ORDER BY a LIMIT 1").unwrap();
+        match stmt.run(&mut db).unwrap() {
+            ExecOutcome::Rows(r) => assert_eq!(r.rows, vec![vec![Value::Int(1)]]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_table_makes_statement_stale() {
+        let mut db = sample();
+        let stmt = db.prepare("SELECT a FROM t").unwrap();
+        db.prepare("DROP TABLE t").unwrap().run(&mut db).unwrap();
+        let err = stmt.query(&db).unwrap_err();
+        assert!(err.to_string().contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn schema_change_makes_statement_stale() {
+        let mut db = sample();
+        let stmt = db.prepare("SELECT a FROM t").unwrap();
+        db.execute_script("DROP TABLE t; CREATE TABLE t (a INTEGER, b TEXT, c DOUBLE)")
+            .unwrap();
+        let err = stmt.query(&db).unwrap_err();
+        assert!(err.to_string().contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn prepared_explain_analyze_reports_stats() {
+        let db = sample();
+        let stmt = db
+            .prepare("EXPLAIN ANALYZE SELECT b, COUNT(*) FROM t GROUP BY b")
+            .unwrap();
+        let r = stmt.query(&db).unwrap();
+        assert_eq!(r.columns, vec!["QUERY PLAN"]);
+        let text = r
+            .rows
+            .iter()
+            .map(|row| row[0].to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("HashAggregate"), "{text}");
+        assert!(text.contains("rows="), "{text}");
+        assert!(text.contains("Execution time"), "{text}");
+    }
+
+    #[test]
+    fn prepare_select_from_ast() {
+        let db = sample();
+        let ast = match parse_statement("SELECT a FROM t WHERE a > 1").unwrap() {
+            SqlStatement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let stmt = db.prepare_select(&ast).unwrap();
+        assert_eq!(stmt.query(&db).unwrap().len(), 2);
+        assert!(stmt.sql().contains("SELECT"), "{}", stmt.sql());
+    }
+}

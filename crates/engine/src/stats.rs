@@ -1,0 +1,179 @@
+//! Per-operator runtime statistics collected by the batched executor.
+//!
+//! Every physical operator records how many rows and batches flowed
+//! through it, its *inclusive* wall time (the time spent in its `next`
+//! calls, children included — Postgres `EXPLAIN ANALYZE` convention) and
+//! the peak size of any state it materialized (hash tables, sort buffers).
+//! The tree mirrors the physical plan; [`ExecStats::render`] produces the
+//! text shown by `EXPLAIN ANALYZE`.
+
+use std::fmt;
+use std::time::Duration;
+
+use conquer_storage::{Row, Value};
+
+/// Statistics for one operator node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpStats {
+    /// Operator name, e.g. `HashJoin` or `Scan customer [c]`.
+    pub name: String,
+    /// Rows pulled from children (for `Scan`: rows read from the table,
+    /// before the pushed-down filter).
+    pub rows_in: u64,
+    /// Rows emitted to the parent.
+    pub rows_out: u64,
+    /// Batches emitted to the parent.
+    pub batches: u64,
+    /// Inclusive wall time spent inside this operator's `next` calls.
+    pub time: Duration,
+    /// Peak bytes of materialized state (0 for streaming operators).
+    pub peak_mem: u64,
+    /// Child operators, build/outer side first.
+    pub children: Vec<OpStats>,
+}
+
+impl OpStats {
+    /// Wall time net of children (never negative).
+    pub fn self_time(&self) -> Duration {
+        let children: Duration = self.children.iter().map(|c| c.time).sum();
+        self.time.saturating_sub(children)
+    }
+
+    /// Total materialized bytes in this subtree.
+    pub fn total_mem(&self) -> u64 {
+        self.peak_mem + self.children.iter().map(OpStats::total_mem).sum::<u64>()
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.name);
+        out.push_str(&format!(
+            " (rows={} batches={} time={}",
+            self.rows_out,
+            self.batches,
+            fmt_duration(self.time)
+        ));
+        if self.rows_in != self.rows_out || !self.children.is_empty() {
+            out.push_str(&format!(" rows_in={}", self.rows_in));
+        }
+        if self.peak_mem > 0 {
+            out.push_str(&format!(" mem={}", fmt_bytes(self.peak_mem)));
+        }
+        out.push_str(")\n");
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+
+    /// Walk the tree pre-order, visiting every node.
+    pub fn visit(&self, f: &mut impl FnMut(usize, &OpStats)) {
+        fn go(node: &OpStats, depth: usize, f: &mut impl FnMut(usize, &OpStats)) {
+            f(depth, node);
+            for c in &node.children {
+                go(c, depth + 1, f);
+            }
+        }
+        go(self, 0, f);
+    }
+}
+
+/// The full statistics tree for one executed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecStats {
+    /// Root operator (the last stage before rows reach the result).
+    pub root: OpStats,
+    /// End-to-end execution wall time.
+    pub total_time: Duration,
+}
+
+impl ExecStats {
+    /// Render the tree as indented text, one operator per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render_into(&mut out, 0);
+        out.push_str(&format!(
+            "Execution time: {} (peak operator memory: {})\n",
+            fmt_duration(self.total_time),
+            fmt_bytes(self.root.total_mem())
+        ));
+        out
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Approximate heap footprint of one value.
+pub fn approx_value_bytes(v: &Value) -> u64 {
+    let heap = match v {
+        Value::Text(s) => s.capacity() as u64,
+        _ => 0,
+    };
+    std::mem::size_of::<Value>() as u64 + heap
+}
+
+/// Approximate heap footprint of one row.
+pub fn approx_row_bytes(row: &Row) -> u64 {
+    std::mem::size_of::<Row>() as u64 + row.iter().map(approx_value_bytes).sum::<u64>()
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b < 1024 {
+        format!("{b}B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{:.1}MiB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shows_tree_shape_and_units() {
+        let stats = ExecStats {
+            root: OpStats {
+                name: "Project".into(),
+                rows_in: 10,
+                rows_out: 10,
+                batches: 1,
+                time: Duration::from_micros(1500),
+                peak_mem: 0,
+                children: vec![OpStats {
+                    name: "Scan t [t]".into(),
+                    rows_in: 20,
+                    rows_out: 10,
+                    batches: 1,
+                    time: Duration::from_micros(900),
+                    peak_mem: 2048,
+                    children: vec![],
+                }],
+            },
+            total_time: Duration::from_micros(1600),
+        };
+        let text = stats.render();
+        assert!(text.starts_with("Project (rows=10"), "{text}");
+        assert!(text.contains("\n  Scan t [t] (rows=10"), "{text}");
+        assert!(text.contains("1.50ms"), "{text}");
+        assert!(text.contains("2.0KiB"), "{text}");
+        assert_eq!(stats.root.self_time(), Duration::from_micros(600));
+    }
+}

@@ -1,8 +1,12 @@
 //! The index nested-loop join fast path must be transparent: identical
 //! results with and without a pre-built identifier index.
 
-use conquer_engine::Database;
+use conquer_engine::{Database, QueryResult};
 use conquer_storage::Value;
+
+fn q(db: &Database, sql: &str) -> QueryResult {
+    db.prepare(sql).unwrap().query(db).unwrap()
+}
 
 fn setup() -> Database {
     let mut db = Database::new();
@@ -14,13 +18,15 @@ fn setup() -> Database {
     {
         let t = db.catalog_mut().table_mut("parent").unwrap();
         for i in 0..50i64 {
-            t.insert(vec![(i % 20).into(), format!("p{}", i % 20).into()]).unwrap();
+            t.insert(vec![(i % 20).into(), format!("p{}", i % 20).into()])
+                .unwrap();
         }
     }
     {
         let t = db.catalog_mut().table_mut("child").unwrap();
         for i in 0..200i64 {
-            t.insert(vec![i.into(), (i % 25).into(), (i % 7).into()]).unwrap();
+            t.insert(vec![i.into(), (i % 25).into(), (i % 7).into()])
+                .unwrap();
         }
     }
     db
@@ -31,10 +37,13 @@ const QUERY: &str = "SELECT c.cid, p.name FROM child c, parent p WHERE c.fk = p.
 #[test]
 fn index_join_matches_hash_join() {
     let mut db = setup();
-    let without = db.query(QUERY).unwrap();
+    let without = q(&db, QUERY);
     db.create_index("parent", "id").unwrap();
-    let with = db.query(QUERY).unwrap();
-    assert!(without.same_rows(&with), "index path must not change results");
+    let with = q(&db, QUERY);
+    assert!(
+        without.same_rows(&with),
+        "index path must not change results"
+    );
     assert!(!with.is_empty());
 }
 
@@ -42,14 +51,26 @@ fn index_join_matches_hash_join() {
 fn index_survives_only_until_mutation() {
     let mut db = setup();
     db.create_index("parent", "id").unwrap();
-    assert!(db.catalog().table("parent").unwrap().existing_index("id").is_some());
-    db.execute("INSERT INTO parent VALUES (99, 'new')").unwrap();
+    assert!(db
+        .catalog()
+        .table("parent")
+        .unwrap()
+        .existing_index("id")
+        .is_some());
+    db.prepare("INSERT INTO parent VALUES (99, 'new')")
+        .unwrap()
+        .run(&mut db)
+        .unwrap();
     assert!(
-        db.catalog().table("parent").unwrap().existing_index("id").is_none(),
+        db.catalog()
+            .table("parent")
+            .unwrap()
+            .existing_index("id")
+            .is_none(),
         "mutation must invalidate the index"
     );
     // Query still answers correctly through the generic hash join.
-    let r = db.query(QUERY).unwrap();
+    let r = q(&db, QUERY);
     assert!(!r.is_empty());
 }
 
@@ -66,7 +87,7 @@ fn fast_path_not_taken_on_type_mismatch() {
     db.create_index("b", "k").unwrap();
     // Int/Float cross-type equality must still match numerically (the
     // generic hash join normalizes); the index path must decline.
-    let r = db.query("SELECT a.k FROM a, b WHERE a.k = b.k").unwrap();
+    let r = q(&db, "SELECT a.k FROM a, b WHERE a.k = b.k");
     assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
 }
 
@@ -76,14 +97,14 @@ fn filtered_scan_declines_index_path() {
     db.create_index("parent", "id").unwrap();
     // The filter on parent pushes into the scan, so the index (over the
     // whole table) must not be probed.
-    let r = db
-        .query("SELECT c.cid FROM child c, parent p WHERE c.fk = p.id AND p.id < 5")
-        .unwrap();
-    let r2 = {
-        let db2 = setup();
-        db2.query("SELECT c.cid FROM child c, parent p WHERE c.fk = p.id AND p.id < 5")
-            .unwrap()
-    };
+    let r = q(
+        &db,
+        "SELECT c.cid FROM child c, parent p WHERE c.fk = p.id AND p.id < 5",
+    );
+    let r2 = q(
+        &setup(),
+        "SELECT c.cid FROM child c, parent p WHERE c.fk = p.id AND p.id < 5",
+    );
     assert!(r.same_rows(&r2));
 }
 
@@ -98,6 +119,6 @@ fn null_probe_keys_never_match() {
     )
     .unwrap();
     db.create_index("b", "k").unwrap();
-    let r = db.query("SELECT b.v FROM a, b WHERE a.k = b.k").unwrap();
+    let r = q(&db, "SELECT b.v FROM a, b WHERE a.k = b.k");
     assert_eq!(r.rows, vec![vec!["x".into()]], "NULL = NULL must not join");
 }

@@ -33,14 +33,18 @@ impl Clustering {
             }
         }
         if !seen.iter().all(|s| *s) {
-            return Err(StorageError::Csv("clustering does not cover every row".into()));
+            return Err(StorageError::Csv(
+                "clustering does not cover every row".into(),
+            ));
         }
         Ok(Clustering { clusters })
     }
 
     /// One singleton cluster per row (a completely clean relation).
     pub fn singletons(n: usize) -> Self {
-        Clustering { clusters: (0..n).map(|i| vec![i]).collect() }
+        Clustering {
+            clusters: (0..n).map(|i| vec![i]).collect(),
+        }
     }
 
     /// Group rows by the values of an identifier column — the form in which
@@ -54,7 +58,9 @@ impl Clustering {
         }
         let mut pairs: Vec<(Value, Vec<usize>)> = by_id.into_iter().collect();
         pairs.sort_by(|(a, _), (b, _)| a.cmp(b));
-        Ok(Clustering { clusters: pairs.into_iter().map(|(_, rows)| rows).collect() })
+        Ok(Clustering {
+            clusters: pairs.into_iter().map(|(_, rows)| rows).collect(),
+        })
     }
 
     /// The clusters.
@@ -104,8 +110,10 @@ pub fn assign_probabilities<M: DistanceMeasure>(
         }
         // Steps 1–2: representative and distance sum.
         let rep = measure.representative(matrix, cluster);
-        let distances: Vec<f64> =
-            cluster.iter().map(|&t| measure.distance(matrix, t, &rep, n_total)).collect();
+        let distances: Vec<f64> = cluster
+            .iter()
+            .map(|&t| measure.distance(matrix, t, &rep, n_total))
+            .collect();
         let s: f64 = distances.iter().sum();
         let k = cluster.len() as f64;
         // Step 3: similarities → probabilities.
@@ -186,7 +194,10 @@ pub fn assign_probabilities_parallel<M: DistanceMeasure + Sync>(
                 local
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let mut probs = vec![0.0; matrix.n()];
     for part in results {
@@ -234,7 +245,8 @@ mod tests {
             ("John S.", "building", "USA", "Arrow"),
             ("John", "banking", "Canada", "Baldwin"),
         ] {
-            t.insert(vec![a.into(), b.into(), c.into(), d.into()]).unwrap();
+            t.insert(vec![a.into(), b.into(), c.into(), d.into()])
+                .unwrap();
         }
         let clustering = Clustering::new(vec![vec![0, 1, 2], vec![3, 4], vec![5]], 6).unwrap();
         (t, clustering)
@@ -311,17 +323,25 @@ mod tests {
     #[test]
     fn clustering_validation() {
         assert!(Clustering::new(vec![vec![0], vec![1]], 2).is_ok());
-        assert!(Clustering::new(vec![vec![0]], 2).is_err(), "must cover all rows");
-        assert!(Clustering::new(vec![vec![0], vec![0, 1]], 2).is_err(), "no overlap");
+        assert!(
+            Clustering::new(vec![vec![0]], 2).is_err(),
+            "must cover all rows"
+        );
+        assert!(
+            Clustering::new(vec![vec![0], vec![0, 1]], 2).is_err(),
+            "no overlap"
+        );
         assert!(Clustering::new(vec![vec![2]], 2).is_err(), "in range");
-        assert!(Clustering::new(vec![vec![], vec![0, 1]], 2).is_err(), "no empty clusters");
+        assert!(
+            Clustering::new(vec![vec![], vec![0, 1]], 2).is_err(),
+            "no empty clusters"
+        );
         assert_eq!(Clustering::singletons(3).len(), 3);
     }
 
     #[test]
     fn clustering_from_id_column() {
-        let schema =
-            Schema::from_pairs([("id", DataType::Text), ("x", DataType::Int)]).unwrap();
+        let schema = Schema::from_pairs([("id", DataType::Text), ("x", DataType::Int)]).unwrap();
         let mut t = Table::new("t", schema);
         for (id, x) in [("b", 1), ("a", 2), ("b", 3)] {
             t.insert(vec![id.into(), x.into()]).unwrap();
@@ -344,8 +364,7 @@ mod tests {
             t.insert(vec![id.into(), name.into(), 0.0.into()]).unwrap();
         }
         let probs =
-            assign_probabilities_into(&mut t, &["name"], "id", "prob", &InfoLossDistance)
-                .unwrap();
+            assign_probabilities_into(&mut t, &["name"], "id", "prob", &InfoLossDistance).unwrap();
         assert_eq!(probs.len(), 3);
         assert_eq!(t.value(2, 2), &Value::Float(1.0));
         let sum = t.value(0, 2).as_f64().unwrap() + t.value(1, 2).as_f64().unwrap();

@@ -39,7 +39,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
     }
 
     /// Representative of `x`'s set.
@@ -57,7 +60,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big;
         self.size[big] += self.size[small];
         true
@@ -93,7 +100,11 @@ pub struct SortedNeighborhoodConfig {
 
 impl Default for SortedNeighborhoodConfig {
     fn default() -> Self {
-        SortedNeighborhoodConfig { attributes: Vec::new(), window: 8, threshold: 0.75 }
+        SortedNeighborhoodConfig {
+            attributes: Vec::new(),
+            window: 8,
+            threshold: 0.75,
+        }
     }
 }
 
@@ -103,18 +114,19 @@ pub fn record_similarity(a: &[String], b: &[String]) -> f64 {
     if a.is_empty() {
         return 1.0;
     }
-    let d: f64 =
-        a.iter().zip(b).map(|(x, y)| normalized_levenshtein(x, y)).sum::<f64>() / a.len() as f64;
+    let d: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| normalized_levenshtein(x, y))
+        .sum::<f64>()
+        / a.len() as f64;
     1.0 - d
 }
 
 /// The merge/purge sorted-neighborhood matcher. `O(n log n + n·w)`
 /// comparisons; transitive matches are closed through the union-find (the
 /// method's standard "transitive closure" phase).
-pub fn sorted_neighborhood(
-    table: &Table,
-    config: &SortedNeighborhoodConfig,
-) -> Result<Clustering> {
+pub fn sorted_neighborhood(table: &Table, config: &SortedNeighborhoodConfig) -> Result<Clustering> {
     let cols: Vec<usize> = config
         .attributes
         .iter()
@@ -125,7 +137,11 @@ pub fn sorted_neighborhood(
     let rendered: Vec<Vec<String>> = table
         .rows()
         .iter()
-        .map(|row| cols.iter().map(|&c| row[c].to_string().to_ascii_lowercase()).collect())
+        .map(|row| {
+            cols.iter()
+                .map(|&c| row[c].to_string().to_ascii_lowercase())
+                .collect()
+        })
         .collect();
     // Sort key: the concatenated fields.
     let mut order: Vec<usize> = (0..n).collect();
@@ -247,8 +263,16 @@ pub fn pairwise_quality(predicted: &Clustering, truth: &Clustering) -> (f64, f64
             }
         }
     }
-    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fnn == 0 { 1.0 } else { tp as f64 / (tp + fnn) as f64 };
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fnn == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fnn) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
@@ -263,19 +287,16 @@ mod tests {
     use conquer_storage::{DataType, Schema};
 
     fn people() -> Table {
-        let schema = Schema::from_pairs([
-            ("name", DataType::Text),
-            ("city", DataType::Text),
-        ])
-        .unwrap();
+        let schema =
+            Schema::from_pairs([("name", DataType::Text), ("city", DataType::Text)]).unwrap();
         let mut t = Table::new("people", schema);
         for (n, c) in [
             ("john smith", "toronto"),
-            ("jhon smith", "toronto"),   // typo duplicate of 0
-            ("john smyth", "torotno"),   // typo duplicate of 0
+            ("jhon smith", "toronto"), // typo duplicate of 0
+            ("john smyth", "torotno"), // typo duplicate of 0
             ("mary jones", "ottawa"),
-            ("mary jones", "otawa"),     // typo duplicate of 3
-            ("ada king", "montreal"),    // singleton
+            ("mary jones", "otawa"),  // typo duplicate of 3
+            ("ada king", "montreal"), // singleton
         ] {
             t.insert(vec![n.into(), c.into()]).unwrap();
         }
@@ -330,18 +351,15 @@ mod tests {
     fn multi_pass_catches_first_character_typos() {
         // A typo in the *first* character of the name pushes the record far
         // away in name-sorted order; a city-keyed second pass still finds it.
-        let schema = Schema::from_pairs([
-            ("name", DataType::Text),
-            ("city", DataType::Text),
-        ])
-        .unwrap();
+        let schema =
+            Schema::from_pairs([("name", DataType::Text), ("city", DataType::Text)]).unwrap();
         let mut t = Table::new("people", schema);
         for (n, c) in [
             ("aaron judge", "brookline"),
-            ("zaron judge", "brookline"),  // first-char typo of 0
-            ("aaron judge", "cambridge"),  // different entity, same name
+            ("zaron judge", "brookline"), // first-char typo of 0
+            ("aaron judge", "cambridge"), // different entity, same name
             ("mia wong", "somerville"),
-            ("mia wong", "somerville"),    // exact duplicate of 3
+            ("mia wong", "somerville"), // exact duplicate of 3
         ] {
             t.insert(vec![n.into(), c.into()]).unwrap();
         }
@@ -355,10 +373,13 @@ mod tests {
             },
         )
         .unwrap();
-        let find = |c: &Clustering, i: usize| {
-            c.clusters().iter().position(|cl| cl.contains(&i)).unwrap()
-        };
-        assert_ne!(find(&single, 0), find(&single, 1), "window too small in name order");
+        let find =
+            |c: &Clustering, i: usize| c.clusters().iter().position(|cl| cl.contains(&i)).unwrap();
+        assert_ne!(
+            find(&single, 0),
+            find(&single, 1),
+            "window too small in name order"
+        );
 
         // …but the city-keyed second pass catches it.
         let multi = multi_pass_sorted_neighborhood(
@@ -373,7 +394,11 @@ mod tests {
         .unwrap();
         assert_eq!(find(&multi, 0), find(&multi, 1));
         assert_eq!(find(&multi, 3), find(&multi, 4));
-        assert_ne!(find(&multi, 0), find(&multi, 2), "different city stays separate");
+        assert_ne!(
+            find(&multi, 0),
+            find(&multi, 2),
+            "different city stays separate"
+        );
     }
 
     #[test]

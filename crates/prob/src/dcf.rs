@@ -23,7 +23,10 @@ pub struct Dcf {
 impl Dcf {
     /// The empty summary (weight 0, empty distribution).
     pub fn empty() -> Self {
-        Dcf { weight: 0.0, dist: BTreeMap::new() }
+        Dcf {
+            weight: 0.0,
+            dist: BTreeMap::new(),
+        }
     }
 
     /// Build from a weight and `(value id, probability)` pairs

@@ -133,7 +133,10 @@ impl DistanceMeasure for EditDistance {
         let dcf = matrix.cluster_dcf(rows);
         dcf.modal_values(|v| matrix.value_name(v).0, matrix.m())
             .into_iter()
-            .map(|v| v.map(|v| matrix.value_name(v).1.to_string()).unwrap_or_default())
+            .map(|v| {
+                v.map(|v| matrix.value_name(v).1.to_string())
+                    .unwrap_or_default()
+            })
             .collect()
     }
 

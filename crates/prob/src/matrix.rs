@@ -147,15 +147,17 @@ mod tests {
             ("John", "banking", "Canada", "Baldwin"),
         ];
         for (a, b, c, d) in rows {
-            t.insert(vec![a.into(), b.into(), c.into(), d.into()]).unwrap();
+            t.insert(vec![a.into(), b.into(), c.into(), d.into()])
+                .unwrap();
         }
         t
     }
 
     #[test]
     fn example8_normalized_rows() {
-        let m = CategoricalMatrix::from_table(&figure6(), &["name", "mktsegmt", "nation", "address"])
-            .unwrap();
+        let m =
+            CategoricalMatrix::from_table(&figure6(), &["name", "mktsegmt", "nation", "address"])
+                .unwrap();
         assert_eq!(m.n(), 6);
         assert_eq!(m.m(), 4);
         let dcf = m.tuple_dcf(0);
@@ -168,8 +170,7 @@ mod tests {
 
     #[test]
     fn same_text_in_different_attributes_is_distinct() {
-        let schema =
-            Schema::from_pairs([("a", DataType::Text), ("b", DataType::Text)]).unwrap();
+        let schema = Schema::from_pairs([("a", DataType::Text), ("b", DataType::Text)]).unwrap();
         let mut t = Table::new("t", schema);
         t.insert(vec!["x".into(), "x".into()]).unwrap();
         let m = CategoricalMatrix::from_table(&t, &["a", "b"]).unwrap();
@@ -192,8 +193,9 @@ mod tests {
 
     #[test]
     fn table2_representatives() {
-        let m = CategoricalMatrix::from_table(&figure6(), &["name", "mktsegmt", "nation", "address"])
-            .unwrap();
+        let m =
+            CategoricalMatrix::from_table(&figure6(), &["name", "mktsegmt", "nation", "address"])
+                .unwrap();
         // rep1 = merge of t1,t2,t3 (cluster c1 of Figure 6).
         let rep1 = m.cluster_dcf(&[0, 1, 2]);
         assert!((rep1.weight() - 3.0).abs() < 1e-12);

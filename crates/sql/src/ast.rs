@@ -24,6 +24,14 @@ pub enum Statement {
     Update(Update),
     /// `SELECT …`
     Select(SelectStatement),
+    /// `EXPLAIN [ANALYZE] SELECT …` — show the physical plan, optionally
+    /// executing it to collect per-operator runtime statistics.
+    Explain {
+        /// Execute the query and report measured operator statistics.
+        analyze: bool,
+        /// The query being explained.
+        query: SelectStatement,
+    },
 }
 
 impl fmt::Display for Statement {
@@ -35,6 +43,13 @@ impl fmt::Display for Statement {
             Statement::Delete(s) => s.fmt(f),
             Statement::Update(s) => s.fmt(f),
             Statement::Select(s) => s.fmt(f),
+            Statement::Explain { analyze, query } => {
+                write!(
+                    f,
+                    "EXPLAIN {}{query}",
+                    if *analyze { "ANALYZE " } else { "" }
+                )
+            }
         }
     }
 }
@@ -249,7 +264,10 @@ pub enum SelectItem {
 impl SelectItem {
     /// Build an unaliased column item `qualifier.name`.
     pub fn column(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
-        SelectItem::Expr { expr: Expr::qualified(qualifier, name), alias: None }
+        SelectItem::Expr {
+            expr: Expr::qualified(qualifier, name),
+            alias: None,
+        }
     }
 }
 
@@ -259,7 +277,10 @@ impl fmt::Display for SelectItem {
             SelectItem::Wildcard => f.write_str("*"),
             SelectItem::QualifiedWildcard(q) => write!(f, "{q}.*"),
             SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
-            SelectItem::Expr { expr, alias: Some(a) } => write!(f, "{expr} AS {a}"),
+            SelectItem::Expr {
+                expr,
+                alias: Some(a),
+            } => write!(f, "{expr} AS {a}"),
         }
     }
 }
@@ -276,7 +297,10 @@ pub struct TableRef {
 impl TableRef {
     /// A reference without an alias.
     pub fn new(table: impl Into<String>) -> Self {
-        TableRef { table: table.into().to_ascii_lowercase(), alias: None }
+        TableRef {
+            table: table.into().to_ascii_lowercase(),
+            alias: None,
+        }
     }
 
     /// A reference with an alias.
@@ -556,7 +580,10 @@ pub enum Expr {
 impl Expr {
     /// An unqualified column reference.
     pub fn column(name: impl Into<String>) -> Self {
-        Expr::Column(ColumnRef { qualifier: None, name: name.into().to_ascii_lowercase() })
+        Expr::Column(ColumnRef {
+            qualifier: None,
+            name: name.into().to_ascii_lowercase(),
+        })
     }
 
     /// A qualified column reference `qualifier.name`.
@@ -584,7 +611,11 @@ impl Expr {
 
     /// Combine two expressions with a binary operator.
     pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Self {
-        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
     }
 
     /// `self AND other`.
@@ -612,12 +643,16 @@ impl Expr {
     fn precedence(&self) -> u8 {
         match self {
             Expr::Binary { op, .. } => op.precedence(),
-            Expr::Unary { op: UnaryOp::Not, .. } => 3,
+            Expr::Unary {
+                op: UnaryOp::Not, ..
+            } => 3,
             Expr::Like { .. }
             | Expr::InList { .. }
             | Expr::Between { .. }
             | Expr::IsNull { .. } => 4,
-            Expr::Unary { op: UnaryOp::Neg, .. } => 7,
+            Expr::Unary {
+                op: UnaryOp::Neg, ..
+            } => 7,
             Expr::Column(_) | Expr::Literal(_) | Expr::Aggregate { .. } | Expr::Case { .. } => 8,
         }
     }
@@ -637,10 +672,14 @@ impl Expr {
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
-            Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 operand.as_deref().is_some_and(Expr::contains_aggregate)
                     || branches
                         .iter()
@@ -670,7 +709,9 @@ impl Expr {
                     e.visit_columns(f);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.visit_columns(f);
                 low.visit_columns(f);
                 high.visit_columns(f);
@@ -680,7 +721,11 @@ impl Expr {
                     a.visit_columns(f);
                 }
             }
-            Expr::Case { operand, branches, else_expr } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
                 if let Some(o) = operand {
                     o.visit_columns(f);
                 }
@@ -700,7 +745,11 @@ impl Expr {
         let mut out = Vec::new();
         fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
             match e {
-                Expr::Binary { left, op: BinaryOp::And, right } => {
+                Expr::Binary {
+                    left,
+                    op: BinaryOp::And,
+                    right,
+                } => {
                     walk(left, out);
                     walk(right, out);
                 }
@@ -735,11 +784,17 @@ fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     match e {
         Expr::Column(c) => write!(f, "{c}"),
         Expr::Literal(l) => write!(f, "{l}"),
-        Expr::Unary { op: UnaryOp::Not, expr } => {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => {
             write!(f, "NOT ")?;
             fmt_prec(expr, f, 4)
         }
-        Expr::Unary { op: UnaryOp::Neg, expr } => {
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => {
             write!(f, "-")?;
             fmt_prec(expr, f, 8)
         }
@@ -748,17 +803,29 @@ fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             // Left-associative: the right child needs strictly higher
             // precedence to avoid parens; comparisons are non-associative so
             // both sides need higher precedence.
-            let (lp, rp) = if op.is_comparison() { (p + 1, p + 1) } else { (p, p + 1) };
+            let (lp, rp) = if op.is_comparison() {
+                (p + 1, p + 1)
+            } else {
+                (p, p + 1)
+            };
             fmt_prec(left, f, lp)?;
             write!(f, " {} ", op.symbol())?;
             fmt_prec(right, f, rp)
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             fmt_prec(expr, f, 5)?;
             write!(f, "{} LIKE ", if *negated { " NOT" } else { "" })?;
             fmt_prec(pattern, f, 5)
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             fmt_prec(expr, f, 5)?;
             write!(f, "{} IN (", if *negated { " NOT" } else { "" })?;
             for (i, e) in list.iter().enumerate() {
@@ -769,7 +836,12 @@ fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             }
             write!(f, ")")
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             fmt_prec(expr, f, 5)?;
             write!(f, "{} BETWEEN ", if *negated { " NOT" } else { "" })?;
             fmt_prec(low, f, 5)?;
@@ -780,7 +852,11 @@ fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             fmt_prec(expr, f, 5)?;
             write!(f, " IS{} NULL", if *negated { " NOT" } else { "" })
         }
-        Expr::Aggregate { func, arg, distinct } => {
+        Expr::Aggregate {
+            func,
+            arg,
+            distinct,
+        } => {
             write!(f, "{}(", func.name())?;
             if *distinct {
                 write!(f, "DISTINCT ")?;
@@ -791,7 +867,11 @@ fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             }
             write!(f, ")")
         }
-        Expr::Case { operand, branches, else_expr } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
             write!(f, "CASE")?;
             if let Some(o) = operand {
                 write!(f, " ")?;
@@ -907,7 +987,10 @@ mod tests {
             from: vec![TableRef::aliased("order", "o")],
             selection: Some(Expr::qualified("o", "quantity").eq(Expr::int(3))),
             group_by: vec![Expr::qualified("o", "id")],
-            order_by: vec![OrderByItem { expr: Expr::column("probability"), desc: true }],
+            order_by: vec![OrderByItem {
+                expr: Expr::column("probability"),
+                desc: true,
+            }],
             limit: Some(10),
             ..Default::default()
         };
@@ -925,7 +1008,11 @@ mod tests {
 
     #[test]
     fn count_star() {
-        let e = Expr::Aggregate { func: AggFunc::Count, arg: None, distinct: false };
+        let e = Expr::Aggregate {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        };
         assert_eq!(e.to_string(), "COUNT(*)");
     }
 

@@ -10,12 +10,59 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Keyword {
-    Select, Distinct, From, Where, Group, Having, Order, By, Asc, Desc, Limit,
-    And, Or, Not, As, In, Like, Between, Is, Null, True, False,
-    Sum, Count, Avg, Min, Max,
-    Create, Table, Insert, Into, Values, Date,
-    Delete, Update, Set, Case, When, Then, Else, End, Drop,
-    Integer, Int, Double, Float, Text, Varchar, Char, Boolean, Decimal,
+    Select,
+    Distinct,
+    From,
+    Where,
+    Group,
+    Having,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+    And,
+    Or,
+    Not,
+    As,
+    In,
+    Like,
+    Between,
+    Is,
+    Null,
+    True,
+    False,
+    Sum,
+    Count,
+    Avg,
+    Min,
+    Max,
+    Create,
+    Table,
+    Insert,
+    Into,
+    Values,
+    Date,
+    Delete,
+    Update,
+    Set,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Drop,
+    Explain,
+    Analyze,
+    Integer,
+    Int,
+    Double,
+    Float,
+    Text,
+    Varchar,
+    Char,
+    Boolean,
+    Decimal,
 }
 
 impl Keyword {
@@ -65,6 +112,8 @@ impl Keyword {
             "THEN" => Then,
             "ELSE" => Else,
             "END" => End,
+            "EXPLAIN" => Explain,
+            "ANALYZE" | "ANALYSE" => Analyze,
             "INTEGER" => Integer,
             "INT" | "BIGINT" => Int,
             "DOUBLE" => Double,
@@ -194,7 +243,11 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Create a lexer over `src`.
     pub fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// Tokenize the whole input, appending a final [`TokenKind::Eof`].
@@ -204,7 +257,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia();
             let offset = self.pos;
             let Some(&c) = self.bytes.get(self.pos) else {
-                tokens.push(Token { kind: TokenKind::Eof, offset });
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    offset,
+                });
                 return Ok(tokens);
             };
             let kind = match c {
@@ -267,7 +323,11 @@ impl<'a> Lexer<'a> {
 
     fn skip_trivia(&mut self) {
         loop {
-            while self.bytes.get(self.pos).is_some_and(|c| c.is_ascii_whitespace()) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|c| c.is_ascii_whitespace())
+            {
                 self.pos += 1;
             }
             // `--` line comment
@@ -324,7 +384,10 @@ impl<'a> Lexer<'a> {
         // Fractional part — but not if the dot starts something else like
         // `1..2`; a digit must follow.
         if self.bytes.get(self.pos) == Some(&b'.')
-            && self.bytes.get(self.pos + 1).is_some_and(|c| c.is_ascii_digit())
+            && self
+                .bytes
+                .get(self.pos + 1)
+                .is_some_and(|c| c.is_ascii_digit())
         {
             is_float = true;
             self.pos += 1;
@@ -333,7 +396,11 @@ impl<'a> Lexer<'a> {
             }
         }
         // Exponent
-        if self.bytes.get(self.pos).is_some_and(|c| matches!(c, b'e' | b'E')) {
+        if self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|c| matches!(c, b'e' | b'E'))
+        {
             let mut p = self.pos + 1;
             if self.bytes.get(p).is_some_and(|c| matches!(c, b'+' | b'-')) {
                 p += 1;
@@ -350,11 +417,17 @@ impl<'a> Lexer<'a> {
         if is_float {
             text.parse::<f64>()
                 .map(TokenKind::Float)
-                .map_err(|e| LexError { message: format!("bad float literal: {e}"), offset })
+                .map_err(|e| LexError {
+                    message: format!("bad float literal: {e}"),
+                    offset,
+                })
         } else {
             text.parse::<i64>()
                 .map(TokenKind::Int)
-                .map_err(|e| LexError { message: format!("bad integer literal: {e}"), offset })
+                .map_err(|e| LexError {
+                    message: format!("bad integer literal: {e}"),
+                    offset,
+                })
         }
     }
 
@@ -380,7 +453,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -408,8 +486,8 @@ mod tests {
         assert_eq!(
             kinds("<= >= <> != = < > + - * / % . , ; ( )"),
             vec![
-                LtEq, GtEq, NotEq, NotEq, Eq, Lt, Gt, Plus, Minus, Star, Slash, Percent,
-                Dot, Comma, Semicolon, LParen, RParen, Eof
+                LtEq, GtEq, NotEq, NotEq, Eq, Lt, Gt, Plus, Minus, Star, Slash, Percent, Dot,
+                Comma, Semicolon, LParen, RParen, Eof
             ]
         );
     }
@@ -417,21 +495,28 @@ mod tests {
     #[test]
     fn numbers() {
         use TokenKind::*;
-        assert_eq!(kinds("42 3.5 0.06 1e3 2.5E-2"), vec![
-            Int(42),
-            Float(3.5),
-            Float(0.06),
-            Float(1000.0),
-            Float(0.025),
-            Eof
-        ]);
+        assert_eq!(
+            kinds("42 3.5 0.06 1e3 2.5E-2"),
+            vec![
+                Int(42),
+                Float(3.5),
+                Float(0.06),
+                Float(1000.0),
+                Float(0.025),
+                Eof
+            ]
+        );
     }
 
     #[test]
     fn strings_with_escapes() {
         assert_eq!(
             kinds("'BUILDING' 'it''s'"),
-            vec![TokenKind::Str("BUILDING".into()), TokenKind::Str("it's".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Str("BUILDING".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -444,7 +529,11 @@ mod tests {
     fn comments_skipped() {
         assert_eq!(
             kinds("select -- get everything\n1"),
-            vec![TokenKind::Keyword(Keyword::Select), TokenKind::Int(1), TokenKind::Eof]
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -452,7 +541,11 @@ mod tests {
     fn idents_lowercased_keywords_case_insensitive() {
         assert_eq!(
             kinds("SeLeCt MyCol"),
-            vec![TokenKind::Keyword(Keyword::Select), TokenKind::Ident("mycol".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Ident("mycol".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -30,8 +30,7 @@ pub mod parser;
 
 pub use ast::{
     AggFunc, BinaryOp, ColumnRef, CreateTable, Delete, Expr, Insert, InsertSource, Literal,
-    OrderByItem,
-    SelectItem, SelectStatement, Statement, TableRef, UnaryOp, Update,
+    OrderByItem, SelectItem, SelectStatement, Statement, TableRef, UnaryOp, Update,
 };
 pub use lexer::{Keyword, Lexer, Token, TokenKind};
 pub use parser::{parse_expr, parse_select, parse_statement, parse_statements, ParseError};

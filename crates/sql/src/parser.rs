@@ -26,7 +26,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, offset: e.offset }
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
     }
 }
 
@@ -78,7 +81,10 @@ struct Parser {
 
 impl Parser {
     fn new(sql: &str) -> Result<Self, ParseError> {
-        Ok(Parser { tokens: Lexer::new(sql).tokenize()?, pos: 0 })
+        Ok(Parser {
+            tokens: Lexer::new(sql).tokenize()?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &Token {
@@ -102,7 +108,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), offset: self.peek().offset })
+        Err(ParseError {
+            message: message.into(),
+            offset: self.peek().offset,
+        })
     }
 
     fn eat_kind(&mut self, kind: &TokenKind) -> bool {
@@ -141,7 +150,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, ParseError> {
         match &self.peek().kind {
             TokenKind::Ident(_) => {
-                let TokenKind::Ident(s) = self.advance().kind else { unreachable!() };
+                let TokenKind::Ident(s) = self.advance().kind else {
+                    unreachable!()
+                };
                 Ok(s)
             }
             // The paper's running example uses a relation literally named
@@ -172,9 +183,18 @@ impl Parser {
                 self.expect_kw(Keyword::Table)?;
                 Ok(Statement::DropTable(self.ident()?))
             }
+            TokenKind::Keyword(Keyword::Explain) => {
+                self.advance();
+                let analyze = self.eat_kw(Keyword::Analyze);
+                Ok(Statement::Explain {
+                    analyze,
+                    query: self.select()?,
+                })
+            }
             other => {
-                let msg =
-                    format!("expected SELECT, CREATE, INSERT, DELETE or UPDATE, found {other}");
+                let msg = format!(
+                    "expected SELECT, CREATE, INSERT, DELETE, UPDATE or EXPLAIN, found {other}"
+                );
                 self.err(msg)
             }
         }
@@ -265,7 +285,11 @@ impl Parser {
         };
         if self.peek().kind == TokenKind::Keyword(Keyword::Select) {
             let query = self.select()?;
-            return Ok(Insert { table, columns, source: InsertSource::Query(Box::new(query)) });
+            return Ok(Insert {
+                table,
+                columns,
+                source: InsertSource::Query(Box::new(query)),
+            });
         }
         self.expect_kw(Keyword::Values)?;
         let mut rows = Vec::new();
@@ -281,14 +305,22 @@ impl Parser {
                 break;
             }
         }
-        Ok(Insert { table, columns, source: InsertSource::Values(rows) })
+        Ok(Insert {
+            table,
+            columns,
+            source: InsertSource::Values(rows),
+        })
     }
 
     fn delete(&mut self) -> Result<Delete, ParseError> {
         self.expect_kw(Keyword::Delete)?;
         self.expect_kw(Keyword::From)?;
         let table = self.ident()?;
-        let selection = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Delete { table, selection })
     }
 
@@ -306,8 +338,16 @@ impl Parser {
                 break;
             }
         }
-        let selection = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
-        Ok(Update { table, assignments, selection })
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Update {
+            table,
+            assignments,
+            selection,
+        })
     }
 
     fn select(&mut self) -> Result<SelectStatement, ParseError> {
@@ -327,7 +367,11 @@ impl Parser {
             }
         }
 
-        let selection = if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
 
         let mut group_by = Vec::new();
         if self.eat_kw(Keyword::Group) {
@@ -338,7 +382,11 @@ impl Parser {
             }
         }
 
-        let having = if self.eat_kw(Keyword::Having) { Some(self.expr()?) } else { None };
+        let having = if self.eat_kw(Keyword::Having) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
 
         let mut order_by = Vec::new();
         if self.eat_kw(Keyword::Order) {
@@ -369,7 +417,16 @@ impl Parser {
             None
         };
 
-        Ok(SelectStatement { distinct, projection, from, selection, group_by, having, order_by, limit })
+        Ok(SelectStatement {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem, ParseError> {
@@ -381,8 +438,7 @@ impl Parser {
             if self.peek2() == &TokenKind::Dot {
                 // look two ahead for `*`
                 let q = q.clone();
-                let third =
-                    &self.tokens[(self.pos + 2).min(self.tokens.len() - 1)].kind;
+                let third = &self.tokens[(self.pos + 2).min(self.tokens.len() - 1)].kind;
                 if third == &TokenKind::Star {
                     self.advance();
                     self.advance();
@@ -392,8 +448,7 @@ impl Parser {
             }
         }
         let expr = self.expr()?;
-        let alias = if self.eat_kw(Keyword::As) || matches!(self.peek().kind, TokenKind::Ident(_))
-        {
+        let alias = if self.eat_kw(Keyword::As) || matches!(self.peek().kind, TokenKind::Ident(_)) {
             Some(self.ident()?)
         } else {
             None
@@ -403,8 +458,7 @@ impl Parser {
 
     fn table_ref(&mut self) -> Result<TableRef, ParseError> {
         let table = self.ident()?;
-        let alias = if self.eat_kw(Keyword::As) || matches!(self.peek().kind, TokenKind::Ident(_))
-        {
+        let alias = if self.eat_kw(Keyword::As) || matches!(self.peek().kind, TokenKind::Ident(_)) {
             Some(self.ident()?)
         } else {
             None
@@ -438,7 +492,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr, ParseError> {
         if self.eat_kw(Keyword::Not) {
             let inner = self.not_expr()?;
-            Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+            Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            })
         } else {
             self.comparison()
         }
@@ -475,7 +532,11 @@ impl Parser {
         };
         if self.eat_kw(Keyword::Like) {
             let pattern = self.additive()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
         if self.eat_kw(Keyword::In) {
             self.expect_kind(&TokenKind::LParen)?;
@@ -484,7 +545,11 @@ impl Parser {
                 list.push(self.expr()?);
             }
             self.expect_kind(&TokenKind::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_kw(Keyword::Between) {
             let low = self.additive()?;
@@ -503,7 +568,10 @@ impl Parser {
         if self.eat_kw(Keyword::Is) {
             let negated = self.eat_kw(Keyword::Not);
             self.expect_kw(Keyword::Null)?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         Ok(left)
     }
@@ -544,7 +612,10 @@ impl Parser {
             return Ok(match inner {
                 Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
                 Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
-                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
             });
         }
         if self.eat_kind(&TokenKind::Plus) {
@@ -583,7 +654,10 @@ impl Parser {
             TokenKind::Keyword(Keyword::Date) => {
                 self.advance();
                 match self.advance() {
-                    Token { kind: TokenKind::Str(s), offset } => {
+                    Token {
+                        kind: TokenKind::Str(s),
+                        offset,
+                    } => {
                         let d = s.parse().map_err(|e| ParseError {
                             message: format!("{e}"),
                             offset,
@@ -619,7 +693,11 @@ impl Parser {
                     None
                 };
                 self.expect_kw(Keyword::End)?;
-                Ok(Expr::Case { operand, branches, else_expr })
+                Ok(Expr::Case {
+                    operand,
+                    branches,
+                    else_expr,
+                })
             }
             TokenKind::Keyword(k)
                 if matches!(
@@ -647,16 +725,26 @@ impl Parser {
                     Some(Box::new(self.expr()?))
                 };
                 self.expect_kind(&TokenKind::RParen)?;
-                Ok(Expr::Aggregate { func, arg, distinct })
+                Ok(Expr::Aggregate {
+                    func,
+                    arg,
+                    distinct,
+                })
             }
             TokenKind::Ident(name) => {
                 let name = name.clone();
                 self.advance();
                 if self.eat_kind(&TokenKind::Dot) {
                     let col = self.ident()?;
-                    Ok(Expr::Column(ColumnRef { qualifier: Some(name), name: col }))
+                    Ok(Expr::Column(ColumnRef {
+                        qualifier: Some(name),
+                        name: col,
+                    }))
                 } else {
-                    Ok(Expr::Column(ColumnRef { qualifier: None, name }))
+                    Ok(Expr::Column(ColumnRef {
+                        qualifier: None,
+                        name,
+                    }))
                 }
             }
             // `order.id` — qualified reference to the soft keyword `order`.
@@ -664,7 +752,10 @@ impl Parser {
                 self.advance();
                 self.advance();
                 let col = self.ident()?;
-                Ok(Expr::Column(ColumnRef { qualifier: Some("order".into()), name: col }))
+                Ok(Expr::Column(ColumnRef {
+                    qualifier: Some("order".into()),
+                    name: col,
+                }))
             }
             TokenKind::LParen => {
                 self.advance();
@@ -688,7 +779,13 @@ mod tests {
     fn parse_paper_query_q1() {
         // Example 4 of the paper.
         let q = parse_select("select id from customer c where balance > 10000").unwrap();
-        assert_eq!(q.from, vec![TableRef { table: "customer".into(), alias: Some("c".into()) }]);
+        assert_eq!(
+            q.from,
+            vec![TableRef {
+                table: "customer".into(),
+                alias: Some("c".into())
+            }]
+        );
         assert_eq!(q.projection.len(), 1);
         assert!(q.selection.is_some());
     }
@@ -706,7 +803,13 @@ mod tests {
         assert_eq!(q.group_by.len(), 2);
         assert!(matches!(
             &q.projection[2],
-            SelectItem::Expr { expr: Expr::Aggregate { func: AggFunc::Sum, .. }, .. }
+            SelectItem::Expr {
+                expr: Expr::Aggregate {
+                    func: AggFunc::Sum,
+                    ..
+                },
+                ..
+            }
         ));
     }
 
@@ -759,9 +862,23 @@ mod tests {
         let e = parse_expr("a or b and not c = 1").unwrap();
         // ((a) OR ((b) AND (NOT (c = 1))))
         match e {
-            Expr::Binary { op: BinaryOp::Or, right, .. } => match *right {
-                Expr::Binary { op: BinaryOp::And, right, .. } => {
-                    assert!(matches!(*right, Expr::Unary { op: UnaryOp::Not, .. }))
+            Expr::Binary {
+                op: BinaryOp::Or,
+                right,
+                ..
+            } => match *right {
+                Expr::Binary {
+                    op: BinaryOp::And,
+                    right,
+                    ..
+                } => {
+                    assert!(matches!(
+                        *right,
+                        Expr::Unary {
+                            op: UnaryOp::Not,
+                            ..
+                        }
+                    ))
                 }
                 other => panic!("bad tree: {other:?}"),
             },
@@ -773,7 +890,13 @@ mod tests {
     fn negative_literals_folded() {
         assert_eq!(parse_expr("-5").unwrap(), Expr::int(-5));
         assert_eq!(parse_expr("-2.5").unwrap(), Expr::float(-2.5));
-        assert!(matches!(parse_expr("-x").unwrap(), Expr::Unary { op: UnaryOp::Neg, .. }));
+        assert!(matches!(
+            parse_expr("-x").unwrap(),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -782,7 +905,9 @@ mod tests {
             "create table t (a integer, b double, c varchar(25), d date, e boolean, f decimal(15,2))",
         )
         .unwrap();
-        let Statement::CreateTable(ct) = s else { panic!() };
+        let Statement::CreateTable(ct) = s else {
+            panic!()
+        };
         assert_eq!(
             ct.columns.iter().map(|(_, t)| *t).collect::<Vec<_>>(),
             vec![
@@ -798,12 +923,11 @@ mod tests {
 
     #[test]
     fn insert_multi_row() {
-        let s = parse_statement(
-            "insert into t (a, b) values (1, 'x'), (2, 'y''z')",
-        )
-        .unwrap();
+        let s = parse_statement("insert into t (a, b) values (1, 'x'), (2, 'y''z')").unwrap();
         let Statement::Insert(ins) = s else { panic!() };
-        let InsertSource::Values(rows) = &ins.source else { panic!() };
+        let InsertSource::Values(rows) = &ins.source else {
+            panic!()
+        };
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[1][1], Expr::str("y'z"));
     }
@@ -846,6 +970,8 @@ mod tests {
             "SELECT * FROM t WHERE a IS NOT NULL AND b NOT IN (1, 2) OR NOT c LIKE 'x%'",
             "SELECT a FROM t WHERE d >= DATE '1994-01-01' AND d < DATE '1995-01-01'",
             "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)",
+            "EXPLAIN SELECT a FROM t WHERE a > 1",
+            "EXPLAIN ANALYZE SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a LIMIT 5",
             "CREATE TABLE t (a INTEGER, b DOUBLE, c TEXT, d DATE, e BOOLEAN)",
         ] {
             let stmt = parse_statement(sql).unwrap();
@@ -859,9 +985,23 @@ mod tests {
     #[test]
     fn count_distinct_and_star() {
         let e = parse_expr("count(distinct x)").unwrap();
-        assert!(matches!(e, Expr::Aggregate { func: AggFunc::Count, distinct: true, .. }));
+        assert!(matches!(
+            e,
+            Expr::Aggregate {
+                func: AggFunc::Count,
+                distinct: true,
+                ..
+            }
+        ));
         let e = parse_expr("count(*)").unwrap();
-        assert!(matches!(e, Expr::Aggregate { func: AggFunc::Count, arg: None, .. }));
+        assert!(matches!(
+            e,
+            Expr::Aggregate {
+                func: AggFunc::Count,
+                arg: None,
+                ..
+            }
+        ));
         assert!(parse_expr("sum(*)").is_err());
     }
 }

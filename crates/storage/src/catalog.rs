@@ -60,7 +60,9 @@ impl Catalog {
     /// Mutable access to a table by name.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
         let key = name.to_ascii_lowercase();
-        self.tables.get_mut(&key).ok_or(StorageError::NoSuchTable(key))
+        self.tables
+            .get_mut(&key)
+            .ok_or(StorageError::NoSuchTable(key))
     }
 
     /// True when a table with this name exists.
@@ -71,7 +73,9 @@ impl Catalog {
     /// Remove a table, returning it.
     pub fn drop_table(&mut self, name: &str) -> Result<Table, StorageError> {
         let key = name.to_ascii_lowercase();
-        self.tables.remove(&key).ok_or(StorageError::NoSuchTable(key))
+        self.tables
+            .remove(&key)
+            .ok_or(StorageError::NoSuchTable(key))
     }
 
     /// Sorted table names.
@@ -112,7 +116,10 @@ mod tests {
         cat.create_table("T", schema.clone()).unwrap();
         assert!(cat.contains("t"));
         assert!(cat.table("T").is_ok());
-        assert!(matches!(cat.create_table("t", schema), Err(StorageError::TableExists(_))));
+        assert!(matches!(
+            cat.create_table("t", schema),
+            Err(StorageError::TableExists(_))
+        ));
         cat.drop_table("T").unwrap();
         assert!(!cat.contains("t"));
         assert!(matches!(cat.table("t"), Err(StorageError::NoSuchTable(_))));

@@ -49,7 +49,9 @@ fn split_line(line: &str) -> Result<Vec<String>, StorageError> {
         }
     }
     if in_quotes {
-        return Err(StorageError::Csv(format!("unterminated quote in line: {line:?}")));
+        return Err(StorageError::Csv(format!(
+            "unterminated quote in line: {line:?}"
+        )));
     }
     fields.push(cur);
     Ok(fields)
@@ -99,18 +101,17 @@ fn parse_field(field: &str, ty: DataType) -> Result<Value, StorageError> {
 
 /// Read a table from CSV. The first line must be a header whose fields match
 /// the given schema's column names (case-insensitive, same order).
-pub fn read_table<R: BufRead>(
-    name: &str,
-    schema: Schema,
-    input: R,
-) -> Result<Table, StorageError> {
+pub fn read_table<R: BufRead>(name: &str, schema: Schema, input: R) -> Result<Table, StorageError> {
     let mut lines = input.lines();
     let header = lines
         .next()
         .ok_or_else(|| StorageError::Csv("empty input (missing header)".into()))??;
     let header_fields = split_line(&header)?;
     let expected: Vec<&str> = schema.names().collect();
-    let got: Vec<String> = header_fields.iter().map(|f| f.to_ascii_lowercase()).collect();
+    let got: Vec<String> = header_fields
+        .iter()
+        .map(|f| f.to_ascii_lowercase())
+        .collect();
     if got != expected {
         return Err(StorageError::Csv(format!(
             "header mismatch: expected {expected:?}, got {got:?}"
@@ -157,9 +158,14 @@ mod tests {
     #[test]
     fn roundtrip() {
         let mut t = Table::new("c", schema());
-        t.insert(vec!["John, Jr.".into(), 120_000.0.into(), Value::Date("1999-01-02".parse().unwrap())])
+        t.insert(vec![
+            "John, Jr.".into(),
+            120_000.0.into(),
+            Value::Date("1999-01-02".parse().unwrap()),
+        ])
+        .unwrap();
+        t.insert(vec![Value::Null, Value::Null, Value::Null])
             .unwrap();
-        t.insert(vec![Value::Null, Value::Null, Value::Null]).unwrap();
         let mut buf = Vec::new();
         write_table(&t, &mut buf).unwrap();
         let text = String::from_utf8(buf.clone()).unwrap();

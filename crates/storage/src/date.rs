@@ -138,7 +138,11 @@ pub struct ParseDateError(pub String);
 
 impl fmt::Display for ParseDateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid date literal: {:?} (expected YYYY-MM-DD)", self.0)
+        write!(
+            f,
+            "invalid date literal: {:?} (expected YYYY-MM-DD)",
+            self.0
+        )
     }
 }
 

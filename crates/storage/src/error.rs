@@ -57,11 +57,20 @@ impl fmt::Display for StorageError {
             StorageError::DuplicateColumn(c) => {
                 write!(f, "duplicate column name {c:?} in schema")
             }
-            StorageError::ArityMismatch { table, expected, got } => write!(
+            StorageError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
                 f,
                 "row arity mismatch for table {table:?}: expected {expected} values, got {got}"
             ),
-            StorageError::TypeMismatch { table, column, expected, got } => write!(
+            StorageError::TypeMismatch {
+                table,
+                column,
+                expected,
+                got,
+            } => write!(
                 f,
                 "type mismatch for {table}.{column}: expected {expected}, got {got}"
             ),

@@ -39,7 +39,9 @@ fn parse_type(s: &str) -> Result<DataType, StorageError> {
         "text" => DataType::Text,
         "date" => DataType::Date,
         other => {
-            return Err(StorageError::Csv(format!("unknown type {other:?} in schema file")))
+            return Err(StorageError::Csv(format!(
+                "unknown type {other:?} in schema file"
+            )))
         }
     })
 }
@@ -111,10 +113,8 @@ mod tests {
     use crate::value::Value;
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "conquer_persist_{tag}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("conquer_persist_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -140,9 +140,17 @@ mod tests {
             true.into(),
         ])
         .unwrap();
-        t.insert(vec![Value::Null, Value::Null, 0.1.into(), Value::Null, Value::Null]).unwrap();
+        t.insert(vec![
+            Value::Null,
+            Value::Null,
+            0.1.into(),
+            Value::Null,
+            Value::Null,
+        ])
+        .unwrap();
         cat.add_table(t).unwrap();
-        cat.create_table("empty", Schema::from_pairs([("x", DataType::Int)]).unwrap()).unwrap();
+        cat.create_table("empty", Schema::from_pairs([("x", DataType::Int)]).unwrap())
+            .unwrap();
         cat
     }
 
@@ -153,7 +161,10 @@ mod tests {
         save_catalog(&cat, &dir).unwrap();
         let back = load_catalog(&dir).unwrap();
         assert_eq!(back.table_names(), vec!["customer", "empty"]);
-        let (a, b) = (cat.table("customer").unwrap(), back.table("customer").unwrap());
+        let (a, b) = (
+            cat.table("customer").unwrap(),
+            back.table("customer").unwrap(),
+        );
         assert_eq!(a.schema(), b.schema());
         // NULL text round-trips as empty → NULL; all other values exact.
         assert_eq!(a.rows()[0], b.rows()[0]);

@@ -16,7 +16,10 @@ impl Column {
     /// Create a column. Names are normalized to lower case, matching the
     /// case-insensitive identifier handling of the SQL layer.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Column { name: name.into().to_ascii_lowercase(), data_type }
+        Column {
+            name: name.into().to_ascii_lowercase(),
+            data_type,
+        }
     }
 
     /// The (lower-cased) column name.

@@ -69,10 +69,12 @@ impl Table {
 
     /// Position of a column by (case-insensitive) name.
     pub fn column_index(&self, name: &str) -> Result<usize, StorageError> {
-        self.schema.index_of(name).ok_or_else(|| StorageError::NoSuchColumn {
-            table: self.name.clone(),
-            column: name.to_string(),
-        })
+        self.schema
+            .index_of(name)
+            .ok_or_else(|| StorageError::NoSuchColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })
     }
 
     /// Validate and insert a row. `Int` values are silently widened to
@@ -157,7 +159,10 @@ impl Table {
                     table: self.name.clone(),
                     column: column.name().to_string(),
                     expected: column.data_type(),
-                    got: v.data_type().map(|t| t.name().to_string()).unwrap_or("NULL".into()),
+                    got: v
+                        .data_type()
+                        .map(|t| t.name().to_string())
+                        .unwrap_or("NULL".into()),
                 });
             }
         }
@@ -205,7 +210,9 @@ impl Table {
     {
         let mut changed = 0;
         for i in 0..self.rows.len() {
-            let Some(updates) = f(i, &self.rows[i]) else { continue };
+            let Some(updates) = f(i, &self.rows[i]) else {
+                continue;
+            };
             if updates.is_empty() {
                 continue;
             }
@@ -223,9 +230,17 @@ impl Table {
                 if !v.conforms_to(ty) {
                     return Err(StorageError::TypeMismatch {
                         table: self.name.clone(),
-                        column: self.schema.column_at(*col).expect("checked").name().to_string(),
+                        column: self
+                            .schema
+                            .column_at(*col)
+                            .expect("checked")
+                            .name()
+                            .to_string(),
                         expected: ty,
-                        got: v.data_type().map(|t| t.name().to_string()).unwrap_or("NULL".into()),
+                        got: v
+                            .data_type()
+                            .map(|t| t.name().to_string())
+                            .unwrap_or("NULL".into()),
                     });
                 }
             }
@@ -260,7 +275,13 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} {} [{} rows]", self.name, self.schema, self.rows.len())
+        writeln!(
+            f,
+            "{} {} [{} rows]",
+            self.name,
+            self.schema,
+            self.rows.len()
+        )
     }
 }
 
@@ -282,7 +303,14 @@ mod tests {
         assert_eq!(t.len(), 1);
 
         let err = t.insert(vec!["bob".into()]).unwrap_err();
-        assert!(matches!(err, StorageError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            StorageError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
 
         let err = t.insert(vec![Value::Int(3), Value::Int(4)]).unwrap_err();
         assert!(matches!(err, StorageError::TypeMismatch { .. }));
@@ -315,7 +343,10 @@ mod tests {
         t.index_on("name").unwrap();
         assert!(t.existing_index("name").is_some());
         t.insert(vec!["bob".into(), 40.into()]).unwrap();
-        assert!(t.existing_index("name").is_none(), "mutation must invalidate");
+        assert!(
+            t.existing_index("name").is_none(),
+            "mutation must invalidate"
+        );
         let idx = t.index_on("name").unwrap();
         assert_eq!(idx.lookup(&"bob".into()), &[1]);
     }
@@ -326,13 +357,17 @@ mod tests {
         t.insert(vec!["ann".into(), 31.into()]).unwrap();
         t.insert(vec!["bob".into(), 40.into()]).unwrap();
         let idx = t
-            .add_column(Column::new("prob", DataType::Float), vec![0.4.into(), 0.6.into()])
+            .add_column(
+                Column::new("prob", DataType::Float),
+                vec![0.4.into(), 0.6.into()],
+            )
             .unwrap();
         assert_eq!(idx, 2);
         assert_eq!(t.value(1, 2), &Value::Float(0.6));
         // wrong arity rejected
-        let err =
-            t.add_column(Column::new("x", DataType::Int), vec![Value::Int(1)]).unwrap_err();
+        let err = t
+            .add_column(Column::new("x", DataType::Int), vec![Value::Int(1)])
+            .unwrap_err();
         assert!(matches!(err, StorageError::ArityMismatch { .. }));
     }
 
@@ -340,7 +375,8 @@ mod tests {
     fn update_column_rewrites_values() {
         let mut t = people();
         t.insert(vec!["ann".into(), 31.into()]).unwrap();
-        t.update_column("age", |_, v| Value::Int(v.as_i64().unwrap() + 1)).unwrap();
+        t.update_column("age", |_, v| Value::Int(v.as_i64().unwrap() + 1))
+            .unwrap();
         assert_eq!(t.value(0, 1), &Value::Int(32));
     }
 

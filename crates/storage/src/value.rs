@@ -171,12 +171,8 @@ impl Value {
             (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
             // A date and a text literal in date format compare chronologically,
             // which lets queries write `o_orderdate < '1995-03-15'`.
-            (Value::Date(a), Value::Text(b)) => {
-                b.parse::<Date>().ok().map(|b| a.cmp(&b))
-            }
-            (Value::Text(a), Value::Date(b)) => {
-                a.parse::<Date>().ok().map(|a| a.cmp(b))
-            }
+            (Value::Date(a), Value::Text(b)) => b.parse::<Date>().ok().map(|b| a.cmp(&b)),
+            (Value::Text(a), Value::Date(b)) => a.parse::<Date>().ok().map(|a| a.cmp(b)),
             _ => None,
         }
     }
@@ -363,7 +359,10 @@ mod tests {
     #[test]
     fn sql_cmp_coerces_numerics() {
         assert_eq!(Value::Int(1).sql_eq(&Value::Float(1.0)), Some(true));
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(1.5)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(1.5)),
+            Some(Ordering::Greater)
+        );
         assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
         assert_eq!(Value::Text("a".into()).sql_eq(&Value::Int(1)), None);
     }
@@ -372,7 +371,10 @@ mod tests {
     fn date_text_comparison() {
         let d = Value::Date("1995-03-15".parse().unwrap());
         assert_eq!(d.sql_cmp(&Value::text("1995-03-16")), Some(Ordering::Less));
-        assert_eq!(Value::text("1995-03-16").sql_cmp(&d), Some(Ordering::Greater));
+        assert_eq!(
+            Value::text("1995-03-16").sql_cmp(&d),
+            Some(Ordering::Greater)
+        );
         assert_eq!(d.sql_cmp(&Value::text("not a date")), None);
     }
 
@@ -420,7 +422,10 @@ mod tests {
 
     #[test]
     fn coercion() {
-        assert_eq!(Value::Int(2).coerce_to(DataType::Float), Some(Value::Float(2.0)));
+        assert_eq!(
+            Value::Int(2).coerce_to(DataType::Float),
+            Some(Value::Float(2.0))
+        );
         assert_eq!(Value::Null.coerce_to(DataType::Int), Some(Value::Null));
         assert_eq!(Value::text("x").coerce_to(DataType::Int), None);
         assert!(Value::Int(1).conforms_to(DataType::Float));

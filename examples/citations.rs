@@ -10,7 +10,10 @@ use conquer_prob::{assign_probabilities, CategoricalMatrix, Clustering, InfoLoss
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (table, misclustered, odd) = schapire_cluster(1);
-    println!("cluster of {} citation records for one publication\n", table.len());
+    println!(
+        "cluster of {} citation records for one publication\n",
+        table.len()
+    );
 
     let matrix = CategoricalMatrix::from_table(&table, &CITATION_ATTRIBUTES)?;
     let clustering = Clustering::from_id_column(&table, "id")?;

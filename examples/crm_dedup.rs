@@ -64,9 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Certainty fragment = consistent answers (Arenas et al.).
-    let consistent = dirty.consistent_answers(
-        "SELECT id FROM customer c WHERE income > 50000",
-    )?;
+    let consistent = dirty.consistent_answers("SELECT id FROM customer c WHERE income > 50000")?;
     println!("\n-- customers certainly earning over $50K (probability 1):");
     for row in &consistent {
         println!("   {}", row[0]);

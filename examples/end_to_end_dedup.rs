@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tpch: TpchConfig { sf: 0.05, seed: 21 },
         if_factor: 3,
         prob_mode: ProbMode::Uniform,
-        perturb: PerturbOptions { field_probability: 0.25, ..Default::default() },
+        perturb: PerturbOptions {
+            field_probability: 0.25,
+            ..Default::default()
+        },
     });
     let mut customer = dirty.catalog.table("customer")?.clone();
     let truth = Clustering::from_id_column(&customer, "c_custkey")?;
@@ -80,21 +83,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.catalog_mut().add_table(customer)?;
     let dirty_db = DirtyDatabase::new(
         db,
-        DirtySpec::new().with("customer", conquer_core::DirtyTableMeta::new("c_custkey", "prob")),
+        DirtySpec::new().with(
+            "customer",
+            conquer_core::DirtyTableMeta::new("c_custkey", "prob"),
+        ),
     )?;
 
-    let answers = dirty_db.clean_answers(
-        "SELECT c_custkey, c_name FROM customer WHERE c_acctbal > 9000",
-    )?;
+    let answers =
+        dirty_db.clean_answers("SELECT c_custkey, c_name FROM customer WHERE c_acctbal > 9000")?;
     println!(
         "\nentities with a balance over 9000 (top 8 of {} by probability):",
         answers.len()
     );
     for (row, prob) in answers.ranked().into_iter().take(8) {
-        println!("   entity {:>5}  {:<24} p = {prob:.3}", row[0].to_string(), row[1]);
+        println!(
+            "   entity {:>5}  {:<24} p = {prob:.3}",
+            row[0].to_string(),
+            row[1]
+        );
     }
 
     let certain = answers.consistent(1e-9).len();
-    println!("\n{certain} of {} answers are certain (probability 1)", answers.len());
+    println!(
+        "\n{certain} of {} answers are certain (probability 1)",
+        answers.len()
+    );
     Ok(())
 }

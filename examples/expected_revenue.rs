@@ -40,9 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "segment", "dirty (double counts)", "expected (rewritten)", "clean (ground truth)"
     );
 
-    let naive = dirty.db().query(sql)?;
+    let naive = dirty.db().prepare(sql)?.query(dirty.db())?;
     let expected = dirty.expected_answers(sql)?;
-    let truth = clean.db().query(sql)?;
+    let truth = clean.db().prepare(sql)?.query(clean.db())?;
 
     for row in &truth.rows {
         let seg = row[0].to_string();
@@ -56,9 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (nc, ns) = find(&naive);
         let (ec, es) = find(&expected);
         let (tc, ts) = find(&truth);
-        println!(
-            "{seg:<12} {nc:>7.0} / {ns:>12.0} {ec:>9.1} / {es:>12.0} {tc:>7.0} / {ts:>12.0}"
-        );
+        println!("{seg:<12} {nc:>7.0} / {ns:>12.0} {ec:>9.1} / {es:>12.0} {tc:>7.0} / {ts:>12.0}");
     }
 
     // The dirty query overcounts by roughly the duplication factor squared

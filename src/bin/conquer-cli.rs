@@ -1,7 +1,9 @@
 //! Interactive ConQuer shell.
 //!
-//! Plain SQL statements (`CREATE TABLE` / `INSERT` / `SELECT`) run on the
-//! embedded engine; backslash commands expose the clean-answer machinery:
+//! Plain SQL statements (`CREATE TABLE` / `INSERT` / `SELECT`, and
+//! `EXPLAIN [ANALYZE] <select>` for plan trees with per-operator runtime
+//! statistics) run on the embedded engine; backslash commands expose the
+//! clean-answer machinery:
 //!
 //! ```text
 //! \dirty <table> [<id column> [<prob column>]]   register dirty metadata (defaults: id, prob)
@@ -48,7 +50,10 @@ struct Shell {
 
 impl Shell {
     fn new() -> Self {
-        Shell { db: Database::new(), spec: DirtySpec::new() }
+        Shell {
+            db: Database::new(),
+            spec: DirtySpec::new(),
+        }
     }
 
     fn dirty(&self) -> conquer_core::DirtyDatabase {
@@ -63,7 +68,8 @@ impl Shell {
         if let Some(rest) = line.strip_prefix('\\') {
             return self.command(rest);
         }
-        match self.db.execute(line).map_err(|e| e.to_string())? {
+        let stmt = self.db.prepare(line).map_err(|e| e.to_string())?;
+        match stmt.run(&mut self.db).map_err(|e| e.to_string())? {
             conquer_engine::database::ExecOutcome::Created => println!("created."),
             conquer_engine::database::ExecOutcome::Dropped => println!("dropped."),
             conquer_engine::database::ExecOutcome::Inserted(n) => println!("{n} rows."),

@@ -1,0 +1,148 @@
+//! The workspace-wide error type.
+//!
+//! Each layer keeps its own focused enum ([`StorageError`], [`ParseError`],
+//! [`EngineError`], [`CoreError`]), but applications that mix layers — load
+//! a catalog, prepare a statement, rewrite a query — shouldn't need a
+//! `map_err` at every boundary. [`ConquerError`] is the single sink every
+//! layer error converts into, and [`Result`] is the alias the prelude
+//! exports.
+//!
+//! Conversions *flatten*: an [`EngineError`] that merely wraps a parse or
+//! storage failure becomes [`ConquerError::Parse`] / [`ConquerError::Storage`]
+//! (and likewise for [`CoreError::Engine`]), so matching on the variant
+//! tells you which layer actually failed, not which layer reported it.
+
+use std::fmt;
+
+use conquer_core::CoreError;
+use conquer_engine::EngineError;
+use conquer_sql::ParseError;
+use conquer_storage::StorageError;
+
+/// Any error the ConQuer workspace can produce, by originating layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConquerError {
+    /// SQL text failed to parse.
+    Parse(ParseError),
+    /// Storage-layer failure (missing table, type mismatch, I/O, CSV).
+    Storage(StorageError),
+    /// Query engine failure (binding, planning, execution).
+    Engine(EngineError),
+    /// Clean-answer layer failure (rewritability, dirty-spec validation,
+    /// candidate-enumeration limits).
+    Core(CoreError),
+}
+
+/// Workspace-wide result alias; the default error is [`ConquerError`].
+pub type Result<T, E = ConquerError> = std::result::Result<T, E>;
+
+impl fmt::Display for ConquerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConquerError::Parse(e) => write!(f, "{e}"),
+            ConquerError::Storage(e) => write!(f, "{e}"),
+            ConquerError::Engine(e) => write!(f, "{e}"),
+            ConquerError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConquerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConquerError::Parse(e) => Some(e),
+            ConquerError::Storage(e) => Some(e),
+            ConquerError::Engine(e) => Some(e),
+            ConquerError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for ConquerError {
+    fn from(e: ParseError) -> Self {
+        ConquerError::Parse(e)
+    }
+}
+
+impl From<StorageError> for ConquerError {
+    fn from(e: StorageError) -> Self {
+        ConquerError::Storage(e)
+    }
+}
+
+impl From<EngineError> for ConquerError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Parse(p) => ConquerError::Parse(p),
+            EngineError::Storage(s) => ConquerError::Storage(s),
+            other => ConquerError::Engine(other),
+        }
+    }
+}
+
+impl From<CoreError> for ConquerError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::Engine(inner) => inner.into(),
+            other => ConquerError::Core(other),
+        }
+    }
+}
+
+impl From<std::io::Error> for ConquerError {
+    fn from(e: std::io::Error) -> Self {
+        ConquerError::Storage(StorageError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_flatten_to_the_originating_layer() {
+        let parse_err = conquer_sql::parse_statement("SELEKT 1").unwrap_err();
+        let via_engine: ConquerError = EngineError::Parse(parse_err.clone()).into();
+        assert!(
+            matches!(via_engine, ConquerError::Parse(_)),
+            "{via_engine:?}"
+        );
+
+        let storage = StorageError::NoSuchTable("t".into());
+        let via_core: ConquerError =
+            CoreError::Engine(EngineError::Storage(storage.clone())).into();
+        assert_eq!(via_core, ConquerError::Storage(storage));
+
+        let bind: ConquerError = EngineError::bind("nope").into();
+        assert!(matches!(bind, ConquerError::Engine(EngineError::Bind(_))));
+
+        let core: ConquerError = CoreError::InvalidDirty("p".into()).into();
+        assert!(matches!(core, ConquerError::Core(_)));
+    }
+
+    #[test]
+    fn question_mark_works_across_layers() {
+        fn end_to_end() -> Result<usize> {
+            let mut db = conquer_engine::Database::new();
+            db.execute_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2)")?;
+            let dirty = conquer_core::DirtyDatabase::new_unvalidated(
+                db,
+                conquer_core::DirtySpec::uniform(&[] as &[&str]),
+            );
+            let n = dirty
+                .db()
+                .prepare("SELECT a FROM t")?
+                .query(dirty.db())?
+                .len();
+            Ok(n)
+        }
+        assert_eq!(end_to_end().unwrap(), 2);
+    }
+
+    #[test]
+    fn display_and_source_delegate() {
+        let e = ConquerError::Storage(StorageError::NoSuchTable("zzz".into()));
+        assert!(e.to_string().contains("zzz"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -24,23 +24,28 @@
 //! ```
 //! use conquer::prelude::*;
 //!
-//! // Build the dirty database of the paper's Figure 1.
-//! let mut db = Database::new();
-//! db.execute("CREATE TABLE customer (id TEXT, name TEXT, income INTEGER, prob DOUBLE)").unwrap();
-//! db.execute("INSERT INTO customer VALUES \
-//!             ('c1', 'John', 120000, 0.9), ('c1', 'John', 80000, 0.1), \
-//!             ('c2', 'Mary', 140000, 0.4), ('c2', 'Marion', 40000, 0.6)").unwrap();
+//! fn main() -> Result<()> {
+//!     // Build the dirty database of the paper's Figure 1.
+//!     let mut db = Database::new();
+//!     db.execute_script(
+//!         "CREATE TABLE customer (id TEXT, name TEXT, income INTEGER, prob DOUBLE);
+//!          INSERT INTO customer VALUES
+//!            ('c1', 'John', 120000, 0.9), ('c1', 'John', 80000, 0.1),
+//!            ('c2', 'Mary', 140000, 0.4), ('c2', 'Marion', 40000, 0.6)",
+//!     )?;
 //!
-//! let dirty = DirtyDatabase::new(db, DirtySpec::uniform(&["customer"])).unwrap();
-//! let answers = dirty
-//!     .clean_answers("SELECT id FROM customer WHERE income > 100000")
-//!     .unwrap();
-//! // John (c1) earns >100K with probability 0.9; Mary/Marion (c2) with 0.4.
-//! assert_eq!(answers.probability_of(&["c1".into()]), Some(0.9));
-//! assert_eq!(answers.probability_of(&["c2".into()]), Some(0.4));
+//!     let dirty = DirtyDatabase::new(db, DirtySpec::uniform(&["customer"]))?;
+//!     let answers = dirty.clean_answers("SELECT id FROM customer WHERE income > 100000")?;
+//!     // John (c1) earns >100K with probability 0.9; Mary/Marion (c2) with 0.4.
+//!     assert_eq!(answers.probability_of(&["c1".into()]), Some(0.9));
+//!     assert_eq!(answers.probability_of(&["c2".into()]), Some(0.4));
+//!     Ok(())
+//! }
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod error;
 
 pub use conquer_core as core;
 pub use conquer_datagen as datagen;
@@ -49,13 +54,16 @@ pub use conquer_prob as prob;
 pub use conquer_sql as sql;
 pub use conquer_storage as storage;
 
+pub use error::{ConquerError, Result};
+
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use crate::error::{ConquerError, Result};
     pub use conquer_core::{
         apply_crossref, explain_answer, CleanAnswers, DirtyDatabase, DirtySpec, DirtyTableMeta,
         EvalStrategy, JoinGraph, NotRewritable, RewriteClean, RewriteExpected,
     };
-    pub use conquer_engine::{Database, QueryResult};
+    pub use conquer_engine::{Database, ExecStats, QueryResult, Statement};
     pub use conquer_prob::{
         assign_probabilities, sorted_neighborhood, Clustering, EditDistance, InfoLossDistance,
         SortedNeighborhoodConfig,

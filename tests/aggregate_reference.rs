@@ -9,9 +9,13 @@
 
 use std::collections::BTreeMap;
 
-use conquer_engine::Database;
+use conquer_engine::{Database, QueryResult};
 use conquer_storage::{Row, Value};
 use proptest::prelude::*;
+
+fn q(db: &Database, sql: &str) -> QueryResult {
+    db.prepare(sql).unwrap().query(db).unwrap()
+}
 
 #[derive(Debug, Clone)]
 struct Data {
@@ -22,8 +26,11 @@ struct Data {
 impl Data {
     fn build(&self) -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE t1 (g INTEGER, v INTEGER, x DOUBLE)").unwrap();
-        db.execute("CREATE TABLE t2 (g INTEGER, w INTEGER)").unwrap();
+        db.execute_script(
+            "CREATE TABLE t1 (g INTEGER, v INTEGER, x DOUBLE);
+             CREATE TABLE t2 (g INTEGER, w INTEGER)",
+        )
+        .unwrap();
         {
             let t = db.catalog_mut().table_mut("t1").unwrap();
             for (g, v, x) in &self.t1 {
@@ -48,7 +55,11 @@ impl Data {
 fn data_strategy() -> impl Strategy<Value = Data> {
     (
         prop::collection::vec(
-            (0i64..4, prop::option::of(0i64..5), (0u8..20).prop_map(|v| v as f64 / 2.0)),
+            (
+                0i64..4,
+                prop::option::of(0i64..5),
+                (0u8..20).prop_map(|v| v as f64 / 2.0),
+            ),
             0..10,
         ),
         prop::collection::vec((0i64..4, 0i64..5), 0..6),
@@ -75,10 +86,17 @@ fn reference_single(data: &Data) -> Vec<Row> {
             } else {
                 Value::Int(vs.iter().sum())
             };
-            let min_v = vs.iter().min().map(|&v| Value::Int(v)).unwrap_or(Value::Null);
-            let max_v = vs.iter().max().map(|&v| Value::Int(v)).unwrap_or(Value::Null);
-            let avg_x =
-                Value::Float(rows.iter().map(|r| r.2).sum::<f64>() / rows.len() as f64);
+            let min_v = vs
+                .iter()
+                .min()
+                .map(|&v| Value::Int(v))
+                .unwrap_or(Value::Null);
+            let max_v = vs
+                .iter()
+                .max()
+                .map(|&v| Value::Int(v))
+                .unwrap_or(Value::Null);
+            let avg_x = Value::Float(rows.iter().map(|r| r.2).sum::<f64>() / rows.len() as f64);
             vec![
                 Value::Int(g),
                 Value::Int(count_star),
@@ -134,9 +152,9 @@ fn rows_match(engine: &[Row], reference: &[Row]) -> bool {
     e.sort();
     let mut r = reference.to_vec();
     r.sort();
-    e.iter().zip(&r).all(|(a, b)| {
-        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| float_close(x, y))
-    })
+    e.iter()
+        .zip(&r)
+        .all(|(a, b)| a.len() == b.len() && a.iter().zip(b).all(|(x, y)| float_close(x, y)))
 }
 
 proptest! {
@@ -145,12 +163,11 @@ proptest! {
     #[test]
     fn single_table_aggregates_match_reference(data in data_strategy()) {
         let db = data.build();
-        let result = db
-            .query(
-                "SELECT g, COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v), AVG(x) \
-                 FROM t1 GROUP BY g",
-            )
-            .unwrap();
+        let result = q(
+            &db,
+            "SELECT g, COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v), AVG(x) \
+             FROM t1 GROUP BY g",
+        );
         let expected = reference_single(&data);
         prop_assert!(
             rows_match(&result.rows, &expected),
@@ -161,12 +178,11 @@ proptest! {
     #[test]
     fn join_aggregates_match_reference(data in data_strategy()) {
         let db = data.build();
-        let result = db
-            .query(
-                "SELECT t1.g, COUNT(*), SUM(t1.v * t2.w) \
-                 FROM t1, t2 WHERE t1.g = t2.g GROUP BY t1.g",
-            )
-            .unwrap();
+        let result = q(
+            &db,
+            "SELECT t1.g, COUNT(*), SUM(t1.v * t2.w) \
+             FROM t1, t2 WHERE t1.g = t2.g GROUP BY t1.g",
+        );
         let expected = reference_join(&data);
         prop_assert!(
             rows_match(&result.rows, &expected),
@@ -177,12 +193,11 @@ proptest! {
     #[test]
     fn having_is_a_post_group_filter(data in data_strategy(), threshold in 1i64..4) {
         let db = data.build();
-        let all = db.query("SELECT g, COUNT(*) FROM t1 GROUP BY g").unwrap();
-        let filtered = db
-            .query(&format!(
-                "SELECT g, COUNT(*) FROM t1 GROUP BY g HAVING COUNT(*) >= {threshold}"
-            ))
-            .unwrap();
+        let all = q(&db, "SELECT g, COUNT(*) FROM t1 GROUP BY g");
+        let filtered = q(
+            &db,
+            &format!("SELECT g, COUNT(*) FROM t1 GROUP BY g HAVING COUNT(*) >= {threshold}"),
+        );
         let expected: Vec<&Row> = all
             .rows
             .iter()
@@ -197,7 +212,7 @@ proptest! {
     #[test]
     fn global_aggregate_is_single_group(data in data_strategy()) {
         let db = data.build();
-        let r = db.query("SELECT COUNT(*), SUM(v) FROM t1").unwrap();
+        let r = q(&db, "SELECT COUNT(*), SUM(v) FROM t1");
         prop_assert_eq!(r.rows.len(), 1);
         prop_assert_eq!(r.rows[0][0].as_i64().unwrap(), data.t1.len() as i64);
     }

@@ -40,7 +40,10 @@ fn dirty_database_survives_persistence() {
     let sql = query_sql(3, false);
     let before = dirty.clean_answers(&sql).unwrap();
     let after = restored.clean_answers(&sql).unwrap();
-    assert!(before.approx_same(&after, 1e-9), "answers must survive a save/load cycle");
+    assert!(
+        before.approx_same(&after, 1e-9),
+        "answers must survive a save/load cycle"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -53,7 +56,10 @@ fn matcher_to_clean_answers_pipeline() {
         tpch: TpchConfig { sf: 0.02, seed: 77 },
         if_factor: 2,
         prob_mode: ProbMode::Uniform,
-        perturb: PerturbOptions { field_probability: 0.2, ..Default::default() },
+        perturb: PerturbOptions {
+            field_probability: 0.2,
+            ..Default::default()
+        },
     });
     let mut customer = generated.catalog.table("customer").unwrap().clone();
     let truth = Clustering::from_id_column(&customer, "c_custkey").unwrap();
@@ -79,7 +85,9 @@ fn matcher_to_clean_answers_pipeline() {
             labels[row] = ci as i64;
         }
     }
-    customer.update_column("c_custkey", |i, _| Value::Int(labels[i])).unwrap();
+    customer
+        .update_column("c_custkey", |i, _| Value::Int(labels[i]))
+        .unwrap();
     assign_probabilities_into(
         &mut customer,
         &["c_name", "c_address", "c_phone", "c_mktsegment"],
@@ -149,7 +157,7 @@ fn expected_aggregates_match_entity_counts_on_tpch() {
 
     let sql = "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey";
     let expected = dirty.expected_answers(sql).unwrap();
-    let truth = clean.db().query(sql).unwrap();
+    let truth = clean.db().prepare(sql).unwrap().query(clean.db()).unwrap();
     let got = expected.rows[0][0].as_f64().unwrap();
     let want = truth.rows[0][0].as_f64().unwrap();
     assert!(

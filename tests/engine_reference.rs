@@ -5,34 +5,43 @@
 //! planner's pushdown/join-ordering transformations as semantics-preserving
 //! — the engine is the substrate every clean-answer measurement stands on.
 
-use conquer_engine::Database;
+use conquer_engine::{Database, QueryResult};
 use conquer_storage::{Row, Value};
 use proptest::prelude::*;
+
+fn q(db: &Database, sql: &str) -> QueryResult {
+    db.prepare(sql).expect("valid").query(db).expect("valid")
+}
 
 /// Three small tables with mixed types and NULLs.
 #[derive(Debug, Clone)]
 struct Data {
-    t1: Vec<(i64, Option<i64>)>,          // t1(a, b?)
-    t2: Vec<(i64, i64, String)>,          // t2(a, k, s)
-    t3: Vec<(i64, f64)>,                  // t3(k, x)
+    t1: Vec<(i64, Option<i64>)>, // t1(a, b?)
+    t2: Vec<(i64, i64, String)>, // t2(a, k, s)
+    t3: Vec<(i64, f64)>,         // t3(k, x)
 }
 
 impl Data {
     fn build(&self) -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE t1 (a INTEGER, b INTEGER)").unwrap();
-        db.execute("CREATE TABLE t2 (a INTEGER, k INTEGER, s TEXT)").unwrap();
-        db.execute("CREATE TABLE t3 (k INTEGER, x DOUBLE)").unwrap();
+        db.execute_script(
+            "CREATE TABLE t1 (a INTEGER, b INTEGER);
+             CREATE TABLE t2 (a INTEGER, k INTEGER, s TEXT);
+             CREATE TABLE t3 (k INTEGER, x DOUBLE)",
+        )
+        .unwrap();
         {
             let t = db.catalog_mut().table_mut("t1").unwrap();
             for (a, b) in &self.t1 {
-                t.insert(vec![(*a).into(), b.map(Value::Int).unwrap_or(Value::Null)]).unwrap();
+                t.insert(vec![(*a).into(), b.map(Value::Int).unwrap_or(Value::Null)])
+                    .unwrap();
             }
         }
         {
             let t = db.catalog_mut().table_mut("t2").unwrap();
             for (a, k, s) in &self.t2 {
-                t.insert(vec![(*a).into(), (*k).into(), s.as_str().into()]).unwrap();
+                t.insert(vec![(*a).into(), (*k).into(), s.as_str().into()])
+                    .unwrap();
             }
         }
         {
@@ -155,7 +164,7 @@ proptest! {
     ) {
         let db = data.build();
         let sql = TEMPLATES[template].replace("{}", &constant.to_string());
-        let engine = db.query(&sql).expect("valid template");
+        let engine = q(&db, &sql);
         let expected = reference(&db, &sql);
         prop_assert_eq!(
             multiset(engine.rows.clone()),
@@ -169,7 +178,7 @@ proptest! {
         let db = data.build();
         let dir = if desc { "desc" } else { "" };
         let sql = format!("select a, b from t1 order by a {dir}, b");
-        let result = db.query(&sql).expect("valid");
+        let result = q(&db, &sql);
         for w in result.rows.windows(2) {
             let ord = w[0][0].cmp(&w[1][0]);
             let ord = if desc { ord.reverse() } else { ord };

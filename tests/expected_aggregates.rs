@@ -23,8 +23,11 @@ struct RandomDirty {
 impl RandomDirty {
     fn build(&self) -> DirtyDatabase {
         let mut db = Database::new();
-        db.execute("CREATE TABLE r (id TEXT, a INTEGER, b INTEGER, prob DOUBLE)").unwrap();
-        db.execute("CREATE TABLE s (id TEXT, c INTEGER, fk TEXT, prob DOUBLE)").unwrap();
+        db.execute_script(
+            "CREATE TABLE r (id TEXT, a INTEGER, b INTEGER, prob DOUBLE);
+             CREATE TABLE s (id TEXT, c INTEGER, fk TEXT, prob DOUBLE)",
+        )
+        .unwrap();
         {
             let t = db.catalog_mut().table_mut("r").unwrap();
             for (ci, cluster) in self.r.iter().enumerate() {
@@ -82,9 +85,8 @@ const SHAPES: [&str; 6] = [
 fn compare(db: &DirtyDatabase, sql: &str) -> Result<(), TestCaseError> {
     let stmt = parse_select(sql).expect("template parses");
     let rewritten = db.expected_answers(sql).expect("template is supported");
-    let oracle =
-        naive_expected(db.db().catalog(), db.spec(), &stmt, NaiveOptions::default())
-            .expect("small database");
+    let oracle = naive_expected(db.db().catalog(), db.spec(), &stmt, NaiveOptions::default())
+        .expect("small database");
 
     // Key = non-aggregate projection prefix; our templates always put group
     // keys first.
@@ -106,7 +108,11 @@ fn compare(db: &DirtyDatabase, sql: &str) -> Result<(), TestCaseError> {
     // No extra groups with nonzero mass either.
     for row in &rewritten.rows {
         let key: Row = row[..n_keys].to_vec();
-        let mass: f64 = row[n_keys..].iter().filter_map(|v| v.as_f64()).map(f64::abs).sum();
+        let mass: f64 = row[n_keys..]
+            .iter()
+            .filter_map(|v| v.as_f64())
+            .map(f64::abs)
+            .sum();
         if mass > EPS {
             prop_assert!(
                 oracle.iter().any(|(k, _)| k == &key),

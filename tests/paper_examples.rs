@@ -101,7 +101,9 @@ fn example4_q1_clean_answers() {
 #[test]
 fn example5_rewriting_text() {
     let dirty = figure2();
-    let rw = dirty.rewrite("select id from customer c where balance > 10000").unwrap();
+    let rw = dirty
+        .rewrite("select id from customer c where balance > 10000")
+        .unwrap();
     assert_eq!(
         rw.to_string(),
         "SELECT id, SUM(c.prob) AS probability FROM customer c \
@@ -145,14 +147,22 @@ fn example7_grouping_fails_but_naive_succeeds() {
     //    wrong value (c1, 0.45) the paper derives…
     let stmt = conquer_sql::parse_select(sql).unwrap();
     let wrong = RewriteClean.rewrite_unchecked(dirty.spec(), &stmt).unwrap();
-    let res = dirty.db().query_statement(&wrong).unwrap();
+    let res = dirty
+        .db()
+        .prepare_select(&wrong)
+        .unwrap()
+        .query(dirty.db())
+        .unwrap();
     let c1 = res
         .rows
         .iter()
         .find(|r| r[0] == "c1".into())
         .and_then(|r| r[1].as_f64())
         .unwrap();
-    assert!((c1 - 0.45).abs() < EPS, "the incorrect sum is 0.45, got {c1}");
+    assert!(
+        (c1 - 0.45).abs() < EPS,
+        "the incorrect sum is 0.45, got {c1}"
+    );
 
     // 3. …whereas the naive evaluator returns the correct (c1, 0.3).
     let ans = dirty
@@ -178,6 +188,8 @@ fn clean_relation_tuples_have_probability_one() {
     // "a clean tuple (that is, a tuple with no other matching tuples) will
     // have a probability of 1" — order o1 is clean and certain.
     let dirty = figure2();
-    let ans = dirty.clean_answers("select o.id from orders o where quantity = 3").unwrap();
+    let ans = dirty
+        .clean_answers("select o.id from orders o where quantity = 3")
+        .unwrap();
     assert!((ans.probability_of(&["o1".into()]).unwrap() - 1.0).abs() < EPS);
 }

@@ -17,8 +17,7 @@ fn dist_strategy(domain: u32) -> impl Strategy<Value = Vec<(u32, f64)>> {
 }
 
 fn dcf_strategy(domain: u32) -> impl Strategy<Value = Dcf> {
-    (1u32..6, dist_strategy(domain))
-        .prop_map(|(w, d)| Dcf::from_parts(w as f64, d))
+    (1u32..6, dist_strategy(domain)).prop_map(|(w, d)| Dcf::from_parts(w as f64, d))
 }
 
 /// A random categorical relation plus a random clustering of its rows.

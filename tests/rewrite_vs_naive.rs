@@ -22,8 +22,11 @@ struct RandomDirty {
 impl RandomDirty {
     fn build(&self) -> DirtyDatabase {
         let mut db = Database::new();
-        db.execute("CREATE TABLE r (id TEXT, a INTEGER, b INTEGER, prob DOUBLE)").unwrap();
-        db.execute("CREATE TABLE s (id TEXT, c INTEGER, fk TEXT, prob DOUBLE)").unwrap();
+        db.execute_script(
+            "CREATE TABLE r (id TEXT, a INTEGER, b INTEGER, prob DOUBLE);
+             CREATE TABLE s (id TEXT, c INTEGER, fk TEXT, prob DOUBLE)",
+        )
+        .unwrap();
         {
             let table = db.catalog_mut().table_mut("r").unwrap();
             for (ci, cluster) in self.r.iter().enumerate() {
@@ -74,14 +77,22 @@ fn dirty_strategy() -> impl Strategy<Value = RandomDirty> {
 /// A random per-relation selection predicate.
 #[derive(Debug, Clone)]
 enum Pred {
-    Cmp { column: &'static str, op: &'static str, constant: i64 },
+    Cmp {
+        column: &'static str,
+        op: &'static str,
+        constant: i64,
+    },
     Or(Box<Pred>, Box<Pred>),
 }
 
 impl Pred {
     fn sql(&self) -> String {
         match self {
-            Pred::Cmp { column, op, constant } => format!("{column} {op} {constant}"),
+            Pred::Cmp {
+                column,
+                op,
+                constant,
+            } => format!("{column} {op} {constant}"),
             Pred::Or(a, b) => format!("({} OR {})", a.sql(), b.sql()),
         }
     }
@@ -93,7 +104,11 @@ fn pred_strategy(columns: &'static [&'static str]) -> impl Strategy<Value = Pred
         prop::sample::select(&["<", "<=", "=", ">", ">=", "<>"][..]),
         0i64..6,
     )
-        .prop_map(|(column, op, constant)| Pred::Cmp { column, op, constant });
+        .prop_map(|(column, op, constant)| Pred::Cmp {
+            column,
+            op,
+            constant,
+        });
     let cmp2 = cmp.clone();
     prop_oneof![
         3 => cmp,

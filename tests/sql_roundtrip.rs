@@ -25,8 +25,7 @@ fn literal_strategy() -> impl Strategy<Value = Literal> {
 fn column_strategy() -> impl Strategy<Value = Expr> {
     prop_oneof![
         "c_[a-z0-9_]{0,5}".prop_map(Expr::column),
-        ("t_[a-z0-9_]{0,4}", "c_[a-z0-9_]{0,5}")
-            .prop_map(|(q, n)| Expr::qualified(q, n)),
+        ("t_[a-z0-9_]{0,4}", "c_[a-z0-9_]{0,5}").prop_map(|(q, n)| Expr::qualified(q, n)),
     ]
 }
 
@@ -49,16 +48,24 @@ fn binop_strategy() -> impl Strategy<Value = BinaryOp> {
 }
 
 fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![literal_strategy().prop_map(Expr::Literal), column_strategy()];
+    let leaf = prop_oneof![
+        literal_strategy().prop_map(Expr::Literal),
+        column_strategy()
+    ];
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
-            (inner.clone(), binop_strategy(), inner.clone()).prop_map(|(l, op, r)| {
-                Expr::binary(l, op, r)
+            (inner.clone(), binop_strategy(), inner.clone())
+                .prop_map(|(l, op, r)| { Expr::binary(l, op, r) }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
             }),
-            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
             // NOT of a literal int would re-parse as a negative literal, so
             // negate only columns.
-            column_strategy().prop_map(|e| Expr::Unary { op: UnaryOp::Neg, expr: Box::new(e) }),
+            column_strategy().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(e)
+            }),
             (inner.clone(), "[a-z%_]{0,6}", any::<bool>()).prop_map(|(e, p, negated)| {
                 Expr::Like {
                     expr: Box::new(e),
@@ -66,7 +73,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                     negated,
                 }
             }),
-            (inner.clone(), prop::collection::vec(inner.clone(), 1..4), any::<bool>())
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
                 .prop_map(|(e, list, negated)| Expr::InList {
                     expr: Box::new(e),
                     list,
@@ -84,9 +95,17 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 expr: Box::new(e),
                 negated
             }),
-            (inner, prop::sample::select(vec![
-                AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max
-            ]), any::<bool>())
+            (
+                inner,
+                prop::sample::select(vec![
+                    AggFunc::Count,
+                    AggFunc::Sum,
+                    AggFunc::Avg,
+                    AggFunc::Min,
+                    AggFunc::Max
+                ]),
+                any::<bool>()
+            )
                 .prop_map(|(e, func, distinct)| Expr::Aggregate {
                     func,
                     arg: Some(Box::new(e)),

@@ -40,7 +40,7 @@ fn clean_database_gives_certain_answers() {
         for (row, p) in &answers.rows {
             assert!((p - 1.0).abs() < 1e-9, "Q{id}: {row:?} has probability {p}");
         }
-        let plain = db.db().query(&sql).unwrap();
+        let plain = db.db().prepare(&sql).unwrap().query(db.db()).unwrap();
         assert_eq!(answers.len(), plain.len(), "Q{id} cardinality");
     }
 }
@@ -62,7 +62,10 @@ fn dirty_database_probabilities_bounded_and_meaningful() {
             }
         }
     }
-    assert!(saw_uncertain, "a dirty database must produce some uncertain answers");
+    assert!(
+        saw_uncertain,
+        "a dirty database must produce some uncertain answers"
+    );
 }
 
 #[test]
@@ -73,8 +76,20 @@ fn duplication_grows_plain_results_but_not_entities() {
     let clean = dirty_database(config(0.01, 1, ProbMode::Uniform)).unwrap();
     let dirty = dirty_database(config(0.01, 4, ProbMode::Uniform)).unwrap();
     let sql = query_sql(1, false);
-    let plain_clean = clean.db().query(&sql).unwrap().len();
-    let plain_dirty = dirty.db().query(&sql).unwrap().len();
+    let plain_clean = clean
+        .db()
+        .prepare(&sql)
+        .unwrap()
+        .query(clean.db())
+        .unwrap()
+        .len();
+    let plain_dirty = dirty
+        .db()
+        .prepare(&sql)
+        .unwrap()
+        .query(dirty.db())
+        .unwrap()
+        .len();
     assert!(
         plain_dirty > plain_clean,
         "duplication should inflate raw results: {plain_dirty} vs {plain_clean}"
@@ -89,7 +104,12 @@ fn rewritten_query_shapes() {
     for q in all_queries() {
         let stmt = conquer_sql::parse_select(&q.sql).unwrap();
         let rewritten = db.rewrite(&q.sql).unwrap();
-        assert_eq!(rewritten.projection.len(), stmt.projection.len() + 1, "Q{}", q.id);
+        assert_eq!(
+            rewritten.projection.len(),
+            stmt.projection.len() + 1,
+            "Q{}",
+            q.id
+        );
         assert!(!rewritten.group_by.is_empty(), "Q{}", q.id);
         let text = rewritten.to_string();
         assert!(text.contains("SUM("), "Q{}: {text}", q.id);

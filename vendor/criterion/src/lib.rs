@@ -1,0 +1,155 @@
+//! Vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the API the workspace's benches use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], plus the
+//! [`criterion_group!`]/[`criterion_main!`] macros). Each benchmark runs a
+//! short warm-up followed by `sample_size` timed iterations and prints the
+//! mean and minimum wall time — honest numbers, no outlier analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Sink for identifiers: `&str`, `String` or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_text(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_text(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_text(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_text(self) -> String {
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_text(), |b| body(b))
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_text(), |b| body(b, input))
+    }
+
+    fn run(&mut self, id: String, mut body: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters: 0,
+        };
+        // Warm-up pass (not recorded).
+        body(&mut bencher);
+        bencher.samples.clear();
+        bencher.iters = 0;
+        for _ in 0..self.sample_size {
+            body(&mut bencher);
+        }
+        let total: Duration = bencher.samples.iter().sum();
+        let n = bencher.samples.len().max(1) as u32;
+        let mean = total / n;
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        eprintln!(
+            "  {}/{id}: mean {mean:?}, min {min:?} ({} samples)",
+            self.name,
+            bencher.samples.len()
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        let out = body();
+        self.samples.push(start.elapsed());
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

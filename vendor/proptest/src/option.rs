@@ -1,0 +1,28 @@
+//! `prop::option::of` — optional values.
+
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Some(inner)` half the time, `None` otherwise.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.random_bool(0.5) {
+            Some(self.inner.gen_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,54 @@
+//! `prop::sample::select` — uniform choice from a fixed pool.
+
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly from an owned pool of values.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.items.len());
+        self.items[i].clone()
+    }
+}
+
+/// Sources [`select`] can draw from.
+pub trait Selectable {
+    type Item;
+    fn into_pool(self) -> Vec<Self::Item>;
+}
+
+impl<T> Selectable for Vec<T> {
+    type Item = T;
+    fn into_pool(self) -> Vec<T> {
+        self
+    }
+}
+
+impl<T: Clone> Selectable for &[T] {
+    type Item = T;
+    fn into_pool(self) -> Vec<T> {
+        self.to_vec()
+    }
+}
+
+impl<T: Clone, const N: usize> Selectable for &[T; N] {
+    type Item = T;
+    fn into_pool(self) -> Vec<T> {
+        self.to_vec()
+    }
+}
+
+pub fn select<S: Selectable>(pool: S) -> Select<S::Item> {
+    let items = pool.into_pool();
+    assert!(!items.is_empty(), "prop::sample::select on empty pool");
+    Select { items }
+}

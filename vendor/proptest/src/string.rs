@@ -1,0 +1,204 @@
+//! Regex-literal string strategies: `"[a-z]{0,8}"` as a `Strategy<Value =
+//! String>`, covering the pattern subset the workspace's tests use —
+//! literal characters, `.`, character classes with ranges, and the `{n}`,
+//! `{n,m}`, `?`, `*`, `+` quantifiers. Unsupported syntax panics with the
+//! offending pattern (these are compile-time test literals, so the panic
+//! surfaces immediately on the first case).
+
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// `.` — any character except newline... except we deliberately include
+    /// the occasional control/unicode character to stress parsers.
+    Any,
+    /// `[...]` — inclusive ranges plus standalone characters.
+    Class {
+        ranges: Vec<(char, char)>,
+        chars: Vec<char>,
+    },
+}
+
+impl Atom {
+    fn gen(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Any => {
+                const EXOTIC: &[char] = &['\n', '\t', '\'', '"', 'é', 'λ', '漢', '\u{0}'];
+                if rng.random_bool(0.08) {
+                    EXOTIC[rng.random_range(0..EXOTIC.len())]
+                } else {
+                    (0x20 + rng.random_range(0u32..0x5f)) as u8 as char
+                }
+            }
+            Atom::Class { ranges, chars } => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum::<u32>()
+                    + chars.len() as u32;
+                let mut pick = rng.random_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick).expect("class range");
+                    }
+                    pick -= span;
+                }
+                chars[pick as usize]
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut singles = Vec::new();
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    if c == ']' {
+                        break;
+                    }
+                    if c == '^' && ranges.is_empty() && singles.is_empty() {
+                        panic!("negated classes unsupported in pattern {pattern:?}");
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.next() {
+                            Some(']') => {
+                                singles.push(c);
+                                singles.push('-');
+                                break;
+                            }
+                            Some(hi) => ranges.push((c, hi)),
+                            None => panic!("unterminated class in pattern {pattern:?}"),
+                        }
+                    } else {
+                        singles.push(c);
+                    }
+                }
+                Atom::Class {
+                    ranges,
+                    chars: singles,
+                }
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            '(' | ')' | '|' => panic!("groups/alternation unsupported in pattern {pattern:?}"),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => panic!("unterminated {{n,m}} in pattern {pattern:?}"),
+                    }
+                }
+                let parse = |s: &str| -> u32 {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat count in pattern {pattern:?}"))
+                };
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (parse(lo), parse(hi)),
+                    None => {
+                        let n = parse(&spec);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let n = rng.random_range(piece.min..=piece.max);
+            for _ in 0..n {
+                out.push(piece.atom.gen(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn patterns_generate_matching_strings() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = "c_[a-z0-9_]{0,5}".gen_value(&mut rng);
+            assert!(s.starts_with("c_"), "{s:?}");
+            assert!(s.len() <= 7, "{s:?}");
+            assert!(
+                s[2..]
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+
+            let t = "[a-z]+'[a-z]*".gen_value(&mut rng);
+            assert!(t.contains('\''), "{t:?}");
+
+            let u = "[a-z%_]{0,10}".gen_value(&mut rng);
+            assert!(u.len() <= 10);
+            assert!(
+                u.chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '%' || c == '_'),
+                "{u:?}"
+            );
+
+            let v = ".{0,200}".gen_value(&mut rng);
+            assert!(v.chars().count() <= 200);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Case-driving machinery: deterministic per-test RNG streams and the
+//! loop behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Random source handed to strategies while generating one test case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Runner configuration; only the case count is configurable.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed assertion inside a test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `config.cases` cases of `body`, each with a deterministic RNG derived
+/// from the test name and case index, panicking on the first failure.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    for case in 0..config.cases {
+        let seed = base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(TestCaseError::Fail(msg)) = body(&mut rng) {
+            panic!(
+                "proptest `{name}` failed at case {case}/{}: {msg}",
+                config.cases
+            );
+        }
+    }
+}
