@@ -1,0 +1,252 @@
+//! Execution governance: cancellation, deadlines, and memory budgets.
+//!
+//! A runaway query — the paper's GROUP BY / SUM(prob) rewritings fan out
+//! over duplicate clusters and can explode on skewed dirty data — must not
+//! take the whole process down. Every query therefore runs under an
+//! [`ExecContext`] carrying three cooperative guards:
+//!
+//! * a [`CancelToken`] another thread can trip at any time,
+//! * a wall-clock **deadline** derived from [`ExecLimits::timeout`],
+//! * a **memory budget** ([`ExecLimits::mem_bytes`]) charged by every
+//!   operator that materializes state (hash-join builds, aggregation
+//!   tables, sort buffers, DISTINCT sets, and the final result buffer).
+//!
+//! Exceeding any guard aborts the query with a *typed* error
+//! ([`EngineError::ResourceExhausted`] / [`EngineError::Timeout`] /
+//! [`EngineError::Cancelled`]) instead of OOM-killing or hanging the
+//! process; the database stays fully usable afterwards.
+//!
+//! Checks are cooperative and batched: the executor calls
+//! [`ExecContext::tick`] once per operator batch (≤1024 rows), so
+//! cancellation and deadline latency is bounded by the time one batch takes
+//! to flow through one operator. Memory is charged incrementally as state
+//! grows and is **not** credited back when an operator drains: the budget
+//! bounds the total bytes of materialized operator state over the query's
+//! lifetime, a deliberate over-approximation of peak usage that keeps
+//! accounting race-free and cheap.
+//!
+//! Limits are configured per [`Database`](crate::Database)
+//! ([`Database::set_limits`](crate::Database::set_limits)) and overridden
+//! per [`Statement`](crate::Statement)
+//! ([`Statement::set_limits`](crate::Statement::set_limits)); a fully
+//! custom context (e.g. with a shared [`CancelToken`]) goes through
+//! [`Statement::query_with`](crate::Statement::query_with).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::EngineError;
+use crate::Result;
+
+/// Resource limits applied to a single query execution.
+///
+/// The default is unlimited; use the builder methods to tighten:
+///
+/// ```
+/// use std::time::Duration;
+/// use conquer_engine::ExecLimits;
+///
+/// let limits = ExecLimits::none()
+///     .with_mem_bytes(64 << 20)
+///     .with_timeout(Duration::from_secs(5));
+/// assert!(!limits.is_unlimited());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Maximum bytes of materialized operator state (hash tables, sort
+    /// buffers, result rows) a single query may hold. `None` = unlimited.
+    pub mem_bytes: Option<u64>,
+    /// Maximum wall-clock time a single query may run. `None` = unlimited.
+    pub timeout: Option<Duration>,
+}
+
+impl ExecLimits {
+    /// No limits (the default).
+    pub fn none() -> Self {
+        ExecLimits::default()
+    }
+
+    /// This limit set with a memory budget of `bytes`.
+    pub fn with_mem_bytes(mut self, bytes: u64) -> Self {
+        self.mem_bytes = Some(bytes);
+        self
+    }
+
+    /// This limit set with a wall-clock timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// True when neither a memory budget nor a timeout is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.mem_bytes.is_none() && self.timeout.is_none()
+    }
+}
+
+/// A cloneable handle that cancels an in-flight query.
+///
+/// Clone the token out of an [`ExecContext`] (or create one and pass it in
+/// via [`ExecContext::with_token`]), hand it to another thread, and call
+/// [`CancelToken::cancel`]; the executor notices at its next batch
+/// boundary and aborts with [`EngineError::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the next
+    /// cooperative check of every context sharing this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-execution governance state threaded through the operator pipeline.
+///
+/// Create one context per query execution: the deadline is computed from
+/// [`ExecLimits::timeout`] at construction time, and the memory meter
+/// starts at zero.
+#[derive(Debug)]
+pub struct ExecContext {
+    limits: ExecLimits,
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+    mem_used: AtomicU64,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext::new(ExecLimits::none())
+    }
+}
+
+impl ExecContext {
+    /// A context enforcing `limits`, with a fresh cancellation token. The
+    /// deadline clock starts now.
+    pub fn new(limits: ExecLimits) -> Self {
+        ExecContext::with_token(limits, CancelToken::new())
+    }
+
+    /// A context enforcing `limits` and observing an existing (possibly
+    /// shared) cancellation token.
+    pub fn with_token(limits: ExecLimits, cancel: CancelToken) -> Self {
+        ExecContext {
+            deadline: limits.timeout.map(|t| Instant::now() + t),
+            limits,
+            cancel,
+            mem_used: AtomicU64::new(0),
+        }
+    }
+
+    /// The limits this context enforces.
+    pub fn limits(&self) -> &ExecLimits {
+        &self.limits
+    }
+
+    /// A clone of this context's cancellation token, for handing to
+    /// another thread.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Total bytes of materialized operator state charged so far.
+    pub fn mem_charged(&self) -> u64 {
+        self.mem_used.load(Ordering::Relaxed)
+    }
+
+    /// Cooperative cancellation/deadline check; called by the executor at
+    /// every batch boundary. Returns [`EngineError::Cancelled`] or
+    /// [`EngineError::Timeout`] when tripped.
+    pub fn tick(&self) -> Result<()> {
+        if self.cancel.is_cancelled() {
+            return Err(EngineError::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(EngineError::Timeout {
+                    limit: self.limits.timeout.unwrap_or_default(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge `bytes` of newly materialized operator state against the
+    /// budget. Returns [`EngineError::ResourceExhausted`] when the charge
+    /// would push the query past its memory limit (the charge is still
+    /// recorded, so repeated calls keep failing).
+    pub fn charge(&self, bytes: u64) -> Result<()> {
+        conquer_storage::fault::trigger("exec::charge")
+            .map_err(|f| EngineError::exec(format!("injected allocation fault at {}", f.point)))?;
+        let now = self.mem_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if let Some(limit) = self.limits.mem_bytes {
+            if now > limit {
+                return Err(EngineError::ResourceExhausted {
+                    limit_bytes: limit,
+                    attempted_bytes: now,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_context_never_trips() {
+        let ctx = ExecContext::default();
+        ctx.tick().unwrap();
+        ctx.charge(u64::MAX / 2).unwrap();
+        ctx.tick().unwrap();
+        assert_eq!(ctx.mem_charged(), u64::MAX / 2);
+    }
+
+    #[test]
+    fn memory_budget_trips_with_typed_error() {
+        let ctx = ExecContext::new(ExecLimits::none().with_mem_bytes(100));
+        ctx.charge(60).unwrap();
+        let err = ctx.charge(60).unwrap_err();
+        match err {
+            EngineError::ResourceExhausted {
+                limit_bytes,
+                attempted_bytes,
+            } => {
+                assert_eq!(limit_bytes, 100);
+                assert_eq!(attempted_bytes, 120);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(err.is_governance());
+    }
+
+    #[test]
+    fn zero_timeout_trips_immediately() {
+        let ctx = ExecContext::new(ExecLimits::none().with_timeout(Duration::ZERO));
+        let err = ctx.tick().unwrap_err();
+        assert!(matches!(err, EngineError::Timeout { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let ctx = ExecContext::with_token(ExecLimits::none(), token.clone());
+        ctx.tick().unwrap();
+        token.cancel();
+        assert_eq!(ctx.tick().unwrap_err(), EngineError::Cancelled);
+        assert!(ctx.cancel_token().is_cancelled());
+    }
+}

@@ -7,6 +7,7 @@ use conquer_sql::{
 use conquer_storage::{Catalog, Row, Schema, Value};
 
 use crate::binder::{bind_select, bind_table_expr};
+use crate::context::{ExecContext, ExecLimits};
 use crate::error::EngineError;
 use crate::exec::execute_plan;
 use crate::expr::{BoundExpr, Offsets};
@@ -33,9 +34,15 @@ pub enum ExecOutcome {
 
 /// An in-memory SQL database: a [`Catalog`] plus the parse→bind→plan→execute
 /// pipeline.
+///
+/// Queries run under the database's default [`ExecLimits`] (none, unless
+/// configured with [`Database::set_limits`]); individual prepared
+/// statements can override them (see
+/// [`Statement::set_limits`](crate::Statement::set_limits)).
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     catalog: Catalog,
+    limits: ExecLimits,
 }
 
 impl Database {
@@ -46,7 +53,22 @@ impl Database {
 
     /// Wrap an existing catalog (e.g. one produced by the data generator).
     pub fn from_catalog(catalog: Catalog) -> Self {
-        Database { catalog }
+        Database {
+            catalog,
+            limits: ExecLimits::none(),
+        }
+    }
+
+    /// Set the default resource limits (memory budget, timeout) every
+    /// query on this database runs under. Prepared statements can
+    /// override them per statement.
+    pub fn set_limits(&mut self, limits: ExecLimits) {
+        self.limits = limits;
+    }
+
+    /// The database-wide default resource limits.
+    pub fn limits(&self) -> &ExecLimits {
+        &self.limits
     }
 
     /// Read access to the catalog.
@@ -160,7 +182,7 @@ impl Database {
     /// internal path behind the shims and the prepared-statement API).
     pub(crate) fn run_select(&self, stmt: &SelectStatement) -> Result<QueryResult> {
         let plan = self.plan(stmt)?;
-        execute_plan(&self.catalog, &plan)
+        execute_plan(&self.catalog, &plan, &ExecContext::new(self.limits))
     }
 
     /// Produce (but do not run) the plan for a `SELECT`.
@@ -200,7 +222,7 @@ impl Database {
     pub fn explain_select(&self, stmt: &SelectStatement, analyze: bool) -> Result<QueryResult> {
         let plan = self.plan(stmt)?;
         let text = if analyze {
-            let result = execute_plan(&self.catalog, &plan)?;
+            let result = execute_plan(&self.catalog, &plan, &ExecContext::new(self.limits))?;
             result
                 .stats()
                 .map(|s| s.render())

@@ -1,6 +1,7 @@
 //! Engine errors.
 
 use std::fmt;
+use std::time::Duration;
 
 use conquer_sql::ParseError;
 use conquer_storage::StorageError;
@@ -16,6 +17,27 @@ pub enum EngineError {
     Bind(String),
     /// Runtime evaluation failure (division by zero, overflow, bad types).
     Exec(String),
+    /// The query tried to materialize more state (hash tables, sort
+    /// buffers, result rows) than its configured memory budget allows.
+    ResourceExhausted {
+        /// The configured budget, in bytes.
+        limit_bytes: u64,
+        /// Bytes the query would have held after the rejected charge.
+        attempted_bytes: u64,
+    },
+    /// The query ran past its configured wall-clock deadline.
+    Timeout {
+        /// The configured time limit.
+        limit: Duration,
+    },
+    /// The query was cancelled through its
+    /// [`CancelToken`](crate::context::CancelToken).
+    Cancelled,
+    /// An internal invariant was violated (malformed plan or operator
+    /// state). Never caused by user input alone; indicates an engine bug,
+    /// but surfaces as an error instead of a panic so a bad plan cannot
+    /// take the process down.
+    Internal(String),
 }
 
 impl fmt::Display for EngineError {
@@ -25,6 +47,19 @@ impl fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "{e}"),
             EngineError::Bind(m) => write!(f, "binding error: {m}"),
             EngineError::Exec(m) => write!(f, "execution error: {m}"),
+            EngineError::ResourceExhausted {
+                limit_bytes,
+                attempted_bytes,
+            } => write!(
+                f,
+                "query exceeded its memory budget: needed {attempted_bytes} bytes \
+                 of materialized state, limit is {limit_bytes} bytes"
+            ),
+            EngineError::Timeout { limit } => {
+                write!(f, "query exceeded its time limit of {limit:?}")
+            }
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::Internal(m) => write!(f, "internal engine error: {m}"),
         }
     }
 }
@@ -60,5 +95,26 @@ impl EngineError {
     /// Shorthand for an execution error.
     pub fn exec(msg: impl Into<String>) -> Self {
         EngineError::Exec(msg.into())
+    }
+
+    /// Shorthand for an internal invariant violation.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        EngineError::Internal(msg.into())
+    }
+
+    /// True for the resource-governance errors ([`ResourceExhausted`],
+    /// [`Timeout`], [`Cancelled`]): the query was aborted by policy, not
+    /// because it was wrong, and the database remains fully usable.
+    ///
+    /// [`ResourceExhausted`]: EngineError::ResourceExhausted
+    /// [`Timeout`]: EngineError::Timeout
+    /// [`Cancelled`]: EngineError::Cancelled
+    pub fn is_governance(&self) -> bool {
+        matches!(
+            self,
+            EngineError::ResourceExhausted { .. }
+                | EngineError::Timeout { .. }
+                | EngineError::Cancelled
+        )
     }
 }

@@ -11,6 +11,13 @@
 //! time and peak materialized bytes are recorded per node and harvested
 //! into an [`ExecStats`] tree attached to the [`QueryResult`] (surfaced by
 //! `EXPLAIN ANALYZE` and [`QueryResult::stats`]).
+//!
+//! Execution is *governed*: every batch boundary checks the
+//! [`ExecContext`]'s cancellation token and deadline, and every operator
+//! that materializes state (hash-join builds, aggregation tables, sort
+//! buffers, DISTINCT sets, the final result buffer) charges its bytes
+//! against the context's memory budget. A tripped guard aborts the query
+//! with a typed error; nothing here panics on malformed operator state.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
@@ -20,6 +27,7 @@ use conquer_sql::AggFunc;
 use conquer_storage::{Catalog, HashIndex, Row, Table, Value};
 
 use crate::binder::{AggCall, GroupSpec, OrderKey, OutputItem};
+use crate::context::ExecContext;
 use crate::error::EngineError;
 use crate::expr::{BoundExpr, Offsets};
 use crate::planner::{JoinNode, Plan};
@@ -34,8 +42,11 @@ pub const BATCH_SIZE: usize = 1024;
 
 type Batch = Vec<Row>;
 
-/// Execute a plan against the catalog, collecting per-operator statistics.
-pub fn execute_plan(catalog: &Catalog, plan: &Plan) -> Result<QueryResult> {
+/// Execute a plan against the catalog under the given execution context,
+/// collecting per-operator statistics. The context's guards (cancellation,
+/// deadline, memory budget) are checked cooperatively at every batch
+/// boundary; pass [`ExecContext::default()`] for ungoverned execution.
+pub fn execute_plan(catalog: &Catalog, plan: &Plan, ctx: &ExecContext) -> Result<QueryResult> {
     let needs_expr_keys = plan
         .order_by
         .iter()
@@ -49,13 +60,18 @@ pub fn execute_plan(catalog: &Catalog, plan: &Plan) -> Result<QueryResult> {
     let start = Instant::now();
     let mut root = build_pipeline(catalog, plan)?;
     let mut rows = Vec::new();
-    while let Some(batch) = root.next_batch()? {
+    while let Some(batch) = root.next_batch(ctx)? {
+        // The result buffer is materialized state like any other.
+        ctx.charge(batch.iter().map(approx_row_bytes).sum())?;
         rows.extend(batch);
     }
     let total_time = start.elapsed();
     let stats = ExecStats {
         root: root.harvest(),
         total_time,
+        mem_budget: ctx.limits().mem_bytes,
+        mem_charged: ctx.mem_charged(),
+        timeout: ctx.limits().timeout,
     };
 
     Ok(QueryResult::with_stats(
@@ -315,7 +331,13 @@ fn index_join_path<'a>(
         return Ok(None);
     }
     let table = catalog.table(&plan.relations[*rel].table)?;
-    let rcolumn = table.schema().column_at(rcol.col).expect("bound");
+    let rcolumn = table.schema().column_at(rcol.col).ok_or_else(|| {
+        EngineError::internal(format!(
+            "bound column #{} does not exist in table {:?}",
+            rcol.col,
+            table.name()
+        ))
+    })?;
     let index = match table.existing_index(rcolumn.name()) {
         Some(idx) if idx.column() == rcol.col => idx,
         _ => return Ok(None),
@@ -325,7 +347,12 @@ fn index_join_path<'a>(
     let ltype = plan.relations[lcol.rel]
         .schema
         .column_at(lcol.col)
-        .expect("bound")
+        .ok_or_else(|| {
+            EngineError::internal(format!(
+                "bound column #{} does not exist in relation #{} of the plan",
+                lcol.col, lcol.rel
+            ))
+        })?
         .data_type();
     if ltype != rcolumn.data_type() {
         return Ok(None);
@@ -442,9 +469,12 @@ impl<'a> OpNode<'a> {
     }
 
     /// Pull the next batch, recording rows/batches/inclusive wall time.
-    fn next_batch(&mut self) -> Result<Option<Batch>> {
+    /// Checks the context's cancellation/deadline guards first, so every
+    /// batch boundary in the pipeline is a cancellation point.
+    fn next_batch(&mut self, ctx: &ExecContext) -> Result<Option<Batch>> {
+        ctx.tick()?;
         let start = Instant::now();
-        let out = step(&mut self.kind, &mut self.m);
+        let out = step(&mut self.kind, &mut self.m, ctx);
         self.m.time += start.elapsed();
         if let Ok(Some(batch)) = &out {
             self.m.rows_out += batch.len() as u64;
@@ -493,8 +523,8 @@ impl<'a> OpNode<'a> {
 
 /// Pull one batch from `child`, crediting its size to the parent's
 /// `rows_in` counter.
-fn pull(child: &mut OpNode<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
-    let batch = child.next_batch()?;
+fn pull(child: &mut OpNode<'_>, m: &mut Metrics, ctx: &ExecContext) -> Result<Option<Batch>> {
+    let batch = child.next_batch(ctx)?;
     if let Some(b) = &batch {
         m.rows_in += b.len() as u64;
     }
@@ -502,7 +532,7 @@ fn pull(child: &mut OpNode<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
 }
 
 /// Advance one operator by one batch. `None` means exhausted.
-fn step(kind: &mut OpKind<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
+fn step(kind: &mut OpKind<'_>, m: &mut Metrics, ctx: &ExecContext) -> Result<Option<Batch>> {
     match kind {
         OpKind::Scan {
             table,
@@ -529,7 +559,7 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
             pred,
             offsets,
         } => {
-            while let Some(batch) = pull(child, m)? {
+            while let Some(batch) = pull(child, m, ctx)? {
                 let mut out = Vec::with_capacity(batch.len());
                 for row in batch {
                     if pred.eval_predicate(&row, offsets)? {
@@ -556,20 +586,25 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
             if table.is_none() {
                 let mut map: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
                 let mut mem = 0u64;
-                while let Some(batch) = pull(build, m)? {
+                while let Some(batch) = pull(build, m, ctx)? {
+                    let mut batch_mem = 0u64;
                     for row in batch {
                         if let Some(key) = join_keys(&row, build_exprs, build_offsets)? {
-                            mem += approx_row_bytes(&row)
+                            batch_mem += approx_row_bytes(&row)
                                 + key.iter().map(approx_value_bytes).sum::<u64>();
                             map.entry(key).or_default().push(row);
                         }
                     }
+                    ctx.charge(batch_mem)?;
+                    mem += batch_mem;
                 }
                 m.peak_mem = mem;
                 *table = Some(map);
             }
-            let map = table.as_ref().expect("built above");
-            while let Some(batch) = pull(probe, m)? {
+            let map = table
+                .as_ref()
+                .ok_or_else(|| EngineError::internal("hash join probed before its build side"))?;
+            while let Some(batch) = pull(probe, m, ctx)? {
                 let mut out = Vec::new();
                 for prow in &batch {
                     let Some(key) = join_keys(prow, probe_exprs, probe_offsets)? else {
@@ -599,7 +634,7 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
             index,
             key_flat,
         } => {
-            while let Some(batch) = pull(probe, m)? {
+            while let Some(batch) = pull(probe, m, ctx)? {
                 let mut out = Vec::new();
                 for lrow in &batch {
                     let key = &lrow[*key_flat];
@@ -607,7 +642,14 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
                         continue;
                     }
                     for &ri in index.lookup(key) {
-                        let rrow = table.row(ri).expect("index positions are valid");
+                        let rrow = table.row(ri).ok_or_else(|| {
+                            EngineError::internal(format!(
+                                "stored index on table {:?} references row #{ri} beyond the \
+                                 table's {} rows (stale index?)",
+                                table.name(),
+                                table.len()
+                            ))
+                        })?;
                         out.push(concat_rows(lrow, rrow));
                     }
                 }
@@ -625,17 +667,20 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
         } => {
             if build_rows.is_none() {
                 let mut rows = Vec::new();
-                while let Some(batch) = pull(build, m)? {
+                while let Some(batch) = pull(build, m, ctx)? {
+                    ctx.charge(batch.iter().map(approx_row_bytes).sum())?;
                     rows.extend(batch);
                 }
                 m.peak_mem = rows.iter().map(approx_row_bytes).sum();
                 *build_rows = Some(rows);
             }
-            let rrows = build_rows.as_ref().expect("built above");
+            let rrows = build_rows.as_ref().ok_or_else(|| {
+                EngineError::internal("cross join probed before materializing its build side")
+            })?;
             if rrows.is_empty() {
                 return Ok(None);
             }
-            while let Some(batch) = pull(probe, m)? {
+            while let Some(batch) = pull(probe, m, ctx)? {
                 let mut out = Vec::with_capacity(batch.len().saturating_mul(rrows.len()));
                 for lrow in &batch {
                     for rrow in rrows {
@@ -656,9 +701,11 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
             drained,
         } => {
             if drained.is_none() {
-                *drained = Some(aggregate_all(child, group, offsets, m)?.into_iter());
+                *drained = Some(aggregate_all(child, group, offsets, m, ctx)?.into_iter());
             }
-            let iter = drained.as_mut().expect("drained above");
+            let iter = drained
+                .as_mut()
+                .ok_or_else(|| EngineError::internal("aggregate drained before aggregating"))?;
             let out: Batch = iter.take(BATCH_SIZE).collect();
             Ok((!out.is_empty()).then_some(out))
         }
@@ -668,7 +715,7 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
             output,
             order_by,
             offsets,
-        } => match pull(child, m)? {
+        } => match pull(child, m, ctx)? {
             None => Ok(None),
             Some(batch) => {
                 let mut out = Vec::with_capacity(batch.len());
@@ -690,16 +737,19 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
         },
 
         OpKind::Distinct { child, seen, mem } => {
-            while let Some(batch) = pull(child, m)? {
+            while let Some(batch) = pull(child, m, ctx)? {
                 let mut out = Vec::with_capacity(batch.len());
+                let mut batch_mem = 0u64;
                 for row in batch {
                     if !seen.contains(&row) {
-                        *mem += approx_row_bytes(&row);
-                        m.peak_mem = *mem;
+                        batch_mem += approx_row_bytes(&row);
                         seen.insert(row.clone());
                         out.push(row);
                     }
                 }
+                ctx.charge(batch_mem)?;
+                *mem += batch_mem;
+                m.peak_mem = *mem;
                 if !out.is_empty() {
                     return Ok(Some(out));
                 }
@@ -715,7 +765,8 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
         } => {
             if drained.is_none() {
                 let mut rows = Vec::new();
-                while let Some(batch) = pull(child, m)? {
+                while let Some(batch) = pull(child, m, ctx)? {
+                    ctx.charge(batch.iter().map(approx_row_bytes).sum())?;
                     rows.extend(batch);
                 }
                 m.peak_mem = rows.iter().map(approx_row_bytes).sum();
@@ -737,7 +788,9 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
                 }
                 *drained = Some(rows.into_iter());
             }
-            let iter = drained.as_mut().expect("drained above");
+            let iter = drained
+                .as_mut()
+                .ok_or_else(|| EngineError::internal("sort drained before sorting"))?;
             let out: Batch = iter.take(BATCH_SIZE).collect();
             Ok((!out.is_empty()).then_some(out))
         }
@@ -746,7 +799,7 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics) -> Result<Option<Batch>> {
             if *remaining == 0 {
                 return Ok(None);
             }
-            while let Some(mut batch) = pull(child, m)? {
+            while let Some(mut batch) = pull(child, m, ctx)? {
                 if batch.len() as u64 > *remaining {
                     batch.truncate(*remaining as usize);
                 }
@@ -803,18 +856,27 @@ fn aggregate_all(
     group: &GroupSpec,
     offsets: &Offsets,
     m: &mut Metrics,
+    ctx: &ExecContext,
 ) -> Result<Vec<Row>> {
     // Keys live only in the map (no duplicate clone); the `usize` remembers
     // first-seen order so output is deterministic.
     let mut index: HashMap<Vec<Value>, (usize, Vec<Accumulator>)> = HashMap::new();
 
     let fresh = || -> Vec<Accumulator> { group.aggs.iter().map(Accumulator::new).collect() };
+    let group_bytes = |key: &[Value]| {
+        key.iter().map(approx_value_bytes).sum::<u64>()
+            + (group.aggs.len() * std::mem::size_of::<Accumulator>()) as u64
+    };
 
     if group.keys.is_empty() {
         index.insert(Vec::new(), (0, fresh()));
     }
 
-    while let Some(batch) = pull(child, m)? {
+    while let Some(batch) = pull(child, m, ctx)? {
+        // Bytes of groups created by this batch; charged per batch so a
+        // key-explosion on skewed dirty data hits the budget before
+        // exhausting process memory.
+        let mut batch_mem = 0u64;
         for row in &batch {
             let mut key = Vec::with_capacity(group.keys.len());
             for k in &group.keys {
@@ -823,7 +885,10 @@ fn aggregate_all(
             let next = index.len();
             let accs = match index.entry(key) {
                 Entry::Occupied(e) => &mut e.into_mut().1,
-                Entry::Vacant(e) => &mut e.insert((next, fresh())).1,
+                Entry::Vacant(e) => {
+                    batch_mem += group_bytes(e.key());
+                    &mut e.insert((next, fresh())).1
+                }
             };
             for (acc, call) in accs.iter_mut().zip(&group.aggs) {
                 let v = match &call.arg {
@@ -833,6 +898,7 @@ fn aggregate_all(
                 acc.update(v)?;
             }
         }
+        ctx.charge(batch_mem)?;
     }
 
     m.peak_mem = index

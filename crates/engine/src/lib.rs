@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod binder;
+pub mod context;
 pub mod database;
 pub mod error;
 pub mod exec;
@@ -42,6 +43,7 @@ pub mod result;
 pub mod statement;
 pub mod stats;
 
+pub use context::{CancelToken, ExecContext, ExecLimits};
 pub use database::Database;
 pub use error::EngineError;
 pub use expr::{BoundExpr, ColumnId};

@@ -23,6 +23,7 @@
 
 use conquer_sql::{parse_statement, SelectStatement, Statement as SqlStatement};
 
+use crate::context::{ExecContext, ExecLimits};
 use crate::database::{Database, ExecOutcome};
 use crate::error::EngineError;
 use crate::exec::execute_plan;
@@ -42,6 +43,9 @@ use crate::Result;
 pub struct Statement {
     sql: String,
     kind: Kind,
+    /// Per-statement resource limits; when `None`, the database's default
+    /// limits apply.
+    limits: Option<ExecLimits>,
 }
 
 #[derive(Debug, Clone)]
@@ -78,6 +82,7 @@ impl Database {
         Ok(Statement {
             sql: sql.to_string(),
             kind,
+            limits: None,
         })
     }
 
@@ -89,6 +94,7 @@ impl Database {
             kind: Kind::Select {
                 plan: self.plan(stmt)?,
             },
+            limits: None,
         })
     }
 }
@@ -105,15 +111,47 @@ impl Statement {
         !matches!(self.kind, Kind::Command(_))
     }
 
+    /// Override the resource limits this statement runs under, instead of
+    /// the database's defaults. Pass `None` to fall back to the defaults.
+    pub fn set_limits(&mut self, limits: Option<ExecLimits>) {
+        self.limits = limits;
+    }
+
+    /// Builder-style form of [`Statement::set_limits`].
+    pub fn with_limits(mut self, limits: ExecLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
+
+    /// The resource limits this statement will run under against `db`
+    /// (its own override, or the database's defaults).
+    pub fn effective_limits(&self, db: &Database) -> ExecLimits {
+        self.limits.unwrap_or(*db.limits())
+    }
+
     /// Execute a prepared `SELECT` (or `EXPLAIN`) and return its rows.
     ///
-    /// Fails if the statement is a DDL/DML command (use [`Statement::run`])
-    /// or if a referenced table was dropped or altered since `prepare`.
+    /// Runs under this statement's limits (or the database's defaults —
+    /// see [`Statement::set_limits`]). Fails if the statement is a DDL/DML
+    /// command (use [`Statement::run`]) or if a referenced table was
+    /// dropped or altered since `prepare`.
     pub fn query(&self, db: &Database) -> Result<QueryResult> {
+        self.query_with(db, &ExecContext::new(self.effective_limits(db)))
+    }
+
+    /// Execute a prepared `SELECT` (or `EXPLAIN`) under a caller-supplied
+    /// [`ExecContext`] — the full-control entry point for cancellation:
+    /// clone the context's [`CancelToken`](crate::context::CancelToken)
+    /// to another thread before calling, and trip it to abort the query
+    /// with [`EngineError::Cancelled`].
+    ///
+    /// The context is per-execution state (deadline clock, memory meter);
+    /// create a fresh one per call.
+    pub fn query_with(&self, db: &Database, ctx: &ExecContext) -> Result<QueryResult> {
         match &self.kind {
             Kind::Select { plan } => {
                 self.check_fresh(db, plan)?;
-                execute_plan(db.catalog(), plan)
+                execute_plan(db.catalog(), plan, ctx)
             }
             Kind::Explain { analyze, select } => db.explain_select(select, *analyze),
             Kind::Command(stmt) => Err(EngineError::bind(format!(

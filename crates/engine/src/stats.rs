@@ -86,9 +86,29 @@ pub struct ExecStats {
     pub root: OpStats,
     /// End-to-end execution wall time.
     pub total_time: Duration,
+    /// The memory budget the query ran under, if one was configured.
+    pub mem_budget: Option<u64>,
+    /// Total bytes of materialized state charged against the budget
+    /// (includes the final result buffer; monotone over the query's
+    /// lifetime — state is not credited back when operators drain).
+    pub mem_charged: u64,
+    /// The wall-clock limit the query ran under, if one was configured.
+    pub timeout: Option<Duration>,
 }
 
 impl ExecStats {
+    /// Statistics for an ungoverned run (no limits) — the common
+    /// constructor for tests and synthetic trees.
+    pub fn ungoverned(root: OpStats, total_time: Duration) -> Self {
+        ExecStats {
+            root,
+            total_time,
+            mem_budget: None,
+            mem_charged: 0,
+            timeout: None,
+        }
+    }
+
     /// Render the tree as indented text, one operator per line.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -98,6 +118,20 @@ impl ExecStats {
             fmt_duration(self.total_time),
             fmt_bytes(self.root.total_mem())
         ));
+        if self.mem_budget.is_some() || self.timeout.is_some() {
+            let mem = match self.mem_budget {
+                Some(b) => format!("mem={}", fmt_bytes(b)),
+                None => "mem=unlimited".to_string(),
+            };
+            let time = match self.timeout {
+                Some(t) => format!("timeout={}", fmt_duration(t)),
+                None => "timeout=none".to_string(),
+            };
+            out.push_str(&format!(
+                "Resource limits: {mem}, {time}; charged {}\n",
+                fmt_bytes(self.mem_charged)
+            ));
+        }
         out
     }
 }
@@ -149,8 +183,8 @@ mod tests {
 
     #[test]
     fn render_shows_tree_shape_and_units() {
-        let stats = ExecStats {
-            root: OpStats {
+        let stats = ExecStats::ungoverned(
+            OpStats {
                 name: "Project".into(),
                 rows_in: 10,
                 rows_out: 10,
@@ -167,13 +201,26 @@ mod tests {
                     children: vec![],
                 }],
             },
-            total_time: Duration::from_micros(1600),
-        };
+            Duration::from_micros(1600),
+        );
         let text = stats.render();
         assert!(text.starts_with("Project (rows=10"), "{text}");
         assert!(text.contains("\n  Scan t [t] (rows=10"), "{text}");
         assert!(text.contains("1.50ms"), "{text}");
         assert!(text.contains("2.0KiB"), "{text}");
+        assert!(!text.contains("Resource limits"), "{text}");
         assert_eq!(stats.root.self_time(), Duration::from_micros(600));
+    }
+
+    #[test]
+    fn render_shows_limits_when_governed() {
+        let mut stats = ExecStats::ungoverned(OpStats::default(), Duration::from_micros(10));
+        stats.mem_budget = Some(10 * 1024 * 1024);
+        stats.mem_charged = 2048;
+        stats.timeout = Some(Duration::from_millis(500));
+        let text = stats.render();
+        assert!(text.contains("Resource limits: mem=10.0MiB"), "{text}");
+        assert!(text.contains("timeout=500.00ms"), "{text}");
+        assert!(text.contains("charged 2.0KiB"), "{text}");
     }
 }

@@ -1,0 +1,36 @@
+//! Fault injection in the executor's allocation path (requires
+//! `--features fault`): an injected allocation failure surfaces as a typed
+//! engine error and the database stays fully usable afterwards.
+#![cfg(feature = "fault")]
+
+use conquer_engine::Database;
+use conquer_storage::fault;
+
+fn sample() -> Database {
+    let mut db = Database::new();
+    db.execute_script("CREATE TABLE t (a INTEGER, b TEXT)")
+        .unwrap();
+    let mut values = Vec::new();
+    for i in 0..100 {
+        values.push(format!("({i}, 'row {i}')"));
+    }
+    db.execute_script(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+        .unwrap();
+    db
+}
+
+#[test]
+fn injected_allocation_fault_is_typed_and_database_survives() {
+    let db = sample();
+    let sql = "SELECT b, COUNT(*) FROM t GROUP BY b ORDER BY b";
+    fault::reset();
+    fault::arm("exec::charge", 1);
+    let err = db.prepare(sql).unwrap().query(&db).unwrap_err();
+    assert!(
+        err.to_string().contains("injected allocation fault"),
+        "{err}"
+    );
+    // One-shot: the same database and query work on the next call.
+    fault::reset();
+    assert_eq!(db.prepare(sql).unwrap().query(&db).unwrap().len(), 100);
+}

@@ -21,12 +21,20 @@ fn escape(field: &str) -> String {
     }
 }
 
-/// Split one CSV line into fields, honouring quotes.
-fn split_line(line: &str) -> Result<Vec<String>, StorageError> {
+/// Pull the next CSV *record* (not line) off the character stream.
+///
+/// Records end at an unquoted `\n` or `\r\n`; quoted fields may contain
+/// commas, doubled quotes, and raw newlines/CRs, all preserved verbatim.
+/// Returns `None` at end of input; blank records (empty lines) come back
+/// as `Some(vec![])` so the caller can skip them.
+fn next_record(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Option<Result<Vec<String>, StorageError>> {
+    chars.peek()?;
     let mut fields = Vec::new();
     let mut cur = String::new();
-    let mut chars = line.chars().peekable();
     let mut in_quotes = false;
+    let mut saw_any = false;
     while let Some(c) = chars.next() {
         if in_quotes {
             match c {
@@ -42,19 +50,37 @@ fn split_line(line: &str) -> Result<Vec<String>, StorageError> {
             }
         } else {
             match c {
-                '"' if cur.is_empty() => in_quotes = true,
-                ',' => fields.push(std::mem::take(&mut cur)),
-                _ => cur.push(c),
+                '"' if cur.is_empty() => {
+                    in_quotes = true;
+                    saw_any = true;
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                    saw_any = true;
+                }
+                '\r' if chars.peek() == Some(&'\n') => {
+                    chars.next();
+                    break;
+                }
+                '\n' => break,
+                _ => {
+                    cur.push(c);
+                    saw_any = true;
+                }
             }
         }
     }
     if in_quotes {
-        return Err(StorageError::Csv(format!(
-            "unterminated quote in line: {line:?}"
-        )));
+        return Some(Err(StorageError::Csv(format!(
+            "unterminated quote in record starting {:?}",
+            &cur[..cur.len().min(40)]
+        ))));
+    }
+    if !saw_any && fields.is_empty() {
+        return Some(Ok(Vec::new())); // blank line
     }
     fields.push(cur);
-    Ok(fields)
+    Some(Ok(fields))
 }
 
 /// Write a table (header + rows) as CSV.
@@ -99,14 +125,23 @@ fn parse_field(field: &str, ty: DataType) -> Result<Value, StorageError> {
     })
 }
 
-/// Read a table from CSV. The first line must be a header whose fields match
-/// the given schema's column names (case-insensitive, same order).
-pub fn read_table<R: BufRead>(name: &str, schema: Schema, input: R) -> Result<Table, StorageError> {
-    let mut lines = input.lines();
-    let header = lines
-        .next()
+/// Read a table from CSV. The first record must be a header whose fields
+/// match the given schema's column names (case-insensitive, same order).
+///
+/// The parser is record-based, not line-based: quoted fields may contain
+/// raw newlines and CRs, which round-trip exactly (the one lossy case is
+/// the empty string, which is written as the empty field and reads back as
+/// NULL).
+pub fn read_table<R: BufRead>(
+    name: &str,
+    schema: Schema,
+    mut input: R,
+) -> Result<Table, StorageError> {
+    let mut text = String::new();
+    input.read_to_string(&mut text)?;
+    let mut chars = text.chars().peekable();
+    let header_fields = next_record(&mut chars)
         .ok_or_else(|| StorageError::Csv("empty input (missing header)".into()))??;
-    let header_fields = split_line(&header)?;
     let expected: Vec<&str> = schema.names().collect();
     let got: Vec<String> = header_fields
         .iter()
@@ -118,15 +153,14 @@ pub fn read_table<R: BufRead>(name: &str, schema: Schema, input: R) -> Result<Ta
         )));
     }
     let mut table = Table::new(name, schema);
-    for line in lines {
-        let line = line?;
-        if line.is_empty() {
-            continue;
+    while let Some(record) = next_record(&mut chars) {
+        let fields = record?;
+        if fields.is_empty() {
+            continue; // blank line
         }
-        let fields = split_line(&line)?;
         if fields.len() != table.schema().len() {
             return Err(StorageError::Csv(format!(
-                "row arity mismatch: expected {}, got {} in {line:?}",
+                "row arity mismatch: expected {}, got {} in {fields:?}",
                 table.schema().len(),
                 fields.len()
             )));
@@ -179,11 +213,35 @@ mod tests {
         assert!(back.value(1, 0).is_null());
     }
 
+    fn split_one(line: &str) -> Result<Vec<String>, StorageError> {
+        let mut chars = line.chars().peekable();
+        next_record(&mut chars).unwrap()
+    }
+
     #[test]
     fn quotes_escaped() {
         assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
-        let fields = split_line("\"say \"\"hi\"\"\",b").unwrap();
+        let fields = split_one("\"say \"\"hi\"\"\",b").unwrap();
         assert_eq!(fields, vec!["say \"hi\"", "b"]);
+    }
+
+    #[test]
+    fn quoted_newlines_and_crs_roundtrip() {
+        let mut t = Table::new("c", schema());
+        t.insert(vec![
+            "line1\nline2\r\nline3\rend".into(),
+            1.0.into(),
+            Value::Null,
+        ])
+        .unwrap();
+        t.insert(vec!["\",\"".into(), 2.0.into(), Value::Null])
+            .unwrap();
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf).unwrap();
+        let back = read_table("c", schema(), &buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.value(0, 0), &Value::text("line1\nline2\r\nline3\rend"));
+        assert_eq!(back.value(1, 0), &Value::text("\",\""));
     }
 
     #[test]
@@ -201,6 +259,6 @@ mod tests {
 
     #[test]
     fn unterminated_quote_rejected() {
-        assert!(split_line("\"oops").is_err());
+        assert!(split_one("\"oops").is_err());
     }
 }

@@ -42,7 +42,22 @@ pub enum StorageError {
     },
     /// CSV input could not be parsed.
     Csv(String),
-    /// Underlying I/O failure (CSV import/export).
+    /// A persisted schema file could not be parsed.
+    Schema {
+        /// The schema file that failed to parse.
+        path: String,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A persisted catalog failed integrity verification (checksum or size
+    /// mismatch against the manifest, truncated file, missing manifest).
+    Corrupt {
+        /// The offending file or directory.
+        path: String,
+        /// What the verification found.
+        detail: String,
+    },
+    /// Underlying I/O failure (CSV import/export, persistence).
     Io(String),
 }
 
@@ -75,6 +90,12 @@ impl fmt::Display for StorageError {
                 "type mismatch for {table}.{column}: expected {expected}, got {got}"
             ),
             StorageError::Csv(msg) => write!(f, "CSV error: {msg}"),
+            StorageError::Schema { path, message } => {
+                write!(f, "schema error in {path}: {message}")
+            }
+            StorageError::Corrupt { path, detail } => {
+                write!(f, "corrupt catalog data in {path}: {detail}")
+            }
             StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }

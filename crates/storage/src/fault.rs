@@ -1,0 +1,202 @@
+//! Failpoint-style fault injection for robustness testing.
+//!
+//! Storage I/O and executor allocation paths call
+//! [`trigger`]`("layer::point")` at the places where real systems fail:
+//! between file writes, before a manifest commit, on every byte written to
+//! a data file, on every memory charge. With the `fault` cargo feature
+//! **disabled** (the default) every trigger is a no-op that compiles to
+//! nothing; with it **enabled**, tests arm individual points via [`arm`]
+//! and the armed hit returns a [`FaultInjected`] error, which the caller
+//! surfaces as its layer's typed error — simulating a crash or I/O failure
+//! at exactly that moment.
+//!
+//! Typical test loop ("kill the save at every possible point"):
+//!
+//! ```ignore
+//! fault::reset();
+//! save_catalog(&cat, dir)?;                  // clean run
+//! let hits = fault::hit_count("persist::file");
+//! for i in 1..=hits {
+//!     fault::reset();
+//!     fault::arm("persist::file", i);        // fail the i-th hit
+//!     assert!(save_catalog(&cat2, dir).is_err());
+//!     assert_eq!(load_catalog(dir)?, previous); // old state intact
+//! }
+//! ```
+//!
+//! The registry is global; tests that arm points must serialize themselves
+//! (e.g. with a shared `Mutex`) since parallel tests would otherwise see
+//! each other's faults.
+
+use std::io::Write;
+
+/// Error returned by an armed fault point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultInjected {
+    /// The fault point that fired, e.g. `"persist::manifest"`.
+    pub point: String,
+}
+
+impl std::fmt::Display for FaultInjected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at {}", self.point)
+    }
+}
+
+impl std::error::Error for FaultInjected {}
+
+impl From<FaultInjected> for crate::error::StorageError {
+    fn from(f: FaultInjected) -> Self {
+        crate::error::StorageError::Io(f.to_string())
+    }
+}
+
+impl From<FaultInjected> for std::io::Error {
+    fn from(f: FaultInjected) -> Self {
+        std::io::Error::other(f.to_string())
+    }
+}
+
+#[cfg(feature = "fault")]
+mod registry {
+    use super::FaultInjected;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    #[derive(Default)]
+    struct Point {
+        hits: u64,
+        /// One-shot: fail when `hits` reaches this value, then disarm.
+        fail_at: Option<u64>,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Point>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Point>>> = OnceLock::new();
+        REGISTRY.get_or_init(Default::default)
+    }
+
+    pub fn trigger(point: &str) -> Result<(), FaultInjected> {
+        let mut reg = registry().lock().unwrap();
+        let p = reg.entry(point.to_string()).or_default();
+        p.hits += 1;
+        if p.fail_at == Some(p.hits) {
+            p.fail_at = None;
+            return Err(FaultInjected {
+                point: point.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    pub fn arm(point: &str, nth_hit: u64) {
+        assert!(
+            nth_hit >= 1,
+            "fault points are armed on a 1-based hit index"
+        );
+        let mut reg = registry().lock().unwrap();
+        let p = reg.entry(point.to_string()).or_default();
+        p.hits = 0;
+        p.fail_at = Some(nth_hit);
+    }
+
+    pub fn hit_count(point: &str) -> u64 {
+        registry().lock().unwrap().get(point).map_or(0, |p| p.hits)
+    }
+
+    pub fn reset() {
+        registry().lock().unwrap().clear();
+    }
+}
+
+/// Check a fault point. No-op unless the `fault` feature is enabled *and*
+/// a test armed this point's current hit.
+#[cfg(feature = "fault")]
+pub fn trigger(point: &str) -> Result<(), FaultInjected> {
+    registry::trigger(point)
+}
+
+/// Check a fault point. No-op unless the `fault` feature is enabled *and*
+/// a test armed this point's current hit.
+#[cfg(not(feature = "fault"))]
+#[inline(always)]
+pub fn trigger(_point: &str) -> Result<(), FaultInjected> {
+    Ok(())
+}
+
+/// Arm `point` to fail on its `nth_hit`-th future hit (1-based), counting
+/// from this call; one-shot. Only available with the `fault` feature.
+#[cfg(feature = "fault")]
+pub fn arm(point: &str, nth_hit: u64) {
+    registry::arm(point, nth_hit)
+}
+
+/// Total hits `point` has seen since the last [`reset`] / [`arm`] of that
+/// point. Only available with the `fault` feature.
+#[cfg(feature = "fault")]
+pub fn hit_count(point: &str) -> u64 {
+    registry::hit_count(point)
+}
+
+/// Disarm every point and zero all hit counters. Only available with the
+/// `fault` feature.
+#[cfg(feature = "fault")]
+pub fn reset() {
+    registry::reset()
+}
+
+/// A writer wrapper that checks the `io::write` fault point on every
+/// write, letting tests inject partial-file writes and flush failures.
+/// Transparent (and effectively free) when the `fault` feature is off.
+#[derive(Debug)]
+pub struct FaultWriter<W: Write> {
+    inner: W,
+    point: &'static str,
+}
+
+impl<W: Write> FaultWriter<W> {
+    /// Wrap `inner`, checking `point` before every write/flush.
+    pub fn new(inner: W, point: &'static str) -> Self {
+        FaultWriter { inner, point }
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// The inner writer.
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Write> Write for FaultWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        trigger(self.point)?;
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        trigger(self.point)?;
+        self.inner.flush()
+    }
+}
+
+#[cfg(all(test, feature = "fault"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_point_fires_once_at_exact_hit() {
+        reset();
+        arm("t::p", 2);
+        assert!(trigger("t::p").is_ok());
+        let err = trigger("t::p").unwrap_err();
+        assert_eq!(err.point, "t::p");
+        // one-shot: disarmed after firing
+        assert!(trigger("t::p").is_ok());
+        assert_eq!(hit_count("t::p"), 3);
+        reset();
+        assert_eq!(hit_count("t::p"), 0);
+    }
+}

@@ -28,6 +28,7 @@ pub mod catalog;
 pub mod csv;
 pub mod date;
 pub mod error;
+pub mod fault;
 pub mod index;
 pub mod persist;
 pub mod schema;
@@ -38,7 +39,7 @@ pub use catalog::Catalog;
 pub use date::Date;
 pub use error::StorageError;
 pub use index::HashIndex;
-pub use persist::{load_catalog, save_catalog};
+pub use persist::{load_catalog, load_catalog_recover, save_catalog, RecoveryReport};
 pub use schema::{Column, Schema};
 pub use table::{Row, Table};
 pub use value::{DataType, Value};

@@ -1,18 +1,55 @@
-//! Catalog persistence: save/load a whole catalog as a directory of
-//! `<table>.schema` + `<table>.csv` files.
+//! Crash-safe catalog persistence.
 //!
-//! The format is deliberately boring — line-oriented schemas and RFC-4180
-//! CSV — so persisted databases are diffable, hand-editable, and loadable
-//! by any external tool. The benchmark harnesses use the same CSV writer
-//! for their measured series.
+//! A catalog is saved as a directory of `<table>.schema` + `<table>.csv`
+//! files — deliberately boring line-oriented schemas and RFC-4180 CSV, so
+//! persisted databases stay diffable and loadable by external tools. What
+//! changed from the naive format is *how* those files reach disk:
+//!
+//! ```text
+//! <dir>/
+//!   CURRENT            # name of the committed epoch, e.g. "v000007"
+//!   v000007/           # one complete, immutable snapshot
+//!     MANIFEST         # "fnv1a64:<hex> <size> <file>" per file
+//!     customer.schema
+//!     customer.csv
+//!   .tmp-v000008-1234/ # in-flight save (ignored by loads, gc'd later)
+//! ```
+//!
+//! [`save_catalog`] never touches the committed snapshot: it writes every
+//! file into a fresh temp directory (fsyncing each), writes a checksum
+//! `MANIFEST`, atomically renames the temp directory to the next epoch,
+//! and finally swaps the `CURRENT` pointer with an atomic rename. A crash
+//! at *any* point — mid-file, mid-manifest, between the renames — leaves
+//! `CURRENT` pointing at the previous fully-consistent epoch, which
+//! [`load_catalog`] will happily load. Only after the commit are the old
+//! epoch and any stale temp directories garbage-collected.
+//!
+//! [`load_catalog`] verifies every file of the committed epoch against the
+//! manifest (size + FNV-1a checksum) and fails with a typed
+//! [`StorageError::Corrupt`] naming the offending file — corruption is
+//! *reported*, never silently dropped. [`load_catalog_recover`] is the
+//! lenient entry point: it falls back to the newest loadable epoch and
+//! returns a [`RecoveryReport`] describing everything it skipped
+//! (corrupt epochs, orphaned publishes, stale temp directories).
+//!
+//! Directories written by the pre-epoch format (schema/CSV files directly
+//! in `<dir>`, no `CURRENT`) are still loadable; the first save upgrades
+//! them to the epoch layout without deleting the legacy files.
+//!
+//! Fault-injection points (active only with the `fault` feature; see
+//! [`crate::fault`]): `persist::file` before each table file is created,
+//! `persist::io_write` on every write syscall into table files,
+//! `persist::manifest` before the manifest is written, `persist::publish`
+//! before the epoch rename, `persist::commit` before the `CURRENT` swap.
 
 use std::fs;
-use std::io::{BufReader, BufWriter};
-use std::path::Path;
+use std::io::{BufReader, Write};
+use std::path::{Path, PathBuf};
 
 use crate::catalog::Catalog;
 use crate::csv;
 use crate::error::StorageError;
+use crate::fault;
 use crate::schema::Schema;
 use crate::value::DataType;
 
@@ -20,6 +57,12 @@ use crate::value::DataType;
 pub const SCHEMA_EXT: &str = "schema";
 /// File extension of data files.
 pub const DATA_EXT: &str = "csv";
+/// Name of the committed-epoch pointer file.
+pub const CURRENT_FILE: &str = "CURRENT";
+/// Name of the per-epoch checksum manifest.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// First line of a valid manifest.
+const MANIFEST_HEADER: &str = "conquer-manifest v1";
 
 fn type_name(t: DataType) -> &'static str {
     match t {
@@ -31,7 +74,7 @@ fn type_name(t: DataType) -> &'static str {
     }
 }
 
-fn parse_type(s: &str) -> Result<DataType, StorageError> {
+fn parse_type(s: &str, path: &Path) -> Result<DataType, StorageError> {
     Ok(match s {
         "bool" => DataType::Bool,
         "int" => DataType::Int,
@@ -39,36 +82,417 @@ fn parse_type(s: &str) -> Result<DataType, StorageError> {
         "text" => DataType::Text,
         "date" => DataType::Date,
         other => {
-            return Err(StorageError::Csv(format!(
-                "unknown type {other:?} in schema file"
-            )))
+            return Err(StorageError::Schema {
+                path: path.display().to_string(),
+                message: format!("unknown column type {other:?}"),
+            })
         }
     })
 }
 
-/// Save every table of `catalog` into `dir` (created if missing). Existing
-/// files for the same table names are overwritten; unrelated files are left
-/// alone.
+/// FNV-1a 64-bit checksum — small, dependency-free, and plenty to detect
+/// torn writes and bit rot (this is an integrity check, not a security
+/// boundary).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// What [`load_catalog_recover`] had to work around.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The epoch that was ultimately loaded (`None` for a legacy-layout
+    /// load).
+    pub loaded_epoch: Option<String>,
+    /// Human-readable descriptions of everything skipped or repaired:
+    /// corrupt epochs, orphaned (published-but-uncommitted) epochs, stale
+    /// temp directories from crashed saves.
+    pub issues: Vec<String>,
+}
+
+impl RecoveryReport {
+    /// True when the load was completely clean.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Saving
+// ---------------------------------------------------------------------------
+
+/// Durably save every table of `catalog` into `dir` (created if missing).
+///
+/// The save is atomic: it becomes visible only when the `CURRENT` pointer
+/// is swapped at the very end, and a crash at any earlier point leaves the
+/// previously committed snapshot untouched and loadable. Unrelated files
+/// in `dir` are left alone.
 pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<(), StorageError> {
     fs::create_dir_all(dir)?;
-    for table in catalog.tables() {
-        let schema_path = dir.join(format!("{}.{SCHEMA_EXT}", table.name()));
-        let mut text = String::new();
-        for c in table.schema().columns() {
-            text.push_str(&format!("{} {}\n", c.name(), type_name(c.data_type())));
-        }
-        fs::write(schema_path, text)?;
+    let epoch_num = next_epoch_number(dir);
+    let epoch_name = format!("v{epoch_num:06}");
+    let tmp = dir.join(format!(".tmp-{epoch_name}-{}", std::process::id()));
+    // A same-named leftover can only come from a crashed save by this
+    // very pid/epoch; replace it.
+    let _ = fs::remove_dir_all(&tmp);
+    fs::create_dir_all(&tmp)?;
 
-        let data_path = dir.join(format!("{}.{DATA_EXT}", table.name()));
-        let mut out = BufWriter::new(fs::File::create(data_path)?);
-        csv::write_table(table, &mut out)?;
+    // 1. Write every table file (+ fsync each) into the temp directory.
+    let mut manifest = String::from(MANIFEST_HEADER);
+    manifest.push('\n');
+    let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+    for table in catalog.tables() {
+        let mut schema_text = String::new();
+        for c in table.schema().columns() {
+            schema_text.push_str(&format!("{} {}\n", c.name(), type_name(c.data_type())));
+        }
+        files.push((
+            format!("{}.{SCHEMA_EXT}", table.name()),
+            schema_text.into_bytes(),
+        ));
+        let mut data = Vec::new();
+        csv::write_table(table, &mut data)?;
+        files.push((format!("{}.{DATA_EXT}", table.name()), data));
     }
+    for (name, bytes) in &files {
+        fault::trigger("persist::file")?;
+        write_file_sync(&tmp.join(name), bytes)?;
+        manifest.push_str(&format!(
+            "fnv1a64:{:016x} {} {}\n",
+            fnv1a64(bytes),
+            bytes.len(),
+            name
+        ));
+    }
+
+    // 2. Write the manifest, fsync it and the temp directory itself.
+    fault::trigger("persist::manifest")?;
+    write_file_sync(&tmp.join(MANIFEST_FILE), manifest.as_bytes())?;
+    sync_dir(&tmp);
+
+    // 3. Publish: atomically rename the temp directory to its epoch name.
+    //    A same-named orphan can only be an uncommitted epoch from a
+    //    crashed save (CURRENT still points elsewhere) — remove it.
+    fault::trigger("persist::publish")?;
+    let epoch_dir = dir.join(&epoch_name);
+    if epoch_dir.exists() {
+        fs::remove_dir_all(&epoch_dir)?;
+    }
+    fs::rename(&tmp, &epoch_dir)?;
+    sync_dir(dir);
+
+    // 4. Commit: atomically swap the CURRENT pointer.
+    fault::trigger("persist::commit")?;
+    let current_tmp = dir.join(format!(".{CURRENT_FILE}.tmp-{}", std::process::id()));
+    write_file_sync(&current_tmp, epoch_name.as_bytes())?;
+    fs::rename(&current_tmp, dir.join(CURRENT_FILE))?;
+    sync_dir(dir);
+
+    // 5. Garbage-collect superseded epochs and stale temp directories.
+    //    Best-effort: a failure here cannot corrupt the committed state.
+    gc(dir, &epoch_name);
     Ok(())
 }
 
-/// Load a catalog from a directory written by [`save_catalog`]: every
-/// `<name>.schema` file (with its `<name>.csv`) becomes a table.
+/// Write `bytes` to `path` and fsync the file. Writes go through a
+/// [`fault::FaultWriter`] so tests can inject partial writes.
+fn write_file_sync(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+    let file = fs::File::create(path)?;
+    let mut w = fault::FaultWriter::new(file, "persist::io_write");
+    w.write_all(bytes)?;
+    w.flush()?;
+    w.into_inner().sync_all()?;
+    Ok(())
+}
+
+/// fsync a directory so renames/creates inside it are durable. Best-effort
+/// (directory fsync is not supported everywhere).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// The epoch number the next save should use: one past the largest epoch
+/// visible on disk (committed or not), so publishes never collide with a
+/// committed snapshot.
+fn next_epoch_number(dir: &Path) -> u64 {
+    let mut max = 0u64;
+    if let Some(name) = read_current(dir) {
+        max = max.max(parse_epoch(&name).unwrap_or(0));
+    }
+    for name in list_epoch_dirs(dir) {
+        max = max.max(parse_epoch(&name).unwrap_or(0));
+    }
+    max + 1
+}
+
+fn parse_epoch(name: &str) -> Option<u64> {
+    name.strip_prefix('v')?.parse().ok()
+}
+
+fn read_current(dir: &Path) -> Option<String> {
+    let text = fs::read_to_string(dir.join(CURRENT_FILE)).ok()?;
+    let name = text.trim();
+    (!name.is_empty()).then(|| name.to_string())
+}
+
+/// Names of `v*` epoch directories directly under `dir`.
+fn list_epoch_dirs(dir: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                if path.is_dir() && parse_epoch(name).is_some() {
+                    out.push(name.to_string());
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Names of `.tmp-*` in-flight-save directories directly under `dir`.
+fn list_tmp_dirs(dir: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                if path.is_dir() && name.starts_with(".tmp-") {
+                    out.push(name.to_string());
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Remove epochs other than `keep` and all stale temp directories.
+fn gc(dir: &Path, keep: &str) {
+    for name in list_epoch_dirs(dir) {
+        if name != keep {
+            let _ = fs::remove_dir_all(dir.join(name));
+        }
+    }
+    for name in list_tmp_dirs(dir) {
+        let _ = fs::remove_dir_all(dir.join(name));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loading
+// ---------------------------------------------------------------------------
+
+/// Load the committed snapshot from a directory written by
+/// [`save_catalog`], verifying every file against the epoch's checksum
+/// manifest. Fails with [`StorageError::Corrupt`] (naming the offending
+/// file) on any integrity violation — use [`load_catalog_recover`] to fall
+/// back to an older epoch instead.
+///
+/// Directories in the legacy layout (schema/CSV files directly in `dir`,
+/// no `CURRENT`) load without integrity verification.
 pub fn load_catalog(dir: &Path) -> Result<Catalog, StorageError> {
+    match read_current(dir) {
+        Some(epoch) => load_epoch(&dir.join(&epoch)),
+        None => load_legacy(dir),
+    }
+}
+
+/// Load the newest loadable snapshot, tolerating (and reporting) corrupt
+/// or partially-written state: a corrupt committed epoch falls back to the
+/// newest older epoch that verifies; orphaned epochs (published but never
+/// committed) and stale temp directories from crashed saves are reported.
+///
+/// Fails only when *no* epoch is loadable.
+pub fn load_catalog_recover(dir: &Path) -> Result<(Catalog, RecoveryReport), StorageError> {
+    let mut report = RecoveryReport::default();
+    for tmp in list_tmp_dirs(dir) {
+        report.issues.push(format!(
+            "stale temp directory from an interrupted save: {tmp}"
+        ));
+    }
+
+    let current = read_current(dir);
+    let epochs = list_epoch_dirs(dir);
+    if current.is_none() && epochs.is_empty() {
+        // Legacy layout (or nothing at all): defer to the strict loader.
+        let catalog = load_legacy(dir)?;
+        return Ok((catalog, report));
+    }
+
+    for orphan in epochs.iter().filter(|e| {
+        current
+            .as_deref()
+            .is_some_and(|c| parse_epoch(e).unwrap_or(0) > parse_epoch(c).unwrap_or(0))
+    }) {
+        report.issues.push(format!(
+            "orphaned epoch {orphan}: published but never committed \
+             (save interrupted before the CURRENT swap); ignored"
+        ));
+    }
+
+    // Try the committed epoch first, then every other epoch newest-first.
+    let mut candidates: Vec<String> = Vec::new();
+    if let Some(c) = &current {
+        candidates.push(c.clone());
+    }
+    for e in epochs.iter().rev() {
+        if Some(e.as_str()) != current.as_deref() {
+            candidates.push(e.clone());
+        }
+    }
+
+    // On total failure, surface the *committed* epoch's error — it is the
+    // one the user cares about, not whichever fallback failed last.
+    let mut first_err: Option<StorageError> = None;
+    for epoch in candidates {
+        match load_epoch(&dir.join(&epoch)) {
+            Ok(catalog) => {
+                report.loaded_epoch = Some(epoch);
+                return Ok((catalog, report));
+            }
+            Err(e) => {
+                report
+                    .issues
+                    .push(format!("epoch {epoch} is not loadable: {e}"));
+                first_err.get_or_insert(e);
+            }
+        }
+    }
+    Err(first_err.unwrap_or_else(|| StorageError::Corrupt {
+        path: dir.display().to_string(),
+        detail: "no loadable epoch found".into(),
+    }))
+}
+
+/// Load and verify one epoch directory against its manifest.
+fn load_epoch(epoch_dir: &Path) -> Result<Catalog, StorageError> {
+    let manifest_path = epoch_dir.join(MANIFEST_FILE);
+    let corrupt = |path: &Path, detail: String| StorageError::Corrupt {
+        path: path.display().to_string(),
+        detail,
+    };
+    let manifest_text = fs::read_to_string(&manifest_path)
+        .map_err(|e| corrupt(&manifest_path, format!("cannot read manifest: {e}")))?;
+    let mut lines = manifest_text.lines();
+    if lines.next() != Some(MANIFEST_HEADER) {
+        return Err(corrupt(
+            &manifest_path,
+            format!("bad manifest header (expected {MANIFEST_HEADER:?})"),
+        ));
+    }
+
+    // Verify every manifest entry and collect the verified bytes.
+    let mut verified: Vec<(String, Vec<u8>)> = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        let (sum, size, name) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(s), Some(z), Some(n)) => (s, z, n),
+            _ => {
+                return Err(corrupt(
+                    &manifest_path,
+                    format!("malformed manifest line {line:?}"),
+                ))
+            }
+        };
+        let expected_sum = sum
+            .strip_prefix("fnv1a64:")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| corrupt(&manifest_path, format!("bad checksum field {sum:?}")))?;
+        let expected_size: u64 = size
+            .parse()
+            .map_err(|_| corrupt(&manifest_path, format!("bad size field {size:?}")))?;
+        let file_path = epoch_dir.join(name);
+        let bytes = fs::read(&file_path).map_err(|e| {
+            corrupt(
+                &file_path,
+                format!("listed in manifest but unreadable: {e}"),
+            )
+        })?;
+        if bytes.len() as u64 != expected_size {
+            return Err(corrupt(
+                &file_path,
+                format!(
+                    "size mismatch: manifest says {expected_size} bytes, file has {} \
+                     (partially written?)",
+                    bytes.len()
+                ),
+            ));
+        }
+        let actual_sum = fnv1a64(&bytes);
+        if actual_sum != expected_sum {
+            return Err(corrupt(
+                &file_path,
+                format!(
+                    "checksum mismatch: manifest says fnv1a64:{expected_sum:016x}, \
+                     file hashes to fnv1a64:{actual_sum:016x}"
+                ),
+            ));
+        }
+        verified.push((name.to_string(), bytes));
+    }
+
+    // Assemble tables from the verified bytes: schemas first, then data.
+    let mut catalog = Catalog::new();
+    let mut names: Vec<String> = verified
+        .iter()
+        .filter_map(|(n, _)| n.strip_suffix(&format!(".{SCHEMA_EXT}")))
+        .map(str::to_string)
+        .collect();
+    names.sort();
+    let find = |file: &str| verified.iter().find(|(n, _)| n == file).map(|(_, b)| b);
+    for name in names {
+        let schema_file = format!("{name}.{SCHEMA_EXT}");
+        let schema_bytes = find(&schema_file)
+            .ok_or_else(|| corrupt(&epoch_dir.join(&schema_file), "schema file vanished".into()))?;
+        let schema_path = epoch_dir.join(&schema_file);
+        let schema_text = std::str::from_utf8(schema_bytes).map_err(|_| StorageError::Schema {
+            path: schema_path.display().to_string(),
+            message: "schema file is not valid UTF-8".into(),
+        })?;
+        let schema = parse_schema_text(schema_text, &schema_path)?;
+        let table = match find(&format!("{name}.{DATA_EXT}")) {
+            Some(data) => csv::read_table(&name, schema, BufReader::new(&data[..]))?,
+            None => crate::table::Table::new(&name, schema),
+        };
+        catalog.add_table(table)?;
+    }
+    Ok(catalog)
+}
+
+/// Parse the line-oriented `<column> <type>` schema format.
+fn parse_schema_text(text: &str, path: &Path) -> Result<Schema, StorageError> {
+    let mut pairs = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (col, ty) = line.split_once(' ').ok_or_else(|| StorageError::Schema {
+            path: path.display().to_string(),
+            message: format!("malformed schema line {line:?} (expected \"<column> <type>\")"),
+        })?;
+        pairs.push((col.to_string(), parse_type(ty.trim(), path)?));
+    }
+    Schema::from_pairs(pairs)
+}
+
+/// Load a legacy (pre-epoch) layout: every `<name>.schema` file directly
+/// in `dir` (with its `<name>.csv`) becomes a table. No manifest, no
+/// integrity verification — this is the hand-editable escape hatch.
+fn load_legacy(dir: &Path) -> Result<Catalog, StorageError> {
     let mut catalog = Catalog::new();
     let mut names: Vec<String> = Vec::new();
     for entry in fs::read_dir(dir)? {
@@ -81,19 +505,9 @@ pub fn load_catalog(dir: &Path) -> Result<Catalog, StorageError> {
     }
     names.sort();
     for name in names {
-        let schema_text = fs::read_to_string(dir.join(format!("{name}.{SCHEMA_EXT}")))?;
-        let mut pairs = Vec::new();
-        for line in schema_text.lines() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let (col, ty) = line.split_once(' ').ok_or_else(|| {
-                StorageError::Csv(format!("malformed schema line {line:?} for table {name:?}"))
-            })?;
-            pairs.push((col.to_string(), parse_type(ty.trim())?));
-        }
-        let schema = Schema::from_pairs(pairs)?;
+        let schema_path = dir.join(format!("{name}.{SCHEMA_EXT}"));
+        let schema_text = fs::read_to_string(&schema_path)?;
+        let schema = parse_schema_text(&schema_text, &schema_path)?;
         let data_path = dir.join(format!("{name}.{DATA_EXT}"));
         let table = if data_path.exists() {
             let reader = BufReader::new(fs::File::open(data_path)?);
@@ -104,6 +518,16 @@ pub fn load_catalog(dir: &Path) -> Result<Catalog, StorageError> {
         catalog.add_table(table)?;
     }
     Ok(catalog)
+}
+
+/// The path of a table's data file inside the currently committed epoch
+/// (or the legacy location when no epoch is committed). Useful for
+/// external tools that want to read the CSVs directly.
+pub fn current_data_path(dir: &Path, table: &str) -> PathBuf {
+    match read_current(dir) {
+        Some(epoch) => dir.join(epoch).join(format!("{table}.{DATA_EXT}")),
+        None => dir.join(format!("{table}.{DATA_EXT}")),
+    }
 }
 
 #[cfg(test)]
@@ -180,24 +604,156 @@ mod tests {
     }
 
     #[test]
-    fn malformed_schema_rejected() {
+    fn malformed_schema_rejected_with_schema_error_naming_the_file() {
         let dir = tempdir("malformed");
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("bad.schema"), "no-type-here\n").unwrap();
-        assert!(load_catalog(&dir).is_err());
+        let err = load_catalog(&dir).unwrap_err();
+        match &err {
+            StorageError::Schema { path, .. } => assert!(path.contains("bad.schema"), "{err}"),
+            other => panic!("expected Schema error, got {other:?}"),
+        }
         fs::write(dir.join("bad.schema"), "col weirdtype\n").unwrap();
-        assert!(load_catalog(&dir).is_err());
+        let err = load_catalog(&dir).unwrap_err();
+        assert!(
+            matches!(&err, StorageError::Schema { message, .. } if message.contains("weirdtype")),
+            "{err:?}"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn save_is_idempotent() {
+    fn save_is_idempotent_and_gcs_old_epochs() {
         let dir = tempdir("idem");
         let cat = sample();
         save_catalog(&cat, &dir).unwrap();
         save_catalog(&cat, &dir).unwrap();
         let back = load_catalog(&dir).unwrap();
         assert_eq!(back.table("customer").unwrap().len(), 2);
+        // only the committed epoch survives gc
+        assert_eq!(list_epoch_dirs(&dir).len(), 1);
+        assert!(list_tmp_dirs(&dir).is_empty());
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_data_file_is_reported_not_dropped() {
+        let dir = tempdir("corrupt");
+        save_catalog(&sample(), &dir).unwrap();
+        let epoch = read_current(&dir).unwrap();
+        let victim = dir.join(&epoch).join("customer.csv");
+        let mut bytes = fs::read(&victim).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0xff; // flip a bit
+        fs::write(&victim, bytes).unwrap();
+        let err = load_catalog(&dir).unwrap_err();
+        assert!(
+            matches!(&err, StorageError::Corrupt { path, detail }
+                if path.contains("customer.csv") && detail.contains("checksum")),
+            "{err:?}"
+        );
+        // recovery has nothing older to fall back to → also fails, but
+        // reports what it saw
+        let rec = load_catalog_recover(&dir);
+        assert!(rec.is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_reported_as_partial_write() {
+        let dir = tempdir("truncated");
+        save_catalog(&sample(), &dir).unwrap();
+        let epoch = read_current(&dir).unwrap();
+        let victim = dir.join(&epoch).join("customer.csv");
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_catalog(&dir).unwrap_err();
+        assert!(
+            matches!(&err, StorageError::Corrupt { detail, .. } if detail.contains("size mismatch")),
+            "{err:?}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphaned_epoch_is_ignored_and_reported() {
+        let dir = tempdir("orphan");
+        save_catalog(&sample(), &dir).unwrap();
+        // Simulate a save that crashed after publish but before commit:
+        // an epoch directory newer than CURRENT.
+        fs::create_dir_all(dir.join("v999999")).unwrap();
+        fs::write(dir.join("v999999").join(MANIFEST_FILE), "garbage").unwrap();
+        let strict = load_catalog(&dir).unwrap();
+        assert_eq!(strict.table_names(), vec!["customer", "empty"]);
+        let (cat, report) = load_catalog_recover(&dir).unwrap();
+        assert_eq!(cat.table_names(), vec!["customer", "empty"]);
+        assert!(
+            report
+                .issues
+                .iter()
+                .any(|i| i.contains("orphaned epoch v999999")),
+            "{report:?}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_falls_back_to_older_epoch_when_current_is_corrupt() {
+        let dir = tempdir("fallback");
+        let cat1 = sample();
+        save_catalog(&cat1, &dir).unwrap();
+        let epoch1 = read_current(&dir).unwrap();
+        // Second save; then corrupt its manifest and keep epoch1 around.
+        let mut cat2 = sample();
+        cat2.create_table("extra", Schema::from_pairs([("y", DataType::Int)]).unwrap())
+            .unwrap();
+        // preserve epoch1 from gc by re-creating it afterwards
+        let saved_epoch1 = dir.join(&epoch1);
+        let backup = tempdir("fallback_backup");
+        fs::create_dir_all(&backup).unwrap();
+        copy_dir(&saved_epoch1, &backup.join(&epoch1));
+        save_catalog(&cat2, &dir).unwrap();
+        copy_dir(&backup.join(&epoch1), &saved_epoch1);
+        let epoch2 = read_current(&dir).unwrap();
+        fs::write(dir.join(&epoch2).join(MANIFEST_FILE), "garbage").unwrap();
+
+        assert!(load_catalog(&dir).is_err());
+        let (cat, report) = load_catalog_recover(&dir).unwrap();
+        assert_eq!(report.loaded_epoch, Some(epoch1));
+        assert_eq!(cat.table_names(), vec!["customer", "empty"]);
+        assert!(
+            report.issues.iter().any(|i| i.contains(&epoch2)),
+            "{report:?}"
+        );
+        fs::remove_dir_all(&dir).ok();
+        fs::remove_dir_all(&backup).ok();
+    }
+
+    #[test]
+    fn legacy_layout_still_loads_and_upgrades_on_save() {
+        let dir = tempdir("legacy");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("t.schema"), "a int\nb text\n").unwrap();
+        fs::write(dir.join("t.csv"), "a,b\n1,x\n2,y\n").unwrap();
+        let cat = load_catalog(&dir).unwrap();
+        assert_eq!(cat.table("t").unwrap().len(), 2);
+        let (cat2, report) = load_catalog_recover(&dir).unwrap();
+        assert_eq!(cat2.table("t").unwrap().len(), 2);
+        assert!(report.loaded_epoch.is_none());
+        // First save upgrades to the epoch layout without touching the
+        // legacy files.
+        save_catalog(&cat, &dir).unwrap();
+        assert!(dir.join(CURRENT_FILE).exists());
+        assert!(dir.join("t.schema").exists());
+        assert_eq!(load_catalog(&dir).unwrap().table("t").unwrap().len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    fn copy_dir(from: &Path, to: &Path) {
+        fs::create_dir_all(to).unwrap();
+        for entry in fs::read_dir(from).unwrap() {
+            let entry = entry.unwrap();
+            fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+        }
     }
 }

@@ -1,0 +1,144 @@
+//! Fault-injection tests for crash-safe persistence (require
+//! `--features fault`): kill a save at every reachable failure point and
+//! assert (a) the failure surfaces as a typed error, (b) the previously
+//! committed catalog is still fully loadable, (c) the very next save
+//! succeeds and commits.
+#![cfg(feature = "fault")]
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use conquer_storage::{
+    fault, load_catalog, load_catalog_recover, save_catalog, Catalog, DataType, Schema,
+    StorageError, Table, Value,
+};
+
+/// The fault registry is process-global; every test must hold this lock.
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Default::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("conquer_fault_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A catalog whose single table has `n` rows (so versions are
+/// distinguishable by row count).
+fn catalog_with_rows(n: i64) -> Catalog {
+    let mut t = Table::new(
+        "t",
+        Schema::from_pairs([("a", DataType::Int), ("b", DataType::Text)]).unwrap(),
+    );
+    for i in 0..n {
+        t.insert(vec![Value::Int(i), Value::text(format!("row {i}"))])
+            .unwrap();
+    }
+    let mut cat = Catalog::new();
+    cat.add_table(t).unwrap();
+    cat
+}
+
+fn loaded_rows(dir: &Path) -> usize {
+    load_catalog(dir).unwrap().table("t").unwrap().len()
+}
+
+/// Count how many times `point` is hit during one clean save of `cat`.
+fn count_hits(point: &str, cat: &Catalog) -> u64 {
+    let scratch = tempdir("scratch");
+    fault::reset();
+    save_catalog(cat, &scratch).unwrap();
+    let hits = fault::hit_count(point);
+    std::fs::remove_dir_all(&scratch).ok();
+    hits
+}
+
+#[test]
+fn save_killed_at_every_failure_point_leaves_previous_catalog_loadable() {
+    let _guard = serialize();
+    let dir = tempdir("kill_everywhere");
+    let v1 = catalog_with_rows(3);
+    let v2 = catalog_with_rows(7);
+    fault::reset();
+    save_catalog(&v1, &dir).unwrap();
+    assert_eq!(loaded_rows(&dir), 3);
+
+    for point in [
+        "persist::file",
+        "persist::io_write",
+        "persist::manifest",
+        "persist::publish",
+        "persist::commit",
+    ] {
+        let hits = count_hits(point, &v2);
+        assert!(hits > 0, "fault point {point} never hit during a save");
+        for i in 1..=hits {
+            fault::reset();
+            fault::arm(point, i);
+            let err = save_catalog(&v2, &dir)
+                .expect_err(&format!("save survived {point} hit {i}/{hits}"));
+            assert!(
+                matches!(err, StorageError::Io(_)),
+                "unexpected error type from {point} hit {i}: {err:?}"
+            );
+            // The committed snapshot is untouched — strict load succeeds
+            // and still sees v1.
+            assert_eq!(
+                loaded_rows(&dir),
+                3,
+                "previous catalog lost after {point} hit {i}"
+            );
+        }
+    }
+
+    // The database stays usable: the next clean save commits v2 and the
+    // debris from all the crashed attempts is garbage-collected.
+    fault::reset();
+    save_catalog(&v2, &dir).unwrap();
+    assert_eq!(loaded_rows(&dir), 7);
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "stale temp dirs survived gc: {leftovers:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_reports_debris_from_a_crashed_save() {
+    let _guard = serialize();
+    let dir = tempdir("debris");
+    fault::reset();
+    save_catalog(&catalog_with_rows(2), &dir).unwrap();
+    // Crash mid-write: leaves a .tmp-* directory behind.
+    fault::arm("persist::manifest", 1);
+    assert!(save_catalog(&catalog_with_rows(5), &dir).is_err());
+    fault::reset();
+    let (cat, report) = load_catalog_recover(&dir).unwrap();
+    assert_eq!(cat.table("t").unwrap().len(), 2);
+    assert!(
+        report.issues.iter().any(|i| i.contains("interrupted save")),
+        "{report:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_fault_is_a_typed_error_not_a_panic() {
+    let _guard = serialize();
+    let dir = tempdir("typed");
+    fault::reset();
+    fault::arm("persist::io_write", 1);
+    let err = save_catalog(&catalog_with_rows(1), &dir).unwrap_err();
+    assert!(err.to_string().contains("injected fault"), "{err}");
+    fault::reset();
+    std::fs::remove_dir_all(&dir).ok();
+}

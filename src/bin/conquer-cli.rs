@@ -13,7 +13,8 @@
 //! \check <select …>                              explain whether the query is rewritable
 //! \explain <select …>                            show the physical plan
 //! \gen <sf> <if>                                 load a dirtied TPC-H-lite database
-//! \save <dir> / \load <dir>                      persist / restore the catalog
+//! \save <dir> / \load <dir>                      persist / restore the catalog (crash-safe; \load reports recovery issues)
+//! \limit [mem <bytes> | time <ms> | off]         per-query resource limits (no args: show)
 //! \topk <k> <select …>                           k most probable clean answers
 //! \why <v1,v2,…> <select …>                      explain one answer's probability
 //! \stats                                         dirty-data statistics per table
@@ -90,7 +91,8 @@ impl Shell {
             "help" | "h" => println!(
                 "SQL statements run directly; \\dirty <t> [id [prob]], \\clean <sql>, \
                  \\expected <sql>, \\rewrite <sql>, \\check <sql>, \\explain <sql>, \
-                 \\gen <sf> <if>, \\save <dir>, \\load <dir>, \\topk <k> <sql>, \\why <tuple> <sql>, \\stats, \\tables, \\validate, \\quit"
+                 \\gen <sf> <if>, \\save <dir>, \\load <dir>, \\limit [mem <bytes> | time <ms> | off], \
+                 \\topk <k> <sql>, \\why <tuple> <sql>, \\stats, \\tables, \\validate, \\quit"
             ),
             "tables" => {
                 for t in self.db.catalog().tables() {
@@ -234,8 +236,12 @@ impl Shell {
                 if arg.is_empty() {
                     return Err("usage: \\load <dir>".into());
                 }
-                let catalog = conquer_storage::load_catalog(std::path::Path::new(arg))
-                    .map_err(|e| e.to_string())?;
+                let (catalog, report) =
+                    conquer_storage::load_catalog_recover(std::path::Path::new(arg))
+                        .map_err(|e| e.to_string())?;
+                for issue in &report.issues {
+                    eprintln!("recovery: {issue}");
+                }
                 self.db = Database::from_catalog(catalog);
                 self.spec = DirtySpec::new();
                 println!(
@@ -243,6 +249,45 @@ impl Shell {
                     self.db.catalog().len(),
                     self.db.catalog().total_rows()
                 );
+            }
+            "limit" => {
+                let mut parts = arg.split_whitespace();
+                match (parts.next(), parts.next()) {
+                    (None, _) => {
+                        let l = self.db.limits();
+                        println!(
+                            "memory: {}, timeout: {}",
+                            l.mem_bytes
+                                .map_or("unlimited".into(), |b| format!("{b} bytes")),
+                            l.timeout
+                                .map_or("unlimited".into(), |t| format!("{t:?}")),
+                        );
+                    }
+                    (Some("off"), _) => {
+                        self.db.set_limits(ExecLimits::none());
+                        println!("limits cleared.");
+                    }
+                    (Some("mem"), Some(bytes)) => {
+                        let bytes: u64 =
+                            bytes.parse().map_err(|_| "usage: \\limit mem <bytes>")?;
+                        self.db.set_limits(self.db.limits().with_mem_bytes(bytes));
+                        println!("memory budget: {bytes} bytes per query.");
+                    }
+                    (Some("time"), Some(ms)) => {
+                        let ms: u64 = ms.parse().map_err(|_| "usage: \\limit time <ms>")?;
+                        self.db.set_limits(
+                            self.db
+                                .limits()
+                                .with_timeout(std::time::Duration::from_millis(ms)),
+                        );
+                        println!("query timeout: {ms} ms.");
+                    }
+                    _ => {
+                        return Err(
+                            "usage: \\limit [mem <bytes> | time <ms> | off]".into()
+                        )
+                    }
+                }
             }
             other => return Err(format!("unknown command \\{other}; try \\help")),
         }

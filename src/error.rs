@@ -31,6 +31,19 @@ pub enum ConquerError {
     /// Clean-answer layer failure (rewritability, dirty-spec validation,
     /// candidate-enumeration limits).
     Core(CoreError),
+    /// A query exceeded its configured memory budget (see
+    /// [`conquer_engine::ExecLimits`]).
+    ResourceExhausted {
+        /// The configured budget, in bytes.
+        limit_bytes: u64,
+        /// Bytes the query would have held after the rejected charge.
+        attempted_bytes: u64,
+    },
+    /// A query exceeded its configured wall-clock deadline.
+    Timeout(std::time::Duration),
+    /// A query was cancelled through its
+    /// [`conquer_engine::CancelToken`].
+    Cancelled,
 }
 
 /// Workspace-wide result alias; the default error is [`ConquerError`].
@@ -43,6 +56,18 @@ impl fmt::Display for ConquerError {
             ConquerError::Storage(e) => write!(f, "{e}"),
             ConquerError::Engine(e) => write!(f, "{e}"),
             ConquerError::Core(e) => write!(f, "{e}"),
+            ConquerError::ResourceExhausted {
+                limit_bytes,
+                attempted_bytes,
+            } => write!(
+                f,
+                "query exceeded its memory budget: needed {attempted_bytes} bytes, \
+                 limit is {limit_bytes} bytes"
+            ),
+            ConquerError::Timeout(limit) => {
+                write!(f, "query exceeded its time limit of {limit:?}")
+            }
+            ConquerError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }
@@ -54,6 +79,9 @@ impl std::error::Error for ConquerError {
             ConquerError::Storage(e) => Some(e),
             ConquerError::Engine(e) => Some(e),
             ConquerError::Core(e) => Some(e),
+            ConquerError::ResourceExhausted { .. }
+            | ConquerError::Timeout(_)
+            | ConquerError::Cancelled => None,
         }
     }
 }
@@ -75,6 +103,15 @@ impl From<EngineError> for ConquerError {
         match e {
             EngineError::Parse(p) => ConquerError::Parse(p),
             EngineError::Storage(s) => ConquerError::Storage(s),
+            EngineError::ResourceExhausted {
+                limit_bytes,
+                attempted_bytes,
+            } => ConquerError::ResourceExhausted {
+                limit_bytes,
+                attempted_bytes,
+            },
+            EngineError::Timeout { limit } => ConquerError::Timeout(limit),
+            EngineError::Cancelled => ConquerError::Cancelled,
             other => ConquerError::Engine(other),
         }
     }

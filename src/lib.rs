@@ -63,7 +63,9 @@ pub mod prelude {
         apply_crossref, explain_answer, CleanAnswers, DirtyDatabase, DirtySpec, DirtyTableMeta,
         EvalStrategy, JoinGraph, NotRewritable, RewriteClean, RewriteExpected,
     };
-    pub use conquer_engine::{Database, ExecStats, QueryResult, Statement};
+    pub use conquer_engine::{
+        CancelToken, Database, ExecContext, ExecLimits, ExecStats, QueryResult, Statement,
+    };
     pub use conquer_prob::{
         assign_probabilities, sorted_neighborhood, Clustering, EditDistance, InfoLossDistance,
         SortedNeighborhoodConfig,
