@@ -26,7 +26,8 @@ fn customer_matrix(if_factor: u32) -> (CategoricalMatrix, Clustering) {
         if_factor,
         prob_mode: ProbMode::Uniform,
         perturb: PerturbOptions::default(),
-    });
+    })
+    .expect("generator");
     let table = dirty.catalog.table("customer").expect("generated");
     let matrix =
         CategoricalMatrix::from_table(table, &["c_name", "c_address", "c_phone", "c_mktsegment"])

@@ -97,7 +97,8 @@ pub fn probability_modes(sf: f64, runs: usize) -> Report {
         if_factor: 5,
         prob_mode: ProbMode::Uniform,
         perturb: PerturbOptions::default(),
-    });
+    })
+    .expect("generator");
     for (label, mode) in [
         ("uniform", ProbMode::Uniform),
         ("random", ProbMode::Random),
@@ -131,7 +132,8 @@ pub fn join_strategies(sf: f64, runs: usize) -> Report {
         if_factor: 3,
         prob_mode: ProbMode::Uniform,
         perturb: PerturbOptions::default(),
-    });
+    })
+    .expect("generator");
     propagate_identifiers(&mut dirty.catalog).expect("generated data");
     for t in ["customer", "orders", "lineitem"] {
         compute_probabilities(&mut dirty.catalog, t, ProbMode::Uniform, 7).expect("tables exist");

@@ -49,7 +49,8 @@ pub fn fig7(sf: f64, runs: usize) -> Report {
     ));
 
     for if_factor in [1u32, 5, 25] {
-        let dirty = generate_unpropagated(config(sf, if_factor, ProbMode::InfoLoss, 7));
+        let dirty =
+            generate_unpropagated(config(sf, if_factor, ProbMode::InfoLoss, 7)).expect("generator");
         let rows = dirty.catalog.table("lineitem").expect("generated").len();
 
         // Propagation time: rewrite all lineitem FKs (fresh catalog each

@@ -90,7 +90,7 @@ pub fn table3() -> Report {
 /// the 56-tuple cluster, its two most likely tuples, and its two least
 /// likely tuples (which must be the mis-clustered and odd-format records).
 pub fn table4() -> Report {
-    let (t, misclustered, odd) = schapire_cluster(1);
+    let (t, misclustered, odd) = schapire_cluster(1).expect("generator");
     let matrix = CategoricalMatrix::from_table(&t, &CITATION_ATTRIBUTES).expect("schema");
     let clustering = Clustering::from_id_column(&t, "id").expect("id column");
     let probs = assign_probabilities(&matrix, &clustering, &InfoLossDistance);

@@ -96,6 +96,51 @@ impl DirtyDatabase {
         check_rewritable(self.db.catalog(), &self.spec, &stmt)
     }
 
+    /// Statically analyze a query against this dirty database: all the
+    /// engine lints ([`Database::analyze`]) plus a `CQ1007` warning when the
+    /// query falls outside the rewritable class and clean-answer evaluation
+    /// would have to fall back to naive enumeration — including the
+    /// estimated number of candidate databases that implies.
+    pub fn analyze(&self, sql: &str) -> Vec<conquer_engine::Diagnostic> {
+        let mut diags = self.db.analyze(sql);
+        // Rewritability is only worth reporting for queries that at least
+        // bind cleanly.
+        if diags.iter().any(|d| d.is_error()) {
+            return diags;
+        }
+        let Ok(stmt) = parse_select(sql) else {
+            return diags;
+        };
+        if let Ok(Err(reason)) =
+            crate::graph::explain_rewritable(self.db.catalog(), &self.spec, &stmt)
+        {
+            let tables: Vec<String> = stmt
+                .from
+                .iter()
+                .map(|t| t.table.clone())
+                .filter(|t| self.spec.meta(t).is_some())
+                .collect();
+            let candidates = self.candidate_count(Some(&tables)).unwrap_or(u128::MAX);
+            let span = reason
+                .obstacles
+                .first()
+                .map(|o| o.span)
+                .unwrap_or(conquer_sql::Span::NONE);
+            diags.push(
+                conquer_engine::Diagnostic::new(
+                    conquer_engine::Code::NaiveFallback,
+                    span,
+                    format!(
+                        "query is outside the rewritable class (Definition 7); naive \
+                         evaluation would enumerate ~{candidates} candidate database(s)"
+                    ),
+                )
+                .with_help(reason.render_tree(Some(sql))),
+            );
+        }
+        diags
+    }
+
     /// Produce the rewritten (clean-answer) query for inspection.
     pub fn rewrite(&self, sql: &str) -> Result<SelectStatement> {
         let stmt = parse_select(sql)?;
@@ -158,12 +203,11 @@ impl DirtyDatabase {
     pub fn clean_answers_above(&self, sql: &str, tau: f64) -> Result<CleanAnswers> {
         let stmt = parse_select(sql)?;
         let mut rewritten = RewriteClean.rewrite(self.db.catalog(), &self.spec, &stmt)?;
-        let SelectItem::Expr { expr: sum_expr, .. } = rewritten
-            .projection
-            .last()
-            .expect("rewriting appends the probability item")
-        else {
-            unreachable!("rewriting appends an expression item")
+        let Some(SelectItem::Expr { expr: sum_expr, .. }) = rewritten.projection.last() else {
+            return Err(conquer_engine::EngineError::internal(
+                "RewriteClean must append the probability aggregate as the last projection item",
+            )
+            .into());
         };
         rewritten.having = Some(Expr::binary(
             sum_expr.clone(),
@@ -216,7 +260,6 @@ fn probability_alias(rewritten: &SelectStatement) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::error::NotRewritable;
 
     /// The paper's Figure 1 database (loyaltycard + customer).
     fn figure1() -> DirtyDatabase {
@@ -397,9 +440,38 @@ mod tests {
         let err = dirty
             .check_rewritable("select name from customer c")
             .unwrap_err();
-        assert!(matches!(
-            err,
-            CoreError::NotRewritable(NotRewritable::RootIdentifierNotSelected { .. })
-        ));
+        match err {
+            CoreError::NotRewritable(r) => {
+                assert!(r.violates(crate::error::Def7Clause::RootIdProjected), "{r}")
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn analyze_warns_about_naive_fallback_with_candidate_count() {
+        let dirty = figure1();
+        // Root identifier not selected → not rewritable; the two FROM
+        // relations induce 2 × 4 = 8 candidate databases.
+        let sql = "select c.id from loyaltycard l, customer c \
+                   where l.custfk = c.id and c.income > 100000";
+        let diags = dirty.analyze(sql);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code.as_str(), "CQ1007");
+        assert!(!diags[0].is_error());
+        assert!(
+            diags[0].message.contains("~8 candidate"),
+            "{}",
+            diags[0].message
+        );
+        let help = diags[0].help.as_deref().unwrap_or("");
+        assert!(help.contains("Definition 7"), "{help}");
+        // A rewritable query gets no fallback warning.
+        assert!(dirty
+            .analyze(
+                "select l.id from loyaltycard l, customer c \
+                 where l.custfk = c.id and c.income > 100000"
+            )
+            .is_empty());
     }
 }

@@ -1,72 +1,173 @@
-//! Core-layer errors, including rewritability diagnostics.
+//! Core-layer errors, including the Definition 7 rewritability explainer.
 
 use std::fmt;
 
 use conquer_engine::EngineError;
+use conquer_sql::{render_snippet, Span};
 
-/// Why a query falls outside the rewritable class of Definition 7.
-///
-/// Each variant corresponds to one of the paper's four conditions (plus the
-/// SPJ-shape preconditions the theorem assumes). The diagnostics name the
-/// offending relation/attribute so a user can adapt the query — typically by
-/// adding the root identifier to the select clause, as the paper suggests.
-#[derive(Debug, Clone, PartialEq)]
-pub enum NotRewritable {
-    /// The statement is not a plain SPJ query (it already has grouping,
-    /// aggregates, HAVING or DISTINCT).
-    NotSpj(String),
-    /// A join predicate is not a simple column equality
-    /// (the class allows only equality joins).
-    NonEquiJoin(String),
-    /// Condition 1: a join equates two non-identifier attributes.
-    JoinWithoutIdentifier(String),
-    /// Condition 2: the join graph is not a tree.
-    GraphNotTree(String),
-    /// Condition 3: a relation appears more than once in FROM (self-join).
-    SelfJoin(String),
-    /// Condition 4: the identifier of the root relation is missing from the
+/// Which clause of the rewritable class (Definition 7), or which of its
+/// SPJ-shape preconditions, a query violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Def7Clause {
+    /// Precondition: the statement must be a plain select-project-join
+    /// query — no DISTINCT, grouping, HAVING or aggregates.
+    SpjShape,
+    /// Precondition: every FROM relation needs identifier/probability
+    /// metadata in the [`crate::DirtySpec`].
+    DirtyMetadata,
+    /// Precondition: join predicates must be simple column equalities.
+    EquiJoins,
+    /// Condition 1: every join involves the identifier of at least one of
+    /// the joined relations.
+    JoinsUseIdentifiers,
+    /// Condition 2: the join graph is a rooted tree.
+    GraphIsTree,
+    /// Condition 3: no relation appears twice in FROM (no self-joins).
+    NoSelfJoins,
+    /// Condition 4: the identifier of the root relation appears in the
     /// select clause.
-    RootIdentifierNotSelected {
-        /// Binding name of the root relation.
-        root: String,
-        /// Its identifier column.
-        id_column: String,
-    },
-    /// A relation in FROM has no dirty metadata in the [`crate::DirtySpec`].
-    UnknownDirtyRelation(String),
+    RootIdProjected,
+}
+
+impl Def7Clause {
+    /// Short human-readable citation of the violated clause.
+    pub fn title(self) -> &'static str {
+        match self {
+            Def7Clause::SpjShape => "precondition: plain select-project-join shape",
+            Def7Clause::DirtyMetadata => "precondition: dirty metadata for every relation",
+            Def7Clause::EquiJoins => "precondition: joins are column equalities",
+            Def7Clause::JoinsUseIdentifiers => "condition 1: every join involves an identifier",
+            Def7Clause::GraphIsTree => "condition 2: the join graph is a tree",
+            Def7Clause::NoSelfJoins => "condition 3: no self-joins",
+            Def7Clause::RootIdProjected => "condition 4: the root identifier is projected",
+        }
+    }
+}
+
+impl fmt::Display for Def7Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.title())
+    }
+}
+
+/// One node of the rewritability reason tree: a violated clause of
+/// Definition 7, where in the source it happened, and any finer-grained
+/// sub-reasons.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewriteObstacle {
+    /// The clause of Definition 7 this obstacle violates.
+    pub clause: Def7Clause,
+    /// What exactly is wrong, naming the offending relations/columns.
+    pub message: String,
+    /// Source span of the offending fragment ([`Span::NONE`] when the
+    /// obstacle concerns the query as a whole).
+    pub span: Span,
+    /// Finer-grained sub-obstacles (e.g. each structural defect that keeps
+    /// the join graph from being a tree).
+    pub children: Vec<RewriteObstacle>,
+}
+
+impl RewriteObstacle {
+    /// A leaf obstacle with no span.
+    pub fn new(clause: Def7Clause, message: impl Into<String>) -> Self {
+        RewriteObstacle {
+            clause,
+            message: message.into(),
+            span: Span::NONE,
+            children: Vec::new(),
+        }
+    }
+
+    /// Attach the source span of the offending fragment.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Attach a finer-grained sub-obstacle.
+    pub fn with_child(mut self, child: RewriteObstacle) -> Self {
+        self.children.push(child);
+        self
+    }
+}
+
+/// Why a query falls outside the rewritable class of Definition 7: a tree
+/// of [`RewriteObstacle`]s, each citing the violated clause and (where
+/// known) the source span of the offending fragment.
+///
+/// Unlike a fail-fast error, the checker collects *every* top-level
+/// obstacle it can see, so one round of fixes can address them all —
+/// typically by adding the root identifier to the select clause, as the
+/// paper suggests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotRewritable {
+    /// The top-level obstacles, in source order.
+    pub obstacles: Vec<RewriteObstacle>,
+}
+
+impl NotRewritable {
+    /// Wrap a collection of obstacles (callers ensure it is non-empty).
+    pub fn new(obstacles: Vec<RewriteObstacle>) -> Self {
+        NotRewritable { obstacles }
+    }
+
+    /// A single-obstacle reason with no span.
+    pub fn because(clause: Def7Clause, message: impl Into<String>) -> Self {
+        NotRewritable {
+            obstacles: vec![RewriteObstacle::new(clause, message)],
+        }
+    }
+
+    /// Does any obstacle (at any depth) violate `clause`?
+    pub fn violates(&self, clause: Def7Clause) -> bool {
+        fn walk(o: &RewriteObstacle, clause: Def7Clause) -> bool {
+            o.clause == clause || o.children.iter().any(|c| walk(c, clause))
+        }
+        self.obstacles.iter().any(|o| walk(o, clause))
+    }
+
+    /// Render the reason tree, optionally with caret snippets against the
+    /// original SQL for every obstacle that carries a span.
+    pub fn render_tree(&self, sql: Option<&str>) -> String {
+        let mut out = String::from("query is outside the rewritable class (Definition 7):\n");
+        for (i, o) in self.obstacles.iter().enumerate() {
+            render_obstacle(o, "", i + 1 == self.obstacles.len(), sql, &mut out);
+        }
+        out.pop(); // trailing newline
+        out
+    }
+}
+
+fn render_obstacle(
+    o: &RewriteObstacle,
+    indent: &str,
+    last: bool,
+    sql: Option<&str>,
+    out: &mut String,
+) {
+    let branch = if last { "└─ " } else { "├─ " };
+    out.push_str(indent);
+    out.push_str(branch);
+    out.push_str(&format!("[{}] {}\n", o.clause.title(), o.message));
+    let child_indent = format!("{indent}{}", if last { "   " } else { "│  " });
+    if let Some(src) = sql {
+        if !o.span.is_none() {
+            for line in render_snippet(src, o.span).lines() {
+                out.push_str(&child_indent);
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    for (i, c) in o.children.iter().enumerate() {
+        render_obstacle(c, &child_indent, i + 1 == o.children.len(), sql, out);
+    }
 }
 
 impl fmt::Display for NotRewritable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            NotRewritable::NotSpj(m) => {
-                write!(f, "not a plain select-project-join query: {m}")
-            }
-            NotRewritable::NonEquiJoin(m) => {
-                write!(f, "join predicate is not an equality between columns: {m}")
-            }
-            NotRewritable::JoinWithoutIdentifier(m) => write!(
-                f,
-                "join does not involve the identifier of either relation \
-                 (condition 1 of the rewritable class): {m}"
-            ),
-            NotRewritable::GraphNotTree(m) => {
-                write!(f, "join graph is not a tree (condition 2): {m}")
-            }
-            NotRewritable::SelfJoin(t) => write!(
-                f,
-                "relation {t:?} appears more than once in FROM (condition 3 forbids self-joins)"
-            ),
-            NotRewritable::RootIdentifierNotSelected { root, id_column } => write!(
-                f,
-                "the identifier {root}.{id_column} of the join-graph root must appear \
-                 in the select clause (condition 4); add it to the projection"
-            ),
-            NotRewritable::UnknownDirtyRelation(t) => write!(
-                f,
-                "relation {t:?} has no identifier/probability metadata in the DirtySpec"
-            ),
-        }
+        f.write_str(&self.render_tree(None))
     }
 }
 

@@ -35,7 +35,7 @@
 
 use conquer_sql::{AggFunc, Expr, SelectItem, SelectStatement};
 
-use crate::error::{CoreError, NotRewritable};
+use crate::error::{CoreError, Def7Clause, NotRewritable};
 use crate::spec::DirtySpec;
 use crate::Result;
 
@@ -52,13 +52,16 @@ impl RewriteExpected {
     /// `COUNT(*)`, `SUM` and `AVG`.
     pub fn rewrite(&self, spec: &DirtySpec, stmt: &SelectStatement) -> Result<SelectStatement> {
         if stmt.distinct {
-            return Err(
-                NotRewritable::NotSpj("DISTINCT has no expected-value reading".into()).into(),
-            );
+            return Err(NotRewritable::because(
+                Def7Clause::SpjShape,
+                "DISTINCT has no expected-value reading",
+            )
+            .into());
         }
         if stmt.having.is_some() {
-            return Err(NotRewritable::NotSpj(
-                "HAVING over expected aggregates is not supported".into(),
+            return Err(NotRewritable::because(
+                Def7Clause::SpjShape,
+                "HAVING over expected aggregates is not supported",
             )
             .into());
         }
@@ -67,14 +70,19 @@ impl RewriteExpected {
             .iter()
             .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()));
         if !has_agg && stmt.group_by.is_empty() {
-            return Err(NotRewritable::NotSpj(
-                "not an aggregate query; use RewriteClean for SPJ queries".into(),
+            return Err(NotRewritable::because(
+                Def7Clause::SpjShape,
+                "not an aggregate query; use RewriteClean for SPJ queries",
             )
             .into());
         }
         for (i, t) in stmt.from.iter().enumerate() {
             if stmt.from[..i].iter().any(|p| p.table == t.table) {
-                return Err(NotRewritable::SelfJoin(t.table.clone()).into());
+                return Err(NotRewritable::because(
+                    Def7Clause::NoSelfJoins,
+                    format!("relation {:?} appears more than once in FROM", t.table),
+                )
+                .into());
             }
         }
 
@@ -91,8 +99,9 @@ impl RewriteExpected {
             if let SelectItem::Expr { expr, .. } = item {
                 *expr = rewrite_expr(expr, &prod)?;
             } else {
-                return Err(NotRewritable::NotSpj(
-                    "wildcard projections cannot be rewritten".into(),
+                return Err(NotRewritable::because(
+                    Def7Clause::SpjShape,
+                    "wildcard projections cannot be rewritten",
                 )
                 .into());
             }
@@ -113,18 +122,19 @@ fn rewrite_expr(e: &Expr, prod: &Expr) -> Result<Expr> {
             distinct,
         } => {
             if *distinct {
-                return Err(NotRewritable::NotSpj(
-                    "DISTINCT aggregates have no linear expected-value form".into(),
+                return Err(NotRewritable::because(
+                    Def7Clause::SpjShape,
+                    "DISTINCT aggregates have no linear expected-value form",
                 )
                 .into());
             }
             match (func, arg) {
                 (AggFunc::Count, None) => sum(prod.clone()),
                 (AggFunc::Count, Some(_)) => {
-                    return Err(NotRewritable::NotSpj(
+                    return Err(NotRewritable::because(
+                        Def7Clause::SpjShape,
                         "COUNT(expr) is not supported (its NULL handling is not linear); \
-                         use COUNT(*)"
-                            .into(),
+                         use COUNT(*)",
                     )
                     .into())
                 }
@@ -143,13 +153,14 @@ fn rewrite_expr(e: &Expr, prod: &Expr) -> Result<Expr> {
                     let den = sum(prod.clone());
                     Expr::binary(num, conquer_sql::BinaryOp::Div, den)
                 }
-                (AggFunc::Min | AggFunc::Max, _) => {
-                    return Err(NotRewritable::NotSpj(format!(
+                (AggFunc::Min | AggFunc::Max, _) => return Err(NotRewritable::because(
+                    Def7Clause::SpjShape,
+                    format!(
                         "{} is not linear; expected-value rewriting supports COUNT(*), SUM, AVG",
                         func.name()
-                    ))
-                    .into())
-                }
+                    ),
+                )
+                .into()),
                 (AggFunc::Sum | AggFunc::Avg, None) => {
                     unreachable!("parser rejects SUM(*)/AVG(*)")
                 }
@@ -460,7 +471,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            CoreError::NotRewritable(NotRewritable::SelfJoin(_))
+            CoreError::NotRewritable(r) if r.violates(Def7Clause::NoSelfJoins)
         ));
     }
 

@@ -90,7 +90,12 @@ pub fn explain_answer(db: &DirtyDatabase, sql: &str, answer: &[Value]) -> Result
             .table(&graph.tables[i])?
             .schema()
             .column_at(graph.id_columns[i])
-            .expect("validated by check_rewritable")
+            .ok_or_else(|| {
+                conquer_engine::EngineError::internal(format!(
+                    "join graph cites identifier column #{} of {:?}, which does not exist",
+                    graph.id_columns[i], graph.tables[i]
+                ))
+            })?
             .name()
             .to_string();
         let prob_name = db.spec().require(&graph.tables[i])?.prob_column.clone();
@@ -125,7 +130,7 @@ pub fn explain_answer(db: &DirtyDatabase, sql: &str, answer: &[Value]) -> Result
             tuples,
         });
     }
-    supports.sort_by(|a, b| b.probability.partial_cmp(&a.probability).expect("finite"));
+    supports.sort_by(|a, b| b.probability.total_cmp(&a.probability));
     Ok(Explanation {
         answer: answer.to_vec(),
         probability: total,

@@ -11,12 +11,13 @@
 //! 3. no relation appears twice in FROM (no self-joins),
 //! 4. the identifier of the root relation appears in the select clause.
 
+use conquer_engine::analyze::expr_span;
 use conquer_engine::binder::{bind_select, BoundSelect};
 use conquer_engine::{BoundExpr, ColumnId};
-use conquer_sql::{BinaryOp, SelectStatement};
+use conquer_sql::{BinaryOp, Expr, SelectStatement, Span};
 use conquer_storage::Catalog;
 
-use crate::error::{CoreError, NotRewritable};
+use crate::error::{CoreError, Def7Clause, NotRewritable, RewriteObstacle};
 use crate::spec::DirtySpec;
 use crate::Result;
 
@@ -67,42 +68,110 @@ impl JoinGraph {
 }
 
 /// Build the join graph and check all four rewritability conditions,
-/// returning the graph (with its root) on success.
+/// returning the graph (with its root) on success and the full
+/// [`NotRewritable`] reason tree otherwise.
 pub fn check_rewritable(
     catalog: &Catalog,
     spec: &DirtySpec,
     stmt: &SelectStatement,
 ) -> Result<JoinGraph> {
+    match explain_rewritable(catalog, spec, stmt)? {
+        Ok(graph) => Ok(graph),
+        Err(reason) => Err(reason.into()),
+    }
+}
+
+/// The rewritability explainer behind [`check_rewritable`]: instead of
+/// failing on the first problem, collect *every* visible obstacle into a
+/// [`NotRewritable`] reason tree, each node citing the violated clause of
+/// Definition 7 and the source span of the offending fragment.
+///
+/// The outer `Result` carries hard errors (binding failures, invalid dirty
+/// metadata); the inner one is the verdict.
+pub fn explain_rewritable(
+    catalog: &Catalog,
+    spec: &DirtySpec,
+    stmt: &SelectStatement,
+) -> Result<std::result::Result<JoinGraph, NotRewritable>> {
+    let mut obstacles: Vec<RewriteObstacle> = Vec::new();
+
     // --- SPJ shape preconditions -----------------------------------------
     if stmt.distinct {
-        return Err(NotRewritable::NotSpj("DISTINCT is not allowed".into()).into());
+        obstacles.push(RewriteObstacle::new(
+            Def7Clause::SpjShape,
+            "DISTINCT is not allowed",
+        ));
     }
     if !stmt.group_by.is_empty() || stmt.having.is_some() {
-        return Err(NotRewritable::NotSpj("GROUP BY/HAVING are not allowed".into()).into());
+        obstacles.push(RewriteObstacle::new(
+            Def7Clause::SpjShape,
+            "GROUP BY/HAVING are not allowed",
+        ));
     }
-    let has_agg = stmt.projection.iter().any(
-        |i| matches!(i, conquer_sql::SelectItem::Expr { expr, .. } if expr.contains_aggregate()),
-    ) || stmt.order_by.iter().any(|o| o.expr.contains_aggregate());
-    if has_agg {
-        return Err(NotRewritable::NotSpj("aggregates are not allowed".into()).into());
+    for item in &stmt.projection {
+        if let conquer_sql::SelectItem::Expr { expr, .. } = item {
+            if expr.contains_aggregate() {
+                obstacles.push(
+                    RewriteObstacle::new(Def7Clause::SpjShape, "aggregates are not allowed")
+                        .with_span(expr_span(expr)),
+                );
+            }
+        }
+    }
+    for o in &stmt.order_by {
+        if o.expr.contains_aggregate() {
+            obstacles.push(
+                RewriteObstacle::new(Def7Clause::SpjShape, "aggregates are not allowed")
+                    .with_span(expr_span(&o.expr)),
+            );
+        }
     }
 
     // --- Condition 3: self-joins ------------------------------------------
     for (i, t) in stmt.from.iter().enumerate() {
         if stmt.from[..i].iter().any(|p| p.table == t.table) {
-            return Err(NotRewritable::SelfJoin(t.table.clone()).into());
+            obstacles.push(
+                RewriteObstacle::new(
+                    Def7Clause::NoSelfJoins,
+                    format!("relation {:?} appears more than once in FROM", t.table),
+                )
+                .with_span(t.span),
+            );
         }
     }
 
     // --- Resolve relations and their dirty metadata ------------------------
-    let bound: BoundSelect = bind_select(catalog, stmt)?;
+    let bound: BoundSelect = match bind_select(catalog, stmt) {
+        Ok(b) => b,
+        // A query that does not even bind: if shape obstacles explain the
+        // situation, report them; otherwise surface the bind error.
+        Err(e) => {
+            return if obstacles.is_empty() {
+                Err(e.into())
+            } else {
+                Ok(Err(NotRewritable::new(obstacles)))
+            };
+        }
+    };
     let n = bound.relations.len();
-    let mut id_columns = Vec::with_capacity(n);
-    let mut prob_columns = Vec::with_capacity(n);
-    for rel in &bound.relations {
-        let meta = spec
-            .meta(&rel.table)
-            .ok_or_else(|| NotRewritable::UnknownDirtyRelation(rel.table.clone()))?;
+    let mut id_columns: Vec<Option<usize>> = Vec::with_capacity(n);
+    let mut prob_columns: Vec<Option<usize>> = Vec::with_capacity(n);
+    for (ri, rel) in bound.relations.iter().enumerate() {
+        let Some(meta) = spec.meta(&rel.table) else {
+            obstacles.push(
+                RewriteObstacle::new(
+                    Def7Clause::DirtyMetadata,
+                    format!(
+                        "relation {:?} has no identifier/probability metadata in the DirtySpec",
+                        rel.table
+                    ),
+                )
+                .with_span(from_span(stmt, ri)),
+            );
+            id_columns.push(None);
+            prob_columns.push(None);
+            continue;
+        };
         let id = rel.schema.index_of(&meta.id_column).ok_or_else(|| {
             CoreError::InvalidDirty(format!(
                 "table {:?} is missing its identifier column {:?}",
@@ -115,24 +184,38 @@ pub fn check_rewritable(
                 rel.table, meta.prob_column
             ))
         })?;
-        id_columns.push(id);
-        prob_columns.push(prob);
+        id_columns.push(Some(id));
+        prob_columns.push(Some(prob));
     }
 
     // --- Classify WHERE conjuncts; build arcs (Definition 6) --------------
+    // Bound conjuncts pair 1:1 (in order) with the AST conjuncts of the
+    // WHERE clause, which carry the source spans.
+    let ast_conjs: Vec<&Expr> = stmt
+        .selection
+        .as_ref()
+        .map(ast_conjuncts)
+        .unwrap_or_default();
     let mut arcs: Vec<(usize, usize)> = Vec::new();
     if let Some(filter) = &bound.filter {
-        for conjunct in conjuncts(filter) {
+        for (ci, conjunct) in conjuncts(filter).into_iter().enumerate() {
+            let span = ast_conjs
+                .get(ci)
+                .map(|e| expr_span(e))
+                .unwrap_or(Span::NONE);
             let rels = conjunct.relations();
             if rels.len() <= 1 {
                 continue; // per-relation selection: unrestricted
             }
             if rels.len() > 2 {
-                return Err(NotRewritable::NonEquiJoin(format!(
-                    "a predicate spans {} relations",
-                    rels.len()
-                ))
-                .into());
+                obstacles.push(
+                    RewriteObstacle::new(
+                        Def7Clause::EquiJoins,
+                        format!("a predicate spans {} relations", rels.len()),
+                    )
+                    .with_span(span),
+                );
+                continue;
             }
             // Exactly two relations: must be column = column.
             let BoundExpr::Binary {
@@ -141,24 +224,46 @@ pub fn check_rewritable(
                 right,
             } = conjunct
             else {
-                return Err(NotRewritable::NonEquiJoin(describe_conjunct(conjunct, &bound)).into());
+                obstacles.push(
+                    RewriteObstacle::new(
+                        Def7Clause::EquiJoins,
+                        describe_conjunct(conjunct, &bound),
+                    )
+                    .with_span(span),
+                );
+                continue;
             };
             let (BoundExpr::Column(a), BoundExpr::Column(b)) = (&**left, &**right) else {
-                return Err(NotRewritable::NonEquiJoin(describe_conjunct(conjunct, &bound)).into());
+                obstacles.push(
+                    RewriteObstacle::new(
+                        Def7Clause::EquiJoins,
+                        describe_conjunct(conjunct, &bound),
+                    )
+                    .with_span(span),
+                );
+                continue;
             };
-            let a_is_id = id_columns[a.rel] == a.col;
-            let b_is_id = id_columns[b.rel] == b.col;
+            // Missing metadata on either side is already an obstacle; the
+            // identifier test is meaningless without it.
+            let (Some(a_id), Some(b_id)) = (id_columns[a.rel], id_columns[b.rel]) else {
+                continue;
+            };
+            let a_is_id = a_id == a.col;
+            let b_is_id = b_id == b.col;
             match (a_is_id, b_is_id) {
-                (false, false) => {
-                    return Err(NotRewritable::JoinWithoutIdentifier(format!(
-                        "{}.{} = {}.{}",
-                        bound.relations[a.rel].binding,
-                        column_name(&bound, *a),
-                        bound.relations[b.rel].binding,
-                        column_name(&bound, *b),
-                    ))
-                    .into())
-                }
+                (false, false) => obstacles.push(
+                    RewriteObstacle::new(
+                        Def7Clause::JoinsUseIdentifiers,
+                        format!(
+                            "{}.{} = {}.{} equates two non-identifier attributes",
+                            bound.relations[a.rel].binding,
+                            column_name(&bound, *a),
+                            bound.relations[b.rel].binding,
+                            column_name(&bound, *b),
+                        ),
+                    )
+                    .with_span(span),
+                ),
                 (false, true) => push_arc(&mut arcs, a.rel, b.rel),
                 (true, false) => push_arc(&mut arcs, b.rel, a.rel),
                 // identifier = identifier joins are allowed (condition 1)
@@ -168,24 +273,41 @@ pub fn check_rewritable(
         }
     }
 
+    // Structural problems invalidate the graph itself — conditions 2 and 4
+    // are only meaningful once the obstacles above are fixed.
+    if !obstacles.is_empty() {
+        return Ok(Err(NotRewritable::new(obstacles)));
+    }
+    let id_columns: Vec<usize> = id_columns.into_iter().flatten().collect();
+    let prob_columns: Vec<usize> = prob_columns.into_iter().flatten().collect();
     let bindings: Vec<String> = bound.relations.iter().map(|r| r.binding.clone()).collect();
     let tables: Vec<String> = bound.relations.iter().map(|r| r.table.clone()).collect();
 
     // --- Condition 2: the graph must be a rooted tree ----------------------
-    let root = tree_root(n, &arcs).map_err(|msg| {
-        CoreError::from(NotRewritable::GraphNotTree(format!(
-            "{msg} (arcs: {})",
-            JoinGraph {
-                bindings: bindings.clone(),
-                tables: tables.clone(),
-                id_columns: id_columns.clone(),
-                prob_columns: prob_columns.clone(),
-                arcs: arcs.clone(),
-                root: None,
+    let root = match tree_root(n, &arcs) {
+        Ok(root) => root,
+        Err(problems) => {
+            let mut parent = RewriteObstacle::new(
+                Def7Clause::GraphIsTree,
+                format!(
+                    "the join graph is not a rooted tree (arcs: {})",
+                    JoinGraph {
+                        bindings,
+                        tables,
+                        id_columns,
+                        prob_columns,
+                        arcs,
+                        root: None,
+                    }
+                    .describe()
+                ),
+            );
+            for p in problems {
+                parent = parent.with_child(RewriteObstacle::new(Def7Clause::GraphIsTree, p));
             }
-            .describe()
-        )))
-    })?;
+            return Ok(Err(NotRewritable::new(vec![parent])));
+        }
+    };
 
     // --- Condition 4: root identifier in the select clause -----------------
     let root_id = ColumnId {
@@ -197,26 +319,57 @@ pub fn check_rewritable(
         .iter()
         .any(|o| o.expr == BoundExpr::Column(root_id));
     if !selected {
-        return Err(NotRewritable::RootIdentifierNotSelected {
-            root: bindings[root].clone(),
-            id_column: bound.relations[root]
-                .schema
-                .column_at(id_columns[root])
-                .expect("validated")
-                .name()
-                .to_string(),
-        }
-        .into());
+        let id_name = bound.relations[root]
+            .schema
+            .column_at(id_columns[root])
+            .map(|c| c.name().to_string())
+            .unwrap_or_else(|| format!("#{}", id_columns[root]));
+        return Ok(Err(NotRewritable::new(vec![RewriteObstacle::new(
+            Def7Clause::RootIdProjected,
+            format!(
+                "the identifier {root}.{id} of the join-graph root must appear in the \
+                 select clause; add it to the projection",
+                root = bindings[root],
+                id = id_name,
+            ),
+        )
+        .with_span(from_span(stmt, root))])));
     }
 
-    Ok(JoinGraph {
+    Ok(Ok(JoinGraph {
         bindings,
         tables,
         id_columns,
         prob_columns,
         arcs,
         root: Some(root),
-    })
+    }))
+}
+
+/// Span of the `i`-th FROM entry (or none, defensively).
+fn from_span(stmt: &SelectStatement, i: usize) -> Span {
+    stmt.from.get(i).map(|t| t.span).unwrap_or(Span::NONE)
+}
+
+/// Split an AST predicate into its top-level AND conjuncts, mirroring
+/// [`conjuncts`] over bound expressions so the two line up by index.
+fn ast_conjuncts(e: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        if let Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } = e
+        {
+            walk(left, out);
+            walk(right, out);
+        } else {
+            out.push(e);
+        }
+    }
+    walk(e, &mut out);
+    out
 }
 
 fn push_arc(arcs: &mut Vec<(usize, usize)>, from: usize, to: usize) {
@@ -265,41 +418,46 @@ fn conjuncts(e: &BoundExpr) -> Vec<&BoundExpr> {
 }
 
 /// If the directed graph on `n` vertices is a tree spanning all vertices,
-/// return its root; otherwise explain why not.
-fn tree_root(n: usize, arcs: &[(usize, usize)]) -> std::result::Result<usize, String> {
+/// return its root; otherwise list every structural defect found.
+fn tree_root(n: usize, arcs: &[(usize, usize)]) -> std::result::Result<usize, Vec<String>> {
+    let mut problems = Vec::new();
     let mut indegree = vec![0usize; n];
     for (_, t) in arcs {
         indegree[*t] += 1;
     }
     let roots: Vec<usize> = (0..n).filter(|v| indegree[*v] == 0).collect();
     if roots.len() != 1 {
-        return Err(format!(
+        problems.push(format!(
             "a tree needs exactly one root (vertex with in-degree 0), found {}",
             roots.len()
         ));
     }
-    if let Some(v) = (0..n).find(|v| indegree[*v] > 1) {
-        return Err(format!("vertex {v} has in-degree {} (> 1)", indegree[v]));
-    }
-    // in-degrees are 0 for the root and 1 elsewhere ⇒ |arcs| = n-1; check
-    // reachability to exclude cycles detached from the root.
-    let root = roots[0];
-    let mut seen = vec![false; n];
-    let mut stack = vec![root];
-    seen[root] = true;
-    while let Some(v) = stack.pop() {
-        for (f, t) in arcs {
-            if *f == v && !seen[*t] {
-                seen[*t] = true;
-                stack.push(*t);
-            }
+    for (v, &deg) in indegree.iter().enumerate() {
+        if deg > 1 {
+            problems.push(format!("vertex {v} has in-degree {deg} (> 1)"));
         }
     }
-    if seen.iter().all(|s| *s) {
-        Ok(root)
-    } else {
-        Err("the join graph is not connected".into())
+    // For a well-formed candidate root (in-degrees 0 once and 1 elsewhere ⇒
+    // |arcs| = n-1), check reachability to exclude cycles detached from it.
+    if problems.is_empty() {
+        let root = roots[0];
+        let mut seen = vec![false; n];
+        let mut stack = vec![root];
+        seen[root] = true;
+        while let Some(v) = stack.pop() {
+            for (f, t) in arcs {
+                if *f == v && !seen[*t] {
+                    seen[*t] = true;
+                    stack.push(*t);
+                }
+            }
+        }
+        if seen.iter().all(|s| *s) {
+            return Ok(root);
+        }
+        problems.push("the join graph is not connected".into());
     }
+    Err(problems)
 }
 
 #[cfg(test)]
@@ -326,6 +484,14 @@ mod tests {
     fn check(sql: &str) -> Result<JoinGraph> {
         let (cat, spec) = setup();
         check_rewritable(&cat, &spec, &parse_select(sql).unwrap())
+    }
+
+    /// Unwrap the reason tree out of a `check` failure.
+    fn reason(err: CoreError) -> NotRewritable {
+        match err {
+            CoreError::NotRewritable(r) => r,
+            other => panic!("expected NotRewritable, got: {other}"),
+        }
     }
 
     #[test]
@@ -355,58 +521,53 @@ mod tests {
              where o.quantity < 5 and o.cidfk = c.id and c.balance > 25000",
         )
         .unwrap_err();
-        match err {
-            CoreError::NotRewritable(NotRewritable::RootIdentifierNotSelected {
-                root,
-                id_column,
-            }) => {
-                assert_eq!(root, "o");
-                assert_eq!(id_column, "id");
-            }
-            other => panic!("unexpected: {other}"),
-        }
+        let r = reason(err);
+        assert!(r.violates(Def7Clause::RootIdProjected), "{r}");
+        assert!(r.obstacles[0].message.contains("o.id"), "{r}");
+        // Span points at the root's FROM entry.
+        assert!(!r.obstacles[0].span.is_none(), "{r:?}");
     }
 
     #[test]
     fn non_identifier_join_rejected() {
-        let err = check("select o.id, c.id from orders o, customer c where o.custfk = c.custid")
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            CoreError::NotRewritable(NotRewritable::JoinWithoutIdentifier(_))
-        ));
+        let sql = "select o.id, c.id from orders o, customer c where o.custfk = c.custid";
+        let r = reason(check(sql).unwrap_err());
+        assert!(r.violates(Def7Clause::JoinsUseIdentifiers), "{r}");
+        assert!(r.obstacles[0].message.contains("o.custfk"), "{r}");
+        // The span covers the offending conjunct.
+        let (s, e) = (
+            r.obstacles[0].span.start as usize,
+            r.obstacles[0].span.end as usize,
+        );
+        assert_eq!(&sql[s..e], "o.custfk = c.custid");
     }
 
     #[test]
     fn self_join_rejected() {
-        let err = check("select a.id from customer a, customer b where a.id = b.id").unwrap_err();
-        assert!(matches!(
-            err,
-            CoreError::NotRewritable(NotRewritable::SelfJoin(_))
-        ));
+        let r =
+            reason(check("select a.id from customer a, customer b where a.id = b.id").unwrap_err());
+        assert!(r.violates(Def7Clause::NoSelfJoins), "{r}");
     }
 
     #[test]
     fn non_equi_join_rejected() {
-        let err = check("select o.id, c.id from orders o, customer c where o.quantity < c.balance")
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            CoreError::NotRewritable(NotRewritable::NonEquiJoin(_))
-        ));
+        let r = reason(
+            check("select o.id, c.id from orders o, customer c where o.quantity < c.balance")
+                .unwrap_err(),
+        );
+        assert!(r.violates(Def7Clause::EquiJoins), "{r}");
     }
 
     #[test]
     fn disjunctive_join_rejected_but_local_disjunction_ok() {
-        let err = check(
-            "select o.id, c.id from orders o, customer c \
-             where o.cidfk = c.id or o.custfk = c.id",
-        )
-        .unwrap_err();
-        assert!(matches!(
-            err,
-            CoreError::NotRewritable(NotRewritable::NonEquiJoin(_))
-        ));
+        let r = reason(
+            check(
+                "select o.id, c.id from orders o, customer c \
+                 where o.cidfk = c.id or o.custfk = c.id",
+            )
+            .unwrap_err(),
+        );
+        assert!(r.violates(Def7Clause::EquiJoins), "{r}");
         // Disjunction local to one relation is a selection and is fine.
         check(
             "select o.id, c.id from orders o, customer c \
@@ -417,26 +578,24 @@ mod tests {
 
     #[test]
     fn disconnected_graph_rejected() {
-        let err = check("select o.id, c.id from orders o, customer c").unwrap_err();
-        assert!(matches!(
-            err,
-            CoreError::NotRewritable(NotRewritable::GraphNotTree(_))
-        ));
+        let r = reason(check("select o.id, c.id from orders o, customer c").unwrap_err());
+        assert!(r.violates(Def7Clause::GraphIsTree), "{r}");
     }
 
     #[test]
     fn two_children_tree_ok() {
         // orders → customer and loyalty → customer is NOT a tree (two roots);
         // but orders → customer plus orders → loyalty is (root = orders).
-        let err = check(
-            "select o.id, c.id, l.id from orders o, customer c, loyalty l \
-             where o.cidfk = c.id and l.cidfk = c.id",
-        )
-        .unwrap_err();
-        assert!(matches!(
-            err,
-            CoreError::NotRewritable(NotRewritable::GraphNotTree(_))
-        ));
+        let r = reason(
+            check(
+                "select o.id, c.id, l.id from orders o, customer c, loyalty l \
+                 where o.cidfk = c.id and l.cidfk = c.id",
+            )
+            .unwrap_err(),
+        );
+        assert!(r.violates(Def7Clause::GraphIsTree), "{r}");
+        // The defects are itemized as children of the graph obstacle.
+        assert!(!r.obstacles[0].children.is_empty(), "{r}");
 
         let g = check(
             "select l.id, o.id, c.id from loyalty l, orders o, customer c \
@@ -451,12 +610,10 @@ mod tests {
     fn id_to_id_join_contributes_no_arc() {
         // Allowed by condition 1 but leaves the graph disconnected → not a
         // tree for two relations.
-        let err =
-            check("select o.id, c.id from orders o, customer c where o.id = c.id").unwrap_err();
-        assert!(matches!(
-            err,
-            CoreError::NotRewritable(NotRewritable::GraphNotTree(_))
-        ));
+        let r = reason(
+            check("select o.id, c.id from orders o, customer c where o.id = c.id").unwrap_err(),
+        );
+        assert!(r.violates(Def7Clause::GraphIsTree), "{r}");
     }
 
     #[test]
@@ -466,11 +623,8 @@ mod tests {
             "select id, count(*) from customer group by id",
             "select sum(balance) from customer",
         ] {
-            let err = check(sql).unwrap_err();
-            assert!(
-                matches!(err, CoreError::NotRewritable(NotRewritable::NotSpj(_))),
-                "{sql}: {err}"
-            );
+            let r = reason(check(sql).unwrap_err());
+            assert!(r.violates(Def7Clause::SpjShape), "{sql}: {r}");
         }
     }
 
@@ -484,10 +638,24 @@ mod tests {
             &parse_select("select o.id from orders o").unwrap(),
         )
         .unwrap_err();
-        assert!(matches!(
-            err,
-            CoreError::NotRewritable(NotRewritable::UnknownDirtyRelation(_))
-        ));
+        assert!(reason(err).violates(Def7Clause::DirtyMetadata));
+    }
+
+    #[test]
+    fn all_obstacles_collected_and_rendered() {
+        // One query violating three clauses at once: DISTINCT, a self-join,
+        // and a non-identifier join.
+        let sql = "select distinct a.id from customer a, customer b where a.custid = b.custid";
+        let r = reason(check(sql).unwrap_err());
+        assert!(r.violates(Def7Clause::SpjShape), "{r}");
+        assert!(r.violates(Def7Clause::NoSelfJoins), "{r}");
+        assert!(r.violates(Def7Clause::JoinsUseIdentifiers), "{r}");
+        assert_eq!(r.obstacles.len(), 3, "{r}");
+        let tree = r.render_tree(Some(sql));
+        assert!(tree.contains("Definition 7"), "{tree}");
+        assert!(tree.contains("├─"), "{tree}");
+        assert!(tree.contains("└─"), "{tree}");
+        assert!(tree.contains('^'), "snippets rendered: {tree}");
     }
 
     #[test]

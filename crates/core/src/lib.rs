@@ -32,6 +32,7 @@
 //! rewrite, execute — falling back to the naive evaluator only if asked.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod answers;
 pub mod crossref;
@@ -48,10 +49,10 @@ pub mod spec;
 pub use answers::CleanAnswers;
 pub use crossref::apply_crossref;
 pub use dirty::{DirtyDatabase, EvalStrategy};
-pub use error::{CoreError, NotRewritable};
+pub use error::{CoreError, Def7Clause, NotRewritable, RewriteObstacle};
 pub use expected::{naive_expected, RewriteExpected};
 pub use explain::{explain_answer, Explanation, Support};
-pub use graph::JoinGraph;
+pub use graph::{explain_rewritable, JoinGraph};
 pub use naive::{CandidateDatabases, NaiveOptions};
 pub use propagate::{propagate_in_place, propagate_new_column};
 pub use rewrite::RewriteClean;

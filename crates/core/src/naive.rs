@@ -128,11 +128,15 @@ impl CandidateDatabases {
     }
 
     /// Materialize the candidate selected by the current odometer.
-    fn current(&self) -> (Catalog, f64) {
+    ///
+    /// `None` is unreachable by construction (tables, cluster row indices,
+    /// and schemas all come from `base` itself) but propagated instead of
+    /// panicking so the iterator simply ends if that invariant ever breaks.
+    fn current(&self) -> Option<(Catalog, f64)> {
         let mut catalog = self.base.clone();
         let mut probability = 1.0;
         for (ti, part) in self.parts.iter().enumerate() {
-            let base_table = self.base.table(&part.name).expect("table existed at build");
+            let base_table = self.base.table(&part.name).ok()?;
             let mut table = Table::new(part.name.clone(), base_table.schema().clone());
             for (digit, (dti, ci)) in self.digits.iter().enumerate() {
                 if *dti != ti {
@@ -140,16 +144,13 @@ impl CandidateDatabases {
                 }
                 let cluster = &part.clusters[*ci];
                 let row_idx = cluster.rows[self.odometer[digit]];
-                let row = base_table
-                    .row(row_idx)
-                    .expect("cluster rows are valid")
-                    .clone();
+                let row = base_table.row(row_idx)?.clone();
                 probability *= row[part.prob_col].as_f64().unwrap_or(0.0);
-                table.insert(row).expect("row came from the same schema");
+                table.insert(row).ok()?;
             }
             catalog.replace_table(table);
         }
-        (catalog, probability)
+        Some((catalog, probability))
     }
 
     fn advance(&mut self) {
@@ -174,7 +175,7 @@ impl Iterator for CandidateDatabases {
         if self.done {
             return None;
         }
-        let item = self.current();
+        let item = self.current()?;
         self.advance();
         Some(item)
     }

@@ -56,7 +56,11 @@ fn id_type(catalog: &Catalog, parent: &str, parent_id: &str) -> Result<DataType>
     Ok(table
         .schema()
         .column_at(col)
-        .expect("validated")
+        .ok_or_else(|| {
+            conquer_engine::EngineError::internal(format!(
+                "column {parent}.{parent_id} resolved to index {col} but has no schema entry"
+            ))
+        })?
         .data_type())
 }
 

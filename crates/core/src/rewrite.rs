@@ -74,9 +74,9 @@ impl RewriteClean {
         let mut group_by: Vec<Expr> = Vec::new();
         for item in &stmt.projection {
             let SelectItem::Expr { expr, .. } = item else {
-                return Err(crate::error::NotRewritable::NotSpj(
-                    "wildcard projections cannot be rewritten; list the attributes explicitly"
-                        .into(),
+                return Err(crate::error::NotRewritable::because(
+                    crate::error::Def7Clause::SpjShape,
+                    "wildcard projections cannot be rewritten; list the attributes explicitly",
                 )
                 .into());
             };

@@ -127,7 +127,12 @@ impl DirtySpec {
             let prob_ty = table
                 .schema()
                 .column_at(prob_col)
-                .expect("validated")
+                .ok_or_else(|| {
+                    conquer_engine::EngineError::internal(format!(
+                        "column {name}.{} resolved to index {prob_col} but has no schema entry",
+                        meta.prob_column
+                    ))
+                })?
                 .data_type();
             if !matches!(prob_ty, DataType::Float | DataType::Int) {
                 return Err(CoreError::InvalidDirty(format!(

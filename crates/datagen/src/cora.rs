@@ -10,6 +10,8 @@
 //! way than used in the rest of the tuples".
 
 use conquer_storage::{DataType, Schema, Table};
+
+use crate::Result;
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 
@@ -85,8 +87,8 @@ pub const PUBLICATIONS: [Publication; 6] = [
 
 /// The citation schema: cluster identifier + six categorical attributes +
 /// probability.
-pub fn citation_schema() -> Schema {
-    Schema::from_pairs([
+pub fn citation_schema() -> Result<Schema> {
+    Ok(Schema::from_pairs([
         ("id", DataType::Text),
         ("author", DataType::Text),
         ("title", DataType::Text),
@@ -95,8 +97,7 @@ pub fn citation_schema() -> Schema {
         ("year", DataType::Text),
         ("pages", DataType::Text),
         ("prob", DataType::Float),
-    ])
-    .expect("static schema")
+    ])?)
 }
 
 fn abbreviate_author(author: &str) -> Vec<String> {
@@ -208,9 +209,9 @@ impl Default for CoraConfig {
 
 /// Generate a clustered citation table (probabilities left at 1.0 /
 /// cluster-uniform; run the Figure-5 assignment to get real ones).
-pub fn cora_table(config: CoraConfig) -> Table {
+pub fn cora_table(config: CoraConfig) -> Result<Table> {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut t = Table::new("citations", citation_schema());
+    let mut t = Table::new("citations", citation_schema()?);
     for c in 0..config.clusters {
         let p = &PUBLICATIONS[c % PUBLICATIONS.len()];
         let id = format!("paper{c}");
@@ -226,10 +227,10 @@ pub fn cora_table(config: CoraConfig) -> Table {
             let mut row: Vec<conquer_storage::Value> = vec![id.clone().into()];
             row.extend(render(&mut rng, p, style).into_iter().map(Into::into));
             row.push(1.0.into());
-            t.insert(row).expect("schema matches");
+            t.insert(row)?;
         }
     }
-    t
+    Ok(t)
 }
 
 /// The paper's Table-4 scenario: a 56-tuple cluster for the Schapire
@@ -238,9 +239,9 @@ pub fn cora_table(config: CoraConfig) -> Table {
 /// cluster", and (c) one record of the right publication in a completely
 /// different format. Returns the table and the row indices of the two
 /// anomalies `(misclustered, odd_format)`.
-pub fn schapire_cluster(seed: u64) -> (Table, usize, usize) {
+pub fn schapire_cluster(seed: u64) -> Result<(Table, usize, usize)> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut t = Table::new("citations", citation_schema());
+    let mut t = Table::new("citations", citation_schema()?);
     let p = &PUBLICATIONS[0];
     let total = 56usize;
     let misclustered_at = 40;
@@ -275,9 +276,9 @@ pub fn schapire_cluster(seed: u64) -> (Table, usize, usize) {
         let mut values: Vec<conquer_storage::Value> = vec!["schapire90".into()];
         values.extend(row.into_iter().map(Into::into));
         values.push(1.0.into());
-        t.insert(values).expect("schema matches");
+        t.insert(values)?;
     }
-    (t, misclustered_at, odd_at)
+    Ok((t, misclustered_at, odd_at))
 }
 
 /// Attribute names used for probability assignment over citation tables.
@@ -290,7 +291,7 @@ mod tests {
 
     #[test]
     fn cora_table_shape() {
-        let t = cora_table(CoraConfig::default());
+        let t = cora_table(CoraConfig::default()).unwrap();
         assert_eq!(t.len(), 48);
         let c = Clustering::from_id_column(&t, "id").unwrap();
         assert_eq!(c.len(), 6);
@@ -301,7 +302,7 @@ mod tests {
         // The qualitative claim of Section 4.2: under the Figure-5
         // assignment, near-canonical tuples rank highest while the
         // mis-clustered and oddly formatted tuples rank lowest.
-        let (t, misclustered, odd) = schapire_cluster(1);
+        let (t, misclustered, odd) = schapire_cluster(1).unwrap();
         assert_eq!(t.len(), 56);
         let matrix = CategoricalMatrix::from_table(&t, &CITATION_ATTRIBUTES).unwrap();
         let clustering = Clustering::from_id_column(&t, "id").unwrap();
@@ -333,8 +334,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = cora_table(CoraConfig::default());
-        let b = cora_table(CoraConfig::default());
+        let a = cora_table(CoraConfig::default()).unwrap();
+        let b = cora_table(CoraConfig::default()).unwrap();
         assert_eq!(a.rows(), b.rows());
     }
 }

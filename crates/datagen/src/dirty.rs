@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use conquer_core::{propagate_in_place, DirtyDatabase, DirtySpec, DirtyTableMeta};
-use conquer_engine::Database;
+use conquer_engine::{Database, EngineError};
 use conquer_prob::{
     assign_probabilities, assign_probabilities_parallel, uniform_probabilities, Clustering,
     InfoLossDistance,
@@ -136,30 +136,36 @@ pub fn tpch_spec() -> DirtySpec {
 /// Generate the dirty catalog with *unpropagated* foreign keys and
 /// placeholder probabilities (every tuple still carries `prob = 1`;
 /// run [`compute_probabilities`] before querying).
-pub fn generate_unpropagated(config: UisConfig) -> DirtyTpch {
-    let clean = generate_clean(config.tpch);
+pub fn generate_unpropagated(config: UisConfig) -> Result<DirtyTpch> {
+    let clean = generate_clean(config.tpch)?;
     let mut rng = StdRng::seed_from_u64(config.tpch.seed ^ 0x5ee0_d1e5);
     let mut catalog = Catalog::new();
     for t in ["region", "nation"] {
-        catalog
-            .add_table(clean.table(t).expect("generated").clone())
-            .expect("fresh");
+        catalog.add_table(clean.table(t)?.clone())?;
     }
 
     // id → source keys of each dirtied parent, for FK retargeting.
     let mut src_keys: HashMap<String, HashMap<i64, Vec<i64>>> = HashMap::new();
 
     for name in DIRTIED_TABLES {
-        let table = clean.table(name).expect("generated");
-        let (dirty, keys) = dirty_table(&mut rng, table, &config, &src_keys);
+        let table = clean.table(name)?;
+        let (dirty, keys) = dirty_table(&mut rng, table, &config, &src_keys)?;
         src_keys.insert(name.to_string(), keys);
-        catalog.add_table(dirty).expect("fresh");
+        catalog.add_table(dirty)?;
     }
 
-    DirtyTpch {
+    Ok(DirtyTpch {
         catalog,
         spec: tpch_spec(),
-    }
+    })
+}
+
+/// Source-key column of a dirtied table (every table in [`DIRTIED_TABLES`]
+/// and every propagation parent has one).
+fn require_srckey(name: &str) -> Result<&'static str> {
+    srckey_column(name).ok_or_else(|| {
+        EngineError::internal(format!("table {name} has no source-key column")).into()
+    })
 }
 
 /// Duplicate one clean table.
@@ -168,20 +174,17 @@ fn dirty_table(
     clean: &Table,
     config: &UisConfig,
     parent_srcs: &HashMap<String, HashMap<i64, Vec<i64>>>,
-) -> (Table, HashMap<i64, Vec<i64>>) {
+) -> Result<(Table, HashMap<i64, Vec<i64>>)> {
     let name = clean.name();
-    let id_col = clean.column_index(identifier_column(name)).expect("schema");
-    let src_col = clean
-        .column_index(srckey_column(name).expect("dirtied tables have source keys"))
-        .expect("schema");
-    let prob_col = clean.column_index("prob").expect("schema");
+    let id_col = clean.column_index(identifier_column(name))?;
+    let src_col = clean.column_index(require_srckey(name)?)?;
+    let prob_col = clean.column_index("prob")?;
 
     // Foreign keys into *dirtied* parents need retargeting to source keys.
-    let fk_cols: Vec<(usize, &str)> = PROPAGATIONS
-        .iter()
-        .filter(|(child, _, _)| *child == name)
-        .map(|(_, fk, parent)| (clean.column_index(fk).expect("schema"), *parent))
-        .collect();
+    let mut fk_cols: Vec<(usize, &str)> = Vec::new();
+    for (_, fk, parent) in PROPAGATIONS.iter().filter(|(child, _, _)| *child == name) {
+        fk_cols.push((clean.column_index(fk)?, *parent));
+    }
 
     // Identifier, source key, FKs and prob survive perturbation untouched.
     let mut keep: Vec<usize> = vec![id_col, src_col, prob_col];
@@ -192,7 +195,9 @@ fn dirty_table(
     let mut next_src: i64 = 0;
 
     for row in clean.rows() {
-        let cluster_id = row[id_col].as_i64().expect("integer identifiers");
+        let cluster_id = row[id_col].as_i64().ok_or_else(|| {
+            EngineError::internal(format!("identifier column of {name} must hold integers"))
+        })?;
         let size = if config.if_factor <= 1 {
             1
         } else {
@@ -211,14 +216,16 @@ fn dirty_table(
             // Point FKs at a random source key of the referenced parent
             // cluster (different sources cite different representations).
             for (fk, parent) in &fk_cols {
-                let parent_cluster = r[*fk].as_i64().expect("integer FKs");
+                let parent_cluster = r[*fk].as_i64().ok_or_else(|| {
+                    EngineError::internal(format!("foreign keys of {name} must hold integers"))
+                })?;
                 let srcs = &parent_srcs[*parent][&parent_cluster];
                 r[*fk] = Value::Int(srcs[rng.random_range(0..srcs.len())]);
             }
-            out.insert(r).expect("same schema");
+            out.insert(r)?;
         }
     }
-    (out, keys)
+    Ok((out, keys))
 }
 
 /// Rewrite every foreign key from parent source keys to parent cluster
@@ -227,7 +234,7 @@ fn dirty_table(
 pub fn propagate_identifiers(catalog: &mut Catalog) -> Result<usize> {
     let mut dangling = 0;
     for (child, fk, parent) in PROPAGATIONS {
-        let parent_src = srckey_column(parent).expect("dirtied parent");
+        let parent_src = require_srckey(parent)?;
         let parent_id = identifier_column(parent);
         dangling += propagate_in_place(catalog, parent, parent_src, parent_id, child, fk)?;
     }
@@ -323,7 +330,7 @@ fn random_probabilities(clustering: &Clustering, n: usize, seed: u64) -> Vec<f64
 /// Run the full pipeline: generate, propagate identifiers, compute
 /// probabilities on every dirtied table, validate, and wrap.
 pub fn dirty_database(config: UisConfig) -> Result<DirtyDatabase> {
-    let DirtyTpch { mut catalog, spec } = generate_unpropagated(config);
+    let DirtyTpch { mut catalog, spec } = generate_unpropagated(config)?;
     propagate_identifiers(&mut catalog)?;
     for table in DIRTIED_TABLES {
         compute_probabilities(&mut catalog, table, config.prob_mode, config.tpch.seed)?;
@@ -346,16 +353,16 @@ mod tests {
 
     #[test]
     fn if1_produces_singletons() {
-        let d = generate_unpropagated(small(1, ProbMode::Uniform));
+        let d = generate_unpropagated(small(1, ProbMode::Uniform)).unwrap();
         let c = d.catalog.table("customer").unwrap();
-        let clean = generate_clean(TpchConfig { sf: 0.01, seed: 11 });
+        let clean = generate_clean(TpchConfig { sf: 0.01, seed: 11 }).unwrap();
         assert_eq!(c.len(), clean.table("customer").unwrap().len());
     }
 
     #[test]
     fn cluster_sizes_bounded_and_average_near_if() {
         let iff = 3;
-        let d = generate_unpropagated(small(iff, ProbMode::Uniform));
+        let d = generate_unpropagated(small(iff, ProbMode::Uniform)).unwrap();
         let li = d.catalog.table("lineitem").unwrap();
         let clustering = Clustering::from_id_column(li, "l_id").unwrap();
         let max = clustering.clusters().iter().map(Vec::len).max().unwrap();
@@ -366,7 +373,7 @@ mod tests {
 
     #[test]
     fn source_keys_unique_and_fks_reference_them() {
-        let d = generate_unpropagated(small(2, ProbMode::Uniform));
+        let d = generate_unpropagated(small(2, ProbMode::Uniform)).unwrap();
         let cust = d.catalog.table("customer").unwrap();
         let src = cust.column_index("c_srckey").unwrap();
         let mut seen = std::collections::HashSet::new();
@@ -418,7 +425,7 @@ mod tests {
 
     #[test]
     fn duplicates_share_identifier_but_differ() {
-        let d = generate_unpropagated(small(4, ProbMode::Uniform));
+        let d = generate_unpropagated(small(4, ProbMode::Uniform)).unwrap();
         let cust = d.catalog.table("customer").unwrap();
         let clustering = Clustering::from_id_column(cust, "c_custkey").unwrap();
         let big = clustering
@@ -438,7 +445,7 @@ mod tests {
 
     #[test]
     fn parallel_probability_pass_matches_sequential() {
-        let d = generate_unpropagated(small(3, ProbMode::InfoLoss));
+        let d = generate_unpropagated(small(3, ProbMode::InfoLoss)).unwrap();
         let mut seq = d.catalog.clone();
         compute_probabilities(&mut seq, "customer", ProbMode::InfoLoss, 0).unwrap();
         let mut par = d.catalog.clone();

@@ -21,6 +21,7 @@
 //! * [`perturb`] — the typo/noise primitives shared by the generators.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cora;
 pub mod dirty;

@@ -16,7 +16,10 @@
 //! is exactly how the paper's experiments model identifiers ("the original
 //! keys of the relations [are replaced] with the identifier").
 
+use conquer_engine::EngineError;
 use conquer_storage::{Catalog, DataType, Date, Schema, Value};
+
+use crate::Result;
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 
@@ -228,10 +231,16 @@ fn pick<'a, R: Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
     pool[rng.random_range(0..pool.len())]
 }
 
-fn date(rng: &mut StdRng, lo: &str, hi: &str) -> Date {
-    let lo: Date = lo.parse().expect("valid literal");
-    let hi: Date = hi.parse().expect("valid literal");
-    Date::from_days(rng.random_range(lo.days()..=hi.days()))
+fn lit_date(s: &str) -> Result<Date> {
+    s.parse().map_err(|_| {
+        EngineError::internal(format!("invalid date literal {s:?} in the TPC-H generator")).into()
+    })
+}
+
+fn date(rng: &mut StdRng, lo: &str, hi: &str) -> Result<Date> {
+    let lo = lit_date(lo)?;
+    let hi = lit_date(hi)?;
+    Ok(Date::from_days(rng.random_range(lo.days()..=hi.days())))
 }
 
 fn money(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
@@ -242,17 +251,19 @@ fn money(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
 // Schemas
 // --------------------------------------------------------------------------
 
-fn schema(pairs: &[(&str, DataType)]) -> Schema {
-    Schema::from_pairs(pairs.iter().map(|(n, t)| (n.to_string(), *t))).expect("static schema")
+fn schema(pairs: &[(&str, DataType)]) -> Result<Schema> {
+    Ok(Schema::from_pairs(
+        pairs.iter().map(|(n, t)| (n.to_string(), *t)),
+    )?)
 }
 
 /// Schema of every TPC-H-lite table (with `*_srckey` and `prob` columns).
-pub fn schemas() -> Vec<(&'static str, Schema)> {
+pub fn schemas() -> Result<Vec<(&'static str, Schema)>> {
     use DataType::*;
-    vec![
+    Ok(vec![
         (
             "region",
-            schema(&[("r_regionkey", Int), ("r_name", Text), ("prob", Float)]),
+            schema(&[("r_regionkey", Int), ("r_name", Text), ("prob", Float)])?,
         ),
         (
             "nation",
@@ -261,7 +272,7 @@ pub fn schemas() -> Vec<(&'static str, Schema)> {
                 ("n_name", Text),
                 ("n_regionkey", Int),
                 ("prob", Float),
-            ]),
+            ])?,
         ),
         (
             "supplier",
@@ -274,7 +285,7 @@ pub fn schemas() -> Vec<(&'static str, Schema)> {
                 ("s_phone", Text),
                 ("s_acctbal", Float),
                 ("prob", Float),
-            ]),
+            ])?,
         ),
         (
             "part",
@@ -289,7 +300,7 @@ pub fn schemas() -> Vec<(&'static str, Schema)> {
                 ("p_container", Text),
                 ("p_retailprice", Float),
                 ("prob", Float),
-            ]),
+            ])?,
         ),
         (
             "partsupp",
@@ -301,7 +312,7 @@ pub fn schemas() -> Vec<(&'static str, Schema)> {
                 ("ps_availqty", Int),
                 ("ps_supplycost", Float),
                 ("prob", Float),
-            ]),
+            ])?,
         ),
         (
             "customer",
@@ -315,7 +326,7 @@ pub fn schemas() -> Vec<(&'static str, Schema)> {
                 ("c_acctbal", Float),
                 ("c_mktsegment", Text),
                 ("prob", Float),
-            ]),
+            ])?,
         ),
         (
             "orders",
@@ -330,7 +341,7 @@ pub fn schemas() -> Vec<(&'static str, Schema)> {
                 ("o_clerk", Text),
                 ("o_shippriority", Int),
                 ("prob", Float),
-            ]),
+            ])?,
         ),
         (
             "lineitem",
@@ -353,9 +364,9 @@ pub fn schemas() -> Vec<(&'static str, Schema)> {
                 ("l_shipinstruct", Text),
                 ("l_shipmode", Text),
                 ("prob", Float),
-            ]),
+            ])?,
         ),
-    ]
+    ])
 }
 
 /// Identifier column of each table (the cluster identifier in the dirty
@@ -395,36 +406,34 @@ pub fn srckey_column(table: &str) -> Option<&'static str> {
 /// Generate the clean TPC-H-lite catalog. All `prob` values are 1 and every
 /// `*_srckey` equals the row's identifier (each entity has exactly one
 /// representation).
-pub fn generate_clean(config: TpchConfig) -> Catalog {
+pub fn generate_clean(config: TpchConfig) -> Result<Catalog> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let counts = config.counts();
     let mut catalog = Catalog::new();
-    for (name, s) in schemas() {
-        catalog.create_table(name, s).expect("fresh catalog");
+    for (name, s) in schemas()? {
+        catalog.create_table(name, s)?;
     }
 
     // region / nation
     {
-        let t = catalog.table_mut("region").expect("created");
+        let t = catalog.table_mut("region")?;
         for (i, r) in REGIONS.iter().enumerate() {
-            t.insert(vec![(i as i64).into(), (*r).into(), 1.0.into()])
-                .expect("row");
+            t.insert(vec![(i as i64).into(), (*r).into(), 1.0.into()])?;
         }
-        let t = catalog.table_mut("nation").expect("created");
+        let t = catalog.table_mut("nation")?;
         for (i, (n, r)) in NATIONS.iter().enumerate() {
             t.insert(vec![
                 (i as i64).into(),
                 (*n).into(),
                 (*r as i64).into(),
                 1.0.into(),
-            ])
-            .expect("row");
+            ])?;
         }
     }
 
     // supplier
     {
-        let t = catalog.table_mut("supplier").expect("created");
+        let t = catalog.table_mut("supplier")?;
         for k in 0..counts.suppliers as i64 {
             let nation = rng.random_range(0..NATIONS.len() as i64);
             let row = vec![
@@ -437,13 +446,13 @@ pub fn generate_clean(config: TpchConfig) -> Catalog {
                 money(&mut rng, -999.99, 9999.99).into(),
                 1.0.into(),
             ];
-            t.insert(row).expect("row");
+            t.insert(row)?;
         }
     }
 
     // part
     {
-        let t = catalog.table_mut("part").expect("created");
+        let t = catalog.table_mut("part")?;
         for k in 0..counts.parts as i64 {
             let name = (0..5)
                 .map(|_| pick(&mut rng, &COLORS))
@@ -469,13 +478,13 @@ pub fn generate_clean(config: TpchConfig) -> Catalog {
                 money(&mut rng, 900.0, 2000.0).into(),
                 1.0.into(),
             ];
-            t.insert(row).expect("row");
+            t.insert(row)?;
         }
     }
 
     // partsupp: 4 suppliers per part
     {
-        let t = catalog.table_mut("partsupp").expect("created");
+        let t = catalog.table_mut("partsupp")?;
         let mut id = 0i64;
         for p in 0..counts.parts as i64 {
             for _ in 0..4 {
@@ -489,7 +498,7 @@ pub fn generate_clean(config: TpchConfig) -> Catalog {
                     money(&mut rng, 1.0, 1000.0).into(),
                     1.0.into(),
                 ];
-                t.insert(row).expect("row");
+                t.insert(row)?;
                 id += 1;
             }
         }
@@ -497,7 +506,7 @@ pub fn generate_clean(config: TpchConfig) -> Catalog {
 
     // customer
     {
-        let t = catalog.table_mut("customer").expect("created");
+        let t = catalog.table_mut("customer")?;
         for k in 0..counts.customers as i64 {
             let nation = rng.random_range(0..NATIONS.len() as i64);
             let name = format!(
@@ -516,7 +525,7 @@ pub fn generate_clean(config: TpchConfig) -> Catalog {
                 pick(&mut rng, &SEGMENTS).into(),
                 1.0.into(),
             ];
-            t.insert(row).expect("row");
+            t.insert(row)?;
         }
     }
 
@@ -524,12 +533,13 @@ pub fn generate_clean(config: TpchConfig) -> Catalog {
     {
         let parts = counts.parts as i64;
         let suppliers = counts.suppliers as i64;
+        let cutoff = lit_date("1995-06-17")?;
         let mut order_rows = Vec::with_capacity(counts.orders);
         let mut line_rows = Vec::new();
         let mut l_id = 0i64;
         for k in 0..counts.orders as i64 {
             let cust = rng.random_range(0..counts.customers as i64);
-            let odate = date(&mut rng, "1992-01-01", "1998-08-02");
+            let odate = date(&mut rng, "1992-01-01", "1998-08-02")?;
             let n_lines = rng.random_range(1..=7u32).min(7) as i64;
             let mut total = 0.0;
             for ln in 1..=n_lines {
@@ -549,17 +559,12 @@ pub fn generate_clean(config: TpchConfig) -> Catalog {
                     price.into(),
                     ((rng.random_range(0..=10) as f64) / 100.0).into(),
                     ((rng.random_range(0..=8) as f64) / 100.0).into(),
-                    if receipt <= "1995-06-17".parse().expect("lit") {
+                    if receipt <= cutoff {
                         if rng.random_bool(0.5) { "R" } else { "A" }.into()
                     } else {
                         "N".into()
                     },
-                    if ship > "1995-06-17".parse().expect("lit") {
-                        "O"
-                    } else {
-                        "F"
-                    }
-                    .into(),
+                    if ship > cutoff { "O" } else { "F" }.into(),
                     ship.into(),
                     commit.into(),
                     receipt.into(),
@@ -582,19 +587,11 @@ pub fn generate_clean(config: TpchConfig) -> Catalog {
                 1.0.into(),
             ]);
         }
-        catalog
-            .table_mut("orders")
-            .expect("created")
-            .insert_all(order_rows)
-            .expect("rows");
-        catalog
-            .table_mut("lineitem")
-            .expect("created")
-            .insert_all(line_rows)
-            .expect("rows");
+        catalog.table_mut("orders")?.insert_all(order_rows)?;
+        catalog.table_mut("lineitem")?.insert_all(line_rows)?;
     }
 
-    catalog
+    Ok(catalog)
 }
 
 fn phone(rng: &mut StdRng, nation: i64) -> Value {
@@ -623,7 +620,7 @@ mod tests {
 
     #[test]
     fn clean_catalog_has_all_tables_and_fk_integrity() {
-        let cat = generate_clean(TpchConfig { sf: 0.02, seed: 7 });
+        let cat = generate_clean(TpchConfig { sf: 0.02, seed: 7 }).unwrap();
         assert_eq!(cat.len(), 8);
         let customers = cat.table("customer").unwrap().len() as i64;
         let orders = cat.table("orders").unwrap();
@@ -643,13 +640,13 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate_clean(TpchConfig { sf: 0.01, seed: 3 });
-        let b = generate_clean(TpchConfig { sf: 0.01, seed: 3 });
+        let a = generate_clean(TpchConfig { sf: 0.01, seed: 3 }).unwrap();
+        let b = generate_clean(TpchConfig { sf: 0.01, seed: 3 }).unwrap();
         assert_eq!(
             a.table("customer").unwrap().rows(),
             b.table("customer").unwrap().rows()
         );
-        let c = generate_clean(TpchConfig { sf: 0.01, seed: 4 });
+        let c = generate_clean(TpchConfig { sf: 0.01, seed: 4 }).unwrap();
         assert_ne!(
             a.table("customer").unwrap().rows(),
             c.table("customer").unwrap().rows()
@@ -658,7 +655,7 @@ mod tests {
 
     #[test]
     fn dates_consistent() {
-        let cat = generate_clean(TpchConfig { sf: 0.01, seed: 9 });
+        let cat = generate_clean(TpchConfig { sf: 0.01, seed: 9 }).unwrap();
         let li = cat.table("lineitem").unwrap();
         let (ship, receipt) = (
             li.column_index("l_shipdate").unwrap(),
@@ -671,7 +668,7 @@ mod tests {
 
     #[test]
     fn identifier_columns_resolve() {
-        let cat = generate_clean(TpchConfig { sf: 0.01, seed: 1 });
+        let cat = generate_clean(TpchConfig { sf: 0.01, seed: 1 }).unwrap();
         for t in cat.tables() {
             let id = identifier_column(t.name());
             assert!(t.column_index(id).is_ok(), "{} missing {id}", t.name());
@@ -683,7 +680,7 @@ mod tests {
 
     #[test]
     fn clean_probabilities_are_one() {
-        let cat = generate_clean(TpchConfig { sf: 0.01, seed: 1 });
+        let cat = generate_clean(TpchConfig { sf: 0.01, seed: 1 }).unwrap();
         for t in cat.tables() {
             let p = t.column_index("prob").unwrap();
             for row in t.rows() {

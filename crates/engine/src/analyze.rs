@@ -1,0 +1,1346 @@
+//! Static query analysis: span-carrying diagnostics with stable codes.
+//!
+//! This pass runs between parse and execution and never touches table
+//! *data* — only the catalog's schemas. It re-resolves the query the same
+//! way the binder does, but keeps going after the first problem and keeps
+//! the source [`Span`] of every offending token, producing a list of
+//! [`Diagnostic`]s instead of a single error.
+//!
+//! Codes are stable: `CQ0xxx` are errors (the engine will reject or
+//! mis-execute the query), `CQ1xxx` are warnings (the query runs but
+//! probably does not mean what it says). The CLI renders them as caret
+//! snippets via [`Diagnostic::render`]; `--deny-warnings` promotes
+//! warnings to failures.
+//!
+//! Entry points: [`Database::analyze`](crate::Database::analyze) and
+//! [`Statement::check`](crate::Statement::check).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use conquer_sql::ast::{SelectItem, Statement};
+use conquer_sql::{
+    line_col, parse_statement, render_snippet, BinaryOp, ColumnRef, Expr, Literal, SelectStatement,
+    Span, UnaryOp,
+};
+use conquer_storage::{Catalog, DataType, Schema, Value};
+
+use crate::binder::{bind_select, literal_value};
+use crate::expr::{BoundExpr, Offsets};
+
+/// How bad a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The query is legal but suspicious; it runs, with `--deny-warnings`
+    /// off.
+    Warning,
+    /// The query is rejected (or guaranteed to fail at runtime).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes. `CQ0xxx` are errors, `CQ1xxx` warnings; codes
+/// are append-only and never reused (they appear in golden tests and user
+/// scripts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum Code {
+    /// `CQ0001` — the SQL text failed to lex or parse.
+    SyntaxError,
+    /// `CQ0002` — a FROM (or qualifier) names no known table or binding.
+    UnknownTable,
+    /// `CQ0003` — a column reference resolves to nothing.
+    UnknownColumn,
+    /// `CQ0004` — an unqualified column exists in several FROM relations.
+    AmbiguousColumn,
+    /// `CQ0005` — a comparison (often a join key) between incomparable
+    /// types, or arithmetic on non-numeric operands.
+    TypeMismatch,
+    /// `CQ0006` — two FROM entries share one binding name.
+    DuplicateBinding,
+    /// `CQ0007` — any other semantic error the binder would reject
+    /// (aggregates in WHERE, nested aggregates, ORDER BY position out of
+    /// range, missing FROM, …).
+    BindError,
+    /// `CQ0008` — a SELECT-list (or ORDER BY) column is dropped by
+    /// grouping: it is neither a GROUP BY key nor inside an aggregate.
+    UngroupedColumn,
+    /// `CQ1001` — a WHERE/HAVING conjunct is always true and can be
+    /// removed.
+    AlwaysTrue,
+    /// `CQ1002` — a WHERE/HAVING conjunct is never true (false or NULL);
+    /// the query returns no rows.
+    AlwaysFalse,
+    /// `CQ1003` — a comparison implicitly casts across types (INTEGER vs
+    /// DOUBLE join keys, TEXT vs DATE).
+    ImplicitCast,
+    /// `CQ1004` — a FROM relation is not connected to the rest of the
+    /// join graph by any equi-join conjunct: cartesian product.
+    CartesianProduct,
+    /// `CQ1005` — a FROM relation is never referenced by any expression.
+    UnusedTable,
+    /// `CQ1007` — the query is outside the rewritable class (Definition
+    /// 7) and clean-answer evaluation will fall back to enumerating
+    /// candidate databases. Emitted by the `conquer-core` layer, which
+    /// knows the cluster statistics.
+    NaiveFallback,
+}
+
+impl Code {
+    /// The stable `CQxxxx` spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::SyntaxError => "CQ0001",
+            Code::UnknownTable => "CQ0002",
+            Code::UnknownColumn => "CQ0003",
+            Code::AmbiguousColumn => "CQ0004",
+            Code::TypeMismatch => "CQ0005",
+            Code::DuplicateBinding => "CQ0006",
+            Code::BindError => "CQ0007",
+            Code::UngroupedColumn => "CQ0008",
+            Code::AlwaysTrue => "CQ1001",
+            Code::AlwaysFalse => "CQ1002",
+            Code::ImplicitCast => "CQ1003",
+            Code::CartesianProduct => "CQ1004",
+            Code::UnusedTable => "CQ1005",
+            Code::NaiveFallback => "CQ1007",
+        }
+    }
+
+    /// Errors are `CQ0xxx`, warnings `CQ1xxx`.
+    pub fn severity(self) -> Severity {
+        if self.as_str().starts_with("CQ0") {
+            Severity::Error
+        } else {
+            Severity::Warning
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of the static analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (`CQ0xxx` error / `CQ1xxx` warning).
+    pub code: Code,
+    /// Derived from the code.
+    pub severity: Severity,
+    /// Where in the SQL text; [`Span::NONE`] when the finding has no
+    /// single token (e.g. a missing FROM clause).
+    pub span: Span,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Optional suggestion ("did you mean …", "add … to GROUP BY").
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic for `code` at `span`.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attach a help line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// True for error-severity diagnostics.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Render as a caret snippet against the SQL text the query was
+    /// analyzed from:
+    ///
+    /// ```text
+    /// error[CQ0003]: no column "namex" in any FROM relation
+    ///  --> line 1, column 8
+    ///   |
+    /// 1 | select namex from customer
+    ///   |        ^^^^^
+    ///   = help: did you mean "name"?
+    /// ```
+    pub fn render(&self, sql: &str) -> String {
+        let mut out = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        if !self.span.is_none() {
+            let (line, col) = line_col(sql, self.span.start as usize);
+            out.push_str(&format!(" --> line {line}, column {col}\n"));
+            out.push_str(&render_snippet(sql, self.span));
+        }
+        if let Some(h) = &self.help {
+            out.push_str(&format!("\n  = help: {h}"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(h) = &self.help {
+            write!(f, " (help: {h})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyze a SQL string against a catalog. Parse failures yield a single
+/// `CQ0001`; otherwise the statement is analyzed structurally.
+pub fn analyze_sql(catalog: &Catalog, sql: &str) -> Vec<Diagnostic> {
+    match parse_statement(sql) {
+        Ok(stmt) => analyze_statement(catalog, &stmt),
+        Err(e) => vec![Diagnostic::new(
+            Code::SyntaxError,
+            Span::at(e.offset, 1),
+            e.message.clone(),
+        )],
+    }
+}
+
+/// Analyze a parsed statement. SELECT (and EXPLAIN) get the full lint
+/// pass; DML statements get table-existence checks.
+pub fn analyze_statement(catalog: &Catalog, stmt: &Statement) -> Vec<Diagnostic> {
+    match stmt {
+        Statement::Select(s) => analyze_select(catalog, s),
+        Statement::Explain { query, .. } => analyze_select(catalog, query),
+        Statement::Insert(i) => check_target_table(catalog, &i.table),
+        Statement::Delete(d) => check_target_table(catalog, &d.table),
+        Statement::Update(u) => check_target_table(catalog, &u.table),
+        Statement::DropTable(name) => check_target_table(catalog, name),
+        Statement::CreateTable(_) => Vec::new(),
+    }
+}
+
+fn check_target_table(catalog: &Catalog, name: &str) -> Vec<Diagnostic> {
+    if catalog.contains(name) {
+        return Vec::new();
+    }
+    vec![unknown_table(catalog, name, Span::NONE)]
+}
+
+fn unknown_table(catalog: &Catalog, name: &str, span: Span) -> Diagnostic {
+    let d = Diagnostic::new(Code::UnknownTable, span, format!("unknown table {name:?}"));
+    match suggest(name, catalog.table_names().into_iter()) {
+        Some(s) => d.with_help(format!("did you mean {s:?}?")),
+        None => d,
+    }
+}
+
+/// Run every lint rule over a SELECT statement.
+pub fn analyze_select(catalog: &Catalog, stmt: &SelectStatement) -> Vec<Diagnostic> {
+    let mut a = Analyzer::new(catalog, stmt);
+    a.check_from();
+    a.check_columns();
+    a.check_aggregation();
+    a.check_predicates();
+    a.check_connectivity();
+    a.check_unused();
+    a.check_order_by();
+    a.confirm_against_binder();
+    a.finish()
+}
+
+/// A FROM relation the analyzer resolved (or failed to).
+struct Rel {
+    binding: String,
+    schema: Option<Schema>,
+    span: Span,
+    used: bool,
+}
+
+struct Analyzer<'a> {
+    catalog: &'a Catalog,
+    stmt: &'a SelectStatement,
+    rels: Vec<Rel>,
+    aliases: Vec<String>,
+    diags: Vec<Diagnostic>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(catalog: &'a Catalog, stmt: &'a SelectStatement) -> Self {
+        let aliases = stmt
+            .projection
+            .iter()
+            .filter_map(|item| match item {
+                SelectItem::Expr { alias: Some(a), .. } => Some(a.clone()),
+                _ => None,
+            })
+            .collect();
+        Analyzer {
+            catalog,
+            stmt,
+            rels: Vec::new(),
+            aliases,
+            diags: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    fn finish(self) -> Vec<Diagnostic> {
+        let mut diags = self.diags;
+        // Deterministic order: by position, then by code.
+        diags.sort_by_key(|d| (d.span.start, d.span.end, d.code));
+        diags.dedup_by(|a, b| {
+            a.code == b.code && a.message == b.message && a.span.start == b.span.start
+        });
+        diags
+    }
+
+    // ---- FROM clause -----------------------------------------------------
+
+    fn check_from(&mut self) {
+        if self.stmt.from.is_empty() {
+            self.push(Diagnostic::new(
+                Code::BindError,
+                Span::NONE,
+                "queries require a FROM clause",
+            ));
+            return;
+        }
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for tref in &self.stmt.from {
+            let binding = tref.binding_name().to_string();
+            if !seen.insert(binding.clone()) {
+                self.push(
+                    Diagnostic::new(
+                        Code::DuplicateBinding,
+                        tref.span,
+                        format!("duplicate relation name {binding:?} in FROM"),
+                    )
+                    .with_help("give it a distinct alias"),
+                );
+            }
+            let schema = match self.catalog.table(&tref.table) {
+                Ok(t) => Some(t.schema().clone()),
+                Err(_) => {
+                    let d = unknown_table(self.catalog, &tref.table, tref.span);
+                    self.push(d);
+                    None
+                }
+            };
+            self.rels.push(Rel {
+                binding,
+                schema,
+                span: tref.span,
+                used: false,
+            });
+        }
+    }
+
+    // ---- column resolution ----------------------------------------------
+
+    /// Resolve without emitting diagnostics (used by type inference).
+    fn resolve_quiet(&self, c: &ColumnRef) -> Option<(usize, usize, DataType)> {
+        let mut hit = None;
+        for (ri, rel) in self.rels.iter().enumerate() {
+            if let Some(q) = &c.qualifier {
+                if *q != rel.binding {
+                    continue;
+                }
+            }
+            let schema = rel.schema.as_ref()?;
+            if let Some(ci) = schema.index_of(&c.name) {
+                if hit.is_some() {
+                    return None; // ambiguous
+                }
+                hit = Some((ri, ci, schema.column_at(ci)?.data_type()));
+            }
+        }
+        hit
+    }
+
+    /// Resolve a column reference, emitting CQ0002/CQ0003/CQ0004 as
+    /// appropriate and marking the owning relation used.
+    fn resolve(&mut self, c: &ColumnRef) {
+        if let Some(q) = &c.qualifier {
+            let Some(ri) = self.rels.iter().position(|r| r.binding == *q) else {
+                let d = Diagnostic::new(
+                    Code::UnknownTable,
+                    c.span,
+                    format!("unknown relation {q:?}"),
+                );
+                let d = match suggest(q, self.rels.iter().map(|r| r.binding.as_str())) {
+                    Some(s) => d.with_help(format!("did you mean {s:?}?")),
+                    None => d,
+                };
+                self.push(d);
+                return;
+            };
+            self.rels[ri].used = true;
+            let Some(schema) = &self.rels[ri].schema else {
+                return; // unknown table already reported
+            };
+            if schema.index_of(&c.name).is_none() {
+                let d = Diagnostic::new(
+                    Code::UnknownColumn,
+                    c.span,
+                    format!("no column {:?} in relation {q:?}", c.name),
+                );
+                let d = match suggest(&c.name, schema.names()) {
+                    Some(s) => d.with_help(format!("did you mean {s:?}?")),
+                    None => d,
+                };
+                self.push(d);
+            }
+        } else {
+            let mut hits: Vec<usize> = Vec::new();
+            for (ri, rel) in self.rels.iter().enumerate() {
+                if let Some(schema) = &rel.schema {
+                    if schema.index_of(&c.name).is_some() {
+                        hits.push(ri);
+                    }
+                }
+            }
+            match hits.len() {
+                0 => {
+                    // If some FROM table didn't resolve, the column may well
+                    // live there — don't pile a misleading unknown-column
+                    // diagnostic on top of the unknown-table one.
+                    if self.rels.iter().any(|r| r.schema.is_none()) {
+                        return;
+                    }
+                    let d = Diagnostic::new(
+                        Code::UnknownColumn,
+                        c.span,
+                        format!("unknown column {:?}", c.name),
+                    );
+                    let all: Vec<String> = self
+                        .rels
+                        .iter()
+                        .filter_map(|r| r.schema.as_ref())
+                        .flat_map(|s| s.names().map(str::to_string))
+                        .collect();
+                    let d = match suggest(&c.name, all.iter().map(|s| s.as_str())) {
+                        Some(s) => d.with_help(format!("did you mean {s:?}?")),
+                        None => d,
+                    };
+                    self.push(d);
+                }
+                1 => {
+                    self.rels[hits[0]].used = true;
+                }
+                _ => {
+                    let owners: Vec<String> = hits
+                        .iter()
+                        .map(|ri| self.rels[*ri].binding.clone())
+                        .collect();
+                    self.push(
+                        Diagnostic::new(
+                            Code::AmbiguousColumn,
+                            c.span,
+                            format!("ambiguous column reference {:?}", c.name),
+                        )
+                        .with_help(format!("qualify it with one of: {}", owners.join(", "))),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Resolve every column reference in `e` (except ORDER BY aliases,
+    /// handled separately).
+    fn resolve_all_in(&mut self, e: &Expr) {
+        let mut cols = Vec::new();
+        e.visit_columns(&mut |c| cols.push(c.clone()));
+        for c in cols {
+            self.resolve(&c);
+        }
+    }
+
+    fn check_columns(&mut self) {
+        let stmt = self.stmt;
+        for item in &stmt.projection {
+            match item {
+                SelectItem::Wildcard => {
+                    for rel in &mut self.rels {
+                        rel.used = true;
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    match self.rels.iter().position(|r| r.binding == *q) {
+                        Some(ri) => self.rels[ri].used = true,
+                        None => {
+                            let d = Diagnostic::new(
+                                Code::UnknownTable,
+                                Span::NONE,
+                                format!("unknown relation {q:?} in wildcard projection"),
+                            );
+                            self.push(d);
+                        }
+                    }
+                }
+                SelectItem::Expr { expr, .. } => self.resolve_all_in(expr),
+            }
+        }
+        if let Some(w) = &stmt.selection {
+            self.resolve_all_in(w);
+        }
+        for g in &stmt.group_by {
+            self.resolve_all_in(g);
+        }
+        if let Some(h) = &stmt.having {
+            self.resolve_all_in(h);
+        }
+    }
+
+    // ---- grouping --------------------------------------------------------
+
+    fn is_aggregate_query(&self) -> bool {
+        !self.stmt.group_by.is_empty()
+            || self
+                .stmt
+                .projection
+                .iter()
+                .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+            || self
+                .stmt
+                .having
+                .as_ref()
+                .is_some_and(|h| h.contains_aggregate())
+    }
+
+    fn check_aggregation(&mut self) {
+        let stmt = self.stmt;
+        // Aggregates are illegal in WHERE and GROUP BY regardless of shape.
+        if let Some(w) = &stmt.selection {
+            if w.contains_aggregate() {
+                self.push(Diagnostic::new(
+                    Code::BindError,
+                    expr_span(w),
+                    "aggregates are not allowed in WHERE",
+                ));
+            }
+        }
+        for g in &stmt.group_by {
+            if g.contains_aggregate() {
+                self.push(Diagnostic::new(
+                    Code::BindError,
+                    expr_span(g),
+                    "aggregates are not allowed in GROUP BY",
+                ));
+            }
+        }
+        // Nested aggregates anywhere.
+        for e in self.all_exprs() {
+            find_nested_aggregate(&e, &mut self.diags);
+        }
+        if !self.is_aggregate_query() {
+            return;
+        }
+        if stmt
+            .projection
+            .iter()
+            .any(|i| !matches!(i, SelectItem::Expr { .. }))
+        {
+            self.push(
+                Diagnostic::new(
+                    Code::UngroupedColumn,
+                    Span::NONE,
+                    "wildcard projection in an aggregate query",
+                )
+                .with_help("list the GROUP BY keys and aggregates explicitly"),
+            );
+        }
+        for item in &stmt.projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                self.check_grouped(expr, "SELECT list");
+            }
+        }
+        if let Some(h) = &stmt.having {
+            self.check_grouped(h, "HAVING");
+        }
+    }
+
+    /// Every bare column under `e` must be (part of) a GROUP BY key or
+    /// inside an aggregate; anything else is dropped by grouping.
+    fn check_grouped(&mut self, e: &Expr, clause: &str) {
+        if self.stmt.group_by.iter().any(|g| g == e) {
+            return; // matches a group key (spans are equality-transparent)
+        }
+        match e {
+            Expr::Column(c) => {
+                self.push(
+                    Diagnostic::new(
+                        Code::UngroupedColumn,
+                        c.span,
+                        format!(
+                            "column {c} in the {clause} is dropped by grouping: it is neither a GROUP BY key nor inside an aggregate"
+                        ),
+                    )
+                    .with_help(format!("add {c} to GROUP BY or wrap it in an aggregate")),
+                );
+            }
+            Expr::Aggregate { .. } => {} // columns inside aggregates are fine
+            Expr::Literal(_) => {}
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => {
+                self.check_grouped(expr, clause)
+            }
+            Expr::Binary { left, right, .. } => {
+                self.check_grouped(left, clause);
+                self.check_grouped(right, clause);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                self.check_grouped(expr, clause);
+                self.check_grouped(pattern, clause);
+            }
+            Expr::InList { expr, list, .. } => {
+                self.check_grouped(expr, clause);
+                for i in list {
+                    self.check_grouped(i, clause);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                self.check_grouped(expr, clause);
+                self.check_grouped(low, clause);
+                self.check_grouped(high, clause);
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_expr,
+            } => {
+                if let Some(o) = operand {
+                    self.check_grouped(o, clause);
+                }
+                for (w, t) in branches {
+                    self.check_grouped(w, clause);
+                    self.check_grouped(t, clause);
+                }
+                if let Some(el) = else_expr {
+                    self.check_grouped(el, clause);
+                }
+            }
+        }
+    }
+
+    // ---- predicates: constant folding + type checking --------------------
+
+    fn all_exprs(&self) -> Vec<Expr> {
+        let mut out: Vec<Expr> = Vec::new();
+        for item in &self.stmt.projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                out.push(expr.clone());
+            }
+        }
+        out.extend(self.stmt.selection.iter().cloned());
+        out.extend(self.stmt.group_by.iter().cloned());
+        out.extend(self.stmt.having.iter().cloned());
+        out.extend(self.stmt.order_by.iter().map(|o| o.expr.clone()));
+        out
+    }
+
+    fn check_predicates(&mut self) {
+        let stmt = self.stmt;
+        for (clause, pred) in [("WHERE", &stmt.selection), ("HAVING", &stmt.having)] {
+            let Some(pred) = pred else { continue };
+            for conjunct in pred.conjuncts() {
+                self.fold_conjunct(conjunct, clause);
+            }
+        }
+        for e in self.all_exprs() {
+            self.check_types(&e);
+        }
+    }
+
+    /// Constant-fold a column-free conjunct and warn if it is decided.
+    fn fold_conjunct(&mut self, conjunct: &Expr, clause: &str) {
+        let mut has_col = false;
+        conjunct.visit_columns(&mut |_| has_col = true);
+        if has_col || conjunct.contains_aggregate() {
+            return;
+        }
+        let Some(bound) = const_bound(conjunct) else {
+            return;
+        };
+        let row = Vec::new();
+        let offsets = Offsets(Vec::new());
+        match bound.eval(&row, &offsets) {
+            Ok(Value::Bool(true)) => self.push(
+                Diagnostic::new(
+                    Code::AlwaysTrue,
+                    expr_span(conjunct),
+                    format!("{clause} conjunct `{conjunct}` is always true"),
+                )
+                .with_help("remove it"),
+            ),
+            Ok(Value::Bool(false)) => self.push(Diagnostic::new(
+                Code::AlwaysFalse,
+                expr_span(conjunct),
+                format!("{clause} conjunct `{conjunct}` is always false: the query returns no rows"),
+            )),
+            Ok(Value::Null) => self.push(Diagnostic::new(
+                Code::AlwaysFalse,
+                expr_span(conjunct),
+                format!(
+                    "{clause} conjunct `{conjunct}` is always NULL, which never satisfies a predicate: the query returns no rows"
+                ),
+            )),
+            _ => {} // not a boolean, or a runtime error — the executor reports it
+        }
+    }
+
+    /// Walk an expression checking comparison/arithmetic operand types.
+    fn check_types(&mut self, e: &Expr) {
+        if let Expr::Binary { left, op, right } = e {
+            if op.is_comparison() {
+                self.check_comparison(left, *op, right);
+            } else if !matches!(op, BinaryOp::And | BinaryOp::Or) {
+                // Arithmetic: both sides must be numeric.
+                for side in [left, right] {
+                    if let Some(ty) = self.infer_type(side) {
+                        if !matches!(ty, DataType::Int | DataType::Float) {
+                            self.push(Diagnostic::new(
+                                Code::TypeMismatch,
+                                expr_span(side),
+                                format!(
+                                    "arithmetic `{}` on non-numeric operand `{side}` of type {}",
+                                    op.symbol(),
+                                    ty.name()
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for child in expr_children(e) {
+            self.check_types(child);
+        }
+    }
+
+    fn check_comparison(&mut self, left: &Expr, op: BinaryOp, right: &Expr) {
+        let (Some(lt), Some(rt)) = (self.infer_type(left), self.infer_type(right)) else {
+            return;
+        };
+        if cmp_class(lt) != cmp_class(rt) {
+            self.push(
+                Diagnostic::new(
+                    Code::TypeMismatch,
+                    expr_span(left).union(expr_span(right)),
+                    format!(
+                        "cannot compare {} with {}: `{left} {} {right}` always fails at runtime",
+                        lt.name(),
+                        rt.name(),
+                        op.symbol()
+                    ),
+                )
+                .with_help("cast one side or compare columns of the same type"),
+            );
+            return;
+        }
+        if lt == rt {
+            return;
+        }
+        // Same comparison class, different types: implicit cast.
+        let both_columns = matches!(left, Expr::Column(_)) && matches!(right, Expr::Column(_));
+        let text_vs_date = matches!((lt, rt), (DataType::Text, DataType::Date))
+            || matches!((lt, rt), (DataType::Date, DataType::Text));
+        if text_vs_date {
+            self.push(
+                Diagnostic::new(
+                    Code::ImplicitCast,
+                    expr_span(left).union(expr_span(right)),
+                    format!(
+                        "comparison of {} with {} parses the text as a date at runtime",
+                        lt.name(),
+                        rt.name()
+                    ),
+                )
+                .with_help("write the literal as DATE '...' to make the cast explicit"),
+            );
+        } else if both_columns {
+            self.push(Diagnostic::new(
+                Code::ImplicitCast,
+                expr_span(left).union(expr_span(right)),
+                format!(
+                    "join key `{left} {} {right}` compares {} with {}: the {} side is implicitly cast to {}",
+                    op.symbol(),
+                    lt.name(),
+                    rt.name(),
+                    DataType::Int.name(),
+                    DataType::Float.name(),
+                ),
+            ));
+        }
+    }
+
+    /// Best-effort static type of an expression; `None` when unknown.
+    fn infer_type(&self, e: &Expr) -> Option<DataType> {
+        match e {
+            Expr::Column(c) => self.resolve_quiet(c).map(|(_, _, ty)| ty),
+            Expr::Literal(l) => literal_value(l).data_type(),
+            Expr::Unary {
+                op: UnaryOp::Not, ..
+            } => Some(DataType::Bool),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => self.infer_type(expr),
+            Expr::Binary { left, op, right } => {
+                if op.is_comparison() || matches!(op, BinaryOp::And | BinaryOp::Or) {
+                    Some(DataType::Bool)
+                } else {
+                    match (self.infer_type(left)?, self.infer_type(right)?) {
+                        (DataType::Int, DataType::Int) => Some(DataType::Int),
+                        (DataType::Int | DataType::Float, DataType::Int | DataType::Float) => {
+                            Some(DataType::Float)
+                        }
+                        _ => None,
+                    }
+                }
+            }
+            Expr::Like { .. }
+            | Expr::InList { .. }
+            | Expr::Between { .. }
+            | Expr::IsNull { .. } => Some(DataType::Bool),
+            Expr::Aggregate { func, arg, .. } => match func {
+                conquer_sql::AggFunc::Count => Some(DataType::Int),
+                conquer_sql::AggFunc::Avg => Some(DataType::Float),
+                _ => arg.as_ref().and_then(|a| self.infer_type(a)),
+            },
+            Expr::Case {
+                branches,
+                else_expr,
+                ..
+            } => branches
+                .first()
+                .and_then(|(_, t)| self.infer_type(t))
+                .or_else(|| else_expr.as_ref().and_then(|e| self.infer_type(e))),
+        }
+    }
+
+    // ---- join graph connectivity ----------------------------------------
+
+    fn check_connectivity(&mut self) {
+        let n = self.rels.len();
+        if n < 2 {
+            return;
+        }
+        let mut dsu: Vec<usize> = (0..n).collect();
+        fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
+            if dsu[x] != x {
+                let root = find(dsu, dsu[x]);
+                dsu[x] = root;
+            }
+            dsu[x]
+        }
+        let stmt = self.stmt;
+        if let Some(w) = &stmt.selection {
+            for conjunct in w.conjuncts() {
+                if let Expr::Binary {
+                    left,
+                    op: BinaryOp::Eq,
+                    right,
+                } = conjunct
+                {
+                    if let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) {
+                        if let (Some((ra, _, _)), Some((rb, _, _))) =
+                            (self.resolve_quiet(a), self.resolve_quiet(b))
+                        {
+                            if ra != rb {
+                                let (pa, pb) = (find(&mut dsu, ra), find(&mut dsu, rb));
+                                dsu[pa] = pb;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let home = find(&mut dsu, 0);
+        let mut flagged: BTreeSet<usize> = BTreeSet::new();
+        for ri in 1..n {
+            let root = find(&mut dsu, ri);
+            if root != home && flagged.insert(root) {
+                let rel = &self.rels[ri];
+                let d = Diagnostic::new(
+                    Code::CartesianProduct,
+                    rel.span,
+                    format!(
+                        "relation {:?} is not connected to the rest of the query by any equi-join predicate: this is a cartesian product",
+                        rel.binding
+                    ),
+                )
+                .with_help("add a join predicate linking it to the other FROM relations");
+                self.push(d);
+            }
+        }
+    }
+
+    fn check_unused(&mut self) {
+        if self.rels.len() < 2 {
+            return;
+        }
+        let unused: Vec<(Span, String)> = self
+            .rels
+            .iter()
+            .filter(|r| !r.used && r.schema.is_some())
+            .map(|r| (r.span, r.binding.clone()))
+            .collect();
+        for (span, binding) in unused {
+            self.push(
+                Diagnostic::new(
+                    Code::UnusedTable,
+                    span,
+                    format!("FROM relation {binding:?} is never referenced"),
+                )
+                .with_help("drop it from FROM, or reference its columns"),
+            );
+        }
+    }
+
+    // ---- ORDER BY --------------------------------------------------------
+
+    fn check_order_by(&mut self) {
+        let stmt = self.stmt;
+        let width = stmt.projection.len();
+        let grouped = self.is_aggregate_query();
+        for item in &stmt.order_by {
+            match &item.expr {
+                // Positional reference: 1-based into the select list.
+                Expr::Literal(Literal::Int(n)) => {
+                    if *n < 1 || *n as usize > width {
+                        self.push(Diagnostic::new(
+                            Code::BindError,
+                            Span::NONE,
+                            format!(
+                                "ORDER BY position {n} is out of range (select list has {width} column{})",
+                                if width == 1 { "" } else { "s" }
+                            ),
+                        ));
+                    }
+                }
+                // A bare name matching a select alias refers to the output
+                // column; anything else is an ordinary expression.
+                Expr::Column(c) if c.qualifier.is_none() && self.aliases.contains(&c.name) => {}
+                e => {
+                    self.resolve_all_in(e);
+                    if grouped {
+                        self.check_grouped(e, "ORDER BY");
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- binder cross-check ----------------------------------------------
+
+    /// Safety net: if the binder rejects the query for a reason none of
+    /// the rules above caught, surface it as a generic CQ0007 so that
+    /// "no error diagnostics" always implies "binds cleanly".
+    fn confirm_against_binder(&mut self) {
+        if self.diags.iter().any(|d| d.is_error()) {
+            return;
+        }
+        if let Err(e) = bind_select(self.catalog, self.stmt) {
+            self.push(Diagnostic::new(Code::BindError, Span::NONE, e.to_string()));
+        }
+    }
+}
+
+/// The source span of an expression: the union of its column-ref spans
+/// (an expression with no columns has no span of its own).
+pub fn expr_span(e: &Expr) -> Span {
+    let mut span = Span::NONE;
+    e.visit_columns(&mut |c| span = span.union(c.span));
+    span
+}
+
+fn expr_children(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Column(_) | Expr::Literal(_) => Vec::new(),
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => vec![expr],
+        Expr::Binary { left, right, .. } => vec![left, right],
+        Expr::Like { expr, pattern, .. } => vec![expr, pattern],
+        Expr::InList { expr, list, .. } => {
+            let mut v: Vec<&Expr> = vec![expr];
+            v.extend(list.iter());
+            v
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => vec![expr, low, high],
+        Expr::Aggregate { arg, .. } => arg.iter().map(|a| a.as_ref()).collect(),
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            let mut v: Vec<&Expr> = Vec::new();
+            v.extend(operand.iter().map(|o| o.as_ref()));
+            for (w, t) in branches {
+                v.push(w);
+                v.push(t);
+            }
+            v.extend(else_expr.iter().map(|e| e.as_ref()));
+            v
+        }
+    }
+}
+
+fn find_nested_aggregate(e: &Expr, diags: &mut Vec<Diagnostic>) {
+    if let Expr::Aggregate { arg: Some(a), .. } = e {
+        if a.contains_aggregate() {
+            diags.push(Diagnostic::new(
+                Code::BindError,
+                expr_span(e),
+                "nested aggregates are not allowed",
+            ));
+            return;
+        }
+    }
+    for child in expr_children(e) {
+        find_nested_aggregate(child, diags);
+    }
+}
+
+/// Bind a column-free expression for constant folding. Returns `None` for
+/// shapes that cannot be folded (aggregates).
+fn const_bound(e: &Expr) -> Option<BoundExpr> {
+    Some(match e {
+        Expr::Column(_) | Expr::Aggregate { .. } => return None,
+        Expr::Literal(l) => BoundExpr::Literal(literal_value(l)),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => BoundExpr::Not(Box::new(const_bound(expr)?)),
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => BoundExpr::Neg(Box::new(const_bound(expr)?)),
+        Expr::Binary { left, op, right } => BoundExpr::Binary {
+            left: Box::new(const_bound(left)?),
+            op: *op,
+            right: Box::new(const_bound(right)?),
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => BoundExpr::Like {
+            expr: Box::new(const_bound(expr)?),
+            pattern: Box::new(const_bound(pattern)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundExpr::InList {
+            expr: Box::new(const_bound(expr)?),
+            list: list.iter().map(const_bound).collect::<Option<Vec<_>>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => BoundExpr::Between {
+            expr: Box::new(const_bound(expr)?),
+            low: Box::new(const_bound(low)?),
+            high: Box::new(const_bound(high)?),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+            expr: Box::new(const_bound(expr)?),
+            negated: *negated,
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => BoundExpr::Case {
+            operand: match operand {
+                Some(o) => Some(Box::new(const_bound(o)?)),
+                None => None,
+            },
+            branches: branches
+                .iter()
+                .map(|(w, t)| Some((const_bound(w)?, const_bound(t)?)))
+                .collect::<Option<Vec<_>>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(Box::new(const_bound(e)?)),
+                None => None,
+            },
+        },
+    })
+}
+
+/// Comparison-compatibility class; values in the same class compare at
+/// runtime (possibly via an implicit cast), values across classes are a
+/// guaranteed runtime error. Mirrors `Value::sql_cmp`.
+fn cmp_class(ty: DataType) -> u8 {
+    match ty {
+        DataType::Int | DataType::Float => 0,
+        DataType::Text | DataType::Date => 1, // text parses as date
+        DataType::Bool => 2,
+    }
+}
+
+/// Smallest-edit-distance candidate within a threshold, for "did you
+/// mean" help lines.
+fn suggest<'c>(target: &str, candidates: impl Iterator<Item = &'c str>) -> Option<String> {
+    // Allow roughly one typo per three characters (so a transposition —
+    // two plain-Levenshtein edits — is caught even in short names).
+    let threshold = target.len().div_ceil(3).clamp(1, 3);
+    candidates
+        .filter(|c| *c != target)
+        .map(|c| (edit_distance(target, c), c))
+        .filter(|(d, _)| *d <= threshold)
+        .min()
+        .map(|(_, c)| c.to_string())
+}
+
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conquer_storage::Table;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(Table::new(
+            "customer",
+            Schema::from_pairs([
+                ("id", DataType::Text),
+                ("name", DataType::Text),
+                ("income", DataType::Int),
+                ("prob", DataType::Float),
+            ])
+            .expect("valid schema"),
+        ))
+        .expect("fresh catalog");
+        c.add_table(Table::new(
+            "orders",
+            Schema::from_pairs([
+                ("oid", DataType::Int),
+                ("cust", DataType::Text),
+                ("odate", DataType::Date),
+                ("total", DataType::Float),
+            ])
+            .expect("valid schema"),
+        ))
+        .expect("fresh catalog");
+        c
+    }
+
+    fn codes(sql: &str) -> Vec<&'static str> {
+        analyze_sql(&catalog(), sql)
+            .iter()
+            .map(|d| d.code.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn clean_query_is_clean() {
+        assert!(codes("select id, name from customer where income > 100000").is_empty());
+    }
+
+    #[test]
+    fn syntax_error_is_cq0001() {
+        assert_eq!(codes("select from from"), vec!["CQ0001"]);
+    }
+
+    #[test]
+    fn unknown_table_with_suggestion() {
+        let ds = analyze_sql(&catalog(), "select id from custoner");
+        assert_eq!(ds[0].code, Code::UnknownTable);
+        assert_eq!(ds[0].help.as_deref(), Some("did you mean \"customer\"?"));
+        // Span points at the table name.
+        assert_eq!((ds[0].span.start, ds[0].span.end), (15, 23));
+    }
+
+    #[test]
+    fn unknown_column_with_suggestion() {
+        let ds = analyze_sql(&catalog(), "select nmae from customer");
+        assert_eq!(ds[0].code, Code::UnknownColumn);
+        assert_eq!(ds[0].help.as_deref(), Some("did you mean \"name\"?"));
+        assert_eq!((ds[0].span.start, ds[0].span.end), (7, 11));
+    }
+
+    #[test]
+    fn ambiguous_column_lists_owners() {
+        // `prob` exists only in customer, `id` only in customer; make a
+        // genuinely ambiguous one via a self-ish pair of tables.
+        let ds = analyze_sql(
+            &catalog(),
+            "select total from customer c, orders o where c.id = o.cust and total > 0",
+        );
+        assert!(ds.is_empty(), "{ds:?}"); // total is unique to orders
+        let ds = analyze_sql(
+            &catalog(),
+            "select customer.id from customer, orders where customer.id = orders.cust",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn type_mismatch_on_join_key() {
+        let ds = analyze_sql(
+            &catalog(),
+            "select c.id from customer c, orders o where c.id = o.oid",
+        );
+        assert_eq!(
+            ds.iter().map(|d| d.code).collect::<Vec<_>>(),
+            vec![Code::TypeMismatch]
+        );
+        assert!(ds[0].message.contains("TEXT"), "{}", ds[0].message);
+    }
+
+    #[test]
+    fn implicit_cast_on_numeric_join_key() {
+        let ds = analyze_sql(
+            &catalog(),
+            "select c.id from customer c, orders o where c.income = o.total",
+        );
+        assert_eq!(
+            ds.iter().map(|d| d.code).collect::<Vec<_>>(),
+            vec![Code::ImplicitCast]
+        );
+    }
+
+    #[test]
+    fn always_true_and_false() {
+        assert_eq!(codes("select id from customer where 1 = 1"), vec!["CQ1001"]);
+        assert_eq!(codes("select id from customer where 1 = 2"), vec!["CQ1002"]);
+        assert_eq!(
+            codes("select id from customer where null = 1"),
+            vec!["CQ1002"]
+        );
+    }
+
+    #[test]
+    fn cartesian_product_detected() {
+        let ds = analyze_sql(&catalog(), "select c.id, o.oid from customer c, orders o");
+        assert!(
+            ds.iter().any(|d| d.code == Code::CartesianProduct),
+            "{ds:?}"
+        );
+        // Connected query is silent.
+        let ds = analyze_sql(
+            &catalog(),
+            "select c.id, o.oid from customer c, orders o where c.id = o.cust",
+        );
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn unused_table_detected() {
+        let ds = analyze_sql(
+            &catalog(),
+            "select c.id from customer c, orders o where c.income > 0",
+        );
+        let cs: Vec<_> = ds.iter().map(|d| d.code).collect();
+        assert!(cs.contains(&Code::UnusedTable), "{ds:?}");
+        assert!(cs.contains(&Code::CartesianProduct), "{ds:?}");
+    }
+
+    #[test]
+    fn grouping_drops_column() {
+        let ds = analyze_sql(
+            &catalog(),
+            "select name, sum(income) from customer group by id",
+        );
+        assert_eq!(
+            ds.iter().map(|d| d.code).collect::<Vec<_>>(),
+            vec![Code::UngroupedColumn]
+        );
+        assert!(ds[0]
+            .help
+            .as_deref()
+            .is_some_and(|h| h.contains("GROUP BY")));
+    }
+
+    #[test]
+    fn duplicate_binding() {
+        let ds = analyze_sql(&catalog(), "select 1 from customer, customer");
+        assert!(
+            ds.iter().any(|d| d.code == Code::DuplicateBinding),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn aggregates_in_where_rejected() {
+        assert!(codes("select id from customer where sum(income) > 1").contains(&"CQ0007"));
+    }
+
+    #[test]
+    fn order_by_position_out_of_range() {
+        assert!(codes("select id from customer order by 3").contains(&"CQ0007"));
+        assert!(codes("select id from customer order by 1").is_empty());
+    }
+
+    #[test]
+    fn text_date_cast_warns() {
+        let ds = analyze_sql(
+            &catalog(),
+            "select oid from orders where odate < '1995-03-15'",
+        );
+        assert_eq!(
+            ds.iter().map(|d| d.code).collect::<Vec<_>>(),
+            vec![Code::ImplicitCast]
+        );
+        assert_eq!(ds[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn render_has_caret() {
+        let sql = "select nmae from customer";
+        let ds = analyze_sql(&catalog(), sql);
+        let r = ds[0].render(sql);
+        assert!(r.contains("error[CQ0003]"), "{r}");
+        assert!(r.contains("^^^^"), "{r}");
+        assert!(r.contains("line 1, column 8"), "{r}");
+    }
+
+    #[test]
+    fn dml_unknown_table() {
+        assert_eq!(codes("delete from nowhere"), vec!["CQ0002"]);
+        assert_eq!(
+            codes("insert into customer values ('x','y',1,0.5)").len(),
+            0
+        );
+    }
+}

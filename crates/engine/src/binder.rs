@@ -337,6 +337,7 @@ impl Binder {
             if let Expr::Column(ColumnRef {
                 qualifier: None,
                 name,
+                ..
             }) = &item.expr
             {
                 let matches_output = output.iter().position(|o| &o.name == name);

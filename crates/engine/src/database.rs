@@ -81,16 +81,6 @@ impl Database {
         &mut self.catalog
     }
 
-    /// Execute one statement of any kind.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Database::prepare(sql)?.run(&mut db)` instead"
-    )]
-    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
-        let stmt = parse_statement(sql)?;
-        self.exec_parsed(&stmt)
-    }
-
     /// Execute a `;`-separated script, returning the outcome of each
     /// statement.
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<ExecOutcome>> {
@@ -98,15 +88,6 @@ impl Database {
             .iter()
             .map(|s| self.exec_parsed(s))
             .collect()
-    }
-
-    /// Execute an already-parsed statement.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Database::prepare` / `Statement::run` instead"
-    )]
-    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
-        self.exec_parsed(stmt)
     }
 
     /// Shared implementation behind [`Database::execute_script`] and
@@ -154,32 +135,8 @@ impl Database {
         Ok(())
     }
 
-    /// Run a `SELECT` from SQL text.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Database::prepare(sql)?.query(&db)` instead"
-    )]
-    pub fn query(&self, sql: &str) -> Result<QueryResult> {
-        let stmt = parse_statement(sql)?;
-        match stmt {
-            Statement::Select(sel) => self.run_select(&sel),
-            other => Err(EngineError::bind(format!(
-                "expected a SELECT statement, got: {other}"
-            ))),
-        }
-    }
-
-    /// Run an already-parsed `SELECT`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Database::prepare_select` / `Statement::query`"
-    )]
-    pub fn query_statement(&self, stmt: &SelectStatement) -> Result<QueryResult> {
-        self.run_select(stmt)
-    }
-
-    /// Plan + execute an already-parsed `SELECT` (the non-deprecated
-    /// internal path behind the shims and the prepared-statement API).
+    /// Plan + execute an already-parsed `SELECT` (the internal path behind
+    /// the prepared-statement API).
     pub(crate) fn run_select(&self, stmt: &SelectStatement) -> Result<QueryResult> {
         let plan = self.plan(stmt)?;
         execute_plan(&self.catalog, &plan, &ExecContext::new(self.limits))
@@ -188,7 +145,21 @@ impl Database {
     /// Produce (but do not run) the plan for a `SELECT`.
     pub fn plan(&self, stmt: &SelectStatement) -> Result<Plan> {
         let bound = bind_select(&self.catalog, stmt)?;
+        crate::validate::validate_bound(&bound)?;
         plan_select(&self.catalog, bound)
+    }
+
+    /// Statically analyze `sql` against the current catalog without
+    /// executing anything, returning every diagnostic the lint pass finds
+    /// (empty when the statement is clean).
+    ///
+    /// Diagnostics carry stable `CQxxxx` codes, source spans, and optional
+    /// fix-it help; render them against the original SQL with
+    /// [`Diagnostic::render`](crate::analyze::Diagnostic::render). A result
+    /// free of error-severity diagnostics is guaranteed to bind (and plan)
+    /// cleanly.
+    pub fn analyze(&self, sql: &str) -> Vec<crate::analyze::Diagnostic> {
+        crate::analyze::analyze_sql(&self.catalog, sql)
     }
 
     /// EXPLAIN-style plan description for a `SELECT` given as SQL text.
@@ -402,9 +373,16 @@ fn eval_const(e: &Expr) -> Result<Value> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // these tests deliberately keep covering the shim API
 mod tests {
     use super::*;
+
+    fn query(db: &Database, sql: &str) -> Result<QueryResult> {
+        db.prepare(sql)?.query(db)
+    }
+
+    fn execute(db: &mut Database, sql: &str) -> Result<ExecOutcome> {
+        db.prepare(sql)?.run(db)
+    }
 
     fn sample() -> Database {
         let mut db = Database::new();
@@ -428,18 +406,18 @@ mod tests {
     #[test]
     fn create_insert_select_roundtrip() {
         let db = sample();
-        let r = db
-            .query("SELECT name FROM customer WHERE balance > 10000")
-            .unwrap();
+        let r = query(&db, "SELECT name FROM customer WHERE balance > 10000").unwrap();
         assert_eq!(r.len(), 3);
     }
 
     #[test]
     fn filter_and_projection() {
         let db = sample();
-        let r = db
-            .query("SELECT id, balance * 2 AS dbl FROM customer WHERE name = 'Marion'")
-            .unwrap();
+        let r = query(
+            &db,
+            "SELECT id, balance * 2 AS dbl FROM customer WHERE name = 'Marion'",
+        )
+        .unwrap();
         assert_eq!(r.columns, vec!["id", "dbl"]);
         assert_eq!(r.rows, vec![vec!["c2".into(), Value::Int(10000)]]);
     }
@@ -447,12 +425,12 @@ mod tests {
     #[test]
     fn equi_join() {
         let db = sample();
-        let r = db
-            .query(
-                "SELECT o.id, c.name FROM orders o, customer c \
+        let r = query(
+            &db,
+            "SELECT o.id, c.name FROM orders o, customer c \
                  WHERE o.cidfk = c.id AND c.balance > 25000",
-            )
-            .unwrap();
+        )
+        .unwrap();
         // c1/30000 matches o1 and o2; c2/27000 matches o2.
         assert_eq!(r.len(), 3);
     }
@@ -461,15 +439,15 @@ mod tests {
     fn grouping_and_sum_of_products() {
         // The paper's Example 6 rewriting executes end-to-end.
         let db = sample();
-        let r = db
-            .query(
-                "SELECT o.id, c.id, SUM(o.prob * c.prob) AS p \
+        let r = query(
+            &db,
+            "SELECT o.id, c.id, SUM(o.prob * c.prob) AS p \
                  FROM orders o, customer c \
                  WHERE o.cidfk = c.id AND c.balance > 10000 \
                  GROUP BY o.id, c.id \
                  ORDER BY o.id, c.id",
-            )
-            .unwrap();
+        )
+        .unwrap();
         assert_eq!(r.len(), 3);
         // (o1,c1): 1.0*0.7 + 1.0*0.3 = 1.0
         assert_eq!(r.value(0, "p"), Some(&Value::Float(1.0)));
@@ -485,9 +463,11 @@ mod tests {
     #[test]
     fn order_by_desc_and_limit() {
         let db = sample();
-        let r = db
-            .query("SELECT name, balance FROM customer ORDER BY balance DESC LIMIT 2")
-            .unwrap();
+        let r = query(
+            &db,
+            "SELECT name, balance FROM customer ORDER BY balance DESC LIMIT 2",
+        )
+        .unwrap();
         assert_eq!(r.rows[0][1], Value::Int(30000));
         assert_eq!(r.rows[1][1], Value::Int(27000));
     }
@@ -495,28 +475,26 @@ mod tests {
     #[test]
     fn distinct() {
         let db = sample();
-        let r = db.query("SELECT DISTINCT name FROM customer").unwrap();
+        let r = query(&db, "SELECT DISTINCT name FROM customer").unwrap();
         assert_eq!(r.len(), 3); // John, Mary, Marion
     }
 
     #[test]
     fn count_star_on_empty_filter() {
         let db = sample();
-        let r = db
-            .query("SELECT COUNT(*) FROM customer WHERE balance > 999999")
-            .unwrap();
+        let r = query(&db, "SELECT COUNT(*) FROM customer WHERE balance > 999999").unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
     }
 
     #[test]
     fn group_by_with_having() {
         let db = sample();
-        let r = db
-            .query(
-                "SELECT id, COUNT(*) AS n FROM customer GROUP BY id \
+        let r = query(
+            &db,
+            "SELECT id, COUNT(*) AS n FROM customer GROUP BY id \
                  HAVING COUNT(*) > 1 ORDER BY id",
-            )
-            .unwrap();
+        )
+        .unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r.value(0, "n"), Some(&Value::Int(2)));
     }
@@ -524,46 +502,42 @@ mod tests {
     #[test]
     fn insert_with_explicit_columns_fills_nulls() {
         let mut db = sample();
-        db.execute("INSERT INTO customer (id, name) VALUES ('c9', 'Zoe')")
-            .unwrap();
-        let r = db
-            .query("SELECT balance FROM customer WHERE id = 'c9'")
-            .unwrap();
+        execute(
+            &mut db,
+            "INSERT INTO customer (id, name) VALUES ('c9', 'Zoe')",
+        )
+        .unwrap();
+        let r = query(&db, "SELECT balance FROM customer WHERE id = 'c9'").unwrap();
         assert_eq!(r.rows, vec![vec![Value::Null]]);
     }
 
     #[test]
     fn insert_arity_mismatch_rejected() {
         let mut db = sample();
-        let err = db
-            .execute("INSERT INTO customer (id, name) VALUES ('c9')")
-            .unwrap_err();
+        let err = execute(&mut db, "INSERT INTO customer (id, name) VALUES ('c9')").unwrap_err();
         assert!(err.to_string().contains("values"), "{err}");
     }
 
     #[test]
     fn constant_arithmetic_in_insert() {
         let mut db = Database::new();
-        db.execute("CREATE TABLE t (a INTEGER, b DOUBLE)").unwrap();
-        db.execute("INSERT INTO t VALUES (2 + 3 * 4, 1.0 / 4)")
-            .unwrap();
-        let r = db.query("SELECT a, b FROM t").unwrap();
+        execute(&mut db, "CREATE TABLE t (a INTEGER, b DOUBLE)").unwrap();
+        execute(&mut db, "INSERT INTO t VALUES (2 + 3 * 4, 1.0 / 4)").unwrap();
+        let r = query(&db, "SELECT a, b FROM t").unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(14), Value::Float(0.25)]]);
     }
 
     #[test]
     fn cross_join_when_unconnected() {
         let db = sample();
-        let r = db
-            .query("SELECT c.id, o.id FROM customer c, orders o")
-            .unwrap();
+        let r = query(&db, "SELECT c.id, o.id FROM customer c, orders o").unwrap();
         assert_eq!(r.len(), 12);
     }
 
     #[test]
     fn query_rejects_ddl() {
         let db = sample();
-        assert!(db.query("CREATE TABLE x (a INTEGER)").is_err());
+        assert!(query(&db, "CREATE TABLE x (a INTEGER)").is_err());
     }
 
     #[test]
@@ -579,9 +553,11 @@ mod tests {
     #[test]
     fn explain_statement_returns_query_plan_rows() {
         let mut db = sample();
-        let out = db
-            .execute("EXPLAIN SELECT o.id FROM orders o, customer c WHERE o.cidfk = c.id")
-            .unwrap();
+        let out = execute(
+            &mut db,
+            "EXPLAIN SELECT o.id FROM orders o, customer c WHERE o.cidfk = c.id",
+        )
+        .unwrap();
         let ExecOutcome::Rows(r) = out else {
             panic!("EXPLAIN must produce rows")
         };
@@ -617,13 +593,13 @@ mod tests {
     #[test]
     fn like_and_in_filters() {
         let db = sample();
-        let r = db
-            .query("SELECT name FROM customer WHERE name LIKE 'Mar%'")
-            .unwrap();
+        let r = query(&db, "SELECT name FROM customer WHERE name LIKE 'Mar%'").unwrap();
         assert_eq!(r.len(), 2);
-        let r = db
-            .query("SELECT name FROM customer WHERE balance IN (5000, 27000) ORDER BY name")
-            .unwrap();
+        let r = query(
+            &db,
+            "SELECT name FROM customer WHERE balance IN (5000, 27000) ORDER BY name",
+        )
+        .unwrap();
         assert_eq!(r.len(), 2);
     }
 
@@ -637,14 +613,14 @@ mod tests {
              INSERT INTO cn VALUES ('c1', 1), ('c2', 2);",
         )
         .unwrap();
-        let r = db
-            .query(
-                "SELECT c.name, n.nname, c.balance / 1000 AS kbal \
+        let r = query(
+            &db,
+            "SELECT c.name, n.nname, c.balance / 1000 AS kbal \
                  FROM customer c, cn, nation n \
                  WHERE c.id = cn.cid AND cn.nid = n.nid AND c.balance >= 20000 \
                  ORDER BY kbal DESC",
-            )
-            .unwrap();
+        )
+        .unwrap();
         assert_eq!(r.len(), 3);
         assert_eq!(r.rows[0][2], Value::Int(30));
     }

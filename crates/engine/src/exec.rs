@@ -47,6 +47,7 @@ type Batch = Vec<Row>;
 /// deadline, memory budget) are checked cooperatively at every batch
 /// boundary; pass [`ExecContext::default()`] for ungoverned execution.
 pub fn execute_plan(catalog: &Catalog, plan: &Plan, ctx: &ExecContext) -> Result<QueryResult> {
+    crate::validate::validate_plan(plan)?;
     let needs_expr_keys = plan
         .order_by
         .iter()
@@ -357,7 +358,7 @@ fn index_join_path<'a>(
     if ltype != rcolumn.data_type() {
         return Ok(None);
     }
-    Ok(Some((table, index, loffsets.flat(*lcol))))
+    Ok(Some((table, index, loffsets.flat(*lcol)?)))
 }
 
 // ---------------------------------------------------------------------------

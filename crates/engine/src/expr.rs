@@ -35,11 +35,18 @@ pub struct ColumnId {
 pub struct Offsets(pub Vec<Option<usize>>);
 
 impl Offsets {
-    /// Flat index of a column id (panics if the relation is absent — the
-    /// planner only routes expressions to operators that carry them).
+    /// Flat index of a column id. The planner only routes expressions to
+    /// operators that carry their relations, so a miss is a malformed plan:
+    /// it surfaces as a typed [`EngineError::Internal`] rather than a panic.
     #[inline]
-    pub fn flat(&self, id: ColumnId) -> usize {
-        self.0[id.rel].expect("planner routed expression to operator missing its relation") + id.col
+    pub fn flat(&self, id: ColumnId) -> Result<usize> {
+        match self.0.get(id.rel).copied().flatten() {
+            Some(base) => Ok(base + id.col),
+            None => Err(EngineError::internal(format!(
+                "expression references relation {} absent from the operator's input layout",
+                id.rel
+            ))),
+        }
     }
 }
 
@@ -183,7 +190,7 @@ impl BoundExpr {
     /// Evaluate against a row laid out according to `offsets`.
     pub fn eval(&self, row: &Row, offsets: &Offsets) -> Result<Value> {
         match self {
-            BoundExpr::Column(id) => Ok(row[offsets.flat(*id)].clone()),
+            BoundExpr::Column(id) => Ok(row[offsets.flat(*id)?].clone()),
             BoundExpr::Literal(v) => Ok(v.clone()),
             BoundExpr::Not(e) => Ok(match e.eval(row, offsets)? {
                 Value::Null => Value::Null,

@@ -31,7 +31,9 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod analyze;
 pub mod binder;
 pub mod context;
 pub mod database;
@@ -42,7 +44,9 @@ pub mod planner;
 pub mod result;
 pub mod statement;
 pub mod stats;
+pub mod validate;
 
+pub use analyze::{Code, Diagnostic, Severity};
 pub use context::{CancelToken, ExecContext, ExecLimits};
 pub use database::Database;
 pub use error::EngineError;
@@ -50,6 +54,7 @@ pub use expr::{BoundExpr, ColumnId};
 pub use result::QueryResult;
 pub use statement::Statement;
 pub use stats::{ExecStats, OpStats};
+pub use validate::{set_validation, validate_bound, validate_plan, validation_enabled};
 
 /// Convenience result alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;

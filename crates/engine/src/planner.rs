@@ -20,7 +20,9 @@ use conquer_sql::BinaryOp;
 use conquer_storage::Catalog;
 
 use crate::binder::{BoundOrderBy, BoundRelation, BoundSelect, GroupSpec, OutputItem};
+use crate::error::EngineError;
 use crate::expr::BoundExpr;
+use crate::validate;
 use crate::Result;
 
 /// The join tree part of a plan.
@@ -187,6 +189,10 @@ pub fn plan_select(catalog: &Catalog, bound: BoundSelect) -> Result<Plan> {
         }
     }
 
+    if validate::validation_enabled() {
+        validate::check_classified(&scan_filters, &equi_edges, &residuals, &relations)?;
+    }
+
     // Greedy join ordering.
     let sizes: Vec<usize> = relations
         .iter()
@@ -226,11 +232,15 @@ pub fn plan_select(catalog: &Catalog, bound: BoundSelect) -> Result<Plan> {
             }
         }
         // Fall back to a cross join with the next unjoined relation.
-        let next = best.unwrap_or_else(|| {
-            (0..n)
-                .find(|r| !joined.contains(r))
-                .expect("joined.len() < n")
-        });
+        let next = match best {
+            Some(rel) => rel,
+            None => (0..n).find(|r| !joined.contains(r)).ok_or_else(|| {
+                EngineError::internal(
+                    "plan invariant `layout-permutation` violated after join ordering: \
+                     no unjoined relation left while joined.len() < n",
+                )
+            })?,
+        };
 
         // Collect every equi edge between the joined set and `next`.
         let mut keys = Vec::new();
@@ -285,11 +295,14 @@ pub fn plan_select(catalog: &Catalog, bound: BoundSelect) -> Result<Plan> {
             equi: keys,
             filter: conjunction(covered),
         };
+        if validate::validation_enabled() {
+            validate::check_join_node(&node, &relations, "join ordering")?;
+        }
     }
 
     debug_assert!(residuals.is_empty(), "all residuals must be placed");
 
-    Ok(Plan {
+    let plan = Plan {
         relations,
         join: node,
         group,
@@ -297,12 +310,14 @@ pub fn plan_select(catalog: &Catalog, bound: BoundSelect) -> Result<Plan> {
         distinct,
         order_by,
         limit,
-    })
+    };
+    validate::validate_plan(&plan)?;
+    Ok(plan)
 }
 
-struct EquiEdge {
-    rels: (usize, usize),
-    exprs: (BoundExpr, BoundExpr),
+pub(crate) struct EquiEdge {
+    pub(crate) rels: (usize, usize),
+    pub(crate) exprs: (BoundExpr, BoundExpr),
 }
 
 /// Recognize `f(A) = g(B)` with `A ≠ B` as a hash-joinable edge.

@@ -105,6 +105,18 @@ impl Statement {
         &self.sql
     }
 
+    /// Re-run static analysis of this statement's SQL against the current
+    /// catalog, returning every lint finding (see
+    /// [`Database::analyze`](crate::Database::analyze)).
+    ///
+    /// A prepared statement is necessarily free of *error*-severity
+    /// diagnostics (it bound and planned), but warnings — suspicious
+    /// predicates, cartesian products, implicit casts — are still worth
+    /// surfacing, and the catalog may have changed since `prepare`.
+    pub fn check(&self, db: &Database) -> Vec<crate::analyze::Diagnostic> {
+        db.analyze(&self.sql)
+    }
+
     /// True when [`Statement::query`] can run this statement (a `SELECT`
     /// or `EXPLAIN`), i.e. it produces rows and needs no `&mut` access.
     pub fn is_query(&self) -> bool {

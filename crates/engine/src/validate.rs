@@ -1,0 +1,623 @@
+//! Plan-invariant validator.
+//!
+//! A structural audit of bound queries and physical plans, run after
+//! binding and after every planner stage. It asserts the invariants the
+//! executor silently relies on — every column reference resolves in its
+//! operator's input, join keys come from the correct side and have
+//! comparable types, slot-space expressions fit the aggregate arity,
+//! operator layouts partition the FROM relations — and fails with a typed
+//! [`EngineError::Internal`] *naming the violated invariant* instead of
+//! letting a malformed plan panic (or worse, return wrong answers) deep
+//! inside execution.
+//!
+//! # When it runs
+//!
+//! * Always under `debug_assertions` (so: the whole test suite and any
+//!   dev build).
+//! * In release builds, opt-in: set the `CONQUER_VALIDATE` environment
+//!   variable (any value but `0`), or call [`set_validation`]`(Some(true))`.
+//!
+//! The checks are pure tree walks over plan structure — no table data is
+//! touched — so even forced-on in release the cost is microseconds per
+//! prepare, not per row.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use conquer_storage::DataType;
+
+use crate::binder::{BoundRelation, BoundSelect, GroupSpec};
+use crate::error::EngineError;
+use crate::expr::BoundExpr;
+use crate::planner::{JoinNode, Plan};
+use crate::Result;
+
+/// Programmatic override: 0 = unset (use default), 1 = forced off,
+/// 2 = forced on.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_opt_in() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| std::env::var_os("CONQUER_VALIDATE").is_some_and(|v| v != "0"))
+}
+
+/// Force validation on or off (`Some(..)`), or restore the default
+/// (`None`): on under `debug_assertions` or when `CONQUER_VALIDATE` is
+/// set, off otherwise.
+pub fn set_validation(on: Option<bool>) {
+    OVERRIDE.store(
+        match on {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Is the validator active for this process?
+pub fn validation_enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => cfg!(debug_assertions) || env_opt_in(),
+    }
+}
+
+fn violation(invariant: &str, stage: &str, detail: impl std::fmt::Display) -> EngineError {
+    EngineError::internal(format!(
+        "plan invariant `{invariant}` violated after {stage}: {detail}"
+    ))
+}
+
+/// Slot-space width of an aggregate query: `[keys…, aggs…]`.
+fn slot_width(group: &GroupSpec) -> usize {
+    group.keys.len() + group.aggs.len()
+}
+
+/// Invariant `column-resolves`: every column id in a relation-space
+/// expression names an existing relation and an existing column of it.
+fn check_rel_space(
+    e: &BoundExpr,
+    relations: &[BoundRelation],
+    stage: &str,
+    what: &str,
+) -> Result<()> {
+    for id in e.columns() {
+        let Some(rel) = relations.get(id.rel) else {
+            return Err(violation(
+                "column-resolves",
+                stage,
+                format!(
+                    "{what} references relation {} but the query has {}",
+                    id.rel,
+                    relations.len()
+                ),
+            ));
+        };
+        if id.col >= rel.schema.len() {
+            return Err(violation(
+                "column-resolves",
+                stage,
+                format!(
+                    "{what} references column {} of relation {:?}, whose schema has {} columns",
+                    id.col,
+                    rel.binding,
+                    rel.schema.len()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Invariant `aggregate-arity`: slot-space expressions (post-aggregation)
+/// use the synthetic relation 0 and stay inside `keys + aggs`.
+fn check_slot_space(e: &BoundExpr, width: usize, stage: &str, what: &str) -> Result<()> {
+    for id in e.columns() {
+        if id.rel != 0 {
+            return Err(violation(
+                "aggregate-arity",
+                stage,
+                format!("{what} is in slot space but references relation {}", id.rel),
+            ));
+        }
+        if id.col >= width {
+            return Err(violation(
+                "aggregate-arity",
+                stage,
+                format!(
+                    "{what} references slot {} but the aggregate produces {width} (keys + aggregates)",
+                    id.col
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Static type of a bound expression given the relation schemas (`None`
+/// when it cannot be determined, e.g. a NULL literal).
+fn bound_type(e: &BoundExpr, relations: &[BoundRelation]) -> Option<DataType> {
+    use conquer_sql::BinaryOp;
+    match e {
+        BoundExpr::Column(id) => relations
+            .get(id.rel)?
+            .schema
+            .column_at(id.col)
+            .map(|c| c.data_type()),
+        BoundExpr::Literal(v) => v.data_type(),
+        BoundExpr::Not(_) => Some(DataType::Bool),
+        BoundExpr::Neg(e) => bound_type(e, relations),
+        BoundExpr::Binary { left, op, right } => {
+            if op.is_comparison() || matches!(op, BinaryOp::And | BinaryOp::Or) {
+                Some(DataType::Bool)
+            } else {
+                match (bound_type(left, relations)?, bound_type(right, relations)?) {
+                    (DataType::Int, DataType::Int) => Some(DataType::Int),
+                    (DataType::Int | DataType::Float, DataType::Int | DataType::Float) => {
+                        Some(DataType::Float)
+                    }
+                    _ => None,
+                }
+            }
+        }
+        BoundExpr::Like { .. }
+        | BoundExpr::InList { .. }
+        | BoundExpr::Between { .. }
+        | BoundExpr::IsNull { .. } => Some(DataType::Bool),
+        BoundExpr::Case {
+            branches,
+            else_expr,
+            ..
+        } => branches
+            .first()
+            .and_then(|(_, t)| bound_type(t, relations))
+            .or_else(|| else_expr.as_ref().and_then(|e| bound_type(e, relations))),
+    }
+}
+
+/// Runtime-comparability class, mirroring `Value::sql_cmp`: numeric types
+/// inter-compare, text and dates inter-compare, booleans only with
+/// themselves.
+fn cmp_class(ty: DataType) -> u8 {
+    match ty {
+        DataType::Int | DataType::Float => 0,
+        DataType::Text | DataType::Date => 1,
+        DataType::Bool => 2,
+    }
+}
+
+/// Stage hook: after the planner classifies WHERE conjuncts into
+/// pushed-down scan filters, equi-join edges, and residuals, every piece
+/// must still be in relation space and filed under a relation it actually
+/// references.
+pub(crate) fn check_classified(
+    scan_filters: &[Vec<BoundExpr>],
+    edges: &[crate::planner::EquiEdge],
+    residuals: &[BoundExpr],
+    relations: &[BoundRelation],
+) -> Result<()> {
+    let stage = "conjunct classification";
+    for (rel, filters) in scan_filters.iter().enumerate() {
+        for f in filters {
+            check_rel_space(f, relations, stage, "pushed-down filter")?;
+            if f.relations().iter().any(|r| *r != rel) {
+                return Err(violation(
+                    "scan-filter-local",
+                    stage,
+                    format!(
+                        "filter classified to relation {rel} references relations {:?}",
+                        f.relations()
+                    ),
+                ));
+            }
+        }
+    }
+    for (i, edge) in edges.iter().enumerate() {
+        check_rel_space(&edge.exprs.0, relations, stage, "equi-edge side")?;
+        check_rel_space(&edge.exprs.1, relations, stage, "equi-edge side")?;
+        if edge.exprs.0.relations() != vec![edge.rels.0]
+            || edge.exprs.1.relations() != vec![edge.rels.1]
+        {
+            return Err(violation(
+                "join-key-sides",
+                stage,
+                format!(
+                    "equi edge {i} claims relations {:?} but its sides reference {:?} and {:?}",
+                    edge.rels,
+                    edge.exprs.0.relations(),
+                    edge.exprs.1.relations()
+                ),
+            ));
+        }
+    }
+    for r in residuals {
+        check_rel_space(r, relations, stage, "residual predicate")?;
+    }
+    Ok(())
+}
+
+/// Validate a join (sub)tree: layouts partition their relations, scan
+/// filters are local, join keys resolve on their own side with agreeing
+/// types, residual filters stay inside the joined layout.
+pub(crate) fn check_join_node(
+    node: &JoinNode,
+    relations: &[BoundRelation],
+    stage: &str,
+) -> Result<()> {
+    match node {
+        JoinNode::Scan { rel, filter } => {
+            if *rel >= relations.len() {
+                return Err(violation(
+                    "scan-relation",
+                    stage,
+                    format!(
+                        "scan of relation {rel} but the query has {}",
+                        relations.len()
+                    ),
+                ));
+            }
+            if let Some(f) = filter {
+                check_rel_space(f, relations, stage, "scan filter")?;
+                if f.relations().iter().any(|r| r != rel) {
+                    return Err(violation(
+                        "scan-filter-local",
+                        stage,
+                        format!(
+                            "filter on scan of relation {rel} references relations {:?}",
+                            f.relations()
+                        ),
+                    ));
+                }
+            }
+            Ok(())
+        }
+        JoinNode::Join {
+            left,
+            right,
+            equi,
+            filter,
+        } => {
+            check_join_node(left, relations, stage)?;
+            check_join_node(right, relations, stage)?;
+            let lhs = left.layout();
+            let rhs = right.layout();
+            if lhs.iter().any(|r| rhs.contains(r)) {
+                return Err(violation(
+                    "layout-disjoint",
+                    stage,
+                    format!("join inputs overlap: left {lhs:?}, right {rhs:?}"),
+                ));
+            }
+            for (i, (le, re)) in equi.iter().enumerate() {
+                check_rel_space(le, relations, stage, "join key (left)")?;
+                check_rel_space(re, relations, stage, "join key (right)")?;
+                if !le.relations().iter().all(|r| lhs.contains(r)) {
+                    return Err(violation(
+                        "join-key-sides",
+                        stage,
+                        format!(
+                            "left key {i} references relations {:?} outside the left layout {lhs:?}",
+                            le.relations()
+                        ),
+                    ));
+                }
+                if !re.relations().iter().all(|r| rhs.contains(r)) {
+                    return Err(violation(
+                        "join-key-sides",
+                        stage,
+                        format!(
+                            "right key {i} references relations {:?} outside the right layout {rhs:?}",
+                            re.relations()
+                        ),
+                    ));
+                }
+                if let (Some(lt), Some(rt)) = (bound_type(le, relations), bound_type(re, relations))
+                {
+                    if cmp_class(lt) != cmp_class(rt) {
+                        return Err(violation(
+                            "join-key-types",
+                            stage,
+                            format!("key {i} compares {} with {}", lt.name(), rt.name()),
+                        ));
+                    }
+                }
+            }
+            if let Some(f) = filter {
+                check_rel_space(f, relations, stage, "residual filter")?;
+                let all: Vec<usize> = lhs.iter().chain(rhs.iter()).copied().collect();
+                if !f.relations().iter().all(|r| all.contains(r)) {
+                    return Err(violation(
+                        "filter-in-layout",
+                        stage,
+                        format!(
+                            "residual filter references relations {:?} outside the joined layout {all:?}",
+                            f.relations()
+                        ),
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Shared checks for the post-join part of a query (group, output, order
+/// by) — identical between a [`BoundSelect`] and a [`Plan`].
+fn check_shape(
+    relations: &[BoundRelation],
+    group: &Option<GroupSpec>,
+    output: &[crate::binder::OutputItem],
+    order_by: &[crate::binder::BoundOrderBy],
+    stage: &str,
+) -> Result<()> {
+    if relations.is_empty() {
+        return Err(violation(
+            "relations-nonempty",
+            stage,
+            "query has no FROM relations",
+        ));
+    }
+    if output.is_empty() {
+        return Err(violation(
+            "output-nonempty",
+            stage,
+            "query projects no columns",
+        ));
+    }
+    if let Some(g) = group {
+        for (i, k) in g.keys.iter().enumerate() {
+            check_rel_space(k, relations, stage, &format!("group key {i}"))?;
+        }
+        for (i, a) in g.aggs.iter().enumerate() {
+            if let Some(arg) = &a.arg {
+                check_rel_space(arg, relations, stage, &format!("aggregate argument {i}"))?;
+            }
+        }
+        let width = slot_width(g);
+        if let Some(h) = &g.having {
+            check_slot_space(h, width, stage, "HAVING predicate")?;
+        }
+        for (i, item) in output.iter().enumerate() {
+            check_slot_space(&item.expr, width, stage, &format!("output column {i}"))?;
+        }
+        for (i, o) in order_by.iter().enumerate() {
+            if let crate::binder::OrderKey::Expr(e) = &o.key {
+                check_slot_space(e, width, stage, &format!("ORDER BY key {i}"))?;
+            }
+        }
+    } else {
+        for (i, item) in output.iter().enumerate() {
+            check_rel_space(&item.expr, relations, stage, &format!("output column {i}"))?;
+        }
+        for (i, o) in order_by.iter().enumerate() {
+            if let crate::binder::OrderKey::Expr(e) = &o.key {
+                check_rel_space(e, relations, stage, &format!("ORDER BY key {i}"))?;
+            }
+        }
+    }
+    for (i, o) in order_by.iter().enumerate() {
+        if let crate::binder::OrderKey::Output(idx) = &o.key {
+            if *idx >= output.len() {
+                return Err(violation(
+                    "order-key-range",
+                    stage,
+                    format!(
+                        "ORDER BY key {i} sorts by output column {idx} but the query projects {}",
+                        output.len()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate a bound query (run right after binding). No-op unless
+/// [`validation_enabled`].
+pub fn validate_bound(bound: &BoundSelect) -> Result<()> {
+    if !validation_enabled() {
+        return Ok(());
+    }
+    let stage = "binding";
+    if let Some(f) = &bound.filter {
+        check_rel_space(f, &bound.relations, stage, "WHERE predicate")?;
+    }
+    check_shape(
+        &bound.relations,
+        &bound.group,
+        &bound.output,
+        &bound.order_by,
+        stage,
+    )
+}
+
+/// Validate a complete physical plan (run after the final planner stage,
+/// and from tests against deliberately corrupted plans). No-op unless
+/// [`validation_enabled`].
+pub fn validate_plan(plan: &Plan) -> Result<()> {
+    if !validation_enabled() {
+        return Ok(());
+    }
+    let stage = "planning";
+    let mut layout = plan.join.layout();
+    layout.sort_unstable();
+    let expect: Vec<usize> = (0..plan.relations.len()).collect();
+    if layout != expect {
+        return Err(violation(
+            "layout-permutation",
+            stage,
+            format!(
+                "join tree covers relations {layout:?}, expected exactly 0..{}",
+                plan.relations.len()
+            ),
+        ));
+    }
+    check_join_node(&plan.join, &plan.relations, stage)?;
+    check_shape(
+        &plan.relations,
+        &plan.group,
+        &plan.output,
+        &plan.order_by,
+        stage,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::bind_select;
+    use crate::expr::ColumnId;
+    use crate::planner::plan_select;
+    use conquer_sql::parse_select;
+    use conquer_storage::{Catalog, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "t",
+                Schema::from_pairs([("k", DataType::Int), ("v", DataType::Text)])
+                    .expect("valid schema"),
+            )
+            .expect("fresh catalog");
+        t.insert(vec![Value::Int(1), Value::text("x")])
+            .expect("row fits schema");
+        cat.create_table(
+            "u",
+            Schema::from_pairs([("k", DataType::Int), ("w", DataType::Float)])
+                .expect("valid schema"),
+        )
+        .expect("fresh catalog");
+        cat
+    }
+
+    fn plan(sql: &str) -> Plan {
+        let cat = catalog();
+        let bound = bind_select(&cat, &parse_select(sql).expect("test SQL parses"))
+            .expect("test SQL binds");
+        plan_select(&cat, bound).expect("test SQL plans")
+    }
+
+    #[test]
+    fn valid_plans_pass() {
+        for sql in [
+            "select k, v from t where k > 1",
+            "select t.v, u.w from t, u where t.k = u.k order by 1 limit 3",
+            "select v, count(*) c from t group by v having count(*) > 1 order by c",
+        ] {
+            let p = plan(sql);
+            validate_plan(&p).expect("valid plan must validate");
+        }
+    }
+
+    #[test]
+    fn corrupted_output_column_is_rejected_by_name() {
+        let mut p = plan("select k from t");
+        p.output[0].expr = BoundExpr::Column(ColumnId { rel: 0, col: 99 });
+        let err = validate_plan(&p).expect_err("corrupt plan must be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("column-resolves"), "{msg}");
+        assert!(matches!(err, EngineError::Internal(_)), "{err:?}");
+    }
+
+    #[test]
+    fn corrupted_scan_filter_is_rejected() {
+        let mut p = plan("select t.k from t, u where t.k = u.k");
+        // Make the scan of relation 0 filter on relation 1's columns.
+        fn first_scan(n: &mut JoinNode) -> &mut JoinNode {
+            match n {
+                JoinNode::Scan { .. } => n,
+                JoinNode::Join { left, .. } => first_scan(left),
+            }
+        }
+        if let JoinNode::Scan { filter, .. } = first_scan(&mut p.join) {
+            *filter = Some(BoundExpr::Column(ColumnId { rel: 1, col: 0 }));
+        }
+        let msg = validate_plan(&p)
+            .expect_err("corrupt plan must be rejected")
+            .to_string();
+        assert!(msg.contains("scan-filter-local"), "{msg}");
+    }
+
+    #[test]
+    fn corrupted_join_key_side_is_rejected() {
+        let mut p = plan("select t.k from t, u where t.k = u.k");
+        if let JoinNode::Join { equi, .. } = &mut p.join {
+            // Point the left key at the right side's relation.
+            equi[0].0 = BoundExpr::Column(ColumnId { rel: 1, col: 0 });
+        }
+        let msg = validate_plan(&p)
+            .expect_err("corrupt plan must be rejected")
+            .to_string();
+        assert!(msg.contains("join-key-sides"), "{msg}");
+    }
+
+    #[test]
+    fn join_key_type_clash_is_rejected() {
+        let mut p = plan("select t.k from t, u where t.k = u.k");
+        if let JoinNode::Join { equi, .. } = &mut p.join {
+            // Compare t.v (TEXT) with u.k (INTEGER).
+            equi[0].0 = BoundExpr::Column(ColumnId { rel: 0, col: 1 });
+        }
+        let msg = validate_plan(&p)
+            .expect_err("corrupt plan must be rejected")
+            .to_string();
+        assert!(msg.contains("join-key-types"), "{msg}");
+    }
+
+    #[test]
+    fn slot_overflow_is_rejected() {
+        let mut p = plan("select v, count(*) from t group by v");
+        // Output slot 5 doesn't exist: slots are [v, count(*)].
+        p.output[1].expr = BoundExpr::Column(ColumnId { rel: 0, col: 5 });
+        let msg = validate_plan(&p)
+            .expect_err("corrupt plan must be rejected")
+            .to_string();
+        assert!(msg.contains("aggregate-arity"), "{msg}");
+    }
+
+    #[test]
+    fn order_key_out_of_range_is_rejected() {
+        let mut p = plan("select k from t order by 1");
+        if let Some(o) = p.order_by.first_mut() {
+            o.key = crate::binder::OrderKey::Output(7);
+        }
+        let msg = validate_plan(&p)
+            .expect_err("corrupt plan must be rejected")
+            .to_string();
+        assert!(msg.contains("order-key-range"), "{msg}");
+    }
+
+    #[test]
+    fn validate_bound_checks_where() {
+        let cat = catalog();
+        let mut bound = bind_select(
+            &cat,
+            &parse_select("select k from t where k > 0").expect("test SQL parses"),
+        )
+        .expect("test SQL binds");
+        bound.filter = Some(BoundExpr::Column(ColumnId { rel: 3, col: 0 }));
+        let msg = validate_bound(&bound)
+            .expect_err("corrupt bound query must be rejected")
+            .to_string();
+        assert!(msg.contains("column-resolves"), "{msg}");
+        assert!(msg.contains("after binding"), "{msg}");
+    }
+
+    #[test]
+    fn override_forces_off_and_on() {
+        let p = {
+            let mut p = plan("select k from t");
+            p.output[0].expr = BoundExpr::Column(ColumnId { rel: 0, col: 99 });
+            p
+        };
+        set_validation(Some(false));
+        assert!(validate_plan(&p).is_ok(), "forced off: corrupt plan passes");
+        set_validation(Some(true));
+        assert!(validate_plan(&p).is_err(), "forced on: corrupt plan fails");
+        set_validation(None);
+        assert!(validation_enabled(), "tests run with debug_assertions");
+    }
+}

@@ -196,7 +196,10 @@ pub fn assign_probabilities_parallel<M: DistanceMeasure + Sync>(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| match h.join() {
+                Ok(part) => part,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     let mut probs = vec![0.0; matrix.n()];

@@ -81,7 +81,9 @@ impl UnionFind {
         }
         let mut clusters: Vec<Vec<usize>> = groups.into_values().collect();
         clusters.sort_by_key(|c| c[0]);
-        Clustering::new(clusters, n).expect("DSU partitions are partitions")
+        // A DSU partition assigns every element to exactly one group, so
+        // this cannot fail; degrade to singletons rather than panic.
+        Clustering::new(clusters, n).unwrap_or_else(|_| Clustering::singletons(n))
     }
 }
 
@@ -232,7 +234,9 @@ pub fn limbo_sequential(matrix: &CategoricalMatrix, config: &LimboConfig) -> Clu
             }
         }
     }
-    Clustering::new(members, n).expect("every tuple assigned exactly once")
+    // The loop above assigns each tuple to exactly one cluster, so this
+    // cannot fail; degrade to singletons rather than panic.
+    Clustering::new(members, n).unwrap_or_else(|_| Clustering::singletons(n))
 }
 
 /// Pairwise quality of a clustering against a ground truth: precision,

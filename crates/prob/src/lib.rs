@@ -22,6 +22,7 @@
 //! paper claims: any tuple-level distance slots into the same algorithm.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod assign;
 pub mod cluster;

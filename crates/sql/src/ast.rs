@@ -9,6 +9,8 @@ use std::fmt;
 
 use conquer_storage::{DataType, Date};
 
+use crate::span::Span;
+
 /// A top-level SQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -292,6 +294,9 @@ pub struct TableRef {
     pub table: String,
     /// Optional alias; the binder falls back to the table name.
     pub alias: Option<String>,
+    /// Source location of the table name (equality-transparent metadata;
+    /// [`Span::NONE`] when built programmatically).
+    pub span: Span,
 }
 
 impl TableRef {
@@ -300,6 +305,7 @@ impl TableRef {
         TableRef {
             table: table.into().to_ascii_lowercase(),
             alias: None,
+            span: Span::NONE,
         }
     }
 
@@ -308,7 +314,14 @@ impl TableRef {
         TableRef {
             table: table.into().to_ascii_lowercase(),
             alias: Some(alias.into().to_ascii_lowercase()),
+            span: Span::NONE,
         }
+    }
+
+    /// The same reference carrying a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
     }
 
     /// The name this relation is referred to by in expressions.
@@ -346,12 +359,20 @@ impl fmt::Display for OrderByItem {
 }
 
 /// A possibly-qualified column reference.
+///
+/// The `span` field is equality-transparent metadata (see
+/// [`Span`]): it never affects `==`, hashing, or ordering, so
+/// `ColumnRef` remains usable as a map key and AST round-trip equality
+/// holds for parsed vs. printed trees.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ColumnRef {
     /// Table name or alias, if qualified.
     pub qualifier: Option<String>,
     /// Column name.
     pub name: String,
+    /// Source location of the (possibly qualified) reference;
+    /// [`Span::NONE`] when built programmatically.
+    pub span: Span,
 }
 
 impl fmt::Display for ColumnRef {
@@ -583,6 +604,7 @@ impl Expr {
         Expr::Column(ColumnRef {
             qualifier: None,
             name: name.into().to_ascii_lowercase(),
+            span: Span::NONE,
         })
     }
 
@@ -591,6 +613,7 @@ impl Expr {
         Expr::Column(ColumnRef {
             qualifier: Some(qualifier.into().to_ascii_lowercase()),
             name: name.into().to_ascii_lowercase(),
+            span: Span::NONE,
         })
     }
 

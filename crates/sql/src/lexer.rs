@@ -365,9 +365,14 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 Some(_) => {
-                    // Advance by whole UTF-8 chars.
-                    let rest = &self.src[self.pos..];
-                    let ch = rest.chars().next().expect("non-empty");
+                    // Advance by whole UTF-8 chars (the byte peek above
+                    // guarantees at least one remains).
+                    let Some(ch) = self.src[self.pos..].chars().next() else {
+                        return Err(LexError {
+                            message: "unterminated string literal".into(),
+                            offset,
+                        });
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }

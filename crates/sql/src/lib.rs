@@ -23,10 +23,12 @@
 //! (property-tested: `parse(print(ast)) == ast`).
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod ast;
 pub mod lexer;
 pub mod parser;
+pub mod span;
 
 pub use ast::{
     AggFunc, BinaryOp, ColumnRef, CreateTable, Delete, Expr, Insert, InsertSource, Literal,
@@ -34,3 +36,4 @@ pub use ast::{
 };
 pub use lexer::{Keyword, Lexer, Token, TokenKind};
 pub use parser::{parse_expr, parse_select, parse_statement, parse_statements, ParseError};
+pub use span::{line_col, render_snippet, SourceContext, Span};

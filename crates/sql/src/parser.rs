@@ -6,19 +6,63 @@ use conquer_storage::DataType;
 
 use crate::ast::*;
 use crate::lexer::{Keyword, LexError, Lexer, Token, TokenKind};
+use crate::span::{SourceContext, Span};
 
 /// A parse (or lex) error with the byte offset where it occurred.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Errors returned by the public parse entry points also carry a
+/// [`SourceContext`] (line, column and the offending line of SQL), so
+/// `Display` renders a caret snippet instead of a raw byte offset.
+/// `context` is ignored by `==`.
+#[derive(Debug, Clone)]
 pub struct ParseError {
     /// What went wrong.
     pub message: String,
     /// Byte offset in the SQL text.
     pub offset: usize,
+    /// Line/column plus offending line, captured at the parse entry points.
+    pub context: Option<SourceContext>,
+}
+
+impl ParseError {
+    /// A context-free error; the entry points attach context on the way out.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+            context: None,
+        }
+    }
+
+    /// Attach line/column context from the SQL text this error came from.
+    pub fn with_source(mut self, sql: &str) -> Self {
+        if self.context.is_none() {
+            self.context = Some(SourceContext::at(sql, self.offset));
+        }
+        self
+    }
+}
+
+// Context is derived presentation data; equality is message + offset.
+impl PartialEq for ParseError {
+    fn eq(&self, other: &ParseError) -> bool {
+        self.message == other.message && self.offset == other.offset
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+        match &self.context {
+            Some(ctx) => write!(
+                f,
+                "parse error at line {}, column {}: {}\n{}",
+                ctx.line,
+                ctx.column,
+                self.message,
+                ctx.snippet()
+            ),
+            None => write!(f, "parse error at offset {}: {}", self.offset, self.message),
+        }
     }
 }
 
@@ -26,52 +70,58 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError {
-            message: e.message,
-            offset: e.offset,
-        }
+        ParseError::new(e.message, e.offset)
     }
 }
 
 /// Parse a single statement (a trailing `;` is allowed).
 pub fn parse_statement(sql: &str) -> Result<Statement, ParseError> {
-    let mut p = Parser::new(sql)?;
-    let stmt = p.statement()?;
-    p.eat_kind(&TokenKind::Semicolon);
-    p.expect_eof()?;
-    Ok(stmt)
+    let inner = |sql: &str| {
+        let mut p = Parser::new(sql)?;
+        let stmt = p.statement()?;
+        p.eat_kind(&TokenKind::Semicolon);
+        p.expect_eof()?;
+        Ok(stmt)
+    };
+    inner(sql).map_err(|e: ParseError| e.with_source(sql))
 }
 
 /// Parse a `;`-separated script into statements.
 pub fn parse_statements(sql: &str) -> Result<Vec<Statement>, ParseError> {
-    let mut p = Parser::new(sql)?;
-    let mut out = Vec::new();
-    loop {
-        while p.eat_kind(&TokenKind::Semicolon) {}
-        if p.at_eof() {
-            return Ok(out);
+    let inner = |sql: &str| {
+        let mut p = Parser::new(sql)?;
+        let mut out = Vec::new();
+        loop {
+            while p.eat_kind(&TokenKind::Semicolon) {}
+            if p.at_eof() {
+                return Ok(out);
+            }
+            out.push(p.statement()?);
         }
-        out.push(p.statement()?);
-    }
+    };
+    inner(sql).map_err(|e: ParseError| e.with_source(sql))
 }
 
 /// Parse a `SELECT` statement.
 pub fn parse_select(sql: &str) -> Result<SelectStatement, ParseError> {
     match parse_statement(sql)? {
         Statement::Select(s) => Ok(s),
-        other => Err(ParseError {
-            message: format!("expected a SELECT statement, found {other}"),
-            offset: 0,
-        }),
+        other => Err(
+            ParseError::new(format!("expected a SELECT statement, found {other}"), 0)
+                .with_source(sql),
+        ),
     }
 }
 
 /// Parse a standalone scalar expression (useful in tests and tools).
 pub fn parse_expr(sql: &str) -> Result<Expr, ParseError> {
-    let mut p = Parser::new(sql)?;
-    let e = p.expr()?;
-    p.expect_eof()?;
-    Ok(e)
+    let inner = |sql: &str| {
+        let mut p = Parser::new(sql)?;
+        let e = p.expr()?;
+        p.expect_eof()?;
+        Ok(e)
+    };
+    inner(sql).map_err(|e: ParseError| e.with_source(sql))
 }
 
 struct Parser {
@@ -108,10 +158,7 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError {
-            message: message.into(),
-            offset: self.peek().offset,
-        })
+        Err(ParseError::new(message, self.peek().offset))
     }
 
     fn eat_kind(&mut self, kind: &TokenKind) -> bool {
@@ -250,10 +297,10 @@ impl Parser {
             TokenKind::Keyword(Keyword::Boolean) => DataType::Bool,
             TokenKind::Keyword(Keyword::Date) => DataType::Date,
             other => {
-                return Err(ParseError {
-                    message: format!("expected a data type, found {other}"),
-                    offset: t.offset,
-                })
+                return Err(ParseError::new(
+                    format!("expected a data type, found {other}"),
+                    t.offset,
+                ))
             }
         };
         Ok(ty)
@@ -457,13 +504,17 @@ impl Parser {
     }
 
     fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        // Identifiers are ASCII and lower-cased in place, so the source
+        // length of the table name equals its parsed length.
+        let start = self.peek().offset;
         let table = self.ident()?;
+        let span = Span::at(start, table.len());
         let alias = if self.eat_kw(Keyword::As) || matches!(self.peek().kind, TokenKind::Ident(_)) {
             Some(self.ident()?)
         } else {
             None
         };
-        Ok(TableRef { table, alias })
+        Ok(TableRef { table, alias, span })
     }
 
     /// Entry point of the expression grammar (lowest precedence: `OR`).
@@ -658,16 +709,15 @@ impl Parser {
                         kind: TokenKind::Str(s),
                         offset,
                     } => {
-                        let d = s.parse().map_err(|e| ParseError {
-                            message: format!("{e}"),
-                            offset,
-                        })?;
+                        let d = s
+                            .parse()
+                            .map_err(|e| ParseError::new(format!("{e}"), offset))?;
                         Ok(Expr::Literal(Literal::Date(d)))
                     }
-                    Token { kind, offset } => Err(ParseError {
-                        message: format!("expected a date string after DATE, found {kind}"),
+                    Token { kind, offset } => Err(ParseError::new(
+                        format!("expected a date string after DATE, found {kind}"),
                         offset,
-                    }),
+                    )),
                 }
             }
             TokenKind::Keyword(Keyword::Case) => {
@@ -735,13 +785,16 @@ impl Parser {
                 let name = name.clone();
                 self.advance();
                 if self.eat_kind(&TokenKind::Dot) {
+                    let col_off = self.peek().offset;
                     let col = self.ident()?;
                     Ok(Expr::Column(ColumnRef {
                         qualifier: Some(name),
-                        name: col,
+                        name: col.clone(),
+                        span: Span::new(t.offset, col_off + col.len()),
                     }))
                 } else {
                     Ok(Expr::Column(ColumnRef {
+                        span: Span::at(t.offset, name.len()),
                         qualifier: None,
                         name,
                     }))
@@ -751,10 +804,12 @@ impl Parser {
             TokenKind::Keyword(Keyword::Order) if self.peek2() == &TokenKind::Dot => {
                 self.advance();
                 self.advance();
+                let col_off = self.peek().offset;
                 let col = self.ident()?;
                 Ok(Expr::Column(ColumnRef {
                     qualifier: Some("order".into()),
-                    name: col,
+                    name: col.clone(),
+                    span: Span::new(t.offset, col_off + col.len()),
                 }))
             }
             TokenKind::LParen => {
@@ -779,13 +834,7 @@ mod tests {
     fn parse_paper_query_q1() {
         // Example 4 of the paper.
         let q = parse_select("select id from customer c where balance > 10000").unwrap();
-        assert_eq!(
-            q.from,
-            vec![TableRef {
-                table: "customer".into(),
-                alias: Some("c".into())
-            }]
-        );
+        assert_eq!(q.from, vec![TableRef::aliased("customer", "c")]);
         assert_eq!(q.projection.len(), 1);
         assert!(q.selection.is_some());
     }

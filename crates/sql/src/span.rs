@@ -1,0 +1,244 @@
+//! Source spans and the caret-snippet renderer.
+//!
+//! The lexer records a byte offset for every token; this module turns those
+//! offsets into user-facing positions: a [`Span`] is a half-open byte range
+//! over the original SQL text, [`line_col`] converts an offset into a
+//! 1-based line/column pair, and [`render_snippet`] produces the
+//! `rustc`-style two-line excerpt with a caret run under the offending
+//! slice.
+//!
+//! # Spans are invisible to equality
+//!
+//! Spans are *metadata*: two ASTs that differ only in where their tokens
+//! came from are the same query. `Span` therefore implements `PartialEq`,
+//! `Eq`, `Hash`, `PartialOrd` and `Ord` as if every span were equal, so it
+//! can be embedded in AST nodes that derive those traits (notably
+//! [`crate::ColumnRef`], which is used as a map key) without breaking AST
+//! equality or the parser/printer round-trip property
+//! (`parse(print(ast)) == ast` — the printed AST has no spans).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A half-open byte range `[start, end)` into the SQL text a node was
+/// parsed from. `Span::NONE` (the default) marks nodes built
+/// programmatically rather than parsed.
+#[derive(Clone, Copy, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: u32,
+    /// Byte offset one past the last byte.
+    pub end: u32,
+}
+
+impl Span {
+    /// The empty span of programmatically built nodes.
+    pub const NONE: Span = Span { start: 0, end: 0 };
+
+    /// Span over `[start, end)`. Offsets beyond `u32::MAX` saturate (SQL
+    /// statements of 4 GiB are not a target).
+    pub fn new(start: usize, end: usize) -> Span {
+        Span {
+            start: start.min(u32::MAX as usize) as u32,
+            end: end.min(u32::MAX as usize) as u32,
+        }
+    }
+
+    /// Span of a single token starting at `offset` with byte length `len`.
+    pub fn at(offset: usize, len: usize) -> Span {
+        Span::new(offset, offset + len)
+    }
+
+    /// True for the no-information span.
+    pub fn is_none(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// The smallest span covering both inputs; `NONE` operands are ignored.
+    pub fn union(self, other: Span) -> Span {
+        if self.is_none() {
+            return other;
+        }
+        if other.is_none() {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+// Equality-transparent: see the module docs.
+impl PartialEq for Span {
+    fn eq(&self, _: &Span) -> bool {
+        true
+    }
+}
+
+impl Eq for Span {}
+
+impl Hash for Span {
+    fn hash<H: Hasher>(&self, _: &mut H) {}
+}
+
+impl PartialOrd for Span {
+    fn partial_cmp(&self, other: &Span) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Span {
+    fn cmp(&self, _: &Span) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+// `Debug` prints the actual range (useful in test failures) even though
+// `==` ignores it.
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "Span(-)")
+        } else {
+            write!(f, "Span({}..{})", self.start, self.end)
+        }
+    }
+}
+
+/// 1-based line and column (in characters) of a byte offset in `src`.
+/// Offsets past the end clamp to the final position.
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(src.len());
+    let before = &src[..offset];
+    let line = before.matches('\n').count() + 1;
+    let line_start = before.rfind('\n').map_or(0, |i| i + 1);
+    let column = src[line_start..offset].chars().count() + 1;
+    (line, column)
+}
+
+/// Render a `rustc`-style source excerpt for `span` in `src`:
+///
+/// ```text
+///  1 | select namex from customer c
+///    |        ^^^^^
+/// ```
+///
+/// Multi-line spans are clipped to their first line. A `NONE` span (or an
+/// offset past the end of a trailing newline-free line) produces a caret at
+/// the clamped position so the output always points *somewhere*.
+pub fn render_snippet(src: &str, span: Span) -> String {
+    let start = (span.start as usize).min(src.len());
+    let (line_no, _) = line_col(src, start);
+    let line_start = src[..start].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = src[line_start..]
+        .find('\n')
+        .map_or(src.len(), |i| line_start + i);
+    let line_text = &src[line_start..line_end];
+
+    // Caret run: character-based, clipped to the line.
+    let caret_start = src[line_start..start].chars().count();
+    let span_end = (span.end as usize).clamp(start, line_end);
+    let caret_len = src[start..span_end].chars().count().max(1);
+
+    let gutter = line_no.to_string();
+    let pad = " ".repeat(gutter.len());
+    format!(
+        "{pad} |\n{gutter} | {line_text}\n{pad} | {}{}",
+        " ".repeat(caret_start),
+        "^".repeat(caret_len),
+    )
+}
+
+/// Source context captured into a [`crate::ParseError`] at the parse entry
+/// points, so the error can display line/column and the offending line
+/// without keeping the whole statement alive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceContext {
+    /// 1-based line of the error.
+    pub line: usize,
+    /// 1-based column (characters) of the error.
+    pub column: usize,
+    /// The full text of that line.
+    pub line_text: String,
+}
+
+impl SourceContext {
+    /// Capture the context of `offset` within `src`.
+    pub fn at(src: &str, offset: usize) -> SourceContext {
+        let (line, column) = line_col(src, offset);
+        let offset = offset.min(src.len());
+        let start = src[..offset].rfind('\n').map_or(0, |i| i + 1);
+        let end = src[start..].find('\n').map_or(src.len(), |i| start + i);
+        SourceContext {
+            line,
+            column,
+            line_text: src[start..end].to_string(),
+        }
+    }
+
+    /// The two-line gutter/caret excerpt for this context.
+    pub fn snippet(&self) -> String {
+        let gutter = self.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        format!(
+            "{pad} |\n{gutter} | {}\n{pad} | {}^",
+            self.line_text,
+            " ".repeat(self.column.saturating_sub(1)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_invisible_to_equality() {
+        assert_eq!(Span::new(3, 7), Span::NONE);
+        assert_eq!(Span::new(1, 2), Span::new(50, 60));
+        let mut set = std::collections::HashSet::new();
+        set.insert(("a", Span::new(0, 1)));
+        assert!(set.contains(&("a", Span::new(9, 10))));
+    }
+
+    #[test]
+    fn union_ignores_none() {
+        let s = Span::new(5, 9).union(Span::NONE);
+        assert_eq!((s.start, s.end), (5, 9));
+        let s = Span::new(5, 9).union(Span::new(2, 6));
+        assert_eq!((s.start, s.end), (2, 9));
+    }
+
+    #[test]
+    fn line_col_multiline() {
+        let src = "select a\nfrom t\nwhere b";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 7), (1, 8));
+        assert_eq!(line_col(src, 9), (2, 1));
+        assert_eq!(line_col(src, 22), (3, 7));
+        // Past the end clamps.
+        assert_eq!(line_col(src, 999), (3, 8));
+    }
+
+    #[test]
+    fn snippet_points_at_the_slice() {
+        let src = "select namex from customer";
+        let s = render_snippet(src, Span::new(7, 12));
+        assert_eq!(s, "  |\n1 | select namex from customer\n  |        ^^^^^");
+    }
+
+    #[test]
+    fn snippet_second_line() {
+        let src = "select a\nfrom nowhere";
+        let s = render_snippet(src, Span::new(14, 21));
+        assert_eq!(s, "  |\n2 | from nowhere\n  |      ^^^^^^^");
+    }
+
+    #[test]
+    fn source_context_snippet() {
+        let ctx = SourceContext::at("select a from", 13);
+        assert_eq!((ctx.line, ctx.column), (1, 14));
+        assert!(ctx.snippet().ends_with("^"), "{}", ctx.snippet());
+    }
+}

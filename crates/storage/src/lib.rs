@@ -23,6 +23,7 @@
 //! comparison semantics live in the engine, not here.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod catalog;
 pub mod csv;

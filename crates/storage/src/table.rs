@@ -153,23 +153,25 @@ impl Table {
                 got: values.len(),
             });
         }
-        for v in &values {
-            if !v.conforms_to(column.data_type()) {
-                return Err(StorageError::TypeMismatch {
-                    table: self.name.clone(),
-                    column: column.name().to_string(),
-                    expected: column.data_type(),
-                    got: v
-                        .data_type()
-                        .map(|t| t.name().to_string())
-                        .unwrap_or("NULL".into()),
-                });
+        let ty = column.data_type();
+        let mut coerced = Vec::with_capacity(values.len());
+        for v in values {
+            let got = v.data_type();
+            match v.coerce_to(ty) {
+                Some(cv) => coerced.push(cv),
+                None => {
+                    return Err(StorageError::TypeMismatch {
+                        table: self.name.clone(),
+                        column: column.name().to_string(),
+                        expected: ty,
+                        got: got.map(|t| t.name().to_string()).unwrap_or("NULL".into()),
+                    })
+                }
             }
         }
         let idx = self.schema.push_column(column)?;
-        let ty = self.schema.column_at(idx).expect("just pushed").data_type();
-        for (row, v) in self.rows.iter_mut().zip(values) {
-            row.push(v.coerce_to(ty).expect("conformance checked above"));
+        for (row, v) in self.rows.iter_mut().zip(coerced) {
+            row.push(v);
         }
         self.indexes.clear();
         Ok(idx)
@@ -181,7 +183,14 @@ impl Table {
         F: FnMut(usize, &Value) -> Value,
     {
         let col = self.column_index(column)?;
-        let ty = self.schema.column_at(col).expect("validated").data_type();
+        let ty = self
+            .schema
+            .column_at(col)
+            .ok_or_else(|| StorageError::NoSuchColumn {
+                table: self.name.clone(),
+                column: column.to_string(),
+            })?
+            .data_type();
         for (i, row) in self.rows.iter_mut().enumerate() {
             let new = f(i, &row[col]);
             match new.coerce_to(ty) {
@@ -216,37 +225,33 @@ impl Table {
             if updates.is_empty() {
                 continue;
             }
-            // Validate all updates before applying any (row stays consistent
-            // on error).
-            for (col, v) in &updates {
-                let ty = self
-                    .schema
-                    .column_at(*col)
-                    .ok_or_else(|| StorageError::NoSuchColumn {
-                        table: self.name.clone(),
-                        column: format!("#{col}"),
-                    })?
-                    .data_type();
-                if !v.conforms_to(ty) {
-                    return Err(StorageError::TypeMismatch {
-                        table: self.name.clone(),
-                        column: self
-                            .schema
-                            .column_at(*col)
-                            .expect("checked")
-                            .name()
-                            .to_string(),
-                        expected: ty,
-                        got: v
-                            .data_type()
-                            .map(|t| t.name().to_string())
-                            .unwrap_or("NULL".into()),
-                    });
+            // Validate (and coerce) all updates before applying any, so the
+            // row stays consistent on error.
+            let mut coerced = Vec::with_capacity(updates.len());
+            for (col, v) in updates {
+                let column =
+                    self.schema
+                        .column_at(col)
+                        .ok_or_else(|| StorageError::NoSuchColumn {
+                            table: self.name.clone(),
+                            column: format!("#{col}"),
+                        })?;
+                let ty = column.data_type();
+                let got = v.data_type();
+                match v.coerce_to(ty) {
+                    Some(cv) => coerced.push((col, cv)),
+                    None => {
+                        return Err(StorageError::TypeMismatch {
+                            table: self.name.clone(),
+                            column: column.name().to_string(),
+                            expected: ty,
+                            got: got.map(|t| t.name().to_string()).unwrap_or("NULL".into()),
+                        })
+                    }
                 }
             }
-            for (col, v) in updates {
-                let ty = self.schema.column_at(col).expect("validated").data_type();
-                self.rows[i][col] = v.coerce_to(ty).expect("conformance checked");
+            for (col, v) in coerced {
+                self.rows[i][col] = v;
             }
             changed += 1;
         }

@@ -231,8 +231,11 @@ impl Ord for Value {
             // Numeric family: compare numerically; break numeric ties on the
             // type tag (Int < Float) so Ord-equality implies structural Eq.
             (a, b) => {
-                let fa = a.as_f64().expect("numeric rank implies numeric value");
-                let fb = b.as_f64().expect("numeric rank implies numeric value");
+                // Equal type_rank and none of the arms above matched, so both
+                // sides are numeric; a non-numeric pair cannot reach here.
+                let (Some(fa), Some(fb)) = (a.as_f64(), b.as_f64()) else {
+                    return Ordering::Equal;
+                };
                 // Use total_cmp on the float images except that an exact Int
                 // must compare equal to itself; i64→f64 can lose precision for
                 // |i| > 2^53, so compare Int/Int exactly first.

@@ -9,7 +9,7 @@ use conquer_datagen::cora::{schapire_cluster, CITATION_ATTRIBUTES};
 use conquer_prob::{assign_probabilities, CategoricalMatrix, Clustering, InfoLossDistance};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (table, misclustered, odd) = schapire_cluster(1);
+    let (table, misclustered, odd) = schapire_cluster(1)?;
     println!(
         "cluster of {} citation records for one publication\n",
         table.len()

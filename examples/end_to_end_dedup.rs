@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             field_probability: 0.25,
             ..Default::default()
         },
-    });
+    })?;
     let mut customer = dirty.catalog.table("customer")?.clone();
     let truth = Clustering::from_id_column(&customer, "c_custkey")?;
     println!(

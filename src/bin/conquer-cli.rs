@@ -10,7 +10,7 @@
 //! \clean <select …>                              clean answers (RewriteClean; naive fallback)
 //! \expected <select …>                           expected aggregates (COUNT(*)/SUM/AVG)
 //! \rewrite <select …>                            show the rewritten SQL
-//! \check <select …>                              explain whether the query is rewritable
+//! \check <select …>                              static analysis: lints + rewritability verdict
 //! \explain <select …>                            show the physical plan
 //! \gen <sf> <if>                                 load a dirtied TPC-H-lite database
 //! \save <dir> / \load <dir>                      persist / restore the catalog (crash-safe; \load reports recovery issues)
@@ -22,6 +22,10 @@
 //! \validate                                      re-check Definition 2 on the dirty tables
 //! \help, \quit
 //! ```
+//!
+//! Every SQL statement is linted before it runs; diagnostics print as
+//! caret snippets with stable `CQxxxx` codes. Start the shell with
+//! `--deny-warnings` to refuse statements that produce any diagnostic.
 //!
 //! Example session:
 //!
@@ -47,6 +51,8 @@ use conquer_datagen::{
 struct Shell {
     db: Database,
     spec: DirtySpec,
+    /// `--deny-warnings`: refuse to run statements with lint warnings.
+    deny_warnings: bool,
 }
 
 impl Shell {
@@ -54,11 +60,36 @@ impl Shell {
         Shell {
             db: Database::new(),
             spec: DirtySpec::new(),
+            deny_warnings: false,
         }
     }
 
     fn dirty(&self) -> conquer_core::DirtyDatabase {
         conquer_core::DirtyDatabase::new_unvalidated(self.db.clone(), self.spec.clone())
+    }
+
+    /// Render `sql`'s diagnostics (caret snippets and all). Returns an error
+    /// when the statement must not run: any error-severity diagnostic, or —
+    /// under `--deny-warnings` — any diagnostic at all.
+    fn lint(&self, sql: &str) -> Result<(), String> {
+        let diags = self.db.analyze(sql);
+        if diags.is_empty() {
+            return Ok(());
+        }
+        let rendered: Vec<String> = diags.iter().map(|d| d.render(sql)).collect();
+        let fatal = diags.iter().any(|d| d.is_error()) || (self.deny_warnings && !diags.is_empty());
+        if fatal {
+            let mut msg = rendered.join("\n");
+            if !diags.iter().any(|d| d.is_error()) {
+                msg.push_str("\nstatement rejected: warnings are denied (--deny-warnings)");
+            }
+            Err(msg)
+        } else {
+            for r in rendered {
+                eprintln!("{r}");
+            }
+            Ok(())
+        }
     }
 
     fn handle(&mut self, line: &str) -> Result<bool, String> {
@@ -69,6 +100,7 @@ impl Shell {
         if let Some(rest) = line.strip_prefix('\\') {
             return self.command(rest);
         }
+        self.lint(line)?;
         let stmt = self.db.prepare(line).map_err(|e| e.to_string())?;
         match stmt.run(&mut self.db).map_err(|e| e.to_string())? {
             conquer_engine::database::ExecOutcome::Created => println!("created."),
@@ -140,14 +172,43 @@ impl Shell {
                     }
                 }
             }
-            "check" => match self.dirty().check_rewritable(arg) {
-                Ok(graph) => println!(
-                    "rewritable; join graph: {} (root: {})",
-                    graph.describe(),
-                    graph.root.map(|r| graph.bindings[r].clone()).unwrap_or_default()
-                ),
-                Err(e) => println!("not rewritable: {e}"),
-            },
+            "check" => {
+                // Full static analysis: engine lints (with caret snippets)
+                // plus the Definition 7 rewritability verdict.
+                let diags = self.dirty().analyze(arg);
+                for d in &diags {
+                    // CQ1007 carries the rendered reason tree as its help
+                    // text; \check prints the tree itself below.
+                    if d.code != conquer_engine::Code::NaiveFallback {
+                        println!("{}", d.render(arg));
+                    }
+                }
+                let n_errors = diags.iter().filter(|d| d.is_error()).count();
+                if n_errors > 0 {
+                    println!("{n_errors} error(s); rewritability not checked.");
+                } else {
+                    let stmt = conquer_sql::parse_select(arg).map_err(|e| e.to_string())?;
+                    match conquer_core::explain_rewritable(self.db.catalog(), &self.spec, &stmt)
+                        .map_err(|e| e.to_string())?
+                    {
+                        Ok(graph) => println!(
+                            "rewritable; join graph: {} (root: {})",
+                            graph.describe(),
+                            graph
+                                .root
+                                .map(|r| graph.bindings[r].clone())
+                                .unwrap_or_default()
+                        ),
+                        Err(reason) => println!("{}", reason.render_tree(Some(arg))),
+                    }
+                }
+                if self.deny_warnings && !diags.is_empty() {
+                    return Err(format!(
+                        "{} diagnostic(s); failing because of --deny-warnings",
+                        diags.len()
+                    ));
+                }
+            }
             "explain" => println!("{}", self.db.explain(arg).map_err(|e| e.to_string())?),
             "gen" => {
                 let mut parts = arg.split_whitespace();
@@ -299,6 +360,7 @@ fn main() {
     let mut shell = Shell::new();
     let stdin = io::stdin();
     let interactive = std::env::args().all(|a| a != "--batch");
+    shell.deny_warnings = std::env::args().any(|a| a == "--deny-warnings");
     if interactive {
         println!("ConQuer shell — clean answers over dirty databases. \\help for commands.");
     }

@@ -44,6 +44,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod error;
 
@@ -60,11 +61,13 @@ pub use error::{ConquerError, Result};
 pub mod prelude {
     pub use crate::error::{ConquerError, Result};
     pub use conquer_core::{
-        apply_crossref, explain_answer, CleanAnswers, DirtyDatabase, DirtySpec, DirtyTableMeta,
-        EvalStrategy, JoinGraph, NotRewritable, RewriteClean, RewriteExpected,
+        apply_crossref, explain_answer, CleanAnswers, Def7Clause, DirtyDatabase, DirtySpec,
+        DirtyTableMeta, EvalStrategy, JoinGraph, NotRewritable, RewriteClean, RewriteExpected,
+        RewriteObstacle,
     };
     pub use conquer_engine::{
-        CancelToken, Database, ExecContext, ExecLimits, ExecStats, QueryResult, Statement,
+        CancelToken, Code, Database, Diagnostic, ExecContext, ExecLimits, ExecStats, QueryResult,
+        Severity, Statement,
     };
     pub use conquer_prob::{
         assign_probabilities, sorted_neighborhood, Clustering, EditDistance, InfoLossDistance,

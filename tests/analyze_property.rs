@@ -1,0 +1,114 @@
+//! Property: any query that `Database::analyze` (and `Statement::check`)
+//! reports as free of error-severity diagnostics binds, plans, and executes
+//! without an internal-invariant failure — with the plan validator forced
+//! on, so every planner stage is checked on every generated query.
+
+use conquer::prelude::*;
+use proptest::prelude::*;
+
+fn fixture() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE customer (custid TEXT, name TEXT, income INTEGER, prob DOUBLE);
+         INSERT INTO customer VALUES
+           ('c1', 'John', 120000, 0.9), ('c1', 'John', 80000, 0.1),
+           ('c2', 'Mary', 140000, 0.4), ('c2', 'Marion', 40000, 0.6);
+         CREATE TABLE orders (oid TEXT, custfk TEXT, quantity INTEGER, prob DOUBLE);
+         INSERT INTO orders VALUES
+           ('o1', 'c1', 3, 1.0), ('o2', 'c1', 2, 0.5), ('o2', 'c2', 5, 0.5)",
+    )
+    .expect("fixture schema");
+    db
+}
+
+/// Projection items: valid columns, expressions, aggregates — and a few
+/// deliberately broken ones, so the generator also exercises the reject
+/// path (those cases simply carry error diagnostics and are not executed).
+fn projection_item() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("c.name".to_string()),
+        Just("c.custid".to_string()),
+        Just("c.income".to_string()),
+        Just("o.oid".to_string()),
+        Just("o.quantity".to_string()),
+        Just("c.income * 2".to_string()),
+        Just("COUNT(*)".to_string()),
+        Just("SUM(c.income)".to_string()),
+        Just("MIN(o.quantity)".to_string()),
+        Just("nmae".to_string()),
+        Just("c.nonexistent".to_string()),
+        Just("prob".to_string()),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("c.custid = o.custfk".to_string()),
+        Just("c.income > 50000".to_string()),
+        Just("c.income >= 100000".to_string()),
+        Just("o.quantity IN (1, 2, 3)".to_string()),
+        Just("c.name LIKE 'M%'".to_string()),
+        Just("1 = 1".to_string()),
+        Just("'a' = 'b'".to_string()),
+        Just("c.income = o.prob".to_string()),
+        Just("c.income = missing_col".to_string()),
+    ]
+}
+
+fn query() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(projection_item(), 1..4),
+        any::<bool>(),
+        proptest::collection::vec(predicate(), 0..3),
+        proptest::option::of(prop_oneof![
+            Just("c.name".to_string()),
+            Just("c.custid".to_string()),
+            Just("o.oid".to_string()),
+        ]),
+    )
+        .prop_map(|(proj, both_tables, preds, group)| {
+            let from = if both_tables {
+                "customer c, orders o"
+            } else {
+                "customer c"
+            };
+            let mut sql = format!("SELECT {} FROM {from}", proj.join(", "));
+            if !preds.is_empty() {
+                sql.push_str(&format!(" WHERE {}", preds.join(" AND ")));
+            }
+            if let Some(g) = group {
+                sql.push_str(&format!(" GROUP BY {g}"));
+            }
+            sql
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn check_clean_queries_execute_without_internal_errors(sql in query()) {
+        conquer::engine::set_validation(Some(true));
+        let db = fixture();
+        let diags = db.analyze(&sql);
+        if diags.iter().any(|d| d.is_error()) {
+            // The analyzer rejected the query; nothing to execute.
+            return Ok(());
+        }
+        // Documented contract: error-free analysis ⇒ the statement prepares.
+        let stmt = match db.prepare(&sql) {
+            Ok(s) => s,
+            Err(e) => panic!("analyze() found no errors but prepare failed: {e}\nquery: {sql}"),
+        };
+        // Statement::check must agree with Database::analyze.
+        prop_assert!(stmt.check(&db).iter().all(|d| !d.is_error()));
+        // Execution (validator on) must never trip a plan invariant.
+        if let Err(e) = stmt.query(&db) {
+            let msg = e.to_string();
+            prop_assert!(
+                !msg.contains("internal engine error"),
+                "internal error on analyze-clean query: {msg}\nquery: {sql}"
+            );
+        }
+    }
+}

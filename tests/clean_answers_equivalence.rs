@@ -78,7 +78,7 @@ fn weights<T>(cluster: &[T], weight_of: impl Fn(&T) -> u8) -> f64 {
 impl MiniTpch {
     fn build(&self) -> DirtyDatabase {
         let mut catalog = Catalog::new();
-        for (name, schema) in schemas() {
+        for (name, schema) in schemas().expect("static schemas") {
             catalog.create_table(name, schema).expect("fresh catalog");
         }
         {

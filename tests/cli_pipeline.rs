@@ -60,7 +60,8 @@ fn matcher_to_clean_answers_pipeline() {
             field_probability: 0.2,
             ..Default::default()
         },
-    });
+    })
+    .unwrap();
     let mut customer = generated.catalog.table("customer").unwrap().clone();
     let truth = Clustering::from_id_column(&customer, "c_custkey").unwrap();
 

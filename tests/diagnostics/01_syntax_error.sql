@@ -1,0 +1,1 @@
+SELEC name FROM customer

@@ -1,0 +1,1 @@
+SELECT prob FROM customer c, orders o WHERE c.custid = o.custfk

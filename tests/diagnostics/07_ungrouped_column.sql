@@ -1,0 +1,1 @@
+SELECT name, COUNT(*) FROM customer GROUP BY custid

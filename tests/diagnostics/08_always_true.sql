@@ -1,0 +1,1 @@
+SELECT name FROM customer WHERE 1 = 1

@@ -1,0 +1,1 @@
+SELECT c.name FROM customer c, orders o WHERE c.custid = o.custfk AND c.income = o.prob

@@ -1,0 +1,1 @@
+SELECT c.name, o.oid FROM customer c, orders o

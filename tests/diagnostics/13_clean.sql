@@ -1,0 +1,1 @@
+SELECT c.name FROM customer c WHERE c.income > 100000

@@ -1,0 +1,112 @@
+//! Golden-file corpus for the static analyzer.
+//!
+//! Every `tests/diagnostics/*.sql` file holds one query; its `.golden` twin
+//! records the exact diagnostics — stable code, severity, byte span, message
+//! and help — that `Database::analyze` must produce for it. Any drift in
+//! codes, spans or wording fails the test.
+//!
+//! To (re)generate the golden files after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test diagnostics_corpus
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use conquer::prelude::*;
+
+/// Schema shared by the whole corpus (the paper's customer/orders shape,
+/// with enough type variety to trigger every type-directed lint).
+fn fixture() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE customer (custid TEXT, name TEXT, income INTEGER, prob DOUBLE);
+         CREATE TABLE orders (oid TEXT, custfk TEXT, quantity INTEGER, odate DATE, prob DOUBLE)",
+    )
+    .expect("fixture schema");
+    db
+}
+
+/// Deterministic, diff-friendly rendering: one header line per diagnostic
+/// (code, severity, byte span, message), help lines indented beneath it.
+fn format_diags(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "clean\n".to_string();
+    }
+    let mut out = String::new();
+    for d in diags {
+        let span = if d.span.is_none() {
+            "-".to_string()
+        } else {
+            format!("{}..{}", d.span.start, d.span.end)
+        };
+        out.push_str(&format!(
+            "{} {} @ {}: {}\n",
+            d.code, d.severity, span, d.message
+        ));
+        if let Some(h) = &d.help {
+            for line in h.lines() {
+                out.push_str(&format!("    help: {line}\n"));
+            }
+        }
+    }
+    out
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/diagnostics")
+}
+
+#[test]
+fn corpus_matches_golden_files() {
+    let db = fixture();
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut cases: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("tests/diagnostics exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "sql"))
+        .collect();
+    cases.sort();
+    assert!(!cases.is_empty(), "corpus must not be empty");
+
+    let mut failures = Vec::new();
+    for sql_path in cases {
+        let sql = fs::read_to_string(&sql_path).expect("readable corpus file");
+        let sql = sql.trim_end();
+        let got = format_diags(&db.analyze(sql));
+        let golden_path = sql_path.with_extension("golden");
+        if update {
+            fs::write(&golden_path, &got).expect("write golden");
+            continue;
+        }
+        let want = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|_| panic!("missing {golden_path:?}; run with UPDATE_GOLDEN=1"));
+        if got != want {
+            failures.push(format!(
+                "=== {} ===\nquery: {sql}\n--- expected ---\n{want}--- got ---\n{got}",
+                sql_path.file_name().unwrap_or_default().to_string_lossy()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus case(s) drifted (re-bless with UPDATE_GOLDEN=1 if intentional):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The spans recorded in the golden files really do point at the offending
+/// source text (spot-check the suggestion machinery end to end).
+#[test]
+fn spans_select_the_offending_text() {
+    let db = fixture();
+    let sql = "SELECT nmae FROM customer";
+    let diags = db.analyze(sql);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.code, Code::UnknownColumn);
+    assert_eq!(&sql[d.span.start as usize..d.span.end as usize], "nmae");
+    assert_eq!(d.help.as_deref(), Some("did you mean \"name\"?"));
+}

@@ -3,7 +3,7 @@
 //! states.
 
 use conquer::prelude::*;
-use conquer_core::{naive::NaiveOptions, CoreError, EvalStrategy, NotRewritable, RewriteClean};
+use conquer_core::{naive::NaiveOptions, CoreError, Def7Clause, EvalStrategy, RewriteClean};
 
 const EPS: f64 = 1e-12;
 
@@ -140,7 +140,7 @@ fn example7_grouping_fails_but_naive_succeeds() {
     let err = dirty.clean_answers(sql).unwrap_err();
     assert!(matches!(
         err,
-        CoreError::NotRewritable(NotRewritable::RootIdentifierNotSelected { .. })
+        CoreError::NotRewritable(ref r) if r.violates(Def7Clause::RootIdProjected)
     ));
 
     // 2. Forcing the grouping-and-summing rewriting anyway produces the

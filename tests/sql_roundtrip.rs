@@ -147,6 +147,7 @@ fn select_strategy() -> impl Strategy<Value = SelectStatement> {
                     .map(|(i, (t, a))| TableRef {
                         table: format!("{t}{i}"),
                         alias: a.map(|a| format!("{a}{i}")),
+                        span: conquer::sql::Span::NONE,
                     })
                     .collect();
                 SelectStatement {
