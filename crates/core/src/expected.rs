@@ -153,14 +153,16 @@ fn rewrite_expr(e: &Expr, prod: &Expr) -> Result<Expr> {
                     let den = sum(prod.clone());
                     Expr::binary(num, conquer_sql::BinaryOp::Div, den)
                 }
-                (AggFunc::Min | AggFunc::Max, _) => return Err(NotRewritable::because(
-                    Def7Clause::SpjShape,
-                    format!(
+                (AggFunc::Min | AggFunc::Max, _) => {
+                    return Err(NotRewritable::because(
+                        Def7Clause::SpjShape,
+                        format!(
                         "{} is not linear; expected-value rewriting supports COUNT(*), SUM, AVG",
                         func.name()
                     ),
-                )
-                .into()),
+                    )
+                    .into())
+                }
                 (AggFunc::Sum | AggFunc::Avg, None) => {
                     unreachable!("parser rejects SUM(*)/AVG(*)")
                 }

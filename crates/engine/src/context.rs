@@ -1,40 +1,53 @@
-//! Execution governance: cancellation, deadlines, and memory budgets.
+//! Execution governance: cancellation, deadlines, memory and disk budgets.
 //!
 //! A runaway query — the paper's GROUP BY / SUM(prob) rewritings fan out
 //! over duplicate clusters and can explode on skewed dirty data — must not
 //! take the whole process down. Every query therefore runs under an
-//! [`ExecContext`] carrying three cooperative guards:
+//! [`ExecContext`] carrying cooperative guards:
 //!
 //! * a [`CancelToken`] another thread can trip at any time,
 //! * a wall-clock **deadline** derived from [`ExecLimits::timeout`],
 //! * a **memory budget** ([`ExecLimits::mem_bytes`]) charged by every
 //!   operator that materializes state (hash-join builds, aggregation
-//!   tables, sort buffers, DISTINCT sets, and the final result buffer).
+//!   tables, sort buffers, DISTINCT sets, and the final result buffer),
+//! * a **disk budget** ([`ExecLimits::disk_bytes`]) charged by the spill
+//!   files external-memory operators write when the memory budget is
+//!   too small for their working set.
 //!
-//! Exceeding any guard aborts the query with a *typed* error
+//! The escalation ladder under memory pressure is *budget → spill →
+//! [`EngineError::ResourceExhausted`]*: hash join, hash aggregation, and
+//! sort first try to stay in memory ([`ExecContext::try_charge`]), fall
+//! back to checksummed spill files on disk when the budget is hit (see
+//! [`conquer_storage::spill`]), and only error once the disk budget is
+//! exhausted too. Operators without an external-memory strategy (cross
+//! join, DISTINCT, the result buffer) still charge the memory budget
+//! hard. Exceeding any guard aborts the query with a *typed* error
 //! ([`EngineError::ResourceExhausted`] / [`EngineError::Timeout`] /
 //! [`EngineError::Cancelled`]) instead of OOM-killing or hanging the
 //! process; the database stays fully usable afterwards.
 //!
 //! Checks are cooperative and batched: the executor calls
-//! [`ExecContext::tick`] once per operator batch (≤1024 rows), so
-//! cancellation and deadline latency is bounded by the time one batch takes
-//! to flow through one operator. Memory is charged incrementally as state
-//! grows and is **not** credited back when an operator drains: the budget
-//! bounds the total bytes of materialized operator state over the query's
-//! lifetime, a deliberate over-approximation of peak usage that keeps
-//! accounting race-free and cheap.
+//! [`ExecContext::tick`] once per operator batch (≤1024 rows) *and* every
+//! few hundred rows inside spill partition/merge loops, so cancellation
+//! and deadline latency stays bounded even while a query is streaming
+//! gigabytes through disk. Memory charged by spilling operators **is**
+//! released when their state moves to disk ([`ExecContext::release`]);
+//! [`ExecContext::mem_charged`] reports the high-water mark.
 //!
 //! Limits are configured per [`Database`](crate::Database)
 //! ([`Database::set_limits`](crate::Database::set_limits)) and overridden
 //! per [`Statement`](crate::Statement)
 //! ([`Statement::set_limits`](crate::Statement::set_limits)); a fully
 //! custom context (e.g. with a shared [`CancelToken`]) goes through
-//! [`Statement::query_with`](crate::Statement::query_with).
+//! [`Statement::query_with`](crate::Statement::query_with). Process-wide
+//! defaults can come from the environment via [`ExecLimits::from_env`].
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+use conquer_storage::spill::SpillSession;
 
 use crate::error::EngineError;
 use crate::Result;
@@ -49,6 +62,7 @@ use crate::Result;
 ///
 /// let limits = ExecLimits::none()
 ///     .with_mem_bytes(64 << 20)
+///     .with_disk_bytes(1 << 30)
 ///     .with_timeout(Duration::from_secs(5));
 /// assert!(!limits.is_unlimited());
 /// ```
@@ -57,6 +71,11 @@ pub struct ExecLimits {
     /// Maximum bytes of materialized operator state (hash tables, sort
     /// buffers, result rows) a single query may hold. `None` = unlimited.
     pub mem_bytes: Option<u64>,
+    /// Maximum bytes of spill-file state a single query may write to disk
+    /// once it exceeds its memory budget. `None` = unlimited disk;
+    /// `Some(0)` disables spilling entirely, restoring the hard
+    /// memory-abort behavior.
+    pub disk_bytes: Option<u64>,
     /// Maximum wall-clock time a single query may run. `None` = unlimited.
     pub timeout: Option<Duration>,
 }
@@ -73,15 +92,43 @@ impl ExecLimits {
         self
     }
 
+    /// This limit set with a spill-disk budget of `bytes` (`0` disables
+    /// spilling).
+    pub fn with_disk_bytes(mut self, bytes: u64) -> Self {
+        self.disk_bytes = Some(bytes);
+        self
+    }
+
     /// This limit set with a wall-clock timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
         self
     }
 
-    /// True when neither a memory budget nor a timeout is set.
+    /// True when no memory budget, disk budget, or timeout is set.
     pub fn is_unlimited(&self) -> bool {
-        self.mem_bytes.is_none() && self.timeout.is_none()
+        self.mem_bytes.is_none() && self.disk_bytes.is_none() && self.timeout.is_none()
+    }
+
+    /// Limits taken from the environment, for forcing a process-wide
+    /// default (CI runs the whole suite this way to exercise spilling):
+    ///
+    /// * `CONQUER_MEM_BUDGET` — memory budget in bytes
+    /// * `CONQUER_DISK_BUDGET` — spill-disk budget in bytes (`0` disables
+    ///   spilling)
+    /// * `CONQUER_TIMEOUT_MS` — wall-clock timeout in milliseconds
+    ///
+    /// Unset or unparsable variables leave the corresponding limit
+    /// unlimited.
+    pub fn from_env() -> Self {
+        fn parse(var: &str) -> Option<u64> {
+            std::env::var(var).ok()?.trim().parse().ok()
+        }
+        ExecLimits {
+            mem_bytes: parse("CONQUER_MEM_BUDGET"),
+            disk_bytes: parse("CONQUER_DISK_BUDGET"),
+            timeout: parse("CONQUER_TIMEOUT_MS").map(Duration::from_millis),
+        }
     }
 }
 
@@ -90,7 +137,8 @@ impl ExecLimits {
 /// Clone the token out of an [`ExecContext`] (or create one and pass it in
 /// via [`ExecContext::with_token`]), hand it to another thread, and call
 /// [`CancelToken::cancel`]; the executor notices at its next batch
-/// boundary and aborts with [`EngineError::Cancelled`].
+/// boundary (or within a few hundred rows of a spill loop) and aborts
+/// with [`EngineError::Cancelled`].
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken(Arc<AtomicBool>);
 
@@ -115,14 +163,20 @@ impl CancelToken {
 /// Per-execution governance state threaded through the operator pipeline.
 ///
 /// Create one context per query execution: the deadline is computed from
-/// [`ExecLimits::timeout`] at construction time, and the memory meter
-/// starts at zero.
+/// [`ExecLimits::timeout`] at construction time, and the memory and disk
+/// meters start at zero. The spill session (temp directory) is created
+/// lazily by the first operator that spills and removed when the context
+/// drops.
 #[derive(Debug)]
 pub struct ExecContext {
     limits: ExecLimits,
     deadline: Option<Instant>,
     cancel: CancelToken,
     mem_used: AtomicU64,
+    mem_peak: AtomicU64,
+    disk_used: AtomicU64,
+    spill_base: Option<PathBuf>,
+    spill: OnceLock<std::result::Result<SpillSession, String>>,
 }
 
 impl Default for ExecContext {
@@ -146,7 +200,20 @@ impl ExecContext {
             limits,
             cancel,
             mem_used: AtomicU64::new(0),
+            mem_peak: AtomicU64::new(0),
+            disk_used: AtomicU64::new(0),
+            spill_base: None,
+            spill: OnceLock::new(),
         }
+    }
+
+    /// Set the directory under which this context's spill session is
+    /// created when an operator first spills. Defaults to the OS temp
+    /// directory; databases loaded from disk use their persistence
+    /// directory so startup recovery can collect orphans.
+    pub fn with_spill_base(mut self, base: impl Into<PathBuf>) -> Self {
+        self.spill_base = Some(base.into());
+        self
     }
 
     /// The limits this context enforces.
@@ -160,14 +227,20 @@ impl ExecContext {
         self.cancel.clone()
     }
 
-    /// Total bytes of materialized operator state charged so far.
+    /// High-water mark of materialized operator state charged so far.
     pub fn mem_charged(&self) -> u64 {
-        self.mem_used.load(Ordering::Relaxed)
+        self.mem_peak.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes of spill-file state written to disk so far.
+    pub fn disk_charged(&self) -> u64 {
+        self.disk_used.load(Ordering::Relaxed)
     }
 
     /// Cooperative cancellation/deadline check; called by the executor at
-    /// every batch boundary. Returns [`EngineError::Cancelled`] or
-    /// [`EngineError::Timeout`] when tripped.
+    /// every batch boundary and inside spill partition/merge loops.
+    /// Returns [`EngineError::Cancelled`] or [`EngineError::Timeout`] when
+    /// tripped.
     pub fn tick(&self) -> Result<()> {
         if self.cancel.is_cancelled() {
             return Err(EngineError::Cancelled);
@@ -182,6 +255,10 @@ impl ExecContext {
         Ok(())
     }
 
+    fn note_peak(&self, now: u64) {
+        self.mem_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
     /// Charge `bytes` of newly materialized operator state against the
     /// budget. Returns [`EngineError::ResourceExhausted`] when the charge
     /// would push the query past its memory limit (the charge is still
@@ -190,6 +267,7 @@ impl ExecContext {
         conquer_storage::fault::trigger("exec::charge")
             .map_err(|f| EngineError::exec(format!("injected allocation fault at {}", f.point)))?;
         let now = self.mem_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.note_peak(now);
         if let Some(limit) = self.limits.mem_bytes {
             if now > limit {
                 return Err(EngineError::ResourceExhausted {
@@ -199,6 +277,88 @@ impl ExecContext {
             }
         }
         Ok(())
+    }
+
+    /// Try to charge `bytes` against the memory budget. Unlike
+    /// [`ExecContext::charge`], a failed attempt is **not** recorded, so a
+    /// spilling operator can probe the budget, take the disk path instead,
+    /// and leave the meter accurate.
+    pub fn try_charge(&self, bytes: u64) -> bool {
+        let limit = match self.limits.mem_bytes {
+            None => {
+                let now = self.mem_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+                self.note_peak(now);
+                return true;
+            }
+            Some(limit) => limit,
+        };
+        let mut cur = self.mem_used.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(bytes);
+            if next > limit {
+                return false;
+            }
+            match self.mem_used.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.note_peak(next);
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Credit back `bytes` of operator state that moved to disk or was
+    /// dropped by a spilling operator. Saturates at zero.
+    pub fn release(&self, bytes: u64) {
+        let _ = self
+            .mem_used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(bytes))
+            });
+    }
+
+    /// Charge `bytes` written to spill files against the disk budget.
+    /// Returns [`EngineError::ResourceExhausted`] when even the disk
+    /// budget is exhausted — the end of the escalation ladder.
+    pub fn charge_disk(&self, bytes: u64) -> Result<()> {
+        let now = self.disk_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if let Some(limit) = self.limits.disk_bytes {
+            if now > limit {
+                return Err(EngineError::ResourceExhausted {
+                    limit_bytes: limit,
+                    attempted_bytes: now,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// True when operators should fall back to disk instead of aborting on
+    /// memory-budget overflow: a memory budget is set and spilling was not
+    /// disabled with `disk_bytes = Some(0)`.
+    pub fn spill_enabled(&self) -> bool {
+        self.limits.mem_bytes.is_some() && self.limits.disk_bytes != Some(0)
+    }
+
+    /// The context's spill session, created on first use under the
+    /// configured base directory (OS temp directory by default).
+    pub fn spill(&self) -> Result<&SpillSession> {
+        let entry = self.spill.get_or_init(|| {
+            let base = self.spill_base.clone().unwrap_or_else(std::env::temp_dir);
+            SpillSession::create_in(&base).map_err(|e| e.to_string())
+        });
+        match entry {
+            Ok(session) => Ok(session),
+            Err(e) => Err(EngineError::exec(format!(
+                "could not create spill directory: {e}"
+            ))),
+        }
     }
 }
 
@@ -234,6 +394,55 @@ mod tests {
     }
 
     #[test]
+    fn try_charge_does_not_record_failed_attempts() {
+        let ctx = ExecContext::new(ExecLimits::none().with_mem_bytes(100));
+        assert!(ctx.try_charge(80));
+        assert!(!ctx.try_charge(40));
+        // The failed probe left the meter untouched, so this still fits.
+        assert!(ctx.try_charge(20));
+        assert_eq!(ctx.mem_charged(), 100);
+    }
+
+    #[test]
+    fn release_credits_memory_back() {
+        let ctx = ExecContext::new(ExecLimits::none().with_mem_bytes(100));
+        assert!(ctx.try_charge(90));
+        ctx.release(90);
+        assert!(ctx.try_charge(90), "released bytes must be reusable");
+        // Peak is a high-water mark, not the current meter.
+        assert_eq!(ctx.mem_charged(), 90);
+        ctx.release(1000); // saturates, no panic
+    }
+
+    #[test]
+    fn disk_budget_trips_with_typed_error() {
+        let ctx = ExecContext::new(ExecLimits::none().with_mem_bytes(100).with_disk_bytes(1000));
+        assert!(ctx.spill_enabled());
+        ctx.charge_disk(800).unwrap();
+        let err = ctx.charge_disk(800).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::ResourceExhausted {
+                    limit_bytes: 1000,
+                    attempted_bytes: 1600,
+                }
+            ),
+            "{err:?}"
+        );
+        assert_eq!(ctx.disk_charged(), 1600);
+    }
+
+    #[test]
+    fn zero_disk_budget_disables_spilling() {
+        let ctx = ExecContext::new(ExecLimits::none().with_mem_bytes(100).with_disk_bytes(0));
+        assert!(!ctx.spill_enabled());
+        // No memory budget at all -> nothing to spill for either.
+        let ctx = ExecContext::new(ExecLimits::none().with_disk_bytes(1 << 20));
+        assert!(!ctx.spill_enabled());
+    }
+
+    #[test]
     fn zero_timeout_trips_immediately() {
         let ctx = ExecContext::new(ExecLimits::none().with_timeout(Duration::ZERO));
         let err = ctx.tick().unwrap_err();
@@ -248,5 +457,19 @@ mod tests {
         token.cancel();
         assert_eq!(ctx.tick().unwrap_err(), EngineError::Cancelled);
         assert!(ctx.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // real file I/O
+    fn spill_session_is_lazy_and_cleaned_up() {
+        let base = std::env::temp_dir().join(format!("conquer_ctx_spill_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let ctx = ExecContext::new(ExecLimits::none().with_mem_bytes(1)).with_spill_base(&base);
+        assert!(!base.exists(), "no spill dir before first use");
+        let dir = ctx.spill().unwrap().dir().to_path_buf();
+        assert!(dir.starts_with(&base) && dir.exists());
+        drop(ctx);
+        assert!(!dir.exists(), "spill dir removed when the context drops");
+        std::fs::remove_dir_all(&base).ok();
     }
 }

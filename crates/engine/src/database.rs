@@ -35,14 +35,28 @@ pub enum ExecOutcome {
 /// An in-memory SQL database: a [`Catalog`] plus the parse→bind→plan→execute
 /// pipeline.
 ///
-/// Queries run under the database's default [`ExecLimits`] (none, unless
-/// configured with [`Database::set_limits`]); individual prepared
-/// statements can override them (see
-/// [`Statement::set_limits`](crate::Statement::set_limits)).
-#[derive(Debug, Clone, Default)]
+/// Queries run under the database's default [`ExecLimits`] (taken from the
+/// environment via [`ExecLimits::from_env`], so unlimited unless the
+/// `CONQUER_*` budget variables are set or the limits are tightened with
+/// [`Database::set_limits`]); individual prepared statements can override
+/// them (see [`Statement::set_limits`](crate::Statement::set_limits)).
+/// Queries that exceed their memory budget spill to checksummed temp files
+/// under [`Database::spill_dir`] (the OS temp directory by default).
+#[derive(Debug, Clone)]
 pub struct Database {
     catalog: Catalog,
     limits: ExecLimits,
+    spill_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            catalog: Catalog::default(),
+            limits: ExecLimits::from_env(),
+            spill_dir: None,
+        }
+    }
 }
 
 impl Database {
@@ -55,7 +69,8 @@ impl Database {
     pub fn from_catalog(catalog: Catalog) -> Self {
         Database {
             catalog,
-            limits: ExecLimits::none(),
+            limits: ExecLimits::from_env(),
+            spill_dir: None,
         }
     }
 
@@ -69,6 +84,34 @@ impl Database {
     /// The database-wide default resource limits.
     pub fn limits(&self) -> &ExecLimits {
         &self.limits
+    }
+
+    /// Set the directory under which queries create their per-query spill
+    /// directories when they exceed the memory budget. Defaults to the OS
+    /// temp directory; [`Database::load_from_dir`] points it at the
+    /// persistence directory so startup recovery
+    /// ([`conquer_storage::load_catalog_recover`]) can collect spill
+    /// directories orphaned by a crash.
+    pub fn set_spill_dir(&mut self, dir: impl Into<std::path::PathBuf>) {
+        self.spill_dir = Some(dir.into());
+    }
+
+    /// The configured spill base directory, if any.
+    pub fn spill_dir(&self) -> Option<&std::path::Path> {
+        self.spill_dir.as_deref()
+    }
+
+    /// An [`ExecContext`] enforcing `limits`, with this database's spill
+    /// directory applied. This is what queries run under internally;
+    /// build one yourself to share its
+    /// [`CancelToken`](crate::CancelToken) with another thread and pass
+    /// it to [`Statement::query_with`](crate::Statement::query_with).
+    pub fn exec_context(&self, limits: ExecLimits) -> ExecContext {
+        let ctx = ExecContext::new(limits);
+        match &self.spill_dir {
+            Some(dir) => ctx.with_spill_base(dir.clone()),
+            None => ctx,
+        }
     }
 
     /// Read access to the catalog.
@@ -121,8 +164,12 @@ impl Database {
     }
 
     /// Load a database previously saved with [`Database::save_to_dir`].
+    /// The directory also becomes the database's spill base (see
+    /// [`Database::set_spill_dir`]).
     pub fn load_from_dir(dir: &std::path::Path) -> Result<Self> {
-        Ok(Database::from_catalog(conquer_storage::load_catalog(dir)?))
+        let mut db = Database::from_catalog(conquer_storage::load_catalog(dir)?);
+        db.set_spill_dir(dir);
+        Ok(db)
     }
 
     /// Pre-build a hash index on `table.column`. Joins whose build side is
@@ -139,7 +186,7 @@ impl Database {
     /// the prepared-statement API).
     pub(crate) fn run_select(&self, stmt: &SelectStatement) -> Result<QueryResult> {
         let plan = self.plan(stmt)?;
-        execute_plan(&self.catalog, &plan, &ExecContext::new(self.limits))
+        execute_plan(&self.catalog, &plan, &self.exec_context(self.limits))
     }
 
     /// Produce (but do not run) the plan for a `SELECT`.
@@ -193,7 +240,7 @@ impl Database {
     pub fn explain_select(&self, stmt: &SelectStatement, analyze: bool) -> Result<QueryResult> {
         let plan = self.plan(stmt)?;
         let text = if analyze {
-            let result = execute_plan(&self.catalog, &plan, &ExecContext::new(self.limits))?;
+            let result = execute_plan(&self.catalog, &plan, &self.exec_context(self.limits))?;
             result
                 .stats()
                 .map(|s| s.render())

@@ -17,10 +17,14 @@ pub enum EngineError {
     Bind(String),
     /// Runtime evaluation failure (division by zero, overflow, bad types).
     Exec(String),
-    /// The query tried to materialize more state (hash tables, sort
-    /// buffers, result rows) than its configured memory budget allows.
+    /// The query ran out of budgeted resources: it tried to materialize
+    /// more state (hash tables, sort buffers, result rows) than its memory
+    /// budget allows and could not (or was not allowed to) spill the
+    /// excess to disk — either spilling is disabled, the operator has no
+    /// external-memory strategy, or the spill-disk budget is exhausted
+    /// too.
     ResourceExhausted {
-        /// The configured budget, in bytes.
+        /// The budget that was exceeded (memory or spill-disk), in bytes.
         limit_bytes: u64,
         /// Bytes the query would have held after the rejected charge.
         attempted_bytes: u64,
@@ -52,8 +56,8 @@ impl fmt::Display for EngineError {
                 attempted_bytes,
             } => write!(
                 f,
-                "query exceeded its memory budget: needed {attempted_bytes} bytes \
-                 of materialized state, limit is {limit_bytes} bytes"
+                "query exhausted its resource budget: needed {attempted_bytes} bytes \
+                 of materialized or spilled state, limit is {limit_bytes} bytes"
             ),
             EngineError::Timeout { limit } => {
                 write!(f, "query exceeded its time limit of {limit:?}")

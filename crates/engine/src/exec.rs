@@ -18,12 +18,36 @@
 //! buffers, DISTINCT sets, the final result buffer) charges its bytes
 //! against the context's memory budget. A tripped guard aborts the query
 //! with a typed error; nothing here panics on malformed operator state.
+//!
+//! Under memory pressure the blocking operators degrade to
+//! *external-memory* algorithms instead of aborting (the budget → spill →
+//! `ResourceExhausted` escalation ladder):
+//!
+//! * **hash join** becomes a grace hash join — both inputs are
+//!   hash-partitioned into checksummed spill files
+//!   ([`conquer_storage::spill`]) and each partition pair is joined in
+//!   memory, recursing with a different hash on partitions that still
+//!   don't fit;
+//! * **hash aggregation** spills serialized group state (keys +
+//!   mergeable accumulator states) to partitions and re-aggregates them
+//!   one partition at a time;
+//! * **sort** becomes an external merge sort: sorted runs on disk, one
+//!   k-way merge pass.
+//!
+//! Spilling engages only when [`ExecContext::try_charge`] fails — under
+//! the budget, plans and performance are unchanged — and requires a
+//! configured memory budget (spilling can be disabled with a zero disk
+//! budget, restoring the strict-abort behavior). Operators without an
+//! external strategy (cross join, DISTINCT, the result buffer) still
+//! charge the memory budget hard. Spill loops run for a long time
+//! without crossing a batch boundary, so they tick the context's
+//! cancellation/deadline guards every [`SPILL_TICK_ROWS`] rows.
 
-use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use conquer_sql::AggFunc;
+use conquer_storage::spill::{SpillFile, SpillReader, SpillWriter};
 use conquer_storage::{Catalog, HashIndex, Row, Table, Value};
 
 use crate::binder::{AggCall, GroupSpec, OrderKey, OutputItem};
@@ -39,6 +63,23 @@ use crate::Result;
 /// batches when one probe batch matches many build rows; the bound is a
 /// target, not an invariant.
 pub const BATCH_SIZE: usize = 1024;
+
+/// Fan-out of one spill partitioning pass (grace hash join, partitioned
+/// re-aggregation).
+const SPILL_PARTITIONS: usize = 16;
+
+/// Maximum partitioning passes over one operator's data before the
+/// executor stops recursing and charges the memory budget hard (the end
+/// of the budget → spill → `ResourceExhausted` ladder). With 16-way
+/// partitioning this bounds the data reduction at 16⁵ ≈ 10⁶×; a
+/// partition still oversized after that is pathological key skew (one
+/// giant duplicate group) that re-partitioning cannot split.
+const MAX_SPILL_PASSES: u32 = 5;
+
+/// Rows between cooperative cancellation/deadline checks inside spill
+/// partition and merge loops, which stream arbitrarily many rows without
+/// crossing a batch boundary. Bounds cancellation latency while spilling.
+const SPILL_TICK_ROWS: u32 = 128;
 
 type Batch = Vec<Row>;
 
@@ -72,6 +113,8 @@ pub fn execute_plan(catalog: &Catalog, plan: &Plan, ctx: &ExecContext) -> Result
         total_time,
         mem_budget: ctx.limits().mem_bytes,
         mem_charged: ctx.mem_charged(),
+        disk_budget: ctx.limits().disk_bytes,
+        disk_charged: ctx.disk_charged(),
         timeout: ctx.limits().timeout,
     };
 
@@ -112,7 +155,7 @@ fn build_pipeline<'a>(catalog: &'a Catalog, plan: &'a Plan) -> Result<OpNode<'a>
                 child: Box::new(node),
                 group,
                 offsets: offsets.clone(),
-                drained: None,
+                state: AggState::Init,
             },
         );
         // Aggregate output is a single slot row: [keys…, agg values…].
@@ -157,7 +200,7 @@ fn build_pipeline<'a>(catalog: &'a Catalog, plan: &'a Plan) -> Result<OpNode<'a>
                 child: Box::new(node),
                 descs: plan.order_by.iter().map(|o| o.desc).collect(),
                 n_out: plan.output.len(),
-                drained: None,
+                state: SortState::Fill,
             },
         );
     }
@@ -276,7 +319,7 @@ fn build_join<'a>(
                         probe_offsets,
                         build_offsets,
                         build_left,
-                        table: None,
+                        state: JoinState::Init,
                     },
                 );
                 (op, lest.max(rest))
@@ -373,6 +416,9 @@ struct Metrics {
     batches: u64,
     time: Duration,
     peak_mem: u64,
+    spill_bytes: u64,
+    spill_partitions: u64,
+    spill_passes: u64,
 }
 
 /// One physical operator plus its instrumentation.
@@ -407,7 +453,7 @@ enum OpKind<'a> {
         build_offsets: Offsets,
         /// True when the plan's *left* input is the build side.
         build_left: bool,
-        table: Option<HashMap<Vec<Value>, Vec<Row>>>,
+        state: JoinState,
     },
     /// Streaming probe of a pre-built storage-level hash index.
     IndexJoin {
@@ -429,7 +475,7 @@ enum OpKind<'a> {
         child: Box<OpNode<'a>>,
         group: &'a GroupSpec,
         offsets: Offsets,
-        drained: Option<std::vec::IntoIter<Row>>,
+        state: AggState,
     },
     /// Compute output expressions, appending ORDER BY key columns for a
     /// downstream [`OpKind::Sort`] to consume.
@@ -451,13 +497,148 @@ enum OpKind<'a> {
         child: Box<OpNode<'a>>,
         descs: Vec<bool>,
         n_out: usize,
-        drained: Option<std::vec::IntoIter<Row>>,
+        state: SortState,
     },
     /// Stop pulling from the child once `remaining` rows were emitted.
     Limit {
         child: Box<OpNode<'a>>,
         remaining: u64,
     },
+}
+
+// ---------------------------------------------------------------------------
+// External-memory operator state
+// ---------------------------------------------------------------------------
+
+/// Build-side state of a hash join: in memory while the budget lasts,
+/// grace-partitioned on disk afterwards.
+enum JoinState {
+    /// Build side not yet consumed.
+    Init,
+    /// Classic in-memory hash join. `mem` is the bytes charged for the
+    /// build table, released once the probe side is exhausted.
+    Mem {
+        map: HashMap<Vec<Value>, Vec<Row>>,
+        mem: u64,
+    },
+    /// Grace hash join over spilled partition pairs.
+    Spill(GraceJoin),
+}
+
+/// Pending and in-flight partition pairs of a grace hash join.
+struct GraceJoin {
+    /// `(build partition, probe partition, pass)` still to process.
+    queue: Vec<(SpillFile, SpillFile, u32)>,
+    /// The partition currently being probed (boxed: it carries a hash
+    /// table and two file handles, far bigger than the idle states).
+    current: Option<Box<PartProbe>>,
+}
+
+/// One grace-join partition's in-memory build table plus its streaming
+/// probe reader.
+struct PartProbe {
+    map: HashMap<Vec<Value>, Vec<Row>>,
+    /// Bytes charged for `map`, released when the partition is done.
+    mem: u64,
+    probe: SpillReader,
+    /// Keeps the probe run alive while it is read (deleted on drop).
+    _probe_file: SpillFile,
+}
+
+/// Materialization state of a hash aggregation.
+enum AggState {
+    /// Input not yet consumed.
+    Init,
+    /// All groups fit in memory; draining the finalized rows. The `u64`
+    /// is the still-charged bytes, released as rows are emitted.
+    Drain(std::vec::IntoIter<Row>, u64),
+    /// Partitioned re-aggregation over spilled group state.
+    Spill {
+        /// `(state-row partition, pass)` still to re-aggregate.
+        queue: Vec<(SpillFile, u32)>,
+        /// Finalized rows of the partition being drained, plus the bytes
+        /// to release once it is exhausted.
+        current: Option<(std::vec::IntoIter<Row>, u64)>,
+    },
+}
+
+/// Materialization state of a sort.
+enum SortState {
+    /// Input not yet consumed.
+    Fill,
+    /// In-memory sort; draining. The `u64` is the still-charged bytes,
+    /// released as rows are emitted.
+    Drain(std::vec::IntoIter<Row>, u64),
+    /// External merge sort: k-way merge over sorted runs on disk.
+    Merge(Vec<RunCursor>),
+}
+
+/// One sorted run being merged, with its next row buffered.
+struct RunCursor {
+    head: Option<Row>,
+    reader: SpillReader,
+    /// Keeps the run file alive while it is read (deleted on drop).
+    _file: SpillFile,
+}
+
+/// Counts rows inside spill loops, ticking the context's
+/// cancellation/deadline guards every [`SPILL_TICK_ROWS`] rows so a
+/// cancelled query aborts mid-pass instead of finishing it.
+struct Ticker(u32);
+
+impl Ticker {
+    fn new() -> Ticker {
+        Ticker(0)
+    }
+
+    fn row(&mut self, ctx: &ExecContext) -> Result<()> {
+        self.0 += 1;
+        if self.0 >= SPILL_TICK_ROWS {
+            self.0 = 0;
+            ctx.tick()?;
+        }
+        Ok(())
+    }
+}
+
+/// The spill partition a key belongs to. Deterministically seeded (not
+/// `RandomState`) so a re-read row lands in the same partition, and
+/// varied per pass so an oversized partition actually splits when
+/// recursed with `pass + 1`.
+fn partition_of(key: &[Value], pass: u32) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    (0x9e37_79b9_u64.wrapping_mul(pass as u64 + 1)).hash(&mut h);
+    key.hash(&mut h);
+    (h.finish() % SPILL_PARTITIONS as u64) as usize
+}
+
+/// One writer per spill partition, in the context's spill session.
+fn new_partition_writers(ctx: &ExecContext) -> Result<Vec<SpillWriter>> {
+    let session = ctx.spill()?;
+    (0..SPILL_PARTITIONS)
+        .map(|_| session.writer().map_err(EngineError::from))
+        .collect()
+}
+
+fn finish_writers(writers: Vec<SpillWriter>) -> Result<Vec<SpillFile>> {
+    writers
+        .into_iter()
+        .map(|w| w.finish().map_err(EngineError::from))
+        .collect()
+}
+
+/// Write one row to a spill file, charging the disk budget and the
+/// operator's spill counter.
+fn spill_row(ctx: &ExecContext, m: &mut Metrics, w: &mut SpillWriter, row: &[Value]) -> Result<()> {
+    let n = w.write_row(row)?;
+    ctx.charge_disk(n)?;
+    m.spill_bytes += n;
+    Ok(())
+}
+
+fn nonempty(files: &[SpillFile]) -> u64 {
+    files.iter().filter(|f| f.rows() > 0).count() as u64
 }
 
 impl<'a> OpNode<'a> {
@@ -517,6 +698,9 @@ impl<'a> OpNode<'a> {
             batches: self.m.batches,
             time: self.m.time,
             peak_mem: self.m.peak_mem,
+            spill_bytes: self.m.spill_bytes,
+            spill_partitions: self.m.spill_partitions,
+            spill_passes: self.m.spill_passes,
             children,
         }
     }
@@ -582,51 +766,64 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics, ctx: &ExecContext) -> Result<Opt
             probe_offsets,
             build_offsets,
             build_left,
-            table,
+            state,
         } => {
-            if table.is_none() {
-                let mut map: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
-                let mut mem = 0u64;
-                while let Some(batch) = pull(build, m, ctx)? {
-                    let mut batch_mem = 0u64;
-                    for row in batch {
-                        if let Some(key) = join_keys(&row, build_exprs, build_offsets)? {
-                            batch_mem += approx_row_bytes(&row)
-                                + key.iter().map(approx_value_bytes).sum::<u64>();
-                            map.entry(key).or_default().push(row);
-                        }
-                    }
-                    ctx.charge(batch_mem)?;
-                    mem += batch_mem;
-                }
-                m.peak_mem = mem;
-                *table = Some(map);
+            if matches!(state, JoinState::Init) {
+                *state = hj_prepare(
+                    probe,
+                    build,
+                    probe_exprs,
+                    build_exprs,
+                    probe_offsets,
+                    build_offsets,
+                    m,
+                    ctx,
+                )?;
             }
-            let map = table
-                .as_ref()
-                .ok_or_else(|| EngineError::internal("hash join probed before its build side"))?;
-            while let Some(batch) = pull(probe, m, ctx)? {
-                let mut out = Vec::new();
-                for prow in &batch {
-                    let Some(key) = join_keys(prow, probe_exprs, probe_offsets)? else {
-                        continue;
-                    };
-                    if let Some(matches) = map.get(&key) {
-                        for brow in matches {
-                            let (lrow, rrow) = if *build_left {
-                                (brow, prow)
-                            } else {
-                                (prow, brow)
+            match state {
+                JoinState::Init => Err(EngineError::internal(
+                    "hash join probed before its build side",
+                )),
+                JoinState::Mem { map, mem } => {
+                    while let Some(batch) = pull(probe, m, ctx)? {
+                        let mut out = Vec::new();
+                        for prow in &batch {
+                            let Some(key) = join_keys(prow, probe_exprs, probe_offsets)? else {
+                                continue;
                             };
-                            out.push(concat_rows(lrow, rrow));
+                            if let Some(matches) = map.get(&key) {
+                                for brow in matches {
+                                    let (lrow, rrow) = if *build_left {
+                                        (brow, prow)
+                                    } else {
+                                        (prow, brow)
+                                    };
+                                    out.push(concat_rows(lrow, rrow));
+                                }
+                            }
+                        }
+                        if !out.is_empty() {
+                            return Ok(Some(out));
                         }
                     }
+                    // Probe exhausted: the build table is dead weight now,
+                    // so hand its budget back before upstream operators
+                    // (or the result buffer) compete for it.
+                    ctx.release(std::mem::take(mem));
+                    *map = HashMap::new();
+                    Ok(None)
                 }
-                if !out.is_empty() {
-                    return Ok(Some(out));
-                }
+                JoinState::Spill(grace) => hj_spill_next(
+                    grace,
+                    probe_exprs,
+                    build_exprs,
+                    probe_offsets,
+                    build_offsets,
+                    *build_left,
+                    m,
+                    ctx,
+                ),
             }
-            Ok(None)
         }
 
         OpKind::IndexJoin {
@@ -692,6 +889,10 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics, ctx: &ExecContext) -> Result<Opt
                     return Ok(Some(out));
                 }
             }
+            // Probe exhausted: release the materialized build side.
+            let freed: u64 = rrows.iter().map(approx_row_bytes).sum();
+            ctx.release(freed);
+            *build_rows = Some(Vec::new());
             Ok(None)
         }
 
@@ -699,16 +900,48 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics, ctx: &ExecContext) -> Result<Opt
             child,
             group,
             offsets,
-            drained,
+            state,
         } => {
-            if drained.is_none() {
-                *drained = Some(aggregate_all(child, group, offsets, m, ctx)?.into_iter());
+            if matches!(state, AggState::Init) {
+                *state = aggregate_input(child, group, offsets, m, ctx)?;
             }
-            let iter = drained
-                .as_mut()
-                .ok_or_else(|| EngineError::internal("aggregate drained before aggregating"))?;
-            let out: Batch = iter.take(BATCH_SIZE).collect();
-            Ok((!out.is_empty()).then_some(out))
+            loop {
+                match state {
+                    AggState::Init => {
+                        return Err(EngineError::internal(
+                            "aggregate drained before aggregating",
+                        ))
+                    }
+                    AggState::Drain(iter, mem) => {
+                        let out: Batch = iter.take(BATCH_SIZE).collect();
+                        if out.is_empty() {
+                            ctx.release(std::mem::take(mem));
+                            return Ok(None);
+                        }
+                        release_emitted(ctx, &out, mem);
+                        return Ok(Some(out));
+                    }
+                    AggState::Spill { queue, current } => {
+                        if let Some((iter, mem)) = current {
+                            let out: Batch = iter.take(BATCH_SIZE).collect();
+                            if out.is_empty() {
+                                ctx.release(*mem);
+                                *current = None;
+                                continue;
+                            }
+                            release_emitted(ctx, &out, mem);
+                            return Ok(Some(out));
+                        }
+                        let Some((file, pass)) = queue.pop() else {
+                            return Ok(None);
+                        };
+                        match agg_merge_partition(file, pass, group, m, ctx)? {
+                            AggMerge::Done(rows, mem) => *current = Some((rows.into_iter(), mem)),
+                            AggMerge::Repartitioned(files) => queue.extend(files),
+                        }
+                    }
+                }
+            }
         }
 
         OpKind::Project {
@@ -755,6 +988,9 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics, ctx: &ExecContext) -> Result<Opt
                     return Ok(Some(out));
                 }
             }
+            // Input exhausted: the dedup table is no longer needed.
+            ctx.release(std::mem::take(mem));
+            *seen = HashSet::new();
             Ok(None)
         }
 
@@ -762,38 +998,24 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics, ctx: &ExecContext) -> Result<Opt
             child,
             descs,
             n_out,
-            drained,
+            state,
         } => {
-            if drained.is_none() {
-                let mut rows = Vec::new();
-                while let Some(batch) = pull(child, m, ctx)? {
-                    ctx.charge(batch.iter().map(approx_row_bytes).sum())?;
-                    rows.extend(batch);
-                }
-                m.peak_mem = rows.iter().map(approx_row_bytes).sum();
-                let n_out = *n_out;
-                // Stable sort on the trailing key columns, so ties keep
-                // input order.
-                rows.sort_by(|a, b| {
-                    for ((x, y), desc) in a[n_out..].iter().zip(&b[n_out..]).zip(descs.iter()) {
-                        let ord = x.cmp(y);
-                        let ord = if *desc { ord.reverse() } else { ord };
-                        if ord != std::cmp::Ordering::Equal {
-                            return ord;
-                        }
-                    }
-                    std::cmp::Ordering::Equal
-                });
-                for row in &mut rows {
-                    row.truncate(n_out);
-                }
-                *drained = Some(rows.into_iter());
+            if matches!(state, SortState::Fill) {
+                *state = sort_input(child, descs, *n_out, m, ctx)?;
             }
-            let iter = drained
-                .as_mut()
-                .ok_or_else(|| EngineError::internal("sort drained before sorting"))?;
-            let out: Batch = iter.take(BATCH_SIZE).collect();
-            Ok((!out.is_empty()).then_some(out))
+            match state {
+                SortState::Fill => Err(EngineError::internal("sort drained before sorting")),
+                SortState::Drain(iter, mem) => {
+                    let out: Batch = iter.take(BATCH_SIZE).collect();
+                    if out.is_empty() {
+                        ctx.release(std::mem::take(mem));
+                        return Ok(None);
+                    }
+                    release_emitted(ctx, &out, mem);
+                    Ok(Some(out))
+                }
+                SortState::Merge(cursors) => merge_runs(cursors, descs, *n_out, ctx),
+            }
         }
 
         OpKind::Limit { child, remaining } => {
@@ -812,6 +1034,16 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics, ctx: &ExecContext) -> Result<Opt
             Ok(None)
         }
     }
+}
+
+/// Release the budget held for rows that just left a blocking operator,
+/// capped at whatever the operator still has charged (`mem`). Emitted
+/// rows may be accounted to a downstream operator or the result buffer
+/// next, so keeping them charged here would double-bill the budget.
+fn release_emitted(ctx: &ExecContext, out: &[Row], mem: &mut u64) {
+    let freed = out.iter().map(approx_row_bytes).sum::<u64>().min(*mem);
+    ctx.release(freed);
+    *mem -= freed;
 }
 
 fn concat_rows(l: &Row, r: &Row) -> Row {
@@ -847,21 +1079,442 @@ fn normalize_key(v: Value) -> Value {
 }
 
 // ---------------------------------------------------------------------------
+// Grace hash join
+// ---------------------------------------------------------------------------
+
+/// Consume the build side of a hash join. Stays in memory while the
+/// budget lasts; past it, grace-partitions *both* inputs to disk and
+/// returns the partition-pair queue instead.
+#[allow(clippy::too_many_arguments)]
+fn hj_prepare<'a>(
+    probe: &mut OpNode<'a>,
+    build: &mut OpNode<'a>,
+    probe_exprs: &[&BoundExpr],
+    build_exprs: &[&BoundExpr],
+    probe_offsets: &Offsets,
+    build_offsets: &Offsets,
+    m: &mut Metrics,
+    ctx: &ExecContext,
+) -> Result<JoinState> {
+    let mut map: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+    let mut mem = 0u64;
+    let mut writers: Option<Vec<SpillWriter>> = None;
+    let mut ticker = Ticker::new();
+    while let Some(batch) = pull(build, m, ctx)? {
+        if writers.is_none() && !ctx.spill_enabled() {
+            // No spill fallback configured: charge the whole batch hard,
+            // preserving the strict-abort behavior.
+            let mut batch_mem = 0u64;
+            for row in batch {
+                if let Some(key) = join_keys(&row, build_exprs, build_offsets)? {
+                    batch_mem +=
+                        approx_row_bytes(&row) + key.iter().map(approx_value_bytes).sum::<u64>();
+                    map.entry(key).or_default().push(row);
+                }
+            }
+            ctx.charge(batch_mem)?;
+            mem += batch_mem;
+            continue;
+        }
+        for row in batch {
+            let Some(key) = join_keys(&row, build_exprs, build_offsets)? else {
+                continue;
+            };
+            if let Some(ws) = &mut writers {
+                ticker.row(ctx)?;
+                spill_row(ctx, m, &mut ws[partition_of(&key, 0)], &row)?;
+                continue;
+            }
+            let bytes = approx_row_bytes(&row) + key.iter().map(approx_value_bytes).sum::<u64>();
+            if ctx.try_charge(bytes) {
+                mem += bytes;
+                map.entry(key).or_default().push(row);
+                continue;
+            }
+            // Budget full: switch to grace mode — partition what we have,
+            // release the memory, spill everything still to come.
+            let mut ws = new_partition_writers(ctx)?;
+            m.spill_passes += 1;
+            for (k, rows) in map.drain() {
+                let p = partition_of(&k, 0);
+                for r in rows {
+                    ticker.row(ctx)?;
+                    spill_row(ctx, m, &mut ws[p], &r)?;
+                }
+            }
+            m.peak_mem = m.peak_mem.max(mem);
+            ctx.release(mem);
+            mem = 0;
+            spill_row(ctx, m, &mut ws[partition_of(&key, 0)], &row)?;
+            writers = Some(ws);
+        }
+    }
+    m.peak_mem = m.peak_mem.max(mem);
+    let Some(build_ws) = writers else {
+        return Ok(JoinState::Mem { map, mem });
+    };
+    // Partition the probe side with the same hash. NULL keys can never
+    // match, so they are dropped here.
+    let mut probe_ws = new_partition_writers(ctx)?;
+    while let Some(batch) = pull(probe, m, ctx)? {
+        for row in batch {
+            ticker.row(ctx)?;
+            let Some(key) = join_keys(&row, probe_exprs, probe_offsets)? else {
+                continue;
+            };
+            spill_row(ctx, m, &mut probe_ws[partition_of(&key, 0)], &row)?;
+        }
+    }
+    let build_files = finish_writers(build_ws)?;
+    let probe_files = finish_writers(probe_ws)?;
+    m.spill_partitions += nonempty(&build_files);
+    let queue = build_files
+        .into_iter()
+        .zip(probe_files)
+        .filter(|(b, p)| b.rows() > 0 && p.rows() > 0)
+        .map(|(b, p)| (b, p, 0))
+        .collect();
+    Ok(JoinState::Spill(GraceJoin {
+        queue,
+        current: None,
+    }))
+}
+
+/// Advance a grace hash join by up to one batch: stream matches out of
+/// the current partition, loading (and, when oversized, re-partitioning)
+/// queued partition pairs as needed.
+#[allow(clippy::too_many_arguments)]
+fn hj_spill_next(
+    grace: &mut GraceJoin,
+    probe_exprs: &[&BoundExpr],
+    build_exprs: &[&BoundExpr],
+    probe_offsets: &Offsets,
+    build_offsets: &Offsets,
+    build_left: bool,
+    m: &mut Metrics,
+    ctx: &ExecContext,
+) -> Result<Option<Batch>> {
+    let mut ticker = Ticker::new();
+    loop {
+        if let Some(part) = &mut grace.current {
+            let mut out = Vec::new();
+            loop {
+                if out.len() >= BATCH_SIZE {
+                    return Ok(Some(out));
+                }
+                ticker.row(ctx)?;
+                let Some(prow) = part.probe.next_row()? else {
+                    ctx.release(part.mem);
+                    grace.current = None;
+                    break;
+                };
+                let Some(key) = join_keys(&prow, probe_exprs, probe_offsets)? else {
+                    continue;
+                };
+                if let Some(matches) = part.map.get(&key) {
+                    for brow in matches {
+                        let (lrow, rrow) = if build_left {
+                            (brow, &prow)
+                        } else {
+                            (&prow, brow)
+                        };
+                        out.push(concat_rows(lrow, rrow));
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+            continue;
+        }
+        let Some((bfile, pfile, pass)) = grace.queue.pop() else {
+            return Ok(None);
+        };
+        match hj_load_partition(
+            bfile,
+            pfile,
+            pass,
+            probe_exprs,
+            build_exprs,
+            probe_offsets,
+            build_offsets,
+            m,
+            ctx,
+        )? {
+            Loaded::Table(part) => grace.current = Some(Box::new(part)),
+            Loaded::Repartitioned(pairs) => grace.queue.extend(pairs),
+        }
+    }
+}
+
+/// Result of loading one grace-join build partition.
+enum Loaded {
+    /// Partition fits: hash table built, ready to stream its probe side.
+    Table(PartProbe),
+    /// Partition was oversized and was split into sub-partition pairs
+    /// with the next pass's hash.
+    Repartitioned(Vec<(SpillFile, SpillFile, u32)>),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hj_load_partition(
+    bfile: SpillFile,
+    pfile: SpillFile,
+    pass: u32,
+    probe_exprs: &[&BoundExpr],
+    build_exprs: &[&BoundExpr],
+    probe_offsets: &Offsets,
+    build_offsets: &Offsets,
+    m: &mut Metrics,
+    ctx: &ExecContext,
+) -> Result<Loaded> {
+    let mut ticker = Ticker::new();
+    let mut map: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+    let mut mem = 0u64;
+    let mut reader = bfile.reader()?;
+    while let Some(row) = reader.next_row()? {
+        ticker.row(ctx)?;
+        let Some(key) = join_keys(&row, build_exprs, build_offsets)? else {
+            continue;
+        };
+        let bytes = approx_row_bytes(&row) + key.iter().map(approx_value_bytes).sum::<u64>();
+        let fits = ctx.try_charge(bytes);
+        if fits || pass + 1 >= MAX_SPILL_PASSES {
+            if !fits {
+                // End of the ladder: charge hard, which either fits (the
+                // budget freed up) or aborts with ResourceExhausted.
+                ctx.charge(bytes)?;
+            }
+            mem += bytes;
+            map.entry(key).or_default().push(row);
+            continue;
+        }
+        // Oversized partition: split build + probe with the next pass's
+        // hash and queue the sub-pairs.
+        let next = pass + 1;
+        m.spill_passes += 1;
+        let mut bws = new_partition_writers(ctx)?;
+        for (k, rows) in map.drain() {
+            let p = partition_of(&k, next);
+            for r in rows {
+                ticker.row(ctx)?;
+                spill_row(ctx, m, &mut bws[p], &r)?;
+            }
+        }
+        m.peak_mem = m.peak_mem.max(mem);
+        ctx.release(mem);
+        spill_row(ctx, m, &mut bws[partition_of(&key, next)], &row)?;
+        while let Some(r) = reader.next_row()? {
+            ticker.row(ctx)?;
+            let Some(k) = join_keys(&r, build_exprs, build_offsets)? else {
+                continue;
+            };
+            spill_row(ctx, m, &mut bws[partition_of(&k, next)], &r)?;
+        }
+        let mut pws = new_partition_writers(ctx)?;
+        let mut preader = pfile.reader()?;
+        while let Some(r) = preader.next_row()? {
+            ticker.row(ctx)?;
+            let Some(k) = join_keys(&r, probe_exprs, probe_offsets)? else {
+                continue;
+            };
+            spill_row(ctx, m, &mut pws[partition_of(&k, next)], &r)?;
+        }
+        let bfiles = finish_writers(bws)?;
+        let pfiles = finish_writers(pws)?;
+        m.spill_partitions += nonempty(&bfiles);
+        return Ok(Loaded::Repartitioned(
+            bfiles
+                .into_iter()
+                .zip(pfiles)
+                .filter(|(b, p)| b.rows() > 0 && p.rows() > 0)
+                .map(|(b, p)| (b, p, next))
+                .collect(),
+        ));
+    }
+    m.peak_mem = m.peak_mem.max(mem);
+    let probe = pfile.reader()?;
+    Ok(Loaded::Table(PartProbe {
+        map,
+        mem,
+        probe,
+        _probe_file: pfile,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// External merge sort
+// ---------------------------------------------------------------------------
+
+/// Compare two rows on the trailing sort-key columns (`row[n_out..]`).
+fn cmp_sort_keys(a: &Row, b: &Row, n_out: usize, descs: &[bool]) -> std::cmp::Ordering {
+    for ((x, y), desc) in a[n_out..].iter().zip(&b[n_out..]).zip(descs.iter()) {
+        let ord = x.cmp(y);
+        let ord = if *desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Consume the sort's input. In memory while the budget lasts; past it,
+/// flushes sorted runs to disk and returns a k-way merge state.
+fn sort_input(
+    child: &mut OpNode<'_>,
+    descs: &[bool],
+    n_out: usize,
+    m: &mut Metrics,
+    ctx: &ExecContext,
+) -> Result<SortState> {
+    let mut buf: Vec<Row> = Vec::new();
+    let mut mem = 0u64;
+    let mut runs: Vec<SpillFile> = Vec::new();
+    let mut ticker = Ticker::new();
+    while let Some(batch) = pull(child, m, ctx)? {
+        if !ctx.spill_enabled() {
+            let bytes: u64 = batch.iter().map(approx_row_bytes).sum();
+            ctx.charge(bytes)?;
+            mem += bytes;
+            m.peak_mem = m.peak_mem.max(mem);
+            buf.extend(batch);
+            continue;
+        }
+        for row in batch {
+            let bytes = approx_row_bytes(&row);
+            if !ctx.try_charge(bytes) {
+                // Flush the buffer as one sorted run, then retry; a
+                // single row bigger than the whole budget still charges
+                // hard.
+                if !buf.is_empty() {
+                    runs.push(flush_run(&mut buf, descs, n_out, m, ctx, &mut ticker)?);
+                    ctx.release(mem);
+                    mem = 0;
+                }
+                if !ctx.try_charge(bytes) {
+                    ctx.charge(bytes)?;
+                }
+            }
+            mem += bytes;
+            m.peak_mem = m.peak_mem.max(mem);
+            buf.push(row);
+        }
+    }
+    if runs.is_empty() {
+        // Stable sort on the trailing key columns, so ties keep input
+        // order.
+        buf.sort_by(|a, b| cmp_sort_keys(a, b, n_out, descs));
+        for row in &mut buf {
+            row.truncate(n_out);
+        }
+        return Ok(SortState::Drain(buf.into_iter(), mem));
+    }
+    if !buf.is_empty() {
+        runs.push(flush_run(&mut buf, descs, n_out, m, ctx, &mut ticker)?);
+    }
+    ctx.release(mem);
+    m.spill_partitions = runs.len() as u64;
+    m.spill_passes = 1;
+    let mut cursors = Vec::with_capacity(runs.len());
+    for file in runs {
+        let mut reader = file.reader()?;
+        let head = reader.next_row()?;
+        cursors.push(RunCursor {
+            head,
+            reader,
+            _file: file,
+        });
+    }
+    Ok(SortState::Merge(cursors))
+}
+
+/// Stable-sort `buf` and write it out as one run. Rows keep their
+/// trailing key columns; the merge strips them.
+fn flush_run(
+    buf: &mut Vec<Row>,
+    descs: &[bool],
+    n_out: usize,
+    m: &mut Metrics,
+    ctx: &ExecContext,
+    ticker: &mut Ticker,
+) -> Result<SpillFile> {
+    buf.sort_by(|a, b| cmp_sort_keys(a, b, n_out, descs));
+    let mut w = ctx.spill()?.writer()?;
+    for row in buf.drain(..) {
+        ticker.row(ctx)?;
+        spill_row(ctx, m, &mut w, &row)?;
+    }
+    Ok(w.finish()?)
+}
+
+/// Emit up to one batch from a k-way merge over sorted runs. Ties pick
+/// the lowest run index: runs were flushed in input order, so the merge
+/// is as stable as the in-memory sort.
+fn merge_runs(
+    cursors: &mut [RunCursor],
+    descs: &[bool],
+    n_out: usize,
+    ctx: &ExecContext,
+) -> Result<Option<Batch>> {
+    let mut ticker = Ticker::new();
+    let mut out = Vec::new();
+    while out.len() < BATCH_SIZE {
+        ticker.row(ctx)?;
+        let mut best: Option<usize> = None;
+        for i in 0..cursors.len() {
+            let Some(head) = &cursors[i].head else {
+                continue;
+            };
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    let cur = cursors[b]
+                        .head
+                        .as_ref()
+                        .ok_or_else(|| EngineError::internal("sort merge lost a run head"))?;
+                    if cmp_sort_keys(head, cur, n_out, descs) == std::cmp::Ordering::Less {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let Some(b) = best else {
+            break;
+        };
+        let next = cursors[b].reader.next_row()?;
+        let Some(mut row) = std::mem::replace(&mut cursors[b].head, next) else {
+            break;
+        };
+        row.truncate(n_out);
+        out.push(row);
+    }
+    Ok((!out.is_empty()).then_some(out))
+}
+
+// ---------------------------------------------------------------------------
 // Aggregation
 // ---------------------------------------------------------------------------
 
-/// Drain `child` and aggregate every row, returning the finished group rows
-/// in first-seen order.
-fn aggregate_all(
+/// Drain `child` and aggregate every row. When everything fits in the
+/// budget, returns the finished group rows in first-seen order
+/// ([`AggState::Drain`] — the classic path). Past the budget, in-memory
+/// group state is serialized to hash partitions on disk and the returned
+/// [`AggState::Spill`] re-aggregates them one partition at a time.
+fn aggregate_input(
     child: &mut OpNode<'_>,
     group: &GroupSpec,
     offsets: &Offsets,
     m: &mut Metrics,
     ctx: &ExecContext,
-) -> Result<Vec<Row>> {
+) -> Result<AggState> {
     // Keys live only in the map (no duplicate clone); the `usize` remembers
     // first-seen order so output is deterministic.
     let mut index: HashMap<Vec<Value>, (usize, Vec<Accumulator>)> = HashMap::new();
+    let mut mem = 0u64;
+    let mut writers: Option<Vec<SpillWriter>> = None;
+    let mut ticker = Ticker::new();
 
     let fresh = || -> Vec<Accumulator> { group.aggs.iter().map(Accumulator::new).collect() };
     let group_bytes = |key: &[Value]| {
@@ -874,23 +1527,51 @@ fn aggregate_all(
     }
 
     while let Some(batch) = pull(child, m, ctx)? {
-        // Bytes of groups created by this batch; charged per batch so a
-        // key-explosion on skewed dirty data hits the budget before
-        // exhausting process memory.
+        // Bytes of groups created by this batch; without a spill fallback
+        // they are charged per batch so a key-explosion on skewed dirty
+        // data hits the budget before exhausting process memory.
         let mut batch_mem = 0u64;
         for row in &batch {
             let mut key = Vec::with_capacity(group.keys.len());
             for k in &group.keys {
                 key.push(k.eval(row, offsets)?);
             }
-            let next = index.len();
-            let accs = match index.entry(key) {
-                Entry::Occupied(e) => &mut e.into_mut().1,
-                Entry::Vacant(e) => {
-                    batch_mem += group_bytes(e.key());
-                    &mut e.insert((next, fresh())).1
+            if !index.contains_key(&key) {
+                let bytes = group_bytes(&key);
+                if !ctx.spill_enabled() {
+                    batch_mem += bytes;
+                } else if ctx.try_charge(bytes) {
+                    mem += bytes;
+                } else {
+                    // Budget full: move every in-memory group to disk as
+                    // serialized state and start over with an empty table
+                    // (partitions are re-merged afterwards).
+                    let ws = match &mut writers {
+                        Some(ws) => ws,
+                        None => {
+                            m.spill_passes += 1;
+                            writers.insert(new_partition_writers(ctx)?)
+                        }
+                    };
+                    m.peak_mem = m.peak_mem.max(mem);
+                    for (k, (_, accs)) in index.drain() {
+                        ticker.row(ctx)?;
+                        let p = partition_of(&k, 0);
+                        spill_row(ctx, m, &mut ws[p], &agg_state_row(k, accs))?;
+                    }
+                    ctx.release(mem);
+                    mem = 0;
+                    if ctx.try_charge(bytes) {
+                        mem += bytes;
+                    } else {
+                        // A single group over the whole budget.
+                        ctx.charge(bytes)?;
+                        mem += bytes;
+                    }
                 }
-            };
+            }
+            let next = index.len();
+            let (_, accs) = index.entry(key).or_insert_with(|| (next, fresh()));
             for (acc, call) in accs.iter_mut().zip(&group.aggs) {
                 let v = match &call.arg {
                     None => Value::Null, // COUNT(*) ignores the value
@@ -899,17 +1580,49 @@ fn aggregate_all(
                 acc.update(v)?;
             }
         }
-        ctx.charge(batch_mem)?;
+        if !ctx.spill_enabled() {
+            ctx.charge(batch_mem)?;
+            mem += batch_mem;
+        }
     }
 
-    m.peak_mem = index
-        .iter()
-        .map(|(key, (_, accs))| {
-            key.iter().map(approx_value_bytes).sum::<u64>()
-                + (accs.len() * std::mem::size_of::<Accumulator>()) as u64
-        })
-        .sum();
+    if let Some(mut ws) = writers {
+        m.peak_mem = m.peak_mem.max(mem);
+        for (k, (_, accs)) in index.drain() {
+            ticker.row(ctx)?;
+            let p = partition_of(&k, 0);
+            spill_row(ctx, m, &mut ws[p], &agg_state_row(k, accs))?;
+        }
+        ctx.release(mem);
+        let files = finish_writers(ws)?;
+        m.spill_partitions += nonempty(&files);
+        let queue = files
+            .into_iter()
+            .filter(|f| f.rows() > 0)
+            .map(|f| (f, 0))
+            .collect();
+        return Ok(AggState::Spill {
+            queue,
+            current: None,
+        });
+    }
 
+    m.peak_mem = m.peak_mem.max(
+        index
+            .iter()
+            .map(|(key, (_, accs))| {
+                key.iter().map(approx_value_bytes).sum::<u64>()
+                    + (accs.len() * std::mem::size_of::<Accumulator>()) as u64
+            })
+            .sum(),
+    );
+
+    Ok(AggState::Drain(finalize_groups(index)?.into_iter(), mem))
+}
+
+/// Finalize an in-memory group table into output rows in first-seen
+/// order.
+fn finalize_groups(index: HashMap<Vec<Value>, (usize, Vec<Accumulator>)>) -> Result<Vec<Row>> {
     let mut groups: Vec<(Vec<Value>, usize, Vec<Accumulator>)> = index
         .into_iter()
         .map(|(k, (ord, accs))| (k, ord, accs))
@@ -924,6 +1637,142 @@ fn aggregate_all(
         out.push(row);
     }
     Ok(out)
+}
+
+/// Serialize one group (key + accumulator states) as a spill row.
+fn agg_state_row(key: Vec<Value>, accs: Vec<Accumulator>) -> Row {
+    let mut row = key;
+    for acc in accs {
+        acc.state_values(&mut row);
+    }
+    row
+}
+
+/// Decode the serialized accumulator states that follow the `calls.len()`
+/// key values in a spilled group-state row.
+fn decode_acc_states(vals: &[Value], calls: &[AggCall]) -> Result<Vec<Accumulator>> {
+    let mut out = Vec::with_capacity(calls.len());
+    let mut pos = 0;
+    for call in calls {
+        let rest = vals
+            .get(pos..)
+            .ok_or_else(|| EngineError::internal("spilled aggregate state row is too short"))?;
+        let (acc, used) = Accumulator::from_state(call, rest)?;
+        pos += used;
+        out.push(acc);
+    }
+    if pos != vals.len() {
+        return Err(EngineError::internal(
+            "trailing values in spilled aggregate state row",
+        ));
+    }
+    Ok(out)
+}
+
+/// Approximate heap footprint of decoded accumulator state (including
+/// DISTINCT set contents, which dominate for COUNT(DISTINCT)).
+fn acc_state_bytes(accs: &[Accumulator]) -> u64 {
+    accs.iter()
+        .map(|a| {
+            std::mem::size_of::<Accumulator>() as u64
+                + a.distinct
+                    .as_ref()
+                    .map_or(0, |s| s.iter().map(approx_value_bytes).sum::<u64>())
+        })
+        .sum()
+}
+
+/// Result of re-aggregating one spilled partition.
+enum AggMerge {
+    /// Groups fit: finalized output rows, plus the bytes to release once
+    /// they are drained.
+    Done(Vec<Row>, u64),
+    /// Partition was oversized and was split with the next pass's hash.
+    Repartitioned(Vec<(SpillFile, u32)>),
+}
+
+/// Re-aggregate one partition of spilled group state: state rows for the
+/// same key (from different flushes) are merged, then finalized. An
+/// oversized partition is re-partitioned with the next pass's hash
+/// instead.
+fn agg_merge_partition(
+    file: SpillFile,
+    pass: u32,
+    group: &GroupSpec,
+    m: &mut Metrics,
+    ctx: &ExecContext,
+) -> Result<AggMerge> {
+    let nk = group.keys.len();
+    let mut ticker = Ticker::new();
+    let mut index: HashMap<Vec<Value>, (usize, Vec<Accumulator>)> = HashMap::new();
+    let mut mem = 0u64;
+    let mut reader = file.reader()?;
+    while let Some(srow) = reader.next_row()? {
+        ticker.row(ctx)?;
+        if srow.len() < nk {
+            return Err(EngineError::internal(
+                "spilled aggregate state row is too short",
+            ));
+        }
+        let accs = decode_acc_states(&srow[nk..], &group.aggs)?;
+        let key = {
+            let mut k = srow;
+            k.truncate(nk);
+            k
+        };
+        if let Some((_, existing)) = index.get_mut(&key) {
+            for (e, a) in existing.iter_mut().zip(accs) {
+                e.merge(a)?;
+            }
+            continue;
+        }
+        let bytes = key.iter().map(approx_value_bytes).sum::<u64>() + acc_state_bytes(&accs);
+        let fits = ctx.try_charge(bytes);
+        if fits || pass + 1 >= MAX_SPILL_PASSES {
+            if !fits {
+                ctx.charge(bytes)?;
+            }
+            mem += bytes;
+            let next = index.len();
+            index.insert(key, (next, accs));
+            continue;
+        }
+        // Oversized partition: split everything (merged groups + the rest
+        // of the file) with the next pass's hash.
+        let nextp = pass + 1;
+        m.spill_passes += 1;
+        let mut ws = new_partition_writers(ctx)?;
+        m.peak_mem = m.peak_mem.max(mem);
+        for (k, (_, a)) in index.drain() {
+            ticker.row(ctx)?;
+            let p = partition_of(&k, nextp);
+            spill_row(ctx, m, &mut ws[p], &agg_state_row(k, a))?;
+        }
+        ctx.release(mem);
+        let p = partition_of(&key, nextp);
+        spill_row(ctx, m, &mut ws[p], &agg_state_row(key, accs))?;
+        while let Some(r) = reader.next_row()? {
+            ticker.row(ctx)?;
+            if r.len() < nk {
+                return Err(EngineError::internal(
+                    "spilled aggregate state row is too short",
+                ));
+            }
+            let p = partition_of(&r[..nk], nextp);
+            spill_row(ctx, m, &mut ws[p], &r)?;
+        }
+        let files = finish_writers(ws)?;
+        m.spill_partitions += nonempty(&files);
+        return Ok(AggMerge::Repartitioned(
+            files
+                .into_iter()
+                .filter(|f| f.rows() > 0)
+                .map(|f| (f, nextp))
+                .collect(),
+        ));
+    }
+    m.peak_mem = m.peak_mem.max(mem);
+    Ok(AggMerge::Done(finalize_groups(index)?, mem))
 }
 
 /// Accumulator for one aggregate call within one group.
@@ -1029,6 +1878,125 @@ impl Accumulator {
             }
             AggFunc::Min | AggFunc::Max => self.minmax.unwrap_or(Value::Null),
         })
+    }
+
+    /// Number of fixed values in the serialized state layout, before any
+    /// DISTINCT values (see [`Accumulator::from_state`]).
+    const STATE_FIXED: usize = 7;
+
+    /// Append this accumulator's mergeable state to `out`. Layout:
+    /// `[count, sum_int, sum_float, saw_float, overflowed,
+    /// minmax-or-NULL, n_distinct, distinct values…]`, where
+    /// `n_distinct = -1` marks a non-DISTINCT call. `minmax` can use NULL
+    /// as its "absent" marker because [`Accumulator::update`] skips NULLs,
+    /// so a present minmax is never NULL.
+    fn state_values(self, out: &mut Vec<Value>) {
+        out.push(Value::Int(self.count));
+        out.push(Value::Int(self.sum_int));
+        out.push(Value::Float(self.sum_float));
+        out.push(Value::Bool(self.saw_float));
+        out.push(Value::Bool(self.overflowed));
+        out.push(self.minmax.unwrap_or(Value::Null));
+        match self.distinct {
+            None => out.push(Value::Int(-1)),
+            Some(seen) => {
+                out.push(Value::Int(seen.len() as i64));
+                out.extend(seen);
+            }
+        }
+    }
+
+    /// Rebuild an accumulator from state written by
+    /// [`Accumulator::state_values`]. Returns the accumulator and how many
+    /// values it consumed. DISTINCT state is rebuilt by replaying the set
+    /// through [`Accumulator::update`], which reconstructs the counts and
+    /// sums derived from it.
+    fn from_state(call: &AggCall, vals: &[Value]) -> Result<(Accumulator, usize)> {
+        fn int(v: Option<&Value>) -> Result<i64> {
+            match v {
+                Some(Value::Int(i)) => Ok(*i),
+                other => Err(EngineError::internal(format!(
+                    "corrupt aggregate spill state: expected Int, got {other:?}"
+                ))),
+            }
+        }
+        fn float(v: Option<&Value>) -> Result<f64> {
+            match v {
+                Some(Value::Float(f)) => Ok(*f),
+                other => Err(EngineError::internal(format!(
+                    "corrupt aggregate spill state: expected Float, got {other:?}"
+                ))),
+            }
+        }
+        fn boolean(v: Option<&Value>) -> Result<bool> {
+            match v {
+                Some(Value::Bool(b)) => Ok(*b),
+                other => Err(EngineError::internal(format!(
+                    "corrupt aggregate spill state: expected Bool, got {other:?}"
+                ))),
+            }
+        }
+
+        let mut acc = Accumulator::new(call);
+        let n_distinct = int(vals.get(Self::STATE_FIXED - 1))?;
+        if n_distinct >= 0 {
+            let end = Self::STATE_FIXED + n_distinct as usize;
+            let seen = vals.get(Self::STATE_FIXED..end).ok_or_else(|| {
+                EngineError::internal("corrupt aggregate spill state: truncated DISTINCT set")
+            })?;
+            for v in seen {
+                acc.update(v.clone())?;
+            }
+            return Ok((acc, end));
+        }
+        acc.count = int(vals.first())?;
+        acc.sum_int = int(vals.get(1))?;
+        acc.sum_float = float(vals.get(2))?;
+        acc.saw_float = boolean(vals.get(3))?;
+        acc.overflowed = boolean(vals.get(4))?;
+        acc.minmax = match vals.get(5) {
+            Some(Value::Null) => None,
+            Some(v) => Some(v.clone()),
+            None => {
+                return Err(EngineError::internal(
+                    "corrupt aggregate spill state: missing minmax",
+                ))
+            }
+        };
+        Ok((acc, Self::STATE_FIXED))
+    }
+
+    /// Fold another accumulator (same call, same group, different spill
+    /// flush) into this one.
+    fn merge(&mut self, other: Accumulator) -> Result<()> {
+        if let Some(theirs) = other.distinct {
+            // Replay through `update` so cross-flush duplicates are
+            // dropped by our own set.
+            for v in theirs {
+                self.update(v)?;
+            }
+            return Ok(());
+        }
+        self.count += other.count;
+        match self.sum_int.checked_add(other.sum_int) {
+            Some(s) => self.sum_int = s,
+            None => self.overflowed = true,
+        }
+        self.sum_float += other.sum_float;
+        self.saw_float |= other.saw_float;
+        self.overflowed |= other.overflowed;
+        if let Some(v) = other.minmax {
+            let keep = match (&self.minmax, self.func) {
+                (None, _) => true,
+                (Some(cur), AggFunc::Min) => v < *cur,
+                (Some(cur), AggFunc::Max) => v > *cur,
+                (Some(_), _) => false,
+            };
+            if keep {
+                self.minmax = Some(v);
+            }
+        }
+        Ok(())
     }
 }
 

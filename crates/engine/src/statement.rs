@@ -148,7 +148,7 @@ impl Statement {
     /// command (use [`Statement::run`]) or if a referenced table was
     /// dropped or altered since `prepare`.
     pub fn query(&self, db: &Database) -> Result<QueryResult> {
-        self.query_with(db, &ExecContext::new(self.effective_limits(db)))
+        self.query_with(db, &db.exec_context(self.effective_limits(db)))
     }
 
     /// Execute a prepared `SELECT` (or `EXPLAIN`) under a caller-supplied

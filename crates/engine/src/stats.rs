@@ -28,6 +28,14 @@ pub struct OpStats {
     pub time: Duration,
     /// Peak bytes of materialized state (0 for streaming operators).
     pub peak_mem: u64,
+    /// Bytes written to spill files (0 when the operator stayed in
+    /// memory).
+    pub spill_bytes: u64,
+    /// Non-empty spill partitions / sort runs this operator produced.
+    pub spill_partitions: u64,
+    /// Partitioning/merge passes over spilled data (>1 means an oversized
+    /// partition forced recursion).
+    pub spill_passes: u64,
     /// Child operators, build/outer side first.
     pub children: Vec<OpStats>,
 }
@@ -42,6 +50,16 @@ impl OpStats {
     /// Total materialized bytes in this subtree.
     pub fn total_mem(&self) -> u64 {
         self.peak_mem + self.children.iter().map(OpStats::total_mem).sum::<u64>()
+    }
+
+    /// Total spill-file bytes written in this subtree.
+    pub fn total_spilled(&self) -> u64 {
+        self.spill_bytes
+            + self
+                .children
+                .iter()
+                .map(OpStats::total_spilled)
+                .sum::<u64>()
     }
 
     fn render_into(&self, out: &mut String, depth: usize) {
@@ -60,6 +78,14 @@ impl OpStats {
         }
         if self.peak_mem > 0 {
             out.push_str(&format!(" mem={}", fmt_bytes(self.peak_mem)));
+        }
+        if self.spill_bytes > 0 {
+            out.push_str(&format!(
+                " spilled={} partitions={} passes={}",
+                fmt_bytes(self.spill_bytes),
+                self.spill_partitions,
+                self.spill_passes
+            ));
         }
         out.push_str(")\n");
         for child in &self.children {
@@ -88,10 +114,16 @@ pub struct ExecStats {
     pub total_time: Duration,
     /// The memory budget the query ran under, if one was configured.
     pub mem_budget: Option<u64>,
-    /// Total bytes of materialized state charged against the budget
-    /// (includes the final result buffer; monotone over the query's
-    /// lifetime — state is not credited back when operators drain).
+    /// High-water mark of materialized state charged against the budget
+    /// (includes the final result buffer; spilling operators release
+    /// state they move to disk, so this tracks the peak, not a running
+    /// total).
     pub mem_charged: u64,
+    /// The spill-disk budget the query ran under, if one was configured
+    /// (`Some(0)` means spilling was disabled).
+    pub disk_budget: Option<u64>,
+    /// Total bytes written to spill files across all operators.
+    pub disk_charged: u64,
     /// The wall-clock limit the query ran under, if one was configured.
     pub timeout: Option<Duration>,
 }
@@ -105,6 +137,8 @@ impl ExecStats {
             total_time,
             mem_budget: None,
             mem_charged: 0,
+            disk_budget: None,
+            disk_charged: 0,
             timeout: None,
         }
     }
@@ -118,18 +152,24 @@ impl ExecStats {
             fmt_duration(self.total_time),
             fmt_bytes(self.root.total_mem())
         ));
-        if self.mem_budget.is_some() || self.timeout.is_some() {
+        if self.mem_budget.is_some() || self.disk_budget.is_some() || self.timeout.is_some() {
             let mem = match self.mem_budget {
                 Some(b) => format!("mem={}", fmt_bytes(b)),
                 None => "mem=unlimited".to_string(),
+            };
+            let disk = match self.disk_budget {
+                Some(0) => "disk=off".to_string(),
+                Some(b) => format!("disk={}", fmt_bytes(b)),
+                None => "disk=unlimited".to_string(),
             };
             let time = match self.timeout {
                 Some(t) => format!("timeout={}", fmt_duration(t)),
                 None => "timeout=none".to_string(),
             };
             out.push_str(&format!(
-                "Resource limits: {mem}, {time}; charged {}\n",
-                fmt_bytes(self.mem_charged)
+                "Resource limits: {mem}, {disk}, {time}; charged {}, spilled {}\n",
+                fmt_bytes(self.mem_charged),
+                fmt_bytes(self.disk_charged)
             ));
         }
         out
@@ -198,8 +238,9 @@ mod tests {
                     batches: 1,
                     time: Duration::from_micros(900),
                     peak_mem: 2048,
-                    children: vec![],
+                    ..OpStats::default()
                 }],
+                ..OpStats::default()
             },
             Duration::from_micros(1600),
         );
@@ -222,5 +263,34 @@ mod tests {
         assert!(text.contains("Resource limits: mem=10.0MiB"), "{text}");
         assert!(text.contains("timeout=500.00ms"), "{text}");
         assert!(text.contains("charged 2.0KiB"), "{text}");
+        assert!(text.contains("disk=unlimited"), "{text}");
+        stats.disk_budget = Some(0);
+        assert!(stats.render().contains("disk=off"), "{}", stats.render());
+    }
+
+    #[test]
+    fn render_shows_spill_metrics_when_an_operator_spilled() {
+        let stats = ExecStats::ungoverned(
+            OpStats {
+                name: "HashJoin".into(),
+                rows_out: 5,
+                batches: 1,
+                peak_mem: 512,
+                spill_bytes: 3 * 1024 * 1024,
+                spill_partitions: 16,
+                spill_passes: 2,
+                ..OpStats::default()
+            },
+            Duration::from_micros(10),
+        );
+        let text = stats.render();
+        assert!(
+            text.contains("spilled=3.0MiB partitions=16 passes=2"),
+            "{text}"
+        );
+        assert_eq!(stats.root.total_spilled(), 3 * 1024 * 1024);
+        // Operators that never spilled stay silent.
+        let quiet = ExecStats::ungoverned(OpStats::default(), Duration::ZERO);
+        assert!(!quiet.render().contains("spilled"), "{}", quiet.render());
     }
 }

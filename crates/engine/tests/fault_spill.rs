@@ -1,0 +1,222 @@
+//! Fault injection in the spill path (requires `--features fault`): an
+//! injected I/O failure at any spill failpoint must surface as a typed
+//! error (never a panic or a wrong answer), the spill session must clean
+//! up after itself even on the error path, and whatever a simulated kill
+//! leaves behind must be collected — and reported — by startup recovery.
+//!
+//! The fault registry is process-global, so every test in this file takes
+//! `LOCK` first.
+#![cfg(feature = "fault")]
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use conquer_engine::{Database, EngineError, ExecLimits};
+use conquer_storage::spill::list_spill_dirs;
+use conquer_storage::{fault, load_catalog_recover};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    // A test that panicked while holding the lock already failed; don't
+    // let its poison cascade into unrelated tests.
+    match LOCK.get_or_init(Default::default).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+const SPILL_SQL: &str = "SELECT COUNT(*), SUM(a.val + b.val) \
+     FROM big a, big b WHERE a.id = b.id";
+
+const LIMITS_32K: ExecLimits = ExecLimits {
+    mem_bytes: Some(32 * 1024),
+    disk_bytes: None,
+    timeout: None,
+};
+
+fn tempbase(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("conquer_fault_spill_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn big_db(rows: usize, spill_base: &PathBuf) -> Database {
+    let mut db = Database::new();
+    db.set_limits(ExecLimits::none());
+    db.set_spill_dir(spill_base);
+    db.execute_script("CREATE TABLE big (id INTEGER, grp TEXT, val DOUBLE)")
+        .unwrap();
+    let mut values = Vec::new();
+    for i in 0..rows {
+        values.push(format!("({i}, 'group-{:05}', {}.25)", i % 97, i));
+        if values.len() == 500 {
+            db.execute_script(&format!("INSERT INTO big VALUES {}", values.join(", ")))
+                .unwrap();
+            values.clear();
+        }
+    }
+    if !values.is_empty() {
+        db.execute_script(&format!("INSERT INTO big VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    db
+}
+
+/// Run the spilling query under `db`, expecting an injected-fault error.
+fn expect_fault(db: &Database) -> EngineError {
+    let err = db
+        .prepare(SPILL_SQL)
+        .unwrap()
+        .with_limits(LIMITS_32K)
+        .query(db)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("injected fault"),
+        "expected the injected fault to surface, got: {err}"
+    );
+    err
+}
+
+#[test]
+fn kill_at_every_spill_write_leaves_no_orphans() {
+    let _g = lock();
+    let base = tempbase("write");
+    let db = big_db(3000, &base);
+
+    // Clean run: count how often the failpoint is hit (and pin down the
+    // right answer while we're at it).
+    fault::reset();
+    let reference = db
+        .prepare(SPILL_SQL)
+        .unwrap()
+        .with_limits(LIMITS_32K)
+        .query(&db)
+        .unwrap();
+    let hits = fault::hit_count("spill::write");
+    assert!(hits > 100, "query did not spill enough to be interesting");
+    assert!(list_spill_dirs(&base).is_empty(), "clean run left orphans");
+
+    // Kill the write at the first, last, and a spread of middle hits;
+    // every failure must be typed and must leave the base directory
+    // clean once the query (and its context) is gone.
+    for nth in [1, 2, hits / 3, hits / 2, hits - 1, hits] {
+        fault::reset();
+        fault::arm("spill::write", nth);
+        expect_fault(&db);
+        assert!(
+            list_spill_dirs(&base).is_empty(),
+            "write fault at hit {nth}/{hits} orphaned a spill dir"
+        );
+    }
+
+    // And the database still answers correctly afterwards.
+    fault::reset();
+    let again = db
+        .prepare(SPILL_SQL)
+        .unwrap()
+        .with_limits(LIMITS_32K)
+        .query(&db)
+        .unwrap();
+    assert_eq!(reference.rows, again.rows);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn kill_at_every_spill_read_leaves_no_orphans() {
+    let _g = lock();
+    let base = tempbase("read");
+    let db = big_db(3000, &base);
+    fault::reset();
+    db.prepare(SPILL_SQL)
+        .unwrap()
+        .with_limits(LIMITS_32K)
+        .query(&db)
+        .unwrap();
+    let hits = fault::hit_count("spill::read");
+    assert!(hits > 100, "query did not read back enough spilled rows");
+    for nth in [1, hits / 2, hits] {
+        fault::reset();
+        fault::arm("spill::read", nth);
+        expect_fault(&db);
+        assert!(
+            list_spill_dirs(&base).is_empty(),
+            "read fault at hit {nth}/{hits} orphaned a spill dir"
+        );
+    }
+    fault::reset();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn spill_dir_creation_failure_is_typed() {
+    let _g = lock();
+    let base = tempbase("create");
+    let db = big_db(3000, &base);
+    fault::reset();
+    fault::arm("spill::create", 1);
+    let err = db
+        .prepare(SPILL_SQL)
+        .unwrap()
+        .with_limits(LIMITS_32K)
+        .query(&db)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("could not create spill directory"),
+        "{err}"
+    );
+    fault::reset();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn orphans_from_a_simulated_kill_are_collected_by_recovery() {
+    let _g = lock();
+    let base = tempbase("recover");
+    let db = big_db(3000, &base);
+    // Recovery runs over a persistence directory; make `base` one.
+    db.save_to_dir(&base).unwrap();
+
+    // Fail one run-file removal so the orphan directory is non-empty,
+    // then leak the execution context — the moral equivalent of
+    // `kill -9` between a spill and the query's cleanup.
+    fault::reset();
+    fault::arm("spill::remove", 1);
+    let ctx = db.exec_context(LIMITS_32K);
+    let stmt = db.prepare(SPILL_SQL).unwrap();
+    stmt.query_with(&db, &ctx).unwrap();
+    std::mem::forget(ctx);
+    fault::reset();
+
+    let orphans = list_spill_dirs(&base);
+    assert_eq!(
+        orphans.len(),
+        1,
+        "expected one orphaned session: {orphans:?}"
+    );
+
+    let (catalog, report) = load_catalog_recover(&base).unwrap();
+    assert_eq!(catalog.len(), db.catalog().len());
+    assert!(
+        report
+            .issues
+            .iter()
+            .any(|i| i.contains("orphaned spill directory") && i.contains("removed")),
+        "recovery must report the orphan: {:?}",
+        report.issues
+    );
+    assert!(
+        list_spill_dirs(&base).is_empty(),
+        "recovery must remove the orphan"
+    );
+
+    // A second recovery has nothing left to say about spill state.
+    let (_, quiet) = load_catalog_recover(&base).unwrap();
+    assert!(
+        !quiet.issues.iter().any(|i| i.contains("spill")),
+        "{:?}",
+        quiet.issues
+    );
+    std::fs::remove_dir_all(&base).ok();
+}

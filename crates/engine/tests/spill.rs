@@ -1,0 +1,343 @@
+//! External-memory execution tests: when a query's working set exceeds its
+//! memory budget, hash join, hash aggregation, and sort must spill to disk
+//! and produce *exactly* the rows an unlimited run produces — graceful
+//! degradation, not wrong answers. `ResourceExhausted` is reserved for the
+//! end of the escalation ladder (spilling disabled or the disk budget
+//! exhausted too), spill temp directories must not outlive the query, and
+//! cancellation must stay responsive while an operator is streaming
+//! through spill files.
+
+use std::time::{Duration, Instant};
+
+use conquer_engine::{CancelToken, Database, EngineError, ExecLimits, QueryResult};
+use conquer_storage::Row;
+
+/// One wide-ish table whose hash/sort state dwarfs a tens-of-KiB budget.
+fn big_db(rows: usize) -> Database {
+    let mut db = Database::new();
+    db.set_limits(ExecLimits::none()); // tests control limits explicitly
+    db.execute_script("CREATE TABLE big (id INTEGER, grp TEXT, val DOUBLE)")
+        .unwrap();
+    let mut values = Vec::new();
+    for i in 0..rows {
+        // Distinct-ish text keeps per-row footprint realistic and makes
+        // every row a distinct group for the aggregation tests.
+        values.push(format!("({i}, 'group-{:05}', {}.25)", i % 1000, i));
+        if values.len() == 500 {
+            db.execute_script(&format!("INSERT INTO big VALUES {}", values.join(", ")))
+                .unwrap();
+            values.clear();
+        }
+    }
+    if !values.is_empty() {
+        db.execute_script(&format!("INSERT INTO big VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+    db
+}
+
+fn sorted_rows(r: &QueryResult) -> Vec<Row> {
+    let mut rows = r.rows.clone();
+    rows.sort();
+    rows
+}
+
+/// Run `sql` once without limits and once under `limits`; both must
+/// produce the same multiset of rows, and the governed run must have
+/// spilled. Returns the governed result for extra assertions.
+fn assert_spilled_run_matches(db: &Database, sql: &str, limits: ExecLimits) -> QueryResult {
+    let reference = db
+        .prepare(sql)
+        .unwrap()
+        .with_limits(ExecLimits::none())
+        .query(db)
+        .unwrap();
+    let governed = db
+        .prepare(sql)
+        .unwrap()
+        .with_limits(limits)
+        .query(db)
+        .unwrap();
+    assert_eq!(
+        sorted_rows(&reference),
+        sorted_rows(&governed),
+        "spilling changed the answer of {sql}"
+    );
+    let stats = governed.stats().expect("governed run carries stats");
+    assert!(
+        stats.disk_charged > 0,
+        "budget {limits:?} did not force a spill for {sql}:\n{}",
+        stats.render()
+    );
+    assert_eq!(stats.root.total_spilled(), stats.disk_charged);
+    governed
+}
+
+#[test]
+fn spilling_hash_join_matches_in_memory_answer() {
+    let db = big_db(4000);
+    // Self-equijoin: the build side (4000 rows) cannot fit in 48 KiB.
+    let sql = "SELECT COUNT(*), SUM(a.val + b.val) \
+               FROM big a, big b WHERE a.id = b.id";
+    let governed =
+        assert_spilled_run_matches(&db, sql, ExecLimits::none().with_mem_bytes(48 * 1024));
+    let stats = governed.stats().unwrap();
+    let mut join_spilled = false;
+    stats.root.visit(&mut |_, op| {
+        if op.name.starts_with("HashJoin") && op.spill_bytes > 0 {
+            assert!(op.spill_partitions > 0, "{}", stats.render());
+            assert!(op.spill_passes >= 1, "{}", stats.render());
+            join_spilled = true;
+        }
+    });
+    assert!(join_spilled, "no spilled HashJoin in:\n{}", stats.render());
+}
+
+#[test]
+fn spilling_aggregation_matches_in_memory_answer() {
+    let db = big_db(4000);
+    // 1000 groups of hash-table state, far over 32 KiB; LIMIT keeps the
+    // (hard-charged) result buffer tiny.
+    let sql = "SELECT grp, COUNT(*), SUM(val) FROM big \
+               GROUP BY grp ORDER BY grp LIMIT 20";
+    let governed =
+        assert_spilled_run_matches(&db, sql, ExecLimits::none().with_mem_bytes(32 * 1024));
+    let stats = governed.stats().unwrap();
+    let mut agg_spilled = false;
+    stats.root.visit(&mut |_, op| {
+        if op.name.starts_with("HashAggregate") && op.spill_bytes > 0 {
+            agg_spilled = true;
+        }
+    });
+    assert!(
+        agg_spilled,
+        "no spilled HashAggregate in:\n{}",
+        stats.render()
+    );
+}
+
+#[test]
+fn spilling_distinct_aggregates_survive_state_serialization() {
+    let db = big_db(4000);
+    // DISTINCT accumulators carry their value sets through the spill
+    // files; merging partitions must not double-count.
+    let sql = "SELECT grp, COUNT(DISTINCT val), MIN(val), MAX(val) FROM big \
+               GROUP BY grp ORDER BY grp LIMIT 20";
+    assert_spilled_run_matches(&db, sql, ExecLimits::none().with_mem_bytes(32 * 1024));
+}
+
+#[test]
+fn external_sort_matches_in_memory_order_exactly() {
+    let db = big_db(4000);
+    // ORDER BY materializes all 4000 rows; 32 KiB forces multiple runs.
+    // Order (not just multiset) must match, so compare rows verbatim.
+    let sql = "SELECT id, grp, val FROM big ORDER BY val DESC, id LIMIT 50";
+    let reference = db
+        .prepare(sql)
+        .unwrap()
+        .with_limits(ExecLimits::none())
+        .query(&db)
+        .unwrap();
+    let governed = db
+        .prepare(sql)
+        .unwrap()
+        .with_limits(ExecLimits::none().with_mem_bytes(32 * 1024))
+        .query(&db)
+        .unwrap();
+    assert_eq!(reference.rows, governed.rows);
+    let stats = governed.stats().unwrap();
+    let mut sort_spilled = false;
+    stats.root.visit(&mut |_, op| {
+        if op.name.starts_with("Sort") && op.spill_bytes > 0 {
+            assert!(
+                op.spill_partitions >= 2,
+                "expected ≥2 runs:\n{}",
+                stats.render()
+            );
+            sort_spilled = true;
+        }
+    });
+    assert!(sort_spilled, "no spilled Sort in:\n{}", stats.render());
+}
+
+#[test]
+fn external_sort_is_stable_across_runs() {
+    // Equal keys spread over many spill runs must keep input order.
+    let mut db = Database::new();
+    db.set_limits(ExecLimits::none());
+    db.execute_script("CREATE TABLE s (k INTEGER, seq INTEGER)")
+        .unwrap();
+    let mut values = Vec::new();
+    for i in 0..3000 {
+        values.push(format!("({}, {i})", i % 3));
+    }
+    db.execute_script(&format!("INSERT INTO s VALUES {}", values.join(", ")))
+        .unwrap();
+    let sql = "SELECT k, seq FROM s ORDER BY k";
+    let reference = db.prepare(sql).unwrap().query(&db).unwrap();
+    // The budget must be big enough for the (hard-charged) 3000-row
+    // result buffer (~216 KB) but smaller than the sort's working set
+    // (~288 KB — each row carries a trailing key column).
+    let governed = db
+        .prepare(sql)
+        .unwrap()
+        .with_limits(ExecLimits::none().with_mem_bytes(240_000))
+        .query(&db)
+        .unwrap();
+    assert!(governed.stats().unwrap().disk_charged > 0, "did not spill");
+    assert_eq!(
+        reference.rows, governed.rows,
+        "external sort lost stability"
+    );
+}
+
+#[test]
+fn explain_analyze_reports_spill_metrics() {
+    // EXPLAIN ANALYZE runs under the database default limits.
+    let mut db = big_db(4000);
+    db.set_limits(ExecLimits::none().with_mem_bytes(32 * 1024));
+    let r = db
+        .prepare(
+            "EXPLAIN ANALYZE SELECT grp, COUNT(*) FROM big \
+             GROUP BY grp ORDER BY grp LIMIT 5",
+        )
+        .unwrap()
+        .query(&db)
+        .unwrap();
+    let text = r
+        .rows
+        .iter()
+        .map(|row| row[0].to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("spilled="), "{text}");
+    assert!(text.contains("partitions="), "{text}");
+    assert!(text.contains("passes="), "{text}");
+    assert!(text.contains("Resource limits:"), "{text}");
+}
+
+#[test]
+fn zero_disk_budget_restores_hard_abort() {
+    let db = big_db(4000);
+    let sql = "SELECT COUNT(*) FROM big a, big b WHERE a.id = b.id";
+    let err = db
+        .prepare(sql)
+        .unwrap()
+        .with_limits(
+            ExecLimits::none()
+                .with_mem_bytes(48 * 1024)
+                .with_disk_bytes(0),
+        )
+        .query(&db)
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::ResourceExhausted { .. }),
+        "{err:?}"
+    );
+    assert!(err.is_governance());
+}
+
+#[test]
+fn exhausted_disk_budget_is_the_end_of_the_ladder() {
+    let db = big_db(4000);
+    let sql = "SELECT COUNT(*) FROM big a, big b WHERE a.id = b.id";
+    // 2 KiB of disk cannot absorb a 4000-row build side.
+    let err = db
+        .prepare(sql)
+        .unwrap()
+        .with_limits(
+            ExecLimits::none()
+                .with_mem_bytes(48 * 1024)
+                .with_disk_bytes(2 * 1024),
+        )
+        .query(&db)
+        .unwrap_err();
+    match err {
+        EngineError::ResourceExhausted { limit_bytes, .. } => {
+            assert_eq!(limit_bytes, 2 * 1024, "should name the disk limit");
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+    // The database is still usable afterwards.
+    assert_eq!(
+        db.prepare("SELECT COUNT(*) FROM big")
+            .unwrap()
+            .query(&db)
+            .unwrap()
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn spill_directories_do_not_outlive_the_query() {
+    let base = std::env::temp_dir().join(format!(
+        "conquer_spill_hygiene_{}_{}",
+        std::process::id(),
+        line!()
+    ));
+    std::fs::create_dir_all(&base).unwrap();
+    let mut db = big_db(4000);
+    db.set_spill_dir(&base);
+    assert_eq!(db.spill_dir(), Some(base.as_path()));
+    let r = db
+        .prepare("SELECT COUNT(*), SUM(a.val) FROM big a, big b WHERE a.id = b.id")
+        .unwrap()
+        .with_limits(ExecLimits::none().with_mem_bytes(48 * 1024))
+        .query(&db)
+        .unwrap();
+    assert!(r.stats().unwrap().disk_charged > 0, "did not spill");
+    let leftovers: Vec<_> = std::fs::read_dir(&base)
+        .unwrap()
+        .map(|e| e.unwrap().file_name())
+        .collect();
+    assert!(leftovers.is_empty(), "orphaned spill state: {leftovers:?}");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn load_from_dir_spills_under_the_persistence_directory() {
+    let dir = std::env::temp_dir().join(format!(
+        "conquer_spill_load_{}_{}",
+        std::process::id(),
+        line!()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = big_db(1000);
+    db.save_to_dir(&dir).unwrap();
+    let loaded = Database::load_from_dir(&dir).unwrap();
+    assert_eq!(loaded.spill_dir(), Some(dir.as_path()));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cancellation_stays_responsive_while_spilling() {
+    let db = big_db(20_000);
+    let sql = "SELECT COUNT(*), SUM(a.val + b.val) \
+               FROM big a, big b WHERE a.id = b.id";
+    let stmt = db.prepare(sql).unwrap();
+    let ctx = db.exec_context(ExecLimits::none().with_mem_bytes(32 * 1024));
+    let token: CancelToken = ctx.cancel_token();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        })
+    };
+    let start = Instant::now();
+    let result = stmt.query_with(&db, &ctx);
+    let elapsed = start.elapsed();
+    canceller.join().unwrap();
+    match result {
+        Err(EngineError::Cancelled) => {}
+        Ok(_) => panic!("query finished before the cancel fired; grow the dataset"),
+        Err(other) => panic!("expected Cancelled, got {other:?}"),
+    }
+    // The spill partition/merge loops tick every few hundred rows, so the
+    // abort lands well within a generous CI-safe bound.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "cancellation took {elapsed:?} while spilling"
+    );
+}

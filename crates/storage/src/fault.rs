@@ -61,7 +61,7 @@ impl From<FaultInjected> for std::io::Error {
 mod registry {
     use super::FaultInjected;
     use std::collections::HashMap;
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
 
     #[derive(Default)]
     struct Point {
@@ -70,13 +70,18 @@ mod registry {
         fail_at: Option<u64>,
     }
 
-    fn registry() -> &'static Mutex<HashMap<String, Point>> {
+    /// A poisoned registry just means another test panicked mid-update;
+    /// the counters are still coherent enough for test bookkeeping.
+    fn registry() -> MutexGuard<'static, HashMap<String, Point>> {
         static REGISTRY: OnceLock<Mutex<HashMap<String, Point>>> = OnceLock::new();
-        REGISTRY.get_or_init(Default::default)
+        match REGISTRY.get_or_init(Default::default).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
     }
 
     pub fn trigger(point: &str) -> Result<(), FaultInjected> {
-        let mut reg = registry().lock().unwrap();
+        let mut reg = registry();
         let p = reg.entry(point.to_string()).or_default();
         p.hits += 1;
         if p.fail_at == Some(p.hits) {
@@ -93,18 +98,18 @@ mod registry {
             nth_hit >= 1,
             "fault points are armed on a 1-based hit index"
         );
-        let mut reg = registry().lock().unwrap();
+        let mut reg = registry();
         let p = reg.entry(point.to_string()).or_default();
         p.hits = 0;
         p.fail_at = Some(nth_hit);
     }
 
     pub fn hit_count(point: &str) -> u64 {
-        registry().lock().unwrap().get(point).map_or(0, |p| p.hits)
+        registry().get(point).map_or(0, |p| p.hits)
     }
 
     pub fn reset() {
-        registry().lock().unwrap().clear();
+        registry().clear();
     }
 }
 

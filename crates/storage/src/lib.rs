@@ -33,6 +33,7 @@ pub mod fault;
 pub mod index;
 pub mod persist;
 pub mod schema;
+pub mod spill;
 pub mod table;
 pub mod value;
 
@@ -42,6 +43,7 @@ pub use error::StorageError;
 pub use index::HashIndex;
 pub use persist::{load_catalog, load_catalog_recover, save_catalog, RecoveryReport};
 pub use schema::{Column, Schema};
+pub use spill::{SpillFile, SpillReader, SpillSession, SpillWriter};
 pub use table::{Row, Table};
 pub use value::{DataType, Value};
 

@@ -93,7 +93,7 @@ fn parse_type(s: &str, path: &Path) -> Result<DataType, StorageError> {
 /// FNV-1a 64-bit checksum — small, dependency-free, and plenty to detect
 /// torn writes and bit rot (this is an integrity check, not a security
 /// boundary).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= b as u64;
@@ -318,6 +318,19 @@ pub fn load_catalog_recover(dir: &Path) -> Result<(Catalog, RecoveryReport), Sto
         report.issues.push(format!(
             "stale temp directory from an interrupted save: {tmp}"
         ));
+    }
+    // Spill sessions are scratch state for in-flight queries; one found at
+    // load time belongs to a process that died mid-query. Remove it.
+    for spill in crate::spill::list_spill_dirs(dir) {
+        match fs::remove_dir_all(dir.join(&spill)) {
+            Ok(()) => report.issues.push(format!(
+                "orphaned spill directory from an interrupted query: {spill}; removed"
+            )),
+            Err(e) => report.issues.push(format!(
+                "orphaned spill directory from an interrupted query: {spill}; \
+                 could not be removed: {e}"
+            )),
+        }
     }
 
     let current = read_current(dir);
@@ -693,6 +706,34 @@ mod tests {
                 .iter()
                 .any(|i| i.contains("orphaned epoch v999999")),
             "{report:?}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphaned_spill_dir_is_removed_and_reported() {
+        let dir = tempdir("spill_orphan");
+        save_catalog(&sample(), &dir).unwrap();
+        // Simulate a process killed mid-query: a spill session directory
+        // with a half-written run file left behind.
+        let orphan = dir.join(format!("{}{}", crate::spill::SPILL_DIR_PREFIX, "999-0"));
+        fs::create_dir_all(&orphan).unwrap();
+        fs::write(orphan.join("run-000000.spill"), b"partial").unwrap();
+        let (cat, report) = load_catalog_recover(&dir).unwrap();
+        assert_eq!(cat.table_names(), vec!["customer", "empty"]);
+        assert!(
+            report
+                .issues
+                .iter()
+                .any(|i| i.contains("orphaned spill directory") && i.contains("removed")),
+            "{report:?}"
+        );
+        assert!(!orphan.exists(), "orphan spill dir must be deleted");
+        // A second recovery is quiet about spills.
+        let (_, report2) = load_catalog_recover(&dir).unwrap();
+        assert!(
+            !report2.issues.iter().any(|i| i.contains("spill")),
+            "{report2:?}"
         );
         fs::remove_dir_all(&dir).ok();
     }

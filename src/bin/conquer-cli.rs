@@ -14,7 +14,7 @@
 //! \explain <select …>                            show the physical plan
 //! \gen <sf> <if>                                 load a dirtied TPC-H-lite database
 //! \save <dir> / \load <dir>                      persist / restore the catalog (crash-safe; \load reports recovery issues)
-//! \limit [mem <bytes> | time <ms> | off]         per-query resource limits (no args: show)
+//! \limit [mem <bytes> | disk <bytes> | time <ms> | off]  per-query resource limits (no args: show)
 //! \topk <k> <select …>                           k most probable clean answers
 //! \why <v1,v2,…> <select …>                      explain one answer's probability
 //! \stats                                         dirty-data statistics per table
@@ -123,12 +123,17 @@ impl Shell {
             "help" | "h" => println!(
                 "SQL statements run directly; \\dirty <t> [id [prob]], \\clean <sql>, \
                  \\expected <sql>, \\rewrite <sql>, \\check <sql>, \\explain <sql>, \
-                 \\gen <sf> <if>, \\save <dir>, \\load <dir>, \\limit [mem <bytes> | time <ms> | off], \
+                 \\gen <sf> <if>, \\save <dir>, \\load <dir>, \
+                 \\limit [mem <bytes> | disk <bytes> | time <ms> | off], \
                  \\topk <k> <sql>, \\why <tuple> <sql>, \\stats, \\tables, \\validate, \\quit"
             ),
             "tables" => {
                 for t in self.db.catalog().tables() {
-                    let mark = if self.spec.meta(t.name()).is_some() { " [dirty]" } else { "" };
+                    let mark = if self.spec.meta(t.name()).is_some() {
+                        " [dirty]"
+                    } else {
+                        ""
+                    };
                     println!("{} {} [{} rows]{mark}", t.name(), t.schema(), t.len());
                 }
             }
@@ -156,7 +161,10 @@ impl Shell {
                 print!("{answers}");
             }
             "expected" => {
-                let result = self.dirty().expected_answers(arg).map_err(|e| e.to_string())?;
+                let result = self
+                    .dirty()
+                    .expected_answers(arg)
+                    .map_err(|e| e.to_string())?;
                 print!("{result}");
             }
             "rewrite" => {
@@ -240,8 +248,10 @@ impl Shell {
                     .split_once(char::is_whitespace)
                     .ok_or("usage: \\topk <k> <select …>")?;
                 let k: u64 = k.parse().map_err(|_| "k must be a number")?;
-                let answers =
-                    self.dirty().clean_answers_topk(sql.trim(), k).map_err(|e| e.to_string())?;
+                let answers = self
+                    .dirty()
+                    .clean_answers_topk(sql.trim(), k)
+                    .map_err(|e| e.to_string())?;
                 print!("{answers}");
             }
             "why" => {
@@ -261,9 +271,8 @@ impl Shell {
                         }
                     })
                     .collect();
-                let explanation =
-                    conquer_core::explain_answer(&self.dirty(), sql.trim(), &answer)
-                        .map_err(|e| e.to_string())?;
+                let explanation = conquer_core::explain_answer(&self.dirty(), sql.trim(), &answer)
+                    .map_err(|e| e.to_string())?;
                 print!("{explanation}");
             }
             "stats" => {
@@ -304,6 +313,7 @@ impl Shell {
                     eprintln!("recovery: {issue}");
                 }
                 self.db = Database::from_catalog(catalog);
+                self.db.set_spill_dir(std::path::Path::new(arg));
                 self.spec = DirtySpec::new();
                 println!(
                     "loaded {} tables ({} rows); re-register dirty metadata with \\dirty.",
@@ -317,11 +327,15 @@ impl Shell {
                     (None, _) => {
                         let l = self.db.limits();
                         println!(
-                            "memory: {}, timeout: {}",
+                            "memory: {}, disk: {}, timeout: {}",
                             l.mem_bytes
                                 .map_or("unlimited".into(), |b| format!("{b} bytes")),
-                            l.timeout
-                                .map_or("unlimited".into(), |t| format!("{t:?}")),
+                            match l.disk_bytes {
+                                Some(0) => "off (no spilling)".into(),
+                                Some(b) => format!("{b} bytes"),
+                                None => "unlimited".to_string(),
+                            },
+                            l.timeout.map_or("unlimited".into(), |t| format!("{t:?}")),
                         );
                     }
                     (Some("off"), _) => {
@@ -329,10 +343,22 @@ impl Shell {
                         println!("limits cleared.");
                     }
                     (Some("mem"), Some(bytes)) => {
-                        let bytes: u64 =
-                            bytes.parse().map_err(|_| "usage: \\limit mem <bytes>")?;
+                        let bytes: u64 = bytes.parse().map_err(|_| "usage: \\limit mem <bytes>")?;
                         self.db.set_limits(self.db.limits().with_mem_bytes(bytes));
-                        println!("memory budget: {bytes} bytes per query.");
+                        println!(
+                            "memory budget: {bytes} bytes per query \
+                             (overflow spills to disk; \\limit disk 0 to forbid)."
+                        );
+                    }
+                    (Some("disk"), Some(bytes)) => {
+                        let bytes: u64 =
+                            bytes.parse().map_err(|_| "usage: \\limit disk <bytes>")?;
+                        self.db.set_limits(self.db.limits().with_disk_bytes(bytes));
+                        if bytes == 0 {
+                            println!("spilling disabled; queries abort at the memory budget.");
+                        } else {
+                            println!("spill-disk budget: {bytes} bytes per query.");
+                        }
                     }
                     (Some("time"), Some(ms)) => {
                         let ms: u64 = ms.parse().map_err(|_| "usage: \\limit time <ms>")?;
@@ -345,7 +371,7 @@ impl Shell {
                     }
                     _ => {
                         return Err(
-                            "usage: \\limit [mem <bytes> | time <ms> | off]".into()
+                            "usage: \\limit [mem <bytes> | disk <bytes> | time <ms> | off]".into(),
                         )
                     }
                 }

@@ -31,8 +31,8 @@ pub enum ConquerError {
     /// Clean-answer layer failure (rewritability, dirty-spec validation,
     /// candidate-enumeration limits).
     Core(CoreError),
-    /// A query exceeded its configured memory budget (see
-    /// [`conquer_engine::ExecLimits`]).
+    /// A query exhausted its configured memory and spill-disk budgets
+    /// (see [`conquer_engine::ExecLimits`]).
     ResourceExhausted {
         /// The configured budget, in bytes.
         limit_bytes: u64,
@@ -61,8 +61,8 @@ impl fmt::Display for ConquerError {
                 attempted_bytes,
             } => write!(
                 f,
-                "query exceeded its memory budget: needed {attempted_bytes} bytes, \
-                 limit is {limit_bytes} bytes"
+                "query exhausted its resource budget: needed {attempted_bytes} bytes \
+                 of materialized or spilled state, limit is {limit_bytes} bytes"
             ),
             ConquerError::Timeout(limit) => {
                 write!(f, "query exceeded its time limit of {limit:?}")
