@@ -1,0 +1,5 @@
+//! Measure morsel-parallel speedup (rewritten Q3/Q9/Q10, serial vs 4 threads).
+fn main() {
+    let report = conquer_bench::parallel_speedup(conquer_bench::base_sf(), conquer_bench::runs());
+    conquer_bench::print_report(&report);
+}

@@ -78,6 +78,12 @@ pub struct ExecLimits {
     pub disk_bytes: Option<u64>,
     /// Maximum wall-clock time a single query may run. `None` = unlimited.
     pub timeout: Option<Duration>,
+    /// Worker threads for morsel-parallel query fragments. `None` = one
+    /// worker per available core; `Some(1)` forces single-worker
+    /// execution. Results are bit-identical at every setting — the
+    /// executor runs the same morsel-ordered algorithm regardless of
+    /// thread count (see the engine's `parallel` module).
+    pub threads: Option<usize>,
 }
 
 impl ExecLimits {
@@ -105,6 +111,14 @@ impl ExecLimits {
         self
     }
 
+    /// This limit set with a worker-thread count for parallel query
+    /// fragments (`0` is treated as `1`). Thread count never changes
+    /// query results, only how many cores compute them.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     /// True when no memory budget, disk budget, or timeout is set.
     pub fn is_unlimited(&self) -> bool {
         self.mem_bytes.is_none() && self.disk_bytes.is_none() && self.timeout.is_none()
@@ -117,6 +131,9 @@ impl ExecLimits {
     /// * `CONQUER_DISK_BUDGET` — spill-disk budget in bytes (`0` disables
     ///   spilling)
     /// * `CONQUER_TIMEOUT_MS` — wall-clock timeout in milliseconds
+    /// * `CONQUER_THREADS` — worker threads for parallel query fragments
+    ///   (CI runs the suite at `1` and `4` to prove thread count never
+    ///   changes results)
     ///
     /// Unset or unparsable variables leave the corresponding limit
     /// unlimited.
@@ -128,6 +145,7 @@ impl ExecLimits {
             mem_bytes: parse("CONQUER_MEM_BUDGET"),
             disk_bytes: parse("CONQUER_DISK_BUDGET"),
             timeout: parse("CONQUER_TIMEOUT_MS").map(Duration::from_millis),
+            threads: parse("CONQUER_THREADS").map(|n| (n as usize).max(1)),
         }
     }
 }
@@ -219,6 +237,20 @@ impl ExecContext {
     /// The limits this context enforces.
     pub fn limits(&self) -> &ExecLimits {
         &self.limits
+    }
+
+    /// The worker-thread count this context resolves to: the configured
+    /// [`ExecLimits::threads`], or one worker per available core when
+    /// unset. Always at least 1.
+    pub fn threads(&self) -> usize {
+        self.limits
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .max(1)
     }
 
     /// A clone of this context's cancellation token, for handing to
@@ -440,6 +472,19 @@ mod tests {
         // No memory budget at all -> nothing to spill for either.
         let ctx = ExecContext::new(ExecLimits::none().with_disk_bytes(1 << 20));
         assert!(!ctx.spill_enabled());
+    }
+
+    #[test]
+    fn threads_resolve_to_at_least_one() {
+        // Default: one worker per available core, never zero.
+        assert!(ExecContext::default().threads() >= 1);
+        // Explicit settings resolve as given; 0 is clamped to 1.
+        let ctx = ExecContext::new(ExecLimits::none().with_threads(6));
+        assert_eq!(ctx.threads(), 6);
+        let ctx = ExecContext::new(ExecLimits::none().with_threads(0));
+        assert_eq!(ctx.threads(), 1);
+        // A thread setting alone is not a resource limit.
+        assert!(ExecLimits::none().with_threads(4).is_unlimited());
     }
 
     #[test]

@@ -81,12 +81,19 @@ const MAX_SPILL_PASSES: u32 = 5;
 /// crossing a batch boundary. Bounds cancellation latency while spilling.
 const SPILL_TICK_ROWS: u32 = 128;
 
-type Batch = Vec<Row>;
+pub(crate) type Batch = Vec<Row>;
 
 /// Execute a plan against the catalog under the given execution context,
 /// collecting per-operator statistics. The context's guards (cancellation,
 /// deadline, memory budget) are checked cooperatively at every batch
 /// boundary; pass [`ExecContext::default()`] for ungoverned execution.
+///
+/// Eligible plans (every join on the spine is an equi or index join) run
+/// on the morsel-parallel driver in [`crate::parallel`]; everything else
+/// — and any plan whose build side outgrows the memory budget — runs on
+/// the serial pull pipeline. Both paths produce bit-identical results at
+/// every thread count: the dispatch decision depends only on the plan,
+/// the data, and the budget, never on scheduling.
 pub fn execute_plan(catalog: &Catalog, plan: &Plan, ctx: &ExecContext) -> Result<QueryResult> {
     crate::validate::validate_plan(plan)?;
     let needs_expr_keys = plan
@@ -99,25 +106,24 @@ pub fn execute_plan(catalog: &Catalog, plan: &Plan, ctx: &ExecContext) -> Result
         ));
     }
 
+    if let Some(result) = crate::parallel::try_execute(catalog, plan, ctx)? {
+        return Ok(result);
+    }
+    execute_serial(catalog, plan, ctx)
+}
+
+/// The serial pull-pipeline path: used for plans the parallel driver does
+/// not cover (cross joins) and as its deterministic fallback when a
+/// build side outgrows the memory budget mid-preparation.
+pub(crate) fn execute_serial(
+    catalog: &Catalog,
+    plan: &Plan,
+    ctx: &ExecContext,
+) -> Result<QueryResult> {
     let start = Instant::now();
     let mut root = build_pipeline(catalog, plan)?;
-    let mut rows = Vec::new();
-    while let Some(batch) = root.next_batch(ctx)? {
-        // The result buffer is materialized state like any other.
-        ctx.charge(batch.iter().map(approx_row_bytes).sum())?;
-        rows.extend(batch);
-    }
-    let total_time = start.elapsed();
-    let stats = ExecStats {
-        root: root.harvest(),
-        total_time,
-        mem_budget: ctx.limits().mem_bytes,
-        mem_charged: ctx.mem_charged(),
-        disk_budget: ctx.limits().disk_bytes,
-        disk_charged: ctx.disk_charged(),
-        timeout: ctx.limits().timeout,
-    };
-
+    let rows = drain_root(&mut root, ctx)?;
+    let stats = assemble_stats(root.harvest(), start.elapsed(), ctx, 1);
     Ok(QueryResult::with_stats(
         plan.output.iter().map(|o| o.name.clone()).collect(),
         rows,
@@ -125,8 +131,38 @@ pub fn execute_plan(catalog: &Catalog, plan: &Plan, ctx: &ExecContext) -> Result
     ))
 }
 
+/// Drain the pipeline root into the result buffer, charging it against
+/// the memory budget like any other materialized state.
+pub(crate) fn drain_root(root: &mut OpNode<'_>, ctx: &ExecContext) -> Result<Vec<Row>> {
+    let mut rows = Vec::new();
+    while let Some(batch) = root.next_batch(ctx)? {
+        ctx.charge(batch.iter().map(approx_row_bytes).sum())?;
+        rows.extend(batch);
+    }
+    Ok(rows)
+}
+
+/// Assemble the query-level statistics around a harvested operator tree.
+pub(crate) fn assemble_stats(
+    root: OpStats,
+    total_time: Duration,
+    ctx: &ExecContext,
+    threads_used: usize,
+) -> ExecStats {
+    ExecStats {
+        root,
+        total_time,
+        mem_budget: ctx.limits().mem_bytes,
+        mem_charged: ctx.mem_charged(),
+        disk_budget: ctx.limits().disk_bytes,
+        disk_charged: ctx.disk_charged(),
+        timeout: ctx.limits().timeout,
+        threads_used,
+    }
+}
+
 /// Compute per-relation offsets for a concatenation layout.
-fn offsets_for(layout: &[usize], widths: &[usize], n_rels: usize) -> Offsets {
+pub(crate) fn offsets_for(layout: &[usize], widths: &[usize], n_rels: usize) -> Offsets {
     let mut offs = vec![None; n_rels];
     let mut acc = 0;
     for &rel in layout {
@@ -144,10 +180,20 @@ fn offsets_for(layout: &[usize], widths: &[usize], n_rels: usize) -> Offsets {
 fn build_pipeline<'a>(catalog: &'a Catalog, plan: &'a Plan) -> Result<OpNode<'a>> {
     let widths: Vec<usize> = plan.relations.iter().map(|r| r.schema.len()).collect();
     let n_rels = widths.len();
+    let (node, layout, _est) = build_join(catalog, plan, &plan.join, &widths)?;
+    let offsets = offsets_for(&layout, &widths, n_rels);
+    Ok(finish_pipeline(node, offsets, plan))
+}
 
-    let (mut node, layout, _est) = build_join(catalog, plan, &plan.join, &widths)?;
-    let mut offsets = offsets_for(&layout, &widths, n_rels);
-
+/// Stack the post-join stages (aggregate, HAVING, project, distinct,
+/// sort, limit) on top of a join-tree source. The parallel driver mounts
+/// the same stages over its [`OpKind::Gather`] source, so everything
+/// stateful downstream of the join runs identical code on both paths.
+pub(crate) fn finish_pipeline<'a>(
+    mut node: OpNode<'a>,
+    mut offsets: Offsets,
+    plan: &'a Plan,
+) -> OpNode<'a> {
     if let Some(group) = &plan.group {
         node = OpNode::new(
             "HashAggregate",
@@ -215,13 +261,33 @@ fn build_pipeline<'a>(catalog: &'a Catalog, plan: &'a Plan) -> Result<OpNode<'a>
         );
     }
 
-    Ok(node)
+    node
+}
+
+/// The cardinality estimate [`build_join`] assigns to a join subtree.
+/// The parallel driver re-derives build-side choices from the same
+/// numbers so both paths pick identical physical shapes.
+pub(crate) fn join_estimate(catalog: &Catalog, plan: &Plan, node: &JoinNode) -> Result<u64> {
+    match node {
+        JoinNode::Scan { rel, .. } => Ok(catalog.table(&plan.relations[*rel].table)?.len() as u64),
+        JoinNode::Join {
+            left, right, equi, ..
+        } => {
+            let l = join_estimate(catalog, plan, left)?;
+            let r = join_estimate(catalog, plan, right)?;
+            Ok(if equi.is_empty() {
+                l.saturating_mul(r.max(1))
+            } else {
+                l.max(r)
+            })
+        }
+    }
 }
 
 /// Build the operator subtree for a join-tree node. Returns the operator,
 /// the relation layout of its output rows, and a crude cardinality estimate
 /// used to pick hash-join build sides.
-fn build_join<'a>(
+pub(crate) fn build_join<'a>(
     catalog: &'a Catalog,
     plan: &'a Plan,
     node: &'a JoinNode,
@@ -340,7 +406,7 @@ fn build_join<'a>(
     }
 }
 
-fn probe_binding<'a>(plan: &'a Plan, node: &JoinNode) -> &'a str {
+pub(crate) fn probe_binding<'a>(plan: &'a Plan, node: &JoinNode) -> &'a str {
     match node {
         JoinNode::Scan { rel, .. } => &plan.relations[*rel].binding,
         JoinNode::Join { .. } => "",
@@ -355,7 +421,7 @@ fn probe_binding<'a>(plan: &'a Plan, node: &JoinNode) -> &'a str {
 /// building a hash table. This is the analogue of the paper's "indices on
 /// the identifier" setup (Section 5.3). Returns `None` when the
 /// preconditions don't hold and the generic hash join should run.
-fn index_join_path<'a>(
+pub(crate) fn index_join_path<'a>(
     catalog: &'a Catalog,
     plan: &Plan,
     right: &JoinNode,
@@ -422,7 +488,7 @@ struct Metrics {
 }
 
 /// One physical operator plus its instrumentation.
-struct OpNode<'a> {
+pub(crate) struct OpNode<'a> {
     name: String,
     kind: OpKind<'a>,
     m: Metrics,
@@ -504,11 +570,51 @@ enum OpKind<'a> {
         child: Box<OpNode<'a>>,
         remaining: u64,
     },
+    /// Consumer end of the morsel-parallel spine: emits worker-produced
+    /// rows strictly in morsel order (see [`crate::parallel`]). Its
+    /// statistics children (the spine operators) are attached by the
+    /// parallel driver after the worker pool drains.
+    Gather {
+        src: crate::parallel::GatherSource<'a>,
+    },
+}
+
+/// Mount a [`crate::parallel::GatherSource`] as a pipeline source node.
+pub(crate) fn gather_node(src: crate::parallel::GatherSource<'_>) -> OpNode<'_> {
+    OpNode::new("Gather", OpKind::Gather { src })
 }
 
 // ---------------------------------------------------------------------------
 // External-memory operator state
 // ---------------------------------------------------------------------------
+
+/// An in-memory hash-join build table. Each key maps to its first-seen
+/// insertion rank plus the build rows. The rank makes spill flushes
+/// deterministic: `HashMap` iteration order is seeded per process, so
+/// draining the map to disk in raw iteration order would make spill-file
+/// content — and therefore downstream row order and float-summation
+/// order — vary run to run. Every flush sorts by rank first.
+pub(crate) type BuildMap = HashMap<Vec<Value>, (usize, Vec<Row>)>;
+
+/// Insert one build row under `key`, assigning the next first-seen rank
+/// to new keys.
+pub(crate) fn build_map_insert(map: &mut BuildMap, key: Vec<Value>, row: Row) {
+    let next = map.len();
+    map.entry(key)
+        .or_insert_with(|| (next, Vec::new()))
+        .1
+        .push(row);
+}
+
+/// Drain a build map in first-seen insertion order (see [`BuildMap`]).
+fn drain_in_order(map: &mut BuildMap) -> Vec<(Vec<Value>, Vec<Row>)> {
+    let mut entries: Vec<_> = map.drain().collect();
+    entries.sort_by_key(|(_, (ord, _))| *ord);
+    entries
+        .into_iter()
+        .map(|(k, (_, rows))| (k, rows))
+        .collect()
+}
 
 /// Build-side state of a hash join: in memory while the budget lasts,
 /// grace-partitioned on disk afterwards.
@@ -517,10 +623,7 @@ enum JoinState {
     Init,
     /// Classic in-memory hash join. `mem` is the bytes charged for the
     /// build table, released once the probe side is exhausted.
-    Mem {
-        map: HashMap<Vec<Value>, Vec<Row>>,
-        mem: u64,
-    },
+    Mem { map: BuildMap, mem: u64 },
     /// Grace hash join over spilled partition pairs.
     Spill(GraceJoin),
 }
@@ -537,7 +640,7 @@ struct GraceJoin {
 /// One grace-join partition's in-memory build table plus its streaming
 /// probe reader.
 struct PartProbe {
-    map: HashMap<Vec<Value>, Vec<Row>>,
+    map: BuildMap,
     /// Bytes charged for `map`, released when the partition is done.
     mem: u64,
     probe: SpillReader,
@@ -584,14 +687,14 @@ struct RunCursor {
 /// Counts rows inside spill loops, ticking the context's
 /// cancellation/deadline guards every [`SPILL_TICK_ROWS`] rows so a
 /// cancelled query aborts mid-pass instead of finishing it.
-struct Ticker(u32);
+pub(crate) struct Ticker(u32);
 
 impl Ticker {
-    fn new() -> Ticker {
+    pub(crate) fn new() -> Ticker {
         Ticker(0)
     }
 
-    fn row(&mut self, ctx: &ExecContext) -> Result<()> {
+    pub(crate) fn row(&mut self, ctx: &ExecContext) -> Result<()> {
         self.0 += 1;
         if self.0 >= SPILL_TICK_ROWS {
             self.0 = 0;
@@ -653,7 +756,7 @@ impl<'a> OpNode<'a> {
     /// Pull the next batch, recording rows/batches/inclusive wall time.
     /// Checks the context's cancellation/deadline guards first, so every
     /// batch boundary in the pipeline is a cancellation point.
-    fn next_batch(&mut self, ctx: &ExecContext) -> Result<Option<Batch>> {
+    pub(crate) fn next_batch(&mut self, ctx: &ExecContext) -> Result<Option<Batch>> {
         ctx.tick()?;
         let start = Instant::now();
         let out = step(&mut self.kind, &mut self.m, ctx);
@@ -666,9 +769,9 @@ impl<'a> OpNode<'a> {
     }
 
     /// Convert the (finished) operator tree into its statistics tree.
-    fn harvest(self) -> OpStats {
+    pub(crate) fn harvest(self) -> OpStats {
         let children = match self.kind {
-            OpKind::Scan { .. } => vec![],
+            OpKind::Scan { .. } | OpKind::Gather { .. } => vec![],
             OpKind::Filter { child, .. }
             | OpKind::HashAggregate { child, .. }
             | OpKind::Project { child, .. }
@@ -791,7 +894,7 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics, ctx: &ExecContext) -> Result<Opt
                             let Some(key) = join_keys(prow, probe_exprs, probe_offsets)? else {
                                 continue;
                             };
-                            if let Some(matches) = map.get(&key) {
+                            if let Some((_, matches)) = map.get(&key) {
                                 for brow in matches {
                                     let (lrow, rrow) = if *build_left {
                                         (brow, prow)
@@ -1033,6 +1136,14 @@ fn step(kind: &mut OpKind<'_>, m: &mut Metrics, ctx: &ExecContext) -> Result<Opt
             }
             Ok(None)
         }
+
+        OpKind::Gather { src } => {
+            let out = src.next_batch(ctx)?;
+            if let Some(b) = &out {
+                m.rows_in += b.len() as u64;
+            }
+            Ok(out)
+        }
     }
 }
 
@@ -1046,7 +1157,7 @@ fn release_emitted(ctx: &ExecContext, out: &[Row], mem: &mut u64) {
     *mem -= freed;
 }
 
-fn concat_rows(l: &Row, r: &Row) -> Row {
+pub(crate) fn concat_rows(l: &Row, r: &Row) -> Row {
     let mut row = Vec::with_capacity(l.len() + r.len());
     row.extend(l.iter().cloned());
     row.extend(r.iter().cloned());
@@ -1055,7 +1166,11 @@ fn concat_rows(l: &Row, r: &Row) -> Row {
 
 /// Evaluate and normalize the join key expressions for one row; `None`
 /// when any key is NULL (SQL equality never matches NULL).
-fn join_keys(row: &Row, exprs: &[&BoundExpr], offsets: &Offsets) -> Result<Option<Vec<Value>>> {
+pub(crate) fn join_keys(
+    row: &Row,
+    exprs: &[&BoundExpr],
+    offsets: &Offsets,
+) -> Result<Option<Vec<Value>>> {
     let mut keys = Vec::with_capacity(exprs.len());
     for e in exprs {
         let v = e.eval(row, offsets)?;
@@ -1096,7 +1211,7 @@ fn hj_prepare<'a>(
     m: &mut Metrics,
     ctx: &ExecContext,
 ) -> Result<JoinState> {
-    let mut map: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+    let mut map: BuildMap = HashMap::new();
     let mut mem = 0u64;
     let mut writers: Option<Vec<SpillWriter>> = None;
     let mut ticker = Ticker::new();
@@ -1109,7 +1224,7 @@ fn hj_prepare<'a>(
                 if let Some(key) = join_keys(&row, build_exprs, build_offsets)? {
                     batch_mem +=
                         approx_row_bytes(&row) + key.iter().map(approx_value_bytes).sum::<u64>();
-                    map.entry(key).or_default().push(row);
+                    build_map_insert(&mut map, key, row);
                 }
             }
             ctx.charge(batch_mem)?;
@@ -1128,14 +1243,14 @@ fn hj_prepare<'a>(
             let bytes = approx_row_bytes(&row) + key.iter().map(approx_value_bytes).sum::<u64>();
             if ctx.try_charge(bytes) {
                 mem += bytes;
-                map.entry(key).or_default().push(row);
+                build_map_insert(&mut map, key, row);
                 continue;
             }
             // Budget full: switch to grace mode — partition what we have,
             // release the memory, spill everything still to come.
             let mut ws = new_partition_writers(ctx)?;
             m.spill_passes += 1;
-            for (k, rows) in map.drain() {
+            for (k, rows) in drain_in_order(&mut map) {
                 let p = partition_of(&k, 0);
                 for r in rows {
                     ticker.row(ctx)?;
@@ -1211,7 +1326,7 @@ fn hj_spill_next(
                 let Some(key) = join_keys(&prow, probe_exprs, probe_offsets)? else {
                     continue;
                 };
-                if let Some(matches) = part.map.get(&key) {
+                if let Some((_, matches)) = part.map.get(&key) {
                     for brow in matches {
                         let (lrow, rrow) = if build_left {
                             (brow, &prow)
@@ -1269,7 +1384,7 @@ fn hj_load_partition(
     ctx: &ExecContext,
 ) -> Result<Loaded> {
     let mut ticker = Ticker::new();
-    let mut map: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+    let mut map: BuildMap = HashMap::new();
     let mut mem = 0u64;
     let mut reader = bfile.reader()?;
     while let Some(row) = reader.next_row()? {
@@ -1286,7 +1401,7 @@ fn hj_load_partition(
                 ctx.charge(bytes)?;
             }
             mem += bytes;
-            map.entry(key).or_default().push(row);
+            build_map_insert(&mut map, key, row);
             continue;
         }
         // Oversized partition: split build + probe with the next pass's
@@ -1294,7 +1409,7 @@ fn hj_load_partition(
         let next = pass + 1;
         m.spill_passes += 1;
         let mut bws = new_partition_writers(ctx)?;
-        for (k, rows) in map.drain() {
+        for (k, rows) in drain_in_order(&mut map) {
             let p = partition_of(&k, next);
             for r in rows {
                 ticker.row(ctx)?;
@@ -1554,7 +1669,7 @@ fn aggregate_input(
                         }
                     };
                     m.peak_mem = m.peak_mem.max(mem);
-                    for (k, (_, accs)) in index.drain() {
+                    for (k, accs) in drain_groups_in_order(&mut index) {
                         ticker.row(ctx)?;
                         let p = partition_of(&k, 0);
                         spill_row(ctx, m, &mut ws[p], &agg_state_row(k, accs))?;
@@ -1588,7 +1703,7 @@ fn aggregate_input(
 
     if let Some(mut ws) = writers {
         m.peak_mem = m.peak_mem.max(mem);
-        for (k, (_, accs)) in index.drain() {
+        for (k, accs) in drain_groups_in_order(&mut index) {
             ticker.row(ctx)?;
             let p = partition_of(&k, 0);
             spill_row(ctx, m, &mut ws[p], &agg_state_row(k, accs))?;
@@ -1637,6 +1752,21 @@ fn finalize_groups(index: HashMap<Vec<Value>, (usize, Vec<Accumulator>)>) -> Res
         out.push(row);
     }
     Ok(out)
+}
+
+/// Drain an aggregation table in first-seen group order. Like
+/// [`drain_in_order`], this keeps spill-file content deterministic:
+/// flushing in raw `HashMap` iteration order would make re-merged group
+/// order (and the finalize order of float state) vary run to run.
+fn drain_groups_in_order(
+    index: &mut HashMap<Vec<Value>, (usize, Vec<Accumulator>)>,
+) -> Vec<(Vec<Value>, Vec<Accumulator>)> {
+    let mut entries: Vec<_> = index.drain().collect();
+    entries.sort_by_key(|(_, (ord, _))| *ord);
+    entries
+        .into_iter()
+        .map(|(k, (_, accs))| (k, accs))
+        .collect()
 }
 
 /// Serialize one group (key + accumulator states) as a spill row.
@@ -1743,7 +1873,7 @@ fn agg_merge_partition(
         m.spill_passes += 1;
         let mut ws = new_partition_writers(ctx)?;
         m.peak_mem = m.peak_mem.max(mem);
-        for (k, (_, a)) in index.drain() {
+        for (k, a) in drain_groups_in_order(&mut index) {
             ticker.row(ctx)?;
             let p = partition_of(&k, nextp);
             spill_row(ctx, m, &mut ws[p], &agg_state_row(k, a))?;
@@ -1901,7 +2031,13 @@ impl Accumulator {
             None => out.push(Value::Int(-1)),
             Some(seen) => {
                 out.push(Value::Int(seen.len() as i64));
-                out.extend(seen);
+                // Serialize the set in sorted value order: `HashSet`
+                // iteration order is seeded per process, and the replay
+                // order on reload feeds float sums, so a raw dump would
+                // make re-merged SUM(DISTINCT) bits vary run to run.
+                let mut vals: Vec<Value> = seen.into_iter().collect();
+                vals.sort();
+                out.extend(vals);
             }
         }
     }

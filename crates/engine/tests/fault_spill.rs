@@ -32,6 +32,7 @@ const LIMITS_32K: ExecLimits = ExecLimits {
     mem_bytes: Some(32 * 1024),
     disk_bytes: None,
     timeout: None,
+    threads: None,
 };
 
 fn tempbase(tag: &str) -> PathBuf {
@@ -167,6 +168,76 @@ fn spill_dir_creation_failure_is_typed() {
         "{err}"
     );
     fault::reset();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn spill_faults_at_four_threads_shut_the_pool_down_cleanly() {
+    let _g = lock();
+    let base = tempbase("parallel");
+    let db = big_db(20_000, &base);
+    let limits = LIMITS_32K.with_threads(4);
+    // Scan-only spine (no build side to overflow), ~20k groups: the
+    // worker pool engages with all four workers AND the downstream
+    // aggregation + external sort must spill under 32 KiB — faults and
+    // parallelism in one pipeline. LIMIT keeps the (never-spilled)
+    // result buffer under the budget.
+    let sql = "SELECT id, SUM(val), COUNT(*) FROM big GROUP BY id ORDER BY id LIMIT 5";
+    let run = |expect_err: bool| {
+        let outcome = db.prepare(sql).unwrap().with_limits(limits).query(&db);
+        match (expect_err, outcome) {
+            (false, Ok(res)) => Some(res),
+            (true, Err(err)) => {
+                let text = err.to_string();
+                assert!(
+                    text.contains("injected fault") || text.contains("could not create"),
+                    "expected a typed injected-fault error, got: {err}"
+                );
+                None
+            }
+            (false, Err(err)) => panic!("clean run failed: {err}"),
+            (true, Ok(_)) => panic!("armed fault did not fire"),
+        }
+    };
+
+    fault::reset();
+    let reference = run(false).unwrap();
+    assert_eq!(
+        reference.stats().unwrap().threads_used,
+        4,
+        "pool must engage or this test proves nothing"
+    );
+    assert!(
+        reference.stats().unwrap().disk_charged > 0,
+        "aggregation must spill or this test proves nothing"
+    );
+    let write_hits = fault::hit_count("spill::write");
+    let read_hits = fault::hit_count("spill::read");
+
+    for (point, nth) in [
+        ("spill::create", 1),
+        ("spill::write", 1),
+        ("spill::write", write_hits / 2),
+        ("spill::write", write_hits),
+        ("spill::read", 1),
+        ("spill::read", read_hits / 2),
+    ] {
+        fault::reset();
+        fault::arm(point, nth);
+        // The error surfaces exactly once (one typed Err, no panic from
+        // an orphaned worker), and the pool must actually wind down: a
+        // leaked worker would abort the process on scope exit.
+        run(true);
+        assert!(
+            list_spill_dirs(&base).is_empty(),
+            "{point} fault at hit {nth} orphaned a spill dir"
+        );
+    }
+
+    // Pool, budget meter, and spill session all survive for reuse.
+    fault::reset();
+    let again = run(false).unwrap();
+    assert_eq!(reference.rows, again.rows, "answers changed after faults");
     std::fs::remove_dir_all(&base).ok();
 }
 

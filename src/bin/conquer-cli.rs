@@ -14,7 +14,7 @@
 //! \explain <select …>                            show the physical plan
 //! \gen <sf> <if>                                 load a dirtied TPC-H-lite database
 //! \save <dir> / \load <dir>                      persist / restore the catalog (crash-safe; \load reports recovery issues)
-//! \limit [mem <bytes> | disk <bytes> | time <ms> | off]  per-query resource limits (no args: show)
+//! \limit [mem <bytes> | disk <bytes> | time <ms> | threads <n> | off]  per-query resource limits (no args: show)
 //! \topk <k> <select …>                           k most probable clean answers
 //! \why <v1,v2,…> <select …>                      explain one answer's probability
 //! \stats                                         dirty-data statistics per table
@@ -124,7 +124,7 @@ impl Shell {
                 "SQL statements run directly; \\dirty <t> [id [prob]], \\clean <sql>, \
                  \\expected <sql>, \\rewrite <sql>, \\check <sql>, \\explain <sql>, \
                  \\gen <sf> <if>, \\save <dir>, \\load <dir>, \
-                 \\limit [mem <bytes> | disk <bytes> | time <ms> | off], \
+                 \\limit [mem <bytes> | disk <bytes> | time <ms> | threads <n> | off], \
                  \\topk <k> <sql>, \\why <tuple> <sql>, \\stats, \\tables, \\validate, \\quit"
             ),
             "tables" => {
@@ -327,7 +327,7 @@ impl Shell {
                     (None, _) => {
                         let l = self.db.limits();
                         println!(
-                            "memory: {}, disk: {}, timeout: {}",
+                            "memory: {}, disk: {}, timeout: {}, threads: {}",
                             l.mem_bytes
                                 .map_or("unlimited".into(), |b| format!("{b} bytes")),
                             match l.disk_bytes {
@@ -336,6 +336,7 @@ impl Shell {
                                 None => "unlimited".to_string(),
                             },
                             l.timeout.map_or("unlimited".into(), |t| format!("{t:?}")),
+                            l.threads.map_or("all cores".into(), |n| format!("{n}")),
                         );
                     }
                     (Some("off"), _) => {
@@ -360,6 +361,15 @@ impl Shell {
                             println!("spill-disk budget: {bytes} bytes per query.");
                         }
                     }
+                    (Some("threads"), Some(n)) => {
+                        let n: usize = n.parse().map_err(|_| "usage: \\limit threads <n>")?;
+                        self.db.set_limits(self.db.limits().with_threads(n));
+                        println!(
+                            "worker threads: {} per query (results are identical at any \
+                             thread count).",
+                            n.max(1)
+                        );
+                    }
                     (Some("time"), Some(ms)) => {
                         let ms: u64 = ms.parse().map_err(|_| "usage: \\limit time <ms>")?;
                         self.db.set_limits(
@@ -370,9 +380,9 @@ impl Shell {
                         println!("query timeout: {ms} ms.");
                     }
                     _ => {
-                        return Err(
-                            "usage: \\limit [mem <bytes> | disk <bytes> | time <ms> | off]".into(),
-                        )
+                        return Err("usage: \\limit [mem <bytes> | disk <bytes> | time <ms> \
+                             | threads <n> | off]"
+                            .into())
                     }
                 }
             }

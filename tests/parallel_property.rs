@@ -1,0 +1,162 @@
+//! Property test for the morsel-parallel executor: randomized
+//! select-project-join / aggregate queries over randomized dirty tables
+//! must give **byte-identical** results at any thread count — same row
+//! order after ORDER BY, and f64 aggregates (`SUM(val)`, `SUM(prob)`)
+//! equal down to the bit. Float addition is not associative, so any
+//! arrival-order merge in the parallel pipeline fails this immediately.
+
+use conquer_engine::{Database, ExecLimits, QueryResult};
+use conquer_storage::{Catalog, DataType, Schema, Table, Value};
+use proptest::prelude::*;
+
+/// Deterministic data generator (splitmix64) — tables large enough to
+/// split into many morsels, built directly through the storage API so
+/// each proptest case stays cheap.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn build_db(seed: u64, fact_rows: usize, dim_rows: usize) -> Database {
+    let mut gen = Gen(seed);
+    let mut catalog = Catalog::new();
+
+    let mut dim = Table::new(
+        "dim",
+        Schema::from_pairs([
+            ("key".to_string(), DataType::Int),
+            ("name".to_string(), DataType::Text),
+            ("weight".to_string(), DataType::Float),
+        ])
+        .unwrap(),
+    );
+    for k in 0..dim_rows {
+        dim.insert(vec![
+            Value::Int(k as i64),
+            Value::text(format!("dim-{:04}", gen.next() % 500)),
+            Value::Float(gen.unit()),
+        ])
+        .unwrap();
+    }
+    catalog.add_table(dim).unwrap();
+
+    let mut fact = Table::new(
+        "fact",
+        Schema::from_pairs([
+            ("id".to_string(), DataType::Int),
+            ("key".to_string(), DataType::Int),
+            ("grp".to_string(), DataType::Text),
+            ("val".to_string(), DataType::Float),
+            ("prob".to_string(), DataType::Float),
+        ])
+        .unwrap(),
+    );
+    for i in 0..fact_rows {
+        // `key` sometimes dangles (no dim match) to exercise non-matching
+        // probes; val mixes magnitudes so float sum order matters.
+        fact.insert(vec![
+            Value::Int(i as i64),
+            Value::Int((gen.next() % (dim_rows as u64 * 5 / 4)) as i64),
+            Value::text(format!("g{:02}", gen.next() % 23)),
+            Value::Float(gen.unit() * 1000.0 + 1.0 / ((i + 1) as f64)),
+            Value::Float(gen.unit()),
+        ])
+        .unwrap();
+    }
+    catalog.add_table(fact).unwrap();
+
+    let mut db = Database::from_catalog(catalog);
+    db.set_limits(ExecLimits::none());
+    db
+}
+
+/// The SPJ/aggregate query space: scan-only and equi-join spines,
+/// filters on either side, grouped f64 sums, DISTINCT, ORDER BY + LIMIT.
+fn query_for(shape: u8, threshold: f64) -> String {
+    match shape % 6 {
+        0 => format!(
+            "SELECT grp, COUNT(*), SUM(val) FROM fact \
+             WHERE val < {threshold:.6} GROUP BY grp ORDER BY grp"
+        ),
+        1 => "SELECT d.name, SUM(f.val * f.prob), COUNT(*) FROM fact f, dim d \
+              WHERE f.key = d.key GROUP BY d.name ORDER BY d.name"
+            .into(),
+        2 => format!(
+            "SELECT f.id, f.val FROM fact f, dim d \
+             WHERE f.key = d.key AND d.weight > {:.6} \
+             ORDER BY f.val, f.id LIMIT 50",
+            threshold / 1500.0
+        ),
+        // No ORDER BY: DISTINCT's first-seen emission order is itself
+        // part of the determinism contract being tested.
+        3 => "SELECT DISTINCT f.grp FROM fact f, dim d WHERE f.key = d.key".into(),
+        4 => "SELECT grp, SUM(prob) FROM fact GROUP BY grp ORDER BY grp".into(),
+        _ => format!(
+            "SELECT f.grp, SUM(f.val + d.weight) FROM fact f, dim d \
+             WHERE f.key = d.key AND f.val < {threshold:.6} \
+             GROUP BY f.grp HAVING COUNT(*) > 2 ORDER BY f.grp"
+        ),
+    }
+}
+
+fn fingerprint(res: &QueryResult) -> Vec<Vec<String>> {
+    res.rows
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|v| match v {
+                    Value::Float(f) => format!("f64:{:016x}", f.to_bits()),
+                    other => format!("{other:?}"),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_queries_bit_identical_parallel_vs_serial(
+        seed in any::<u64>(),
+        fact_rows in 5000usize..15000,
+        dim_rows in 50usize..400,
+        shape in 0u8..6,
+        threshold in 1.0f64..900.0,
+        threads in 2usize..9,
+    ) {
+        let db = build_db(seed, fact_rows, dim_rows);
+        let sql = query_for(shape, threshold);
+        let run = |t: usize| {
+            db.prepare(&sql)
+                .unwrap()
+                .with_limits(ExecLimits::none().with_threads(t))
+                .query(&db)
+                .unwrap()
+        };
+        let serial = run(1);
+        prop_assert_eq!(serial.stats().unwrap().threads_used, 1);
+        let parallel = run(threads);
+        let used = parallel.stats().unwrap().threads_used;
+        prop_assert!(
+            used > 1 && used <= threads,
+            "pool did not engage over {} rows (threads_used = {})", fact_rows, used
+        );
+        prop_assert_eq!(
+            fingerprint(&serial),
+            fingerprint(&parallel),
+            "shape {} over seed {} diverged at threads = {}", shape, seed, threads
+        );
+    }
+}
