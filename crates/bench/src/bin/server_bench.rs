@@ -1,0 +1,204 @@
+//! Concurrent-client throughput/latency benchmark for `conquer-server`.
+//!
+//! Spins up an in-process server over a UIS-dirtied TPC-H-lite database,
+//! then drives the paper's 13 query templates — each in its original *and*
+//! rewritten (clean-answer) form — first from one client, then from many
+//! concurrent clients. Every concurrent answer is checked byte-for-byte
+//! against the single-client reference (the shared caches must never
+//! change an answer), and the run is summarized as throughput plus
+//! p50/p95/p99 latency, printed and written to `results/` as CSV.
+//!
+//! Knobs (environment): `CONQUER_SF` (scale factor, default 0.05),
+//! `CONQUER_CLIENTS` (concurrent clients, default 8), `CONQUER_ITERS`
+//! (workload passes per client, default 3), plus the server's own
+//! `CONQUER_PLAN_CACHE` / `CONQUER_RESULT_CACHE` / `CONQUER_ADMIT` /
+//! `CONQUER_QUEUE`.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use conquer_bench::{print_report, write_csv, Report};
+use conquer_datagen::{
+    dirty::{dirty_database, ProbMode, UisConfig},
+    perturb::PerturbOptions,
+    queries::{query_sql, QUERY_IDS},
+    tpch::TpchConfig,
+};
+use conquer_engine::{SharedConfig, SharedDatabase};
+use conquer_server::{client::wire_form, Client, Server, ServerConfig};
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// The workload: every template, original then rewritten form.
+fn workload(dirty: &conquer_core::DirtyDatabase) -> Vec<(String, String)> {
+    let mut queries = Vec::new();
+    for &id in &QUERY_IDS {
+        let sql = query_sql(id, false);
+        let rewritten = dirty
+            .rewrite(&sql)
+            .unwrap_or_else(|e| panic!("Q{id} must be rewritable: {e}"))
+            .to_string();
+        queries.push((format!("Q{id}"), sql));
+        queries.push((format!("Q{id}r"), rewritten));
+    }
+    queries
+}
+
+/// One pass over the workload; returns per-request latencies and appends
+/// each answer's wire form for identity checking.
+fn run_pass(
+    client: &mut Client,
+    queries: &[(String, String)],
+    answers: &mut Vec<(String, Vec<String>)>,
+) -> Vec<Duration> {
+    let mut latencies = Vec::with_capacity(queries.len());
+    for (name, sql) in queries {
+        let t0 = Instant::now();
+        let rows = client
+            .query(sql)
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        latencies.push(t0.elapsed());
+        answers.push((name.clone(), wire_form(&rows)));
+    }
+    latencies
+}
+
+fn main() {
+    let sf = std::env::var("CONQUER_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    let clients = env_usize("CONQUER_CLIENTS", 8);
+    let iters = env_usize("CONQUER_ITERS", 3);
+
+    eprintln!("generating dirty TPC-H-lite (sf={sf}) …");
+    let dirty = dirty_database(UisConfig {
+        tpch: TpchConfig { sf, seed: 2024 },
+        if_factor: 3,
+        prob_mode: ProbMode::Uniform,
+        perturb: PerturbOptions::default(),
+    })
+    .expect("generating the benchmark database");
+    let queries = workload(&dirty);
+
+    let shared = SharedDatabase::with_config(dirty.db().clone(), SharedConfig::from_env());
+    let mut server_config = ServerConfig::default();
+    server_config.addr = "127.0.0.1:0".to_string();
+    server_config.max_conn = clients + 8;
+    let handle = Server::bind(shared.clone(), &server_config)
+        .expect("binding the benchmark server")
+        .spawn()
+        .expect("spawning the benchmark server");
+    let addr = handle.addr();
+    eprintln!("server on {addr}; {} workload queries", queries.len());
+
+    // Single-client reference pass: both the correctness baseline and the
+    // cold-cache timing.
+    let mut reference = Vec::new();
+    let mut single = Client::connect(addr).expect("connecting the reference client");
+    let t0 = Instant::now();
+    let mut cold = run_pass(&mut single, &queries, &mut reference);
+    let single_wall = t0.elapsed();
+    cold.sort();
+
+    // Concurrent pass: `clients` threads, each making `iters` passes; all
+    // answers must be byte-identical to the reference.
+    let t0 = Instant::now();
+    let mut all_latencies: Vec<Duration> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let queries = &queries;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connecting a bench client");
+                    let mut latencies = Vec::new();
+                    for _ in 0..iters {
+                        let mut answers = Vec::new();
+                        latencies.extend(run_pass(&mut client, queries, &mut answers));
+                        for ((name, rows), (_, expected)) in answers.iter().zip(reference.iter()) {
+                            assert_eq!(
+                                rows, expected,
+                                "{name}: concurrent answer differs from single-client answer"
+                            );
+                        }
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        for h in handles {
+            all_latencies.extend(h.join().expect("bench client thread"));
+        }
+    });
+    let concurrent_wall = t0.elapsed();
+    all_latencies.sort();
+
+    let stats = shared.stats();
+    handle.shutdown();
+
+    let mut report = Report::new(
+        "Server concurrency",
+        &[
+            "phase", "clients", "requests", "wall_ms", "qps", "p50_ms", "p95_ms", "p99_ms",
+        ],
+    );
+    let qps = |n: usize, wall: Duration| format!("{:.0}", n as f64 / wall.as_secs_f64().max(1e-9));
+    report.push_row(vec![
+        "single".into(),
+        "1".into(),
+        cold.len().to_string(),
+        ms(single_wall),
+        qps(cold.len(), single_wall),
+        ms(percentile(&cold, 50.0)),
+        ms(percentile(&cold, 95.0)),
+        ms(percentile(&cold, 99.0)),
+    ]);
+    report.push_row(vec![
+        "concurrent".into(),
+        clients.to_string(),
+        all_latencies.len().to_string(),
+        ms(concurrent_wall),
+        qps(all_latencies.len(), concurrent_wall),
+        ms(percentile(&all_latencies, 50.0)),
+        ms(percentile(&all_latencies, 95.0)),
+        ms(percentile(&all_latencies, 99.0)),
+    ]);
+    report.note(format!(
+        "sf={sf}, {} workload queries (13 templates, original + rewritten), {iters} passes/client",
+        queries.len()
+    ));
+    report.note(format!(
+        "all {} concurrent answers byte-identical to the single-client reference",
+        all_latencies.len()
+    ));
+    report.note(format!(
+        "caches: {} result hits / {} misses, {} plan hits / {} misses; admission: {} admitted, {} shed",
+        stats.result_hits, stats.result_misses, stats.plan_hits, stats.plan_misses,
+        stats.admitted, stats.shed
+    ));
+
+    print_report(&report);
+    match write_csv(&report, Path::new("results")) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -54,18 +54,26 @@ use crate::Result;
 
 /// Resource limits applied to a single query execution.
 ///
-/// The default is unlimited; use the builder methods to tighten:
+/// The default is unlimited; construct tightened limits with
+/// [`ExecLimits::builder`] (or adjust an existing value with the `with_*`
+/// methods):
 ///
 /// ```
 /// use std::time::Duration;
 /// use conquer_engine::ExecLimits;
 ///
-/// let limits = ExecLimits::none()
-///     .with_mem_bytes(64 << 20)
-///     .with_disk_bytes(1 << 30)
-///     .with_timeout(Duration::from_secs(5));
+/// let limits = ExecLimits::builder()
+///     .mem(64 << 20)
+///     .disk(1 << 30)
+///     .deadline(Duration::from_secs(5))
+///     .build();
 /// assert!(!limits.is_unlimited());
 /// ```
+///
+/// The struct is `#[non_exhaustive]`: new budget fields (admission queue
+/// slots, per-session row caps, …) can be added without breaking callers,
+/// who construct limits through the builder rather than struct literals.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecLimits {
     /// Maximum bytes of materialized operator state (hash tables, sort
@@ -86,10 +94,58 @@ pub struct ExecLimits {
     pub threads: Option<usize>,
 }
 
+/// Builder for [`ExecLimits`] — the forward-compatible way to construct
+/// limits now that the struct is `#[non_exhaustive]`.
+///
+/// Obtain one with [`ExecLimits::builder`]; every setter is optional and
+/// unset budgets stay unlimited.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecLimitsBuilder {
+    limits: ExecLimits,
+}
+
+impl ExecLimitsBuilder {
+    /// Set the memory budget in bytes.
+    pub fn mem(mut self, bytes: u64) -> Self {
+        self.limits.mem_bytes = Some(bytes);
+        self
+    }
+
+    /// Set the spill-disk budget in bytes (`0` disables spilling).
+    pub fn disk(mut self, bytes: u64) -> Self {
+        self.limits.disk_bytes = Some(bytes);
+        self
+    }
+
+    /// Set the wall-clock deadline.
+    pub fn deadline(mut self, timeout: Duration) -> Self {
+        self.limits.timeout = Some(timeout);
+        self
+    }
+
+    /// Set the worker-thread count for parallel fragments (`0` is clamped
+    /// to `1`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.limits.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ExecLimits {
+        self.limits
+    }
+}
+
 impl ExecLimits {
     /// No limits (the default).
     pub fn none() -> Self {
         ExecLimits::default()
+    }
+
+    /// A builder starting from unlimited defaults; see
+    /// [`ExecLimitsBuilder`].
+    pub fn builder() -> ExecLimitsBuilder {
+        ExecLimitsBuilder::default()
     }
 
     /// This limit set with a memory budget of `bytes`.
@@ -185,6 +241,7 @@ impl CancelToken {
 /// meters start at zero. The spill session (temp directory) is created
 /// lazily by the first operator that spills and removed when the context
 /// drops.
+#[non_exhaustive]
 #[derive(Debug)]
 pub struct ExecContext {
     limits: ExecLimits,
@@ -397,6 +454,23 @@ impl ExecContext {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_matches_with_methods() {
+        let built = ExecLimits::builder()
+            .mem(1 << 20)
+            .disk(1 << 22)
+            .deadline(Duration::from_secs(3))
+            .threads(0)
+            .build();
+        let chained = ExecLimits::none()
+            .with_mem_bytes(1 << 20)
+            .with_disk_bytes(1 << 22)
+            .with_timeout(Duration::from_secs(3))
+            .with_threads(1);
+        assert_eq!(built, chained);
+        assert_eq!(ExecLimits::builder().build(), ExecLimits::none());
+    }
 
     #[test]
     fn unlimited_context_never_trips() {

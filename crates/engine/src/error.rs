@@ -37,6 +37,19 @@ pub enum EngineError {
     /// The query was cancelled through its
     /// [`CancelToken`](crate::context::CancelToken).
     Cancelled,
+    /// The query was rejected by admission control: the shared database's
+    /// concurrency slots were all busy and its bounded wait queue was full
+    /// (see [`AdmissionGate`](crate::shared::AdmissionGate)). The request
+    /// was shed *before* consuming execution resources; retrying later is
+    /// safe.
+    Overloaded {
+        /// Queries running when the request was rejected.
+        running: usize,
+        /// Requests already waiting in the admission queue.
+        queued: usize,
+        /// The queue's capacity.
+        max_queue: usize,
+    },
     /// An internal invariant was violated (malformed plan or operator
     /// state). Never caused by user input alone; indicates an engine bug,
     /// but surfaces as an error instead of a panic so a bad plan cannot
@@ -63,6 +76,15 @@ impl fmt::Display for EngineError {
                 write!(f, "query exceeded its time limit of {limit:?}")
             }
             EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::Overloaded {
+                running,
+                queued,
+                max_queue,
+            } => write!(
+                f,
+                "server overloaded: {running} queries running and {queued}/{max_queue} \
+                 admission-queue slots taken; retry later"
+            ),
             EngineError::Internal(m) => write!(f, "internal engine error: {m}"),
         }
     }
@@ -90,6 +112,121 @@ impl From<StorageError> for EngineError {
     }
 }
 
+/// Stable, coarse-grained classification of every error the workspace can
+/// produce, for programmatic dispatch — servers map kinds to wire codes,
+/// clients map wire codes back, retry policies branch on them — without
+/// string matching on `Display` output.
+///
+/// The enum is `#[non_exhaustive]`: new kinds may appear in later versions,
+/// so downstream `match`es need a `_` arm. The [`ErrorKind::as_str`] names
+/// are a stable wire-format commitment (SCREAMING_SNAKE_CASE, round-trips
+/// through [`ErrorKind::from_str`]).
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// SQL text failed to parse.
+    Parse,
+    /// Name resolution or semantic analysis failed.
+    Bind,
+    /// Runtime evaluation failed (division by zero, bad types, …).
+    Exec,
+    /// Schema-level storage failure (missing table/column, type mismatch).
+    Schema,
+    /// Persisted state failed integrity verification (checksums,
+    /// truncation, missing manifests).
+    Corrupt,
+    /// Underlying I/O failure.
+    Io,
+    /// A memory or spill-disk budget was exhausted.
+    ResourceExhausted,
+    /// A wall-clock deadline was exceeded.
+    Timeout,
+    /// The request was cancelled.
+    Cancelled,
+    /// Admission control shed the request before execution; safe to retry.
+    Overloaded,
+    /// The query is outside the rewritable class (Definition 7).
+    NotRewritable,
+    /// The dirty database violates Definition 2 or naive enumeration
+    /// limits.
+    InvalidDirty,
+    /// An internal invariant was violated — an engine bug, not user error.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The stable wire-code spelling of this kind (e.g.
+    /// `"RESOURCE_EXHAUSTED"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "PARSE",
+            ErrorKind::Bind => "BIND",
+            ErrorKind::Exec => "EXEC",
+            ErrorKind::Schema => "SCHEMA",
+            ErrorKind::Corrupt => "CORRUPT",
+            ErrorKind::Io => "IO",
+            ErrorKind::ResourceExhausted => "RESOURCE_EXHAUSTED",
+            ErrorKind::Timeout => "TIMEOUT",
+            ErrorKind::Cancelled => "CANCELLED",
+            ErrorKind::Overloaded => "OVERLOADED",
+            ErrorKind::NotRewritable => "NOT_REWRITABLE",
+            ErrorKind::InvalidDirty => "INVALID_DIRTY",
+            ErrorKind::Internal => "INTERNAL",
+        }
+    }
+
+    /// True for the load-management kinds a client may transparently retry
+    /// ([`Overloaded`](ErrorKind::Overloaded),
+    /// [`Timeout`](ErrorKind::Timeout),
+    /// [`Cancelled`](ErrorKind::Cancelled)): the statement itself was fine,
+    /// policy aborted it.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ErrorKind::Overloaded | ErrorKind::Timeout | ErrorKind::Cancelled
+        )
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for ErrorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "PARSE" => ErrorKind::Parse,
+            "BIND" => ErrorKind::Bind,
+            "EXEC" => ErrorKind::Exec,
+            "SCHEMA" => ErrorKind::Schema,
+            "CORRUPT" => ErrorKind::Corrupt,
+            "IO" => ErrorKind::Io,
+            "RESOURCE_EXHAUSTED" => ErrorKind::ResourceExhausted,
+            "TIMEOUT" => ErrorKind::Timeout,
+            "CANCELLED" => ErrorKind::Cancelled,
+            "OVERLOADED" => ErrorKind::Overloaded,
+            "NOT_REWRITABLE" => ErrorKind::NotRewritable,
+            "INVALID_DIRTY" => ErrorKind::InvalidDirty,
+            "INTERNAL" => ErrorKind::Internal,
+            other => return Err(format!("unknown error kind {other:?}")),
+        })
+    }
+}
+
+/// The [`ErrorKind`] of a storage error (shared by the engine and facade
+/// `kind()` implementations).
+pub fn storage_error_kind(e: &StorageError) -> ErrorKind {
+    match e {
+        StorageError::Corrupt { .. } => ErrorKind::Corrupt,
+        StorageError::Io(_) => ErrorKind::Io,
+        _ => ErrorKind::Schema,
+    }
+}
+
 impl EngineError {
     /// Shorthand for a binding error.
     pub fn bind(msg: impl Into<String>) -> Self {
@@ -107,18 +244,91 @@ impl EngineError {
     }
 
     /// True for the resource-governance errors ([`ResourceExhausted`],
-    /// [`Timeout`], [`Cancelled`]): the query was aborted by policy, not
-    /// because it was wrong, and the database remains fully usable.
+    /// [`Timeout`], [`Cancelled`], [`Overloaded`]): the query was aborted
+    /// by policy, not because it was wrong, and the database remains fully
+    /// usable.
     ///
     /// [`ResourceExhausted`]: EngineError::ResourceExhausted
     /// [`Timeout`]: EngineError::Timeout
     /// [`Cancelled`]: EngineError::Cancelled
+    /// [`Overloaded`]: EngineError::Overloaded
     pub fn is_governance(&self) -> bool {
         matches!(
             self,
             EngineError::ResourceExhausted { .. }
                 | EngineError::Timeout { .. }
                 | EngineError::Cancelled
+                | EngineError::Overloaded { .. }
         )
+    }
+
+    /// The stable [`ErrorKind`] of this error, for mapping to wire codes
+    /// and retry policies without string matching.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            EngineError::Parse(_) => ErrorKind::Parse,
+            EngineError::Storage(e) => storage_error_kind(e),
+            EngineError::Bind(_) => ErrorKind::Bind,
+            EngineError::Exec(_) => ErrorKind::Exec,
+            EngineError::ResourceExhausted { .. } => ErrorKind::ResourceExhausted,
+            EngineError::Timeout { .. } => ErrorKind::Timeout,
+            EngineError::Cancelled => ErrorKind::Cancelled,
+            EngineError::Overloaded { .. } => ErrorKind::Overloaded,
+            EngineError::Internal(_) => ErrorKind::Internal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_wire_codes() {
+        let kinds = [
+            ErrorKind::Parse,
+            ErrorKind::Bind,
+            ErrorKind::Exec,
+            ErrorKind::Schema,
+            ErrorKind::Corrupt,
+            ErrorKind::Io,
+            ErrorKind::ResourceExhausted,
+            ErrorKind::Timeout,
+            ErrorKind::Cancelled,
+            ErrorKind::Overloaded,
+            ErrorKind::NotRewritable,
+            ErrorKind::InvalidDirty,
+            ErrorKind::Internal,
+        ];
+        for k in kinds {
+            assert_eq!(k.as_str().parse::<ErrorKind>().unwrap(), k);
+        }
+        assert!("NOPE".parse::<ErrorKind>().is_err());
+    }
+
+    #[test]
+    fn engine_errors_classify_without_string_matching() {
+        assert_eq!(EngineError::bind("x").kind(), ErrorKind::Bind);
+        assert_eq!(
+            EngineError::Storage(StorageError::Corrupt {
+                path: "p".into(),
+                detail: "d".into(),
+            })
+            .kind(),
+            ErrorKind::Corrupt
+        );
+        assert_eq!(
+            EngineError::Storage(StorageError::NoSuchTable("t".into())).kind(),
+            ErrorKind::Schema
+        );
+        let overloaded = EngineError::Overloaded {
+            running: 4,
+            queued: 16,
+            max_queue: 16,
+        };
+        assert_eq!(overloaded.kind(), ErrorKind::Overloaded);
+        assert!(overloaded.is_governance());
+        assert!(overloaded.kind().is_retryable());
+        assert!(!EngineError::bind("x").kind().is_retryable());
     }
 }

@@ -43,16 +43,21 @@ pub mod expr;
 mod parallel;
 pub mod planner;
 pub mod result;
+pub mod shared;
 pub mod statement;
 pub mod stats;
 pub mod validate;
 
 pub use analyze::{Code, Diagnostic, Severity};
-pub use context::{CancelToken, ExecContext, ExecLimits};
-pub use database::Database;
-pub use error::EngineError;
+pub use context::{CancelToken, ExecContext, ExecLimits, ExecLimitsBuilder};
+pub use database::{Database, ExecOutcome};
+pub use error::{EngineError, ErrorKind};
 pub use expr::{BoundExpr, ColumnId};
 pub use result::QueryResult;
+pub use shared::{
+    AdmissionGate, AdmissionPermit, CacheStats, QuerySource, Session, SessionOutcome,
+    SessionResult, SharedConfig, SharedDatabase,
+};
 pub use statement::Statement;
 pub use stats::{ExecStats, OpStats};
 pub use validate::{set_validation, validate_bound, validate_plan, validation_enabled};

@@ -1,0 +1,1007 @@
+//! Shared, multi-client access to one [`Database`]: the concurrency layer
+//! the network server is built on.
+//!
+//! [`SharedDatabase`] is an `Arc`-shareable, `Send + Sync` handle wrapping
+//! a [`Database`] in interior synchronization. Reads (queries) take a
+//! shared lock and run concurrently; writes (DDL/DML, reloads) take the
+//! exclusive lock and bump the **catalog epoch** — a monotonic counter
+//! identifying one immutable snapshot of the catalog's contents. Derived
+//! state is keyed by `(SQL, epoch)`:
+//!
+//! * a **prepared-plan cache** ([`Statement`]s, so hot queries skip
+//!   parse/bind/plan entirely), and
+//! * a **clean-answer result cache** (full [`QueryResult`]s for hot
+//!   rewritten queries — the paper's GROUP BY + SUM form makes results
+//!   small and cheap to reuse).
+//!
+//! Both caches are invalidated wholesale when the epoch bumps, so a cache
+//! hit is *proof* the answer is byte-identical to re-running the query:
+//! same SQL, same catalog snapshot, deterministic executor.
+//!
+//! Each client talks to the database through a [`Session`], which owns the
+//! per-connection state: [`ExecLimits`] budgets, the active statement's
+//! [`CancelToken`], and a session id. Before touching the database every
+//! request passes the [`AdmissionGate`]: at most `max_running` queries
+//! execute at once, at most `max_queue` wait, and anything beyond that is
+//! shed immediately with the typed [`EngineError::Overloaded`] — load
+//! never turns into an unbounded pile-up or a panic.
+//!
+//! ```
+//! use conquer_engine::{Database, SharedDatabase, QuerySource};
+//!
+//! let mut db = Database::new();
+//! db.execute_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2)").unwrap();
+//! let shared = SharedDatabase::new(db);
+//!
+//! let session = shared.session();
+//! let first = session.query("SELECT a FROM t ORDER BY a").unwrap();
+//! assert_eq!(first.source, QuerySource::Fresh);
+//! let again = session.query("SELECT a FROM t ORDER BY a").unwrap();
+//! assert_eq!(again.source, QuerySource::ResultCache);
+//! assert_eq!(first.result.rows, again.result.rows);
+//!
+//! // A write bumps the epoch and evicts both caches.
+//! session.execute("INSERT INTO t VALUES (3)").unwrap();
+//! let fresh = session.query("SELECT a FROM t ORDER BY a").unwrap();
+//! assert_eq!(fresh.source, QuerySource::Fresh);
+//! assert_eq!(fresh.result.len(), 3);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+use crate::context::{CancelToken, ExecLimits};
+use crate::database::{Database, ExecOutcome};
+use crate::error::EngineError;
+use crate::result::QueryResult;
+use crate::statement::Statement;
+use crate::Result;
+
+/// Configuration for a [`SharedDatabase`]: cache capacities and admission
+/// control. `#[non_exhaustive]` — construct with [`SharedConfig::default`]
+/// or [`SharedConfig::from_env`] and adjust fields.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedConfig {
+    /// Prepared-plan cache capacity in entries (`0` disables the cache).
+    pub plan_cache: usize,
+    /// Result cache capacity in entries (`0` disables the cache).
+    pub result_cache: usize,
+    /// Largest result (in rows) the result cache will admit; bigger
+    /// results are recomputed per request instead of pinned in memory.
+    pub result_cache_max_rows: usize,
+    /// Queries allowed to execute concurrently before new arrivals queue.
+    pub max_running: usize,
+    /// Requests allowed to wait for a slot before arrivals are shed with
+    /// [`EngineError::Overloaded`].
+    pub max_queue: usize,
+}
+
+impl Default for SharedConfig {
+    fn default() -> Self {
+        SharedConfig {
+            plan_cache: 256,
+            result_cache: 128,
+            result_cache_max_rows: 1 << 16,
+            max_running: usize::MAX,
+            max_queue: 0,
+        }
+    }
+}
+
+impl SharedConfig {
+    /// Configuration from the environment, falling back to the defaults:
+    ///
+    /// * `CONQUER_PLAN_CACHE` — plan-cache entries (`0` disables)
+    /// * `CONQUER_RESULT_CACHE` — result-cache entries (`0` disables)
+    /// * `CONQUER_ADMIT` — concurrent-query slots (unset: unlimited)
+    /// * `CONQUER_QUEUE` — admission-queue depth beyond the slots
+    pub fn from_env() -> Self {
+        fn parse(var: &str) -> Option<usize> {
+            std::env::var(var).ok()?.trim().parse().ok()
+        }
+        let mut cfg = SharedConfig::default();
+        if let Some(n) = parse("CONQUER_PLAN_CACHE") {
+            cfg.plan_cache = n;
+        }
+        if let Some(n) = parse("CONQUER_RESULT_CACHE") {
+            cfg.result_cache = n;
+        }
+        if let Some(n) = parse("CONQUER_ADMIT") {
+            cfg.max_running = n.max(1);
+        }
+        if let Some(n) = parse("CONQUER_QUEUE") {
+            cfg.max_queue = n;
+        }
+        cfg
+    }
+}
+
+/// Bounded admission control: `max_running` concurrent execution slots
+/// plus a `max_queue`-deep wait queue; arrivals past both are shed with
+/// the typed [`EngineError::Overloaded`] instead of queueing without bound.
+///
+/// Used by every [`Session`] request; exposed so servers and tests can
+/// hold slots directly (e.g. to drive the gate into a deterministic
+/// overload).
+#[derive(Debug)]
+pub struct AdmissionGate {
+    max_running: usize,
+    max_queue: usize,
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    running: usize,
+    queued: usize,
+}
+
+/// An occupied execution slot; dropping it frees the slot and wakes one
+/// queued waiter.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl AdmissionGate {
+    /// A gate with `max_running` concurrent slots (clamped to at least 1)
+    /// and a `max_queue`-deep wait queue.
+    pub fn new(max_running: usize, max_queue: usize) -> Self {
+        AdmissionGate {
+            max_running: max_running.max(1),
+            max_queue,
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// A gate that always admits (unlimited slots).
+    pub fn unlimited() -> Self {
+        AdmissionGate::new(usize::MAX, 0)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, GateState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Take a slot, waiting in the bounded queue for at most `wait` (or
+    /// indefinitely when `None`) if all slots are busy. Returns
+    /// [`EngineError::Overloaded`] immediately when the queue is full and
+    /// [`EngineError::Timeout`] when `wait` elapses first.
+    pub fn admit(&self, wait: Option<Duration>) -> Result<AdmissionPermit<'_>> {
+        let mut state = self.lock();
+        if state.running < self.max_running {
+            state.running += 1;
+            return Ok(AdmissionPermit { gate: self });
+        }
+        if state.queued >= self.max_queue {
+            return Err(EngineError::Overloaded {
+                running: state.running,
+                queued: state.queued,
+                max_queue: self.max_queue,
+            });
+        }
+        state.queued += 1;
+        let deadline = wait.map(|w| std::time::Instant::now() + w);
+        while state.running >= self.max_running {
+            match deadline {
+                None => {
+                    state = match self.freed.wait(state) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+                Some(deadline) => {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        state.queued -= 1;
+                        return Err(EngineError::Timeout {
+                            limit: wait.unwrap_or_default(),
+                        });
+                    }
+                    let (guard, _timeout) = match self.freed.wait_timeout(state, deadline - now) {
+                        Ok(r) => r,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    state = guard;
+                }
+            }
+        }
+        state.queued -= 1;
+        state.running += 1;
+        Ok(AdmissionPermit { gate: self })
+    }
+
+    /// Take a slot without ever waiting: admitted or [`Overloaded`], right
+    /// now.
+    ///
+    /// [`Overloaded`]: EngineError::Overloaded
+    pub fn try_admit(&self) -> Result<AdmissionPermit<'_>> {
+        let mut state = self.lock();
+        if state.running < self.max_running {
+            state.running += 1;
+            return Ok(AdmissionPermit { gate: self });
+        }
+        Err(EngineError::Overloaded {
+            running: state.running,
+            queued: state.queued,
+            max_queue: self.max_queue,
+        })
+    }
+
+    /// Queries currently holding an execution slot.
+    pub fn running(&self) -> usize {
+        self.lock().running
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.lock().queued
+    }
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.lock();
+        state.running = state.running.saturating_sub(1);
+        drop(state);
+        self.gate.freed.notify_one();
+    }
+}
+
+/// A tiny LRU keyed by SQL text, with every entry stamped by the catalog
+/// epoch it was computed under. Entries from older epochs are treated as
+/// misses and swept out by [`Lru::purge_older_than`] on epoch bumps.
+#[derive(Debug)]
+struct Lru<V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<String, LruEntry<V>>,
+}
+
+#[derive(Debug)]
+struct LruEntry<V> {
+    last_used: u64,
+    epoch: u64,
+    value: V,
+}
+
+impl<V: Clone> Lru<V> {
+    fn new(cap: usize) -> Self {
+        Lru {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, sql: &str, epoch: u64) -> Option<V> {
+        match self.map.get_mut(sql) {
+            Some(entry) if entry.epoch == epoch => {
+                self.tick += 1;
+                entry.last_used = self.tick;
+                Some(entry.value.clone())
+            }
+            Some(_) => {
+                // Stale epoch: the entry can never hit again.
+                self.map.remove(sql);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Insert, evicting least-recently-used entries past capacity; returns
+    /// how many entries were evicted.
+    fn insert(&mut self, sql: &str, epoch: u64, value: V) -> u64 {
+        if self.cap == 0 {
+            return 0;
+        }
+        self.tick += 1;
+        self.map.insert(
+            sql.to_string(),
+            LruEntry {
+                last_used: self.tick,
+                epoch,
+                value,
+            },
+        );
+        let mut evicted = 0;
+        while self.map.len() > self.cap {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                evicted += 1;
+            } else {
+                break;
+            }
+        }
+        evicted
+    }
+
+    fn purge_older_than(&mut self, epoch: u64) -> u64 {
+        let before = self.map.len();
+        self.map.retain(|_, e| e.epoch >= epoch);
+        (before - self.map.len()) as u64
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Monotonic counters describing cache and admission behavior, snapshotted
+/// by [`SharedDatabase::stats`]. `#[non_exhaustive]`: more counters may
+/// appear.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// The current catalog epoch.
+    pub epoch: u64,
+    /// Queries answered straight from the result cache.
+    pub result_hits: u64,
+    /// Queries that missed the result cache.
+    pub result_misses: u64,
+    /// Entries currently in the result cache.
+    pub result_entries: usize,
+    /// Queries that reused a cached prepared plan.
+    pub plan_hits: u64,
+    /// Queries that had to parse/bind/plan from scratch.
+    pub plan_misses: u64,
+    /// Entries currently in the plan cache.
+    pub plan_entries: usize,
+    /// Entries evicted from either cache (capacity or epoch bump).
+    pub evictions: u64,
+    /// Requests admitted to execution.
+    pub admitted: u64,
+    /// Requests shed with [`EngineError::Overloaded`].
+    pub shed: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    evictions: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    db: RwLock<Database>,
+    /// Bumped under the write lock on every catalog mutation; readers see
+    /// a stable value for as long as they hold the read lock.
+    epoch: AtomicU64,
+    plans: Mutex<Lru<Arc<Statement>>>,
+    results: Mutex<Lru<Arc<QueryResult>>>,
+    gate: AdmissionGate,
+    counters: Counters,
+    session_ids: AtomicU64,
+    config: SharedConfig,
+}
+
+/// An `Arc`-shareable, `Send + Sync` handle to one [`Database`].
+///
+/// Cloning is cheap (it clones the `Arc`); all clones see the same
+/// catalog, caches, and admission gate. See the [module docs](self) for
+/// the full semantics.
+#[derive(Debug, Clone)]
+pub struct SharedDatabase {
+    inner: Arc<Inner>,
+}
+
+impl SharedDatabase {
+    /// Share `db` with the default [`SharedConfig`].
+    pub fn new(db: Database) -> Self {
+        SharedDatabase::with_config(db, SharedConfig::default())
+    }
+
+    /// Share `db` with explicit cache/admission configuration.
+    pub fn with_config(db: Database, config: SharedConfig) -> Self {
+        SharedDatabase {
+            inner: Arc::new(Inner {
+                db: RwLock::new(db),
+                epoch: AtomicU64::new(0),
+                plans: Mutex::new(Lru::new(config.plan_cache)),
+                results: Mutex::new(Lru::new(config.result_cache)),
+                gate: AdmissionGate::new(config.max_running, config.max_queue),
+                counters: Counters::default(),
+                session_ids: AtomicU64::new(0),
+                config,
+            }),
+        }
+    }
+
+    /// Open a new session. Sessions are independent: each carries its own
+    /// limits (initialized from the database defaults) and cancellation
+    /// state.
+    pub fn session(&self) -> Session {
+        let limits = *self.read().limits();
+        Session {
+            db: self.clone(),
+            id: self.inner.session_ids.fetch_add(1, Ordering::Relaxed) + 1,
+            limits: Mutex::new(limits),
+            active: Mutex::new(None),
+        }
+    }
+
+    /// The current catalog epoch. Two queries answered at the same epoch
+    /// ran against byte-identical catalog contents.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// The admission gate every request passes through.
+    pub fn admission(&self) -> &AdmissionGate {
+        &self.inner.gate
+    }
+
+    /// The configuration this handle was created with.
+    pub fn config(&self) -> &SharedConfig {
+        &self.inner.config
+    }
+
+    /// Snapshot of the cache/admission counters.
+    pub fn stats(&self) -> CacheStats {
+        let c = &self.inner.counters;
+        CacheStats {
+            epoch: self.epoch(),
+            result_hits: c.result_hits.load(Ordering::Relaxed),
+            result_misses: c.result_misses.load(Ordering::Relaxed),
+            result_entries: lock(&self.inner.results).len(),
+            plan_hits: c.plan_hits.load(Ordering::Relaxed),
+            plan_misses: c.plan_misses.load(Ordering::Relaxed),
+            plan_entries: lock(&self.inner.plans).len(),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            admitted: c.admitted.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run `f` with shared (read) access to the database. Queries executed
+    /// inside `f` bypass the caches and admission gate — use a [`Session`]
+    /// for served traffic.
+    pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.read())
+    }
+
+    /// Run `f` with exclusive (write) access, then bump the catalog epoch
+    /// and evict both caches. Every mutation that does not go through
+    /// [`Session::execute`] — bulk loads, re-clustering, reloads from disk
+    /// — must use this so cached plans and answers can never survive it.
+    pub fn mutate<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        let mut guard = self.write();
+        let out = f(&mut guard);
+        self.bump_epoch_locked(&guard);
+        out
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, Database> {
+        match self.inner.db.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Database> {
+        match self.inner.db.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Bump the epoch while holding the write lock (the guard argument
+    /// only proves the caller holds it) and sweep both caches.
+    fn bump_epoch_locked(&self, _guard: &RwLockWriteGuard<'_, Database>) {
+        let next = self.inner.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        let purged = lock(&self.inner.plans).purge_older_than(next)
+            + lock(&self.inner.results).purge_older_than(next);
+        self.inner
+            .counters
+            .evictions
+            .fetch_add(purged, Ordering::Relaxed);
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Where a [`Session::query`] answer came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySource {
+    /// Straight from the result cache — no planning, no execution.
+    ResultCache,
+    /// Executed from a cached prepared plan — no parse/bind/plan.
+    PlanCache,
+    /// Parsed, planned, and executed from scratch.
+    Fresh,
+}
+
+impl QuerySource {
+    /// Stable lowercase name (used by the wire protocol).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QuerySource::ResultCache => "result-cache",
+            QuerySource::PlanCache => "plan-cache",
+            QuerySource::Fresh => "fresh",
+        }
+    }
+}
+
+/// The outcome of a successful [`Session::query`].
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// The rows. Shared (`Arc`) because cache hits hand out the same
+    /// materialized result to every requester.
+    pub result: Arc<QueryResult>,
+    /// Which layer produced the answer.
+    pub source: QuerySource,
+    /// The catalog epoch the answer is valid for.
+    pub epoch: u64,
+}
+
+/// The outcome of [`Session::run_sql`]: rows for queries, a summary for
+/// commands.
+#[derive(Debug, Clone)]
+pub enum SessionOutcome {
+    /// A `SELECT`/`EXPLAIN` produced rows.
+    Rows(SessionResult),
+    /// A DDL/DML command completed.
+    Done(ExecOutcome),
+}
+
+/// Per-connection state over a [`SharedDatabase`]: resource limits, the
+/// active statement's cancellation token, and a session id.
+///
+/// All methods take `&self`, so a `Session` can be shared across threads
+/// (e.g. a connection reader thread executing queries while another thread
+/// calls [`Session::cancel`]).
+#[derive(Debug)]
+pub struct Session {
+    db: SharedDatabase,
+    id: u64,
+    limits: Mutex<ExecLimits>,
+    /// Cancellation token of the statement currently executing, if any.
+    active: Mutex<Option<CancelToken>>,
+}
+
+impl Session {
+    /// This session's id (unique within its [`SharedDatabase`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The shared handle this session talks to.
+    pub fn shared(&self) -> &SharedDatabase {
+        &self.db
+    }
+
+    /// The session's current resource limits.
+    pub fn limits(&self) -> ExecLimits {
+        *lock(&self.limits)
+    }
+
+    /// Replace the session's resource limits (applies to subsequent
+    /// statements).
+    pub fn set_limits(&self, limits: ExecLimits) {
+        *lock(&self.limits) = limits;
+    }
+
+    /// Cancel the statement currently executing in this session, if any.
+    /// Idempotent; a no-op when the session is idle.
+    pub fn cancel(&self) {
+        if let Some(token) = lock(&self.active).as_ref() {
+            token.cancel();
+        }
+    }
+
+    /// Classify and run one SQL statement: queries go through
+    /// [`Session::query`] (caches and all), commands through
+    /// [`Session::execute`].
+    pub fn run_sql(&self, sql: &str) -> Result<SessionOutcome> {
+        match conquer_sql::parse_statement(sql)? {
+            conquer_sql::Statement::Select(_) | conquer_sql::Statement::Explain { .. } => {
+                Ok(SessionOutcome::Rows(self.query(sql)?))
+            }
+            _ => Ok(SessionOutcome::Done(self.execute(sql)?)),
+        }
+    }
+
+    /// Execute a `SELECT` (or `EXPLAIN`) under this session's limits,
+    /// going through admission control, the result cache, and the plan
+    /// cache, in that order.
+    pub fn query(&self, sql: &str) -> Result<SessionResult> {
+        let inner = &self.db.inner;
+        let limits = self.limits();
+        let _permit = self.admit(&limits)?;
+
+        // Hold the read lock across cache probes and execution: the epoch
+        // cannot move underneath us, so whatever we compute is safe to
+        // file under it.
+        let db = self.db.read();
+        let epoch = self.db.epoch();
+
+        if let Some(result) = lock(&inner.results).get(sql, epoch) {
+            inner.counters.result_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(SessionResult {
+                result,
+                source: QuerySource::ResultCache,
+                epoch,
+            });
+        }
+        inner.counters.result_misses.fetch_add(1, Ordering::Relaxed);
+
+        let (stmt, source) = self.prepare_locked(&db, sql, epoch)?;
+        if !stmt.is_query() {
+            return Err(EngineError::bind(format!(
+                "statement is not a query (use Session::execute): {sql}"
+            )));
+        }
+
+        let ctx = db.exec_context(limits);
+        *lock(&self.active) = Some(ctx.cancel_token());
+        let outcome = stmt.query_with(&db, &ctx);
+        *lock(&self.active) = None;
+        let result = Arc::new(outcome?);
+
+        // EXPLAIN ANALYZE output embeds wall times — never cache it.
+        if !stmt.is_explain() && result.len() <= inner.config.result_cache_max_rows {
+            let evicted = lock(&inner.results).insert(sql, epoch, Arc::clone(&result));
+            inner
+                .counters
+                .evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok(SessionResult {
+            result,
+            source,
+            epoch,
+        })
+    }
+
+    /// Prepare `sql` through the plan cache (the read lock must be held by
+    /// the caller). Returns the statement and whether it was cached.
+    fn prepare_locked(
+        &self,
+        db: &Database,
+        sql: &str,
+        epoch: u64,
+    ) -> Result<(Arc<Statement>, QuerySource)> {
+        let inner = &self.db.inner;
+        if let Some(stmt) = lock(&inner.plans).get(sql, epoch) {
+            inner.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((stmt, QuerySource::PlanCache));
+        }
+        inner.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let stmt = Arc::new(db.prepare(sql)?);
+        let evicted = lock(&inner.plans).insert(sql, epoch, Arc::clone(&stmt));
+        inner
+            .counters
+            .evictions
+            .fetch_add(evicted, Ordering::Relaxed);
+        Ok((stmt, QuerySource::Fresh))
+    }
+
+    /// Prepare a statement through the shared plan cache without running
+    /// it. Repeated calls for the same SQL at the same epoch return the
+    /// same `Arc` (visible as `plan_hits` in [`SharedDatabase::stats`]).
+    pub fn prepare(&self, sql: &str) -> Result<Arc<Statement>> {
+        let db = self.db.read();
+        let epoch = self.db.epoch();
+        self.prepare_locked(&db, sql, epoch).map(|(stmt, _)| stmt)
+    }
+
+    /// Execute a DDL/DML command (or any statement) under the exclusive
+    /// lock. Commands that touch the catalog bump the epoch and evict both
+    /// caches; a plain `SELECT` routed here leaves the epoch alone.
+    pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
+        let limits = self.limits();
+        let _permit = self.admit(&limits)?;
+        let stmt = {
+            let db = self.db.read();
+            db.prepare(sql)?
+        };
+        if stmt.is_query() {
+            // No mutation: run it under the read path (without re-entering
+            // admission).
+            let db = self.db.read();
+            let ctx = db.exec_context(limits);
+            *lock(&self.active) = Some(ctx.cancel_token());
+            let outcome = stmt.query_with(&db, &ctx);
+            *lock(&self.active) = None;
+            return Ok(ExecOutcome::Rows(outcome?));
+        }
+        let mut db = self.db.write();
+        let outcome = stmt.run(&mut db);
+        // Even a failed DML may have applied partial effects; the epoch
+        // bump errs on the safe side.
+        self.db.bump_epoch_locked(&db);
+        outcome
+    }
+
+    fn admit(&self, limits: &ExecLimits) -> Result<AdmissionPermit<'_>> {
+        let inner = &self.db.inner;
+        match inner.gate.admit(limits.timeout) {
+            Ok(permit) => {
+                inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(permit)
+            }
+            Err(e) => {
+                if matches!(e, EngineError::Overloaded { .. }) {
+                    inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared() -> SharedDatabase {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (a INTEGER, b TEXT);
+             INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'y')",
+        )
+        .unwrap();
+        SharedDatabase::new(db)
+    }
+
+    #[test]
+    fn result_cache_hits_after_first_execution() {
+        let s = shared().session();
+        let q = "SELECT COUNT(*) FROM t WHERE b = 'y'";
+        assert_eq!(s.query(q).unwrap().source, QuerySource::Fresh);
+        let hit = s.query(q).unwrap();
+        assert_eq!(hit.source, QuerySource::ResultCache);
+        let stats = s.shared().stats();
+        assert_eq!((stats.result_hits, stats.result_misses), (1, 1));
+        assert_eq!(stats.plan_misses, 1);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_both_caches() {
+        let db = shared();
+        let s = db.session();
+        let q = "SELECT a FROM t ORDER BY a";
+        s.query(q).unwrap();
+        assert_eq!(db.stats().result_entries, 1);
+        assert_eq!(db.stats().plan_entries, 1);
+
+        s.execute("INSERT INTO t VALUES (4, 'z')").unwrap();
+        assert_eq!(db.epoch(), 1);
+        assert_eq!(db.stats().result_entries, 0, "result cache must be swept");
+        assert_eq!(db.stats().plan_entries, 0, "plan cache must be swept");
+
+        let fresh = s.query(q).unwrap();
+        assert_eq!(fresh.source, QuerySource::Fresh);
+        assert_eq!(fresh.result.len(), 4);
+        assert_eq!(fresh.epoch, 1);
+    }
+
+    #[test]
+    fn select_through_execute_does_not_bump_epoch() {
+        let db = shared();
+        let s = db.session();
+        match s.execute("SELECT a FROM t").unwrap() {
+            ExecOutcome::Rows(r) => assert_eq!(r.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(db.epoch(), 0);
+    }
+
+    #[test]
+    fn run_sql_routes_queries_and_commands() {
+        let db = shared();
+        let s = db.session();
+        match s.run_sql("DELETE FROM t WHERE a = 1").unwrap() {
+            SessionOutcome::Done(ExecOutcome::Deleted(1)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(db.epoch(), 1);
+        match s.run_sql("SELECT COUNT(*) FROM t").unwrap() {
+            SessionOutcome::Rows(r) => {
+                assert_eq!(r.result.rows, vec![vec![conquer_storage::Value::Int(2)]])
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_rejects_commands() {
+        let s = shared().session();
+        let err = s.query("DROP TABLE t").unwrap_err();
+        assert!(err.to_string().contains("not a query"), "{err}");
+    }
+
+    #[test]
+    fn gate_sheds_past_the_queue_with_typed_error() {
+        let gate = AdmissionGate::new(1, 0);
+        let held = gate.admit(None).unwrap();
+        let err = gate.try_admit().unwrap_err();
+        assert_eq!(err.kind(), crate::ErrorKind::Overloaded);
+        match err {
+            EngineError::Overloaded {
+                running,
+                queued,
+                max_queue,
+            } => {
+                assert_eq!((running, queued, max_queue), (1, 0, 0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(held);
+        let _ok = gate.try_admit().unwrap();
+    }
+
+    #[test]
+    fn gate_queue_admits_after_release() {
+        let gate = Arc::new(AdmissionGate::new(1, 4));
+        let held = gate.admit(None).unwrap();
+        let g2 = Arc::clone(&gate);
+        let waiter =
+            std::thread::spawn(move || g2.admit(Some(Duration::from_secs(10))).map(|_| ()));
+        // Wait until the thread is queued, then release.
+        while gate.queued() == 0 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        waiter.join().unwrap().unwrap();
+        assert_eq!(gate.running(), 0);
+        assert_eq!(gate.queued(), 0);
+    }
+
+    #[test]
+    fn gate_queue_wait_times_out_with_typed_error() {
+        let gate = AdmissionGate::new(1, 4);
+        let _held = gate.admit(None).unwrap();
+        let err = gate.admit(Some(Duration::from_millis(20))).unwrap_err();
+        assert!(matches!(err, EngineError::Timeout { .. }), "{err:?}");
+        assert_eq!(gate.queued(), 0, "timed-out waiter must leave the queue");
+    }
+
+    #[test]
+    fn overload_is_counted_and_typed_through_sessions() {
+        let cfg = SharedConfig {
+            max_running: 1,
+            max_queue: 0,
+            ..Default::default()
+        };
+        let mut db = Database::new();
+        db.execute_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1)")
+            .unwrap();
+        let shared = SharedDatabase::with_config(db, cfg);
+        let s = shared.session();
+        // Hold the only slot directly, then watch the session get shed.
+        let _slot = shared.admission().admit(None).unwrap();
+        let err = s.query("SELECT a FROM t").unwrap_err();
+        assert_eq!(err.kind(), crate::ErrorKind::Overloaded);
+        assert_eq!(shared.stats().shed, 1);
+    }
+
+    #[test]
+    fn sessions_share_caches_and_get_distinct_ids() {
+        let db = shared();
+        let (s1, s2) = (db.session(), db.session());
+        assert_ne!(s1.id(), s2.id());
+        s1.query("SELECT a FROM t").unwrap();
+        assert_eq!(
+            s2.query("SELECT a FROM t").unwrap().source,
+            QuerySource::ResultCache
+        );
+    }
+
+    #[test]
+    fn prepare_reuses_the_same_plan_arc() {
+        let db = shared();
+        let s = db.session();
+        let p1 = s.prepare("SELECT a FROM t").unwrap();
+        let p2 = s.prepare("SELECT a FROM t").unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(db.stats().plan_hits, 1);
+    }
+
+    #[test]
+    fn mutate_invalidates_like_execute() {
+        let db = shared();
+        let s = db.session();
+        s.query("SELECT a FROM t").unwrap();
+        db.mutate(|d| {
+            d.execute_script("INSERT INTO t VALUES (9, 'q')")
+                .map(|_| ())
+        })
+        .unwrap();
+        assert_eq!(db.epoch(), 1);
+        let r = s.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.result.rows, vec![vec![conquer_storage::Value::Int(4)]]);
+    }
+
+    #[test]
+    fn explain_analyze_is_never_result_cached() {
+        let db = shared();
+        let s = db.session();
+        let q = "EXPLAIN ANALYZE SELECT a FROM t";
+        s.query(q).unwrap();
+        assert_eq!(db.stats().result_entries, 0);
+        assert_eq!(s.query(q).unwrap().source, QuerySource::PlanCache);
+    }
+
+    #[test]
+    fn oversized_results_are_not_cached() {
+        let cfg = SharedConfig {
+            result_cache_max_rows: 2,
+            ..Default::default()
+        };
+        let mut db = Database::new();
+        db.execute_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2), (3)")
+            .unwrap();
+        let shared = SharedDatabase::with_config(db, cfg);
+        let s = shared.session();
+        s.query("SELECT a FROM t").unwrap();
+        assert_eq!(shared.stats().result_entries, 0);
+        // Small results still cache.
+        s.query("SELECT a FROM t WHERE a = 1").unwrap();
+        assert_eq!(shared.stats().result_entries, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru: Lru<u32> = Lru::new(2);
+        lru.insert("a", 0, 1);
+        lru.insert("b", 0, 2);
+        assert_eq!(lru.get("a", 0), Some(1)); // refresh a
+        let evicted = lru.insert("c", 0, 3);
+        assert_eq!(evicted, 1);
+        assert_eq!(lru.get("b", 0), None, "b was least recently used");
+        assert_eq!(lru.get("a", 0), Some(1));
+        assert_eq!(lru.get("c", 0), Some(3));
+    }
+
+    #[test]
+    fn concurrent_sessions_agree_with_serial_answers() {
+        let db = shared();
+        let reference = db.session().query("SELECT a, b FROM t ORDER BY a").unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    let s = db.session();
+                    let mut out = Vec::new();
+                    for _ in 0..16 {
+                        out.push(s.query("SELECT a, b FROM t ORDER BY a").unwrap());
+                    }
+                    out
+                })
+            })
+            .collect();
+        for t in threads {
+            for r in t.join().unwrap() {
+                assert_eq!(r.result.rows, reference.result.rows);
+            }
+        }
+        let stats = db.stats();
+        assert!(stats.result_hits >= 8 * 16 - 1, "{stats:?}");
+    }
+}

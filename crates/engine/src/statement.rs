@@ -123,6 +123,12 @@ impl Statement {
         !matches!(self.kind, Kind::Command(_))
     }
 
+    /// True when this statement is an `EXPLAIN [ANALYZE]`. Explain output
+    /// embeds wall-clock timings, so result caches must never store it.
+    pub fn is_explain(&self) -> bool {
+        matches!(self.kind, Kind::Explain { .. })
+    }
+
     /// Override the resource limits this statement runs under, instead of
     /// the database's defaults. Pass `None` to fall back to the defaults.
     pub fn set_limits(&mut self, limits: Option<ExecLimits>) {

@@ -28,12 +28,9 @@ fn lock() -> MutexGuard<'static, ()> {
 const SPILL_SQL: &str = "SELECT COUNT(*), SUM(a.val + b.val) \
      FROM big a, big b WHERE a.id = b.id";
 
-const LIMITS_32K: ExecLimits = ExecLimits {
-    mem_bytes: Some(32 * 1024),
-    disk_bytes: None,
-    timeout: None,
-    threads: None,
-};
+fn limits_32k() -> ExecLimits {
+    ExecLimits::builder().mem(32 * 1024).build()
+}
 
 fn tempbase(tag: &str) -> PathBuf {
     let dir =
@@ -70,7 +67,7 @@ fn expect_fault(db: &Database) -> EngineError {
     let err = db
         .prepare(SPILL_SQL)
         .unwrap()
-        .with_limits(LIMITS_32K)
+        .with_limits(limits_32k())
         .query(db)
         .unwrap_err();
     assert!(
@@ -92,7 +89,7 @@ fn kill_at_every_spill_write_leaves_no_orphans() {
     let reference = db
         .prepare(SPILL_SQL)
         .unwrap()
-        .with_limits(LIMITS_32K)
+        .with_limits(limits_32k())
         .query(&db)
         .unwrap();
     let hits = fault::hit_count("spill::write");
@@ -117,7 +114,7 @@ fn kill_at_every_spill_write_leaves_no_orphans() {
     let again = db
         .prepare(SPILL_SQL)
         .unwrap()
-        .with_limits(LIMITS_32K)
+        .with_limits(limits_32k())
         .query(&db)
         .unwrap();
     assert_eq!(reference.rows, again.rows);
@@ -132,7 +129,7 @@ fn kill_at_every_spill_read_leaves_no_orphans() {
     fault::reset();
     db.prepare(SPILL_SQL)
         .unwrap()
-        .with_limits(LIMITS_32K)
+        .with_limits(limits_32k())
         .query(&db)
         .unwrap();
     let hits = fault::hit_count("spill::read");
@@ -160,7 +157,7 @@ fn spill_dir_creation_failure_is_typed() {
     let err = db
         .prepare(SPILL_SQL)
         .unwrap()
-        .with_limits(LIMITS_32K)
+        .with_limits(limits_32k())
         .query(&db)
         .unwrap_err();
     assert!(
@@ -176,7 +173,7 @@ fn spill_faults_at_four_threads_shut_the_pool_down_cleanly() {
     let _g = lock();
     let base = tempbase("parallel");
     let db = big_db(20_000, &base);
-    let limits = LIMITS_32K.with_threads(4);
+    let limits = limits_32k().with_threads(4);
     // Scan-only spine (no build side to overflow), ~20k groups: the
     // worker pool engages with all four workers AND the downstream
     // aggregation + external sort must spill under 32 KiB — faults and
@@ -254,7 +251,7 @@ fn orphans_from_a_simulated_kill_are_collected_by_recovery() {
     // `kill -9` between a spill and the query's cleanup.
     fault::reset();
     fault::arm("spill::remove", 1);
-    let ctx = db.exec_context(LIMITS_32K);
+    let ctx = db.exec_context(limits_32k());
     let stmt = db.prepare(SPILL_SQL).unwrap();
     stmt.query_with(&db, &ctx).unwrap();
     std::mem::forget(ctx);

@@ -1,0 +1,168 @@
+//! Cache-invalidation contract of [`SharedDatabase`]: an epoch bump must
+//! evict every cached plan and result, answers served through the caches
+//! must be byte-identical to freshly prepared ones (float bits included),
+//! and the stats counters must prove when re-preparation was skipped.
+
+use std::sync::Arc;
+
+use conquer_engine::{Database, ErrorKind, ExecLimits, QuerySource, SharedConfig, SharedDatabase};
+use conquer_storage::Value;
+
+fn sample() -> SharedDatabase {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE m (grp TEXT, w DOUBLE);
+         INSERT INTO m VALUES
+           ('a', 0.1), ('a', 0.2), ('a', 0.30000000000000004),
+           ('b', 1e-300), ('b', 2.5), ('b', -0.0)",
+    )
+    .unwrap();
+    SharedDatabase::new(db)
+}
+
+/// Float-summing SQL whose result depends on exact accumulation order —
+/// the sharpest probe for "byte-identical".
+const SUM_SQL: &str = "SELECT grp, SUM(w), COUNT(*) FROM m GROUP BY grp ORDER BY grp";
+
+/// Compare two results down to the f64 bit pattern.
+fn assert_bit_identical(a: &[Vec<Value>], b: &[Vec<Value>]) {
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(ra.len(), rb.len());
+        for (va, vb) in ra.iter().zip(rb) {
+            match (va, vb) {
+                (Value::Float(fa), Value::Float(fb)) => {
+                    assert_eq!(fa.to_bits(), fb.to_bits(), "{fa} vs {fb}")
+                }
+                _ => assert_eq!(va, vb),
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_answers_are_bit_identical_to_fresh_prepare() {
+    let shared = sample();
+    let session = shared.session();
+
+    // Fresh → plan-cached → result-cached: all three paths, one answer.
+    let fresh = session.query(SUM_SQL).unwrap();
+    assert_eq!(fresh.source, QuerySource::Fresh);
+    let hit = session.query(SUM_SQL).unwrap();
+    assert_eq!(hit.source, QuerySource::ResultCache);
+    assert_bit_identical(&fresh.result.rows, &hit.result.rows);
+
+    // And against a from-scratch prepare that bypasses every cache.
+    let scratch = shared.with_db(|db| db.prepare(SUM_SQL).unwrap().query(db).unwrap());
+    assert_bit_identical(&fresh.result.rows, &scratch.rows);
+}
+
+#[test]
+fn epoch_bump_evicts_plans_and_results() {
+    let shared = sample();
+    let session = shared.session();
+    session.query(SUM_SQL).unwrap();
+    session.query("SELECT COUNT(*) FROM m").unwrap();
+    let before = shared.stats();
+    assert_eq!(before.plan_entries, 2);
+    assert_eq!(before.result_entries, 2);
+    assert_eq!(before.epoch, 0);
+
+    session.execute("INSERT INTO m VALUES ('c', 7.5)").unwrap();
+
+    let after = shared.stats();
+    assert_eq!(after.epoch, 1);
+    assert_eq!(after.plan_entries, 0, "plan cache must be empty");
+    assert_eq!(after.result_entries, 0, "result cache must be empty");
+    assert_eq!(after.evictions, before.evictions + 4);
+
+    // The next query re-prepares and sees the new row.
+    let fresh = session.query(SUM_SQL).unwrap();
+    assert_eq!(fresh.source, QuerySource::Fresh);
+    assert_eq!(fresh.epoch, 1);
+    assert_eq!(fresh.result.len(), 3);
+}
+
+#[test]
+fn re_prepared_answers_after_bump_match_fresh_prepare() {
+    let shared = sample();
+    let session = shared.session();
+    session.query(SUM_SQL).unwrap();
+    session.execute("INSERT INTO m VALUES ('a', 0.4)").unwrap();
+
+    // Served answer at the new epoch vs a cache-bypassing fresh prepare.
+    let served = session.query(SUM_SQL).unwrap();
+    let scratch = shared.with_db(|db| db.prepare(SUM_SQL).unwrap().query(db).unwrap());
+    assert_bit_identical(&served.result.rows, &scratch.rows);
+
+    // And the served answer is now cacheable again at the new epoch.
+    let hit = session.query(SUM_SQL).unwrap();
+    assert_eq!(hit.source, QuerySource::ResultCache);
+    assert_eq!(hit.epoch, 1);
+    assert_bit_identical(&served.result.rows, &hit.result.rows);
+}
+
+#[test]
+fn plan_cache_hits_skip_re_preparation() {
+    let mut db = Database::new();
+    db.execute_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2)")
+        .unwrap();
+    // Result cache off: every query must execute, so repeats exercise the
+    // plan cache alone. (`SharedConfig` is non_exhaustive: start from the
+    // default and adjust fields.)
+    let mut config = SharedConfig::default();
+    config.result_cache = 0;
+    let shared = SharedDatabase::with_config(db, config);
+    let session = shared.session();
+
+    for _ in 0..5 {
+        session.query("SELECT a FROM t ORDER BY a").unwrap();
+    }
+    let stats = shared.stats();
+    assert_eq!(stats.plan_misses, 1, "prepared once");
+    assert_eq!(stats.plan_hits, 4, "four repeats reused the plan");
+    assert_eq!(stats.result_hits, 0);
+
+    // Same SQL, same epoch ⇒ the very same statement object.
+    let p1 = session.prepare("SELECT a FROM t ORDER BY a").unwrap();
+    let p2 = session.prepare("SELECT a FROM t ORDER BY a").unwrap();
+    assert!(Arc::ptr_eq(&p1, &p2));
+}
+
+#[test]
+fn overload_sheds_with_typed_error_and_recovers() {
+    let mut db = Database::new();
+    db.execute_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1)")
+        .unwrap();
+    let mut config = SharedConfig::default();
+    config.max_running = 1;
+    config.max_queue = 0;
+    let shared = SharedDatabase::with_config(db, config);
+    let session = shared.session();
+
+    let slot = shared.admission().admit(None).unwrap();
+    let err = session.query("SELECT a FROM t").unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Overloaded);
+    assert!(err.kind().is_retryable());
+    assert_eq!(shared.stats().shed, 1);
+
+    // Releasing the slot restores service — shedding is not sticky.
+    drop(slot);
+    assert_eq!(session.query("SELECT a FROM t").unwrap().result.len(), 1);
+}
+
+#[test]
+fn session_limits_flow_into_execution() {
+    let mut db = Database::new();
+    db.execute_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2), (3)")
+        .unwrap();
+    let shared = SharedDatabase::new(db);
+    let session = shared.session();
+    session.set_limits(
+        ExecLimits::builder()
+            .deadline(std::time::Duration::ZERO)
+            .build(),
+    );
+    let err = session.query("SELECT a FROM t").unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Timeout, "{err}");
+}

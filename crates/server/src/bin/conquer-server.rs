@@ -1,0 +1,94 @@
+//! `conquer-server` — serve one database to many clients over TCP.
+//!
+//! ```text
+//! conquer-server [--addr HOST:PORT] [--load DIR | --gen SF IF]
+//! ```
+//!
+//! The database is either loaded from a directory previously written with
+//! `save_to_dir` (`--load`), or generated as a UIS-dirtied TPC-H-lite
+//! instance (`--gen`, default `--gen 0.01 3`). Cache sizes, admission
+//! slots, and the listen address also come from the environment
+//! (`CONQUER_PLAN_CACHE`, `CONQUER_RESULT_CACHE`, `CONQUER_ADMIT`,
+//! `CONQUER_QUEUE`, `CONQUER_ADDR`, `CONQUER_MAX_CONN`); flags win over
+//! the environment.
+
+use std::process::ExitCode;
+
+use conquer_datagen::{
+    dirty::{dirty_database, ProbMode, UisConfig},
+    perturb::PerturbOptions,
+    tpch::TpchConfig,
+};
+use conquer_engine::{Database, SharedConfig, SharedDatabase};
+use conquer_server::{Server, ServerConfig};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("conquer-server: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut config = ServerConfig::from_env();
+    let mut load: Option<String> = None;
+    let mut gen: (f64, u32) = (0.01, 3);
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = args.next().ok_or("--addr needs HOST:PORT")?;
+            }
+            "--load" => {
+                load = Some(args.next().ok_or("--load needs a directory")?);
+            }
+            "--gen" => {
+                let sf = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--gen needs a scale factor (e.g. 0.01)")?;
+                let if_factor = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--gen needs an inconsistency factor (e.g. 3)")?;
+                gen = (sf, if_factor);
+            }
+            "--help" | "-h" => {
+                println!("usage: conquer-server [--addr HOST:PORT] [--load DIR | --gen SF IF]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+
+    let db = match &load {
+        Some(dir) => {
+            eprintln!("loading database from {dir} ...");
+            Database::load_from_dir(std::path::Path::new(dir))
+                .map_err(|e| format!("loading {dir}: {e}"))?
+        }
+        None => {
+            let (sf, if_factor) = gen;
+            eprintln!("generating dirty TPC-H-lite (sf={sf}, if={if_factor}) ...");
+            let dirty = dirty_database(UisConfig {
+                tpch: TpchConfig { sf, seed: 2024 },
+                if_factor,
+                prob_mode: ProbMode::Uniform,
+                perturb: PerturbOptions::default(),
+            })
+            .map_err(|e| format!("generating data: {e}"))?;
+            dirty.db().clone()
+        }
+    };
+
+    let shared = SharedDatabase::with_config(db, SharedConfig::from_env());
+    let server =
+        Server::bind(shared, &config).map_err(|e| format!("binding {}: {e}", config.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("conquer-server listening on {addr}");
+    server.run().map_err(|e| format!("serving: {e}"))
+}

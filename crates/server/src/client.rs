@@ -1,0 +1,331 @@
+//! A blocking client for the [wire protocol](crate::proto): connects over
+//! TCP, sends one request line at a time, and parses the response into
+//! typed values. Used by the CLI's `--connect` mode, the concurrency
+//! bench, and the smoke tests.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use conquer_engine::ErrorKind;
+
+use crate::proto::{decode_fields, escape, unescape};
+
+/// A server-reported error (an `ERR` line), carrying the stable kind code
+/// so callers dispatch on [`ClientError::kind`] instead of message text.
+#[derive(Debug, Clone)]
+pub struct ServerError {
+    /// The wire code, verbatim (an [`ErrorKind`] spelling or `PROTO`).
+    pub code: String,
+    /// The human-readable message.
+    pub message: String,
+}
+
+/// Everything that can go wrong on the client side of a request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server answered with an `ERR` line.
+    Server(ServerError),
+    /// The server answered with something the client cannot parse.
+    Proto(String),
+}
+
+impl ClientError {
+    /// The engine [`ErrorKind`] of a server-reported error, when the code
+    /// is one ( `PROTO` and transport errors return `None`).
+    pub fn kind(&self) -> Option<ErrorKind> {
+        match self {
+            ClientError::Server(e) => e.code.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Server(e) => write!(f, "server error [{}]: {}", e.code, e.message),
+            ClientError::Proto(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A successful response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A row set (`COLS`/`ROW`.../`END`).
+    Rows(Rows),
+    /// A single `OK <summary>` line.
+    Ok(String),
+    /// `STAT` lines folded into key/value pairs (from `STATS`).
+    Stats(Vec<(String, u64)>),
+}
+
+/// A decoded row set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rows {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Row values as decoded strings (the wire's canonical rendering, so
+    /// comparing two `Rows` compares answers byte-for-byte).
+    pub rows: Vec<Vec<String>>,
+    /// Which layer answered: `fresh`, `plan-cache`, or `result-cache`.
+    pub source: String,
+    /// The catalog epoch the answer is valid for.
+    pub epoch: u64,
+}
+
+/// A blocking connection to a ConQuer server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Set (or clear) the read timeout, so a hung server surfaces as an
+    /// I/O error instead of blocking forever.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Send one raw request line and parse the response.
+    pub fn request(&mut self, line: &str) -> Result<Response, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// `SQL <sql>` — auto-routed; queries return [`Response::Rows`],
+    /// commands [`Response::Ok`].
+    pub fn sql(&mut self, sql: &str) -> Result<Response, ClientError> {
+        self.request(&format!("SQL {}", sanitize(sql)))
+    }
+
+    /// `QUERY <sql>` — read-only; always rows on success.
+    pub fn query(&mut self, sql: &str) -> Result<Rows, ClientError> {
+        match self.request(&format!("QUERY {}", sanitize(sql)))? {
+            Response::Rows(rows) => Ok(rows),
+            other => Err(ClientError::Proto(format!(
+                "QUERY answered without rows: {other:?}"
+            ))),
+        }
+    }
+
+    /// `EXEC <sql>` — any statement.
+    pub fn exec(&mut self, sql: &str) -> Result<Response, ClientError> {
+        self.request(&format!("EXEC {}", sanitize(sql)))
+    }
+
+    /// `STATS` — the server's cache/admission counters.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        match self.request("STATS")? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ClientError::Proto(format!(
+                "STATS answered unexpectedly: {other:?}"
+            ))),
+        }
+    }
+
+    /// `EPOCH` — the server's current catalog epoch.
+    pub fn epoch(&mut self) -> Result<u64, ClientError> {
+        match self.request("EPOCH")? {
+            Response::Ok(s) => s
+                .parse()
+                .map_err(|_| ClientError::Proto(format!("EPOCH answered {s:?}"))),
+            other => Err(ClientError::Proto(format!(
+                "EPOCH answered unexpectedly: {other:?}"
+            ))),
+        }
+    }
+
+    /// `PING` — liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request("PING").map(|_| ())
+    }
+
+    /// `QUIT` — tell the server to close this connection.
+    pub fn quit(&mut self) -> Result<(), ClientError> {
+        self.request("QUIT").map(|_| ())
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Proto(
+                "server closed the connection mid-response".to_string(),
+            ));
+        }
+        Ok(line.trim_end_matches(['\n', '\r']).to_string())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let mut stats = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let (tag, rest) = line.split_once(' ').unwrap_or((line.as_str(), ""));
+            match tag {
+                "OK" => {
+                    return Ok(if stats.is_empty() {
+                        Response::Ok(rest.to_string())
+                    } else {
+                        Response::Stats(stats)
+                    });
+                }
+                "ERR" => return Err(parse_err(rest)),
+                "STAT" => {
+                    let (key, value) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| ClientError::Proto(format!("bad STAT line: {line:?}")))?;
+                    let value = value
+                        .parse()
+                        .map_err(|_| ClientError::Proto(format!("bad STAT value: {line:?}")))?;
+                    stats.push((key.to_string(), value));
+                }
+                "COLS" => return self.read_rows(rest),
+                other => {
+                    return Err(ClientError::Proto(format!(
+                        "unexpected response line tag {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn read_rows(&mut self, cols_payload: &str) -> Result<Response, ClientError> {
+        let (ncols, names) = cols_payload.split_once(' ').unwrap_or((cols_payload, ""));
+        let ncols: usize = ncols
+            .parse()
+            .map_err(|_| ClientError::Proto(format!("bad COLS count: {cols_payload:?}")))?;
+        let columns = decode_fields(names).map_err(ClientError::Proto)?;
+        if columns.len() != ncols {
+            return Err(ClientError::Proto(format!(
+                "COLS announced {ncols} columns but named {}",
+                columns.len()
+            )));
+        }
+        let mut rows = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let (tag, rest) = line.split_once(' ').unwrap_or((line.as_str(), ""));
+            match tag {
+                "ROW" => rows.push(decode_fields(rest).map_err(ClientError::Proto)?),
+                "END" => {
+                    let mut parts = rest.split(' ');
+                    let nrows: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| ClientError::Proto(format!("bad END line: {line:?}")))?;
+                    let source = parts
+                        .next()
+                        .ok_or_else(|| ClientError::Proto(format!("bad END line: {line:?}")))?
+                        .to_string();
+                    let epoch: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| ClientError::Proto(format!("bad END line: {line:?}")))?;
+                    if nrows != rows.len() {
+                        return Err(ClientError::Proto(format!(
+                            "END announced {nrows} rows but {} arrived",
+                            rows.len()
+                        )));
+                    }
+                    return Ok(Response::Rows(Rows {
+                        columns,
+                        rows,
+                        source,
+                        epoch,
+                    }));
+                }
+                "ERR" => return Err(parse_err(rest)),
+                other => {
+                    return Err(ClientError::Proto(format!(
+                        "unexpected line tag {other:?} inside a row set"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Requests are single lines; fold any embedded newlines in user SQL into
+/// spaces (SQL is whitespace-insensitive) so multi-line statements from
+/// scripts still travel.
+fn sanitize(sql: &str) -> String {
+    if sql.contains(['\n', '\r']) {
+        sql.replace(['\n', '\r'], " ")
+    } else {
+        sql.to_string()
+    }
+}
+
+fn parse_err(payload: &str) -> ClientError {
+    let (code, message) = payload.split_once(' ').unwrap_or((payload, ""));
+    ClientError::Server(ServerError {
+        code: code.to_string(),
+        message: unescape(message).unwrap_or_else(|_| message.to_string()),
+    })
+}
+
+/// Render a row set back into canonical wire form (one string per row,
+/// escaped and tab-separated). Two answers are byte-identical iff their
+/// wire forms are equal — this is what the smoke test and bench compare.
+pub fn wire_form(rows: &Rows) -> Vec<String> {
+    rows.rows
+        .iter()
+        .map(|row| row.iter().map(|v| escape(v)).collect::<Vec<_>>().join("\t"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_error_kinds_parse() {
+        let err = parse_err("OVERLOADED server overloaded: 4 queries running");
+        match &err {
+            ClientError::Server(e) => {
+                assert_eq!(e.code, "OVERLOADED");
+                assert!(e.message.starts_with("server overloaded"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(err.kind(), Some(ErrorKind::Overloaded));
+        assert_eq!(parse_err("PROTO bad verb").kind(), None);
+    }
+
+    #[test]
+    fn sanitize_folds_newlines() {
+        assert_eq!(sanitize("SELECT 1"), "SELECT 1");
+        assert_eq!(sanitize("SELECT\n  1\r\n"), "SELECT   1  ");
+    }
+}

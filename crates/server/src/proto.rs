@@ -1,0 +1,244 @@
+//! The ConQuer wire protocol: line-oriented, UTF-8, human-debuggable with
+//! `nc`.
+//!
+//! # Requests
+//!
+//! One request per line (`\n`-terminated; a trailing `\r` is tolerated).
+//! The verb is case-insensitive; everything after the first space is the
+//! verb's argument, uninterpreted:
+//!
+//! ```text
+//! SQL <statement>        auto-routed: queries read-share, commands take the write lock
+//! QUERY <select>         must be a SELECT/EXPLAIN (errors on DDL/DML)
+//! EXEC <statement>       any statement
+//! LIMIT                  show this session's resource limits
+//! LIMIT mem <bytes> | disk <bytes> | time <ms> | threads <n> | off
+//! STATS                  shared cache/admission counters
+//! EPOCH                  current catalog epoch
+//! PING                   liveness check
+//! QUIT                   close the connection
+//! ```
+//!
+//! # Responses
+//!
+//! Row-producing requests answer with a header, zero or more rows, and a
+//! trailer; everything else answers with a single `OK` line. All payload
+//! fields are [escaped](escape) so a response line never contains a raw
+//! tab or newline:
+//!
+//! ```text
+//! COLS <ncols> <name>\t<name>...
+//! ROW <value>\t<value>...
+//! END <nrows> <source> <epoch>      source: fresh | plan-cache | result-cache
+//! OK <summary>
+//! STAT <key> <value>                (STATS emits one per counter, then OK)
+//! ERR <KIND> <message>              KIND: a stable ErrorKind code or PROTO
+//! ```
+//!
+//! The `<source>` field in `END` is how clients observe cache behavior
+//! (`result-cache` answers skipped execution entirely; `plan-cache`
+//! answers skipped re-preparation); `<epoch>` identifies the catalog
+//! snapshot the answer is valid for. Error kinds are the
+//! [`ErrorKind::as_str`] spellings — stable, so clients dispatch on them
+//! instead of matching message text; `PROTO` (not an engine kind) marks
+//! malformed requests.
+
+use conquer_engine::ErrorKind;
+use conquer_storage::Value;
+
+/// Wire code for protocol (framing) errors, distinct from every
+/// [`ErrorKind`] code.
+pub const PROTO_CODE: &str = "PROTO";
+
+/// Escape a payload field for single-line transport: `\` → `\\`, TAB →
+/// `\t`, LF → `\n`, CR → `\r`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Invert [`escape`]. Errors on a dangling or unknown escape sequence.
+pub fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => return Err(format!("unknown escape sequence \\{other}")),
+            None => return Err("dangling backslash".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Render one result row as the tab-separated, escaped `ROW` payload.
+/// `Value` rendering is deterministic (floats print in shortest
+/// round-trip form), so identical rows always encode to identical bytes.
+pub fn encode_row(row: &[Value]) -> String {
+    row.iter()
+        .map(|v| escape(&v.to_string()))
+        .collect::<Vec<_>>()
+        .join("\t")
+}
+
+/// Split an escaped tab-separated payload back into fields.
+pub fn decode_fields(payload: &str) -> Result<Vec<String>, String> {
+    if payload.is_empty() {
+        return Ok(Vec::new());
+    }
+    payload.split('\t').map(unescape).collect()
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `SQL <statement>` — auto-routed.
+    Sql(String),
+    /// `QUERY <select>` — read-only.
+    Query(String),
+    /// `EXEC <statement>` — any statement.
+    Exec(String),
+    /// `LIMIT [<what> <n> | off]` — the raw argument (possibly empty).
+    Limit(String),
+    /// `STATS`.
+    Stats,
+    /// `EPOCH`.
+    Epoch,
+    /// `PING`.
+    Ping,
+    /// `QUIT`.
+    Quit,
+}
+
+impl Request {
+    /// Parse one request line (without the trailing newline).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        let (verb, arg) = match line.split_once(' ') {
+            Some((v, a)) => (v, a.trim()),
+            None => (line.trim(), ""),
+        };
+        let need = |name: &str| -> Result<String, String> {
+            if arg.is_empty() {
+                Err(format!("{name} requires an argument"))
+            } else {
+                Ok(arg.to_string())
+            }
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "SQL" => Ok(Request::Sql(need("SQL")?)),
+            "QUERY" => Ok(Request::Query(need("QUERY")?)),
+            "EXEC" => Ok(Request::Exec(need("EXEC")?)),
+            "LIMIT" => Ok(Request::Limit(arg.to_string())),
+            "STATS" => Ok(Request::Stats),
+            "EPOCH" => Ok(Request::Epoch),
+            "PING" => Ok(Request::Ping),
+            "QUIT" => Ok(Request::Quit),
+            "" => Err("empty request".to_string()),
+            other => Err(format!("unknown verb {other:?}")),
+        }
+    }
+}
+
+/// Format an `ERR` line from a stable kind code and message.
+pub fn err_line(code: &str, message: &str) -> String {
+    format!("ERR {code} {}", escape(message))
+}
+
+/// Format the `ERR` line for an engine error using its [`ErrorKind`].
+pub fn engine_err_line(e: &conquer_engine::EngineError) -> String {
+    err_line(e.kind().as_str(), &e.to_string())
+}
+
+/// Parse the code of an `ERR` line into an [`ErrorKind`], when it is one.
+pub fn parse_err_kind(code: &str) -> Option<ErrorKind> {
+    code.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_adversarial_text() {
+        for s in [
+            "",
+            "plain",
+            "tab\there",
+            "nl\nhere",
+            "cr\rhere",
+            "back\\slash",
+            "\\t not a tab",
+            "mix\t\n\r\\\\t end",
+        ] {
+            let escaped = escape(s);
+            assert!(!escaped.contains('\n') && !escaped.contains('\t'));
+            assert_eq!(unescape(&escaped).unwrap(), s);
+        }
+        assert!(unescape("dangling\\").is_err());
+        assert!(unescape("bad\\x").is_err());
+    }
+
+    #[test]
+    fn rows_encode_deterministically() {
+        let row = vec![
+            Value::Int(1),
+            Value::Float(0.1 + 0.2),
+            Value::text("a\tb"),
+            Value::Null,
+        ];
+        let enc = encode_row(&row);
+        assert_eq!(enc, encode_row(&row));
+        let fields = decode_fields(&enc).unwrap();
+        assert_eq!(fields.len(), 4);
+        assert_eq!(fields[2], "a\tb");
+        // Shortest round-trip float rendering: parsing back is bit-exact.
+        assert_eq!(fields[1].parse::<f64>().unwrap(), 0.1 + 0.2);
+    }
+
+    #[test]
+    fn requests_parse() {
+        assert_eq!(
+            Request::parse("SQL SELECT 1 FROM t").unwrap(),
+            Request::Sql("SELECT 1 FROM t".into())
+        );
+        assert_eq!(
+            Request::parse("query select a from t\r").unwrap(),
+            Request::Query("select a from t".into())
+        );
+        assert_eq!(Request::parse("LIMIT").unwrap(), Request::Limit("".into()));
+        assert_eq!(
+            Request::parse("LIMIT mem 1024").unwrap(),
+            Request::Limit("mem 1024".into())
+        );
+        assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
+        assert!(Request::parse("QUERY").is_err());
+        assert!(Request::parse("BOGUS x").is_err());
+        assert!(Request::parse("").is_err());
+    }
+
+    #[test]
+    fn err_lines_carry_stable_kinds() {
+        let e = conquer_engine::EngineError::Cancelled;
+        let line = engine_err_line(&e);
+        assert!(line.starts_with("ERR CANCELLED "), "{line}");
+        assert_eq!(parse_err_kind("CANCELLED"), Some(ErrorKind::Cancelled));
+        assert_eq!(parse_err_kind(PROTO_CODE), None);
+    }
+}

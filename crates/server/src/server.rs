@@ -1,0 +1,378 @@
+//! The network server: a thread-per-connection accept loop serving the
+//! [wire protocol](crate::proto) over one [`SharedDatabase`].
+//!
+//! Every connection gets its own [`Session`] — its own resource limits
+//! and cancellation state — while all connections share the catalog,
+//! the prepared-plan and result caches, and the admission gate. A
+//! connection over the `max_conn` cap is answered with a single
+//! `ERR OVERLOADED` line and closed; query-level overload (the admission
+//! gate shedding) surfaces per request the same way, so a flooded server
+//! degrades into typed errors instead of hangs.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use conquer_engine::{
+    EngineError, ExecLimits, ExecOutcome, Session, SessionOutcome, SessionResult, SharedDatabase,
+};
+
+use crate::proto::{encode_row, engine_err_line, err_line, escape, Request, PROTO_CODE};
+
+/// Server configuration. `#[non_exhaustive]` — start from
+/// [`ServerConfig::default`] or [`ServerConfig::from_env`] and adjust
+/// fields.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Address to listen on. Use port `0` to let the OS pick (the bound
+    /// address is available via [`Server::local_addr`]).
+    pub addr: String,
+    /// Connections served concurrently; arrivals past the cap get one
+    /// `ERR OVERLOADED` line and are closed.
+    pub max_conn: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            max_conn: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Configuration from the environment, falling back to the defaults:
+    /// `CONQUER_ADDR` (listen address) and `CONQUER_MAX_CONN`
+    /// (concurrent-connection cap).
+    pub fn from_env() -> Self {
+        let mut cfg = ServerConfig::default();
+        if let Ok(addr) = std::env::var("CONQUER_ADDR") {
+            if !addr.trim().is_empty() {
+                cfg.addr = addr.trim().to_string();
+            }
+        }
+        if let Some(n) = std::env::var("CONQUER_MAX_CONN")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            cfg.max_conn = n.max(1);
+        }
+        cfg
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: SharedDatabase,
+    max_conn: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Handle to a server spawned on a background thread; dropping it does
+/// *not* stop the server — call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread. Connections
+    /// already being served finish their current request and close.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // The accept loop blocks in `accept()`; poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+impl Server {
+    /// Bind to `config.addr` without accepting yet.
+    pub fn bind(shared: SharedDatabase, config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            shared,
+            max_conn: config.max_conn.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address this server is bound to.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve connections on the calling thread until shut down (via the
+    /// flag a [`ServerHandle`] holds) or the listener fails.
+    pub fn run(self) -> std::io::Result<()> {
+        let conns = Arc::new(AtomicUsize::new(0));
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            if conns.load(Ordering::Acquire) >= self.max_conn {
+                shed_connection(stream, &self.shared);
+                continue;
+            }
+            conns.fetch_add(1, Ordering::AcqRel);
+            let session = self.shared.session();
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, &session);
+                conns.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+        Ok(())
+    }
+
+    /// Serve on a background thread, returning a handle with the bound
+    /// address and a shutdown switch.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = Arc::clone(&self.shutdown);
+        let thread = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Answer an over-cap connection with one typed error line and close it.
+fn shed_connection(stream: TcpStream, shared: &SharedDatabase) {
+    let gate = shared.admission();
+    let err = EngineError::Overloaded {
+        running: gate.running(),
+        queued: gate.queued(),
+        max_queue: shared.config().max_queue,
+    };
+    let mut w = BufWriter::new(stream);
+    let _ = writeln!(w, "{}", engine_err_line(&err));
+    let _ = w.flush();
+}
+
+/// Serve one connection: read request lines, write response lines, until
+/// `QUIT`, EOF, or an I/O error.
+fn serve_connection(stream: TcpStream, session: &Session) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let request = match Request::parse(trimmed) {
+            Ok(r) => r,
+            Err(msg) => {
+                writeln!(writer, "{}", err_line(PROTO_CODE, &msg))?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        let quit = matches!(request, Request::Quit);
+        respond(&mut writer, session, request)?;
+        writer.flush()?;
+        if quit {
+            return Ok(());
+        }
+    }
+}
+
+/// Execute one parsed request and write its full response.
+fn respond(w: &mut impl Write, session: &Session, request: Request) -> std::io::Result<()> {
+    match request {
+        Request::Sql(sql) => match session.run_sql(&sql) {
+            Ok(SessionOutcome::Rows(r)) => write_rows(w, &r),
+            Ok(SessionOutcome::Done(outcome)) => writeln!(w, "OK {}", summarize(&outcome)),
+            Err(e) => writeln!(w, "{}", engine_err_line(&e)),
+        },
+        Request::Query(sql) => match session.query(&sql) {
+            Ok(r) => write_rows(w, &r),
+            Err(e) => writeln!(w, "{}", engine_err_line(&e)),
+        },
+        Request::Exec(sql) => match session.execute(&sql) {
+            Ok(ExecOutcome::Rows(r)) => {
+                let epoch = session.shared().epoch();
+                write_raw_rows(w, &r.columns, &r.rows, "fresh", epoch)
+            }
+            Ok(outcome) => writeln!(w, "OK {}", summarize(&outcome)),
+            Err(e) => writeln!(w, "{}", engine_err_line(&e)),
+        },
+        Request::Limit(arg) => match apply_limit(session, &arg) {
+            Ok(summary) => writeln!(w, "OK {summary}"),
+            Err(msg) => writeln!(w, "{}", err_line(PROTO_CODE, &msg)),
+        },
+        Request::Stats => {
+            let stats = session.shared().stats();
+            let gate = session.shared().admission();
+            for (key, value) in [
+                ("epoch", stats.epoch),
+                ("result_hits", stats.result_hits),
+                ("result_misses", stats.result_misses),
+                ("result_entries", stats.result_entries as u64),
+                ("plan_hits", stats.plan_hits),
+                ("plan_misses", stats.plan_misses),
+                ("plan_entries", stats.plan_entries as u64),
+                ("evictions", stats.evictions),
+                ("admitted", stats.admitted),
+                ("shed", stats.shed),
+                ("running", gate.running() as u64),
+                ("queued", gate.queued() as u64),
+            ] {
+                writeln!(w, "STAT {key} {value}")?;
+            }
+            writeln!(w, "OK stats")
+        }
+        Request::Epoch => writeln!(w, "OK {}", session.shared().epoch()),
+        Request::Ping => writeln!(w, "OK pong"),
+        Request::Quit => writeln!(w, "OK bye"),
+    }
+}
+
+fn write_rows(w: &mut impl Write, r: &SessionResult) -> std::io::Result<()> {
+    write_raw_rows(
+        w,
+        &r.result.columns,
+        &r.result.rows,
+        r.source.as_str(),
+        r.epoch,
+    )
+}
+
+fn write_raw_rows(
+    w: &mut impl Write,
+    columns: &[String],
+    rows: &[Vec<conquer_storage::Value>],
+    source: &str,
+    epoch: u64,
+) -> std::io::Result<()> {
+    let names = columns
+        .iter()
+        .map(|c| escape(c))
+        .collect::<Vec<_>>()
+        .join("\t");
+    writeln!(w, "COLS {} {names}", columns.len())?;
+    for row in rows {
+        writeln!(w, "ROW {}", encode_row(row))?;
+    }
+    writeln!(w, "END {} {source} {epoch}", rows.len())
+}
+
+fn summarize(outcome: &ExecOutcome) -> String {
+    match outcome {
+        ExecOutcome::Created => "created".to_string(),
+        ExecOutcome::Inserted(n) => format!("inserted {n}"),
+        ExecOutcome::Dropped => "dropped".to_string(),
+        ExecOutcome::Deleted(n) => format!("deleted {n}"),
+        ExecOutcome::Updated(n) => format!("updated {n}"),
+        ExecOutcome::Rows(r) => format!("rows {}", r.len()),
+    }
+}
+
+/// Apply a `LIMIT` request to the session. Empty argument = show current
+/// limits; `off` clears them; `mem|disk <bytes>`, `time <ms>`,
+/// `threads <n>` set one budget.
+fn apply_limit(session: &Session, arg: &str) -> Result<String, String> {
+    let arg = arg.trim();
+    if arg.is_empty() {
+        return Ok(describe_limits(&session.limits()));
+    }
+    if arg.eq_ignore_ascii_case("off") {
+        session.set_limits(ExecLimits::none());
+        return Ok(describe_limits(&ExecLimits::none()));
+    }
+    let (what, value) = arg
+        .split_once(' ')
+        .ok_or_else(|| format!("LIMIT expects `<what> <n>` or `off`, got {arg:?}"))?;
+    let n: u64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("LIMIT value must be a non-negative integer, got {value:?}"))?;
+    let mut limits = session.limits();
+    match what.to_ascii_lowercase().as_str() {
+        "mem" => limits.mem_bytes = Some(n),
+        "disk" => limits.disk_bytes = Some(n),
+        "time" => limits.timeout = Some(Duration::from_millis(n)),
+        "threads" => limits.threads = Some((n as usize).max(1)),
+        other => return Err(format!("unknown LIMIT target {other:?}")),
+    }
+    session.set_limits(limits);
+    Ok(describe_limits(&limits))
+}
+
+fn describe_limits(limits: &ExecLimits) -> String {
+    let opt = |v: Option<u64>| v.map_or("off".to_string(), |n| n.to_string());
+    format!(
+        "mem={} disk={} time_ms={} threads={}",
+        opt(limits.mem_bytes),
+        opt(limits.disk_bytes),
+        opt(limits.timeout.map(|t| t.as_millis() as u64)),
+        limits.threads.map_or("auto".to_string(), |n| n.to_string()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limit_parses_and_describes() {
+        let shared = SharedDatabase::new(conquer_engine::Database::new());
+        let session = shared.session();
+        assert_eq!(
+            apply_limit(&session, "").unwrap(),
+            "mem=off disk=off time_ms=off threads=auto"
+        );
+        apply_limit(&session, "mem 1024").unwrap();
+        apply_limit(&session, "time 250").unwrap();
+        let shown = apply_limit(&session, "").unwrap();
+        assert_eq!(shown, "mem=1024 disk=off time_ms=250 threads=auto");
+        assert_eq!(session.limits().timeout, Some(Duration::from_millis(250)));
+        apply_limit(&session, "off").unwrap();
+        assert!(session.limits().is_unlimited());
+        assert!(apply_limit(&session, "mem lots").is_err());
+        assert!(apply_limit(&session, "bogus 1").is_err());
+    }
+
+    #[test]
+    fn exec_outcomes_summarize() {
+        assert_eq!(summarize(&ExecOutcome::Inserted(3)), "inserted 3");
+        assert_eq!(summarize(&ExecOutcome::Created), "created");
+    }
+}

@@ -27,6 +27,12 @@
 //! caret snippets with stable `CQxxxx` codes. Start the shell with
 //! `--deny-warnings` to refuse statements that produce any diagnostic.
 //!
+//! With `--connect HOST:PORT` the shell talks to a running
+//! `conquer-server` instead of the embedded engine: SQL statements travel
+//! over the wire protocol, `\limit` adjusts the *server* session's
+//! budgets, and `\stats` shows the server's shared cache and admission
+//! counters. Engine-side commands (`\clean`, `\gen`, …) are local-only.
+//!
 //! Example session:
 //!
 //! ```text
@@ -392,14 +398,123 @@ impl Shell {
     }
 }
 
-fn main() {
-    let mut shell = Shell::new();
-    let stdin = io::stdin();
-    let interactive = std::env::args().all(|a| a != "--batch");
-    shell.deny_warnings = std::env::args().any(|a| a == "--deny-warnings");
-    if interactive {
-        println!("ConQuer shell — clean answers over dirty databases. \\help for commands.");
+/// Client mode (`--connect`): forward each line to a `conquer-server`
+/// over the wire protocol and render the typed responses.
+struct RemoteShell {
+    client: conquer_server::Client,
+}
+
+impl RemoteShell {
+    fn connect(addr: &str) -> Result<Self, String> {
+        let client = conquer_server::Client::connect(addr)
+            .map_err(|e| format!("connecting to {addr}: {e}"))?;
+        Ok(RemoteShell { client })
     }
+
+    fn handle(&mut self, line: &str) -> Result<bool, String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(true);
+        }
+        if let Some(rest) = line.strip_prefix('\\') {
+            return self.command(rest);
+        }
+        match self.client.sql(line).map_err(|e| e.to_string())? {
+            conquer_server::Response::Rows(rows) => print_remote_rows(&rows),
+            conquer_server::Response::Ok(summary) => println!("{summary}."),
+            conquer_server::Response::Stats(_) => {}
+        }
+        Ok(true)
+    }
+
+    fn command(&mut self, rest: &str) -> Result<bool, String> {
+        let (cmd, arg) = match rest.split_once(char::is_whitespace) {
+            Some((c, a)) => (c, a.trim()),
+            None => (rest, ""),
+        };
+        match cmd {
+            "quit" | "q" => {
+                let _ = self.client.quit();
+                return Ok(false);
+            }
+            "help" | "h" => println!(
+                "connected mode: SQL statements run on the server; \
+                 \\limit [mem <bytes> | disk <bytes> | time <ms> | threads <n> | off], \
+                 \\stats (server cache/admission counters), \\epoch, \\ping, \\quit. \
+                 Engine commands (\\clean, \\gen, …) need a local shell."
+            ),
+            "limit" => match self.client.request(&format!("LIMIT {arg}")) {
+                Ok(conquer_server::Response::Ok(summary)) => println!("{summary}"),
+                Ok(other) => return Err(format!("unexpected response: {other:?}")),
+                Err(e) => return Err(e.to_string()),
+            },
+            "stats" => {
+                for (key, value) in self.client.stats().map_err(|e| e.to_string())? {
+                    println!("{key:<16} {value}");
+                }
+            }
+            "epoch" => println!("{}", self.client.epoch().map_err(|e| e.to_string())?),
+            "ping" => {
+                self.client.ping().map_err(|e| e.to_string())?;
+                println!("pong.");
+            }
+            other => {
+                return Err(format!(
+                    "\\{other} is not available over a connection; try \\help"
+                ))
+            }
+        }
+        Ok(true)
+    }
+}
+
+fn print_remote_rows(rows: &conquer_server::Rows) {
+    println!("{}", rows.columns.join(" | "));
+    for row in &rows.rows {
+        println!("{}", row.join(" | "));
+    }
+    println!(
+        "({} rows; {}, epoch {})",
+        rows.rows.len(),
+        rows.source,
+        rows.epoch
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let interactive = args.iter().all(|a| a != "--batch");
+    let connect = args
+        .iter()
+        .position(|a| a == "--connect")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let mut remote = match connect {
+        Some(addr) => match RemoteShell::connect(&addr) {
+            Ok(shell) => {
+                if interactive {
+                    println!("ConQuer shell — connected to {addr}. \\help for commands.");
+                }
+                Some(shell)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            if interactive {
+                println!(
+                    "ConQuer shell — clean answers over dirty databases. \\help for commands."
+                );
+            }
+            None
+        }
+    };
+    let mut shell = Shell::new();
+    shell.deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+
+    let stdin = io::stdin();
     loop {
         if interactive {
             print!("conquer> ");
@@ -408,11 +523,17 @@ fn main() {
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
             Ok(0) => break,
-            Ok(_) => match shell.handle(&line) {
-                Ok(true) => {}
-                Ok(false) => break,
-                Err(e) => eprintln!("error: {e}"),
-            },
+            Ok(_) => {
+                let outcome = match &mut remote {
+                    Some(r) => r.handle(&line),
+                    None => shell.handle(&line),
+                };
+                match outcome {
+                    Ok(true) => {}
+                    Ok(false) => break,
+                    Err(e) => eprintln!("error: {e}"),
+                }
+            }
             Err(e) => {
                 eprintln!("input error: {e}");
                 break;

@@ -15,7 +15,7 @@
 use std::fmt;
 
 use conquer_core::CoreError;
-use conquer_engine::EngineError;
+use conquer_engine::{EngineError, ErrorKind};
 use conquer_sql::ParseError;
 use conquer_storage::StorageError;
 
@@ -44,6 +44,17 @@ pub enum ConquerError {
     /// A query was cancelled through its
     /// [`conquer_engine::CancelToken`].
     Cancelled,
+    /// A request was shed by admission control before execution (shared
+    /// handle / server overload; see
+    /// [`conquer_engine::shared::AdmissionGate`]). Safe to retry.
+    Overloaded {
+        /// Queries running when the request was rejected.
+        running: usize,
+        /// Requests already waiting in the admission queue.
+        queued: usize,
+        /// The queue's capacity.
+        max_queue: usize,
+    },
 }
 
 /// Workspace-wide result alias; the default error is [`ConquerError`].
@@ -68,6 +79,15 @@ impl fmt::Display for ConquerError {
                 write!(f, "query exceeded its time limit of {limit:?}")
             }
             ConquerError::Cancelled => write!(f, "query cancelled"),
+            ConquerError::Overloaded {
+                running,
+                queued,
+                max_queue,
+            } => write!(
+                f,
+                "server overloaded: {running} queries running and {queued}/{max_queue} \
+                 admission-queue slots taken; retry later"
+            ),
         }
     }
 }
@@ -81,7 +101,8 @@ impl std::error::Error for ConquerError {
             ConquerError::Core(e) => Some(e),
             ConquerError::ResourceExhausted { .. }
             | ConquerError::Timeout(_)
-            | ConquerError::Cancelled => None,
+            | ConquerError::Cancelled
+            | ConquerError::Overloaded { .. } => None,
         }
     }
 }
@@ -112,6 +133,15 @@ impl From<EngineError> for ConquerError {
             },
             EngineError::Timeout { limit } => ConquerError::Timeout(limit),
             EngineError::Cancelled => ConquerError::Cancelled,
+            EngineError::Overloaded {
+                running,
+                queued,
+                max_queue,
+            } => ConquerError::Overloaded {
+                running,
+                queued,
+                max_queue,
+            },
             other => ConquerError::Engine(other),
         }
     }
@@ -122,6 +152,38 @@ impl From<CoreError> for ConquerError {
         match e {
             CoreError::Engine(inner) => inner.into(),
             other => ConquerError::Core(other),
+        }
+    }
+}
+
+impl ConquerError {
+    /// The stable [`ErrorKind`] of this error, regardless of which layer
+    /// produced it. This is the supported way for servers and clients to
+    /// map errors to wire codes or retry policies — never match on
+    /// `Display` strings.
+    ///
+    /// ```
+    /// use conquer::{ConquerError, ErrorKind};
+    ///
+    /// let e = ConquerError::Cancelled;
+    /// assert_eq!(e.kind(), ErrorKind::Cancelled);
+    /// assert!(e.kind().is_retryable());
+    /// ```
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            ConquerError::Parse(_) => ErrorKind::Parse,
+            ConquerError::Storage(e) => conquer_engine::error::storage_error_kind(e),
+            ConquerError::Engine(e) => e.kind(),
+            ConquerError::Core(e) => match e {
+                CoreError::Engine(inner) => inner.kind(),
+                CoreError::NotRewritable(_) => ErrorKind::NotRewritable,
+                CoreError::InvalidDirty(_) => ErrorKind::InvalidDirty,
+                CoreError::TooManyCandidates { .. } => ErrorKind::ResourceExhausted,
+            },
+            ConquerError::ResourceExhausted { .. } => ErrorKind::ResourceExhausted,
+            ConquerError::Timeout(_) => ErrorKind::Timeout,
+            ConquerError::Cancelled => ErrorKind::Cancelled,
+            ConquerError::Overloaded { .. } => ErrorKind::Overloaded,
         }
     }
 }
@@ -174,6 +236,27 @@ mod tests {
             Ok(n)
         }
         assert_eq!(end_to_end().unwrap(), 2);
+    }
+
+    #[test]
+    fn kind_classifies_every_layer() {
+        let parse: ConquerError = conquer_sql::parse_statement("SELEKT 1").unwrap_err().into();
+        assert_eq!(parse.kind(), ErrorKind::Parse);
+        let corrupt = ConquerError::Storage(StorageError::Corrupt {
+            path: "x".into(),
+            detail: "bad checksum".into(),
+        });
+        assert_eq!(corrupt.kind(), ErrorKind::Corrupt);
+        let core: ConquerError = CoreError::InvalidDirty("p".into()).into();
+        assert_eq!(core.kind(), ErrorKind::InvalidDirty);
+        let overloaded = ConquerError::Overloaded {
+            running: 1,
+            queued: 2,
+            max_queue: 2,
+        };
+        assert_eq!(overloaded.kind(), ErrorKind::Overloaded);
+        assert_eq!(overloaded.kind().as_str(), "OVERLOADED");
+        assert!(overloaded.kind().is_retryable());
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub use conquer_prob as prob;
 pub use conquer_sql as sql;
 pub use conquer_storage as storage;
 
+pub use conquer_engine::ErrorKind;
 pub use error::{ConquerError, Result};
 
 /// Commonly used items in one import.
@@ -66,8 +67,8 @@ pub mod prelude {
         RewriteObstacle,
     };
     pub use conquer_engine::{
-        CancelToken, Code, Database, Diagnostic, ExecContext, ExecLimits, ExecStats, QueryResult,
-        Severity, Statement,
+        CancelToken, Code, Database, Diagnostic, ErrorKind, ExecContext, ExecLimits, ExecStats,
+        QueryResult, Session, Severity, SharedDatabase, Statement,
     };
     pub use conquer_prob::{
         assign_probabilities, sorted_neighborhood, Clustering, EditDistance, InfoLossDistance,
