@@ -50,6 +50,9 @@ pub enum EngineError {
         /// The queue's capacity.
         max_queue: usize,
     },
+    /// The server is draining for shutdown: the request was answered but
+    /// not executed. Not retryable against the same server.
+    Shutdown,
     /// An internal invariant was violated (malformed plan or operator
     /// state). Never caused by user input alone; indicates an engine bug,
     /// but surfaces as an error instead of a panic so a bad plan cannot
@@ -85,6 +88,9 @@ impl fmt::Display for EngineError {
                 "server overloaded: {running} queries running and {queued}/{max_queue} \
                  admission-queue slots taken; retry later"
             ),
+            EngineError::Shutdown => {
+                write!(f, "server is shutting down and no longer accepts requests")
+            }
             EngineError::Internal(m) => write!(f, "internal engine error: {m}"),
         }
     }
@@ -145,6 +151,10 @@ pub enum ErrorKind {
     Cancelled,
     /// Admission control shed the request before execution; safe to retry.
     Overloaded,
+    /// The server is draining for shutdown and no longer accepts new
+    /// requests. Not retryable against the same server — reconnect
+    /// elsewhere or give up.
+    Shutdown,
     /// The query is outside the rewritable class (Definition 7).
     NotRewritable,
     /// The dirty database violates Definition 2 or naive enumeration
@@ -169,6 +179,7 @@ impl ErrorKind {
             ErrorKind::Timeout => "TIMEOUT",
             ErrorKind::Cancelled => "CANCELLED",
             ErrorKind::Overloaded => "OVERLOADED",
+            ErrorKind::Shutdown => "SHUTDOWN",
             ErrorKind::NotRewritable => "NOT_REWRITABLE",
             ErrorKind::InvalidDirty => "INVALID_DIRTY",
             ErrorKind::Internal => "INTERNAL",
@@ -209,6 +220,7 @@ impl std::str::FromStr for ErrorKind {
             "TIMEOUT" => ErrorKind::Timeout,
             "CANCELLED" => ErrorKind::Cancelled,
             "OVERLOADED" => ErrorKind::Overloaded,
+            "SHUTDOWN" => ErrorKind::Shutdown,
             "NOT_REWRITABLE" => ErrorKind::NotRewritable,
             "INVALID_DIRTY" => ErrorKind::InvalidDirty,
             "INTERNAL" => ErrorKind::Internal,
@@ -274,6 +286,7 @@ impl EngineError {
             EngineError::Timeout { .. } => ErrorKind::Timeout,
             EngineError::Cancelled => ErrorKind::Cancelled,
             EngineError::Overloaded { .. } => ErrorKind::Overloaded,
+            EngineError::Shutdown => ErrorKind::Shutdown,
             EngineError::Internal(_) => ErrorKind::Internal,
         }
     }
@@ -296,6 +309,7 @@ mod tests {
             ErrorKind::Timeout,
             ErrorKind::Cancelled,
             ErrorKind::Overloaded,
+            ErrorKind::Shutdown,
             ErrorKind::NotRewritable,
             ErrorKind::InvalidDirty,
             ErrorKind::Internal,
@@ -304,6 +318,7 @@ mod tests {
             assert_eq!(k.as_str().parse::<ErrorKind>().unwrap(), k);
         }
         assert!("NOPE".parse::<ErrorKind>().is_err());
+        assert!(!ErrorKind::Shutdown.is_retryable());
     }
 
     #[test]

@@ -55,8 +55,8 @@ pub use error::{EngineError, ErrorKind};
 pub use expr::{BoundExpr, ColumnId};
 pub use result::QueryResult;
 pub use shared::{
-    AdmissionGate, AdmissionPermit, CacheStats, QuerySource, Session, SessionOutcome,
-    SessionResult, SharedConfig, SharedDatabase,
+    AdmissionGate, AdmissionPermit, CacheStats, CheckpointInfo, QuerySource, Session,
+    SessionOutcome, SessionResult, SharedConfig, SharedDatabase, Snapshot,
 };
 pub use statement::Statement;
 pub use stats::{ExecStats, OpStats};

@@ -1,12 +1,15 @@
 //! Shared, multi-client access to one [`Database`]: the concurrency layer
 //! the network server is built on.
 //!
-//! [`SharedDatabase`] is an `Arc`-shareable, `Send + Sync` handle wrapping
-//! a [`Database`] in interior synchronization. Reads (queries) take a
-//! shared lock and run concurrently; writes (DDL/DML, reloads) take the
-//! exclusive lock and bump the **catalog epoch** — a monotonic counter
-//! identifying one immutable snapshot of the catalog's contents. Derived
-//! state is keyed by `(SQL, epoch)`:
+//! [`SharedDatabase`] is an `Arc`-shareable, `Send + Sync` handle over a
+//! sequence of immutable [`Database`] versions. Reads pin the current
+//! version (an `Arc` [`Snapshot`] tagged with the **catalog epoch**, a
+//! monotonic counter identifying one immutable snapshot of the catalog's
+//! contents) and execute entirely without locks — a long scan never
+//! stalls behind a writer, and a writer never waits for readers. Writes
+//! serialize on a writer lock, build the *next* version copy-on-write,
+//! optionally make it durable (below), and atomically swap it in.
+//! Derived state is keyed by `(SQL, epoch)`:
 //!
 //! * a **prepared-plan cache** ([`Statement`]s, so hot queries skip
 //!   parse/bind/plan entirely), and
@@ -25,6 +28,21 @@
 //! execute at once, at most `max_queue` wait, and anything beyond that is
 //! shed immediately with the typed [`EngineError::Overloaded`] — load
 //! never turns into an unbounded pile-up or a panic.
+//!
+//! ## Durability
+//!
+//! A handle opened with [`SharedDatabase::open_durable`] is backed by a
+//! persistence directory: every committed write appends the affected
+//! tables to the write-ahead log ([`conquer_storage::wal`]) and fsyncs
+//! *before* the new version becomes visible, so `Ok` from
+//! [`Session::execute`] means the write survives a crash, and `Err` means
+//! it never happened — statement-level atomicity (a failed DML leaves no
+//! partial effects; the copy-on-write working version is simply
+//! discarded). [`SharedDatabase::checkpoint`] (or the automatic policy at
+//! `wal_limit` bytes) folds the log into a fresh epoch directory via
+//! [`conquer_storage::save_catalog`] and truncates it. Startup replays
+//! committed WAL suffixes and reports anything unusual in a
+//! [`RecoveryReport`].
 //!
 //! ```
 //! use conquer_engine::{Database, SharedDatabase, QuerySource};
@@ -48,9 +66,13 @@
 //! ```
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::Duration;
+
+use conquer_storage::wal::{Wal, WalOp};
+use conquer_storage::RecoveryReport;
 
 use crate::context::{CancelToken, ExecLimits};
 use crate::database::{Database, ExecOutcome};
@@ -58,6 +80,13 @@ use crate::error::EngineError;
 use crate::result::QueryResult;
 use crate::statement::Statement;
 use crate::Result;
+
+/// Check a storage-layer fault point from engine code, mapping the
+/// injected fault into the typed engine error. A no-op without the
+/// `fault` feature.
+fn fault_point(point: &str) -> Result<()> {
+    conquer_storage::fault::trigger(point).map_err(|f| EngineError::Storage(f.into()))
+}
 
 /// Configuration for a [`SharedDatabase`]: cache capacities and admission
 /// control. `#[non_exhaustive]` — construct with [`SharedConfig::default`]
@@ -77,6 +106,11 @@ pub struct SharedConfig {
     /// Requests allowed to wait for a slot before arrivals are shed with
     /// [`EngineError::Overloaded`].
     pub max_queue: usize,
+    /// Write-ahead-log size (bytes) past which a committed write triggers
+    /// an automatic checkpoint (`0` disables automatic checkpoints).
+    /// Only meaningful for handles opened with
+    /// [`SharedDatabase::open_durable`].
+    pub wal_limit: u64,
 }
 
 impl Default for SharedConfig {
@@ -87,6 +121,7 @@ impl Default for SharedConfig {
             result_cache_max_rows: 1 << 16,
             max_running: usize::MAX,
             max_queue: 0,
+            wal_limit: 16 << 20,
         }
     }
 }
@@ -98,6 +133,8 @@ impl SharedConfig {
     /// * `CONQUER_RESULT_CACHE` — result-cache entries (`0` disables)
     /// * `CONQUER_ADMIT` — concurrent-query slots (unset: unlimited)
     /// * `CONQUER_QUEUE` — admission-queue depth beyond the slots
+    /// * `CONQUER_WAL_LIMIT` — WAL bytes before an automatic checkpoint
+    ///   (`0` disables)
     pub fn from_env() -> Self {
         fn parse(var: &str) -> Option<usize> {
             std::env::var(var).ok()?.trim().parse().ok()
@@ -114,6 +151,9 @@ impl SharedConfig {
         }
         if let Some(n) = parse("CONQUER_QUEUE") {
             cfg.max_queue = n;
+        }
+        if let Some(n) = parse("CONQUER_WAL_LIMIT") {
+            cfg.wal_limit = n as u64;
         }
         cfg
     }
@@ -367,6 +407,11 @@ pub struct CacheStats {
     pub admitted: u64,
     /// Requests shed with [`EngineError::Overloaded`].
     pub shed: u64,
+    /// Writes durably committed to the write-ahead log.
+    pub wal_commits: u64,
+    /// Checkpoints folded into a fresh epoch directory (explicit or
+    /// automatic).
+    pub checkpoints: u64,
 }
 
 #[derive(Debug, Default)]
@@ -378,14 +423,78 @@ struct Counters {
     evictions: AtomicU64,
     admitted: AtomicU64,
     shed: AtomicU64,
+    wal_commits: AtomicU64,
+    checkpoints: AtomicU64,
+}
+
+/// One immutable published version of the database. Readers hold an
+/// `Arc<DbVersion>`; writers never touch a published version — they clone
+/// it, mutate the clone, and publish the clone as the next version.
+#[derive(Debug)]
+struct DbVersion {
+    db: Database,
+    epoch: u64,
+}
+
+/// A pinned, immutable view of the database at one catalog epoch.
+///
+/// Obtained from [`SharedDatabase::snapshot`]; cheap to clone (it clones
+/// an `Arc`). A snapshot stays byte-identical for as long as it is held,
+/// no matter how many writes or checkpoints commit concurrently — readers
+/// never block writers and writers never invalidate a pinned snapshot.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    v: Arc<DbVersion>,
+}
+
+impl Snapshot {
+    /// The database contents this snapshot pins.
+    pub fn db(&self) -> &Database {
+        &self.v.db
+    }
+
+    /// The catalog epoch this snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.v.epoch
+    }
+}
+
+/// Writer-side state, serialized by the writer mutex: present only for
+/// durable handles.
+#[derive(Debug, Default)]
+struct WriteState {
+    durable: Option<Durable>,
+}
+
+/// The persistence attachment of a durable handle: the open WAL plus the
+/// directory checkpoints fold into.
+#[derive(Debug)]
+struct Durable {
+    dir: PathBuf,
+    wal: Wal,
+    wal_limit: u64,
+}
+
+/// What a completed [`SharedDatabase::checkpoint`] folded.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// The catalog epoch the checkpoint captured.
+    pub epoch: u64,
+    /// WAL bytes folded into the new epoch directory (the log size before
+    /// truncation).
+    pub wal_bytes_folded: u64,
 }
 
 #[derive(Debug)]
 struct Inner {
-    db: RwLock<Database>,
-    /// Bumped under the write lock on every catalog mutation; readers see
-    /// a stable value for as long as they hold the read lock.
-    epoch: AtomicU64,
+    /// The currently published version. The `RwLock` is held only for the
+    /// instants of pinning (read) and swapping (write) an `Arc` — never
+    /// across query execution or I/O.
+    current: RwLock<Arc<DbVersion>>,
+    /// Serializes writers: copy-on-write version building, WAL appends,
+    /// and checkpoints all happen under this lock.
+    writer: Mutex<WriteState>,
     plans: Mutex<Lru<Arc<Statement>>>,
     results: Mutex<Lru<Arc<QueryResult>>>,
     gate: AdmissionGate,
@@ -414,8 +523,8 @@ impl SharedDatabase {
     pub fn with_config(db: Database, config: SharedConfig) -> Self {
         SharedDatabase {
             inner: Arc::new(Inner {
-                db: RwLock::new(db),
-                epoch: AtomicU64::new(0),
+                current: RwLock::new(Arc::new(DbVersion { db, epoch: 0 })),
+                writer: Mutex::new(WriteState::default()),
                 plans: Mutex::new(Lru::new(config.plan_cache)),
                 results: Mutex::new(Lru::new(config.result_cache)),
                 gate: AdmissionGate::new(config.max_running, config.max_queue),
@@ -426,11 +535,58 @@ impl SharedDatabase {
         }
     }
 
+    /// Open (or create) a durable database rooted at `dir`.
+    ///
+    /// Recovery runs first: the newest loadable epoch directory is loaded
+    /// and every committed write-ahead-log suffix is replayed on top, so
+    /// the returned handle holds exactly the last committed state. The
+    /// accompanying [`RecoveryReport`] lists anything unusual found along
+    /// the way (torn WAL tails, stale checkpoint temp files, epoch
+    /// fallback); [`RecoveryReport::is_clean`] distinguishes a routine
+    /// startup from one that healed damage.
+    ///
+    /// Every subsequent write through the handle is WAL-committed before
+    /// it becomes visible; see the [module docs](self#durability).
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        config: SharedConfig,
+    ) -> Result<(SharedDatabase, RecoveryReport)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| EngineError::Storage(conquer_storage::StorageError::from(e)))?;
+        let (catalog, report) = conquer_storage::load_catalog_recover(dir)?;
+        let mut db = Database::from_catalog(catalog);
+        db.set_spill_dir(dir);
+        let wal = Wal::open(dir)?;
+        let shared = SharedDatabase::with_config(db, config);
+        lock(&shared.inner.writer).durable = Some(Durable {
+            dir: dir.to_path_buf(),
+            wal,
+            wal_limit: config.wal_limit,
+        });
+        Ok((shared, report))
+    }
+
+    /// Whether this handle persists writes (was opened with
+    /// [`SharedDatabase::open_durable`]).
+    pub fn is_durable(&self) -> bool {
+        lock(&self.inner.writer).durable.is_some()
+    }
+
+    /// The persistence directory of a durable handle, `None` for an
+    /// in-memory one.
+    pub fn persist_dir(&self) -> Option<PathBuf> {
+        lock(&self.inner.writer)
+            .durable
+            .as_ref()
+            .map(|d| d.dir.clone())
+    }
+
     /// Open a new session. Sessions are independent: each carries its own
     /// limits (initialized from the database defaults) and cancellation
     /// state.
     pub fn session(&self) -> Session {
-        let limits = *self.read().limits();
+        let limits = *self.current().db.limits();
         Session {
             db: self.clone(),
             id: self.inner.session_ids.fetch_add(1, Ordering::Relaxed) + 1,
@@ -439,10 +595,17 @@ impl SharedDatabase {
         }
     }
 
+    /// Pin the current version for reading. The returned [`Snapshot`]
+    /// stays valid and byte-identical however many writes commit after it
+    /// was taken; holding it blocks nothing.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { v: self.current() }
+    }
+
     /// The current catalog epoch. Two queries answered at the same epoch
     /// ran against byte-identical catalog contents.
     pub fn epoch(&self) -> u64 {
-        self.inner.epoch.load(Ordering::Acquire)
+        self.current().epoch
     }
 
     /// The admission gate every request passes through.
@@ -469,52 +632,155 @@ impl SharedDatabase {
             evictions: c.evictions.load(Ordering::Relaxed),
             admitted: c.admitted.load(Ordering::Relaxed),
             shed: c.shed.load(Ordering::Relaxed),
+            wal_commits: c.wal_commits.load(Ordering::Relaxed),
+            checkpoints: c.checkpoints.load(Ordering::Relaxed),
         }
     }
 
-    /// Run `f` with shared (read) access to the database. Queries executed
+    /// Run `f` against a pinned snapshot of the database. Queries executed
     /// inside `f` bypass the caches and admission gate — use a [`Session`]
     /// for served traffic.
     pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
-        f(&self.read())
+        let snap = self.snapshot();
+        f(snap.db())
     }
 
-    /// Run `f` with exclusive (write) access, then bump the catalog epoch
-    /// and evict both caches. Every mutation that does not go through
-    /// [`Session::execute`] — bulk loads, re-clustering, reloads from disk
-    /// — must use this so cached plans and answers can never survive it.
-    pub fn mutate<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        let mut guard = self.write();
-        let out = f(&mut guard);
-        self.bump_epoch_locked(&guard);
-        out
+    /// Apply an arbitrary mutation copy-on-write: `f` runs against a clone
+    /// of the current version; on `Ok` the clone is published as the next
+    /// epoch (durably, for handles opened with
+    /// [`SharedDatabase::open_durable`]) and both caches are evicted. On
+    /// `Err` — from `f` itself or from persisting — the clone is discarded
+    /// and nothing changes.
+    ///
+    /// Arbitrary mutations have no SQL statement to derive write-ahead-log
+    /// records from, so a durable `mutate` folds the whole catalog into a
+    /// fresh epoch directory before publishing (a full checkpoint). Every
+    /// mutation that does not go through [`Session::execute`] — bulk
+    /// loads, re-clustering, reloads from disk — must use this so cached
+    /// plans and answers can never survive it.
+    pub fn mutate<R>(&self, f: impl FnOnce(&mut Database) -> Result<R>) -> Result<R> {
+        let mut ws = lock(&self.inner.writer);
+        let mut next = self.current().db.clone();
+        let out = f(&mut next)?;
+        if let Some(d) = ws.durable.as_mut() {
+            conquer_storage::save_catalog(next.catalog(), &d.dir)?;
+            d.wal.reopen()?;
+            self.inner
+                .counters
+                .checkpoints
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        fault_point("shared::swap")?;
+        self.publish(next, &mut ws);
+        Ok(out)
     }
 
-    fn read(&self) -> RwLockReadGuard<'_, Database> {
-        match self.inner.db.read() {
+    /// Fold the current version and every WAL suffix into a fresh epoch
+    /// directory, then truncate the log. Returns `Ok(None)` for in-memory
+    /// handles. Does not bump the epoch — a checkpoint changes how state
+    /// is stored, not what it is, so pinned snapshots and caches stay
+    /// valid throughout.
+    pub fn checkpoint(&self) -> Result<Option<CheckpointInfo>> {
+        let mut ws = lock(&self.inner.writer);
+        self.checkpoint_locked(&mut ws)
+    }
+
+    fn checkpoint_locked(&self, ws: &mut WriteState) -> Result<Option<CheckpointInfo>> {
+        let Some(d) = ws.durable.as_mut() else {
+            return Ok(None);
+        };
+        fault_point("shared::checkpoint")?;
+        let cur = self.current();
+        let wal_bytes_folded = d.wal.size_bytes();
+        conquer_storage::save_catalog(cur.db.catalog(), &d.dir)?;
+        d.wal.reopen()?;
+        self.inner
+            .counters
+            .checkpoints
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(Some(CheckpointInfo {
+            epoch: cur.epoch,
+            wal_bytes_folded,
+        }))
+    }
+
+    fn current(&self) -> Arc<DbVersion> {
+        let guard = match self.inner.current.read() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
-        }
+        };
+        Arc::clone(&guard)
     }
 
-    fn write(&self) -> RwLockWriteGuard<'_, Database> {
-        match self.inner.db.write() {
+    /// Publish `db` as the next version (epoch + 1) and sweep both caches.
+    /// The `WriteState` argument proves the caller holds the writer lock —
+    /// the only place versions are built, so the swap cannot race another
+    /// publisher.
+    fn publish(&self, db: Database, _ws: &mut WriteState) {
+        let mut guard = match self.inner.current.write() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
-        }
-    }
-
-    /// Bump the epoch while holding the write lock (the guard argument
-    /// only proves the caller holds it) and sweep both caches.
-    fn bump_epoch_locked(&self, _guard: &RwLockWriteGuard<'_, Database>) {
-        let next = self.inner.epoch.fetch_add(1, Ordering::AcqRel) + 1;
-        let purged = lock(&self.inner.plans).purge_older_than(next)
-            + lock(&self.inner.results).purge_older_than(next);
+        };
+        let epoch = guard.epoch + 1;
+        *guard = Arc::new(DbVersion { db, epoch });
+        drop(guard);
+        let purged = lock(&self.inner.plans).purge_older_than(epoch)
+            + lock(&self.inner.results).purge_older_than(epoch);
         self.inner
             .counters
             .evictions
             .fetch_add(purged, Ordering::Relaxed);
     }
+
+    /// Commit one already-parsed write statement: run it on a clone of the
+    /// current version, WAL-commit the affected tables (durable handles),
+    /// and publish the clone. On any `Err` the clone is discarded — the
+    /// statement never happened, visibly or on disk.
+    fn commit_statement(&self, stmt: &conquer_sql::Statement) -> Result<ExecOutcome> {
+        let mut ws = lock(&self.inner.writer);
+        let mut next = self.current().db.clone();
+        let outcome = next.exec_parsed(stmt)?;
+        if let Some(d) = ws.durable.as_mut() {
+            let ops = wal_ops(stmt, &next)?;
+            if !ops.is_empty() {
+                d.wal.commit(&ops)?;
+                self.inner
+                    .counters
+                    .wal_commits
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        fault_point("shared::swap")?;
+        self.publish(next, &mut ws);
+        // The write is already durable in the WAL; a failed automatic
+        // checkpoint only leaves the log long, so it never fails the
+        // statement — the next write or an explicit checkpoint retries.
+        let due = ws
+            .durable
+            .as_ref()
+            .is_some_and(|d| d.wal_limit > 0 && d.wal.size_bytes() >= d.wal_limit);
+        if due {
+            let _ = self.checkpoint_locked(&mut ws);
+        }
+        Ok(outcome)
+    }
+}
+
+/// The write-ahead-log records for one committed statement, derived from
+/// the statement shape: whole-table images of every table it touched (in
+/// `next`, the post-statement version), or a drop marker. Whole images
+/// make replay idempotent and order-insensitive within a commit.
+fn wal_ops<'a>(stmt: &'a conquer_sql::Statement, next: &'a Database) -> Result<Vec<WalOp<'a>>> {
+    use conquer_sql::Statement as S;
+    let put = |name: &str| -> Result<WalOp<'a>> { Ok(WalOp::Put(next.catalog().table(name)?)) };
+    Ok(match stmt {
+        S::CreateTable(ct) => vec![put(&ct.name)?],
+        S::Insert(ins) => vec![put(&ins.table)?],
+        S::Update(upd) => vec![put(&upd.table)?],
+        S::Delete(del) => vec![put(&del.table)?],
+        S::DropTable(name) => vec![WalOp::Drop(name)],
+        S::Select(_) | S::Explain { .. } => Vec::new(),
+    })
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -634,11 +900,12 @@ impl Session {
         let limits = self.limits();
         let _permit = self.admit(&limits)?;
 
-        // Hold the read lock across cache probes and execution: the epoch
-        // cannot move underneath us, so whatever we compute is safe to
-        // file under it.
-        let db = self.db.read();
-        let epoch = self.db.epoch();
+        // Pin the current version: everything below runs against this one
+        // immutable snapshot, so concurrent commits can neither stall us
+        // nor change what we compute, and the result files safely under
+        // the snapshot's epoch.
+        let snap = self.db.snapshot();
+        let epoch = snap.epoch();
 
         if let Some(result) = lock(&inner.results).get(sql, epoch) {
             inner.counters.result_hits.fetch_add(1, Ordering::Relaxed);
@@ -650,16 +917,16 @@ impl Session {
         }
         inner.counters.result_misses.fetch_add(1, Ordering::Relaxed);
 
-        let (stmt, source) = self.prepare_locked(&db, sql, epoch)?;
+        let (stmt, source) = self.prepare_at(snap.db(), sql, epoch)?;
         if !stmt.is_query() {
             return Err(EngineError::bind(format!(
                 "statement is not a query (use Session::execute): {sql}"
             )));
         }
 
-        let ctx = db.exec_context(limits);
+        let ctx = snap.db().exec_context(limits);
         *lock(&self.active) = Some(ctx.cancel_token());
-        let outcome = stmt.query_with(&db, &ctx);
+        let outcome = stmt.query_with(snap.db(), &ctx);
         *lock(&self.active) = None;
         let result = Arc::new(outcome?);
 
@@ -678,9 +945,9 @@ impl Session {
         })
     }
 
-    /// Prepare `sql` through the plan cache (the read lock must be held by
-    /// the caller). Returns the statement and whether it was cached.
-    fn prepare_locked(
+    /// Prepare `sql` against one pinned version through the plan cache.
+    /// Returns the statement and whether it was cached.
+    fn prepare_at(
         &self,
         db: &Database,
         sql: &str,
@@ -705,37 +972,36 @@ impl Session {
     /// it. Repeated calls for the same SQL at the same epoch return the
     /// same `Arc` (visible as `plan_hits` in [`SharedDatabase::stats`]).
     pub fn prepare(&self, sql: &str) -> Result<Arc<Statement>> {
-        let db = self.db.read();
-        let epoch = self.db.epoch();
-        self.prepare_locked(&db, sql, epoch).map(|(stmt, _)| stmt)
+        let snap = self.db.snapshot();
+        self.prepare_at(snap.db(), sql, snap.epoch())
+            .map(|(stmt, _)| stmt)
     }
 
-    /// Execute a DDL/DML command (or any statement) under the exclusive
-    /// lock. Commands that touch the catalog bump the epoch and evict both
-    /// caches; a plain `SELECT` routed here leaves the epoch alone.
+    /// Execute a DDL/DML command (or any statement). Commands run
+    /// copy-on-write under the writer lock: on success the new version is
+    /// WAL-committed (durable handles), published as the next epoch, and
+    /// both caches are evicted; on failure nothing changes — not the
+    /// epoch, not the visible data, not the disk. A plain `SELECT` routed
+    /// here runs on a pinned snapshot and leaves the epoch alone.
     pub fn execute(&self, sql: &str) -> Result<ExecOutcome> {
         let limits = self.limits();
         let _permit = self.admit(&limits)?;
-        let stmt = {
-            let db = self.db.read();
-            db.prepare(sql)?
-        };
-        if stmt.is_query() {
-            // No mutation: run it under the read path (without re-entering
+        let parsed = conquer_sql::parse_statement(sql)?;
+        if matches!(
+            parsed,
+            conquer_sql::Statement::Select(_) | conquer_sql::Statement::Explain { .. }
+        ) {
+            // No mutation: run it on a snapshot (without re-entering
             // admission).
-            let db = self.db.read();
-            let ctx = db.exec_context(limits);
+            let snap = self.db.snapshot();
+            let stmt = snap.db().prepare(sql)?;
+            let ctx = snap.db().exec_context(limits);
             *lock(&self.active) = Some(ctx.cancel_token());
-            let outcome = stmt.query_with(&db, &ctx);
+            let outcome = stmt.query_with(snap.db(), &ctx);
             *lock(&self.active) = None;
             return Ok(ExecOutcome::Rows(outcome?));
         }
-        let mut db = self.db.write();
-        let outcome = stmt.run(&mut db);
-        // Even a failed DML may have applied partial effects; the epoch
-        // bump errs on the safe side.
-        self.db.bump_epoch_locked(&db);
-        outcome
+        self.db.commit_statement(&parsed)
     }
 
     fn admit(&self, limits: &ExecLimits) -> Result<AdmissionPermit<'_>> {
@@ -936,6 +1202,146 @@ mod tests {
         assert_eq!(db.epoch(), 1);
         let r = s.query("SELECT COUNT(*) FROM t").unwrap();
         assert_eq!(r.result.rows, vec![vec![conquer_storage::Value::Int(4)]]);
+    }
+
+    #[test]
+    fn failed_mutate_changes_nothing() {
+        let db = shared();
+        let err = db
+            .mutate(|d| d.execute_script("INSERT INTO nope VALUES (1)").map(|_| ()))
+            .unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
+        assert_eq!(db.epoch(), 0, "a failed mutate must not bump the epoch");
+    }
+
+    #[test]
+    fn failed_dml_leaves_no_trace() {
+        let db = shared();
+        let s = db.session();
+        // Type error surfaces mid-statement; the copy-on-write version is
+        // discarded, so neither the epoch nor the data moves.
+        s.execute("INSERT INTO t VALUES (4, 'ok'), ('bad', 5)")
+            .unwrap_err();
+        assert_eq!(db.epoch(), 0);
+        let r = s.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.result.rows, vec![vec![conquer_storage::Value::Int(3)]]);
+    }
+
+    #[test]
+    fn pinned_snapshot_is_immutable_across_commits() {
+        let db = shared();
+        let s = db.session();
+        let snap = db.snapshot();
+        let before = snap.db().catalog().table("t").unwrap().rows().to_vec();
+
+        s.execute("INSERT INTO t VALUES (10, 'new')").unwrap();
+        s.execute("DROP TABLE t").unwrap();
+        assert_eq!(db.epoch(), 2);
+
+        // The pinned snapshot still sees the original three rows; the
+        // current version no longer has the table at all.
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.db().catalog().table("t").unwrap().rows(), &before[..]);
+        assert!(db.snapshot().db().catalog().table("t").is_err());
+    }
+
+    #[test]
+    fn snapshot_read_completes_while_a_write_commits() {
+        // A reader that pinned a snapshot before a write starts must run
+        // to completion without ever blocking on the writer. The writer
+        // thread commits while the reader holds its snapshot mid-"scan".
+        let db = shared();
+        let snap = db.snapshot();
+        let writer = {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                db.session()
+                    .execute("INSERT INTO t VALUES (7, 'w')")
+                    .unwrap();
+            })
+        };
+        writer.join().unwrap();
+        assert_eq!(db.epoch(), 1, "the write committed");
+        // The snapshot pinned before the write still answers from epoch 0.
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.db().catalog().table("t").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn durable_writes_survive_reopen() {
+        let dir =
+            std::env::temp_dir().join(format!("conquer_shared_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (db, report) = SharedDatabase::open_durable(&dir, SharedConfig::default()).unwrap();
+            assert!(report.is_clean(), "{report:?}");
+            assert!(db.is_durable());
+            assert_eq!(db.persist_dir().as_deref(), Some(dir.as_path()));
+            let s = db.session();
+            s.execute("CREATE TABLE t (a INTEGER)").unwrap();
+            s.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+            assert_eq!(db.stats().wal_commits, 2);
+            // No checkpoint: everything lives in the WAL.
+        }
+        let (db, report) = SharedDatabase::open_durable(&dir, SharedConfig::default()).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.wal_commits_replayed, 2);
+        let r = db.session().query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.result.rows, vec![vec![conquer_storage::Value::Int(2)]]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_folds_and_truncates_without_bumping_the_epoch() {
+        let dir = std::env::temp_dir().join(format!("conquer_shared_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (db, _) = SharedDatabase::open_durable(&dir, SharedConfig::default()).unwrap();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        s.execute("INSERT INTO t VALUES (5)").unwrap();
+        let epoch = db.epoch();
+
+        let info = db.checkpoint().unwrap().expect("durable handle");
+        assert_eq!(info.epoch, epoch);
+        assert!(info.wal_bytes_folded > 0);
+        assert_eq!(db.epoch(), epoch, "checkpoint must not bump the epoch");
+        assert_eq!(db.stats().checkpoints, 1);
+
+        // After the fold, reopening replays nothing from the WAL.
+        drop(s);
+        drop(db);
+        let (db, report) = SharedDatabase::open_durable(&dir, SharedConfig::default()).unwrap();
+        assert_eq!(report.wal_commits_replayed, 0, "{report:?}");
+        let r = db.session().query("SELECT a FROM t").unwrap();
+        assert_eq!(r.result.rows, vec![vec![conquer_storage::Value::Int(5)]]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_limit_triggers_automatic_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("conquer_shared_auto_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = SharedConfig {
+            wal_limit: 1, // every committed write is past the limit
+            ..Default::default()
+        };
+        let (db, _) = SharedDatabase::open_durable(&dir, cfg).unwrap();
+        let s = db.session();
+        s.execute("CREATE TABLE t (a INTEGER)").unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        assert!(db.stats().checkpoints >= 2, "{:?}", db.stats());
+
+        let (_, report) = SharedDatabase::open_durable(&dir, SharedConfig::default()).unwrap();
+        assert_eq!(report.wal_commits_replayed, 0, "the log was folded");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_on_memory_handle_is_a_noop() {
+        let db = shared();
+        assert!(!db.is_durable());
+        assert_eq!(db.persist_dir(), None);
+        assert_eq!(db.checkpoint().unwrap(), None);
     }
 
     #[test]

@@ -4,13 +4,17 @@
 //! conquer-server [--addr HOST:PORT] [--load DIR | --gen SF IF]
 //! ```
 //!
-//! The database is either loaded from a directory previously written with
-//! `save_to_dir` (`--load`), or generated as a UIS-dirtied TPC-H-lite
-//! instance (`--gen`, default `--gen 0.01 3`). Cache sizes, admission
-//! slots, and the listen address also come from the environment
-//! (`CONQUER_PLAN_CACHE`, `CONQUER_RESULT_CACHE`, `CONQUER_ADMIT`,
-//! `CONQUER_QUEUE`, `CONQUER_ADDR`, `CONQUER_MAX_CONN`); flags win over
-//! the environment.
+//! With `--load DIR` the server opens DIR as a *durable* database:
+//! recovery replays any committed write-ahead-log suffix (printing a
+//! report of anything repaired along the way), and every write served
+//! afterwards is WAL-committed before it is acknowledged — crash-safe.
+//! With `--gen` (default `--gen 0.01 3`) it serves an in-memory
+//! UIS-dirtied TPC-H-lite instance instead. Cache sizes, admission
+//! slots, WAL checkpointing, timeouts, and the listen address also come
+//! from the environment (`CONQUER_PLAN_CACHE`, `CONQUER_RESULT_CACHE`,
+//! `CONQUER_ADMIT`, `CONQUER_QUEUE`, `CONQUER_WAL_LIMIT`,
+//! `CONQUER_ADDR`, `CONQUER_MAX_CONN`, `CONQUER_IDLE_MS`,
+//! `CONQUER_GRACE_MS`); flags win over the environment.
 
 use std::process::ExitCode;
 
@@ -19,7 +23,7 @@ use conquer_datagen::{
     perturb::PerturbOptions,
     tpch::TpchConfig,
 };
-use conquer_engine::{Database, SharedConfig, SharedDatabase};
+use conquer_engine::{SharedConfig, SharedDatabase};
 use conquer_server::{Server, ServerConfig};
 
 fn main() -> ExitCode {
@@ -65,11 +69,26 @@ fn run() -> Result<(), String> {
         }
     }
 
-    let db = match &load {
+    let shared = match &load {
         Some(dir) => {
-            eprintln!("loading database from {dir} ...");
-            Database::load_from_dir(std::path::Path::new(dir))
-                .map_err(|e| format!("loading {dir}: {e}"))?
+            eprintln!("opening durable database at {dir} ...");
+            let (shared, report) =
+                SharedDatabase::open_durable(std::path::Path::new(dir), SharedConfig::from_env())
+                    .map_err(|e| format!("opening {dir}: {e}"))?;
+            match &report.loaded_epoch {
+                Some(epoch) => eprintln!(
+                    "recovered epoch {epoch} + {} WAL commit(s)",
+                    report.wal_commits_replayed
+                ),
+                None => eprintln!(
+                    "no epoch directory; recovered {} WAL commit(s)",
+                    report.wal_commits_replayed
+                ),
+            }
+            for issue in &report.issues {
+                eprintln!("recovery: {issue}");
+            }
+            shared
         }
         None => {
             let (sf, if_factor) = gen;
@@ -81,11 +100,10 @@ fn run() -> Result<(), String> {
                 perturb: PerturbOptions::default(),
             })
             .map_err(|e| format!("generating data: {e}"))?;
-            dirty.db().clone()
+            SharedDatabase::with_config(dirty.db().clone(), SharedConfig::from_env())
         }
     };
 
-    let shared = SharedDatabase::with_config(db, SharedConfig::from_env());
     let server =
         Server::bind(shared, &config).map_err(|e| format!("binding {}: {e}", config.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;

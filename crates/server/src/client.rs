@@ -2,6 +2,16 @@
 //! TCP, sends one request line at a time, and parses the response into
 //! typed values. Used by the CLI's `--connect` mode, the concurrency
 //! bench, and the smoke tests.
+//!
+//! Clients built through [`Client::builder`] transparently retry requests
+//! the server *answered* with a retryable error
+//! ([`ErrorKind::is_retryable`]: `OVERLOADED`, `TIMEOUT`, `CANCELLED`) —
+//! the answer proves the statement never executed, so resending is safe
+//! even for writes. Each retry reconnects (a shed connection is closed
+//! server-side after its error line) and backs off exponentially with
+//! jitter, up to [`RetryPolicy::max_attempts`]. Transport errors are
+//! *not* retried: without a response there is no proof the request
+//! didn't execute.
 
 use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -94,31 +104,181 @@ pub struct Rows {
     pub epoch: u64,
 }
 
+/// Automatic-retry policy for errors the server answered with a
+/// [retryable](ErrorKind::is_retryable) kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "never retry").
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_delay: Duration,
+    /// Cap on the per-retry backoff.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (1-based): capped
+    /// exponential, scaled by a jitter factor in `[0.5, 1.0]` so a
+    /// thundering herd of shed clients decorrelates.
+    fn delay(&self, retry: u32, jitter: f64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << retry.saturating_sub(1).min(16));
+        exp.min(self.max_delay).mul_f64(0.5 + 0.5 * jitter)
+    }
+}
+
+/// A cheap std-only jitter source in `[0.0, 1.0)`: a SplitMix64 step over
+/// a clock-derived seed. Not statistically strong — it only needs to
+/// decorrelate concurrent retry loops.
+fn jitter01(salt: u64) -> f64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    let mut z = nanos ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Builder for a [`Client`] with reconnect-and-retry behavior. Created by
+/// [`Client::builder`].
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    addr: String,
+    retry: Option<RetryPolicy>,
+    read_timeout: Option<Duration>,
+}
+
+impl ClientBuilder {
+    /// Use an explicit retry policy (the default is
+    /// [`RetryPolicy::default`]).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Opt out of automatic retries: every server error surfaces to the
+    /// caller on the first answer.
+    pub fn no_retry(mut self) -> Self {
+        self.retry = None;
+        self
+    }
+
+    /// Set the socket read timeout applied to every (re)connection.
+    pub fn read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Connect.
+    pub fn connect(self) -> Result<Client, ClientError> {
+        let mut client = Client::connect(&self.addr)?;
+        client.reconnect_addr = Some(self.addr);
+        client.retry = self.retry;
+        client.read_timeout = self.read_timeout;
+        client.set_read_timeout(self.read_timeout)?;
+        Ok(client)
+    }
+}
+
 /// A blocking connection to a ConQuer server.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Address to reconnect to on retry; only builder-made clients have
+    /// one (plain [`Client::connect`] takes `impl ToSocketAddrs`, which
+    /// cannot be stored).
+    reconnect_addr: Option<String>,
+    retry: Option<RetryPolicy>,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connect to `addr`.
+    /// Connect to `addr` with no automatic retries (see
+    /// [`Client::builder`] for the retrying variant).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            reconnect_addr: None,
+            retry: None,
+            read_timeout: None,
         })
+    }
+
+    /// A client that reconnects and retries requests shed with a
+    /// [retryable](ErrorKind::is_retryable) error, with capped
+    /// exponential backoff and jitter. Opt out with
+    /// [`ClientBuilder::no_retry`].
+    pub fn builder(addr: impl Into<String>) -> ClientBuilder {
+        ClientBuilder {
+            addr: addr.into(),
+            retry: Some(RetryPolicy::default()),
+            read_timeout: None,
+        }
     }
 
     /// Set (or clear) the read timeout, so a hung server surfaces as an
     /// I/O error instead of blocking forever.
     pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.read_timeout = timeout;
         self.reader.get_ref().set_read_timeout(timeout)?;
         Ok(())
     }
 
-    /// Send one raw request line and parse the response.
+    /// Send one raw request line and parse the response, retrying (per
+    /// the builder's [`RetryPolicy`]) when the server answers with a
+    /// retryable error.
     pub fn request(&mut self, line: &str) -> Result<Response, ClientError> {
+        let Some(policy) = self.retry else {
+            return self.request_once(line);
+        };
+        let mut attempt = 1;
+        loop {
+            let err = match self.request_once(line) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            let retryable = err.kind().is_some_and(|k| k.is_retryable());
+            if !retryable || attempt >= policy.max_attempts.max(1) {
+                return Err(err);
+            }
+            std::thread::sleep(policy.delay(attempt, jitter01(attempt as u64)));
+            // The server closes shed connections after the error line;
+            // reconnect before resending. A still-healthy connection is
+            // replaced harmlessly.
+            self.reconnect()?;
+            attempt += 1;
+        }
+    }
+
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let addr = self.reconnect_addr.as_deref().ok_or_else(|| {
+            ClientError::Proto("cannot reconnect: client was not built with an address".into())
+        })?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = BufWriter::new(stream);
+        Ok(())
+    }
+
+    /// One request/response exchange, no retries.
+    fn request_once(&mut self, line: &str) -> Result<Response, ClientError> {
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
         self.read_response()
@@ -327,5 +487,26 @@ mod tests {
     fn sanitize_folds_newlines() {
         assert_eq!(sanitize("SELECT 1"), "SELECT 1");
         assert_eq!(sanitize("SELECT\n  1\r\n"), "SELECT   1  ");
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_exponential_with_bounded_jitter() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+        };
+        // Full jitter factor: exact exponential, then the cap.
+        assert_eq!(p.delay(1, 1.0), Duration::from_millis(10));
+        assert_eq!(p.delay(2, 1.0), Duration::from_millis(20));
+        assert_eq!(p.delay(3, 1.0), Duration::from_millis(40));
+        assert_eq!(p.delay(5, 1.0), Duration::from_millis(100), "capped");
+        assert_eq!(p.delay(30, 1.0), Duration::from_millis(100), "no overflow");
+        // Minimum jitter halves the delay, never zeroes it.
+        assert_eq!(p.delay(1, 0.0), Duration::from_millis(5));
+        for salt in 0..64 {
+            let j = jitter01(salt);
+            assert!((0.0..1.0).contains(&j), "{j}");
+        }
     }
 }

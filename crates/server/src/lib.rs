@@ -39,5 +39,5 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientError, Response, Rows, ServerError};
+pub use client::{Client, ClientBuilder, ClientError, Response, RetryPolicy, Rows, ServerError};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -15,6 +15,7 @@
 //! LIMIT mem <bytes> | disk <bytes> | time <ms> | threads <n> | off
 //! STATS                  shared cache/admission counters
 //! EPOCH                  current catalog epoch
+//! CHECKPOINT             fold the WAL into a fresh epoch directory (durable servers)
 //! PING                   liveness check
 //! QUIT                   close the connection
 //! ```
@@ -120,6 +121,8 @@ pub enum Request {
     Stats,
     /// `EPOCH`.
     Epoch,
+    /// `CHECKPOINT`.
+    Checkpoint,
     /// `PING`.
     Ping,
     /// `QUIT`.
@@ -148,6 +151,7 @@ impl Request {
             "LIMIT" => Ok(Request::Limit(arg.to_string())),
             "STATS" => Ok(Request::Stats),
             "EPOCH" => Ok(Request::Epoch),
+            "CHECKPOINT" => Ok(Request::Checkpoint),
             "PING" => Ok(Request::Ping),
             "QUIT" => Ok(Request::Quit),
             "" => Err("empty request".to_string()),

@@ -8,12 +8,19 @@
 //! `ERR OVERLOADED` line and closed; query-level overload (the admission
 //! gate shedding) surfaces per request the same way, so a flooded server
 //! degrades into typed errors instead of hangs.
+//!
+//! Sockets carry read/write timeouts: a connection idle past
+//! `idle_timeout` is reaped with one `ERR TIMEOUT` line instead of
+//! pinning a thread forever. Shutdown is graceful — in-flight requests
+//! drain up to a `grace` deadline while every new request (and new
+//! connection) is answered with the typed `ERR SHUTDOWN` line, never a
+//! silently dropped socket.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use conquer_engine::{
     EngineError, ExecLimits, ExecOutcome, Session, SessionOutcome, SessionResult, SharedDatabase,
@@ -33,6 +40,12 @@ pub struct ServerConfig {
     /// Connections served concurrently; arrivals past the cap get one
     /// `ERR OVERLOADED` line and are closed.
     pub max_conn: usize,
+    /// Socket read/write timeout; a connection idle this long is reaped
+    /// with one `ERR TIMEOUT` line and closed. `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
+    /// How long [`ServerHandle::shutdown`] waits for in-flight requests
+    /// to drain before giving up on them.
+    pub grace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -40,14 +53,18 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
             max_conn: 64,
+            idle_timeout: Some(Duration::from_secs(300)),
+            grace: Duration::from_secs(5),
         }
     }
 }
 
 impl ServerConfig {
     /// Configuration from the environment, falling back to the defaults:
-    /// `CONQUER_ADDR` (listen address) and `CONQUER_MAX_CONN`
-    /// (concurrent-connection cap).
+    /// `CONQUER_ADDR` (listen address), `CONQUER_MAX_CONN`
+    /// (concurrent-connection cap), `CONQUER_IDLE_MS` (idle-connection
+    /// reap timeout in milliseconds, `0` disables), and
+    /// `CONQUER_GRACE_MS` (shutdown drain deadline in milliseconds).
     pub fn from_env() -> Self {
         let mut cfg = ServerConfig::default();
         if let Ok(addr) = std::env::var("CONQUER_ADDR") {
@@ -61,8 +78,30 @@ impl ServerConfig {
         {
             cfg.max_conn = n.max(1);
         }
+        if let Some(ms) = std::env::var("CONQUER_IDLE_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            cfg.idle_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Some(ms) = std::env::var("CONQUER_GRACE_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+        {
+            cfg.grace = Duration::from_millis(ms);
+        }
         cfg
     }
+}
+
+/// State shared between the accept loop, the connection threads, and the
+/// [`ServerHandle`]: the hard-stop flag, the draining flag, and the count
+/// of requests currently executing.
+#[derive(Debug, Default)]
+struct Lifecycle {
+    shutdown: AtomicBool,
+    draining: AtomicBool,
+    inflight: AtomicUsize,
 }
 
 /// A bound, not-yet-running server.
@@ -70,14 +109,17 @@ pub struct Server {
     listener: TcpListener,
     shared: SharedDatabase,
     max_conn: usize,
-    shutdown: Arc<AtomicBool>,
+    idle_timeout: Option<Duration>,
+    grace: Duration,
+    lifecycle: Arc<Lifecycle>,
 }
 
 /// Handle to a server spawned on a background thread; dropping it does
 /// *not* stop the server — call [`ServerHandle::shutdown`].
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    lifecycle: Arc<Lifecycle>,
+    grace: Duration,
     thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
 }
 
@@ -87,14 +129,27 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting connections and join the accept thread. Connections
-    /// already being served finish their current request and close.
+    /// Gracefully stop the server with the configured grace period: stop
+    /// taking new work (every new request or connection is answered with
+    /// the typed `ERR SHUTDOWN` line), wait for in-flight requests to
+    /// drain, then close the listener and join the accept thread.
     pub fn shutdown(mut self) {
-        self.stop();
+        let grace = self.grace;
+        self.stop(grace);
     }
 
-    fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
+    /// [`ServerHandle::shutdown`] with an explicit drain deadline.
+    pub fn shutdown_within(mut self, grace: Duration) {
+        self.stop(grace);
+    }
+
+    fn stop(&mut self, grace: Duration) {
+        self.lifecycle.draining.store(true, Ordering::Release);
+        let deadline = Instant::now() + grace;
+        while self.lifecycle.inflight.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.lifecycle.shutdown.store(true, Ordering::Release);
         // The accept loop blocks in `accept()`; poke it awake.
         let _ = TcpStream::connect(self.addr);
         if let Some(thread) = self.thread.take() {
@@ -106,7 +161,8 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         if self.thread.is_some() {
-            self.stop();
+            let grace = self.grace;
+            self.stop(grace);
         }
     }
 }
@@ -119,7 +175,9 @@ impl Server {
             listener,
             shared,
             max_conn: config.max_conn.max(1),
-            shutdown: Arc::new(AtomicBool::new(false)),
+            idle_timeout: config.idle_timeout,
+            grace: config.grace,
+            lifecycle: Arc::new(Lifecycle::default()),
         })
     }
 
@@ -129,26 +187,43 @@ impl Server {
     }
 
     /// Serve connections on the calling thread until shut down (via the
-    /// flag a [`ServerHandle`] holds) or the listener fails.
+    /// flags a [`ServerHandle`] holds) or the listener fails.
     pub fn run(self) -> std::io::Result<()> {
         let conns = Arc::new(AtomicUsize::new(0));
         for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::Acquire) {
+            if self.lifecycle.shutdown.load(Ordering::Acquire) {
                 break;
             }
             let stream = match stream {
                 Ok(s) => s,
                 Err(_) => continue,
             };
-            if conns.load(Ordering::Acquire) >= self.max_conn {
-                shed_connection(stream, &self.shared);
+            if self.lifecycle.draining.load(Ordering::Acquire) {
+                refuse_connection(stream, &EngineError::Shutdown);
                 continue;
             }
+            if conns.load(Ordering::Acquire) >= self.max_conn {
+                let gate = self.shared.admission();
+                refuse_connection(
+                    stream,
+                    &EngineError::Overloaded {
+                        running: gate.running(),
+                        queued: gate.queued(),
+                        max_queue: self.shared.config().max_queue,
+                    },
+                );
+                continue;
+            }
+            // Timeouts cover both directions so neither a silent client
+            // nor a stalled write can pin this connection's thread.
+            let _ = stream.set_read_timeout(self.idle_timeout);
+            let _ = stream.set_write_timeout(self.idle_timeout);
             conns.fetch_add(1, Ordering::AcqRel);
             let session = self.shared.session();
             let conns = Arc::clone(&conns);
+            let lifecycle = Arc::clone(&self.lifecycle);
             std::thread::spawn(move || {
-                let _ = serve_connection(stream, &session);
+                let _ = serve_connection(stream, &session, &lifecycle);
                 conns.fetch_sub(1, Ordering::AcqRel);
             });
         }
@@ -159,43 +234,70 @@ impl Server {
     /// address and a shutdown switch.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
-        let shutdown = Arc::clone(&self.shutdown);
+        let lifecycle = Arc::clone(&self.lifecycle);
+        let grace = self.grace;
         let thread = std::thread::spawn(move || self.run());
         Ok(ServerHandle {
             addr,
-            shutdown,
+            lifecycle,
+            grace,
             thread: Some(thread),
         })
     }
 }
 
-/// Answer an over-cap connection with one typed error line and close it.
-fn shed_connection(stream: TcpStream, shared: &SharedDatabase) {
-    let gate = shared.admission();
-    let err = EngineError::Overloaded {
-        running: gate.running(),
-        queued: gate.queued(),
-        max_queue: shared.config().max_queue,
-    };
+/// Answer a connection the server will not serve (over the cap, or
+/// draining) with one typed error line and close it.
+fn refuse_connection(stream: TcpStream, err: &EngineError) {
     let mut w = BufWriter::new(stream);
-    let _ = writeln!(w, "{}", engine_err_line(&err));
+    let _ = writeln!(w, "{}", engine_err_line(err));
     let _ = w.flush();
 }
 
 /// Serve one connection: read request lines, write response lines, until
-/// `QUIT`, EOF, or an I/O error.
-fn serve_connection(stream: TcpStream, session: &Session) -> std::io::Result<()> {
+/// `QUIT`, EOF, idle timeout, shutdown, or an I/O error.
+fn serve_connection(
+    stream: TcpStream,
+    session: &Session,
+    lifecycle: &Lifecycle,
+) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
     loop {
         line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // EOF
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle past the socket timeout: reap with a typed line
+                // instead of holding the thread.
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    engine_err_line(&EngineError::Timeout {
+                        limit: Duration::ZERO,
+                    })
+                );
+                let _ = writer.flush();
+                return Ok(());
+            }
+            Err(e) => return Err(e),
         }
         let trimmed = line.trim_end_matches(['\n', '\r']);
         if trimmed.is_empty() {
             continue;
+        }
+        if lifecycle.draining.load(Ordering::Acquire) {
+            // Draining: answer (don't drop the socket), then close.
+            writeln!(writer, "{}", engine_err_line(&EngineError::Shutdown))?;
+            writer.flush()?;
+            return Ok(());
         }
         let request = match Request::parse(trimmed) {
             Ok(r) => r,
@@ -206,7 +308,10 @@ fn serve_connection(stream: TcpStream, session: &Session) -> std::io::Result<()>
             }
         };
         let quit = matches!(request, Request::Quit);
-        respond(&mut writer, session, request)?;
+        lifecycle.inflight.fetch_add(1, Ordering::AcqRel);
+        let result = respond(&mut writer, session, request);
+        lifecycle.inflight.fetch_sub(1, Ordering::AcqRel);
+        result?;
         writer.flush()?;
         if quit {
             return Ok(());
@@ -252,6 +357,8 @@ fn respond(w: &mut impl Write, session: &Session, request: Request) -> std::io::
                 ("evictions", stats.evictions),
                 ("admitted", stats.admitted),
                 ("shed", stats.shed),
+                ("wal_commits", stats.wal_commits),
+                ("checkpoints", stats.checkpoints),
                 ("running", gate.running() as u64),
                 ("queued", gate.queued() as u64),
             ] {
@@ -260,6 +367,15 @@ fn respond(w: &mut impl Write, session: &Session, request: Request) -> std::io::
             writeln!(w, "OK stats")
         }
         Request::Epoch => writeln!(w, "OK {}", session.shared().epoch()),
+        Request::Checkpoint => match session.shared().checkpoint() {
+            Ok(Some(info)) => writeln!(
+                w,
+                "OK checkpoint epoch {} folded {} bytes",
+                info.epoch, info.wal_bytes_folded
+            ),
+            Ok(None) => writeln!(w, "OK checkpoint noop (in-memory database)"),
+            Err(e) => writeln!(w, "{}", engine_err_line(&e)),
+        },
         Request::Ping => writeln!(w, "OK pong"),
         Request::Quit => writeln!(w, "OK bye"),
     }

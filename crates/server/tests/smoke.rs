@@ -14,7 +14,8 @@ use conquer_datagen::{
 };
 use conquer_engine::{Database, ErrorKind, SharedConfig, SharedDatabase};
 use conquer_server::{
-    client::wire_form, Client, ClientError, Response, Server, ServerConfig, ServerHandle,
+    client::wire_form, Client, ClientError, Response, RetryPolicy, Server, ServerConfig,
+    ServerHandle,
 };
 
 fn spawn_server(shared: SharedDatabase, max_conn: usize) -> ServerHandle {
@@ -214,6 +215,155 @@ fn malformed_requests_get_proto_errors_not_disconnects() {
     // The connection still works afterwards.
     client.ping().unwrap();
     handle.shutdown();
+}
+
+#[test]
+fn a_shed_request_eventually_succeeds_with_retry() {
+    let mut db = Database::new();
+    db.execute_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1)")
+        .unwrap();
+    let mut config = SharedConfig::default();
+    config.max_running = 1;
+    config.max_queue = 0;
+    let shared = SharedDatabase::with_config(db, config);
+    let handle = spawn_server(shared.clone(), 8);
+    let addr = handle.addr().to_string();
+
+    // Hold the only execution slot for a while, then release it: every
+    // request sent in the meantime is shed with `ERR OVERLOADED`.
+    let holder_db = shared.clone();
+    let holder = std::thread::spawn(move || {
+        let slot = holder_db.admission().admit(None).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        drop(slot);
+    });
+    std::thread::sleep(Duration::from_millis(30)); // the slot is taken
+
+    // Without retries the shed surfaces immediately...
+    let mut bare = Client::builder(&addr).no_retry().connect().unwrap();
+    let err = bare.query("SELECT a FROM t").unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::Overloaded), "{err}");
+
+    // ...with retries the same request rides out the overload.
+    let mut retrying = Client::builder(&addr)
+        .retry(RetryPolicy {
+            max_attempts: 50,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(40),
+        })
+        .connect()
+        .unwrap();
+    let rows = retrying.query("SELECT a FROM t").unwrap();
+    assert_eq!(rows.rows, vec![vec!["1".to_string()]]);
+
+    holder.join().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_with_a_typed_timeout() {
+    let mut config = ServerConfig::default();
+    config.addr = "127.0.0.1:0".to_string();
+    config.max_conn = 8;
+    config.idle_timeout = Some(Duration::from_millis(50));
+    let handle = Server::bind(tiny_shared(), &config)
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The server reaped the idle connection: either we read its parting
+    // `ERR TIMEOUT` line, or the socket is already gone.
+    let err = client.ping().unwrap_err();
+    match &err {
+        ClientError::Server(e) => assert_eq!(e.code, "TIMEOUT", "{e:?}"),
+        ClientError::Io(_) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Reaping frees the slot for fresh connections.
+    Client::connect(handle.addr()).unwrap().ping().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_queries_and_refuses_new_work() {
+    let mut db = Database::new();
+    db.execute_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1)")
+        .unwrap();
+    let mut config = SharedConfig::default();
+    config.max_running = 1;
+    config.max_queue = 10;
+    let shared = SharedDatabase::with_config(db, config);
+    let handle = spawn_server(shared.clone(), 8);
+    let addr = handle.addr();
+
+    // Park an in-flight query: the test holds the only execution slot, so
+    // the query below blocks in the admission queue server-side.
+    let slot = shared.admission().admit(None).unwrap();
+    let inflight = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.query("SELECT a FROM t")
+    });
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut pre_drain = Client::connect(addr).unwrap();
+    pre_drain.ping().unwrap();
+
+    let drainer = std::thread::spawn(move || handle.shutdown_within(Duration::from_secs(10)));
+
+    // A connection opened before the drain is answered with the typed
+    // SHUTDOWN error once draining starts — not a dropped socket.
+    let err = loop {
+        match pre_drain.ping() {
+            Ok(()) => std::thread::sleep(Duration::from_millis(5)),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err.kind(), Some(ErrorKind::Shutdown), "{err}");
+
+    // New connections are refused with the same typed error.
+    let mut late = Client::connect(addr).unwrap();
+    let err = late.ping().unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::Shutdown), "{err}");
+
+    // The parked query drains to completion instead of being dropped.
+    drop(slot);
+    let rows = inflight.join().unwrap().unwrap();
+    assert_eq!(rows.rows, vec![vec!["1".to_string()]]);
+    drainer.join().unwrap();
+}
+
+#[test]
+fn checkpoint_round_trips_over_the_wire() {
+    let dir = std::env::temp_dir().join(format!("conquer-smoke-ckpt-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Durable server: CHECKPOINT folds the WAL and reports what it did.
+    let (shared, report) = SharedDatabase::open_durable(&dir, SharedConfig::default()).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    let handle = spawn_server(shared, 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.exec("CREATE TABLE t (a INTEGER)").unwrap();
+    client.exec("INSERT INTO t VALUES (1), (2)").unwrap();
+    match client.request("CHECKPOINT").unwrap() {
+        Response::Ok(s) => assert!(s.starts_with("checkpoint epoch "), "{s}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+
+    // In-memory server: CHECKPOINT is an explicit noop, not an error.
+    let handle = spawn_server(tiny_shared(), 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    match client.request("CHECKPOINT").unwrap() {
+        Response::Ok(s) => assert!(s.contains("noop"), "{s}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -36,6 +36,7 @@ pub mod schema;
 pub mod spill;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use catalog::Catalog;
 pub use date::Date;
@@ -46,6 +47,7 @@ pub use schema::{Column, Schema};
 pub use spill::{SpillFile, SpillReader, SpillSession, SpillWriter};
 pub use table::{Row, Table};
 pub use value::{DataType, Value};
+pub use wal::{Wal, WalOp};
 
 /// Convenience result alias for storage operations.
 pub type Result<T> = std::result::Result<T, StorageError>;

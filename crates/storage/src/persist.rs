@@ -10,10 +10,18 @@
 //!   CURRENT            # name of the committed epoch, e.g. "v000007"
 //!   v000007/           # one complete, immutable snapshot
 //!     MANIFEST         # "fnv1a64:<hex> <size> <file>" per file
+//!     walseq           # last WAL sequence folded into this epoch
 //!     customer.schema
 //!     customer.csv
+//!   wal.log            # committed writes newer than the epoch (crate::wal)
 //!   .tmp-v000008-1234/ # in-flight save (ignored by loads, gc'd later)
 //! ```
+//!
+//! Individual writes do not rewrite epochs: they append to the
+//! [write-ahead log](crate::wal) and are replayed by both loaders on top
+//! of the epoch snapshot, gated on the epoch's `walseq`. [`save_catalog`]
+//! doubles as the checkpoint: it folds the current catalog (epoch + WAL)
+//! into a fresh epoch and truncates the log.
 //!
 //! [`save_catalog`] never touches the committed snapshot: it writes every
 //! file into a fresh temp directory (fsyncing each), writes a checksum
@@ -61,10 +69,13 @@ pub const DATA_EXT: &str = "csv";
 pub const CURRENT_FILE: &str = "CURRENT";
 /// Name of the per-epoch checksum manifest.
 pub const MANIFEST_FILE: &str = "MANIFEST";
+/// Name of the per-epoch file recording the last WAL sequence folded into
+/// that epoch (see [`crate::wal`]); replay skips commits at or below it.
+pub const WALSEQ_FILE: &str = "walseq";
 /// First line of a valid manifest.
 const MANIFEST_HEADER: &str = "conquer-manifest v1";
 
-fn type_name(t: DataType) -> &'static str {
+pub(crate) fn type_name(t: DataType) -> &'static str {
     match t {
         DataType::Bool => "bool",
         DataType::Int => "int",
@@ -108,9 +119,12 @@ pub struct RecoveryReport {
     /// The epoch that was ultimately loaded (`None` for a legacy-layout
     /// load).
     pub loaded_epoch: Option<String>,
+    /// Committed write-ahead-log groups replayed on top of the loaded
+    /// epoch (each one a write that committed after the last checkpoint).
+    pub wal_commits_replayed: u64,
     /// Human-readable descriptions of everything skipped or repaired:
     /// corrupt epochs, orphaned (published-but-uncommitted) epochs, stale
-    /// temp directories from crashed saves.
+    /// temp directories from crashed saves, torn WAL tails.
     pub issues: Vec<String>,
 }
 
@@ -131,8 +145,18 @@ impl RecoveryReport {
 /// is swapped at the very end, and a crash at any earlier point leaves the
 /// previously committed snapshot untouched and loadable. Unrelated files
 /// in `dir` are left alone.
+///
+/// This is also the **checkpoint** primitive for the write-ahead log
+/// ([`crate::wal`]): the new epoch records the last committed WAL
+/// sequence in its `walseq` file, and after the commit the log is
+/// truncated to a fresh header. `catalog` must therefore already contain
+/// every committed WAL write (it does for any catalog obtained from
+/// [`load_catalog`]/[`load_catalog_recover`], which replay the log). A
+/// crash between the `CURRENT` swap and the truncation is harmless:
+/// replay skips every sequence ≤ `walseq`.
 pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<(), StorageError> {
     fs::create_dir_all(dir)?;
+    let wal_seq = crate::wal::durable_seq(dir)?;
     let epoch_num = next_epoch_number(dir);
     let epoch_name = format!("v{epoch_num:06}");
     let tmp = dir.join(format!(".tmp-{epoch_name}-{}", std::process::id()));
@@ -158,6 +182,7 @@ pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<(), StorageError> {
         csv::write_table(table, &mut data)?;
         files.push((format!("{}.{DATA_EXT}", table.name()), data));
     }
+    files.push((WALSEQ_FILE.to_string(), format!("{wal_seq}\n").into_bytes()));
     for (name, bytes) in &files {
         fault::trigger("persist::file")?;
         write_file_sync(&tmp.join(name), bytes)?;
@@ -192,9 +217,15 @@ pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<(), StorageError> {
     fs::rename(&current_tmp, dir.join(CURRENT_FILE))?;
     sync_dir(dir);
 
-    // 5. Garbage-collect superseded epochs and stale temp directories.
-    //    Best-effort: a failure here cannot corrupt the committed state.
+    // 5. Garbage-collect superseded epochs and stale temp directories,
+    //    and truncate the WAL — every sequence ≤ wal_seq is now folded
+    //    into the committed epoch. Both are best-effort: a failure here
+    //    cannot corrupt the committed state (stale WAL frames are skipped
+    //    by sequence-gated replay, stale temp files by naming).
     gc(dir, &epoch_name);
+    if dir.join(crate::wal::WAL_FILE).exists() {
+        let _ = crate::wal::truncate_wal(dir, wal_seq);
+    }
     Ok(())
 }
 
@@ -235,10 +266,28 @@ fn parse_epoch(name: &str) -> Option<u64> {
     name.strip_prefix('v')?.parse().ok()
 }
 
-fn read_current(dir: &Path) -> Option<String> {
+pub(crate) fn read_current(dir: &Path) -> Option<String> {
     let text = fs::read_to_string(dir.join(CURRENT_FILE)).ok()?;
     let name = text.trim();
     (!name.is_empty()).then(|| name.to_string())
+}
+
+/// The `walseq` recorded by the committed epoch (0 when there is no
+/// committed epoch, or it predates the WAL).
+pub(crate) fn current_walseq(dir: &Path) -> u64 {
+    match read_current(dir) {
+        Some(epoch) => epoch_walseq(&dir.join(epoch)),
+        None => 0,
+    }
+}
+
+/// The `walseq` stamped into one epoch directory (0 for pre-WAL epochs,
+/// which by definition have no folded-in WAL commits).
+fn epoch_walseq(epoch_dir: &Path) -> u64 {
+    fs::read_to_string(epoch_dir.join(WALSEQ_FILE))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 /// Names of `v*` epoch directories directly under `dir`.
@@ -275,7 +324,8 @@ fn list_tmp_dirs(dir: &Path) -> Vec<String> {
     out
 }
 
-/// Remove epochs other than `keep` and all stale temp directories.
+/// Remove epochs other than `keep`, stale temp directories, and stale WAL
+/// truncation temp files.
 fn gc(dir: &Path, keep: &str) {
     for name in list_epoch_dirs(dir) {
         if name != keep {
@@ -284,6 +334,9 @@ fn gc(dir: &Path, keep: &str) {
     }
     for name in list_tmp_dirs(dir) {
         let _ = fs::remove_dir_all(dir.join(name));
+    }
+    for name in crate::wal::list_wal_tmp_files(dir) {
+        let _ = fs::remove_file(dir.join(name));
     }
 }
 
@@ -299,11 +352,24 @@ fn gc(dir: &Path, keep: &str) {
 ///
 /// Directories in the legacy layout (schema/CSV files directly in `dir`,
 /// no `CURRENT`) load without integrity verification.
+///
+/// Committed write-ahead-log suffixes (sequences newer than the epoch's
+/// `walseq`, see [`crate::wal`]) are replayed on top of the loaded
+/// snapshot. A torn WAL tail — the expected residue of a crash mid-commit
+/// — is tolerated silently here; use [`load_catalog_recover`] to have it
+/// reported.
 pub fn load_catalog(dir: &Path) -> Result<Catalog, StorageError> {
-    match read_current(dir) {
-        Some(epoch) => load_epoch(&dir.join(&epoch)),
-        None => load_legacy(dir),
+    let (mut catalog, min_seq) = match read_current(dir) {
+        Some(epoch) => {
+            let epoch_dir = dir.join(&epoch);
+            (load_epoch(&epoch_dir)?, epoch_walseq(&epoch_dir))
+        }
+        None => (load_legacy(dir)?, 0),
+    };
+    if let Some(wal) = crate::wal::read_wal(dir)? {
+        crate::wal::replay(&wal, &mut catalog, min_seq);
     }
+    Ok(catalog)
 }
 
 /// Load the newest loadable snapshot, tolerating (and reporting) corrupt
@@ -318,6 +384,20 @@ pub fn load_catalog_recover(dir: &Path) -> Result<(Catalog, RecoveryReport), Sto
         report.issues.push(format!(
             "stale temp directory from an interrupted save: {tmp}"
         ));
+    }
+    // A WAL truncation temp file means a checkpoint was interrupted
+    // between staging the fresh log and renaming it into place; the live
+    // log is still authoritative, the staged one is garbage.
+    for tmp in crate::wal::list_wal_tmp_files(dir) {
+        match fs::remove_file(dir.join(&tmp)) {
+            Ok(()) => report.issues.push(format!(
+                "stale WAL temp file from an interrupted checkpoint: {tmp}; removed"
+            )),
+            Err(e) => report.issues.push(format!(
+                "stale WAL temp file from an interrupted checkpoint: {tmp}; \
+                 could not be removed: {e}"
+            )),
+        }
     }
     // Spill sessions are scratch state for in-flight queries; one found at
     // load time belongs to a process that died mid-query. Remove it.
@@ -337,7 +417,8 @@ pub fn load_catalog_recover(dir: &Path) -> Result<(Catalog, RecoveryReport), Sto
     let epochs = list_epoch_dirs(dir);
     if current.is_none() && epochs.is_empty() {
         // Legacy layout (or nothing at all): defer to the strict loader.
-        let catalog = load_legacy(dir)?;
+        let mut catalog = load_legacy(dir)?;
+        replay_wal_reported(dir, &mut catalog, 0, &mut report)?;
         return Ok((catalog, report));
     }
 
@@ -368,7 +449,13 @@ pub fn load_catalog_recover(dir: &Path) -> Result<(Catalog, RecoveryReport), Sto
     let mut first_err: Option<StorageError> = None;
     for epoch in candidates {
         match load_epoch(&dir.join(&epoch)) {
-            Ok(catalog) => {
+            Ok(mut catalog) => {
+                // Replay gated on *this* epoch's walseq: falling back to
+                // an older epoch automatically replays more of the log,
+                // re-applying the writes the newer (corrupt) epoch had
+                // folded in — as long as the log still has them.
+                let min_seq = epoch_walseq(&dir.join(&epoch));
+                replay_wal_reported(dir, &mut catalog, min_seq, &mut report)?;
                 report.loaded_epoch = Some(epoch);
                 return Ok((catalog, report));
             }
@@ -384,6 +471,27 @@ pub fn load_catalog_recover(dir: &Path) -> Result<(Catalog, RecoveryReport), Sto
         path: dir.display().to_string(),
         detail: "no loadable epoch found".into(),
     }))
+}
+
+/// Replay the WAL into `catalog` (commits with sequence > `min_seq`),
+/// recording the replay count and any torn tail in `report`.
+fn replay_wal_reported(
+    dir: &Path,
+    catalog: &mut Catalog,
+    min_seq: u64,
+    report: &mut RecoveryReport,
+) -> Result<(), StorageError> {
+    if let Some(wal) = crate::wal::read_wal(dir)? {
+        let (applied, torn) = crate::wal::replay(&wal, catalog, min_seq);
+        report.wal_commits_replayed = applied;
+        if let Some(t) = torn {
+            report.issues.push(format!(
+                "write-ahead log has an incomplete tail ({t}); \
+                 every fully committed write before it was replayed"
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Load and verify one epoch directory against its manifest.
@@ -486,7 +594,7 @@ fn load_epoch(epoch_dir: &Path) -> Result<Catalog, StorageError> {
 }
 
 /// Parse the line-oriented `<column> <type>` schema format.
-fn parse_schema_text(text: &str, path: &Path) -> Result<Schema, StorageError> {
+pub(crate) fn parse_schema_text(text: &str, path: &Path) -> Result<Schema, StorageError> {
     let mut pairs = Vec::new();
     for line in text.lines() {
         let line = line.trim();

@@ -81,7 +81,7 @@ const TAG_FLOAT: u8 = 3;
 const TAG_TEXT: u8 = 4;
 const TAG_DATE: u8 = 5;
 
-fn encode_value(v: &Value, out: &mut Vec<u8>) {
+pub(crate) fn encode_value(v: &Value, out: &mut Vec<u8>) {
     match v {
         Value::Null => out.push(TAG_NULL),
         Value::Bool(b) => {
@@ -109,7 +109,7 @@ fn encode_value(v: &Value, out: &mut Vec<u8>) {
 }
 
 /// Read `N` bytes from `buf` at `*pos`, advancing the cursor.
-fn take<'a>(
+pub(crate) fn take<'a>(
     buf: &'a [u8],
     pos: &mut usize,
     n: usize,
@@ -129,7 +129,7 @@ fn take<'a>(
     Ok(slice)
 }
 
-fn take_arr<const N: usize>(
+pub(crate) fn take_arr<const N: usize>(
     buf: &[u8],
     pos: &mut usize,
     path: &Path,
@@ -140,7 +140,11 @@ fn take_arr<const N: usize>(
         .map_err(|_| corrupt(path, "spill record slice length mismatch".into()))
 }
 
-fn decode_value(buf: &[u8], pos: &mut usize, path: &Path) -> Result<Value, StorageError> {
+pub(crate) fn decode_value(
+    buf: &[u8],
+    pos: &mut usize,
+    path: &Path,
+) -> Result<Value, StorageError> {
     let tag = take(buf, pos, 1, path)?[0];
     Ok(match tag {
         TAG_NULL => Value::Null,

@@ -1,0 +1,217 @@
+//! Fault-injection tests for the write-ahead log (require
+//! `--features fault`): kill a commit, a checkpoint, and a truncation at
+//! every reachable failure point and assert that (a) the failure surfaces
+//! as a typed error, (b) reload recovers exactly the last committed
+//! state — never a torn catalog, never a lost committed write — and
+//! (c) the log keeps accepting commits afterwards.
+#![cfg(feature = "fault")]
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use conquer_storage::{
+    fault, load_catalog, load_catalog_recover, save_catalog, DataType, Schema, Table,
+    Value, Wal, WalOp,
+};
+
+/// The fault registry is process-global; every test must hold this lock.
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Default::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("conquer_fwal_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn table(rows: i64) -> Table {
+    let mut t = Table::new(
+        "t",
+        Schema::from_pairs([("a", DataType::Int), ("b", DataType::Text)]).unwrap(),
+    );
+    for i in 0..rows {
+        t.insert(vec![Value::Int(i), Value::text(format!("row {i}"))])
+            .unwrap();
+    }
+    t
+}
+
+fn loaded_rows(dir: &Path) -> usize {
+    load_catalog(dir).unwrap().table("t").unwrap().len()
+}
+
+/// Hits of `point` during one clean two-op commit.
+fn commit_hits(point: &str) -> u64 {
+    let scratch = tempdir("scratch");
+    fault::reset();
+    let mut wal = Wal::open(&scratch).unwrap();
+    wal.commit(&[WalOp::Put(&table(2)), WalOp::Drop("ghost")])
+        .unwrap();
+    let hits = fault::hit_count(point);
+    std::fs::remove_dir_all(&scratch).ok();
+    hits
+}
+
+#[test]
+fn commit_killed_at_every_failure_point_recovers_last_committed_state() {
+    let _guard = serialize();
+    let dir = tempdir("commit_kill");
+    fault::reset();
+    let mut wal = Wal::open(&dir).unwrap();
+    wal.commit(&[WalOp::Put(&table(3))]).unwrap();
+    assert_eq!(loaded_rows(&dir), 3);
+
+    for point in ["wal::op", "wal::commit", "wal::io_write", "wal::sync"] {
+        let hits = commit_hits(point);
+        assert!(hits > 0, "fault point {point} never hit during a commit");
+        for i in 1..=hits {
+            fault::reset();
+            fault::arm(point, i);
+            let err = wal
+                .commit(&[WalOp::Put(&table(7)), WalOp::Drop("ghost")])
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("injected fault"),
+                "{point} hit {i}: {err}"
+            );
+            // A failed commit must be as if it never happened: the last
+            // committed state reloads exactly, strict and lenient alike.
+            fault::reset();
+            assert_eq!(loaded_rows(&dir), 3, "{point} hit {i}");
+            let (cat, report) = load_catalog_recover(&dir).unwrap();
+            assert_eq!(cat.table("t").unwrap().len(), 3);
+            assert!(
+                !report.issues.iter().any(|s| s.contains("torn")),
+                "rolled-back append left a tear at {point} hit {i}: {report:?}"
+            );
+        }
+    }
+
+    // The log still works after every induced failure.
+    fault::reset();
+    wal.commit(&[WalOp::Put(&table(9))]).unwrap();
+    assert_eq!(loaded_rows(&dir), 9);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_killed_at_every_failure_point_loses_no_committed_write() {
+    let _guard = serialize();
+    let dir = tempdir("ckpt_kill");
+    fault::reset();
+    let mut wal = Wal::open(&dir).unwrap();
+    wal.commit(&[WalOp::Put(&table(2))]).unwrap();
+    save_catalog(&load_catalog(&dir).unwrap(), &dir).unwrap();
+    wal.reopen().unwrap();
+    wal.commit(&[WalOp::Put(&table(5))]).unwrap();
+    assert_eq!(loaded_rows(&dir), 5);
+
+    // Hits of each point during one clean checkpoint of this state.
+    let count = |point: &str| -> u64 {
+        let scratch = tempdir("ckpt_scratch");
+        fault::reset();
+        let mut w = Wal::open(&scratch).unwrap();
+        w.commit(&[WalOp::Put(&table(2))]).unwrap();
+        save_catalog(&load_catalog(&scratch).unwrap(), &scratch).unwrap();
+        let hits = fault::hit_count(point);
+        std::fs::remove_dir_all(&scratch).ok();
+        hits
+    };
+
+    for point in [
+        "persist::file",
+        "persist::io_write",
+        "persist::manifest",
+        "persist::publish",
+        "persist::commit",
+        "wal::truncate",
+        "wal::truncate_commit",
+    ] {
+        let hits = count(point);
+        assert!(
+            hits > 0,
+            "fault point {point} never hit during a checkpoint"
+        );
+        for i in 1..=hits {
+            fault::reset();
+            fault::arm(point, i);
+            let folded = load_catalog(&dir).unwrap();
+            // The epoch-save part of a checkpoint fails loudly; the WAL
+            // truncation is best-effort (the fold already committed).
+            let _ = save_catalog(&folded, &dir);
+            fault::reset();
+            // Regardless of where the kill landed, reload must see every
+            // committed write: either the old epoch + WAL replay, or the
+            // new epoch that folded it — both are exactly 5 rows.
+            assert_eq!(loaded_rows(&dir), 5, "{point} hit {i}");
+            let (cat, _) = load_catalog_recover(&dir).unwrap();
+            assert_eq!(cat.table("t").unwrap().len(), 5, "{point} hit {i}");
+        }
+    }
+
+    // After all that, a clean checkpoint still works and the WAL shrinks.
+    fault::reset();
+    save_catalog(&load_catalog(&dir).unwrap(), &dir).unwrap();
+    assert_eq!(loaded_rows(&dir), 5);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn open_failure_is_typed_and_reopen_succeeds() {
+    let _guard = serialize();
+    let dir = tempdir("open_kill");
+    fault::reset();
+    fault::arm("wal::open", 1);
+    let err = Wal::open(&dir).unwrap_err();
+    assert!(err.to_string().contains("injected fault"), "{err}");
+    fault::reset();
+    let mut wal = Wal::open(&dir).unwrap();
+    wal.commit(&[WalOp::Put(&table(1))]).unwrap();
+    assert_eq!(loaded_rows(&dir), 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupted_truncation_leaves_a_cleanable_temp_file() {
+    let _guard = serialize();
+    let dir = tempdir("trunc_tmp");
+    fault::reset();
+    let mut wal = Wal::open(&dir).unwrap();
+    wal.commit(&[WalOp::Put(&table(4))]).unwrap();
+
+    // Kill the checkpoint between staging the fresh log and the rename.
+    fault::arm("wal::truncate_commit", 1);
+    let _ = save_catalog(&load_catalog(&dir).unwrap(), &dir);
+    fault::reset();
+    let stale: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(".wal.tmp-"))
+        })
+        .collect();
+    assert!(!stale.is_empty(), "the staged log must be left behind");
+
+    // Recovery removes it, reports it, and the state is intact.
+    let (cat, report) = load_catalog_recover(&dir).unwrap();
+    assert_eq!(cat.table("t").unwrap().len(), 4);
+    assert!(
+        report
+            .issues
+            .iter()
+            .any(|i| i.contains("interrupted checkpoint") && i.contains("removed")),
+        "{report:?}"
+    );
+    let (_, report2) = load_catalog_recover(&dir).unwrap();
+    assert!(
+        !report2.issues.iter().any(|i| i.contains("wal.tmp")),
+        "{report2:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

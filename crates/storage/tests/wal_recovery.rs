@@ -1,0 +1,197 @@
+//! Integration tests for WAL-backed recovery: epoch snapshots plus
+//! committed log suffixes must reload to exactly the last committed
+//! state, across checkpoints, torn tails, and epoch fallback.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use conquer_storage::wal::WAL_FILE;
+use conquer_storage::{
+    load_catalog, load_catalog_recover, save_catalog, Catalog, DataType, Schema, Table, Value, Wal,
+    WalOp,
+};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("conquer_walrec_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn table(name: &str, rows: &[i64]) -> Table {
+    let mut t = Table::new(name, Schema::from_pairs([("a", DataType::Int)]).unwrap());
+    for r in rows {
+        t.insert(vec![Value::Int(*r)]).unwrap();
+    }
+    t
+}
+
+fn rows_of(cat: &Catalog, name: &str) -> Vec<i64> {
+    cat.table(name)
+        .unwrap()
+        .rows()
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Int(i) => *i,
+            other => panic!("unexpected {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn wal_suffix_replays_on_top_of_the_epoch() {
+    let dir = tempdir("suffix");
+    let mut cat = Catalog::new();
+    cat.add_table(table("t", &[1, 2])).unwrap();
+    save_catalog(&cat, &dir).unwrap();
+
+    // Two committed writes after the checkpoint.
+    let mut wal = Wal::open(&dir).unwrap();
+    wal.commit(&[WalOp::Put(&table("t", &[1, 2, 3]))]).unwrap();
+    wal.commit(&[WalOp::Put(&table("u", &[9]))]).unwrap();
+
+    let strict = load_catalog(&dir).unwrap();
+    assert_eq!(rows_of(&strict, "t"), vec![1, 2, 3]);
+    assert_eq!(rows_of(&strict, "u"), vec![9]);
+
+    let (lenient, report) = load_catalog_recover(&dir).unwrap();
+    assert_eq!(rows_of(&lenient, "t"), vec![1, 2, 3]);
+    assert_eq!(report.wal_commits_replayed, 2);
+    assert!(report.is_clean(), "{report:?}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_folds_the_wal_and_gates_stale_replay() {
+    let dir = tempdir("fold");
+    let mut cat = Catalog::new();
+    cat.add_table(table("t", &[1])).unwrap();
+    save_catalog(&cat, &dir).unwrap();
+
+    let mut wal = Wal::open(&dir).unwrap();
+    wal.commit(&[WalOp::Put(&table("t", &[1, 2]))]).unwrap();
+
+    // Checkpoint: fold epoch + WAL into a fresh epoch.
+    let folded = load_catalog(&dir).unwrap();
+    let wal_before = fs::read(dir.join(WAL_FILE)).unwrap();
+    save_catalog(&folded, &dir).unwrap();
+    let wal_after = fs::read(dir.join(WAL_FILE)).unwrap();
+    assert!(
+        wal_after.len() < wal_before.len(),
+        "checkpoint must truncate the log ({} -> {} bytes)",
+        wal_before.len(),
+        wal_after.len()
+    );
+    assert_eq!(rows_of(&load_catalog(&dir).unwrap(), "t"), vec![1, 2]);
+
+    // Even if the truncation had been lost (simulate the crash window by
+    // restoring the pre-checkpoint log), replay is gated on the epoch's
+    // walseq: the stale commit must NOT re-apply over newer state.
+    fs::write(dir.join(WAL_FILE), &wal_before).unwrap();
+    wal.reopen().unwrap();
+    wal.commit(&[WalOp::Put(&table("t", &[1, 2, 7]))]).unwrap();
+    let (cat2, report) = load_catalog_recover(&dir).unwrap();
+    assert_eq!(rows_of(&cat2, "t"), vec![1, 2, 7]);
+    assert_eq!(
+        report.wal_commits_replayed, 1,
+        "the pre-checkpoint commit must be skipped: {report:?}"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_tail_is_reported_and_committed_prefix_survives() {
+    let dir = tempdir("torn");
+    let mut cat = Catalog::new();
+    cat.add_table(table("t", &[1])).unwrap();
+    save_catalog(&cat, &dir).unwrap();
+
+    let mut wal = Wal::open(&dir).unwrap();
+    wal.commit(&[WalOp::Put(&table("t", &[1, 2]))]).unwrap();
+    wal.commit(&[WalOp::Put(&table("t", &[1, 2, 3]))]).unwrap();
+
+    // Tear the last commit mid-frame, as a kill mid-append would.
+    let bytes = fs::read(dir.join(WAL_FILE)).unwrap();
+    fs::write(dir.join(WAL_FILE), &bytes[..bytes.len() - 5]).unwrap();
+
+    let strict = load_catalog(&dir).unwrap();
+    assert_eq!(rows_of(&strict, "t"), vec![1, 2], "prefix must survive");
+
+    let (lenient, report) = load_catalog_recover(&dir).unwrap();
+    assert_eq!(rows_of(&lenient, "t"), vec![1, 2]);
+    assert_eq!(report.wal_commits_replayed, 1);
+    assert!(
+        report.issues.iter().any(|i| i.contains("incomplete tail")),
+        "{report:?}"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_alone_recovers_an_empty_directory() {
+    let dir = tempdir("bare");
+    fs::create_dir_all(&dir).unwrap();
+    let mut wal = Wal::open(&dir).unwrap();
+    wal.commit(&[WalOp::Put(&table("t", &[4, 5]))]).unwrap();
+
+    let (cat, report) = load_catalog_recover(&dir).unwrap();
+    assert_eq!(rows_of(&cat, "t"), vec![4, 5]);
+    assert_eq!(report.loaded_epoch, None);
+    assert_eq!(report.wal_commits_replayed, 1);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn epoch_fallback_replays_more_of_the_log() {
+    let dir = tempdir("fallback");
+    let mut cat = Catalog::new();
+    cat.add_table(table("t", &[1])).unwrap();
+    save_catalog(&cat, &dir).unwrap();
+    let epoch1 = current_epoch(&dir);
+    let backup = tempdir("fallback_backup");
+    copy_dir(&dir.join(&epoch1), &backup.join(&epoch1));
+
+    // Commit to the WAL, checkpoint (epoch2 folds seq 1), then corrupt
+    // epoch2 and restore epoch1 — but keep the post-checkpoint WAL commit.
+    let mut wal = Wal::open(&dir).unwrap();
+    wal.commit(&[WalOp::Put(&table("t", &[1, 2]))]).unwrap();
+    save_catalog(&load_catalog(&dir).unwrap(), &dir).unwrap();
+    wal.reopen().unwrap();
+    wal.commit(&[WalOp::Put(&table("u", &[8]))]).unwrap();
+    let epoch2 = current_epoch(&dir);
+    assert_ne!(epoch1, epoch2);
+    copy_dir(&backup.join(&epoch1), &dir.join(&epoch1));
+    fs::write(
+        dir.join(&epoch2)
+            .join(conquer_storage::persist::MANIFEST_FILE),
+        "garbage",
+    )
+    .unwrap();
+
+    // epoch2 is unloadable; recovery falls back to epoch1, whose lower
+    // walseq lets the (truncated) WAL bring it as far forward as it can:
+    // the post-checkpoint commit still applies.
+    let (rec, report) = load_catalog_recover(&dir).unwrap();
+    assert_eq!(report.loaded_epoch, Some(epoch1));
+    assert_eq!(rows_of(&rec, "u"), vec![8]);
+    assert!(
+        report.issues.iter().any(|i| i.contains(&epoch2)),
+        "{report:?}"
+    );
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&backup).ok();
+}
+
+fn current_epoch(dir: &Path) -> String {
+    fs::read_to_string(dir.join("CURRENT"))
+        .unwrap()
+        .trim()
+        .to_string()
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    fs::create_dir_all(to).unwrap();
+    for entry in fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}

@@ -30,8 +30,10 @@
 //! With `--connect HOST:PORT` the shell talks to a running
 //! `conquer-server` instead of the embedded engine: SQL statements travel
 //! over the wire protocol, `\limit` adjusts the *server* session's
-//! budgets, and `\stats` shows the server's shared cache and admission
-//! counters. Engine-side commands (`\clean`, `\gen`, …) are local-only.
+//! budgets, `\stats` shows the server's shared cache and admission
+//! counters, and `\checkpoint` folds a durable server's write-ahead log
+//! into a fresh epoch directory. Engine-side commands (`\clean`, `\gen`,
+//! …) are local-only.
 //!
 //! Example session:
 //!
@@ -318,6 +320,12 @@ impl Shell {
                 for issue in &report.issues {
                     eprintln!("recovery: {issue}");
                 }
+                if report.wal_commits_replayed > 0 {
+                    eprintln!(
+                        "recovery: replayed {} write-ahead-log commit(s)",
+                        report.wal_commits_replayed
+                    );
+                }
                 self.db = Database::from_catalog(catalog);
                 self.db.set_spill_dir(std::path::Path::new(arg));
                 self.spec = DirtySpec::new();
@@ -440,7 +448,8 @@ impl RemoteShell {
             "help" | "h" => println!(
                 "connected mode: SQL statements run on the server; \
                  \\limit [mem <bytes> | disk <bytes> | time <ms> | threads <n> | off], \
-                 \\stats (server cache/admission counters), \\epoch, \\ping, \\quit. \
+                 \\stats (server cache/admission counters), \\checkpoint (fold the \
+                 server's WAL), \\epoch, \\ping, \\quit. \
                  Engine commands (\\clean, \\gen, …) need a local shell."
             ),
             "limit" => match self.client.request(&format!("LIMIT {arg}")) {
@@ -453,6 +462,11 @@ impl RemoteShell {
                     println!("{key:<16} {value}");
                 }
             }
+            "checkpoint" => match self.client.request("CHECKPOINT") {
+                Ok(conquer_server::Response::Ok(summary)) => println!("{summary}."),
+                Ok(other) => return Err(format!("unexpected response: {other:?}")),
+                Err(e) => return Err(e.to_string()),
+            },
             "epoch" => println!("{}", self.client.epoch().map_err(|e| e.to_string())?),
             "ping" => {
                 self.client.ping().map_err(|e| e.to_string())?;
