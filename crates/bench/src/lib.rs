@@ -25,6 +25,9 @@
 //! * `CONQUER_RUNS` — timing repetitions, median reported (default 3).
 
 #![warn(missing_docs)]
+// Unlike the library crates, the bench harness is allowed to `.expect()`:
+// it is measurement scaffolding, and panicking with a message on a broken
+// setup is the behaviour we want. `xtask tidy` exempts this crate.
 
 pub mod ablations;
 pub mod figures;

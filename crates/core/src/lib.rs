@@ -46,6 +46,11 @@ pub mod propagate;
 pub mod rewrite;
 pub mod spec;
 
+/// The workspace's instrumented synchronization layer (ranked lock wrappers,
+/// lock-order deadlock detection, the deterministic schedule explorer). This
+/// re-export of the `conquer-sync` foundation crate is the canonical path.
+pub use conquer_sync as sync;
+
 pub use answers::CleanAnswers;
 pub use crossref::apply_crossref;
 pub use dirty::{DirtyDatabase, EvalStrategy};

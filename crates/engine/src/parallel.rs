@@ -50,8 +50,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+use conquer_sync::{rank, Condvar, Mutex, MutexGuard};
 
 use conquer_storage::{Catalog, HashIndex, Row, Table};
 
@@ -455,11 +456,14 @@ impl SharedQueue {
             cap: workers * SLACK_PER_WORKER + 2,
             next_claim: AtomicUsize::new(0),
             abort: AtomicBool::new(false),
-            inner: Mutex::new(QueueInner {
-                next_consume: 0,
-                ready: BTreeMap::new(),
-                workers_alive: workers,
-            }),
+            inner: Mutex::new(
+                &rank::PARALLEL_QUEUE,
+                QueueInner {
+                    next_consume: 0,
+                    ready: BTreeMap::new(),
+                    workers_alive: workers,
+                },
+            ),
             ready_cv: Condvar::new(),
             space_cv: Condvar::new(),
         }
@@ -467,11 +471,8 @@ impl SharedQueue {
 
     fn lock(&self) -> MutexGuard<'_, QueueInner> {
         // A worker that panicked while holding the lock is already a
-        // failed query; don't cascade the poison.
-        match self.inner.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+        // failed query; the sync wrapper recovers the poison.
+        self.inner.lock()
     }
 
     /// Claim the next unprocessed morsel index; `None` when the scan is
@@ -498,10 +499,7 @@ impl SharedQueue {
     fn push(&self, idx: usize, result: Result<Vec<Row>>) {
         let mut inner = self.lock();
         while !self.abort.load(Ordering::Relaxed) && idx >= inner.next_consume + self.cap {
-            let (g, _) = match self.space_cv.wait_timeout(inner, WAIT_SLICE) {
-                Ok(r) => r,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            let (g, _) = self.space_cv.wait_timeout(inner, WAIT_SLICE);
             inner = g;
         }
         if self.abort.load(Ordering::Relaxed) {
@@ -532,10 +530,7 @@ impl SharedQueue {
                 ));
             }
             ctx.tick()?;
-            let (g, _) = match self.ready_cv.wait_timeout(inner, WAIT_SLICE) {
-                Ok(r) => r,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            let (g, _) = self.ready_cv.wait_timeout(inner, WAIT_SLICE);
             inner = g;
         }
     }
@@ -545,10 +540,7 @@ impl SharedQueue {
     fn wait_idle(&self) {
         let mut inner = self.lock();
         while inner.workers_alive > 0 {
-            let (g, _) = match self.ready_cv.wait_timeout(inner, WAIT_SLICE) {
-                Ok(r) => r,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            let (g, _) = self.ready_cv.wait_timeout(inner, WAIT_SLICE);
             inner = g;
         }
     }
@@ -593,19 +585,13 @@ fn worker_loop(
             break;
         }
     }
-    let mut steps = match metrics.steps.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    };
+    let mut steps = metrics.steps.lock();
     for (total, local) in steps.iter_mut().zip(&counters) {
         total.rows_in += local.rows_in;
         total.rows_out += local.rows_out;
     }
     drop(steps);
-    match metrics.busy.lock() {
-        Ok(mut g) => *g += busy,
-        Err(poisoned) => *poisoned.into_inner() += busy,
-    }
+    *metrics.busy.lock() += busy;
 }
 
 /// Evaluate the streaming spine over one morsel of the driving scan.
@@ -784,8 +770,11 @@ pub(crate) fn try_execute(
     let shared = SharedQueue::new(n_morsels, threads);
     let build_mem = AtomicU64::new(spine.steps.iter().map(|s| s.build_mem).sum());
     let metrics = WorkerMetrics {
-        steps: Mutex::new(vec![StepCounters::default(); spine.steps.len() + 1]),
-        busy: Mutex::new(Duration::ZERO),
+        steps: Mutex::new(
+            &rank::METRICS_STEPS,
+            vec![StepCounters::default(); spine.steps.len() + 1],
+        ),
+        busy: Mutex::new(&rank::METRICS_BUSY, Duration::ZERO),
     };
 
     let outcome: Result<(Vec<Row>, OpStats)> = std::thread::scope(|s| {
@@ -812,14 +801,8 @@ pub(crate) fn try_execute(
     ctx.release(build_mem.swap(0, Ordering::Relaxed));
     let (rows, mut root_stats) = outcome?;
 
-    let step_counters = match metrics.steps.into_inner() {
-        Ok(v) => v,
-        Err(poisoned) => poisoned.into_inner(),
-    };
-    let busy = match metrics.busy.into_inner() {
-        Ok(d) => d,
-        Err(poisoned) => poisoned.into_inner(),
-    };
+    let step_counters = metrics.steps.into_inner();
+    let busy = metrics.busy.into_inner();
     attach_spine_stats(
         &mut root_stats,
         spine_stats(&spine, plan, &step_counters, busy, n_morsels as u64),

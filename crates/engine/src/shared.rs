@@ -68,8 +68,10 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::sync::Arc;
 use std::time::Duration;
+
+use conquer_sync::{rank, Condvar, Mutex, MutexGuard, RwLock};
 
 use conquer_storage::wal::{Wal, WalOp};
 use conquer_storage::RecoveryReport;
@@ -183,6 +185,7 @@ struct GateState {
 /// An occupied execution slot; dropping it frees the slot and wakes one
 /// queued waiter.
 #[derive(Debug)]
+#[must_use = "the admission slot is released the moment the permit is dropped"]
 pub struct AdmissionPermit<'a> {
     gate: &'a AdmissionGate,
 }
@@ -194,7 +197,13 @@ impl AdmissionGate {
         AdmissionGate {
             max_running: max_running.max(1),
             max_queue,
-            state: Mutex::new(GateState::default()),
+            state: Mutex::new(
+                &rank::GATE,
+                GateState {
+                    running: 0,
+                    queued: 0,
+                },
+            ),
             freed: Condvar::new(),
         }
     }
@@ -205,10 +214,16 @@ impl AdmissionGate {
     }
 
     fn lock(&self) -> MutexGuard<'_, GateState> {
-        match self.state.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+        self.state.lock()
+    }
+
+    /// Make the next `n` condvar waits inside [`AdmissionGate::admit`]
+    /// return as spurious wakeups (no slot was actually freed). Tests use
+    /// this to prove the wait loop re-checks its predicate and deadline
+    /// after every wake. No-op (returning `false`) without the sync layer's
+    /// analysis instrumentation.
+    pub fn inject_spurious_wakes(&self, n: usize) -> bool {
+        self.freed.inject_spurious(n)
     }
 
     /// Take a slot, waiting in the bounded queue for at most `wait` (or
@@ -230,13 +245,14 @@ impl AdmissionGate {
         }
         state.queued += 1;
         let deadline = wait.map(|w| std::time::Instant::now() + w);
+        // Condvar waits can end without a slot actually freeing (spurious
+        // wakeup, or a notify raced away by another waiter), so both the
+        // predicate and the caller's deadline are re-checked after every
+        // wake — the loop condition is the only thing that admits.
         while state.running >= self.max_running {
             match deadline {
                 None => {
-                    state = match self.freed.wait(state) {
-                        Ok(g) => g,
-                        Err(poisoned) => poisoned.into_inner(),
-                    };
+                    state = self.freed.wait(state);
                 }
                 Some(deadline) => {
                     let now = std::time::Instant::now();
@@ -246,12 +262,15 @@ impl AdmissionGate {
                             limit: wait.unwrap_or_default(),
                         });
                     }
-                    let (guard, _timeout) = match self.freed.wait_timeout(state, deadline - now) {
-                        Ok(r) => r,
-                        Err(poisoned) => poisoned.into_inner(),
-                    };
+                    let (guard, _timeout) = self.freed.wait_timeout(state, deadline - now);
                     state = guard;
                 }
+            }
+            if conquer_sync::mutant("gate::no-recheck") {
+                // Seeded mutant: trust the first wake unconditionally. The
+                // schedule explorer proves this over-admits when another
+                // thread steals the freed slot between notify and wake.
+                break;
             }
         }
         state.queued -= 1;
@@ -324,7 +343,10 @@ impl<V: Clone> Lru<V> {
 
     fn get(&mut self, sql: &str, epoch: u64) -> Option<V> {
         match self.map.get_mut(sql) {
-            Some(entry) if entry.epoch == epoch => {
+            // The `lru::ignore-epoch` seeded mutant skips the epoch check,
+            // serving stale entries; the schedule explorer proves the model
+            // tests would catch that.
+            Some(entry) if entry.epoch == epoch || conquer_sync::mutant("lru::ignore-epoch") => {
                 self.tick += 1;
                 entry.last_used = self.tick;
                 Some(entry.value.clone())
@@ -443,6 +465,7 @@ struct DbVersion {
 /// no matter how many writes or checkpoints commit concurrently — readers
 /// never block writers and writers never invalidate a pinned snapshot.
 #[derive(Debug, Clone)]
+#[must_use = "a snapshot pins a version only while it is held"]
 pub struct Snapshot {
     v: Arc<DbVersion>,
 }
@@ -478,6 +501,7 @@ struct Durable {
 /// What a completed [`SharedDatabase::checkpoint`] folded.
 #[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "inspect what the checkpoint folded (or bind it to _) instead of dropping it"]
 pub struct CheckpointInfo {
     /// The catalog epoch the checkpoint captured.
     pub epoch: u64,
@@ -523,10 +547,10 @@ impl SharedDatabase {
     pub fn with_config(db: Database, config: SharedConfig) -> Self {
         SharedDatabase {
             inner: Arc::new(Inner {
-                current: RwLock::new(Arc::new(DbVersion { db, epoch: 0 })),
-                writer: Mutex::new(WriteState::default()),
-                plans: Mutex::new(Lru::new(config.plan_cache)),
-                results: Mutex::new(Lru::new(config.result_cache)),
+                current: RwLock::new(&rank::DB_CURRENT, Arc::new(DbVersion { db, epoch: 0 })),
+                writer: Mutex::new(&rank::SHARED_WRITER, WriteState::default()),
+                plans: Mutex::new(&rank::PLAN_CACHE, Lru::new(config.plan_cache)),
+                results: Mutex::new(&rank::RESULT_CACHE, Lru::new(config.result_cache)),
                 gate: AdmissionGate::new(config.max_running, config.max_queue),
                 counters: Counters::default(),
                 session_ids: AtomicU64::new(0),
@@ -590,8 +614,8 @@ impl SharedDatabase {
         Session {
             db: self.clone(),
             id: self.inner.session_ids.fetch_add(1, Ordering::Relaxed) + 1,
-            limits: Mutex::new(limits),
-            active: Mutex::new(None),
+            limits: Mutex::new(&rank::SESSION_LIMITS, limits),
+            active: Mutex::new(&rank::SESSION_ACTIVE, None),
         }
     }
 
@@ -621,14 +645,22 @@ impl SharedDatabase {
     /// Snapshot of the cache/admission counters.
     pub fn stats(&self) -> CacheStats {
         let c = &self.inner.counters;
+        // Take the cache lengths in separate statements, in rank order.
+        // Folding these into the struct literal would keep the first guard
+        // alive (temporary-lifetime extension) while taking the second —
+        // and in results-then-plans literal order that is exactly the ABBA
+        // partner of `publish`'s plans-then-results sweep: a latent
+        // deadlock the lock-order analyzer rejects.
+        let plan_entries = lock(&self.inner.plans).len();
+        let result_entries = lock(&self.inner.results).len();
         CacheStats {
             epoch: self.epoch(),
             result_hits: c.result_hits.load(Ordering::Relaxed),
             result_misses: c.result_misses.load(Ordering::Relaxed),
-            result_entries: lock(&self.inner.results).len(),
+            result_entries,
             plan_hits: c.plan_hits.load(Ordering::Relaxed),
             plan_misses: c.plan_misses.load(Ordering::Relaxed),
-            plan_entries: lock(&self.inner.plans).len(),
+            plan_entries,
             evictions: c.evictions.load(Ordering::Relaxed),
             admitted: c.admitted.load(Ordering::Relaxed),
             shed: c.shed.load(Ordering::Relaxed),
@@ -659,7 +691,7 @@ impl SharedDatabase {
     /// loads, re-clustering, reloads from disk — must use this so cached
     /// plans and answers can never survive it.
     pub fn mutate<R>(&self, f: impl FnOnce(&mut Database) -> Result<R>) -> Result<R> {
-        let mut ws = lock(&self.inner.writer);
+        let mut ws = self.writer_guard()?;
         let mut next = self.current().db.clone();
         let out = f(&mut next)?;
         if let Some(d) = ws.durable.as_mut() {
@@ -681,8 +713,35 @@ impl SharedDatabase {
     /// is stored, not what it is, so pinned snapshots and caches stay
     /// valid throughout.
     pub fn checkpoint(&self) -> Result<Option<CheckpointInfo>> {
-        let mut ws = lock(&self.inner.writer);
+        let mut ws = self.writer_guard()?;
         self.checkpoint_locked(&mut ws)
+    }
+
+    /// Acquire the writer lock under the workspace poisoning policy.
+    ///
+    /// A writer that panics mid-commit poisons the writer mutex. Instead of
+    /// bricking all future DML (the pre-policy behavior: every later
+    /// `lock()` propagates the poison panic), the *next* writer heals the
+    /// handle — clears the poison flag and re-truncates the write-ahead log
+    /// to its last committed boundary, discarding any partial append the
+    /// panicking writer left behind — and fails with a typed
+    /// [`EngineError::Internal`] so the caller knows its statement did not
+    /// run. Writes after that proceed normally: the interrupted commit
+    /// never published, so the in-memory version chain is still exactly the
+    /// last committed state.
+    fn writer_guard(&self) -> Result<MutexGuard<'_, WriteState>> {
+        let mut ws = self.inner.writer.lock();
+        if self.inner.writer.is_poisoned() {
+            self.inner.writer.clear_poison();
+            if let Some(d) = ws.durable.as_mut() {
+                d.wal.reopen()?;
+            }
+            return Err(EngineError::internal(
+                "writer mutex was poisoned by a panic mid-commit; the handle has been \
+                 recovered to the last committed state — retry the statement",
+            ));
+        }
+        Ok(ws)
     }
 
     fn checkpoint_locked(&self, ws: &mut WriteState) -> Result<Option<CheckpointInfo>> {
@@ -705,10 +764,7 @@ impl SharedDatabase {
     }
 
     fn current(&self) -> Arc<DbVersion> {
-        let guard = match self.inner.current.read() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let guard = self.inner.current.read();
         Arc::clone(&guard)
     }
 
@@ -717,19 +773,25 @@ impl SharedDatabase {
     /// the only place versions are built, so the swap cannot race another
     /// publisher.
     fn publish(&self, db: Database, _ws: &mut WriteState) {
-        let mut guard = match self.inner.current.write() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        self.publish_version(db);
+    }
+
+    /// The raw swap + cache sweep. Callers other than the seeded
+    /// `shared::unserialized-publish` mutant path must hold the writer lock
+    /// (go through [`SharedDatabase::publish`]).
+    fn publish_version(&self, db: Database) {
+        let mut guard = self.inner.current.write();
         let epoch = guard.epoch + 1;
         *guard = Arc::new(DbVersion { db, epoch });
         drop(guard);
-        let purged = lock(&self.inner.plans).purge_older_than(epoch)
-            + lock(&self.inner.results).purge_older_than(epoch);
+        // Sweep in rank order (plans then results), one statement each so
+        // the first guard is released before the second is taken.
+        let purged_plans = lock(&self.inner.plans).purge_older_than(epoch);
+        let purged_results = lock(&self.inner.results).purge_older_than(epoch);
         self.inner
             .counters
             .evictions
-            .fetch_add(purged, Ordering::Relaxed);
+            .fetch_add(purged_plans + purged_results, Ordering::Relaxed);
     }
 
     /// Commit one already-parsed write statement: run it on a clone of the
@@ -737,7 +799,17 @@ impl SharedDatabase {
     /// and publish the clone. On any `Err` the clone is discarded — the
     /// statement never happened, visibly or on disk.
     fn commit_statement(&self, stmt: &conquer_sql::Statement) -> Result<ExecOutcome> {
-        let mut ws = lock(&self.inner.writer);
+        if conquer_sync::mutant("shared::unserialized-publish") {
+            // Seeded mutant: "forget" the writer lock — clone, execute, and
+            // publish without serialization. The schedule explorer proves
+            // two concurrent writers then both build on the same base
+            // version and one commit (and its epoch bump) is lost.
+            let mut next = self.current().db.clone();
+            let outcome = next.exec_parsed(stmt)?;
+            self.publish_version(next);
+            return Ok(outcome);
+        }
+        let mut ws = self.writer_guard()?;
         let mut next = self.current().db.clone();
         let outcome = next.exec_parsed(stmt)?;
         if let Some(d) = ws.durable.as_mut() {
@@ -784,10 +856,7 @@ fn wal_ops<'a>(stmt: &'a conquer_sql::Statement, next: &'a Database) -> Result<V
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
+    m.lock()
 }
 
 /// Where a [`Session::query`] answer came from.

@@ -9,20 +9,19 @@
 #![cfg(feature = "fault")]
 
 use std::path::PathBuf;
-use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use conquer_sync::{rank, Mutex, MutexGuard};
 
 use conquer_engine::{Database, EngineError, ExecLimits};
 use conquer_storage::spill::list_spill_dirs;
 use conquer_storage::{fault, load_catalog_recover};
 
 fn lock() -> MutexGuard<'static, ()> {
-    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    // A test that panicked while holding the lock already failed; don't
-    // let its poison cascade into unrelated tests.
-    match LOCK.get_or_init(Default::default).lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
+    // A test that panicked while holding the lock already failed; the
+    // sync wrapper recovers the poison so it can't cascade into
+    // unrelated tests.
+    static LOCK: Mutex<()> = Mutex::new(&rank::TEST_SERIAL, ());
+    LOCK.lock()
 }
 
 const SPILL_SQL: &str = "SELECT COUNT(*), SUM(a.val + b.val) \

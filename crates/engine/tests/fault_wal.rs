@@ -6,17 +6,16 @@
 #![cfg(feature = "fault")]
 
 use std::path::PathBuf;
-use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use conquer_sync::{rank, Mutex, MutexGuard};
 
 use conquer_engine::{SharedConfig, SharedDatabase};
 use conquer_storage::{fault, Value};
 
 /// The fault registry is process-global; every test must hold this lock.
 fn serialize() -> MutexGuard<'static, ()> {
-    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(Default::default)
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
+    static LOCK: Mutex<()> = Mutex::new(&rank::TEST_SERIAL, ());
+    LOCK.lock()
 }
 
 fn tempdir(tag: &str) -> PathBuf {
@@ -150,7 +149,7 @@ fn checkpoint_killed_at_every_fault_point_loses_no_committed_write() {
             // The failed fold changed nothing visible, and the handle
             // checkpoints cleanly on retry.
             assert_eq!(count(&db), 2, "{point} hit {i}");
-            db.checkpoint().unwrap().unwrap();
+            let _ = db.checkpoint().unwrap().unwrap();
             drop((s, db));
 
             let (db, report) = open(&dir);

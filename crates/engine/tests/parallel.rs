@@ -6,7 +6,8 @@
 //! single `Database` without deadlock or cross-talk.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use conquer_sync::{rank, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use conquer_engine::{Database, EngineError, ExecLimits, QueryResult};
@@ -18,11 +19,8 @@ use conquer_storage::Value;
 /// takes this lock first, serializing the binary (the pattern
 /// `fault_spill.rs` uses for its process-global registry).
 fn lock() -> MutexGuard<'static, ()> {
-    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    match LOCK.get_or_init(Default::default).lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
+    static LOCK: Mutex<()> = Mutex::new(&rank::TEST_SERIAL, ());
+    LOCK.lock()
 }
 
 /// `big` rows; > 4 morsels of 4096 so the pool genuinely splits work.

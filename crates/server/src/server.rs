@@ -116,6 +116,7 @@ pub struct Server {
 
 /// Handle to a server spawned on a background thread; dropping it does
 /// *not* stop the server — call [`ServerHandle::shutdown`].
+#[must_use = "keep the handle and call shutdown(); dropping it leaks the server thread"]
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     lifecycle: Arc<Lifecycle>,
@@ -261,6 +262,10 @@ fn serve_connection(
     session: &Session,
     lifecycle: &Lifecycle,
 ) -> std::io::Result<()> {
+    // Connection threads block on socket reads for up to the idle
+    // timeout; the analyzer asserts no ranked lock is ever held here
+    // (session locks are scoped inside the per-request calls below).
+    let _io = conquer_sync::blocking_region("server::connection-io");
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();

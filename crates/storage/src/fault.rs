@@ -60,8 +60,8 @@ impl From<FaultInjected> for std::io::Error {
 #[cfg(feature = "fault")]
 mod registry {
     use super::FaultInjected;
+    use conquer_sync::{rank, Mutex, MutexGuard};
     use std::collections::HashMap;
-    use std::sync::{Mutex, MutexGuard, OnceLock};
 
     #[derive(Default)]
     struct Point {
@@ -71,13 +71,12 @@ mod registry {
     }
 
     /// A poisoned registry just means another test panicked mid-update;
-    /// the counters are still coherent enough for test bookkeeping.
+    /// the sync wrapper recovers the data, which is still coherent enough
+    /// for test bookkeeping.
     fn registry() -> MutexGuard<'static, HashMap<String, Point>> {
-        static REGISTRY: OnceLock<Mutex<HashMap<String, Point>>> = OnceLock::new();
-        match REGISTRY.get_or_init(Default::default).lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+        static REGISTRY: std::sync::LazyLock<Mutex<HashMap<String, Point>>> =
+            std::sync::LazyLock::new(|| Mutex::new(&rank::FAULT_REGISTRY, HashMap::new()));
+        REGISTRY.lock()
     }
 
     pub fn trigger(point: &str) -> Result<(), FaultInjected> {

@@ -115,6 +115,7 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// What [`load_catalog_recover`] had to work around.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[must_use = "recovery may have replayed or discarded data; inspect the report"]
 pub struct RecoveryReport {
     /// The epoch that was ultimately loaded (`None` for a legacy-layout
     /// load).
@@ -155,6 +156,9 @@ impl RecoveryReport {
 /// crash between the `CURRENT` swap and the truncation is harmless:
 /// replay skips every sequence ≤ `walseq`.
 pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<(), StorageError> {
+    // Writes and fsyncs every table file: only blocking-tolerant locks
+    // (the engine's writer lock during a checkpoint) may be held here.
+    let _io = conquer_sync::blocking_region("persist::save_catalog");
     fs::create_dir_all(dir)?;
     let wal_seq = crate::wal::durable_seq(dir)?;
     let epoch_num = next_epoch_number(dir);

@@ -416,6 +416,9 @@ pub(crate) fn replay<'a>(
 /// file and renamed into place — a crash anywhere leaves either the old
 /// log (harmless: replay is sequence-gated) or the new one.
 pub(crate) fn truncate_wal(dir: &Path, base_seq: u64) -> Result<(), StorageError> {
+    // Stages, fsyncs, and renames files: only blocking-tolerant locks
+    // (the engine's writer lock) may be held across this.
+    let _io = conquer_sync::blocking_region("wal::truncate");
     fault::trigger("wal::truncate")?;
     let tmp = dir.join(format!("{WAL_TMP_PREFIX}{}", std::process::id()));
     let mut buf = Vec::new();
@@ -487,6 +490,7 @@ impl Wal {
     /// the committed epoch's `walseq`, so a recreated log can never reuse
     /// a sequence an epoch already folded in.
     pub fn open(dir: &Path) -> Result<Wal, StorageError> {
+        let _io = conquer_sync::blocking_region("wal::open");
         fault::trigger("wal::open")?;
         fs::create_dir_all(dir)?;
         let floor = durable_seq(dir)?;
@@ -561,6 +565,10 @@ impl Wal {
         push_frame(&mut buf, &commit_payload(seq));
 
         let res = (|| -> Result<(), StorageError> {
+            // The append + fsync is the engine's canonical
+            // hold-a-lock-while-blocking site; the writer mutex rank is
+            // marked blocking-tolerant for exactly this call.
+            let _io = conquer_sync::blocking_region("wal::commit");
             let mut w = fault::FaultWriter::new(&mut self.file, "wal::io_write");
             w.write_all(&buf)?;
             w.flush()?;

@@ -6,7 +6,8 @@
 #![cfg(feature = "fault")]
 
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use conquer_sync::{rank, Mutex, MutexGuard};
 
 use conquer_storage::{
     fault, load_catalog, load_catalog_recover, save_catalog, Catalog, DataType, Schema,
@@ -15,10 +16,8 @@ use conquer_storage::{
 
 /// The fault registry is process-global; every test must hold this lock.
 fn serialize() -> MutexGuard<'static, ()> {
-    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(Default::default)
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
+    static LOCK: Mutex<()> = Mutex::new(&rank::TEST_SERIAL, ());
+    LOCK.lock()
 }
 
 fn tempdir(tag: &str) -> PathBuf {

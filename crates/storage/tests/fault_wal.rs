@@ -7,19 +7,18 @@
 #![cfg(feature = "fault")]
 
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use conquer_sync::{rank, Mutex, MutexGuard};
 
 use conquer_storage::{
-    fault, load_catalog, load_catalog_recover, save_catalog, DataType, Schema, Table,
-    Value, Wal, WalOp,
+    fault, load_catalog, load_catalog_recover, save_catalog, DataType, Schema, Table, Value, Wal,
+    WalOp,
 };
 
 /// The fault registry is process-global; every test must hold this lock.
 fn serialize() -> MutexGuard<'static, ()> {
-    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(Default::default)
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
+    static LOCK: Mutex<()> = Mutex::new(&rank::TEST_SERIAL, ());
+    LOCK.lock()
 }
 
 fn tempdir(tag: &str) -> PathBuf {

@@ -1,0 +1,694 @@
+//! Loom-style deterministic schedule explorer.
+//!
+//! [`Explorer::explore`] runs a closure that spawns *virtual threads* (real
+//! OS threads serialized by a central controller). Every operation on the
+//! instrumented sync layer — mutex/rwlock acquire and release, condvar
+//! wait/notify — becomes a *yield point*: the thread parks and the controller
+//! picks which thread runs next. The controller enumerates schedules by
+//! depth-first search over those choices (bounded by a preemption cap, a
+//! per-execution step cap, and a total schedule cap), re-running the setup
+//! closure from scratch for each schedule.
+//!
+//! Timed condvar waits are modelled as a scheduling choice: a thread blocked
+//! in `wait_timeout` may be woken "by the clock" (result `timed_out = true`)
+//! at most once per execution per thread, or by a real notify. A timeout of
+//! `Duration::ZERO` times out immediately and deterministically.
+//!
+//! If at some point no thread can be granted (everyone is blocked on an
+//! unavailable lock or an un-notified condvar), the execution is reported as
+//! a **deadlock** naming each thread and what it is blocked on. A panic in
+//! any virtual thread (for example a lock-order panic from the analysis
+//! layer, or an assertion in the model test) aborts the run and is reported
+//! as the failure.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Panic payload used to unwind virtual threads when a run is aborted; not a
+/// test failure in itself.
+struct SchedAbort;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Blocked {
+    /// Spawned, waiting for the first grant.
+    Start,
+    /// At a plain yield point (after a release or notify).
+    Yield,
+    /// Waiting to acquire a lock.
+    Acquire {
+        lock: usize,
+        write: bool,
+    },
+    /// Waiting on a condvar. `timed` waits are eligible for a clock wake.
+    CvWait {
+        cv: usize,
+        mutex: usize,
+        timed: bool,
+    },
+    /// Woken from a condvar (by notify or clock); must re-acquire the mutex.
+    Reacquire {
+        mutex: usize,
+        timed_out: bool,
+    },
+    Finished,
+}
+
+struct ThreadState {
+    name: String,
+    blocked: Blocked,
+    /// True while the thread sits at a yield point waiting for a grant.
+    parked: bool,
+    granted: bool,
+    timed_out: bool,
+    early_wake_budget: u32,
+}
+
+#[derive(Default)]
+struct LockState {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+}
+
+impl LockState {
+    fn free_for(&self, tid: usize, write: bool) -> bool {
+        if write {
+            self.writer.is_none() && self.readers.is_empty()
+        } else {
+            self.writer.is_none() && !self.readers.contains(&tid)
+        }
+    }
+}
+
+#[derive(Default)]
+struct SchedState {
+    threads: Vec<ThreadState>,
+    locks: HashMap<usize, LockState>,
+    /// FIFO wait queues per condvar address.
+    cv_queues: HashMap<usize, VecDeque<usize>>,
+    running: Option<usize>,
+    live: usize,
+    abort: bool,
+    failure: Option<String>,
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            state: Mutex::new(SchedState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+struct Ctx {
+    shared: Arc<Shared>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Is the current thread a virtual thread owned by a running [`Explorer`]?
+pub fn is_model_thread() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Park the current virtual thread in `blocked` state and wait until the
+/// controller grants it. Returns the `timed_out` flag (meaningful for condvar
+/// waits). Must be called with the scheduler state transition already staged
+/// in `stage`.
+fn park(shared: &Shared, tid: usize, stage: impl FnOnce(&mut SchedState)) -> bool {
+    let mut st = shared.lock();
+    if st.abort {
+        drop(st);
+        std::panic::panic_any(SchedAbort);
+    }
+    stage(&mut st);
+    let t = &mut st.threads[tid];
+    t.parked = true;
+    t.granted = false;
+    st.running = None;
+    shared.cv.notify_all();
+    while !st.threads[tid].granted {
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(SchedAbort);
+        }
+        st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    if st.abort {
+        // Teardown grant: unwind instead of acting on it.
+        drop(st);
+        std::panic::panic_any(SchedAbort);
+    }
+    let t = &mut st.threads[tid];
+    t.parked = false;
+    t.timed_out
+}
+
+fn with_ctx(f: impl FnOnce(&Arc<Shared>, usize) -> bool) -> bool {
+    // Borrow ends before `f` runs so hooks re-entered from guard drops inside
+    // `f` (there are none, but be safe) cannot double-borrow.
+    let ctx = CTX.with(|c| c.borrow().as_ref().map(|x| (Arc::clone(&x.shared), x.tid)));
+    match ctx {
+        Some((shared, tid)) => f(&shared, tid),
+        None => false,
+    }
+}
+
+// ---- hooks called by the wrappers in lib.rs --------------------------------
+
+pub(crate) fn lock_acquire(addr: usize) {
+    rw_acquire(addr, true);
+}
+
+pub(crate) fn lock_release(addr: usize) {
+    rw_release(addr, true);
+}
+
+pub(crate) fn rw_acquire(addr: usize, write: bool) {
+    with_ctx(|shared, tid| {
+        {
+            let st = shared.lock();
+            if st.abort {
+                return false;
+            }
+        }
+        park(shared, tid, |st| {
+            st.threads[tid].blocked = Blocked::Acquire { lock: addr, write };
+        });
+        // The controller marked the lock as ours before granting, so the real
+        // std acquisition that follows is uncontended.
+        true
+    });
+}
+
+pub(crate) fn rw_release(addr: usize, write: bool) {
+    with_ctx(|shared, tid| {
+        {
+            let mut st = shared.lock();
+            if st.abort {
+                // Still record the release so teardown bookkeeping stays sane.
+                release_lock(&mut st, addr, tid, write);
+                return false;
+            }
+            release_lock(&mut st, addr, tid, write);
+        }
+        // Releasing a lock is a visible event: let the scheduler interleave.
+        park(shared, tid, |st| {
+            st.threads[tid].blocked = Blocked::Yield;
+        });
+        true
+    });
+}
+
+fn release_lock(st: &mut SchedState, addr: usize, tid: usize, write: bool) {
+    if let Some(l) = st.locks.get_mut(&addr) {
+        if write {
+            if l.writer == Some(tid) {
+                l.writer = None;
+            }
+        } else if let Some(i) = l.readers.iter().position(|&r| r == tid) {
+            l.readers.remove(i);
+        }
+    }
+}
+
+/// Atomically release `mutex` and start waiting on `cv`; returns `timed_out`.
+pub(crate) fn cv_wait(cv: usize, mutex: usize, dur: Option<Duration>) -> bool {
+    let mut timed_out = false;
+    with_ctx(|shared, tid| {
+        {
+            let st = shared.lock();
+            if st.abort {
+                return false;
+            }
+        }
+        if dur == Some(Duration::ZERO) {
+            // Deterministic immediate timeout: release the mutex and queue
+            // straight up for re-acquisition.
+            timed_out = park(shared, tid, |st| {
+                release_lock(st, mutex, tid, true);
+                st.threads[tid].timed_out = true;
+                st.threads[tid].blocked = Blocked::Reacquire {
+                    mutex,
+                    timed_out: true,
+                };
+            });
+            return true;
+        }
+        timed_out = park(shared, tid, |st| {
+            release_lock(st, mutex, tid, true);
+            st.threads[tid].timed_out = false;
+            st.threads[tid].blocked = Blocked::CvWait {
+                cv,
+                mutex,
+                timed: dur.is_some(),
+            };
+            st.cv_queues.entry(cv).or_default().push_back(tid);
+        });
+        true
+    });
+    timed_out
+}
+
+/// Wake one (FIFO) or all waiters on `cv`, then yield.
+pub(crate) fn cv_notify(cv: usize, all: bool) {
+    with_ctx(|shared, tid| {
+        {
+            let mut st = shared.lock();
+            if st.abort {
+                return false;
+            }
+            wake_waiters(&mut st, cv, all);
+        }
+        park(shared, tid, |st| {
+            st.threads[tid].blocked = Blocked::Yield;
+        });
+        true
+    });
+}
+
+fn wake_waiters(st: &mut SchedState, cv: usize, all: bool) {
+    loop {
+        let next = st.cv_queues.get_mut(&cv).and_then(|q| q.pop_front());
+        let Some(w) = next else { break };
+        if let Blocked::CvWait { mutex, .. } = st.threads[w].blocked {
+            st.threads[w].timed_out = false;
+            st.threads[w].blocked = Blocked::Reacquire {
+                mutex,
+                timed_out: false,
+            };
+            if !all {
+                break;
+            }
+        }
+        // Stale queue entries (already woken by the clock) are skipped.
+    }
+}
+
+// ---- exploration driver ----------------------------------------------------
+
+/// Decision log driving depth-first enumeration of schedules.
+#[derive(Default)]
+struct Decisions {
+    prefix: Vec<(usize, usize)>, // (choice index, number of options)
+    pos: usize,
+}
+
+impl Decisions {
+    fn next(&mut self, options: usize) -> usize {
+        if self.pos < self.prefix.len() {
+            let c = self.prefix[self.pos].0;
+            self.pos += 1;
+            c.min(options.saturating_sub(1))
+        } else {
+            self.prefix.push((0, options));
+            self.pos += 1;
+            0
+        }
+    }
+
+    /// Advance to the next unexplored schedule; false when the space is done.
+    fn advance(&mut self) -> bool {
+        self.prefix.truncate(self.pos);
+        while let Some((c, n)) = self.prefix.pop() {
+            if c + 1 < n {
+                self.prefix.push((c + 1, n));
+                self.pos = 0;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Outcome of an [`Explorer::explore`] run.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of schedules executed.
+    pub schedules: usize,
+    /// True if the entire (bounded) schedule space was exhausted.
+    pub complete: bool,
+    /// First failure encountered (panic message, deadlock, or check failure);
+    /// `None` if every explored schedule passed.
+    pub failure: Option<String>,
+}
+
+impl Report {
+    /// Panic (with the failure text) unless every explored schedule passed
+    /// and the bounded space was fully explored.
+    #[track_caller]
+    pub fn assert_passed(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "schedule exploration failed after {} schedules: {}",
+                self.schedules, f
+            );
+        }
+        assert!(
+            self.complete,
+            "schedule space not exhausted within limits ({} schedules run)",
+            self.schedules
+        );
+    }
+}
+
+/// Handle passed to the setup closure of [`Explorer::explore`]; spawns the
+/// virtual threads and registers post-run invariant checks for one execution.
+pub struct Exec {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    checks: Vec<Box<dyn FnOnce() + 'static>>,
+}
+
+impl Exec {
+    /// Spawn a virtual thread. It starts parked; the controller interleaves
+    /// it with its siblings at every sync-layer operation.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&mut self, name: &str, f: F) {
+        let tid = {
+            let mut st = self.shared.lock();
+            st.threads.push(ThreadState {
+                name: name.to_string(),
+                blocked: Blocked::Start,
+                parked: false,
+                granted: false,
+                timed_out: false,
+                early_wake_budget: 1,
+            });
+            st.live += 1;
+            st.threads.len() - 1
+        };
+        let shared = Arc::clone(&self.shared);
+        let name = name.to_string();
+        self.handles.push(std::thread::spawn(move || {
+            CTX.with(|c| {
+                *c.borrow_mut() = Some(Ctx {
+                    shared: Arc::clone(&shared),
+                    tid,
+                });
+            });
+            park(&shared, tid, |_| {});
+            let result = catch_unwind(AssertUnwindSafe(f));
+            CTX.with(|c| c.borrow_mut().take());
+            let mut st = shared.lock();
+            st.threads[tid].blocked = Blocked::Finished;
+            st.threads[tid].parked = false;
+            st.live -= 1;
+            st.running = None;
+            if let Err(payload) = result {
+                if !payload.is::<SchedAbort>() {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                    if st.failure.is_none() {
+                        st.failure = Some(format!("virtual thread `{name}` panicked: {msg}"));
+                    }
+                    st.abort = true;
+                }
+            }
+            shared.cv.notify_all();
+        }));
+    }
+
+    /// Register an invariant to check (on the controller thread) after all
+    /// virtual threads of this execution have finished.
+    pub fn check<F: FnOnce() + 'static>(&mut self, f: F) {
+        self.checks.push(Box::new(f));
+    }
+}
+
+/// Bounded-DFS schedule explorer. See the module docs.
+pub struct Explorer {
+    max_preemptions: usize,
+    max_schedules: usize,
+    max_steps: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Explorer {
+    /// Explorer with default bounds (2 preemptions, 20 000 schedules,
+    /// 20 000 steps per schedule).
+    pub fn new() -> Self {
+        Explorer {
+            max_preemptions: 2,
+            max_schedules: 20_000,
+            max_steps: 20_000,
+        }
+    }
+
+    /// Cap on preemptive context switches per execution (switching away from
+    /// a thread that could have continued). Forced switches are always free.
+    pub fn max_preemptions(mut self, n: usize) -> Self {
+        self.max_preemptions = n;
+        self
+    }
+
+    /// Cap on the total number of schedules explored.
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Cap on scheduling steps within one execution (livelock guard).
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Run `setup` once per schedule until the bounded schedule space is
+    /// exhausted, a failure is found, or `max_schedules` is hit.
+    pub fn explore<F: FnMut(&mut Exec)>(&self, mut setup: F) -> Report {
+        let mut decisions = Decisions::default();
+        let mut schedules = 0;
+        loop {
+            if schedules >= self.max_schedules {
+                return Report {
+                    schedules,
+                    complete: false,
+                    failure: None,
+                };
+            }
+            schedules += 1;
+            let shared = Arc::new(Shared::new());
+            let mut exec = Exec {
+                shared: Arc::clone(&shared),
+                handles: Vec::new(),
+                checks: Vec::new(),
+            };
+            setup(&mut exec);
+            let mut failure = self.run_one(&shared, &mut decisions);
+            for h in exec.handles.drain(..) {
+                let _ = h.join();
+            }
+            if failure.is_none() {
+                failure = shared.lock().failure.take();
+            }
+            if failure.is_none() {
+                for c in exec.checks.drain(..) {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(c)) {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                        failure = Some(format!("post-run check failed: {msg}"));
+                        break;
+                    }
+                }
+            }
+            if failure.is_some() {
+                return Report {
+                    schedules,
+                    complete: false,
+                    failure,
+                };
+            }
+            if !decisions.advance() {
+                return Report {
+                    schedules,
+                    complete: true,
+                    failure: None,
+                };
+            }
+        }
+    }
+
+    /// Drive one execution to completion; returns a failure description or
+    /// None. Controller runs on the calling thread.
+    fn run_one(&self, shared: &Shared, decisions: &mut Decisions) -> Option<String> {
+        let mut preemptions = 0usize;
+        let mut steps = 0usize;
+        let mut last: Option<usize> = None;
+        let mut st = shared.lock();
+        loop {
+            // Wait until no thread is running and all live threads are parked.
+            while st.running.is_some()
+                || st
+                    .threads
+                    .iter()
+                    .any(|t| t.blocked != Blocked::Finished && !t.parked)
+            {
+                st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                if st.abort || st.failure.is_some() {
+                    return self.abort_and_drain(shared, st, None);
+                }
+            }
+            if st.failure.is_some() {
+                return self.abort_and_drain(shared, st, None);
+            }
+            if st.live == 0 {
+                return None;
+            }
+            steps += 1;
+            if steps > self.max_steps {
+                let msg = format!("step cap ({}) exceeded — livelock?", self.max_steps);
+                return self.abort_and_drain(shared, st, Some(msg));
+            }
+
+            // Enumerate grantable threads.
+            let mut options: Vec<usize> = Vec::new();
+            for (tid, t) in st.threads.iter().enumerate() {
+                let ok = match &t.blocked {
+                    Blocked::Start | Blocked::Yield => true,
+                    Blocked::Acquire { lock, write } => st
+                        .locks
+                        .get(lock)
+                        .map(|l| l.free_for(tid, *write))
+                        .unwrap_or(true),
+                    Blocked::Reacquire { mutex, .. } => st
+                        .locks
+                        .get(mutex)
+                        .map(|l| l.free_for(tid, true))
+                        .unwrap_or(true),
+                    Blocked::CvWait { mutex, timed, .. } => {
+                        *timed
+                            && t.early_wake_budget > 0
+                            && st
+                                .locks
+                                .get(mutex)
+                                .map(|l| l.free_for(tid, true))
+                                .unwrap_or(true)
+                    }
+                    Blocked::Finished => false,
+                };
+                if ok {
+                    options.push(tid);
+                }
+            }
+            if options.is_empty() {
+                let stuck: Vec<String> = st
+                    .threads
+                    .iter()
+                    .filter(|t| t.blocked != Blocked::Finished)
+                    .map(|t| format!("`{}` blocked on {:?}", t.name, t.blocked))
+                    .collect();
+                let msg = format!(
+                    "deadlock: no runnable virtual thread — {}",
+                    stuck.join(", ")
+                );
+                return self.abort_and_drain(shared, st, Some(msg));
+            }
+
+            // Preemption bounding: once over budget, stay on the previous
+            // thread whenever it is still grantable.
+            if preemptions >= self.max_preemptions {
+                if let Some(p) = last {
+                    if options.contains(&p) {
+                        options = vec![p];
+                    }
+                }
+            }
+
+            let idx = decisions.next(options.len());
+            let chosen = options[idx];
+            if let Some(p) = last {
+                if chosen != p && options.contains(&p) {
+                    preemptions += 1;
+                }
+            }
+            last = Some(chosen);
+
+            // Apply the grant.
+            let blocked = st.threads[chosen].blocked.clone();
+            match blocked {
+                Blocked::Acquire { lock, write } => {
+                    let l = st.locks.entry(lock).or_default();
+                    if write {
+                        l.writer = Some(chosen);
+                    } else {
+                        l.readers.push(chosen);
+                    }
+                }
+                Blocked::Reacquire { mutex, timed_out } => {
+                    st.locks.entry(mutex).or_default().writer = Some(chosen);
+                    st.threads[chosen].timed_out = timed_out;
+                }
+                Blocked::CvWait { cv, mutex, .. } => {
+                    // Clock wake: consume the budget and take the mutex.
+                    st.threads[chosen].early_wake_budget -= 1;
+                    st.threads[chosen].timed_out = true;
+                    st.locks.entry(mutex).or_default().writer = Some(chosen);
+                    if let Some(q) = st.cv_queues.get_mut(&cv) {
+                        q.retain(|&w| w != chosen);
+                    }
+                }
+                Blocked::Start | Blocked::Yield => {}
+                Blocked::Finished => unreachable!("granted a finished thread"),
+            }
+            let t = &mut st.threads[chosen];
+            t.blocked = Blocked::Yield;
+            t.granted = true;
+            st.running = Some(chosen);
+            shared.cv.notify_all();
+        }
+    }
+
+    /// Set the abort flag, wake every parked thread so it can unwind, wait
+    /// for all virtual threads to finish, and return the failure message.
+    fn abort_and_drain(
+        &self,
+        shared: &Shared,
+        mut st: MutexGuard<'_, SchedState>,
+        msg: Option<String>,
+    ) -> Option<String> {
+        st.abort = true;
+        if let Some(m) = msg {
+            if st.failure.is_none() {
+                st.failure = Some(m);
+            }
+        }
+        // Grant everyone so park loops observe the abort and unwind.
+        for t in st.threads.iter_mut() {
+            t.granted = true;
+        }
+        shared.cv.notify_all();
+        while st.live > 0 {
+            st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            for t in st.threads.iter_mut() {
+                t.granted = true;
+            }
+            shared.cv.notify_all();
+        }
+        st.failure.take()
+    }
+}

@@ -1,0 +1,213 @@
+//! Self-tests for the deterministic schedule explorer.
+#![cfg(any(debug_assertions, feature = "analysis"))]
+
+use conquer_sync::sched::Explorer;
+use conquer_sync::{Condvar, Mutex, Rank};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static LOCK_A: Rank = Rank {
+    order: 0,
+    name: "schedtest_a",
+    blocking_ok: false,
+};
+static LOCK_B: Rank = Rank {
+    order: 0,
+    name: "schedtest_b",
+    blocking_ok: false,
+};
+
+#[test]
+fn explores_multiple_schedules_and_passes_correct_code() {
+    let report = Explorer::new().max_preemptions(2).explore(|exec| {
+        let counter = Arc::new(Mutex::new(&LOCK_A, 0u32));
+        for t in 0..2 {
+            let c = Arc::clone(&counter);
+            exec.spawn(&format!("incr-{t}"), move || {
+                for _ in 0..2 {
+                    *c.lock() += 1;
+                }
+            });
+        }
+        let c = Arc::clone(&counter);
+        exec.check(move || assert_eq!(*c.lock(), 4));
+    });
+    report.assert_passed();
+    assert!(
+        report.schedules > 1,
+        "two racing threads must yield more than one schedule"
+    );
+}
+
+#[test]
+fn finds_lost_update_from_non_atomic_read_modify_write() {
+    // Read under the lock, drop it, re-take it to write: a classic lost
+    // update. The explorer must find the interleaving where both threads
+    // read 0 and the final value is 1 instead of 2.
+    let report = Explorer::new().explore(|exec| {
+        let v = Arc::new(Mutex::new(&LOCK_A, 0u32));
+        for t in 0..2 {
+            let v = Arc::clone(&v);
+            exec.spawn(&format!("rmw-{t}"), move || {
+                let read = *v.lock();
+                *v.lock() = read + 1;
+            });
+        }
+        let v = Arc::clone(&v);
+        exec.check(move || assert_eq!(*v.lock(), 2, "lost update"));
+    });
+    let failure = report.failure.expect("explorer must find the lost update");
+    assert!(failure.contains("lost update"), "{failure}");
+}
+
+#[test]
+fn reports_deadlock_for_never_notified_wait() {
+    let report = Explorer::new().explore(|exec| {
+        let m = Arc::new(Mutex::new(&LOCK_A, false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        exec.spawn("waiter", move || {
+            let mut g = m2.lock();
+            while !*g {
+                g = cv2.wait(g); // nobody will ever notify
+            }
+        });
+    });
+    let failure = report.failure.expect("un-notified wait must be reported");
+    assert!(failure.contains("deadlock"), "{failure}");
+    assert!(
+        failure.contains("waiter"),
+        "deadlock report must name the thread: {failure}"
+    );
+}
+
+#[test]
+fn detects_lock_order_cycle_under_exploration() {
+    // Classic ABBA: the analysis layer's graph check fires inside a virtual
+    // thread and the explorer surfaces it as the failure.
+    let report = Explorer::new().explore(|exec| {
+        let a = Arc::new(Mutex::new(&LOCK_A, ()));
+        let b = Arc::new(Mutex::new(&LOCK_B, ()));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        exec.spawn("ab", move || {
+            let _ga = a1.lock();
+            let _gb = b1.lock();
+        });
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        exec.spawn("ba", move || {
+            let _gb = b2.lock();
+            let _ga = a2.lock();
+        });
+    });
+    let failure = report.failure.expect("ABBA must be caught");
+    assert!(failure.contains("lock-order cycle"), "{failure}");
+}
+
+#[test]
+fn producer_consumer_handshake_terminates_in_every_schedule() {
+    let outcomes = Arc::new(AtomicUsize::new(0));
+    let outer = Arc::clone(&outcomes);
+    let report = Explorer::new().explore(move |exec| {
+        let m = Arc::new(Mutex::new(&LOCK_A, false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let seen = Arc::clone(&outer);
+        exec.spawn("consumer", move || {
+            let mut g = m2.lock();
+            while !*g {
+                g = cv2.wait(g);
+            }
+            seen.fetch_add(1, Ordering::SeqCst);
+        });
+        let (m3, cv3) = (Arc::clone(&m), Arc::clone(&cv));
+        exec.spawn("producer", move || {
+            *m3.lock() = true;
+            cv3.notify_one();
+        });
+    });
+    report.assert_passed();
+    assert_eq!(
+        outcomes.load(Ordering::SeqCst),
+        report.schedules,
+        "consumer must observe the flag in every schedule"
+    );
+}
+
+#[test]
+fn timed_wait_explores_both_clock_and_notify_wakeups() {
+    let timeouts = Arc::new(AtomicUsize::new(0));
+    let notifies = Arc::new(AtomicUsize::new(0));
+    let (t_out, n_out) = (Arc::clone(&timeouts), Arc::clone(&notifies));
+    let report = Explorer::new().explore(move |exec| {
+        let m = Arc::new(Mutex::new(&LOCK_A, false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let (t, n) = (Arc::clone(&t_out), Arc::clone(&n_out));
+        exec.spawn("waiter", move || {
+            let g = m2.lock();
+            if !*g {
+                let (g, r) = cv2.wait_timeout(g, Duration::from_secs(3600));
+                if r.timed_out() {
+                    t.fetch_add(1, Ordering::SeqCst);
+                } else if *g {
+                    n.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+        let (m3, cv3) = (Arc::clone(&m), Arc::clone(&cv));
+        exec.spawn("producer", move || {
+            *m3.lock() = true;
+            cv3.notify_one();
+        });
+    });
+    report.assert_passed();
+    assert!(
+        timeouts.load(Ordering::SeqCst) > 0,
+        "some schedule must take the clock wakeup"
+    );
+    assert!(
+        notifies.load(Ordering::SeqCst) > 0,
+        "some schedule must take the notify wakeup"
+    );
+}
+
+#[test]
+fn zero_timeout_times_out_deterministically() {
+    let report = Explorer::new().explore(|exec| {
+        let m = Arc::new(Mutex::new(&LOCK_A, false));
+        let cv = Arc::new(Condvar::new());
+        exec.spawn("waiter", move || {
+            let g = m.lock();
+            let (_g, r) = cv.wait_timeout(g, Duration::ZERO);
+            assert!(r.timed_out(), "zero-duration wait must time out");
+        });
+    });
+    report.assert_passed();
+}
+
+#[test]
+fn preemption_bound_caps_the_schedule_space() {
+    let run = |p: usize| {
+        Explorer::new()
+            .max_preemptions(p)
+            .explore(|exec| {
+                let c = Arc::new(Mutex::new(&LOCK_A, 0u32));
+                for t in 0..2 {
+                    let c = Arc::clone(&c);
+                    exec.spawn(&format!("t{t}"), move || {
+                        for _ in 0..3 {
+                            *c.lock() += 1;
+                        }
+                    });
+                }
+            })
+            .schedules
+    };
+    let tight = run(0);
+    let loose = run(3);
+    assert!(
+        tight < loose,
+        "preemption bound must prune schedules ({tight} !< {loose})"
+    );
+}

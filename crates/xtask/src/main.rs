@@ -1,0 +1,589 @@
+//! Workspace hygiene lints, run as `cargo run -p xtask -- tidy`.
+//!
+//! Four checks, all textual and std-only (no external dependencies), each
+//! implemented as a pure function over a workspace root so the self-tests
+//! can run them against seeded fixture trees:
+//!
+//! 1. **std-sync ban** — no raw `std::sync` lock types (`Mutex`, `RwLock`,
+//!    `Condvar`, guards) outside `crates/sync`. Everything else must go
+//!    through `conquer_sync`, whose wrappers carry ranks and feed the
+//!    lock-order analyzer. Non-lock `std::sync` items (`Arc`, `atomic`,
+//!    `LazyLock`, `OnceLock`, `mpsc`, …) stay allowed — in particular
+//!    `std::sync::LazyLock<Mutex<..>>` is fine: the inner `Mutex` resolves
+//!    to the ranked wrapper.
+//! 2. **failpoint cross-check** — every failpoint name a test arms must be
+//!    registered somewhere in library code (`fault::trigger(..)` /
+//!    `fault_point(..)` / `FaultWriter::new(.., ..)`). A renamed or deleted
+//!    point otherwise turns its fault-injection tests into silent no-ops.
+//! 3. **env-docs** — every `CONQUER_*` environment variable the code reads
+//!    must appear in DESIGN.md's configuration table.
+//! 4. **unwrap ban** — every library crate root carries
+//!    `#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]`,
+//!    and no `.unwrap()` / `.expect(` appears in library source outside
+//!    `#[cfg(test)]` modules. `crates/bench` (measurement scaffolding that
+//!    panics on broken setups by design) and `src/bin` entrypoints are
+//!    exempt.
+//!
+//! `crates/xtask` itself and `vendor/` are out of scope for every check.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("tidy") => {
+            let root = workspace_root();
+            let failures = run_tidy(&root);
+            if failures > 0 {
+                eprintln!("tidy: {failures} violation(s)");
+                std::process::exit(1);
+            }
+            println!("tidy: all checks passed");
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- tidy");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    match manifest.ancestors().nth(2) {
+        Some(root) => root.to_path_buf(),
+        None => manifest.to_path_buf(),
+    }
+}
+
+type Check = fn(&Path) -> Vec<String>;
+
+fn run_tidy(root: &Path) -> usize {
+    let checks: [(&str, Check); 4] = [
+        ("std-sync lock ban", check_std_sync),
+        ("failpoint cross-check", check_failpoints),
+        ("env-var docs", check_env_docs),
+        ("unwrap/expect ban", check_unwrap_ban),
+    ];
+    let mut total = 0;
+    for (name, check) in checks {
+        let violations = check(root);
+        if violations.is_empty() {
+            println!("tidy: {name}: ok");
+        } else {
+            println!("tidy: {name}: {} violation(s)", violations.len());
+            for v in &violations {
+                println!("  {v}");
+            }
+            total += violations.len();
+        }
+    }
+    total
+}
+
+// ---------------------------------------------------------------- walking
+
+/// Subdirectories of `crates/` (sorted), minus an exclusion list of crate
+/// names.
+fn crate_dirs(root: &Path, exclude: &[&str]) -> Vec<PathBuf> {
+    let mut dirs = Vec::new();
+    let Ok(entries) = fs::read_dir(root.join("crates")) else {
+        return dirs;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let excluded = exclude.iter().any(|e| name.to_str() == Some(e));
+        if path.is_dir() && !excluded {
+            dirs.push(path);
+        }
+    }
+    dirs.sort();
+    dirs
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for stable output.
+fn rs_files(dir: &Path) -> Vec<PathBuf> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, out);
+            } else if path.extension().is_some_and(|ext| ext == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(dir, &mut out);
+    out.sort();
+    out
+}
+
+fn read(path: &Path) -> String {
+    fs::read_to_string(path).unwrap_or_default()
+}
+
+fn display(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .display()
+        .to_string()
+}
+
+// ------------------------------------------------------------- text utils
+
+/// Blank out `// ...` line-comment tails, preserving byte offsets and
+/// newlines so line numbers computed on the stripped text match the
+/// original. (A `//` inside a string literal also truncates its line —
+/// acceptable for a lint, and none of the patterns we search for hide
+/// behind one in this tree.)
+fn strip_line_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.split_inclusive('\n') {
+        match line.find("//") {
+            Some(idx) => {
+                out.push_str(&line[..idx]);
+                for ch in line[idx..].chars() {
+                    out.push(if ch == '\n' { '\n' } else { ' ' });
+                }
+            }
+            None => out.push_str(line),
+        }
+    }
+    out
+}
+
+fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// The contents of string literals on one line (escape-naive: splits on
+/// `"`, which is exact for the plain literals these checks target).
+fn string_literals(line: &str) -> Vec<&str> {
+    line.split('"').skip(1).step_by(2).collect()
+}
+
+fn is_ident_char(ch: char) -> bool {
+    ch.is_alphanumeric() || ch == '_'
+}
+
+/// Does `hay` contain `word` as a standalone identifier that is not a path
+/// segment qualified from the left (i.e. not preceded by `:`)?
+fn contains_bare_word(hay: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let prev_ok = hay[..start]
+            .chars()
+            .next_back()
+            .is_none_or(|ch| !is_ident_char(ch) && ch != ':');
+        let next_ok = hay[end..]
+            .chars()
+            .next()
+            .is_none_or(|ch| !is_ident_char(ch));
+        if prev_ok && next_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Given text starting at `{`, the contents up to the matching `}` (or to
+/// the end if unbalanced).
+fn brace_group(text: &str) -> &str {
+    let mut depth = 0usize;
+    for (idx, ch) in text.char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return &text[1..idx];
+                }
+            }
+            _ => {}
+        }
+    }
+    text.get(1..).unwrap_or("")
+}
+
+// ---------------------------------------------------- check 1: std::sync
+
+const BANNED_SYNC: [&str; 6] = [
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "MutexGuard",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+];
+
+/// No raw `std::sync` lock primitives outside the sync layer.
+fn check_std_sync(root: &Path) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut scopes = crate_dirs(root, &["sync", "xtask"]);
+    scopes.push(root.join("src"));
+    for scope in scopes {
+        for file in rs_files(&scope) {
+            scan_std_sync(&read(&file), &display(root, &file), &mut violations);
+        }
+    }
+    violations
+}
+
+fn scan_std_sync(text: &str, file: &str, violations: &mut Vec<String>) {
+    const NEEDLE: &str = "std::sync::";
+    let stripped = strip_line_comments(text);
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find(NEEDLE) {
+        let at = from + pos;
+        let rest = &stripped[at + NEEDLE.len()..];
+        from = at + NEEDLE.len();
+        let line = line_of(&stripped, at);
+        if rest.starts_with('{') {
+            let group = brace_group(rest);
+            for name in BANNED_SYNC {
+                if contains_bare_word(group, name) {
+                    violations.push(format!(
+                        "{file}:{line}: `{name}` imported from `std::sync` — use \
+                         `conquer_sync::{name}` (ranked + analyzable) instead"
+                    ));
+                }
+            }
+        } else {
+            let ident: String = rest.chars().take_while(|&ch| is_ident_char(ch)).collect();
+            if BANNED_SYNC.contains(&ident.as_str()) {
+                violations.push(format!(
+                    "{file}:{line}: raw `std::sync::{ident}` — use \
+                     `conquer_sync::{ident}` (ranked + analyzable) instead"
+                ));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------- check 2: failpoints
+
+/// A failpoint name: exactly two non-empty `::`-separated segments of
+/// lowercase letters, digits, and underscores.
+fn is_failpoint_name(lit: &str) -> bool {
+    let mut parts = lit.split("::");
+    let (Some(a), Some(b), None) = (parts.next(), parts.next(), parts.next()) else {
+        return false;
+    };
+    let seg_ok = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    };
+    seg_ok(a) && seg_ok(b)
+}
+
+/// Every failpoint name referenced from a test must exist in library code,
+/// otherwise the test arms a point that nothing triggers and silently
+/// stops testing anything.
+fn check_failpoints(root: &Path) -> Vec<String> {
+    const DEFINING: [&str; 3] = ["trigger(", "fault_point(", "FaultWriter::new("];
+    let mut registry = BTreeSet::new();
+    for dir in crate_dirs(root, &["xtask"]) {
+        for file in rs_files(&dir.join("src")) {
+            for line in read(&file).lines() {
+                if DEFINING.iter().any(|marker| line.contains(marker)) {
+                    for lit in string_literals(line) {
+                        if is_failpoint_name(lit) {
+                            registry.insert(lit.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    // `crates/sync` is excluded: its tests use `x::y`-shaped labels for
+    // blocking regions, which are not storage failpoints.
+    for dir in crate_dirs(root, &["sync", "xtask"]) {
+        for file in rs_files(&dir.join("tests")) {
+            let text = read(&file);
+            for (idx, line) in text.lines().enumerate() {
+                for lit in string_literals(line) {
+                    if is_failpoint_name(lit) && !registry.contains(lit) {
+                        violations.push(format!(
+                            "{}:{}: failpoint `{lit}` is not registered in any library \
+                             crate — armed tests against it are no-ops",
+                            display(root, &file),
+                            idx + 1,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+// ----------------------------------------------------- check 3: env docs
+
+fn is_env_name(lit: &str) -> bool {
+    lit.strip_prefix("CONQUER_").is_some_and(|rest| {
+        !rest.is_empty() && rest.chars().all(|c| c.is_ascii_uppercase() || c == '_')
+    })
+}
+
+/// Every `CONQUER_*` environment variable read anywhere in library or
+/// binary source must be documented in DESIGN.md's configuration table.
+fn check_env_docs(root: &Path) -> Vec<String> {
+    let design = read(&root.join("DESIGN.md"));
+    let mut violations = Vec::new();
+    let mut scopes: Vec<PathBuf> = crate_dirs(root, &["xtask"])
+        .iter()
+        .map(|d| d.join("src"))
+        .collect();
+    scopes.push(root.join("src"));
+    for scope in scopes {
+        for file in rs_files(&scope) {
+            let text = read(&file);
+            for (idx, line) in text.lines().enumerate() {
+                for lit in string_literals(line) {
+                    if is_env_name(lit) && !design.contains(lit) {
+                        violations.push(format!(
+                            "{}:{}: `{lit}` is read here but missing from DESIGN.md's \
+                             environment-variable table",
+                            display(root, &file),
+                            idx + 1,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+// --------------------------------------------------- check 4: unwrap ban
+
+const UNWRAP_DENY_ATTR: &str = "deny(clippy::unwrap_used";
+
+/// Library crates must deny `unwrap`/`expect` outside tests, and no call
+/// may appear textually before the first `#[cfg(test)]` in library source.
+/// `crates/bench` and `src/bin/` entrypoints are exempt (panic-on-broken-
+/// setup is their intended failure mode).
+fn check_unwrap_ban(root: &Path) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut lib_roots: Vec<PathBuf> = crate_dirs(root, &["bench", "xtask"])
+        .iter()
+        .map(|d| d.join("src"))
+        .collect();
+    lib_roots.push(root.join("src"));
+    for src in lib_roots {
+        let lib = src.join("lib.rs");
+        if lib.is_file() && !read(&lib).contains(UNWRAP_DENY_ATTR) {
+            violations.push(format!(
+                "{}: missing `#![cfg_attr(not(test), deny(clippy::unwrap_used, \
+                 clippy::expect_used))]`",
+                display(root, &lib),
+            ));
+        }
+        for file in rs_files(&src) {
+            let in_bin = file
+                .strip_prefix(&src)
+                .is_ok_and(|rel| rel.starts_with("bin"));
+            if in_bin {
+                continue;
+            }
+            scan_unwraps(&read(&file), &display(root, &file), &mut violations);
+        }
+    }
+    violations
+}
+
+fn scan_unwraps(text: &str, file: &str, violations: &mut Vec<String>) {
+    // `concat!` keeps the patterns out of this file's own source text, so
+    // the check can include its own implementation without self-flagging.
+    const UNWRAP: &str = concat!(".unw", "rap()");
+    const EXPECT: &str = concat!(".exp", "ect(");
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            return; // test module convention: everything below is tests
+        }
+        let code = match line.find("//") {
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+        if code.contains(UNWRAP) || code.contains(EXPECT) {
+            violations.push(format!(
+                "{file}:{}: `{}` in non-test library code — return a typed error instead",
+                idx + 1,
+                if code.contains(UNWRAP) {
+                    UNWRAP
+                } else {
+                    EXPECT
+                },
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------------ tests
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixture {
+        root: PathBuf,
+    }
+
+    impl Fixture {
+        fn new(tag: &str) -> Self {
+            let root =
+                std::env::temp_dir().join(format!("conquer_xtask_{tag}_{}", std::process::id()));
+            let _ = fs::remove_dir_all(&root);
+            fs::create_dir_all(&root).unwrap();
+            Fixture { root }
+        }
+
+        fn put(&self, rel: &str, content: &str) -> &Self {
+            let path = self.root.join(rel);
+            fs::create_dir_all(path.parent().unwrap()).unwrap();
+            fs::write(path, content).unwrap();
+            self
+        }
+    }
+
+    impl Drop for Fixture {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+
+    #[test]
+    fn std_sync_flags_direct_and_grouped_lock_imports() {
+        let fx = Fixture::new("sync_bad");
+        fx.put("crates/engine/src/lib.rs", "use std::sync::Mutex;\n")
+            .put(
+                "crates/storage/src/wal.rs",
+                "use std::sync::{Arc, RwLock};\nfn f() {}\n",
+            );
+        let v = check_std_sync(&fx.root);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(
+            v[0].contains("engine/src/lib.rs:1") && v[0].contains("Mutex"),
+            "{v:?}"
+        );
+        assert!(
+            v[1].contains("wal.rs:1") && v[1].contains("RwLock"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn std_sync_allows_non_lock_items_and_the_sync_crate_itself() {
+        let fx = Fixture::new("sync_ok");
+        fx.put(
+            "crates/engine/src/lib.rs",
+            "use std::sync::{Arc, LazyLock, OnceLock};\n\
+             use std::sync::atomic::{AtomicUsize, Ordering};\n\
+             // a comment mentioning std::sync::Mutex is fine\n\
+             static S: std::sync::LazyLock<Mutex<u32>> = todo();\n\
+             use std::sync::mpsc::channel;\n",
+        )
+        .put("crates/sync/src/lib.rs", "pub use std::sync::Mutex;\n");
+        assert_eq!(check_std_sync(&fx.root), Vec::<String>::new());
+    }
+
+    #[test]
+    fn failpoint_reference_without_registration_is_flagged() {
+        let fx = Fixture::new("fp");
+        fx.put(
+            "crates/storage/src/wal.rs",
+            "fn f() { fault::trigger(\"wal::sync\")?; }\n",
+        )
+        .put(
+            "crates/storage/tests/good.rs",
+            "fn t() { fault::arm(\"wal::sync\", 1); }\n",
+        )
+        .put(
+            "crates/storage/tests/bad.rs",
+            "const POINTS: [&str; 2] = [\"wal::sync\", \"wal::sycn\"];\n",
+        );
+        let v = check_failpoints(&fx.root);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].contains("bad.rs:1") && v[0].contains("wal::sycn"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn undocumented_env_var_is_flagged() {
+        let fx = Fixture::new("env");
+        fx.put("DESIGN.md", "| `CONQUER_THREADS` | documented |\n")
+            .put(
+                "crates/engine/src/lib.rs",
+                "fn f() { var(\"CONQUER_THREADS\"); var(\"CONQUER_MYSTERY_KNOB\"); }\n",
+            );
+        let v = check_env_docs(&fx.root);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("CONQUER_MYSTERY_KNOB"), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_outside_tests_and_missing_attr_are_flagged() {
+        let fx = Fixture::new("unwrap");
+        let unwrap_call = concat!("x.unw", "rap()");
+        fx.put(
+            "crates/engine/src/lib.rs",
+            &format!("fn f() {{ {unwrap_call}; }}\n#[cfg(test)]\nmod tests {{}}\n"),
+        );
+        let v = check_unwrap_ban(&fx.root);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("missing"), "{v:?}");
+        assert!(v[1].contains("lib.rs:1"), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_inside_test_module_comment_or_bench_is_allowed() {
+        let fx = Fixture::new("unwrap_ok");
+        let unwrap_call = concat!("x.unw", "rap()");
+        let attr = "#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]\n";
+        fx.put(
+            "crates/engine/src/lib.rs",
+            &format!(
+                "{attr}// comment: {unwrap_call}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ {unwrap_call}; }}\n}}\n"
+            ),
+        )
+        .put(
+            "crates/bench/src/lib.rs",
+            &format!("fn f() {{ {unwrap_call}; }}\n"),
+        )
+        .put(
+            "crates/engine/src/bin/tool.rs",
+            &format!("fn main() {{ {unwrap_call}; }}\n"),
+        );
+        assert_eq!(check_unwrap_ban(&fx.root), Vec::<String>::new());
+    }
+
+    /// The real workspace must pass every check — this is the tidy gate's
+    /// own regression test.
+    #[test]
+    fn real_workspace_is_tidy() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").is_file(), "bad root: {root:?}");
+        assert_eq!(check_std_sync(&root), Vec::<String>::new());
+        assert_eq!(check_failpoints(&root), Vec::<String>::new());
+        assert_eq!(check_env_docs(&root), Vec::<String>::new());
+        assert_eq!(check_unwrap_ban(&root), Vec::<String>::new());
+    }
+}
