@@ -1,0 +1,87 @@
+//! WAL-commit microbench: the vfs guard for the disk-fault model.
+//!
+//! Every storage byte now flows through `conquer_storage::vfs`, which
+//! compiles to direct `std::fs` calls when the `fault` feature is off (a
+//! compile-time assertion pins `vfs::File` to the size of `std::fs::File`).
+//! This harness measures the claim at the syscall level: a raw `std::fs`
+//! append+fsync loop against `Wal::commit` (vfs-routed, checksummed
+//! framing) on the same directory. The gap between the two is the framing
+//! work; the vfs layer itself must be invisible next to the fsync.
+//!
+//! Knobs: `CONQUER_WAL_COMMITS` (default 64) commits per phase.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use conquer_bench::{print_report, write_csv, Report};
+use conquer_storage::{DataType, Schema, Table, Value, Wal, WalOp};
+
+fn commits() -> usize {
+    std::env::var("CONQUER_WAL_COMMITS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+        .max(1)
+}
+
+fn main() {
+    let n = commits();
+    let dir = std::env::temp_dir().join(format!("conquer_wal_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+
+    let mut table = Table::new(
+        "t",
+        Schema::from_pairs([("a", DataType::Int)]).expect("schema"),
+    );
+    table.insert(vec![Value::Int(42)]).expect("insert");
+
+    // Phase 1: raw std::fs floor — append a frame-sized buffer and
+    // fdatasync, the minimum any durable commit must pay.
+    let frame = vec![0u8; 96];
+    let raw_path = dir.join("raw.log");
+    let mut raw = std::fs::File::create(&raw_path).expect("create raw log");
+    let t0 = Instant::now();
+    for _ in 0..n {
+        raw.write_all(&frame).expect("append");
+        raw.sync_data().expect("fsync");
+    }
+    let raw_elapsed = t0.elapsed();
+    drop(raw);
+
+    // Phase 2: the real thing — vfs-routed Wal::commit with checksummed
+    // framing of a one-row table snapshot per commit.
+    let mut wal = Wal::open(&dir).expect("open wal");
+    let t0 = Instant::now();
+    for _ in 0..n {
+        wal.commit(&[WalOp::Put(&table)]).expect("commit");
+    }
+    let wal_elapsed = t0.elapsed();
+
+    let mut report = Report::new(
+        "WAL commit microbench (raw fs floor vs vfs-routed Wal)",
+        &["phase", "commits", "total_ms", "us_per_commit"],
+    );
+    for (phase, elapsed) in [
+        ("raw-append-fsync", raw_elapsed),
+        ("vfs-wal-commit", wal_elapsed),
+    ] {
+        report.push_row(vec![
+            phase.to_string(),
+            n.to_string(),
+            format!("{:.3}", elapsed.as_secs_f64() * 1e3),
+            format!("{:.1}", elapsed.as_secs_f64() * 1e6 / n as f64),
+        ]);
+    }
+    report.note(format!(
+        "vfs overhead vs raw floor: {:+.1}% per commit (fault feature off; \
+         vfs::File is size-asserted equal to std::fs::File)",
+        (wal_elapsed.as_secs_f64() / raw_elapsed.as_secs_f64() - 1.0) * 100.0
+    ));
+    report.note("the delta is checksummed framing, not the vfs indirection");
+    print_report(&report);
+    let path = write_csv(&report, std::path::Path::new("results")).expect("write csv");
+    println!("wrote {}", path.display());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

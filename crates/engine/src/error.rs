@@ -143,6 +143,11 @@ pub enum ErrorKind {
     Corrupt,
     /// Underlying I/O failure.
     Io,
+    /// The durable store is degraded (a scrub found corruption, or an
+    /// epoch had to be recovered by fallback): reads still work, writes
+    /// are refused until a checkpoint repairs the directory or a clean
+    /// scrub clears the flag. Not retryable — retrying cannot repair.
+    Degraded,
     /// A memory or spill-disk budget was exhausted.
     ResourceExhausted,
     /// A wall-clock deadline was exceeded.
@@ -175,6 +180,7 @@ impl ErrorKind {
             ErrorKind::Schema => "SCHEMA",
             ErrorKind::Corrupt => "CORRUPT",
             ErrorKind::Io => "IO",
+            ErrorKind::Degraded => "DEGRADED",
             ErrorKind::ResourceExhausted => "RESOURCE_EXHAUSTED",
             ErrorKind::Timeout => "TIMEOUT",
             ErrorKind::Cancelled => "CANCELLED",
@@ -216,6 +222,7 @@ impl std::str::FromStr for ErrorKind {
             "SCHEMA" => ErrorKind::Schema,
             "CORRUPT" => ErrorKind::Corrupt,
             "IO" => ErrorKind::Io,
+            "DEGRADED" => ErrorKind::Degraded,
             "RESOURCE_EXHAUSTED" => ErrorKind::ResourceExhausted,
             "TIMEOUT" => ErrorKind::Timeout,
             "CANCELLED" => ErrorKind::Cancelled,
@@ -234,6 +241,11 @@ impl std::str::FromStr for ErrorKind {
 pub fn storage_error_kind(e: &StorageError) -> ErrorKind {
     match e {
         StorageError::Corrupt { .. } => ErrorKind::Corrupt,
+        StorageError::Degraded(_) => ErrorKind::Degraded,
+        // ENOSPC joins the resource-exhaustion ladder: the write rolled
+        // back and publishing nothing, and retrying without freeing disk
+        // space is pointless (exactly like a blown spill budget).
+        StorageError::NoSpace(_) => ErrorKind::ResourceExhausted,
         StorageError::Io(_) => ErrorKind::Io,
         _ => ErrorKind::Schema,
     }
@@ -305,6 +317,7 @@ mod tests {
             ErrorKind::Schema,
             ErrorKind::Corrupt,
             ErrorKind::Io,
+            ErrorKind::Degraded,
             ErrorKind::ResourceExhausted,
             ErrorKind::Timeout,
             ErrorKind::Cancelled,
@@ -319,6 +332,7 @@ mod tests {
         }
         assert!("NOPE".parse::<ErrorKind>().is_err());
         assert!(!ErrorKind::Shutdown.is_retryable());
+        assert!(!ErrorKind::Degraded.is_retryable());
     }
 
     #[test]
@@ -335,6 +349,14 @@ mod tests {
         assert_eq!(
             EngineError::Storage(StorageError::NoSuchTable("t".into())).kind(),
             ErrorKind::Schema
+        );
+        assert_eq!(
+            EngineError::Storage(StorageError::NoSpace("disk full".into())).kind(),
+            ErrorKind::ResourceExhausted
+        );
+        assert_eq!(
+            EngineError::Storage(StorageError::Degraded("scrub found rot".into())).kind(),
+            ErrorKind::Degraded
         );
         let overloaded = EngineError::Overloaded {
             running: 4,

@@ -67,7 +67,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -434,6 +434,21 @@ pub struct CacheStats {
     /// Checkpoints folded into a fresh epoch directory (explicit or
     /// automatic).
     pub checkpoints: u64,
+    /// Best-effort IO operations that failed process-wide (directory
+    /// fsyncs, post-checkpoint WAL truncations); mirrors
+    /// `conquer_storage::vfs::counters`.
+    pub io_errors: u64,
+    /// fsync calls that failed process-wide. Each one poisoned its WAL
+    /// handle (healed by reopen + re-truncate, never by retrying fsync).
+    pub fsync_failures: u64,
+    /// Checksum scrubs run through [`SharedDatabase::scrub`].
+    pub scrub_runs: u64,
+    /// Corrupt WAL frames found by scrubs (cumulative).
+    pub corrupt_frames: u64,
+    /// Whether the handle is currently degraded: a scrub found corruption,
+    /// so writes are refused until a checkpoint rewrites the epoch or a
+    /// clean scrub clears the flag. Reads keep working throughout.
+    pub degraded: bool,
 }
 
 #[derive(Debug, Default)]
@@ -447,6 +462,8 @@ struct Counters {
     shed: AtomicU64,
     wal_commits: AtomicU64,
     checkpoints: AtomicU64,
+    scrub_runs: AtomicU64,
+    corrupt_frames: AtomicU64,
 }
 
 /// One immutable published version of the database. Readers hold an
@@ -525,6 +542,11 @@ struct Inner {
     counters: Counters,
     session_ids: AtomicU64,
     config: SharedConfig,
+    /// Set when a scrub finds corruption: reads stay up, writes are
+    /// refused with [`ErrorKind::Degraded`](crate::ErrorKind::Degraded)
+    /// until a checkpoint rewrites a verified epoch or a clean scrub
+    /// clears it.
+    degraded: AtomicBool,
 }
 
 /// An `Arc`-shareable, `Send + Sync` handle to one [`Database`].
@@ -555,6 +577,7 @@ impl SharedDatabase {
                 counters: Counters::default(),
                 session_ids: AtomicU64::new(0),
                 config,
+                degraded: AtomicBool::new(false),
             }),
         }
     }
@@ -576,7 +599,7 @@ impl SharedDatabase {
         config: SharedConfig,
     ) -> Result<(SharedDatabase, RecoveryReport)> {
         let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)
+        conquer_storage::vfs::create_dir_all(dir)
             .map_err(|e| EngineError::Storage(conquer_storage::StorageError::from(e)))?;
         let (catalog, report) = conquer_storage::load_catalog_recover(dir)?;
         let mut db = Database::from_catalog(catalog);
@@ -653,6 +676,7 @@ impl SharedDatabase {
         // deadlock the lock-order analyzer rejects.
         let plan_entries = lock(&self.inner.plans).len();
         let result_entries = lock(&self.inner.results).len();
+        let io = conquer_storage::vfs::counters();
         CacheStats {
             epoch: self.epoch(),
             result_hits: c.result_hits.load(Ordering::Relaxed),
@@ -666,6 +690,11 @@ impl SharedDatabase {
             shed: c.shed.load(Ordering::Relaxed),
             wal_commits: c.wal_commits.load(Ordering::Relaxed),
             checkpoints: c.checkpoints.load(Ordering::Relaxed),
+            io_errors: io.io_errors,
+            fsync_failures: io.fsync_failures,
+            scrub_runs: c.scrub_runs.load(Ordering::Relaxed),
+            corrupt_frames: c.corrupt_frames.load(Ordering::Relaxed),
+            degraded: self.is_degraded(),
         }
     }
 
@@ -691,6 +720,7 @@ impl SharedDatabase {
     /// loads, re-clustering, reloads from disk — must use this so cached
     /// plans and answers can never survive it.
     pub fn mutate<R>(&self, f: impl FnOnce(&mut Database) -> Result<R>) -> Result<R> {
+        self.check_not_degraded()?;
         let mut ws = self.writer_guard()?;
         let mut next = self.current().db.clone();
         let out = f(&mut next)?;
@@ -715,6 +745,62 @@ impl SharedDatabase {
     pub fn checkpoint(&self) -> Result<Option<CheckpointInfo>> {
         let mut ws = self.writer_guard()?;
         self.checkpoint_locked(&mut ws)
+    }
+
+    /// Whether the handle is degraded: a scrub found corruption, so writes
+    /// are refused (reads keep working) until a checkpoint rewrites a
+    /// verified epoch or a clean scrub clears the flag.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Checksum-sweep the persistence directory: every committed epoch
+    /// file is re-read and verified against its manifest, the write-ahead
+    /// log is re-scanned frame by frame, and leftovers (orphaned epochs,
+    /// stale temps, spill directories) are counted as quarantined.
+    ///
+    /// Runs under the writer lock so no checkpoint renames files
+    /// mid-sweep; readers are unaffected. A scrub that finds corruption
+    /// flips the handle into degraded mode; a clean one clears it.
+    /// Returns `Ok(None)` for in-memory handles (nothing on disk to
+    /// scrub).
+    pub fn scrub(&self) -> Result<Option<conquer_storage::ScrubReport>> {
+        let ws = self.writer_guard()?;
+        let Some(d) = ws.durable.as_ref() else {
+            return Ok(None);
+        };
+        let report = conquer_storage::scrub(&d.dir)?;
+        self.inner
+            .counters
+            .scrub_runs
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .counters
+            .corrupt_frames
+            .fetch_add(report.wal_corrupt_frames, Ordering::Relaxed);
+        // Quarantined leftovers are normal operational debris; only real
+        // corruption degrades the handle. A clean sweep clears the flag.
+        self.inner
+            .degraded
+            .store(!report.is_clean(), Ordering::Relaxed);
+        Ok(Some(report))
+    }
+
+    /// Refuse a write while degraded. Checkpoints stay allowed — folding
+    /// the in-memory state into a fresh, fully-verified epoch directory is
+    /// exactly the repair path.
+    fn check_not_degraded(&self) -> Result<()> {
+        if self.is_degraded() {
+            return Err(EngineError::Storage(
+                conquer_storage::StorageError::Degraded(
+                    "a scrub found on-disk corruption; reads still work, writes are \
+                     refused until a checkpoint rewrites the epoch (or a clean scrub \
+                     clears the flag)"
+                        .to_string(),
+                ),
+            ));
+        }
+        Ok(())
     }
 
     /// Acquire the writer lock under the workspace poisoning policy.
@@ -757,6 +843,10 @@ impl SharedDatabase {
             .counters
             .checkpoints
             .fetch_add(1, Ordering::Relaxed);
+        // The checkpoint just rewrote (and fsynced) every file of a fresh
+        // epoch from known-good in-memory state: whatever corruption a
+        // scrub saw is no longer reachable, so the handle is repaired.
+        self.inner.degraded.store(false, Ordering::Relaxed);
         Ok(Some(CheckpointInfo {
             epoch: cur.epoch,
             wal_bytes_folded,
@@ -809,6 +899,7 @@ impl SharedDatabase {
             self.publish_version(next);
             return Ok(outcome);
         }
+        self.check_not_degraded()?;
         let mut ws = self.writer_guard()?;
         let mut next = self.current().db.clone();
         let outcome = next.exec_parsed(stmt)?;

@@ -16,6 +16,7 @@
 //! STATS                  shared cache/admission counters
 //! EPOCH                  current catalog epoch
 //! CHECKPOINT             fold the WAL into a fresh epoch directory (durable servers)
+//! SCRUB                  checksum-sweep the persistence directory (durable servers)
 //! PING                   liveness check
 //! QUIT                   close the connection
 //! ```
@@ -123,6 +124,8 @@ pub enum Request {
     Epoch,
     /// `CHECKPOINT`.
     Checkpoint,
+    /// `SCRUB`.
+    Scrub,
     /// `PING`.
     Ping,
     /// `QUIT`.
@@ -152,6 +155,7 @@ impl Request {
             "STATS" => Ok(Request::Stats),
             "EPOCH" => Ok(Request::Epoch),
             "CHECKPOINT" => Ok(Request::Checkpoint),
+            "SCRUB" => Ok(Request::Scrub),
             "PING" => Ok(Request::Ping),
             "QUIT" => Ok(Request::Quit),
             "" => Err("empty request".to_string()),
@@ -232,6 +236,7 @@ mod tests {
             Request::Limit("mem 1024".into())
         );
         assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
+        assert_eq!(Request::parse("scrub").unwrap(), Request::Scrub);
         assert!(Request::parse("QUERY").is_err());
         assert!(Request::parse("BOGUS x").is_err());
         assert!(Request::parse("").is_err());

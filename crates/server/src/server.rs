@@ -364,6 +364,11 @@ fn respond(w: &mut impl Write, session: &Session, request: Request) -> std::io::
                 ("shed", stats.shed),
                 ("wal_commits", stats.wal_commits),
                 ("checkpoints", stats.checkpoints),
+                ("io_errors", stats.io_errors),
+                ("fsync_failures", stats.fsync_failures),
+                ("scrub_runs", stats.scrub_runs),
+                ("corrupt_frames", stats.corrupt_frames),
+                ("degraded", stats.degraded as u64),
                 ("running", gate.running() as u64),
                 ("queued", gate.queued() as u64),
             ] {
@@ -379,6 +384,29 @@ fn respond(w: &mut impl Write, session: &Session, request: Request) -> std::io::
                 info.epoch, info.wal_bytes_folded
             ),
             Ok(None) => writeln!(w, "OK checkpoint noop (in-memory database)"),
+            Err(e) => writeln!(w, "{}", engine_err_line(&e)),
+        },
+        Request::Scrub => match session.shared().scrub() {
+            Ok(Some(report)) => {
+                writeln!(w, "STAT clean {}", report.clean)?;
+                writeln!(w, "STAT corrupt {}", report.corrupt)?;
+                writeln!(w, "STAT quarantined {}", report.quarantined)?;
+                writeln!(w, "STAT wal_corrupt_frames {}", report.wal_corrupt_frames)?;
+                writeln!(w, "STAT issues {}", report.issues.len())?;
+                // Issue text goes in the OK summary (STAT values are
+                // numeric on the wire); one line keeps it parseable.
+                if report.is_clean() {
+                    writeln!(w, "OK scrub clean")
+                } else {
+                    let first = report.issues.first().map_or("", String::as_str);
+                    writeln!(
+                        w,
+                        "OK scrub found corruption ({}); writes refused until a checkpoint repairs it",
+                        escape(first)
+                    )
+                }
+            }
+            Ok(None) => writeln!(w, "OK scrub noop (in-memory database)"),
             Err(e) => writeln!(w, "{}", engine_err_line(&e)),
         },
         Request::Ping => writeln!(w, "OK pong"),

@@ -378,3 +378,73 @@ fn values_with_tabs_and_newlines_survive_the_wire() {
     assert!(rows.rows[0][0].contains('\t') || rows.rows[0][0].contains("tab"));
     handle.shutdown();
 }
+
+#[test]
+fn scrub_round_trips_over_the_wire() {
+    let dir = std::env::temp_dir().join(format!("conquer-smoke-scrub-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Durable server, clean disk: SCRUB reports counters and stays healthy.
+    let (shared, _) = SharedDatabase::open_durable(&dir, SharedConfig::default()).unwrap();
+    let handle = spawn_server(shared, 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.exec("CREATE TABLE t (a INTEGER)").unwrap();
+    client.exec("INSERT INTO t VALUES (1), (2)").unwrap();
+    match client.request("CHECKPOINT").unwrap() {
+        Response::Ok(_) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    let stats = match client.request("SCRUB").unwrap() {
+        Response::Stats(stats) => stats,
+        other => panic!("unexpected {other:?}"),
+    };
+    let get = |k: &str| {
+        stats
+            .iter()
+            .find(|(key, _)| key == k)
+            .unwrap_or_else(|| panic!("missing STAT {k}: {stats:?}"))
+            .1
+    };
+    assert!(get("clean") > 0, "{stats:?}");
+    assert_eq!(get("corrupt"), 0, "{stats:?}");
+
+    // Rot a byte of the committed epoch behind the server's back: the
+    // next SCRUB must report corruption and degrade writes with the
+    // typed wire kind, while reads keep answering.
+    let epoch = std::fs::read_to_string(dir.join("CURRENT")).unwrap();
+    let data = dir.join(epoch.trim()).join("t.csv");
+    let mut bytes = std::fs::read(&data).unwrap();
+    bytes[0] ^= 0x01;
+    std::fs::write(&data, &bytes).unwrap();
+    let stats = match client.request("SCRUB").unwrap() {
+        Response::Stats(stats) => stats,
+        other => panic!("unexpected {other:?}"),
+    };
+    let corrupt = stats.iter().find(|(k, _)| k == "corrupt").unwrap().1;
+    assert!(corrupt > 0, "{stats:?}");
+    let err = client.exec("INSERT INTO t VALUES (3)").unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::Degraded), "{err}");
+    let rows = client.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rows.rows, vec![vec!["2".to_string()]]);
+
+    // STATS now carries the degraded flag; CHECKPOINT repairs it.
+    let all = client.stats().unwrap();
+    let degraded = all.iter().find(|(k, _)| k == "degraded").unwrap().1;
+    assert_eq!(degraded, 1, "{all:?}");
+    match client.request("CHECKPOINT").unwrap() {
+        Response::Ok(_) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    client.exec("INSERT INTO t VALUES (3)").unwrap();
+    handle.shutdown();
+
+    // In-memory server: SCRUB is an explicit noop, not an error.
+    let handle = spawn_server(tiny_shared(), 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    match client.request("SCRUB").unwrap() {
+        Response::Ok(s) => assert!(s.contains("noop"), "{s}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -57,6 +57,16 @@ pub enum StorageError {
         /// What the verification found.
         detail: String,
     },
+    /// The disk (or disk quota) is full. Split out from [`Io`] so the
+    /// engine can fold it into its resource-exhaustion ladder: a commit
+    /// that hits ENOSPC rolls back and publishes nothing, and retrying
+    /// without freeing space is pointless.
+    ///
+    /// [`Io`]: StorageError::Io
+    NoSpace(String),
+    /// The durable handle refuses the operation until it is repaired
+    /// (e.g. a scrub found corruption, or a poisoned WAL was not healed).
+    Degraded(String),
     /// Underlying I/O failure (CSV import/export, persistence).
     Io(String),
 }
@@ -96,6 +106,8 @@ impl fmt::Display for StorageError {
             StorageError::Corrupt { path, detail } => {
                 write!(f, "corrupt catalog data in {path}: {detail}")
             }
+            StorageError::NoSpace(msg) => write!(f, "disk full: {msg}"),
+            StorageError::Degraded(msg) => write!(f, "storage degraded: {msg}"),
             StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
@@ -103,8 +115,14 @@ impl fmt::Display for StorageError {
 
 impl std::error::Error for StorageError {}
 
+/// Unix `errno` for "no space left on device".
+const ENOSPC: i32 = 28;
+
 impl From<std::io::Error> for StorageError {
     fn from(e: std::io::Error) -> Self {
+        if e.raw_os_error() == Some(ENOSPC) {
+            return StorageError::NoSpace(e.to_string());
+        }
         StorageError::Io(e.to_string())
     }
 }

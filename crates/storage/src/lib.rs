@@ -33,9 +33,11 @@ pub mod fault;
 pub mod index;
 pub mod persist;
 pub mod schema;
+pub mod scrub;
 pub mod spill;
 pub mod table;
 pub mod value;
+pub mod vfs;
 pub mod wal;
 
 pub use catalog::Catalog;
@@ -44,6 +46,7 @@ pub use error::StorageError;
 pub use index::HashIndex;
 pub use persist::{load_catalog, load_catalog_recover, save_catalog, RecoveryReport};
 pub use schema::{Column, Schema};
+pub use scrub::{scrub, ScrubReport};
 pub use spill::{SpillFile, SpillReader, SpillSession, SpillWriter};
 pub use table::{Row, Table};
 pub use value::{DataType, Value};

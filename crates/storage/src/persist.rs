@@ -50,7 +50,6 @@
 //! `persist::manifest` before the manifest is written, `persist::publish`
 //! before the epoch rename, `persist::commit` before the `CURRENT` swap.
 
-use std::fs;
 use std::io::{BufReader, Write};
 use std::path::{Path, PathBuf};
 
@@ -60,6 +59,7 @@ use crate::error::StorageError;
 use crate::fault;
 use crate::schema::Schema;
 use crate::value::DataType;
+use crate::vfs;
 
 /// File extension of schema files.
 pub const SCHEMA_EXT: &str = "schema";
@@ -73,7 +73,7 @@ pub const MANIFEST_FILE: &str = "MANIFEST";
 /// that epoch (see [`crate::wal`]); replay skips commits at or below it.
 pub const WALSEQ_FILE: &str = "walseq";
 /// First line of a valid manifest.
-const MANIFEST_HEADER: &str = "conquer-manifest v1";
+pub(crate) const MANIFEST_HEADER: &str = "conquer-manifest v1";
 
 pub(crate) fn type_name(t: DataType) -> &'static str {
     match t {
@@ -159,15 +159,15 @@ pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<(), StorageError> {
     // Writes and fsyncs every table file: only blocking-tolerant locks
     // (the engine's writer lock during a checkpoint) may be held here.
     let _io = conquer_sync::blocking_region("persist::save_catalog");
-    fs::create_dir_all(dir)?;
+    vfs::create_dir_all(dir)?;
     let wal_seq = crate::wal::durable_seq(dir)?;
     let epoch_num = next_epoch_number(dir);
     let epoch_name = format!("v{epoch_num:06}");
     let tmp = dir.join(format!(".tmp-{epoch_name}-{}", std::process::id()));
     // A same-named leftover can only come from a crashed save by this
     // very pid/epoch; replace it.
-    let _ = fs::remove_dir_all(&tmp);
-    fs::create_dir_all(&tmp)?;
+    let _ = vfs::remove_dir_all(&tmp);
+    vfs::create_dir_all(&tmp)?;
 
     // 1. Write every table file (+ fsync each) into the temp directory.
     let mut manifest = String::from(MANIFEST_HEADER);
@@ -199,36 +199,54 @@ pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<(), StorageError> {
     }
 
     // 2. Write the manifest, fsync it and the temp directory itself.
+    //    Nothing is published yet, so a directory-fsync failure here
+    //    fails the save loudly — publishing entries that might not be
+    //    durable would tear the epoch's all-or-nothing guarantee.
     fault::trigger("persist::manifest")?;
     write_file_sync(&tmp.join(MANIFEST_FILE), manifest.as_bytes())?;
-    sync_dir(&tmp);
+    vfs::sync_dir(&tmp)?;
 
     // 3. Publish: atomically rename the temp directory to its epoch name.
     //    A same-named orphan can only be an uncommitted epoch from a
     //    crashed save (CURRENT still points elsewhere) — remove it.
+    //
+    //    The directory fsync here is a HARD failure: step 5 deletes the
+    //    superseded epoch, so continuing past a failed sync would destroy
+    //    the fallback while the new epoch's rename is not yet durable —
+    //    a crash could then leave *no* loadable epoch. Aborting instead
+    //    leaves the old epoch committed and the full log intact.
     fault::trigger("persist::publish")?;
     let epoch_dir = dir.join(&epoch_name);
-    if epoch_dir.exists() {
-        fs::remove_dir_all(&epoch_dir)?;
+    if vfs::exists(&epoch_dir) {
+        vfs::remove_dir_all(&epoch_dir)?;
     }
-    fs::rename(&tmp, &epoch_dir)?;
-    sync_dir(dir);
+    vfs::rename(&tmp, &epoch_dir)?;
+    vfs::sync_dir(dir)?;
 
-    // 4. Commit: atomically swap the CURRENT pointer.
+    // 4. Commit: atomically swap the CURRENT pointer. The directory fsync
+    //    is hard for the same reason as step 3: gc must never run while
+    //    the swap's durability is in doubt.
     fault::trigger("persist::commit")?;
     let current_tmp = dir.join(format!(".{CURRENT_FILE}.tmp-{}", std::process::id()));
     write_file_sync(&current_tmp, epoch_name.as_bytes())?;
-    fs::rename(&current_tmp, dir.join(CURRENT_FILE))?;
-    sync_dir(dir);
+    vfs::rename(&current_tmp, &dir.join(CURRENT_FILE))?;
+    vfs::sync_dir(dir)?;
 
     // 5. Garbage-collect superseded epochs and stale temp directories,
     //    and truncate the WAL — every sequence ≤ wal_seq is now folded
     //    into the committed epoch. Both are best-effort: a failure here
     //    cannot corrupt the committed state (stale WAL frames are skipped
-    //    by sequence-gated replay, stale temp files by naming).
+    //    by sequence-gated replay, stale temp files by naming), but it is
+    //    counted and noted, never silently dropped.
     gc(dir, &epoch_name);
-    if dir.join(crate::wal::WAL_FILE).exists() {
-        let _ = crate::wal::truncate_wal(dir, wal_seq);
+    sync_dir_noted(dir, "after epoch garbage collection");
+    if vfs::exists(&dir.join(crate::wal::WAL_FILE)) {
+        if let Err(e) = crate::wal::truncate_wal(dir, wal_seq) {
+            vfs::note_io_error(format!(
+                "post-checkpoint WAL truncation in {} failed: {e}",
+                dir.display()
+            ));
+        }
     }
     Ok(())
 }
@@ -236,7 +254,7 @@ pub fn save_catalog(catalog: &Catalog, dir: &Path) -> Result<(), StorageError> {
 /// Write `bytes` to `path` and fsync the file. Writes go through a
 /// [`fault::FaultWriter`] so tests can inject partial writes.
 fn write_file_sync(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
-    let file = fs::File::create(path)?;
+    let file = vfs::File::create(path)?;
     let mut w = fault::FaultWriter::new(file, "persist::io_write");
     w.write_all(bytes)?;
     w.flush()?;
@@ -244,11 +262,15 @@ fn write_file_sync(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
     Ok(())
 }
 
-/// fsync a directory so renames/creates inside it are durable. Best-effort
-/// (directory fsync is not supported everywhere).
-fn sync_dir(dir: &Path) {
-    if let Ok(d) = fs::File::open(dir) {
-        let _ = d.sync_all();
+/// fsync a directory whose contents are already safe either way (the
+/// commit collapses to old-or-new regardless): failures are counted into
+/// the IO health counters and noted, never silently dropped.
+fn sync_dir_noted(dir: &Path, when: &str) {
+    if let Err(e) = vfs::sync_dir(dir) {
+        vfs::note_io_error(format!(
+            "directory fsync {when} in {} failed: {e}",
+            dir.display()
+        ));
     }
 }
 
@@ -271,7 +293,7 @@ fn parse_epoch(name: &str) -> Option<u64> {
 }
 
 pub(crate) fn read_current(dir: &Path) -> Option<String> {
-    let text = fs::read_to_string(dir.join(CURRENT_FILE)).ok()?;
+    let text = vfs::read_to_string(&dir.join(CURRENT_FILE)).ok()?;
     let name = text.trim();
     (!name.is_empty()).then(|| name.to_string())
 }
@@ -288,22 +310,19 @@ pub(crate) fn current_walseq(dir: &Path) -> u64 {
 /// The `walseq` stamped into one epoch directory (0 for pre-WAL epochs,
 /// which by definition have no folded-in WAL commits).
 fn epoch_walseq(epoch_dir: &Path) -> u64 {
-    fs::read_to_string(epoch_dir.join(WALSEQ_FILE))
+    vfs::read_to_string(&epoch_dir.join(WALSEQ_FILE))
         .ok()
         .and_then(|s| s.trim().parse().ok())
         .unwrap_or(0)
 }
 
 /// Names of `v*` epoch directories directly under `dir`.
-fn list_epoch_dirs(dir: &Path) -> Vec<String> {
+pub(crate) fn list_epoch_dirs(dir: &Path) -> Vec<String> {
     let mut out = Vec::new();
-    if let Ok(entries) = fs::read_dir(dir) {
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
-                if path.is_dir() && parse_epoch(name).is_some() {
-                    out.push(name.to_string());
-                }
+    if let Ok(entries) = vfs::dir_entries(dir) {
+        for entry in entries {
+            if entry.is_dir && parse_epoch(&entry.name).is_some() {
+                out.push(entry.name);
             }
         }
     }
@@ -312,15 +331,12 @@ fn list_epoch_dirs(dir: &Path) -> Vec<String> {
 }
 
 /// Names of `.tmp-*` in-flight-save directories directly under `dir`.
-fn list_tmp_dirs(dir: &Path) -> Vec<String> {
+pub(crate) fn list_tmp_dirs(dir: &Path) -> Vec<String> {
     let mut out = Vec::new();
-    if let Ok(entries) = fs::read_dir(dir) {
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
-                if path.is_dir() && name.starts_with(".tmp-") {
-                    out.push(name.to_string());
-                }
+    if let Ok(entries) = vfs::dir_entries(dir) {
+        for entry in entries {
+            if entry.is_dir && entry.name.starts_with(".tmp-") {
+                out.push(entry.name);
             }
         }
     }
@@ -333,14 +349,14 @@ fn list_tmp_dirs(dir: &Path) -> Vec<String> {
 fn gc(dir: &Path, keep: &str) {
     for name in list_epoch_dirs(dir) {
         if name != keep {
-            let _ = fs::remove_dir_all(dir.join(name));
+            let _ = vfs::remove_dir_all(&dir.join(name));
         }
     }
     for name in list_tmp_dirs(dir) {
-        let _ = fs::remove_dir_all(dir.join(name));
+        let _ = vfs::remove_dir_all(&dir.join(name));
     }
     for name in crate::wal::list_wal_tmp_files(dir) {
-        let _ = fs::remove_file(dir.join(name));
+        let _ = vfs::remove_file(&dir.join(name));
     }
 }
 
@@ -393,7 +409,7 @@ pub fn load_catalog_recover(dir: &Path) -> Result<(Catalog, RecoveryReport), Sto
     // between staging the fresh log and renaming it into place; the live
     // log is still authoritative, the staged one is garbage.
     for tmp in crate::wal::list_wal_tmp_files(dir) {
-        match fs::remove_file(dir.join(&tmp)) {
+        match vfs::remove_file(&dir.join(&tmp)) {
             Ok(()) => report.issues.push(format!(
                 "stale WAL temp file from an interrupted checkpoint: {tmp}; removed"
             )),
@@ -406,7 +422,7 @@ pub fn load_catalog_recover(dir: &Path) -> Result<(Catalog, RecoveryReport), Sto
     // Spill sessions are scratch state for in-flight queries; one found at
     // load time belongs to a process that died mid-query. Remove it.
     for spill in crate::spill::list_spill_dirs(dir) {
-        match fs::remove_dir_all(dir.join(&spill)) {
+        match vfs::remove_dir_all(&dir.join(&spill)) {
             Ok(()) => report.issues.push(format!(
                 "orphaned spill directory from an interrupted query: {spill}; removed"
             )),
@@ -505,7 +521,7 @@ fn load_epoch(epoch_dir: &Path) -> Result<Catalog, StorageError> {
         path: path.display().to_string(),
         detail,
     };
-    let manifest_text = fs::read_to_string(&manifest_path)
+    let manifest_text = vfs::read_to_string(&manifest_path)
         .map_err(|e| corrupt(&manifest_path, format!("cannot read manifest: {e}")))?;
     let mut lines = manifest_text.lines();
     if lines.next() != Some(MANIFEST_HEADER) {
@@ -540,7 +556,7 @@ fn load_epoch(epoch_dir: &Path) -> Result<Catalog, StorageError> {
             .parse()
             .map_err(|_| corrupt(&manifest_path, format!("bad size field {size:?}")))?;
         let file_path = epoch_dir.join(name);
-        let bytes = fs::read(&file_path).map_err(|e| {
+        let bytes = vfs::read(&file_path).map_err(|e| {
             corrupt(
                 &file_path,
                 format!("listed in manifest but unreadable: {e}"),
@@ -620,10 +636,9 @@ pub(crate) fn parse_schema_text(text: &str, path: &Path) -> Result<Schema, Stora
 fn load_legacy(dir: &Path) -> Result<Catalog, StorageError> {
     let mut catalog = Catalog::new();
     let mut names: Vec<String> = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.extension().and_then(|e| e.to_str()) == Some(SCHEMA_EXT) {
-            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+    for entry in vfs::dir_entries(dir)? {
+        if let Some(stem) = entry.name.strip_suffix(&format!(".{SCHEMA_EXT}")) {
+            if !entry.is_dir {
                 names.push(stem.to_string());
             }
         }
@@ -631,11 +646,11 @@ fn load_legacy(dir: &Path) -> Result<Catalog, StorageError> {
     names.sort();
     for name in names {
         let schema_path = dir.join(format!("{name}.{SCHEMA_EXT}"));
-        let schema_text = fs::read_to_string(&schema_path)?;
+        let schema_text = vfs::read_to_string(&schema_path)?;
         let schema = parse_schema_text(&schema_text, &schema_path)?;
         let data_path = dir.join(format!("{name}.{DATA_EXT}"));
-        let table = if data_path.exists() {
-            let reader = BufReader::new(fs::File::open(data_path)?);
+        let table = if vfs::exists(&data_path) {
+            let reader = BufReader::new(vfs::File::open(&data_path)?);
             csv::read_table(&name, schema, reader)?
         } else {
             crate::table::Table::new(&name, schema)
@@ -660,6 +675,7 @@ mod tests {
     use super::*;
     use crate::table::Table;
     use crate::value::Value;
+    use std::fs;
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
         let dir =

@@ -40,7 +40,6 @@
 //! directory is deleted (a failed remove leaves an orphan for recovery to
 //! collect, exactly like a kill would).
 
-use std::fs;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +49,7 @@ use crate::fault;
 use crate::persist::fnv1a64;
 use crate::table::Row;
 use crate::value::Value;
+use crate::vfs;
 
 /// Prefix of per-query spill directories. Anything matching
 /// `<base>/.spill-*` is a spill session — live while its query runs, an
@@ -218,10 +218,10 @@ impl SpillSession {
     /// Create a fresh spill directory under `base` (created if missing).
     pub fn create_in(base: &Path) -> Result<SpillSession, StorageError> {
         fault::trigger("spill::create")?;
-        fs::create_dir_all(base)?;
+        vfs::create_dir_all(base)?;
         let nonce = SESSION_NONCE.fetch_add(1, Ordering::Relaxed);
         let dir = base.join(format!("{SPILL_DIR_PREFIX}{}-{nonce}", std::process::id()));
-        fs::create_dir_all(&dir)?;
+        vfs::create_dir_all(&dir)?;
         Ok(SpillSession {
             dir,
             next_file: AtomicU64::new(0),
@@ -269,8 +269,8 @@ impl SpillSession {
     /// error.
     pub fn cleanup(&self) -> Result<(), StorageError> {
         fault::trigger("spill::remove")?;
-        if self.dir.exists() {
-            fs::remove_dir_all(&self.dir)?;
+        if vfs::exists(&self.dir) {
+            vfs::remove_dir_all(&self.dir)?;
         }
         Ok(())
     }
@@ -289,7 +289,7 @@ impl Drop for SpillSession {
 /// Append-only writer for one run file.
 #[derive(Debug)]
 pub struct SpillWriter {
-    w: fault::FaultWriter<BufWriter<fs::File>>,
+    w: fault::FaultWriter<BufWriter<vfs::File>>,
     path: PathBuf,
     rows: u64,
     bytes: u64,
@@ -297,7 +297,7 @@ pub struct SpillWriter {
 
 impl SpillWriter {
     fn create(path: PathBuf) -> Result<SpillWriter, StorageError> {
-        let file = fs::File::create(&path)?;
+        let file = vfs::File::create(&path)?;
         Ok(SpillWriter {
             w: fault::FaultWriter::new(BufWriter::new(file), "spill::write"),
             path,
@@ -360,7 +360,7 @@ impl SpillFile {
     /// Open a sequential reader over the run.
     pub fn reader(&self) -> Result<SpillReader, StorageError> {
         Ok(SpillReader {
-            r: BufReader::new(fs::File::open(&self.path)?),
+            r: BufReader::new(vfs::File::open(&self.path)?),
             path: self.path.clone(),
             remaining: self.rows,
         })
@@ -372,7 +372,7 @@ impl Drop for SpillFile {
         // An injected remove fault leaves the file behind, simulating a
         // crash; startup recovery collects it with the rest of the session.
         if fault::trigger("spill::remove").is_ok() {
-            let _ = fs::remove_file(&self.path);
+            let _ = vfs::remove_file(&self.path);
         }
     }
 }
@@ -380,7 +380,7 @@ impl Drop for SpillFile {
 /// Sequential, checksum-verifying reader over one run file.
 #[derive(Debug)]
 pub struct SpillReader {
-    r: BufReader<fs::File>,
+    r: BufReader<vfs::File>,
     path: PathBuf,
     remaining: u64,
 }
@@ -428,13 +428,10 @@ impl SpillReader {
 /// Names of orphaned `.spill-*` session directories directly under `dir`.
 pub fn list_spill_dirs(dir: &Path) -> Vec<String> {
     let mut out = Vec::new();
-    if let Ok(entries) = fs::read_dir(dir) {
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
-                if path.is_dir() && name.starts_with(SPILL_DIR_PREFIX) {
-                    out.push(name.to_string());
-                }
+    if let Ok(entries) = vfs::dir_entries(dir) {
+        for entry in entries {
+            if entry.is_dir && entry.name.starts_with(SPILL_DIR_PREFIX) {
+                out.push(entry.name);
             }
         }
     }
@@ -446,6 +443,7 @@ pub fn list_spill_dirs(dir: &Path) -> Vec<String> {
 mod tests {
     use super::*;
     use crate::date::Date;
+    use std::fs;
 
     fn tempbase(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("conquer_spill_{tag}_{}", std::process::id()));

@@ -62,7 +62,6 @@
 //! replacement log, `wal::truncate_commit` before the replacement is
 //! renamed into place.
 
-use std::fs;
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
@@ -72,6 +71,7 @@ use crate::fault;
 use crate::persist::fnv1a64;
 use crate::spill::{decode_value, encode_value, take, take_arr};
 use crate::table::Table;
+use crate::vfs;
 
 /// Name of the write-ahead log file inside a persistence directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -284,7 +284,7 @@ fn next_frame<'a>(
 /// errors (not corruption) surface as `Err`.
 pub(crate) fn read_wal(dir: &Path) -> Result<Option<WalContents>, StorageError> {
     let path = dir.join(WAL_FILE);
-    let buf = match fs::read(&path) {
+    let buf = match vfs::read(&path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e.into()),
@@ -424,16 +424,23 @@ pub(crate) fn truncate_wal(dir: &Path, base_seq: u64) -> Result<(), StorageError
     let mut buf = Vec::new();
     push_frame(&mut buf, &header_payload(base_seq));
     {
-        let file = fs::File::create(&tmp)?;
+        let file = vfs::File::create(&tmp)?;
         let mut w = fault::FaultWriter::new(file, "wal::io_write");
         w.write_all(&buf)?;
         w.flush()?;
         w.into_inner().sync_all()?;
     }
     fault::trigger("wal::truncate_commit")?;
-    fs::rename(&tmp, dir.join(WAL_FILE))?;
-    if let Ok(d) = fs::File::open(dir) {
-        let _ = d.sync_all();
+    vfs::rename(&tmp, &dir.join(WAL_FILE))?;
+    // The rename only becomes durable once the directory itself is
+    // fsynced. A failure here is tolerable (sequence-gated replay skips
+    // stale frames either way) but must not vanish: count it and leave a
+    // note for the recovery path.
+    if let Err(e) = vfs::sync_dir(dir) {
+        vfs::note_io_error(format!(
+            "directory fsync after WAL truncation in {} failed: {e}",
+            dir.display()
+        ));
     }
     Ok(())
 }
@@ -442,13 +449,10 @@ pub(crate) fn truncate_wal(dir: &Path, base_seq: u64) -> Result<(), StorageError
 /// truncation interrupted between staging and rename).
 pub(crate) fn list_wal_tmp_files(dir: &Path) -> Vec<String> {
     let mut out = Vec::new();
-    if let Ok(entries) = fs::read_dir(dir) {
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
-                if path.is_file() && name.starts_with(WAL_TMP_PREFIX) {
-                    out.push(name.to_string());
-                }
+    if let Ok(entries) = vfs::dir_entries(dir) {
+        for entry in entries {
+            if !entry.is_dir && entry.name.starts_with(WAL_TMP_PREFIX) {
+                out.push(entry.name);
             }
         }
     }
@@ -473,13 +477,16 @@ pub(crate) fn list_wal_tmp_files(dir: &Path) -> Vec<String> {
 #[derive(Debug)]
 pub struct Wal {
     dir: PathBuf,
-    file: fs::File,
+    file: vfs::File,
     /// Sequence the next commit will be stamped with.
     next_seq: u64,
     /// Bytes of committed log (= current file length).
     len: u64,
-    /// Set when a failed append could not be rolled back; all further
-    /// commits are refused until the log is reopened.
+    /// Set when this descriptor can no longer be trusted: a commit fsync
+    /// failed (fsyncgate: after a failed fsync the kernel may have
+    /// dropped the dirty flags, so retrying fsync can report success
+    /// without durability), or a failed append could not be rolled back.
+    /// The next commit heals by reopen + re-truncate, never fsync retry.
     poisoned: bool,
 }
 
@@ -492,16 +499,11 @@ impl Wal {
     pub fn open(dir: &Path) -> Result<Wal, StorageError> {
         let _io = conquer_sync::blocking_region("wal::open");
         fault::trigger("wal::open")?;
-        fs::create_dir_all(dir)?;
+        vfs::create_dir_all(dir)?;
         let floor = durable_seq(dir)?;
         let path = dir.join(WAL_FILE);
         let contents = read_wal(dir)?;
-        let mut file = fs::OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
+        let mut file = vfs::File::open_rw(&path)?;
         let (last_seq, committed_len) = match &contents {
             Some(c) if c.committed_len > 0 => (c.last_seq.max(floor), c.committed_len),
             // Missing, empty, or header-corrupt log: start a fresh one
@@ -512,6 +514,10 @@ impl Wal {
                 file.set_len(0)?;
                 file.write_all(&buf)?;
                 file.sync_all()?;
+                // The log's own directory entry must be durable too, or a
+                // crash could lose the whole (fsynced) file and with it
+                // every commit it ever acknowledges.
+                vfs::sync_dir(dir)?;
                 (floor, buf.len() as u64)
             }
         };
@@ -548,9 +554,10 @@ impl Wal {
     /// the log is unchanged (the partial append is truncated away).
     pub fn commit(&mut self, ops: &[WalOp<'_>]) -> Result<u64, StorageError> {
         if self.poisoned {
-            return Err(StorageError::Io(
-                "write-ahead log poisoned by an unrollbackable failed append; reopen it".into(),
-            ));
+            // fsyncgate rule: a poisoned descriptor is never fsynced
+            // again. Heal by reopening and re-truncating to the last
+            // acknowledged boundary, then proceed on the fresh handle.
+            self.heal()?;
         }
         let seq = self.next_seq;
         let mut buf = Vec::new();
@@ -564,7 +571,7 @@ impl Wal {
         fault::trigger("wal::commit")?;
         push_frame(&mut buf, &commit_payload(seq));
 
-        let res = (|| -> Result<(), StorageError> {
+        let written = (|| -> Result<(), StorageError> {
             // The append + fsync is the engine's canonical
             // hold-a-lock-while-blocking site; the writer mutex rank is
             // marked blocking-tolerant for exactly this call.
@@ -572,28 +579,83 @@ impl Wal {
             let mut w = fault::FaultWriter::new(&mut self.file, "wal::io_write");
             w.write_all(&buf)?;
             w.flush()?;
+            Ok(())
+        })();
+        if let Err(e) = written {
+            // Err must mean "as if never called": drop the partial append.
+            self.rollback();
+            return Err(e);
+        }
+
+        let synced = (|| -> Result<(), StorageError> {
+            let _io = conquer_sync::blocking_region("wal::commit");
             fault::trigger("wal::sync")?;
             self.file.sync_data()?;
             Ok(())
         })();
-        match res {
+        match synced {
             Ok(()) => {
                 self.len += buf.len() as u64;
                 self.next_seq = seq + 1;
                 Ok(seq)
             }
             Err(e) => {
-                // Err must mean "as if never called": drop the partial
-                // append. If even that fails, poison the handle so a
-                // half-frame can never be extended into a fake commit.
-                let rolled_back =
-                    self.file.set_len(self.len).is_ok() && self.file.seek(SeekFrom::End(0)).is_ok();
-                if !rolled_back {
-                    self.poisoned = true;
-                }
+                // A failed fsync leaves the kernel's dirty-page state
+                // undefined, so this descriptor can never prove
+                // durability again: poison it (the next commit heals by
+                // reopen + re-truncate + replay, never fsync retry) and
+                // roll the append back best-effort so readers of the file
+                // see the old boundary immediately. The commit is
+                // reported failed; nothing is acknowledged.
+                vfs::note_fsync_failure(format!(
+                    "WAL commit fsync in {} failed: {e}",
+                    self.dir.display()
+                ));
+                self.rollback();
+                self.poisoned = true;
                 Err(e)
             }
         }
+    }
+
+    /// Whether the descriptor is poisoned (next commit will heal first).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Truncate away an un-acknowledged append; poison on failure so a
+    /// half-frame can never be extended into a fake commit.
+    fn rollback(&mut self) {
+        let rolled_back =
+            self.file.set_len(self.len).is_ok() && self.file.seek(SeekFrom::End(0)).is_ok();
+        if !rolled_back {
+            self.poisoned = true;
+        }
+    }
+
+    /// Recover a poisoned handle: open a fresh descriptor, re-scan, and
+    /// truncate any frames past the last *acknowledged* commit — bytes a
+    /// failed fsync covered may have reached the disk after all, and a
+    /// commit that was reported failed must never surface as durable.
+    fn heal(&mut self) -> Result<(), StorageError> {
+        let acked_len = self.len;
+        let acked_next = self.next_seq;
+        *self = Wal::open(&self.dir)?;
+        if self.len > acked_len {
+            let truncated = (|| -> Result<(), StorageError> {
+                self.file.set_len(acked_len)?;
+                self.file.seek(SeekFrom::End(0))?;
+                self.file.sync_all()?;
+                Ok(())
+            })();
+            if let Err(e) = truncated {
+                self.poisoned = true;
+                return Err(e);
+            }
+            self.len = acked_len;
+            self.next_seq = acked_next;
+        }
+        Ok(())
     }
 
     /// Re-open the handle after something else replaced the file on disk
@@ -610,6 +672,7 @@ mod tests {
     use super::*;
     use crate::schema::Schema;
     use crate::value::{DataType, Value};
+    use std::fs;
 
     fn tempdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("conquer_wal_{tag}_{}", std::process::id()));

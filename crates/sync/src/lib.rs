@@ -131,6 +131,28 @@ pub mod rank {
         name: "metrics_busy",
         blocking_ok: false,
     };
+    /// VFS mount table (`storage::vfs`); maps path prefixes to simulated
+    /// filesystems under `--features fault`. Held only for the routing
+    /// lookup, never across IO.
+    pub static VFS_MOUNTS: Rank = Rank {
+        order: 80,
+        name: "vfs_mounts",
+        blocking_ok: false,
+    };
+    /// Simulated-filesystem state (`storage::vfs::SimFs`); taken after
+    /// [`VFS_MOUNTS`] resolves a route, held for the in-memory operation.
+    pub static VFS_SIM: Rank = Rank {
+        order: 81,
+        name: "vfs_sim",
+        blocking_ok: false,
+    };
+    /// Ring buffer of recent IO-error notes (`storage::vfs`); leaf-like,
+    /// taken after any simulated IO completes.
+    pub static VFS_ISSUES: Rank = Rank {
+        order: 85,
+        name: "vfs_issues",
+        blocking_ok: false,
+    };
     /// Failpoint registry (`storage::fault`); leaf lock, never holds others.
     pub static FAULT_REGISTRY: Rank = Rank {
         order: 90,

@@ -1,6 +1,6 @@
 //! Workspace hygiene lints, run as `cargo run -p xtask -- tidy`.
 //!
-//! Four checks, all textual and std-only (no external dependencies), each
+//! Five checks, all textual and std-only (no external dependencies), each
 //! implemented as a pure function over a workspace root so the self-tests
 //! can run them against seeded fixture trees:
 //!
@@ -23,6 +23,11 @@
 //!    `#[cfg(test)]` modules. `crates/bench` (measurement scaffolding that
 //!    panics on broken setups by design) and `src/bin` entrypoints are
 //!    exempt.
+//! 5. **std-fs ban** — no raw `std::fs` IO in library source outside the
+//!    `vfs` module and `#[cfg(test)]` modules. Storage IO must flow
+//!    through `conquer_storage::vfs` so fault injection and crash-state
+//!    enumeration see every byte. `crates/sync`, `crates/bench`, and
+//!    `src/bin` entrypoints are exempt (they never touch durable state).
 //!
 //! `crates/xtask` itself and `vendor/` are out of scope for every check.
 
@@ -60,11 +65,12 @@ fn workspace_root() -> PathBuf {
 type Check = fn(&Path) -> Vec<String>;
 
 fn run_tidy(root: &Path) -> usize {
-    let checks: [(&str, Check); 4] = [
+    let checks: [(&str, Check); 5] = [
         ("std-sync lock ban", check_std_sync),
         ("failpoint cross-check", check_failpoints),
         ("env-var docs", check_env_docs),
         ("unwrap/expect ban", check_unwrap_ban),
+        ("std-fs IO ban", check_std_fs),
     ];
     let mut total = 0;
     for (name, check) in checks {
@@ -435,6 +441,63 @@ fn scan_unwraps(text: &str, file: &str, violations: &mut Vec<String>) {
     }
 }
 
+// --------------------------------------------------- check 5: std::fs ban
+
+/// Raw filesystem IO is banned in library source: it must route through
+/// `conquer_storage::vfs`, whose `RealFs` path is a zero-cost passthrough
+/// and whose `SimFs` path gives tests fault injection and crash-state
+/// enumeration. An IO call that bypasses the vfs is invisible to both.
+/// The vfs module itself, test modules (below the first `#[cfg(test)]`),
+/// `crates/sync`, `crates/bench`, and `src/bin/` entrypoints are exempt.
+fn check_std_fs(root: &Path) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut scopes: Vec<PathBuf> = crate_dirs(root, &["sync", "bench", "xtask"])
+        .iter()
+        .map(|d| d.join("src"))
+        .collect();
+    scopes.push(root.join("src"));
+    for src in &scopes {
+        for file in rs_files(src) {
+            let in_bin = file
+                .strip_prefix(src)
+                .is_ok_and(|rel| rel.starts_with("bin"));
+            let is_vfs = file.file_name().is_some_and(|n| n == "vfs.rs");
+            if in_bin || is_vfs {
+                continue;
+            }
+            scan_std_fs(&read(&file), &display(root, &file), &mut violations);
+        }
+    }
+    violations
+}
+
+fn scan_std_fs(text: &str, file: &str, violations: &mut Vec<String>) {
+    const NEEDLE: &str = "std::fs";
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            return; // test module convention: everything below is tests
+        }
+        let code = match line.find("//") {
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+        if let Some(pos) = code.find(NEEDLE) {
+            // `std::fs` must end there as a path segment (`std::fs::read`,
+            // `use std::fs;`) — an identifier continuing is a different
+            // name entirely.
+            let after = code[pos + NEEDLE.len()..].chars().next();
+            if after.is_none_or(|ch| !is_ident_char(ch)) {
+                violations.push(format!(
+                    "{file}:{}: raw `std::fs` IO in library code — route it through \
+                     `conquer_storage::vfs` so fault injection and crash-state \
+                     enumeration see it",
+                    idx + 1,
+                ));
+            }
+        }
+    }
+}
+
 // ------------------------------------------------------------------ tests
 
 #[cfg(test)]
@@ -575,6 +638,40 @@ mod tests {
         assert_eq!(check_unwrap_ban(&fx.root), Vec::<String>::new());
     }
 
+    #[test]
+    fn std_fs_outside_vfs_and_tests_is_flagged() {
+        let fx = Fixture::new("fs_bad");
+        fx.put(
+            "crates/storage/src/wal.rs",
+            "fn f() { std::fs::read(\"x\").ok(); }\n",
+        )
+        .put("crates/engine/src/lib.rs", "use std::fs;\nfn f() {}\n");
+        let v = check_std_fs(&fx.root);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("lib.rs:1"), "{v:?}");
+        assert!(v[1].contains("wal.rs:1"), "{v:?}");
+    }
+
+    #[test]
+    fn std_fs_in_vfs_tests_bins_bench_and_comments_is_allowed() {
+        let fx = Fixture::new("fs_ok");
+        fx.put(
+            "crates/storage/src/vfs.rs",
+            "pub fn f() { std::fs::read(\"x\").ok(); }\n",
+        )
+        .put(
+            "crates/storage/src/persist.rs",
+            "// comment: std::fs is banned here\nfn f() {}\n#[cfg(test)]\nmod tests {\n    use std::fs;\n}\n",
+        )
+        .put(
+            "crates/engine/src/bin/tool.rs",
+            "fn main() { std::fs::read(\"x\").ok(); }\n",
+        )
+        .put("crates/bench/src/lib.rs", "use std::fs;\n")
+        .put("crates/sync/src/lib.rs", "use std::fs;\n");
+        assert_eq!(check_std_fs(&fx.root), Vec::<String>::new());
+    }
+
     /// The real workspace must pass every check — this is the tidy gate's
     /// own regression test.
     #[test]
@@ -585,5 +682,6 @@ mod tests {
         assert_eq!(check_failpoints(&root), Vec::<String>::new());
         assert_eq!(check_env_docs(&root), Vec::<String>::new());
         assert_eq!(check_unwrap_ban(&root), Vec::<String>::new());
+        assert_eq!(check_std_fs(&root), Vec::<String>::new());
     }
 }

@@ -14,6 +14,7 @@
 //! \explain <select …>                            show the physical plan
 //! \gen <sf> <if>                                 load a dirtied TPC-H-lite database
 //! \save <dir> / \load <dir>                      persist / restore the catalog (crash-safe; \load reports recovery issues)
+//! \scrub <dir>                                   checksum-sweep a persisted catalog without loading it
 //! \limit [mem <bytes> | disk <bytes> | time <ms> | threads <n> | off]  per-query resource limits (no args: show)
 //! \topk <k> <select …>                           k most probable clean answers
 //! \why <v1,v2,…> <select …>                      explain one answer's probability
@@ -31,9 +32,10 @@
 //! `conquer-server` instead of the embedded engine: SQL statements travel
 //! over the wire protocol, `\limit` adjusts the *server* session's
 //! budgets, `\stats` shows the server's shared cache and admission
-//! counters, and `\checkpoint` folds a durable server's write-ahead log
-//! into a fresh epoch directory. Engine-side commands (`\clean`, `\gen`,
-//! …) are local-only.
+//! counters, `\checkpoint` folds a durable server's write-ahead log
+//! into a fresh epoch directory, and `\scrub` checksum-sweeps the
+//! server's persistence directory. Engine-side commands (`\clean`,
+//! `\gen`, …) are local-only.
 //!
 //! Example session:
 //!
@@ -131,7 +133,7 @@ impl Shell {
             "help" | "h" => println!(
                 "SQL statements run directly; \\dirty <t> [id [prob]], \\clean <sql>, \
                  \\expected <sql>, \\rewrite <sql>, \\check <sql>, \\explain <sql>, \
-                 \\gen <sf> <if>, \\save <dir>, \\load <dir>, \
+                 \\gen <sf> <if>, \\save <dir>, \\load <dir>, \\scrub <dir>, \
                  \\limit [mem <bytes> | disk <bytes> | time <ms> | threads <n> | off], \
                  \\topk <k> <sql>, \\why <tuple> <sql>, \\stats, \\tables, \\validate, \\quit"
             ),
@@ -310,6 +312,27 @@ impl Shell {
                     .map_err(|e| e.to_string())?;
                 println!("saved {} tables to {arg}.", self.db.catalog().len());
             }
+            "scrub" => {
+                if arg.is_empty() {
+                    return Err("usage: \\scrub <dir>".into());
+                }
+                let report =
+                    conquer_storage::scrub(std::path::Path::new(arg)).map_err(|e| e.to_string())?;
+                for issue in &report.issues {
+                    println!("scrub: {issue}");
+                }
+                println!(
+                    "{}: {} clean, {} corrupt, {} quarantined.",
+                    if report.is_clean() {
+                        "scrub clean"
+                    } else {
+                        "SCRUB FOUND CORRUPTION"
+                    },
+                    report.clean,
+                    report.corrupt,
+                    report.quarantined
+                );
+            }
             "load" => {
                 if arg.is_empty() {
                     return Err("usage: \\load <dir>".into());
@@ -449,7 +472,8 @@ impl RemoteShell {
                 "connected mode: SQL statements run on the server; \
                  \\limit [mem <bytes> | disk <bytes> | time <ms> | threads <n> | off], \
                  \\stats (server cache/admission counters), \\checkpoint (fold the \
-                 server's WAL), \\epoch, \\ping, \\quit. \
+                 server's WAL), \\scrub (checksum-sweep the server's storage), \
+                 \\epoch, \\ping, \\quit. \
                  Engine commands (\\clean, \\gen, …) need a local shell."
             ),
             "limit" => match self.client.request(&format!("LIMIT {arg}")) {
@@ -464,6 +488,16 @@ impl RemoteShell {
             }
             "checkpoint" => match self.client.request("CHECKPOINT") {
                 Ok(conquer_server::Response::Ok(summary)) => println!("{summary}."),
+                Ok(other) => return Err(format!("unexpected response: {other:?}")),
+                Err(e) => return Err(e.to_string()),
+            },
+            "scrub" => match self.client.request("SCRUB") {
+                Ok(conquer_server::Response::Ok(summary)) => println!("{summary}."),
+                Ok(conquer_server::Response::Stats(stats)) => {
+                    for (key, value) in stats {
+                        println!("{key:<20} {value}");
+                    }
+                }
                 Ok(other) => return Err(format!("unexpected response: {other:?}")),
                 Err(e) => return Err(e.to_string()),
             },
