@@ -6,10 +6,13 @@
 //! column is set from the cross-reference mapping of its original key,
 //! turning the external matcher's output into the identifier-column form
 //! the rest of the system consumes.
+//!
+//! The catalog-level implementation lives in
+//! [`conquer_storage::crossref`] so the query engine can execute
+//! `APPLY CROSSREF` statements without depending on this crate; this
+//! module re-wraps it in the core error vocabulary.
 
-use std::collections::HashMap;
-
-use conquer_storage::{Catalog, Value};
+use conquer_storage::{Catalog, StorageError};
 
 use crate::error::CoreError;
 use crate::Result;
@@ -33,55 +36,20 @@ pub fn apply_crossref(
     xref_key_column: &str,
     xref_id_column: &str,
 ) -> Result<usize> {
-    // Build the mapping first (immutable borrow).
-    let mapping: HashMap<Value, Value> = {
-        let xref = catalog.table(xref_table)?;
-        let kcol = xref.column_index(xref_key_column)?;
-        let icol = xref.column_index(xref_id_column)?;
-        let mut map = HashMap::with_capacity(xref.len());
-        for (i, row) in xref.rows().iter().enumerate() {
-            let key = row[kcol].clone();
-            if key.is_null() {
-                return Err(CoreError::InvalidDirty(format!(
-                    "cross-reference table {xref_table:?} has a NULL key in row {i}"
-                )));
-            }
-            let id = row[icol].clone();
-            if let Some(prev) = map.insert(key.clone(), id.clone()) {
-                if prev != id {
-                    return Err(CoreError::InvalidDirty(format!(
-                        "cross-reference maps key {key} to both {prev} and {id}"
-                    )));
-                }
-            }
-        }
-        map
-    };
-
-    // Resolve the ids for every row before mutating.
-    let ids: Vec<Value> = {
-        let t = catalog.table(table)?;
-        let kcol = t.column_index(key_column)?;
-        t.rows()
-            .iter()
-            .enumerate()
-            .map(|(i, row)| {
-                mapping.get(&row[kcol]).cloned().ok_or_else(|| {
-                    CoreError::InvalidDirty(format!(
-                        "key {} of {table:?} (row {i}) is not in the cross-reference table",
-                        row[kcol]
-                    ))
-                })
-            })
-            .collect::<Result<_>>()?
-    };
-    let distinct: std::collections::HashSet<&Value> = ids.iter().collect();
-    let count = distinct.len();
-
-    catalog
-        .table_mut(table)?
-        .update_column(id_column, |i, _| ids[i].clone())?;
-    Ok(count)
+    conquer_storage::apply_crossref(
+        catalog,
+        table,
+        key_column,
+        id_column,
+        xref_table,
+        xref_key_column,
+        xref_id_column,
+    )
+    .map_err(|e| match e {
+        // Data-contract violations keep their Definition-2 flavored kind.
+        StorageError::InvalidData(msg) => CoreError::InvalidDirty(msg),
+        other => CoreError::from(other),
+    })
 }
 
 #[cfg(test)]

@@ -371,3 +371,126 @@ fn cache_sweep_never_serves_stale_answers_and_mutant_is_caught() {
         "unexpected failure: {failure}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Kernel 4: snapshot pin vs. view-delta publish vs. checkpoint
+// ---------------------------------------------------------------------------
+
+/// Within one `Database` (a pinned snapshot or the current version), the
+/// maintained view must equal a from-scratch recompute of its base table.
+/// The recompute is a plain in-test fold (no engine execution, so no
+/// worker-pool threads the explorer cannot schedule); the fixture uses
+/// dyadic probabilities so the comparison is exact equality.
+fn view_consistent(db: &Database, ctx: &str) -> Vec<(i64, f64)> {
+    let cell = |v: &Value| match v {
+        Value::Int(n) => *n as f64,
+        Value::Float(f) => *f,
+        other => panic!("{ctx}: unexpected {other:?}"),
+    };
+    let viewed: Vec<(i64, f64)> = db
+        .catalog()
+        .table("v")
+        .unwrap()
+        .rows()
+        .iter()
+        .map(|r| (cell(&r[0]) as i64, cell(&r[1])))
+        .collect();
+    let mut groups: std::collections::BTreeMap<i64, f64> = std::collections::BTreeMap::new();
+    for r in db.catalog().table("t").unwrap().rows() {
+        *groups.entry(cell(&r[1]) as i64).or_insert(0.0) += cell(&r[2]);
+    }
+    let recomputed: Vec<(i64, f64)> = groups.into_iter().collect();
+    assert_eq!(
+        viewed, recomputed,
+        "{ctx}: view diverged from its base table"
+    );
+    viewed
+}
+
+fn explore_view_publish(dir: &PathBuf) -> conquer_core::sync::sched::Report {
+    Explorer::new().max_preemptions(1).explore(|exec| {
+        let _ = std::fs::remove_dir_all(dir);
+        let (shared, _report) = SharedDatabase::open_durable(dir, SharedConfig::default()).unwrap();
+        let setup = shared.session();
+        setup
+            .execute("CREATE TABLE t (id TEXT, g INTEGER, prob DOUBLE)")
+            .unwrap();
+        setup
+            .execute("INSERT INTO t VALUES ('a', 1, 0.5), ('a', 2, 0.5), ('b', 1, 0.25)")
+            .unwrap();
+        setup
+            .execute(
+                "CREATE MATERIALIZED VIEW v AS \
+                 SELECT g, SUM(prob) AS p FROM t GROUP BY g",
+            )
+            .unwrap();
+        let e0 = shared.epoch();
+
+        // Writer: moves both 'a' tuples one group up — every view delta
+        // retracts from one accumulator and adds to another, inside the
+        // same publish.
+        let db = shared.clone();
+        exec.spawn("view-writer", move || {
+            db.session()
+                .execute("UPDATE t SET g = g + 1 WHERE id = 'a'")
+                .unwrap();
+        });
+
+        // Checkpointer: folds and truncates under the writer; it must
+        // neither tear the view nor perturb published versions.
+        let db = shared.clone();
+        exec.spawn("checkpointer", move || {
+            let _ = db.checkpoint().unwrap().expect("durable handle");
+        });
+
+        // Reader: pins a snapshot; the view inside it is consistent with
+        // the base table inside it, and stays byte-identical across the
+        // writer's delta publish.
+        let db = shared.clone();
+        exec.spawn("reader", move || {
+            let snap = db.snapshot();
+            let before = view_consistent(snap.db(), "pinned snapshot");
+            let _ = db.epoch(); // yield so the publish can land in between
+            let after = view_consistent(snap.db(), "pinned snapshot (re-read)");
+            assert_eq!(before, after, "pinned snapshot changed view contents");
+        });
+
+        let db = shared.clone();
+        exec.check(move || {
+            assert_eq!(db.epoch(), e0 + 1, "exactly one epoch bump");
+            let snap = db.snapshot();
+            let finals = view_consistent(snap.db(), "final state");
+            assert_eq!(
+                finals,
+                vec![(1, 0.25), (2, 0.5), (3, 0.5)],
+                "maintained groups wrong after publish"
+            );
+        });
+    })
+}
+
+#[test]
+fn view_delta_publish_is_atomic_and_skip_retract_mutant_is_caught() {
+    let _s = serialize();
+    let dir = std::env::temp_dir().join(format!("conquer_model_view_{}", std::process::id()));
+
+    let report = explore_view_publish(&dir);
+    report.assert_passed();
+    assert!(report.schedules > 1, "three racing threads must interleave");
+
+    // Seeded mutant: maintenance "forgets" to retract outgoing tuples
+    // from their old accumulator, so the stale contribution survives the
+    // publish. In every schedule the final view then disagrees with a
+    // recompute; the exploration must find (at least) one.
+    arm_mutant("view::skip-retract");
+    let report = explore_view_publish(&dir);
+    clear_mutants();
+    let failure = report
+        .failure
+        .expect("the skip-retract mutant must be caught");
+    assert!(
+        failure.contains("view diverged") || failure.contains("maintained groups"),
+        "unexpected failure: {failure}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

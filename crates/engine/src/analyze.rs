@@ -229,6 +229,19 @@ pub fn analyze_statement(catalog: &Catalog, stmt: &Statement) -> Vec<Diagnostic>
         Statement::Update(u) => check_target_table(catalog, &u.table),
         Statement::DropTable(name) => check_target_table(catalog, name),
         Statement::CreateTable(_) => Vec::new(),
+        // The view's defining query gets the full SELECT lint pass; the
+        // maintainability check itself happens at CREATE time.
+        Statement::CreateView(cv) => analyze_select(catalog, &cv.query),
+        Statement::DropView(name) | Statement::RefreshView(name) => {
+            check_target_table(catalog, name)
+        }
+        Statement::Recluster(rc) => check_target_table(catalog, &rc.table),
+        Statement::Reannotate(ra) => check_target_table(catalog, &ra.table),
+        Statement::ApplyCrossref(ax) => {
+            let mut ds = check_target_table(catalog, &ax.table);
+            ds.extend(check_target_table(catalog, &ax.xref_table));
+            ds
+        }
     }
 }
 

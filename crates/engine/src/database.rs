@@ -1,10 +1,12 @@
 //! The `Database` facade: catalog + end-to-end statement execution.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use conquer_sql::{
-    parse_statement, parse_statements, Delete, Expr, Insert, InsertSource, Literal,
-    SelectStatement, Statement, UnaryOp, Update,
+    parse_statement, parse_statements, CreateView, Delete, Expr, Insert, InsertSource, Literal,
+    Reannotate, Recluster, SelectStatement, Statement, UnaryOp, Update,
 };
-use conquer_storage::{Catalog, Row, Schema, Value};
+use conquer_storage::{Catalog, Row, Schema, Table, Value};
 
 use crate::binder::{bind_select, bind_table_expr};
 use crate::context::{ExecContext, ExecLimits};
@@ -13,6 +15,7 @@ use crate::exec::execute_plan;
 use crate::expr::{BoundExpr, Offsets};
 use crate::planner::{plan_select, Plan};
 use crate::result::QueryResult;
+use crate::view::{self, TableDelta, ViewDef, ViewStats, HIDDEN_PREFIX, VIEWS_META};
 use crate::Result;
 
 /// What a non-query statement did.
@@ -30,6 +33,19 @@ pub enum ExecOutcome {
     Updated(usize),
     /// A `SELECT` produced rows.
     Rows(QueryResult),
+    /// `CREATE MATERIALIZED VIEW` materialized this many groups.
+    CreatedView(usize),
+    /// `DROP MATERIALIZED VIEW` succeeded.
+    DroppedView,
+    /// `REFRESH MATERIALIZED VIEW` rebuilt this many groups.
+    RefreshedView(usize),
+    /// `RECLUSTER` moved this many tuples (affected clusters were
+    /// renormalized).
+    Reclustered(usize),
+    /// `REANNOTATE` overwrote this many probability annotations.
+    Reannotated(usize),
+    /// `APPLY CROSSREF` assigned this many distinct cluster identifiers.
+    CrossrefApplied(usize),
 }
 
 /// An in-memory SQL database: a [`Catalog`] plus the parse→bind→plan→execute
@@ -47,6 +63,10 @@ pub struct Database {
     catalog: Catalog,
     limits: ExecLimits,
     spill_dir: Option<std::path::PathBuf>,
+    /// Materialized views by name, rehydrated from [`VIEWS_META`] on
+    /// load. The catalog tables are the durable truth; this map is the
+    /// parsed cache of their definitions.
+    views: BTreeMap<String, ViewDef>,
 }
 
 impl Default for Database {
@@ -55,6 +75,7 @@ impl Default for Database {
             catalog: Catalog::default(),
             limits: ExecLimits::from_env(),
             spill_dir: None,
+            views: BTreeMap::new(),
         }
     }
 }
@@ -66,11 +87,46 @@ impl Database {
     }
 
     /// Wrap an existing catalog (e.g. one produced by the data generator).
+    /// Materialized-view definitions persisted in the catalog (the
+    /// `__conquer_views` registry) are rehydrated.
     pub fn from_catalog(catalog: Catalog) -> Self {
-        Database {
+        let mut db = Database {
             catalog,
             limits: ExecLimits::from_env(),
             spill_dir: None,
+            views: BTreeMap::new(),
+        };
+        db.rehydrate_views();
+        db
+    }
+
+    /// Re-parse the view registry into the in-memory definition map. An
+    /// entry whose stored SQL no longer analyzes is dropped from the map
+    /// (its contents table still serves stale reads; `DROP MATERIALIZED
+    /// VIEW` still removes it) — with the WAL writing registry and bases
+    /// atomically this indicates corruption, so debug builds assert.
+    fn rehydrate_views(&mut self) {
+        self.views.clear();
+        let Ok(meta) = self.catalog.table(VIEWS_META) else {
+            return;
+        };
+        let entries: Vec<(String, String)> = meta
+            .rows()
+            .iter()
+            .filter_map(|r| match (r.first(), r.get(1)) {
+                (Some(Value::Text(n)), Some(Value::Text(s))) => Some((n.clone(), s.clone())),
+                _ => None,
+            })
+            .collect();
+        for (name, sql) in entries {
+            match ViewDef::from_sql(&self.catalog, &name, &sql) {
+                Ok(v) => {
+                    self.views.insert(name, v);
+                }
+                Err(reason) => {
+                    debug_assert!(false, "view {name:?} failed to rehydrate: {reason}");
+                }
+            }
         }
     }
 
@@ -136,22 +192,106 @@ impl Database {
     /// Shared implementation behind [`Database::execute_script`] and
     /// [`crate::Statement::run`].
     pub(crate) fn exec_parsed(&mut self, stmt: &Statement) -> Result<ExecOutcome> {
+        self.exec_parsed_tracked(stmt).map(|(outcome, _)| outcome)
+    }
+
+    /// Execute a parsed statement and also report which catalog tables it
+    /// changed (bases, view contents/state, the view registry) — the
+    /// write-ahead log derives its whole-table-image records from this
+    /// list. Queries change nothing and report an empty list.
+    pub(crate) fn exec_parsed_tracked(
+        &mut self,
+        stmt: &Statement,
+    ) -> Result<(ExecOutcome, Vec<String>)> {
         match stmt {
             Statement::CreateTable(ct) => {
+                self.guard_writable(&ct.name)?;
                 let schema = Schema::from_pairs(ct.columns.iter().map(|(n, t)| (n.clone(), *t)))?;
                 self.catalog.create_table(&ct.name, schema)?;
-                Ok(ExecOutcome::Created)
+                Ok((ExecOutcome::Created, vec![ct.name.clone()]))
             }
-            Statement::Insert(ins) => Ok(ExecOutcome::Inserted(self.run_insert(ins)?)),
+            Statement::Insert(ins) => {
+                self.guard_writable(&ins.table)?;
+                let (n, old, delta) = self.run_insert(ins)?;
+                let mut touched = vec![ins.table.clone()];
+                touched.extend(self.maintain(&ins.table, old, delta)?);
+                Ok((ExecOutcome::Inserted(n), touched))
+            }
             Statement::DropTable(name) => {
+                self.guard_writable(name)?;
+                if let Some(v) = self.views.values().find(|v| v.references(name)) {
+                    return Err(EngineError::bind(format!(
+                        "cannot drop table {name:?}: materialized view {:?} is defined over it \
+                         (drop the view first)",
+                        v.name
+                    )));
+                }
                 self.catalog.drop_table(name)?;
-                Ok(ExecOutcome::Dropped)
+                Ok((ExecOutcome::Dropped, vec![name.clone()]))
             }
-            Statement::Delete(del) => Ok(ExecOutcome::Deleted(self.run_delete(del)?)),
-            Statement::Update(upd) => Ok(ExecOutcome::Updated(self.run_update(upd)?)),
-            Statement::Select(sel) => Ok(ExecOutcome::Rows(self.run_select(sel)?)),
-            Statement::Explain { analyze, query } => {
-                Ok(ExecOutcome::Rows(self.explain_select(query, *analyze)?))
+            Statement::Delete(del) => {
+                self.guard_writable(&del.table)?;
+                let (n, old, delta) = self.run_delete(del)?;
+                let mut touched = vec![del.table.clone()];
+                touched.extend(self.maintain(&del.table, old, delta)?);
+                Ok((ExecOutcome::Deleted(n), touched))
+            }
+            Statement::Update(upd) => {
+                self.guard_writable(&upd.table)?;
+                let (n, old, delta) = self.run_update(upd)?;
+                let mut touched = vec![upd.table.clone()];
+                touched.extend(self.maintain(&upd.table, old, delta)?);
+                Ok((ExecOutcome::Updated(n), touched))
+            }
+            Statement::Select(sel) => Ok((ExecOutcome::Rows(self.run_select(sel)?), Vec::new())),
+            Statement::Explain { analyze, query } => Ok((
+                ExecOutcome::Rows(self.explain_select(query, *analyze)?),
+                Vec::new(),
+            )),
+            Statement::CreateView(cv) => self.create_view(cv),
+            Statement::DropView(name) => self.drop_view(name),
+            Statement::RefreshView(name) => self.refresh_view(name),
+            Statement::Recluster(rc) => {
+                self.guard_writable(&rc.table)?;
+                let (n, old, delta) = self.run_recluster(rc)?;
+                let mut touched = vec![rc.table.clone()];
+                touched.extend(self.maintain(&rc.table, old, delta)?);
+                Ok((ExecOutcome::Reclustered(n), touched))
+            }
+            Statement::Reannotate(ra) => {
+                self.guard_writable(&ra.table)?;
+                let (n, old, delta) = self.run_reannotate(ra)?;
+                let mut touched = vec![ra.table.clone()];
+                touched.extend(self.maintain(&ra.table, old, delta)?);
+                Ok((ExecOutcome::Reannotated(n), touched))
+            }
+            Statement::ApplyCrossref(ax) => {
+                self.guard_writable(&ax.table)?;
+                if ax.xref_table.starts_with(HIDDEN_PREFIX)
+                    || self.views.contains_key(&ax.xref_table)
+                {
+                    return Err(EngineError::bind(format!(
+                        "{:?} cannot serve as a cross-reference table",
+                        ax.xref_table
+                    )));
+                }
+                let old = self.capture_old(&ax.table)?;
+                let clusters = conquer_storage::apply_crossref(
+                    &mut self.catalog,
+                    &ax.table,
+                    &ax.key_column,
+                    &ax.id_column,
+                    &ax.xref_table,
+                    &ax.xref_key_column,
+                    &ax.xref_id_column,
+                )?;
+                let delta = match &old {
+                    Some(o) => diff_rows(o.rows(), self.catalog.table(&ax.table)?.rows()),
+                    None => TableDelta::default(),
+                };
+                let mut touched = vec![ax.table.clone()];
+                touched.extend(self.maintain(&ax.table, old, delta)?);
+                Ok((ExecOutcome::CrossrefApplied(clusters), touched))
             }
         }
     }
@@ -256,17 +396,54 @@ impl Database {
         ))
     }
 
-    fn run_delete(&mut self, del: &Delete) -> Result<usize> {
+    /// Pre-statement image of `table`, captured only when some view is
+    /// defined over it (the telescoping delta evaluation needs the old
+    /// bag for self-join occurrences after the delta slot).
+    fn capture_old(&self, table: &str) -> Result<Option<Table>> {
+        if self.views.values().any(|v| v.references(table)) {
+            Ok(Some(self.catalog.table(table)?.clone()))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Refuse direct writes against view contents and hidden bookkeeping
+    /// tables: views change only through their bases (or `REFRESH`), and
+    /// the bookkeeping tables only through maintenance itself.
+    fn guard_writable(&self, table: &str) -> Result<()> {
+        if table.starts_with(HIDDEN_PREFIX) {
+            return Err(EngineError::bind(format!(
+                "table {table:?} is reserved for materialized-view bookkeeping"
+            )));
+        }
+        if self.views.contains_key(table) {
+            return Err(EngineError::bind(format!(
+                "{table:?} is a materialized view; it is maintained through its base tables \
+                 (or REFRESH / DROP MATERIALIZED VIEW)"
+            )));
+        }
+        Ok(())
+    }
+
+    fn run_delete(&mut self, del: &Delete) -> Result<(usize, Option<Table>, TableDelta)> {
         let pred = del
             .selection
             .as_ref()
             .map(|e| bind_table_expr(&self.catalog, &del.table, e))
             .transpose()?;
         let offsets = Offsets(vec![Some(0)]);
+        let old = self.capture_old(&del.table)?;
+        let track = old.is_some();
+        let mut delta = TableDelta::default();
         let table = self.catalog.table_mut(&del.table)?;
         let before = table.len();
         match pred {
-            None => table.retain(|_, _| false),
+            None => {
+                if track {
+                    delta.removed = table.rows().to_vec();
+                }
+                table.retain(|_, _| false);
+            }
             Some(p) => {
                 // Evaluate first (eval can error), then retain.
                 let keep: Vec<bool> = table
@@ -274,13 +451,23 @@ impl Database {
                     .iter()
                     .map(|row| p.eval_predicate(row, &offsets).map(|m| !m))
                     .collect::<Result<_>>()?;
+                if track {
+                    delta.removed = table
+                        .rows()
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !keep[*i])
+                        .map(|(_, r)| r.clone())
+                        .collect();
+                }
                 table.retain(|i, _| keep[i]);
             }
         }
-        Ok(before - self.catalog.table(&del.table)?.len())
+        let n = before - self.catalog.table(&del.table)?.len();
+        Ok((n, old, delta))
     }
 
-    fn run_update(&mut self, upd: &Update) -> Result<usize> {
+    fn run_update(&mut self, upd: &Update) -> Result<(usize, Option<Table>, TableDelta)> {
         let pred = upd
             .selection
             .as_ref()
@@ -317,12 +504,29 @@ impl Database {
                 })
                 .collect::<Result<_>>()?
         };
+        let old = self.capture_old(&upd.table)?;
+        let mut delta = TableDelta::default();
+        if old.is_some() {
+            let table = self.catalog.table(&upd.table)?;
+            for (i, row) in table.rows().iter().enumerate() {
+                if let Some(row_updates) = &updates[i] {
+                    let mut new_row = row.clone();
+                    for (col, v) in row_updates {
+                        new_row[*col] = v.clone();
+                    }
+                    if new_row != *row {
+                        delta.removed.push(row.clone());
+                        delta.added.push(new_row);
+                    }
+                }
+            }
+        }
         let table = self.catalog.table_mut(&upd.table)?;
         let changed = table.transform_rows(|i, _| updates[i].clone())?;
-        Ok(changed)
+        Ok((changed, old, delta))
     }
 
-    fn run_insert(&mut self, ins: &Insert) -> Result<usize> {
+    fn run_insert(&mut self, ins: &Insert) -> Result<(usize, Option<Table>, TableDelta)> {
         let table = self.catalog.table(&ins.table)?;
         let schema = table.schema().clone();
 
@@ -376,10 +580,390 @@ impl Database {
             }
         }
         let n = rows.len();
+        let old = self.capture_old(&ins.table)?;
+        let delta = if old.is_some() {
+            TableDelta {
+                removed: Vec::new(),
+                added: rows.clone(),
+            }
+        } else {
+            TableDelta::default()
+        };
         let table = self.catalog.table_mut(&ins.table)?;
         table.insert_all(rows)?;
-        Ok(n)
+        Ok((n, old, delta))
     }
+
+    /// `RECLUSTER table (id, prob) TO target [WHERE …]`: move matching
+    /// tuples into the duplicate cluster `target`, then renormalize the
+    /// probabilities of every affected cluster (source and target) to sum
+    /// to 1 — Definition 2. A cluster whose probabilities sum to zero
+    /// gets the uniform distribution.
+    fn run_recluster(&mut self, rc: &Recluster) -> Result<(usize, Option<Table>, TableDelta)> {
+        let pred = rc
+            .selection
+            .as_ref()
+            .map(|e| bind_table_expr(&self.catalog, &rc.table, e))
+            .transpose()?;
+        let target = eval_const(&rc.target)?;
+        if target.is_null() {
+            return Err(EngineError::exec("RECLUSTER target must not be NULL"));
+        }
+        let offsets = Offsets(vec![Some(0)]);
+        let (id_idx, prob_idx, rows) = {
+            let t = self.catalog.table(&rc.table)?;
+            (
+                t.column_index(&rc.id_column)?,
+                t.column_index(&rc.prob_column)?,
+                t.rows().to_vec(),
+            )
+        };
+        let mut new_rows = rows.clone();
+        let mut affected: BTreeSet<Value> = BTreeSet::new();
+        let mut moved = 0usize;
+        for (i, row) in rows.iter().enumerate() {
+            let matches = match &pred {
+                None => true,
+                Some(p) => p.eval_predicate(row, &offsets)?,
+            };
+            if matches && row[id_idx] != target {
+                affected.insert(row[id_idx].clone());
+                affected.insert(target.clone());
+                new_rows[i][id_idx] = target.clone();
+                moved += 1;
+            }
+        }
+        // Renormalize each affected cluster over the post-move membership.
+        for cluster in &affected {
+            let members: Vec<usize> = new_rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r[id_idx] == *cluster)
+                .map(|(i, _)| i)
+                .collect();
+            if members.is_empty() {
+                continue; // source cluster fully vacated
+            }
+            let sum: f64 = members
+                .iter()
+                .filter_map(|&i| new_rows[i][prob_idx].as_f64())
+                .sum();
+            if sum > 0.0 {
+                for &i in &members {
+                    let p = new_rows[i][prob_idx].as_f64().unwrap_or(0.0);
+                    new_rows[i][prob_idx] = Value::Float(p / sum);
+                }
+            } else {
+                let uniform = 1.0 / members.len() as f64;
+                for &i in &members {
+                    new_rows[i][prob_idx] = Value::Float(uniform);
+                }
+            }
+        }
+        self.write_back(&rc.table, rows, new_rows, moved)
+    }
+
+    /// `REANNOTATE table (id, prob) SET expr [WHERE …]`: overwrite the
+    /// probability of matching tuples with `expr` evaluated on the old
+    /// row. No renormalization — the caller controls the exact values
+    /// (and thereby, deliberately, can violate Definition 2; `RECLUSTER`
+    /// is the normalizing mutation).
+    fn run_reannotate(&mut self, ra: &Reannotate) -> Result<(usize, Option<Table>, TableDelta)> {
+        let pred = ra
+            .selection
+            .as_ref()
+            .map(|e| bind_table_expr(&self.catalog, &ra.table, e))
+            .transpose()?;
+        let value = bind_table_expr(&self.catalog, &ra.table, &ra.value)?;
+        let offsets = Offsets(vec![Some(0)]);
+        let (prob_idx, rows) = {
+            let t = self.catalog.table(&ra.table)?;
+            // The id column names the cluster structure; require it even
+            // though the rewrite itself is per-tuple.
+            t.column_index(&ra.id_column)?;
+            (t.column_index(&ra.prob_column)?, t.rows().to_vec())
+        };
+        let mut new_rows = rows.clone();
+        let mut annotated = 0usize;
+        for (i, row) in rows.iter().enumerate() {
+            let matches = match &pred {
+                None => true,
+                Some(p) => p.eval_predicate(row, &offsets)?,
+            };
+            if !matches {
+                continue;
+            }
+            let v = value.eval(row, &offsets)?;
+            // Keep the probability column uniformly FLOAT-typed so view
+            // state matching stays bit-exact.
+            let v = match v {
+                Value::Int(n) => Value::Float(n as f64),
+                other => other,
+            };
+            new_rows[i][prob_idx] = v;
+            annotated += 1;
+        }
+        self.write_back(&ra.table, rows, new_rows, annotated)
+    }
+
+    /// Diff `rows` → `new_rows`, apply the changed rows to `table`, and
+    /// package the table delta (with the pre-statement image when a view
+    /// needs it).
+    fn write_back(
+        &mut self,
+        table: &str,
+        rows: Vec<Row>,
+        new_rows: Vec<Row>,
+        count: usize,
+    ) -> Result<(usize, Option<Table>, TableDelta)> {
+        let old = self.capture_old(table)?;
+        let mut delta = TableDelta::default();
+        if old.is_some() {
+            for (o, n) in rows.iter().zip(&new_rows) {
+                if o != n {
+                    delta.removed.push(o.clone());
+                    delta.added.push(n.clone());
+                }
+            }
+        }
+        let t = self.catalog.table_mut(table)?;
+        t.transform_rows(|i, _| {
+            if rows[i] == new_rows[i] {
+                return None;
+            }
+            Some(
+                new_rows[i]
+                    .iter()
+                    .enumerate()
+                    .filter(|(c, v)| rows[i][*c] != **v)
+                    .map(|(c, v)| (c, v.clone()))
+                    .collect(),
+            )
+        })?;
+        Ok((count, old, delta))
+    }
+
+    /// `CREATE MATERIALIZED VIEW`: check maintainability (typed refusal
+    /// otherwise), evaluate the view from scratch, and install contents +
+    /// state tables plus the registry row.
+    fn create_view(&mut self, cv: &CreateView) -> Result<(ExecOutcome, Vec<String>)> {
+        if cv.name.starts_with(HIDDEN_PREFIX) {
+            return Err(EngineError::bind(format!(
+                "view name {:?} collides with the hidden bookkeeping prefix",
+                cv.name
+            )));
+        }
+        if self.catalog.contains(&cv.name) {
+            return Err(EngineError::Storage(
+                conquer_storage::StorageError::TableExists(cv.name.clone()),
+            ));
+        }
+        if let Some(t) = cv
+            .query
+            .from
+            .iter()
+            .find(|t| self.views.contains_key(&t.table))
+        {
+            return Err(EngineError::NotMaintainable(format!(
+                "{:?} is itself a materialized view; views over views are not supported",
+                t.table
+            )));
+        }
+        let view = ViewDef::analyze(&self.catalog, &cv.name, cv.query.clone())
+            .map_err(EngineError::NotMaintainable)?;
+        let mut groups = view::recompute_groups(self, &view)?;
+        let (contents, state) = view::groups_to_tables(&view, &mut groups)?;
+        let rows = contents.len();
+        self.catalog.add_table(contents)?;
+        self.catalog.add_table(state)?;
+        if !self.catalog.contains(VIEWS_META) {
+            self.catalog
+                .create_table(VIEWS_META, view::meta_schema()?)?;
+        }
+        self.catalog.table_mut(VIEWS_META)?.insert(vec![
+            Value::text(&view.name),
+            Value::text(view.sql()),
+            Value::Int(0),
+            Value::Int(0),
+        ])?;
+        let touched = vec![
+            view.name.clone(),
+            view.state_table(),
+            VIEWS_META.to_string(),
+        ];
+        self.views.insert(view.name.clone(), view);
+        Ok((ExecOutcome::CreatedView(rows), touched))
+    }
+
+    /// `DROP MATERIALIZED VIEW`: remove contents, state, registry row,
+    /// and the in-memory definition.
+    fn drop_view(&mut self, name: &str) -> Result<(ExecOutcome, Vec<String>)> {
+        if self.views.remove(name).is_none() {
+            return Err(EngineError::bind(format!(
+                "no materialized view named {name:?}"
+            )));
+        }
+        let state = view::state_table_name(name);
+        self.catalog.drop_table(name)?;
+        self.catalog.drop_table(&state)?;
+        self.catalog
+            .table_mut(VIEWS_META)?
+            .retain(|_, row| row.first() != Some(&Value::text(name)));
+        Ok((
+            ExecOutcome::DroppedView,
+            vec![name.to_string(), state, VIEWS_META.to_string()],
+        ))
+    }
+
+    /// `REFRESH MATERIALIZED VIEW`: rebuild from scratch. Byte-identical
+    /// to the incrementally maintained tables (the maintenance property),
+    /// so a refresh is an equivalence check made durable, not a repair of
+    /// expected drift.
+    fn refresh_view(&mut self, name: &str) -> Result<(ExecOutcome, Vec<String>)> {
+        let Some(view) = self.views.get(name).cloned() else {
+            return Err(EngineError::bind(format!(
+                "no materialized view named {name:?}"
+            )));
+        };
+        let mut groups = view::recompute_groups(self, &view)?;
+        let (contents, state) = view::groups_to_tables(&view, &mut groups)?;
+        let rows = contents.len();
+        self.catalog.replace_table(contents);
+        self.catalog.replace_table(state);
+        self.bump_view_meta(name, 0, 1)?;
+        Ok((
+            ExecOutcome::RefreshedView(rows),
+            vec![
+                view.name.clone(),
+                view.state_table(),
+                VIEWS_META.to_string(),
+            ],
+        ))
+    }
+
+    /// Fold one base-table delta into every view defined over the table.
+    /// Runs inside statement execution, so the WAL commit that follows
+    /// carries base and view images together — atomically. Returns the
+    /// extra tables touched.
+    fn maintain(
+        &mut self,
+        table: &str,
+        old: Option<Table>,
+        delta: TableDelta,
+    ) -> Result<Vec<String>> {
+        let Some(old) = old else {
+            return Ok(Vec::new());
+        };
+        if delta.is_empty() {
+            return Ok(Vec::new());
+        }
+        let names: Vec<String> = self.views.keys().cloned().collect();
+        let mut touched = Vec::new();
+        for name in names {
+            let Some(v) = self.views.get(&name) else {
+                continue;
+            };
+            if !v.references(table) {
+                continue;
+            }
+            let v = v.clone();
+            fault_point("view::apply")?;
+            let pairs = view::delta_pairs(self, &v, table, &old, &delta)?;
+            let mut groups = view::load_state(self.catalog.table(&v.state_table())?)?;
+            view::apply_pairs(&v, &mut groups, pairs)?;
+            let (contents, state) = view::groups_to_tables(&v, &mut groups)?;
+            self.catalog.replace_table(contents);
+            self.catalog.replace_table(state);
+            self.bump_view_meta(&name, 1, 0)?;
+            touched.push(v.name.clone());
+            touched.push(v.state_table());
+        }
+        if !touched.is_empty() {
+            touched.push(VIEWS_META.to_string());
+        }
+        Ok(touched)
+    }
+
+    /// Add to a view's registry counters (in-table, so they are durable
+    /// and replay-idempotent along with everything else).
+    fn bump_view_meta(&mut self, name: &str, deltas: i64, refreshes: i64) -> Result<()> {
+        let meta = self.catalog.table_mut(VIEWS_META)?;
+        let d_idx = meta.column_index("deltas_applied")?;
+        let r_idx = meta.column_index("refreshes")?;
+        meta.transform_rows(|_, row| {
+            if row.first() != Some(&Value::text(name)) {
+                return None;
+            }
+            let d = row[d_idx].as_i64().unwrap_or(0) + deltas;
+            let r = row[r_idx].as_i64().unwrap_or(0) + refreshes;
+            Some(vec![(d_idx, Value::Int(d)), (r_idx, Value::Int(r))])
+        })?;
+        Ok(())
+    }
+
+    /// Is `name` a materialized view?
+    pub fn is_view(&self, name: &str) -> bool {
+        self.views.contains_key(name)
+    }
+
+    /// The materialized views, in name order.
+    pub fn views(&self) -> impl Iterator<Item = &ViewDef> {
+        self.views.values()
+    }
+
+    /// Maintenance statistics of every view (registry counters + current
+    /// group counts), in name order.
+    pub fn view_stats(&self) -> Vec<ViewStats> {
+        self.views
+            .values()
+            .map(|v| {
+                let rows = self.catalog.table(&v.name).map(|t| t.len()).unwrap_or(0);
+                let (deltas_applied, refreshes) = self
+                    .catalog
+                    .table(VIEWS_META)
+                    .ok()
+                    .and_then(|meta| {
+                        meta.rows()
+                            .iter()
+                            .find(|r| r.first() == Some(&Value::text(&v.name)))
+                            .map(|r| {
+                                (
+                                    r.get(2).and_then(Value::as_i64).unwrap_or(0) as u64,
+                                    r.get(3).and_then(Value::as_i64).unwrap_or(0) as u64,
+                                )
+                            })
+                    })
+                    .unwrap_or((0, 0));
+                ViewStats {
+                    name: v.name.clone(),
+                    rows,
+                    deltas_applied,
+                    refreshes,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Row-wise diff of two equal-length row sets (APPLY CROSSREF rewrites
+/// rows in place, so position i corresponds).
+fn diff_rows(old: &[Row], new: &[Row]) -> TableDelta {
+    let mut delta = TableDelta::default();
+    for (o, n) in old.iter().zip(new) {
+        if o != n {
+            delta.removed.push(o.clone());
+            delta.added.push(n.clone());
+        }
+    }
+    delta
+}
+
+/// Check a storage-layer fault point from the maintenance path, mapping
+/// the injected fault into the typed engine error (same contract as the
+/// shared layer's points: the statement aborts whole, nothing publishes).
+/// A no-op without the `fault` feature.
+fn fault_point(point: &str) -> Result<()> {
+    conquer_storage::fault::trigger(point).map_err(|f| EngineError::Storage(f.into()))
 }
 
 /// Evaluate a constant expression (INSERT values): literals, sign, and
@@ -648,6 +1232,212 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.len(), 2);
+    }
+
+    /// The paper's Example-6 rewritten query as a maintained view.
+    const EX6_VIEW: &str = "CREATE MATERIALIZED VIEW v AS \
+         SELECT o.id AS oid, c.id AS cid, SUM(o.prob * c.prob) AS p \
+         FROM orders o, customer c \
+         WHERE o.cidfk = c.id AND c.balance > 10000 \
+         GROUP BY o.id, c.id";
+
+    fn view_rows(db: &Database) -> Vec<Vec<Value>> {
+        db.catalog().table("v").unwrap().rows().to_vec()
+    }
+
+    fn recomputed_rows(db: &mut Database) -> Vec<Vec<Value>> {
+        execute(db, "REFRESH MATERIALIZED VIEW v").unwrap();
+        view_rows(db)
+    }
+
+    #[test]
+    fn view_materializes_and_serves_without_base_plan() {
+        let mut db = sample();
+        let out = execute(&mut db, EX6_VIEW).unwrap();
+        assert_eq!(out, ExecOutcome::CreatedView(3));
+        // Served by a plain scan of the contents table.
+        let r = query(&db, "SELECT oid, cid, p FROM v").unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.value(0, "p"), Some(&Value::Float(1.0)));
+        let plan = db
+            .plan(&conquer_sql::parse_select("SELECT oid, cid, p FROM v").unwrap())
+            .unwrap()
+            .describe();
+        assert!(plan.contains("Scan"), "{plan}");
+        assert!(
+            !plan.contains("Join"),
+            "view lookups must not re-join: {plan}"
+        );
+    }
+
+    #[test]
+    fn dml_maintains_view_identically_to_recompute() {
+        let mut db = sample();
+        execute(&mut db, EX6_VIEW).unwrap();
+        execute(&mut db, "INSERT INTO orders VALUES ('o3', 'c2', 9, 1.0)").unwrap();
+        let maintained = view_rows(&db);
+        assert_eq!(maintained, recomputed_rows(&mut db));
+        execute(&mut db, "DELETE FROM customer WHERE name = 'Marion'").unwrap();
+        let maintained = view_rows(&db);
+        assert_eq!(maintained, recomputed_rows(&mut db));
+        execute(&mut db, "UPDATE customer SET prob = 0.25 WHERE id = 'c1'").unwrap();
+        let maintained = view_rows(&db);
+        assert_eq!(maintained, recomputed_rows(&mut db));
+        // Group retraction is count-backed: deleting every c1 order
+        // removes the (o1,c1)/(o2,c1) groups entirely.
+        execute(&mut db, "DELETE FROM orders WHERE cidfk = 'c1'").unwrap();
+        let maintained = view_rows(&db);
+        assert_eq!(maintained, recomputed_rows(&mut db));
+    }
+
+    #[test]
+    fn recluster_renormalizes_and_maintains() {
+        let mut db = sample();
+        execute(&mut db, EX6_VIEW).unwrap();
+        let out = execute(
+            &mut db,
+            "RECLUSTER customer (id, prob) TO 'c1' WHERE name = 'Mary'",
+        )
+        .unwrap();
+        assert_eq!(out, ExecOutcome::Reclustered(1));
+        // Both affected clusters sum to 1 again (Definition 2).
+        for cluster in ["c1", "c2"] {
+            let r = query(
+                &db,
+                &format!("SELECT SUM(prob) AS s FROM customer WHERE id = '{cluster}'"),
+            )
+            .unwrap();
+            let Some(Value::Float(s)) = r.value(0, "s") else {
+                panic!("no sum for {cluster}")
+            };
+            assert!((s - 1.0).abs() < 1e-12, "{cluster} sums to {s}");
+        }
+        assert_eq!(view_rows(&db), recomputed_rows(&mut db));
+    }
+
+    #[test]
+    fn reannotate_rederives_affected_products() {
+        let mut db = sample();
+        execute(&mut db, EX6_VIEW).unwrap();
+        let out = execute(
+            &mut db,
+            "REANNOTATE customer (id, prob) SET prob / 2 WHERE id = 'c1'",
+        )
+        .unwrap();
+        assert_eq!(out, ExecOutcome::Reannotated(2));
+        let maintained = view_rows(&db);
+        assert_eq!(maintained[0][2], Value::Float(0.5)); // (o1,c1): 1.0*(0.35+0.15)
+        assert_eq!(maintained, recomputed_rows(&mut db));
+    }
+
+    #[test]
+    fn non_maintainable_views_are_refused_with_typed_error() {
+        let mut db = sample();
+        let err = execute(
+            &mut db,
+            "CREATE MATERIALIZED VIEW v AS SELECT DISTINCT name FROM customer",
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::NotMaintainable(_)), "{err}");
+        assert_eq!(err.kind(), crate::ErrorKind::NotRewritable);
+        // Nothing was half-created.
+        assert!(!db.catalog().contains("v"));
+        assert!(!db.catalog().contains(VIEWS_META));
+    }
+
+    #[test]
+    fn views_guard_their_tables() {
+        let mut db = sample();
+        execute(&mut db, EX6_VIEW).unwrap();
+        for sql in [
+            "INSERT INTO v VALUES ('x', 'y', 1.0)",
+            "DELETE FROM v",
+            "UPDATE v SET p = 0.0",
+            "DROP TABLE v",
+            "DELETE FROM __conquer_views",
+            "DROP TABLE customer",
+            "CREATE MATERIALIZED VIEW w AS SELECT oid, SUM(p) AS q FROM v GROUP BY oid",
+        ] {
+            let err = execute(&mut db, sql).unwrap_err();
+            assert!(
+                matches!(err, EngineError::Bind(_) | EngineError::NotMaintainable(_)),
+                "{sql}: {err}"
+            );
+        }
+        // DROP MATERIALIZED VIEW releases the base table.
+        execute(&mut db, "DROP MATERIALIZED VIEW v").unwrap();
+        assert!(!db.catalog().contains("v"));
+        execute(&mut db, "DROP TABLE customer").unwrap();
+    }
+
+    #[test]
+    fn views_survive_save_and_load() {
+        let dir = std::env::temp_dir().join(format!("conquer_view_persist_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut db = sample();
+        execute(&mut db, EX6_VIEW).unwrap();
+        execute(&mut db, "INSERT INTO orders VALUES ('o3', 'c2', 9, 1.0)").unwrap();
+        let before = view_rows(&db);
+        db.save_to_dir(&dir).unwrap();
+        let mut reloaded = Database::load_from_dir(&dir).unwrap();
+        assert!(reloaded.is_view("v"));
+        assert_eq!(view_rows(&reloaded), before);
+        // Maintenance keeps working after rehydration.
+        execute(&mut reloaded, "DELETE FROM orders WHERE id = 'o3'").unwrap();
+        let maintained = view_rows(&reloaded);
+        assert_eq!(maintained, recomputed_rows(&mut reloaded));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn apply_crossref_statement_maintains_views() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (id TEXT, key INTEGER, prob DOUBLE);
+             INSERT INTO t VALUES ('', 1, 0.5), ('', 2, 0.5), ('', 3, 1.0);
+             CREATE TABLE xr (orig INTEGER, cluster TEXT);
+             INSERT INTO xr VALUES (1, 'a'), (2, 'a'), (3, 'b');
+             CREATE MATERIALIZED VIEW vz AS SELECT id, SUM(prob) AS p FROM t GROUP BY id",
+        )
+        .unwrap();
+        let out = execute(&mut db, "APPLY CROSSREF xr (orig, cluster) TO t (key, id)").unwrap();
+        assert_eq!(out, ExecOutcome::CrossrefApplied(2));
+        let r = query(&db, "SELECT id, p FROM vz").unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::text("a"), Value::Float(1.0)],
+                vec![Value::text("b"), Value::Float(1.0)],
+            ]
+        );
+        let stats = db.view_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].deltas_applied, 1);
+    }
+
+    #[test]
+    fn self_join_views_telescope_correctly() {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE t (id TEXT, n INTEGER, prob DOUBLE);
+             INSERT INTO t VALUES ('a', 1, 0.5), ('a', 2, 0.5), ('b', 1, 1.0);
+             CREATE MATERIALIZED VIEW sj AS \
+               SELECT x.id AS xid, y.id AS yid, SUM(x.prob * y.prob) AS p \
+               FROM t x, t y WHERE x.n = y.n GROUP BY x.id, y.id",
+        )
+        .unwrap();
+        for stmt in [
+            "INSERT INTO t VALUES ('b', 2, 0.25)",
+            "UPDATE t SET prob = 0.75 WHERE id = 'a' AND n = 1",
+            "DELETE FROM t WHERE id = 'b' AND n = 1",
+        ] {
+            execute(&mut db, stmt).unwrap();
+            let maintained = db.catalog().table("sj").unwrap().rows().to_vec();
+            execute(&mut db, "REFRESH MATERIALIZED VIEW sj").unwrap();
+            let recomputed = db.catalog().table("sj").unwrap().rows().to_vec();
+            assert_eq!(maintained, recomputed, "after {stmt}");
+        }
     }
 
     #[test]

@@ -58,6 +58,13 @@ pub enum EngineError {
     /// but surfaces as an error instead of a panic so a bad plan cannot
     /// take the process down.
     Internal(String),
+    /// `CREATE MATERIALIZED VIEW` was given a query outside the
+    /// delta-maintainable class (GROUP BY keys + one SUM, the shape every
+    /// Definition-7 rewriting has). The message names the first offending
+    /// construct. Classified as
+    /// [`ErrorKind::NotRewritable`] — the same boundary, seen from the
+    /// maintenance side.
+    NotMaintainable(String),
 }
 
 impl fmt::Display for EngineError {
@@ -92,6 +99,9 @@ impl fmt::Display for EngineError {
                 write!(f, "server is shutting down and no longer accepts requests")
             }
             EngineError::Internal(m) => write!(f, "internal engine error: {m}"),
+            EngineError::NotMaintainable(m) => {
+                write!(f, "view is not delta-maintainable: {m}")
+            }
         }
     }
 }
@@ -247,6 +257,10 @@ pub fn storage_error_kind(e: &StorageError) -> ErrorKind {
         // space is pointless (exactly like a blown spill budget).
         StorageError::NoSpace(_) => ErrorKind::ResourceExhausted,
         StorageError::Io(_) => ErrorKind::Io,
+        // The rows (not the schema) violate a dirty-data contract — a
+        // cross-reference table with NULL/conflicting keys, unmapped
+        // tuples: Definition-2 violations.
+        StorageError::InvalidData(_) => ErrorKind::InvalidDirty,
         _ => ErrorKind::Schema,
     }
 }
@@ -300,6 +314,7 @@ impl EngineError {
             EngineError::Overloaded { .. } => ErrorKind::Overloaded,
             EngineError::Shutdown => ErrorKind::Shutdown,
             EngineError::Internal(_) => ErrorKind::Internal,
+            EngineError::NotMaintainable(_) => ErrorKind::NotRewritable,
         }
     }
 }
@@ -357,6 +372,14 @@ mod tests {
         assert_eq!(
             EngineError::Storage(StorageError::Degraded("scrub found rot".into())).kind(),
             ErrorKind::Degraded
+        );
+        assert_eq!(
+            EngineError::NotMaintainable("DISTINCT".into()).kind(),
+            ErrorKind::NotRewritable
+        );
+        assert_eq!(
+            EngineError::Storage(StorageError::InvalidData("bad xref".into())).kind(),
+            ErrorKind::InvalidDirty
         );
         let overloaded = EngineError::Overloaded {
             running: 4,

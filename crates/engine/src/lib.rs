@@ -47,6 +47,7 @@ pub mod shared;
 pub mod statement;
 pub mod stats;
 pub mod validate;
+pub mod view;
 
 pub use analyze::{Code, Diagnostic, Severity};
 pub use context::{CancelToken, ExecContext, ExecLimits, ExecLimitsBuilder};
@@ -61,6 +62,7 @@ pub use shared::{
 pub use statement::Statement;
 pub use stats::{ExecStats, OpStats};
 pub use validate::{set_validation, validate_bound, validate_plan, validation_enabled};
+pub use view::{ViewDef, ViewStats};
 
 /// Convenience result alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;

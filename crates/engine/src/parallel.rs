@@ -755,6 +755,13 @@ pub(crate) fn try_execute(
     plan: &Plan,
     ctx: &ExecContext,
 ) -> Result<Option<QueryResult>> {
+    // A one-thread "pool" computes exactly what the serial pipeline
+    // computes, but pays queue/condvar dispatch and parks the caller on
+    // waits that only pool workers (invisible to the schedule explorer's
+    // virtual threads) can satisfy. Take the serial path outright.
+    if ctx.threads() <= 1 {
+        return Ok(None);
+    }
     let widths: Vec<usize> = plan.relations.iter().map(|r| r.schema.len()).collect();
     let Some(spec) = extract_spine(catalog, plan, &widths)? else {
         return Ok(None);

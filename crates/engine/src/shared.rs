@@ -449,6 +449,15 @@ pub struct CacheStats {
     /// so writes are refused until a checkpoint rewrites the epoch or a
     /// clean scrub clears the flag. Reads keep working throughout.
     pub degraded: bool,
+    /// Materialized views in the current version.
+    pub views: usize,
+    /// Total groups currently materialized across all views.
+    pub view_rows: usize,
+    /// DML commits incrementally folded into views (summed over views;
+    /// durable in the view registry, so it survives restarts).
+    pub view_deltas_applied: u64,
+    /// `REFRESH MATERIALIZED VIEW` rebuilds (summed over views; durable).
+    pub view_refreshes: u64,
 }
 
 #[derive(Debug, Default)]
@@ -677,6 +686,7 @@ impl SharedDatabase {
         let plan_entries = lock(&self.inner.plans).len();
         let result_entries = lock(&self.inner.results).len();
         let io = conquer_storage::vfs::counters();
+        let view_stats = self.current().db.view_stats();
         CacheStats {
             epoch: self.epoch(),
             result_hits: c.result_hits.load(Ordering::Relaxed),
@@ -695,7 +705,17 @@ impl SharedDatabase {
             scrub_runs: c.scrub_runs.load(Ordering::Relaxed),
             corrupt_frames: c.corrupt_frames.load(Ordering::Relaxed),
             degraded: self.is_degraded(),
+            views: view_stats.len(),
+            view_rows: view_stats.iter().map(|v| v.rows).sum(),
+            view_deltas_applied: view_stats.iter().map(|v| v.deltas_applied).sum(),
+            view_refreshes: view_stats.iter().map(|v| v.refreshes).sum(),
         }
+    }
+
+    /// Per-view maintenance statistics of the current version, in name
+    /// order (the server's `STATS` verb emits one line per counter).
+    pub fn view_stats(&self) -> Vec<crate::view::ViewStats> {
+        self.current().db.view_stats()
     }
 
     /// Run `f` against a pinned snapshot of the database. Queries executed
@@ -902,9 +922,9 @@ impl SharedDatabase {
         self.check_not_degraded()?;
         let mut ws = self.writer_guard()?;
         let mut next = self.current().db.clone();
-        let outcome = next.exec_parsed(stmt)?;
+        let (outcome, touched) = next.exec_parsed_tracked(stmt)?;
         if let Some(d) = ws.durable.as_mut() {
-            let ops = wal_ops(stmt, &next)?;
+            let ops = wal_ops(&touched, &next)?;
             if !ops.is_empty() {
                 d.wal.commit(&ops)?;
                 self.inner
@@ -930,20 +950,27 @@ impl SharedDatabase {
 }
 
 /// The write-ahead-log records for one committed statement, derived from
-/// the statement shape: whole-table images of every table it touched (in
-/// `next`, the post-statement version), or a drop marker. Whole images
-/// make replay idempotent and order-insensitive within a commit.
-fn wal_ops<'a>(stmt: &'a conquer_sql::Statement, next: &'a Database) -> Result<Vec<WalOp<'a>>> {
-    use conquer_sql::Statement as S;
-    let put = |name: &str| -> Result<WalOp<'a>> { Ok(WalOp::Put(next.catalog().table(name)?)) };
-    Ok(match stmt {
-        S::CreateTable(ct) => vec![put(&ct.name)?],
-        S::Insert(ins) => vec![put(&ins.table)?],
-        S::Update(upd) => vec![put(&upd.table)?],
-        S::Delete(del) => vec![put(&del.table)?],
-        S::DropTable(name) => vec![WalOp::Drop(name)],
-        S::Select(_) | S::Explain { .. } => Vec::new(),
-    })
+/// the executor's touched-tables report: a whole-table image (in `next`,
+/// the post-statement version) for every table the statement changed —
+/// base tables, view contents/state, the view registry — or a drop
+/// marker for tables it removed. Whole images make replay idempotent and
+/// order-insensitive within a commit, and because base change and view
+/// maintenance arrive in the *same* commit, recovery can never observe a
+/// half-maintained view.
+fn wal_ops<'a>(touched: &'a [String], next: &'a Database) -> Result<Vec<WalOp<'a>>> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut ops = Vec::with_capacity(touched.len());
+    for name in touched {
+        if !seen.insert(name.as_str()) {
+            continue;
+        }
+        if next.catalog().contains(name) {
+            ops.push(WalOp::Put(next.catalog().table(name)?));
+        } else {
+            ops.push(WalOp::Drop(name));
+        }
+    }
+    Ok(ops)
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {

@@ -1,0 +1,850 @@
+//! Delta-maintained materialized views over the paper's rewritten queries.
+//!
+//! A Definition-7 rewriting always has the shape
+//!
+//! ```sql
+//! SELECT k1, …, kn, SUM(p1 * … * pm) FROM … WHERE … GROUP BY k1, …, kn
+//! ```
+//!
+//! — grouping keys plus a SUM of probability products. SUM is
+//! self-maintainable: inserting a base tuple adds its join contributions
+//! to the affected groups, deleting one retracts them, and a group
+//! disappears exactly when its last contribution is retracted. This
+//! module implements that maintenance for `CREATE MATERIALIZED VIEW`.
+//!
+//! ## Representation
+//!
+//! A view is two ordinary catalog tables plus a bookkeeping row:
+//!
+//! * the **contents table**, named like the view — one row per group in
+//!   group-key order, columns named and ordered like the defining
+//!   projection. `SELECT … FROM view` goes through the normal
+//!   binder/planner/executor (plan cache included) and therefore *never*
+//!   re-executes the base query;
+//! * the **state table** `__conquer_view_state_<name>` — one row per
+//!   *contribution* (join row): the group key plus the unaggregated term.
+//!   The per-group term multiset makes deletes exact: a group's row count
+//!   is its contribution count, and the group is dropped when the
+//!   multiset empties (count-backed retraction);
+//! * a row in **`__conquer_views`** holding the defining SQL and the
+//!   `deltas_applied` / `refreshes` counters.
+//!
+//! Because all three are plain tables they ride the existing WAL
+//! (whole-table images per commit) and checkpoint machinery unchanged:
+//! base-table change and view maintenance are one atomic commit, so a
+//! crash can never expose a half-maintained view.
+//!
+//! ## Bit-exactness
+//!
+//! Floating-point addition is not associative, so "the same sum" computed
+//! in two different orders can differ in the last ulp. Both the
+//! recompute path (`CREATE`/`REFRESH`) and the incremental path produce a
+//! group's SUM by sorting the term multiset with `f64::total_cmp` and
+//! folding in that order — equal multisets therefore give *byte-identical*
+//! sums, which is what the maintenance property test asserts. (An ad-hoc
+//! engine `SELECT SUM(…)` may still differ from the view by an ulp, since
+//! the executor folds in pipeline order; see DESIGN.md.)
+//!
+//! ## Delta propagation
+//!
+//! A DML statement changes exactly one base table `T`, captured as a
+//! delta (removed rows, added rows). For a view whose FROM list mentions
+//! `T` at occurrences `o1 < o2 < …` the change to the view telescopes:
+//!
+//! ```text
+//! Q(new) − Q(old) = Σ_k Q(new, …, Δ at o_k, …, old)
+//! ```
+//!
+//! — occurrence `o_k` is replaced by the delta, occurrences before it see
+//! the new `T`, occurrences after it the old `T` (self-joins included).
+//! Each summand is evaluated by running the *projection-only* view query
+//! (keys + bare SUM argument, no aggregation) over a scratch catalog
+//! through the ordinary executor; removed-side rows retract their
+//! (key, term) pairs, added-side rows insert them.
+
+use std::collections::BTreeMap;
+
+use conquer_sql::{
+    AggFunc, Expr, Literal, SelectItem, SelectStatement, Statement, TableRef, UnaryOp,
+};
+use conquer_storage::{Catalog, DataType, Row, Schema, Table, Value};
+
+use crate::database::Database;
+use crate::error::EngineError;
+use crate::Result;
+
+/// Prefix of every hidden bookkeeping table; direct DML against such
+/// tables is refused.
+pub const HIDDEN_PREFIX: &str = "__conquer_";
+
+/// The view-registry table: `(name, sql, deltas_applied, refreshes)`.
+pub const VIEWS_META: &str = "__conquer_views";
+
+/// Name of the per-contribution state table of view `name`.
+pub fn state_table_name(name: &str) -> String {
+    format!("{HIDDEN_PREFIX}view_state_{name}")
+}
+
+/// Schema of the [`VIEWS_META`] registry table.
+pub(crate) fn meta_schema() -> Result<Schema> {
+    Ok(Schema::from_pairs([
+        ("name", DataType::Text),
+        ("sql", DataType::Text),
+        ("deltas_applied", DataType::Int),
+        ("refreshes", DataType::Int),
+    ])?)
+}
+
+/// Maintenance counters of one materialized view (served by the server's
+/// `STATS` verb).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewStats {
+    /// View name.
+    pub name: String,
+    /// Current number of groups in the contents table.
+    pub rows: usize,
+    /// How many DML commits have been incrementally folded in.
+    pub deltas_applied: u64,
+    /// How many times the view was rebuilt from scratch (`REFRESH`).
+    pub refreshes: u64,
+}
+
+/// Per-group term multisets, keyed by group-key vector. The canonical
+/// in-memory form of a view's state table.
+pub(crate) type Groups = BTreeMap<Vec<Value>, Vec<Value>>;
+
+/// A change to one base table: the rows a statement removed and added.
+/// An update contributes each changed row to both sides.
+#[derive(Debug, Default)]
+pub(crate) struct TableDelta {
+    /// Rows present before the statement and absent after.
+    pub removed: Vec<Row>,
+    /// Rows absent before the statement and present after.
+    pub added: Vec<Row>,
+}
+
+impl TableDelta {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty()
+    }
+}
+
+/// An analyzed, maintainable view definition.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    /// View name (and name of its contents table).
+    pub name: String,
+    /// The defining query as written.
+    pub query: SelectStatement,
+    /// Projection-ordered output items: `(column name, expression)`.
+    /// The slot at [`ViewDef::term_index`] holds the SUM *argument*.
+    items: Vec<(String, Expr)>,
+    /// Which projection slot is the aggregate.
+    term_index: usize,
+    /// Inferred types of the non-aggregate (key) items, in key order.
+    key_types: Vec<DataType>,
+}
+
+impl ViewDef {
+    /// Check that `query` is delta-maintainable against `catalog` and
+    /// build the definition. The `Err` string is the human-readable
+    /// refusal reason (wrapped into
+    /// [`EngineError::NotMaintainable`] by the caller).
+    pub fn analyze(
+        catalog: &Catalog,
+        name: &str,
+        query: SelectStatement,
+    ) -> std::result::Result<ViewDef, String> {
+        if query.distinct {
+            return Err("SELECT DISTINCT is not delta-maintainable".into());
+        }
+        if query.having.is_some() {
+            return Err("HAVING is not delta-maintainable".into());
+        }
+        if !query.order_by.is_empty() {
+            return Err(
+                "ORDER BY has no meaning in a maintained view (its contents are kept in \
+                 group-key order); order at query time instead"
+                    .into(),
+            );
+        }
+        if query.limit.is_some() {
+            return Err("LIMIT is not delta-maintainable".into());
+        }
+        if query.from.is_empty() {
+            return Err("the view query needs a FROM clause".into());
+        }
+        for t in &query.from {
+            if t.table.starts_with(HIDDEN_PREFIX) {
+                return Err(format!(
+                    "{:?} is a view-bookkeeping table and cannot back a view",
+                    t.table
+                ));
+            }
+            if !catalog.contains(&t.table) {
+                return Err(format!("unknown base table {:?}", t.table));
+            }
+        }
+        if let Some(w) = &query.selection {
+            if contains_aggregate(w) {
+                return Err("aggregates in WHERE are not delta-maintainable".into());
+            }
+        }
+
+        // Exactly one aggregate item, a bare non-DISTINCT SUM.
+        let mut items: Vec<(String, Expr)> = Vec::with_capacity(query.projection.len());
+        let mut term_index: Option<usize> = None;
+        for (i, item) in query.projection.iter().enumerate() {
+            let SelectItem::Expr { expr, alias } = item else {
+                return Err("the projection must list named expressions, not wildcards".into());
+            };
+            let item_name = match (alias, expr) {
+                (Some(a), _) => a.clone(),
+                (None, Expr::Column(c)) => c.name.clone(),
+                (None, other) => {
+                    return Err(format!(
+                        "projected expression {other} needs an AS alias to become a view column"
+                    ))
+                }
+            };
+            match expr {
+                Expr::Aggregate {
+                    func,
+                    arg,
+                    distinct,
+                } => {
+                    if *func != AggFunc::Sum {
+                        return Err(format!(
+                            "only SUM is self-maintainable; {} is not",
+                            func.name()
+                        ));
+                    }
+                    if *distinct {
+                        return Err("SUM(DISTINCT …) is not delta-maintainable".into());
+                    }
+                    let Some(arg) = arg else {
+                        return Err("SUM needs an argument".into());
+                    };
+                    if term_index.is_some() {
+                        return Err("the projection must contain exactly one SUM, found two".into());
+                    }
+                    if contains_aggregate(arg) {
+                        return Err("nested aggregates are not allowed".into());
+                    }
+                    term_index = Some(i);
+                    items.push((item_name, (**arg).clone()));
+                }
+                other => {
+                    if contains_aggregate(other) {
+                        return Err(format!(
+                            "the aggregate must be a bare SUM projection, not embedded in {other}"
+                        ));
+                    }
+                    items.push((item_name, other.clone()));
+                }
+            }
+        }
+        let Some(term_index) = term_index else {
+            return Err(
+                "the projection must contain a SUM aggregate (keys + SUM of probability \
+                 products, Definition 7)"
+                    .into(),
+            );
+        };
+        for (i, (n, _)) in items.iter().enumerate() {
+            if items.iter().skip(i + 1).any(|(m, _)| m == n) {
+                return Err(format!("duplicate view column name {n:?}"));
+            }
+        }
+
+        // GROUP BY must be set-equal to the non-aggregate projections.
+        let key_exprs: Vec<&Expr> = items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != term_index)
+            .map(|(_, (_, e))| e)
+            .collect();
+        if key_exprs.is_empty() {
+            return Err(
+                "a scalar aggregate (no GROUP BY keys) is not delta-maintainable; \
+                 group by at least one key"
+                    .into(),
+            );
+        }
+        for g in &query.group_by {
+            if !key_exprs.contains(&g) {
+                return Err(format!("GROUP BY expression {g} is not in the projection"));
+            }
+        }
+        for k in &key_exprs {
+            if !query.group_by.iter().any(|g| g == *k) {
+                return Err(format!("projected key {k} is missing from GROUP BY"));
+            }
+        }
+
+        // Static types for the contents/state table schemas.
+        let mut key_types = Vec::with_capacity(key_exprs.len());
+        for k in &key_exprs {
+            key_types.push(infer_type(catalog, &query.from, k)?);
+        }
+        let term_type = infer_type(catalog, &query.from, &items[term_index].1)?;
+        if term_type != DataType::Float {
+            return Err(format!(
+                "the SUM argument must be FLOAT-typed (a probability product), got {}",
+                term_type.name()
+            ));
+        }
+
+        Ok(ViewDef {
+            name: name.to_string(),
+            query,
+            items,
+            term_index,
+            key_types,
+        })
+    }
+
+    /// Re-analyze a stored definition (rehydration after restart).
+    pub(crate) fn from_sql(
+        catalog: &Catalog,
+        name: &str,
+        sql: &str,
+    ) -> std::result::Result<ViewDef, String> {
+        match conquer_sql::parse_statement(sql) {
+            Ok(Statement::Select(q)) => ViewDef::analyze(catalog, name, q),
+            Ok(other) => Err(format!("stored view definition is not a SELECT: {other}")),
+            Err(e) => Err(format!("stored view definition does not parse: {e}")),
+        }
+    }
+
+    /// Does the view's FROM clause mention `table`?
+    pub fn references(&self, table: &str) -> bool {
+        self.query.from.iter().any(|t| t.table == table)
+    }
+
+    /// Name of this view's hidden state table.
+    pub fn state_table(&self) -> String {
+        state_table_name(&self.name)
+    }
+
+    /// The defining SQL as stored in the registry.
+    pub fn sql(&self) -> String {
+        self.query.to_string()
+    }
+
+    /// Schema of the contents table: projection-ordered and -named, SUM
+    /// column typed FLOAT.
+    pub(crate) fn contents_schema(&self) -> Result<Schema> {
+        let mut pairs = Vec::with_capacity(self.items.len());
+        let mut ki = 0usize;
+        for (i, (n, _)) in self.items.iter().enumerate() {
+            if i == self.term_index {
+                pairs.push((n.clone(), DataType::Float));
+            } else {
+                pairs.push((n.clone(), self.key_types[ki]));
+                ki += 1;
+            }
+        }
+        Ok(Schema::from_pairs(pairs)?)
+    }
+
+    /// Schema of the state table: the keys (projection order) then the
+    /// unaggregated term.
+    pub(crate) fn state_schema(&self) -> Result<Schema> {
+        let mut pairs = Vec::with_capacity(self.items.len());
+        let mut ki = 0usize;
+        for (i, (n, _)) in self.items.iter().enumerate() {
+            if i != self.term_index {
+                pairs.push((n.clone(), self.key_types[ki]));
+                ki += 1;
+            }
+        }
+        pairs.push((self.items[self.term_index].0.clone(), DataType::Float));
+        Ok(Schema::from_pairs(pairs)?)
+    }
+
+    /// The projection-only form of the view query: keys plus the *bare*
+    /// SUM argument, no aggregation — one output row per contribution.
+    fn projection_items(&self) -> Vec<SelectItem> {
+        self.items
+            .iter()
+            .map(|(_, e)| SelectItem::Expr {
+                expr: e.clone(),
+                alias: None,
+            })
+            .collect()
+    }
+
+    /// The full projection-only query over the original FROM/WHERE.
+    pub(crate) fn projection_query(&self) -> SelectStatement {
+        SelectStatement {
+            distinct: false,
+            projection: self.projection_items(),
+            from: self.query.from.clone(),
+            selection: self.query.selection.clone(),
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// Split one projection-only output row into (group key, term).
+    fn split_row(&self, mut row: Row) -> (Vec<Value>, Value) {
+        let term = row.remove(self.term_index);
+        (row, term)
+    }
+}
+
+/// Does the expression contain an aggregate call anywhere?
+pub(crate) fn contains_aggregate(e: &Expr) -> bool {
+    match e {
+        Expr::Aggregate { .. } => true,
+        Expr::Column(_) | Expr::Literal(_) => false,
+        Expr::Unary { expr, .. } => contains_aggregate(expr),
+        Expr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
+        Expr::Like { expr, pattern, .. } => contains_aggregate(expr) || contains_aggregate(pattern),
+        Expr::InList { expr, list, .. } => {
+            contains_aggregate(expr) || list.iter().any(contains_aggregate)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high),
+        Expr::IsNull { expr, .. } => contains_aggregate(expr),
+        Expr::Case {
+            operand,
+            branches,
+            else_expr,
+        } => {
+            operand.as_deref().is_some_and(contains_aggregate)
+                || branches
+                    .iter()
+                    .any(|(w, t)| contains_aggregate(w) || contains_aggregate(t))
+                || else_expr.as_deref().is_some_and(contains_aggregate)
+        }
+    }
+}
+
+/// Statically infer the type of a scalar expression over the FROM-clause
+/// schemas. Conservative: anything this cannot type makes the view
+/// non-maintainable (the refusal names the expression).
+fn infer_type(
+    catalog: &Catalog,
+    from: &[TableRef],
+    expr: &Expr,
+) -> std::result::Result<DataType, String> {
+    let bindings: Vec<(&str, &Schema)> = from
+        .iter()
+        .map(|t| {
+            catalog
+                .table(&t.table)
+                .map(|tab| (t.binding_name(), tab.schema()))
+                .map_err(|e| e.to_string())
+        })
+        .collect::<std::result::Result<_, _>>()?;
+    infer_with(&bindings, expr)
+}
+
+fn infer_with(bindings: &[(&str, &Schema)], expr: &Expr) -> std::result::Result<DataType, String> {
+    use conquer_sql::BinaryOp::*;
+    match expr {
+        Expr::Column(c) => {
+            let mut found: Option<DataType> = None;
+            for (binding, schema) in bindings {
+                if let Some(q) = &c.qualifier {
+                    if q != binding {
+                        continue;
+                    }
+                }
+                if let Some(idx) = schema.index_of(&c.name) {
+                    if found.is_some() {
+                        return Err(format!("ambiguous column reference {c}"));
+                    }
+                    found = Some(schema.columns()[idx].data_type());
+                }
+            }
+            found.ok_or_else(|| format!("unknown column {c}"))
+        }
+        Expr::Literal(l) => match l {
+            Literal::Null => Err("cannot infer a column type from NULL".into()),
+            Literal::Bool(_) => Ok(DataType::Bool),
+            Literal::Int(_) => Ok(DataType::Int),
+            Literal::Float(_) => Ok(DataType::Float),
+            Literal::Str(_) => Ok(DataType::Text),
+            Literal::Date(_) => Ok(DataType::Date),
+        },
+        Expr::Unary {
+            op: UnaryOp::Not, ..
+        } => Ok(DataType::Bool),
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => match infer_with(bindings, expr)? {
+            t @ (DataType::Int | DataType::Float) => Ok(t),
+            t => Err(format!("cannot negate a {} expression", t.name())),
+        },
+        Expr::Binary { left, op, right } => match op {
+            Or | And | Eq | NotEq | Lt | LtEq | Gt | GtEq => Ok(DataType::Bool),
+            Add | Sub | Mul | Div | Mod => {
+                let lt = infer_with(bindings, left)?;
+                let rt = infer_with(bindings, right)?;
+                match (lt, rt) {
+                    (DataType::Int, DataType::Int) => Ok(DataType::Int),
+                    (DataType::Int | DataType::Float, DataType::Int | DataType::Float) => {
+                        Ok(DataType::Float)
+                    }
+                    _ => Err(format!(
+                        "cannot type arithmetic over {} and {} in {expr}",
+                        lt.name(),
+                        rt.name()
+                    )),
+                }
+            }
+        },
+        Expr::Like { .. } | Expr::InList { .. } | Expr::Between { .. } | Expr::IsNull { .. } => {
+            Ok(DataType::Bool)
+        }
+        Expr::Aggregate { .. } => Err("aggregates cannot appear here".into()),
+        Expr::Case {
+            branches,
+            else_expr,
+            ..
+        } => {
+            let mut unified: Option<DataType> = None;
+            let arms = branches.iter().map(|(_, t)| t).chain(else_expr.as_deref());
+            for arm in arms {
+                if matches!(arm, Expr::Literal(Literal::Null)) {
+                    continue;
+                }
+                let t = infer_with(bindings, arm)?;
+                unified = Some(match unified {
+                    None => t,
+                    Some(u) if u == t => u,
+                    Some(DataType::Int | DataType::Float)
+                        if matches!(t, DataType::Int | DataType::Float) =>
+                    {
+                        DataType::Float
+                    }
+                    Some(u) => {
+                        return Err(format!(
+                            "CASE branches mix {} and {} in {expr}",
+                            u.name(),
+                            t.name()
+                        ))
+                    }
+                });
+            }
+            unified.ok_or_else(|| format!("cannot infer the type of {expr}"))
+        }
+    }
+}
+
+/// Fold a *sorted* term multiset into the group's SUM. Terms are sorted
+/// by `f64::total_cmp` (the [`Value`] order), so equal multisets fold in
+/// the same order and produce byte-identical sums. SQL semantics: NULL
+/// terms are skipped; a group of only-NULL terms sums to NULL.
+pub(crate) fn canonical_sum(sorted_terms: &[Value]) -> Value {
+    let mut acc = 0.0f64;
+    let mut any = false;
+    for t in sorted_terms {
+        if let Some(x) = t.as_f64() {
+            acc += x;
+            any = true;
+        }
+    }
+    if any {
+        Value::Float(acc)
+    } else {
+        Value::Null
+    }
+}
+
+/// Run the projection-only view query on `db` and collect the per-group
+/// term multisets — the from-scratch evaluation behind `CREATE` and
+/// `REFRESH`.
+pub(crate) fn recompute_groups(db: &Database, view: &ViewDef) -> Result<Groups> {
+    let result = db.run_select(&view.projection_query())?;
+    let mut groups = Groups::new();
+    for row in result.rows {
+        let (key, term) = view.split_row(row);
+        groups.entry(key).or_default().push(term);
+    }
+    Ok(groups)
+}
+
+/// Materialize the group map into the canonical contents + state tables:
+/// groups in key order, term multisets sorted, SUMs folded canonically.
+/// Both the recompute and the incremental path end here, which is what
+/// makes their outputs byte-identical for equal multisets.
+pub(crate) fn groups_to_tables(view: &ViewDef, groups: &mut Groups) -> Result<(Table, Table)> {
+    let mut contents = Table::new(&view.name, view.contents_schema()?);
+    let mut state = Table::new(view.state_table(), view.state_schema()?);
+    for (key, terms) in groups.iter_mut() {
+        terms.sort();
+        let sum = canonical_sum(terms);
+        let mut row: Row = Vec::with_capacity(key.len() + 1);
+        for pos in 0..=key.len() {
+            if pos == view.term_index {
+                row.push(sum.clone());
+            } else {
+                let ki = if pos < view.term_index { pos } else { pos - 1 };
+                row.push(key[ki].clone());
+            }
+        }
+        contents.insert(row)?;
+        for t in terms.iter() {
+            let mut srow: Row = key.clone();
+            srow.push(t.clone());
+            state.insert(srow)?;
+        }
+    }
+    Ok((contents, state))
+}
+
+/// Load a persisted state table back into the group map (terms arrive
+/// already sorted; re-sorted at write-out anyway).
+pub(crate) fn load_state(state: &Table) -> Result<Groups> {
+    let mut groups = Groups::new();
+    for row in state.rows() {
+        let Some((term, key)) = row.split_last() else {
+            return Err(EngineError::internal(format!(
+                "empty row in view state table {:?}",
+                state.name()
+            )));
+        };
+        groups.entry(key.to_vec()).or_default().push(term.clone());
+    }
+    Ok(groups)
+}
+
+/// Evaluate the signed (key, term) contribution pairs of one base-table
+/// delta against one view, by the telescoping decomposition described in
+/// the module docs. `db` is the *post-statement* database, `old` the
+/// pre-statement image of `table`. The `bool` is `true` for an added
+/// contribution, `false` for a retraction.
+pub(crate) fn delta_pairs(
+    db: &Database,
+    view: &ViewDef,
+    table: &str,
+    old: &Table,
+    delta: &TableDelta,
+) -> Result<Vec<(Vec<Value>, Value, bool)>> {
+    let occurrences: Vec<usize> = view
+        .query
+        .from
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.table == table)
+        .map(|(j, _)| j)
+        .collect();
+    let mut pairs = Vec::new();
+    for &k in &occurrences {
+        for (side, add) in [(&delta.removed, false), (&delta.added, true)] {
+            if side.is_empty() {
+                continue;
+            }
+            let mut scratch = Catalog::new();
+            let mut from = Vec::with_capacity(view.query.from.len());
+            for (j, tref) in view.query.from.iter().enumerate() {
+                let scratch_name = format!("{HIDDEN_PREFIX}delta_{j}");
+                let (schema, rows) = if j == k {
+                    (db.catalog().table(table)?.schema().clone(), side.clone())
+                } else if tref.table == table {
+                    // Self-join occurrences: new T before the delta slot,
+                    // old T after it (the telescope).
+                    let t = if j < k {
+                        db.catalog().table(table)?
+                    } else {
+                        old
+                    };
+                    (t.schema().clone(), t.rows().to_vec())
+                } else {
+                    let t = db.catalog().table(&tref.table)?;
+                    (t.schema().clone(), t.rows().to_vec())
+                };
+                let mut t = Table::new(scratch_name.clone(), schema);
+                t.insert_all(rows)?;
+                scratch.add_table(t)?;
+                from.push(TableRef::aliased(scratch_name, tref.binding_name()));
+            }
+            let query = SelectStatement {
+                distinct: false,
+                projection: view.projection_items(),
+                from,
+                selection: view.query.selection.clone(),
+                group_by: Vec::new(),
+                having: None,
+                order_by: Vec::new(),
+                limit: None,
+            };
+            let mut sdb = Database::from_catalog(scratch);
+            // Delta queries touch a handful of rows; running them on the
+            // morsel-parallel pool would cost more in dispatch than it
+            // saves, and maintenance must stay schedulable under the
+            // model explorer (pool workers are not virtual threads).
+            let mut limits = *db.limits();
+            limits.threads = Some(1);
+            sdb.set_limits(limits);
+            if let Some(dir) = db.spill_dir() {
+                sdb.set_spill_dir(dir);
+            }
+            for row in sdb.run_select(&query)?.rows {
+                let (key, term) = view.split_row(row);
+                pairs.push((key, term, add));
+            }
+        }
+    }
+    Ok(pairs)
+}
+
+/// Fold signed contribution pairs into the group map. Additions push
+/// into the term multiset; retractions remove one bit-identical instance
+/// and drop the group when its multiset empties. A retraction with no
+/// matching term means the state diverged from the bases — an internal
+/// invariant violation, surfaced as an error so the commit aborts whole.
+pub(crate) fn apply_pairs(
+    view: &ViewDef,
+    groups: &mut Groups,
+    pairs: Vec<(Vec<Value>, Value, bool)>,
+) -> Result<()> {
+    for (key, term, add) in pairs {
+        if add {
+            groups.entry(key).or_default().push(term);
+            continue;
+        }
+        if conquer_sync::mutant("view::skip-retract") {
+            // Seeded mutant for the concurrency-model test: "forget" to
+            // retract. The maintained view then keeps contributions of
+            // deleted base rows, which the oracle (and the schedule
+            // explorer's invariant) catches immediately.
+            continue;
+        }
+        let Some(terms) = groups.get_mut(&key) else {
+            return Err(EngineError::internal(format!(
+                "view {:?}: retraction for a group that is not in the state table",
+                view.name
+            )));
+        };
+        let Some(pos) = terms.iter().position(|t| *t == term) else {
+            return Err(EngineError::internal(format!(
+                "view {:?}: retraction found no matching term {term} in its group",
+                view.name
+            )));
+        };
+        terms.swap_remove(pos);
+        if terms.is_empty() {
+            groups.remove(&key);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "t",
+            Schema::from_pairs([
+                ("id", DataType::Text),
+                ("n", DataType::Int),
+                ("prob", DataType::Float),
+            ])
+            .unwrap(),
+        ))
+        .unwrap();
+        cat
+    }
+
+    fn analyze(sql: &str) -> std::result::Result<ViewDef, String> {
+        let Statement::Select(q) = conquer_sql::parse_statement(sql).unwrap() else {
+            panic!("not a select")
+        };
+        ViewDef::analyze(&catalog(), "v", q)
+    }
+
+    #[test]
+    fn clean_answer_shape_is_maintainable() {
+        let v = analyze("SELECT id, SUM(prob) AS p FROM t GROUP BY id").unwrap();
+        assert_eq!(v.term_index, 1);
+        assert_eq!(v.key_types, vec![DataType::Text]);
+        assert!(v.references("t"));
+        assert!(!v.references("u"));
+    }
+
+    #[test]
+    fn refusals_name_the_reason() {
+        for (sql, needle) in [
+            ("SELECT DISTINCT id FROM t", "DISTINCT"),
+            (
+                "SELECT id, SUM(prob) AS p FROM t GROUP BY id LIMIT 3",
+                "LIMIT",
+            ),
+            (
+                "SELECT id, SUM(prob) AS p FROM t GROUP BY id ORDER BY id",
+                "ORDER BY",
+            ),
+            (
+                "SELECT id, SUM(prob) AS p FROM t GROUP BY id HAVING SUM(prob) > 1",
+                "HAVING",
+            ),
+            ("SELECT id, COUNT(*) AS c FROM t GROUP BY id", "COUNT"),
+            ("SELECT id FROM t GROUP BY id", "SUM"),
+            ("SELECT SUM(prob) AS p FROM t", "GROUP BY"),
+            ("SELECT id, SUM(n) AS s FROM t GROUP BY id", "FLOAT"),
+            (
+                "SELECT id, n, SUM(prob) AS p FROM t GROUP BY id",
+                "GROUP BY",
+            ),
+            (
+                "SELECT id, SUM(prob) AS a, SUM(prob) AS b FROM t GROUP BY id",
+                "exactly one",
+            ),
+            ("SELECT id, SUM(prob) AS p FROM nope GROUP BY id", "nope"),
+            ("SELECT *, SUM(prob) AS p FROM t GROUP BY id", "wildcard"),
+        ] {
+            let err = analyze(sql).unwrap_err();
+            assert!(err.contains(needle), "{sql}: {err}");
+        }
+    }
+
+    #[test]
+    fn canonical_sum_is_order_canonical() {
+        // The same multiset arriving in any order sums identically once
+        // sorted (ulp-sensitive values on purpose).
+        let a = [0.1f64, 0.2, 0.3, 1e-17, 0.7];
+        let mut terms: Vec<Value> = a.iter().map(|x| Value::Float(*x)).collect();
+        terms.sort();
+        let s1 = canonical_sum(&terms);
+        let mut rev: Vec<Value> = a.iter().rev().map(|x| Value::Float(*x)).collect();
+        rev.sort();
+        let s2 = canonical_sum(&rev);
+        assert_eq!(s1, s2);
+        assert_eq!(canonical_sum(&[Value::Null]), Value::Null);
+        assert_eq!(canonical_sum(&[]), Value::Null);
+    }
+
+    #[test]
+    fn retraction_without_match_is_internal_error() {
+        let v = analyze("SELECT id, SUM(prob) AS p FROM t GROUP BY id").unwrap();
+        let mut groups = Groups::new();
+        groups.insert(vec![Value::text("a")], vec![Value::Float(0.5)]);
+        let err = apply_pairs(
+            &v,
+            &mut groups,
+            vec![(vec![Value::text("a")], Value::Float(0.25), false)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Internal(_)), "{err}");
+        // Count-backed: retracting the last term drops the group.
+        apply_pairs(
+            &v,
+            &mut groups,
+            vec![(vec![Value::text("a")], Value::Float(0.5), false)],
+        )
+        .unwrap();
+        assert!(groups.is_empty());
+    }
+}

@@ -227,3 +227,123 @@ fn mutate_killed_at_the_swap_changes_nothing_visible_or_durable() {
     assert_eq!(count(&db), 2);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Kill a DML statement over a view-bearing database at every reachable
+/// fault point — including the view-maintenance point itself — and prove
+/// that after recovery the view is never observable half-maintained: its
+/// contents always equal a recompute over the recovered base table, and
+/// the base table itself sits exactly on a committed boundary.
+#[test]
+fn view_dml_killed_at_every_fault_point_is_never_half_maintained() {
+    let _guard = serialize();
+
+    let setup = |dir: &std::path::Path| -> SharedDatabase {
+        let (db, _) = open(dir);
+        let s = db.session();
+        s.execute("CREATE TABLE t (id TEXT, g INTEGER, prob DOUBLE)")
+            .unwrap();
+        // Dyadic probabilities: every partial sum is exact in binary, so
+        // the recompute oracle below is equality, not epsilon.
+        s.execute(
+            "INSERT INTO t VALUES ('a', 1, 0.5), ('a', 2, 0.5), \
+                                  ('b', 1, 0.25), ('b', 1, 0.75)",
+        )
+        .unwrap();
+        s.execute(
+            "CREATE MATERIALIZED VIEW v AS \
+             SELECT g, SUM(prob) AS p FROM t GROUP BY g",
+        )
+        .unwrap();
+        db
+    };
+    // Retracts ('a',1) from group 1 and adds ('a',2)/('a',3): both sides
+    // of the delta pipeline run inside one commit.
+    let dml = "UPDATE t SET g = g + 1 WHERE id = 'a'";
+
+    let hits_of = |point: &str| -> u64 {
+        let scratch = tempdir("vscratch");
+        fault::reset();
+        let db = setup(&scratch);
+        fault::reset(); // count the DML only
+        db.session().execute(dml).unwrap();
+        let hits = fault::hit_count(point);
+        std::fs::remove_dir_all(&scratch).ok();
+        hits
+    };
+
+    let oracle = |db: &SharedDatabase, ctx: &str| {
+        let s = db.session();
+        let viewed = s.query("SELECT g, p FROM v ORDER BY g").unwrap();
+        let recomputed = s
+            .query("SELECT g, SUM(prob) AS p FROM t GROUP BY g ORDER BY g")
+            .unwrap();
+        assert_eq!(
+            viewed.result.rows, recomputed.result.rows,
+            "{ctx}: view observable half-maintained after recovery"
+        );
+    };
+
+    for point in [
+        "view::apply",
+        "wal::op",
+        "wal::commit",
+        "wal::io_write",
+        "wal::sync",
+        "shared::swap",
+    ] {
+        let hits = hits_of(point);
+        assert!(hits > 0, "fault point {point} never hit during view DML");
+        for i in 1..=hits {
+            let dir = tempdir("vkill");
+            fault::reset();
+            let db = setup(&dir);
+            let s = db.session();
+
+            fault::arm(point, i);
+            let err = s.execute(dml).unwrap_err();
+            assert!(
+                err.to_string().contains("injected fault"),
+                "{point} hit {i}: {err}"
+            );
+            fault::reset();
+
+            // Pre-crash: the failed statement published nothing, and the
+            // view still matches its base table.
+            oracle(&db, &format!("{point} hit {i} (pre-crash)"));
+            drop((s, db));
+
+            let (db, report) = open(&dir);
+            assert!(
+                !report.issues.iter().any(|s| s.contains("torn")),
+                "{point} hit {i}: {report:?}"
+            );
+            // Boundary check on the base table: the update either fully
+            // vanished (old: 'a' still has a g=1 row) or fully applied
+            // (new: it does not). `shared::swap` fires after the WAL
+            // fsync, so only there the write was already durable.
+            let olds = match db
+                .session()
+                .query("SELECT COUNT(*) FROM t WHERE id = 'a' AND g = 1")
+            {
+                Ok(r) => match r.result.rows[0][0] {
+                    Value::Int(n) => n,
+                    ref other => panic!("unexpected {other:?}"),
+                },
+                Err(e) => panic!("{point} hit {i}: {e}"),
+            };
+            let expect = if point == "shared::swap" { 0 } else { 1 };
+            assert_eq!(olds, expect, "{point} hit {i}: not a committed boundary");
+            oracle(&db, &format!("{point} hit {i} (post-recovery)"));
+
+            // Maintenance keeps working after recovery, durably.
+            db.session()
+                .execute("INSERT INTO t VALUES ('c', 1, 0.125)")
+                .unwrap();
+            oracle(&db, &format!("{point} hit {i} (post-recovery DML)"));
+            let stats = db.stats();
+            assert_eq!(stats.views, 1, "{point} hit {i}: registry lost the view");
+            assert!(stats.view_deltas_applied > 0, "{point} hit {i}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

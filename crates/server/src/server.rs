@@ -371,8 +371,21 @@ fn respond(w: &mut impl Write, session: &Session, request: Request) -> std::io::
                 ("degraded", stats.degraded as u64),
                 ("running", gate.running() as u64),
                 ("queued", gate.queued() as u64),
+                ("views", stats.views as u64),
+                ("view_rows", stats.view_rows as u64),
+                ("view_deltas_applied", stats.view_deltas_applied),
+                ("view_refreshes", stats.view_refreshes),
             ] {
                 writeln!(w, "STAT {key} {value}")?;
+            }
+            for v in session.shared().view_stats() {
+                writeln!(w, "STAT view.{}.rows {}", v.name, v.rows)?;
+                writeln!(
+                    w,
+                    "STAT view.{}.deltas_applied {}",
+                    v.name, v.deltas_applied
+                )?;
+                writeln!(w, "STAT view.{}.refreshes {}", v.name, v.refreshes)?;
             }
             writeln!(w, "OK stats")
         }
@@ -451,6 +464,12 @@ fn summarize(outcome: &ExecOutcome) -> String {
         ExecOutcome::Deleted(n) => format!("deleted {n}"),
         ExecOutcome::Updated(n) => format!("updated {n}"),
         ExecOutcome::Rows(r) => format!("rows {}", r.len()),
+        ExecOutcome::CreatedView(n) => format!("created view ({n} groups)"),
+        ExecOutcome::DroppedView => "dropped view".to_string(),
+        ExecOutcome::RefreshedView(n) => format!("refreshed view ({n} groups)"),
+        ExecOutcome::Reclustered(n) => format!("reclustered {n}"),
+        ExecOutcome::Reannotated(n) => format!("reannotated {n}"),
+        ExecOutcome::CrossrefApplied(n) => format!("crossref applied ({n} clusters)"),
     }
 }
 

@@ -34,6 +34,22 @@ pub enum Statement {
         /// The query being explained.
         query: SelectStatement,
     },
+    /// `CREATE MATERIALIZED VIEW name AS SELECT …`
+    CreateView(CreateView),
+    /// `DROP MATERIALIZED VIEW name`
+    DropView(String),
+    /// `REFRESH MATERIALIZED VIEW name` — recompute from scratch.
+    RefreshView(String),
+    /// `RECLUSTER table (id, prob) TO target [WHERE …]` — move matching
+    /// tuples into the duplicate cluster `target`.
+    Recluster(Recluster),
+    /// `REANNOTATE table (id, prob) SET expr [WHERE …]` — overwrite the
+    /// probability annotation of matching tuples.
+    Reannotate(Reannotate),
+    /// `APPLY CROSSREF xref (key, id) TO table (key, id)` — ingest a
+    /// matcher's cross-reference table into a dirty relation's identifier
+    /// column.
+    ApplyCrossref(ApplyCrossref),
 }
 
 impl fmt::Display for Statement {
@@ -52,7 +68,130 @@ impl fmt::Display for Statement {
                     if *analyze { "ANALYZE " } else { "" }
                 )
             }
+            Statement::CreateView(s) => s.fmt(f),
+            Statement::DropView(name) => write!(f, "DROP MATERIALIZED VIEW {name}"),
+            Statement::RefreshView(name) => write!(f, "REFRESH MATERIALIZED VIEW {name}"),
+            Statement::Recluster(s) => s.fmt(f),
+            Statement::Reannotate(s) => s.fmt(f),
+            Statement::ApplyCrossref(s) => s.fmt(f),
         }
+    }
+}
+
+/// `CREATE MATERIALIZED VIEW` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateView {
+    /// View name (becomes a queryable relation of that name).
+    pub name: String,
+    /// The defining query (must be maintainable: GROUP BY + one SUM).
+    pub query: SelectStatement,
+}
+
+impl fmt::Display for CreateView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CREATE MATERIALIZED VIEW {} AS {}",
+            self.name, self.query
+        )
+    }
+}
+
+/// `RECLUSTER` statement: a dirty-data mutation moving tuples between
+/// duplicate clusters. `(id_column, prob_column)` names the cluster
+/// structure; probabilities of every affected cluster are renormalized to
+/// sum to 1 afterwards (Definition 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recluster {
+    /// Target dirty relation.
+    pub table: String,
+    /// The cluster-identifier column.
+    pub id_column: String,
+    /// The probability column (renormalized per affected cluster).
+    pub prob_column: String,
+    /// Constant expression for the destination cluster identifier.
+    pub target: Expr,
+    /// Which tuples move; absent moves every row.
+    pub selection: Option<Expr>,
+}
+
+impl fmt::Display for Recluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RECLUSTER {} ({}, {}) TO {}",
+            self.table, self.id_column, self.prob_column, self.target
+        )?;
+        if let Some(w) = &self.selection {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `REANNOTATE` statement: overwrite the probability annotation of
+/// matching tuples with the value of an expression (evaluated against the
+/// old row). Unlike [`Recluster`] nothing is renormalized — the caller
+/// controls the exact probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reannotate {
+    /// Target dirty relation.
+    pub table: String,
+    /// The cluster-identifier column (names the cluster structure).
+    pub id_column: String,
+    /// The probability column being overwritten.
+    pub prob_column: String,
+    /// New probability, evaluated per matching row.
+    pub value: Expr,
+    /// Which tuples are re-annotated; absent re-annotates every row.
+    pub selection: Option<Expr>,
+}
+
+impl fmt::Display for Reannotate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "REANNOTATE {} ({}, {}) SET {}",
+            self.table, self.id_column, self.prob_column, self.value
+        )?;
+        if let Some(w) = &self.selection {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `APPLY CROSSREF` statement: ingest an external matcher's
+/// cross-reference table (`original key → cluster id`) into a dirty
+/// relation's identifier column (Section 2.1 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplyCrossref {
+    /// The cross-reference table.
+    pub xref_table: String,
+    /// Its original-key column.
+    pub xref_key_column: String,
+    /// Its cluster-identifier column.
+    pub xref_id_column: String,
+    /// The dirty relation being rewritten.
+    pub table: String,
+    /// The relation's original-key column (joined against the xref keys).
+    pub key_column: String,
+    /// The relation's identifier column (written from the mapping).
+    pub id_column: String,
+}
+
+impl fmt::Display for ApplyCrossref {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "APPLY CROSSREF {} ({}, {}) TO {} ({}, {})",
+            self.xref_table,
+            self.xref_key_column,
+            self.xref_id_column,
+            self.table,
+            self.key_column,
+            self.id_column
+        )
     }
 }
 

@@ -54,6 +54,14 @@ pub enum Keyword {
     Drop,
     Explain,
     Analyze,
+    Materialized,
+    View,
+    Refresh,
+    Recluster,
+    Reannotate,
+    Apply,
+    Crossref,
+    To,
     Integer,
     Int,
     Double,
@@ -114,6 +122,14 @@ impl Keyword {
             "END" => End,
             "EXPLAIN" => Explain,
             "ANALYZE" | "ANALYSE" => Analyze,
+            "MATERIALIZED" => Materialized,
+            "VIEW" => View,
+            "REFRESH" => Refresh,
+            "RECLUSTER" => Recluster,
+            "REANNOTATE" => Reannotate,
+            "APPLY" => Apply,
+            "CROSSREF" => Crossref,
+            "TO" => To,
             "INTEGER" => Integer,
             "INT" | "BIGINT" => Int,
             "DOUBLE" => Double,

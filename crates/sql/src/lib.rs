@@ -31,8 +31,9 @@ pub mod parser;
 pub mod span;
 
 pub use ast::{
-    AggFunc, BinaryOp, ColumnRef, CreateTable, Delete, Expr, Insert, InsertSource, Literal,
-    OrderByItem, SelectItem, SelectStatement, Statement, TableRef, UnaryOp, Update,
+    AggFunc, ApplyCrossref, BinaryOp, ColumnRef, CreateTable, CreateView, Delete, Expr, Insert,
+    InsertSource, Literal, OrderByItem, Reannotate, Recluster, SelectItem, SelectStatement,
+    Statement, TableRef, UnaryOp, Update,
 };
 pub use lexer::{Keyword, Lexer, Token, TokenKind};
 pub use parser::{parse_expr, parse_select, parse_statement, parse_statements, ParseError};

@@ -221,14 +221,37 @@ impl Parser {
     fn statement(&mut self) -> Result<Statement, ParseError> {
         match &self.peek().kind {
             TokenKind::Keyword(Keyword::Select) => Ok(Statement::Select(self.select()?)),
+            TokenKind::Keyword(Keyword::Create)
+                if self.peek2() == &TokenKind::Keyword(Keyword::Materialized) =>
+            {
+                Ok(Statement::CreateView(self.create_view()?))
+            }
             TokenKind::Keyword(Keyword::Create) => Ok(Statement::CreateTable(self.create_table()?)),
             TokenKind::Keyword(Keyword::Insert) => Ok(Statement::Insert(self.insert()?)),
             TokenKind::Keyword(Keyword::Delete) => Ok(Statement::Delete(self.delete()?)),
             TokenKind::Keyword(Keyword::Update) => Ok(Statement::Update(self.update()?)),
             TokenKind::Keyword(Keyword::Drop) => {
                 self.advance();
-                self.expect_kw(Keyword::Table)?;
-                Ok(Statement::DropTable(self.ident()?))
+                if self.eat_kw(Keyword::Materialized) {
+                    self.expect_kw(Keyword::View)?;
+                    Ok(Statement::DropView(self.ident()?))
+                } else {
+                    self.expect_kw(Keyword::Table)?;
+                    Ok(Statement::DropTable(self.ident()?))
+                }
+            }
+            TokenKind::Keyword(Keyword::Refresh) => {
+                self.advance();
+                self.expect_kw(Keyword::Materialized)?;
+                self.expect_kw(Keyword::View)?;
+                Ok(Statement::RefreshView(self.ident()?))
+            }
+            TokenKind::Keyword(Keyword::Recluster) => Ok(Statement::Recluster(self.recluster()?)),
+            TokenKind::Keyword(Keyword::Reannotate) => {
+                Ok(Statement::Reannotate(self.reannotate()?))
+            }
+            TokenKind::Keyword(Keyword::Apply) => {
+                Ok(Statement::ApplyCrossref(self.apply_crossref()?))
             }
             TokenKind::Keyword(Keyword::Explain) => {
                 self.advance();
@@ -240,7 +263,8 @@ impl Parser {
             }
             other => {
                 let msg = format!(
-                    "expected SELECT, CREATE, INSERT, DELETE, UPDATE or EXPLAIN, found {other}"
+                    "expected SELECT, CREATE, INSERT, DELETE, UPDATE, DROP, REFRESH, \
+                     RECLUSTER, REANNOTATE, APPLY or EXPLAIN, found {other}"
                 );
                 self.err(msg)
             }
@@ -394,6 +418,85 @@ impl Parser {
             table,
             assignments,
             selection,
+        })
+    }
+
+    fn create_view(&mut self) -> Result<CreateView, ParseError> {
+        self.expect_kw(Keyword::Create)?;
+        self.expect_kw(Keyword::Materialized)?;
+        self.expect_kw(Keyword::View)?;
+        let name = self.ident()?;
+        self.expect_kw(Keyword::As)?;
+        let query = self.select()?;
+        Ok(CreateView { name, query })
+    }
+
+    /// `(<ident>, <ident>)` — the column pair naming a dirty relation's
+    /// cluster structure in RECLUSTER/REANNOTATE/APPLY CROSSREF.
+    fn column_pair(&mut self) -> Result<(String, String), ParseError> {
+        self.expect_kind(&TokenKind::LParen)?;
+        let first = self.ident()?;
+        self.expect_kind(&TokenKind::Comma)?;
+        let second = self.ident()?;
+        self.expect_kind(&TokenKind::RParen)?;
+        Ok((first, second))
+    }
+
+    fn recluster(&mut self) -> Result<Recluster, ParseError> {
+        self.expect_kw(Keyword::Recluster)?;
+        let table = self.ident()?;
+        let (id_column, prob_column) = self.column_pair()?;
+        self.expect_kw(Keyword::To)?;
+        let target = self.expr()?;
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Recluster {
+            table,
+            id_column,
+            prob_column,
+            target,
+            selection,
+        })
+    }
+
+    fn reannotate(&mut self) -> Result<Reannotate, ParseError> {
+        self.expect_kw(Keyword::Reannotate)?;
+        let table = self.ident()?;
+        let (id_column, prob_column) = self.column_pair()?;
+        self.expect_kw(Keyword::Set)?;
+        let value = self.expr()?;
+        let selection = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Reannotate {
+            table,
+            id_column,
+            prob_column,
+            value,
+            selection,
+        })
+    }
+
+    fn apply_crossref(&mut self) -> Result<ApplyCrossref, ParseError> {
+        self.expect_kw(Keyword::Apply)?;
+        self.expect_kw(Keyword::Crossref)?;
+        let xref_table = self.ident()?;
+        let (xref_key_column, xref_id_column) = self.column_pair()?;
+        self.expect_kw(Keyword::To)?;
+        let table = self.ident()?;
+        let (key_column, id_column) = self.column_pair()?;
+        Ok(ApplyCrossref {
+            xref_table,
+            xref_key_column,
+            xref_id_column,
+            table,
+            key_column,
+            id_column,
         })
     }
 
@@ -1022,6 +1125,15 @@ mod tests {
             "EXPLAIN SELECT a FROM t WHERE a > 1",
             "EXPLAIN ANALYZE SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a LIMIT 5",
             "CREATE TABLE t (a INTEGER, b DOUBLE, c TEXT, d DATE, e BOOLEAN)",
+            "CREATE MATERIALIZED VIEW v AS SELECT c.id, SUM(c.prob) AS p \
+             FROM customer c WHERE c.balance > 100 GROUP BY c.id",
+            "DROP MATERIALIZED VIEW v",
+            "REFRESH MATERIALIZED VIEW v",
+            "RECLUSTER customer (id, prob) TO 'c2' WHERE name = 'ann'",
+            "RECLUSTER customer (id, prob) TO 'c1'",
+            "REANNOTATE customer (id, prob) SET prob * 0.5 WHERE id = 'c1'",
+            "REANNOTATE customer (id, prob) SET 0.25",
+            "APPLY CROSSREF xref (orig, cluster) TO customer (custkey, id)",
         ] {
             let stmt = parse_statement(sql).unwrap();
             let printed = stmt.to_string();
@@ -1052,5 +1164,72 @@ mod tests {
             }
         ));
         assert!(parse_expr("sum(*)").is_err());
+    }
+
+    #[test]
+    fn view_and_dirty_mutation_statements_parse() {
+        let stmt = parse_statement(
+            "create materialized view hot as \
+             select o.id, sum(o.prob * c.prob) as p from orders o, customer c \
+             where o.cidfk = c.id group by o.id",
+        )
+        .unwrap();
+        let Statement::CreateView(cv) = stmt else {
+            panic!("expected CreateView");
+        };
+        assert_eq!(cv.name, "hot");
+        assert_eq!(cv.query.from.len(), 2);
+
+        assert_eq!(
+            parse_statement("drop materialized view hot").unwrap(),
+            Statement::DropView("hot".into())
+        );
+        assert_eq!(
+            parse_statement("refresh materialized view hot").unwrap(),
+            Statement::RefreshView("hot".into())
+        );
+
+        let Statement::Recluster(rc) =
+            parse_statement("RECLUSTER customer (id, prob) TO 'c7' WHERE custkey = 3").unwrap()
+        else {
+            panic!("expected Recluster");
+        };
+        assert_eq!(
+            (rc.table.as_str(), rc.id_column.as_str()),
+            ("customer", "id")
+        );
+        assert_eq!(rc.prob_column, "prob");
+        assert!(rc.selection.is_some());
+
+        let Statement::Reannotate(ra) =
+            parse_statement("REANNOTATE customer (id, prob) SET prob / 2").unwrap()
+        else {
+            panic!("expected Reannotate");
+        };
+        assert_eq!(ra.table, "customer");
+        assert!(ra.selection.is_none());
+
+        let Statement::ApplyCrossref(ax) =
+            parse_statement("APPLY CROSSREF xref (orig, cluster) TO customer (custkey, id)")
+                .unwrap()
+        else {
+            panic!("expected ApplyCrossref");
+        };
+        assert_eq!(ax.xref_table, "xref");
+        assert_eq!(ax.table, "customer");
+        assert_eq!(ax.key_column, "custkey");
+        assert_eq!(ax.id_column, "id");
+
+        // Malformed shapes fail with parse errors, not panics.
+        for bad in [
+            "CREATE MATERIALIZED v AS SELECT a FROM t",
+            "DROP MATERIALIZED TABLE v",
+            "REFRESH VIEW v",
+            "RECLUSTER customer (id) TO 'c1'",
+            "REANNOTATE customer (id, prob) 0.5",
+            "APPLY CROSSREF xref (a, b) customer (c, d)",
+        ] {
+            assert!(parse_statement(bad).is_err(), "{bad} should not parse");
+        }
     }
 }

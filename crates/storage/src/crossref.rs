@@ -1,0 +1,175 @@
+//! Cross-reference ingestion at the catalog level (Section 2.1 of the
+//! paper).
+//!
+//! External duplicate-detection tools (the paper names WebSphere
+//! QualityStage) emit *cross-reference tables* mapping each tuple's
+//! original key to the identifier of the duplicate cluster it belongs to.
+//! [`apply_crossref`] applies such a mapping to a dirty relation in place:
+//! every row's identifier column is set from the mapping of its original
+//! key, turning the matcher's output into the identifier-column form the
+//! rest of the system consumes.
+//!
+//! The logic lives here (rather than in `conquer-core`, which re-exports
+//! it) so the query engine can execute `APPLY CROSSREF` statements without
+//! depending on the core crate — the dependency arrow points the other
+//! way.
+
+use std::collections::HashMap;
+
+use crate::catalog::Catalog;
+use crate::error::StorageError;
+use crate::value::Value;
+
+/// Apply a cross-reference table to a dirty relation.
+///
+/// * `table.key_column` — the relation's original (per-tuple) key;
+/// * `xref.key/xref.id` — the matcher's mapping `original key → cluster id`;
+/// * `table.id_column` — where the cluster identifier is written.
+///
+/// Every key of `table` must be mapped (a matcher that has seen the
+/// relation maps all of it); unmapped keys are an error naming the first
+/// offender. Duplicate mappings with conflicting ids are rejected.
+/// Returns the number of distinct clusters assigned.
+pub fn apply_crossref(
+    catalog: &mut Catalog,
+    table: &str,
+    key_column: &str,
+    id_column: &str,
+    xref_table: &str,
+    xref_key_column: &str,
+    xref_id_column: &str,
+) -> Result<usize, StorageError> {
+    // Build the mapping first (immutable borrow).
+    let mapping: HashMap<Value, Value> = {
+        let xref = catalog.table(xref_table)?;
+        let kcol = xref.column_index(xref_key_column)?;
+        let icol = xref.column_index(xref_id_column)?;
+        let mut map = HashMap::with_capacity(xref.len());
+        for (i, row) in xref.rows().iter().enumerate() {
+            let key = row[kcol].clone();
+            if key.is_null() {
+                return Err(StorageError::InvalidData(format!(
+                    "cross-reference table {xref_table:?} has a NULL key in row {i}"
+                )));
+            }
+            let id = row[icol].clone();
+            if let Some(prev) = map.insert(key.clone(), id.clone()) {
+                if prev != id {
+                    return Err(StorageError::InvalidData(format!(
+                        "cross-reference maps key {key} to both {prev} and {id}"
+                    )));
+                }
+            }
+        }
+        map
+    };
+
+    // Resolve the ids for every row before mutating.
+    let ids: Vec<Value> = {
+        let t = catalog.table(table)?;
+        let kcol = t.column_index(key_column)?;
+        t.rows()
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                mapping.get(&row[kcol]).cloned().ok_or_else(|| {
+                    StorageError::InvalidData(format!(
+                        "key {} of {table:?} (row {i}) is not in the cross-reference table",
+                        row[kcol]
+                    ))
+                })
+            })
+            .collect::<Result<_, StorageError>>()?
+    };
+    let distinct: std::collections::HashSet<&Value> = ids.iter().collect();
+    let count = distinct.len();
+
+    catalog
+        .table_mut(table)?
+        .update_column(id_column, |i, _| ids[i].clone())?;
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::Table;
+    use crate::value::DataType;
+
+    fn setup() -> Catalog {
+        let mut cat = Catalog::new();
+        let mut customer = Table::new(
+            "customer",
+            Schema::from_pairs([
+                ("id", DataType::Text),
+                ("custkey", DataType::Int),
+                ("name", DataType::Text),
+            ])
+            .unwrap(),
+        );
+        for (key, name) in [(101, "ann"), (102, "anne"), (103, "bob")] {
+            customer
+                .insert(vec![Value::text(""), Value::Int(key), Value::text(name)])
+                .unwrap();
+        }
+        let mut xref = Table::new(
+            "xref",
+            Schema::from_pairs([("orig", DataType::Int), ("cluster", DataType::Text)]).unwrap(),
+        );
+        for (key, cluster) in [(101, "c1"), (102, "c1"), (103, "c2")] {
+            xref.insert(vec![Value::Int(key), Value::text(cluster)])
+                .unwrap();
+        }
+        cat.add_table(customer).unwrap();
+        cat.add_table(xref).unwrap();
+        cat
+    }
+
+    #[test]
+    fn assigns_cluster_identifiers() {
+        let mut cat = setup();
+        let clusters = apply_crossref(
+            &mut cat, "customer", "custkey", "id", "xref", "orig", "cluster",
+        )
+        .unwrap();
+        assert_eq!(clusters, 2);
+        let ids: Vec<String> = cat
+            .table("customer")
+            .unwrap()
+            .rows()
+            .iter()
+            .map(|r| r[0].to_string())
+            .collect();
+        assert_eq!(ids, vec!["c1", "c1", "c2"]);
+    }
+
+    #[test]
+    fn unmapped_key_is_invalid_data() {
+        let mut cat = setup();
+        cat.table_mut("customer")
+            .unwrap()
+            .insert(vec![Value::text(""), Value::Int(999), Value::text("zed")])
+            .unwrap();
+        let err = apply_crossref(
+            &mut cat, "customer", "custkey", "id", "xref", "orig", "cluster",
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::InvalidData(_)), "{err}");
+        assert!(err.to_string().contains("999"), "{err}");
+    }
+
+    #[test]
+    fn conflicting_mapping_is_invalid_data() {
+        let mut cat = setup();
+        cat.table_mut("xref")
+            .unwrap()
+            .insert(vec![Value::Int(101), Value::text("c9")])
+            .unwrap();
+        let err = apply_crossref(
+            &mut cat, "customer", "custkey", "id", "xref", "orig", "cluster",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("both"), "{err}");
+    }
+}

@@ -69,6 +69,10 @@ pub enum StorageError {
     Degraded(String),
     /// Underlying I/O failure (CSV import/export, persistence).
     Io(String),
+    /// The data itself violates an operation's contract (e.g. a
+    /// cross-reference table with NULL or conflicting keys, a dirty
+    /// relation with unmapped keys). The schema is fine; the rows are not.
+    InvalidData(String),
 }
 
 impl fmt::Display for StorageError {
@@ -109,6 +113,7 @@ impl fmt::Display for StorageError {
             StorageError::NoSpace(msg) => write!(f, "disk full: {msg}"),
             StorageError::Degraded(msg) => write!(f, "storage degraded: {msg}"),
             StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StorageError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
         }
     }
 }

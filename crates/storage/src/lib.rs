@@ -26,6 +26,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod catalog;
+pub mod crossref;
 pub mod csv;
 pub mod date;
 pub mod error;
@@ -41,6 +42,7 @@ pub mod vfs;
 pub mod wal;
 
 pub use catalog::Catalog;
+pub use crossref::apply_crossref;
 pub use date::Date;
 pub use error::StorageError;
 pub use index::HashIndex;

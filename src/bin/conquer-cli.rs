@@ -119,6 +119,22 @@ impl Shell {
             conquer_engine::database::ExecOutcome::Deleted(n) => println!("{n} rows deleted."),
             conquer_engine::database::ExecOutcome::Updated(n) => println!("{n} rows updated."),
             conquer_engine::database::ExecOutcome::Rows(r) => print!("{r}"),
+            conquer_engine::database::ExecOutcome::CreatedView(n) => {
+                println!("materialized view created ({n} groups).")
+            }
+            conquer_engine::database::ExecOutcome::DroppedView => println!("view dropped."),
+            conquer_engine::database::ExecOutcome::RefreshedView(n) => {
+                println!("view refreshed ({n} groups).")
+            }
+            conquer_engine::database::ExecOutcome::Reclustered(n) => {
+                println!("{n} rows reclustered.")
+            }
+            conquer_engine::database::ExecOutcome::Reannotated(n) => {
+                println!("{n} rows reannotated.")
+            }
+            conquer_engine::database::ExecOutcome::CrossrefApplied(n) => {
+                println!("cross-reference applied ({n} clusters).")
+            }
         }
         Ok(true)
     }

@@ -58,6 +58,18 @@ pub use conquer_storage as storage;
 pub use conquer_engine::ErrorKind;
 pub use error::{ConquerError, Result};
 
+/// Number of cases property-based test suites should run.
+///
+/// Reads `CONQUER_PROPTEST_CASES`; falls back to `default` when the
+/// variable is unset or unparsable. Lets CI dial randomized coverage up
+/// (nightly soak) or down (fast smoke) without touching test source.
+pub fn proptest_cases(default: u32) -> u32 {
+    std::env::var("CONQUER_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::error::{ConquerError, Result};

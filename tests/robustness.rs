@@ -26,7 +26,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+    #![proptest_config(ProptestConfig::with_cases(conquer::proptest_cases(512)))]
 
     /// The parser returns `Err` (never panics) on arbitrary input.
     #[test]

@@ -171,7 +171,7 @@ fn select_strategy() -> impl Strategy<Value = SelectStatement> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+    #![proptest_config(ProptestConfig::with_cases(conquer::proptest_cases(512)))]
 
     #[test]
     fn expr_print_parse_roundtrip(e in expr_strategy()) {
